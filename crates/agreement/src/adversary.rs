@@ -1,0 +1,238 @@
+//! The adaptive adversary: the operational content of the impossibility
+//! side of Theorems 26 and 27.
+//!
+//! An *oblivious* schedule cannot reliably defeat the protocol stack — a
+//! transient Paxos leader can always sneak an uncontended ballot through.
+//! The impossibility proofs are about an **adaptive** adversary that watches
+//! the protocol state and schedules against it. For the FD + k-parallel-
+//! Paxos stack, the decisive observation mirrors the BG argument: *with
+//! only `k` simultaneous "blocking points" one can block all `k` Paxos
+//! instances forever, while every set of `k + 1` processes keeps running —
+//! so the schedule stays inside the system the theorem names, yet no
+//! decision is ever reached.*
+//!
+//! Concretely, the adversary drives the simulator step-by-step and, after
+//! every step, **freezes** any process that is in the *danger window* of an
+//! instance `r`: it has written its phase-2 record with the currently
+//! maximal ballot of `r`, the instance is undecided — its next few steps
+//! would publish a decision. Frozen processes are simply not scheduled; the
+//! rest round-robin. There is at most one danger process per instance, so at
+//! most `k` are frozen at any time:
+//!
+//! - **`i > k` branch (Theorem 26):** every size-`(k+1)` set always has a
+//!   running member, so it stays timely with respect to `Π_n` — the
+//!   executed schedule is in `S^{k+1}_{n,n}` (certified post-hoc with the
+//!   analyzer). Freezing is always temporary (the FD running at the live
+//!   processes eventually re-elects, a new leader out-ballots the frozen
+//!   maximum, and the victim is released — preempted, not decided), so
+//!   every process is correct; `0 ≤ t` faults, termination owed, never
+//!   delivered.
+//! - **`j − i < t + 1 − k` branch (Theorem 27, case 2b):** additionally
+//!   crash `j − i` processes from the start. Membership in `S^i_{j,n}` is
+//!   then free: any `i` live processes are timely with bound 1 with respect
+//!   to themselves plus the crashed set. The fault count `j − i ≤ t − k`
+//!   stays within budget, so termination is still owed — and still denied.
+
+use st_core::timeliness::empirical_bound;
+use st_core::{ProcSet, ProcessId, Schedule};
+use st_sim::RunStatus;
+
+use crate::harness::{AgreementStack, StackKind, StackRun};
+
+pub use st_core::TimelyPair;
+
+/// Outcome of an adversarial drive, with the membership certificate.
+#[derive(Debug)]
+pub struct AdversarialRun {
+    /// The packaged stack run (safety must hold; termination must not).
+    pub run: StackRun,
+    /// Number of freeze events (a process denied a step while in danger).
+    pub freeze_events: u64,
+    /// Largest number of simultaneously frozen processes observed (≤ k).
+    pub max_frozen: usize,
+    /// Certified timeliness witness of the executed schedule, when
+    /// requested: the pair and its measured empirical bound.
+    pub certificate: Option<TimelyPair>,
+}
+
+/// Drives `stack` adversarially for `budget` steps.
+///
+/// `precrashed` processes never take a step (the fictitious-crash set of the
+/// Theorem 27 case-2b construction; pass `ProcSet::EMPTY` for the
+/// Theorem 26 branch). `certify` optionally names a pair whose empirical
+/// bound on the executed schedule is measured and returned (requires the
+/// stack to have been built with schedule recording).
+///
+/// # Panics
+///
+/// Panics if the stack is not the FD + k-parallel-Paxos stack (the trivial
+/// algorithm is asynchronously live; no schedule defeats it), or if every
+/// process is precrashed.
+pub fn drive_adversarially(
+    mut stack: AgreementStack,
+    budget: u64,
+    precrashed: ProcSet,
+    certify: Option<(ProcSet, ProcSet)>,
+) -> AdversarialRun {
+    assert_eq!(
+        stack.kind(),
+        StackKind::FdParallelPaxos,
+        "the trivial t<k stack cannot be blocked by any schedule"
+    );
+    let universe = stack.task().universe();
+    let runnable: Vec<ProcessId> = universe
+        .processes()
+        .filter(|p| !precrashed.contains(*p))
+        .collect();
+    assert!(!runnable.is_empty(), "someone must run");
+    let kset = stack.kset().expect("FD stack has a kset").clone();
+
+    let mut rotation = 0usize;
+    let mut freeze_events = 0u64;
+    let mut max_frozen = 0usize;
+
+    for _ in 0..budget {
+        // Recompute the frozen set: per instance, the undecided maximal
+        // phase-2 ballot holder.
+        let mut frozen = ProcSet::EMPTY;
+        for instance in kset.instances() {
+            if instance.peek_decision(stack.sim()).is_some() {
+                continue;
+            }
+            let records = instance.peek_records(stack.sim());
+            let max_mbal = records.iter().map(|r| r.mbal).max().unwrap_or(0);
+            if max_mbal == 0 {
+                continue;
+            }
+            for (idx, rec) in records.iter().enumerate() {
+                if rec.mbal == max_mbal && rec.bal == rec.mbal && rec.val.is_some() {
+                    frozen.insert(ProcessId::new(idx));
+                }
+            }
+        }
+        max_frozen = max_frozen.max(frozen.len());
+
+        // Schedule the next runnable, unfrozen process in rotation.
+        let mut chosen = None;
+        for _ in 0..runnable.len() {
+            let candidate = runnable[rotation % runnable.len()];
+            rotation += 1;
+            if frozen.contains(candidate) {
+                freeze_events += 1;
+                continue;
+            }
+            chosen = Some(candidate);
+            break;
+        }
+        // All runnables frozen cannot happen (≤ k frozen, > k runnable);
+        // defend anyway by releasing the rotation head.
+        let p = chosen.unwrap_or(runnable[rotation % runnable.len()]);
+        stack.sim_mut().step_with(p);
+    }
+
+    let certificate = certify.map(|(p, q)| {
+        let executed: Schedule = stack
+            .sim()
+            .report()
+            .executed
+            .expect("build the stack with build_full(.., record_schedule = true) to certify");
+        TimelyPair {
+            p,
+            q,
+            bound: empirical_bound(&executed, p, q),
+        }
+    });
+
+    let run = stack.snapshot(RunStatus::MaxSteps, precrashed);
+    AdversarialRun {
+        run,
+        freeze_events,
+        max_frozen,
+        certificate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::{AgreementTask, Value};
+    use st_fd::TimeoutPolicy;
+
+    fn inputs(n: usize) -> Vec<Value> {
+        (0..n as Value).map(|v| 11 * (v + 1)).collect()
+    }
+
+    /// Theorem 26 branch: (1,1,3) has no decision under the adaptive
+    /// adversary, while every 2-set stays timely (certified).
+    #[test]
+    fn blocks_consensus_while_two_sets_stay_timely() {
+        let task = AgreementTask::new(1, 1, 3).unwrap();
+        let stack =
+            AgreementStack::build_full(task, &inputs(3), TimeoutPolicy::Increment, true);
+        let pair = ProcSet::from_indices([0, 1]);
+        let full = ProcSet::full(task.universe());
+        let adv = drive_adversarially(stack, 600_000, ProcSet::EMPTY, Some((pair, full)));
+
+        assert!(adv.run.is_safe(), "{:?}", adv.run.violations);
+        assert!(
+            adv.run.outcome.decisions.iter().all(|d| d.is_none()),
+            "adaptive adversary must block: {:?}",
+            adv.run.outcome.decisions
+        );
+        assert!(adv.freeze_events > 0, "the freezer must have fired");
+        assert!(adv.max_frozen <= task.k());
+        // Certified: {p0,p1} timely wrt Π_3 with a small bound.
+        let cert = adv.certificate.unwrap();
+        assert!(
+            cert.bound <= 4 * 3,
+            "2-set must stay timely, bound {}",
+            cert.bound
+        );
+    }
+
+    /// Theorem 26 branch at k = 2: (2,2,4) blocked, ≤ 2 frozen at a time.
+    #[test]
+    fn blocks_two_set_agreement() {
+        let task = AgreementTask::new(2, 2, 4).unwrap();
+        let stack =
+            AgreementStack::build_full(task, &inputs(4), TimeoutPolicy::Increment, true);
+        let trio = ProcSet::from_indices([0, 1, 2]);
+        let full = ProcSet::full(task.universe());
+        let adv = drive_adversarially(stack, 900_000, ProcSet::EMPTY, Some((trio, full)));
+        assert!(adv.run.is_safe());
+        assert!(adv.run.outcome.decisions.iter().all(|d| d.is_none()));
+        assert!(adv.max_frozen <= 2);
+        let cert = adv.certificate.unwrap();
+        assert!(cert.bound <= 4 * 4, "3-set bound {}", cert.bound);
+    }
+
+    /// Theorem 27 case-2b branch: S^1_{2,4} vs (2,1,4) — one fictitious
+    /// crash, membership witness at bound 1, no decision.
+    #[test]
+    fn blocks_with_fictitious_crash() {
+        let task = AgreementTask::new(2, 1, 4).unwrap();
+        let stack =
+            AgreementStack::build_full(task, &inputs(4), TimeoutPolicy::Increment, true);
+        // C = {p3} crashed from the start (j − i = 1 ≤ t − k = 1).
+        let crashed = ProcSet::from_indices([3]);
+        let p_i = ProcSet::from_indices([0]);
+        let witness_q = p_i.union(crashed); // size j = 2
+        let adv = drive_adversarially(stack, 600_000, crashed, Some((p_i, witness_q)));
+        assert!(adv.run.is_safe());
+        assert!(
+            adv.run.outcome.decisions.iter().all(|d| d.is_none()),
+            "{:?}",
+            adv.run.outcome.decisions
+        );
+        // The S^1_{2,4} witness is exact: bound 1.
+        assert_eq!(adv.certificate.unwrap().bound, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be blocked")]
+    fn refuses_trivial_stack() {
+        let task = AgreementTask::new(1, 2, 4).unwrap();
+        let stack = AgreementStack::build(task, &inputs(4));
+        let _ = drive_adversarially(stack, 10, ProcSet::EMPTY, None);
+    }
+}

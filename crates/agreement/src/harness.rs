@@ -1,0 +1,294 @@
+//! The composed protocol stack: one call to build a complete
+//! `(t,k,n)`-agreement system in a simulator.
+//!
+//! Chooses the right protocol for the task — the trivial algorithm when
+//! `t < k` (asynchronously solvable), otherwise Figure 2 k-anti-Ω composed
+//! with k-parallel Paxos — spawns every process, and packages outcome
+//! checking. This is the entry point used by the experiment harness, the
+//! examples, and the BG reduction.
+
+use st_core::{
+    check_outcome, AgreementOutcome, AgreementTask, AgreementViolation, ProcSet, StepSource, Value,
+};
+use st_fd::{KAntiOmega, KAntiOmegaConfig, TimeoutPolicy};
+use st_sim::{RunConfig, RunReport, RunStatus, Sim, StopWhen};
+
+use crate::kset::KSetAgreement;
+use crate::trivial::TrivialAgreement;
+
+/// Which protocol the stack deployed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StackKind {
+    /// Figure 2 k-anti-Ω + k-parallel Paxos (for `k ≤ t`).
+    FdParallelPaxos,
+    /// First-`k`-decide (for `t < k`).
+    Trivial,
+}
+
+/// A fully spawned agreement stack, ready to run.
+///
+/// # Examples
+///
+/// Solve 1-resilient consensus among three processes under a conforming
+/// `S^1_{2,3}` schedule:
+///
+/// ```
+/// use st_agreement::AgreementStack;
+/// use st_core::{AgreementTask, ProcSet};
+/// use st_sched::{SeededRandom, SetTimely};
+///
+/// let task = AgreementTask::new(1, 1, 3).unwrap();
+/// let stack = AgreementStack::build(task, &[10, 20, 30]);
+/// let timely = ProcSet::from_indices([0]);
+/// let observed = ProcSet::from_indices([0, 1]);
+/// let mut src = SetTimely::new(timely, observed, 4,
+///     SeededRandom::new(task.universe(), 7));
+/// let run = stack.run(&mut src, 3_000_000, ProcSet::EMPTY);
+/// assert!(run.is_clean_termination());
+/// ```
+pub struct AgreementStack {
+    sim: Sim,
+    task: AgreementTask,
+    inputs: Vec<Value>,
+    kind: StackKind,
+    fd: Option<KAntiOmega>,
+    kset: Option<KSetAgreement>,
+}
+
+/// Result of driving an [`AgreementStack`].
+#[derive(Clone, Debug)]
+pub struct StackRun {
+    /// Why the run ended.
+    pub status: RunStatus,
+    /// The raw run report (probes, decisions, statistics).
+    pub report: RunReport,
+    /// The agreement outcome (inputs, decisions, correct set).
+    pub outcome: AgreementOutcome,
+    /// Violations found by the `st-core` checker.
+    pub violations: Vec<AgreementViolation>,
+}
+
+impl StackRun {
+    /// `true` if every correct process decided and no property was violated.
+    pub fn is_clean_termination(&self) -> bool {
+        self.violations.is_empty()
+            && self
+                .outcome
+                .correct
+                .iter()
+                .all(|p| self.outcome.decisions[p.index()].is_some())
+    }
+
+    /// `true` if safety held (no k-agreement or validity violation),
+    /// regardless of termination.
+    pub fn is_safe(&self) -> bool {
+        self.violations
+            .iter()
+            .all(|v| matches!(v, AgreementViolation::Termination { .. }))
+    }
+}
+
+impl AgreementStack {
+    /// Builds a stack for `task` with the given inputs (defaults to the
+    /// paper's increment timeout policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n`.
+    pub fn build(task: AgreementTask, inputs: &[Value]) -> Self {
+        Self::build_with_policy(task, inputs, TimeoutPolicy::Increment)
+    }
+
+    /// Builds a stack with an explicit timeout policy (ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n`.
+    pub fn build_with_policy(
+        task: AgreementTask,
+        inputs: &[Value],
+        policy: TimeoutPolicy,
+    ) -> Self {
+        Self::build_full(task, inputs, policy, false)
+    }
+
+    /// Builds a stack recording the executed schedule (for post-hoc
+    /// timeliness certification, e.g. by the adaptive adversary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n`.
+    pub fn build_full(
+        task: AgreementTask,
+        inputs: &[Value],
+        policy: TimeoutPolicy,
+        record_schedule: bool,
+    ) -> Self {
+        assert_eq!(inputs.len(), task.n(), "one input per process");
+        let universe = task.universe();
+        let mut sim = Sim::with_recording(universe, record_schedule);
+        let (kind, fd, kset) = if task.is_trivially_solvable() {
+            let obj = TrivialAgreement::alloc(&mut sim, task.k());
+            for p in universe.processes() {
+                let obj = obj.clone();
+                let proposal = inputs[p.index()];
+                sim.spawn(p, move |ctx| obj.run(ctx, proposal))
+                    .expect("fresh simulator");
+            }
+            (StackKind::Trivial, None, None)
+        } else {
+            let fd = KAntiOmega::alloc(
+                &mut sim,
+                KAntiOmegaConfig::new(task.k(), task.t()).with_policy(policy),
+            );
+            let kset = KSetAgreement::alloc(&mut sim, task.k());
+            for p in universe.processes() {
+                let fd = fd.clone();
+                let kset = kset.clone();
+                let proposal = inputs[p.index()];
+                sim.spawn(p, move |ctx| kset.run(ctx, fd, proposal))
+                    .expect("fresh simulator");
+            }
+            (StackKind::FdParallelPaxos, Some(fd), Some(kset))
+        };
+        AgreementStack {
+            sim,
+            task,
+            inputs: inputs.to_vec(),
+            kind,
+            fd,
+            kset,
+        }
+    }
+
+    /// The protocol the stack chose.
+    pub fn kind(&self) -> StackKind {
+        self.kind
+    }
+
+    /// The FD instance, when the stack uses one (instrumentation).
+    pub fn fd(&self) -> Option<&KAntiOmega> {
+        self.fd.as_ref()
+    }
+
+    /// The k-set agreement object, when the stack uses one.
+    pub fn kset(&self) -> Option<&KSetAgreement> {
+        self.kset.as_ref()
+    }
+
+    /// The task this stack solves.
+    pub fn task(&self) -> AgreementTask {
+        self.task
+    }
+
+    /// The proposals.
+    pub fn inputs(&self) -> &[Value] {
+        &self.inputs
+    }
+
+    /// Shared access to the simulator (instrumentation).
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Mutable access to the simulator (advanced instrumentation).
+    pub fn sim_mut(&mut self) -> &mut Sim {
+        &mut self.sim
+    }
+
+    /// Packages the current state as a [`StackRun`] without driving further
+    /// (used by custom drivers such as the adaptive adversary).
+    pub fn snapshot(&self, status: RunStatus, faulty: ProcSet) -> StackRun {
+        let correct = faulty.complement(self.task.universe());
+        let report = self.sim.report();
+        let outcome = report.agreement_outcome(&self.inputs, correct);
+        let violations = check_outcome(&self.task, &outcome);
+        StackRun {
+            status,
+            report,
+            outcome,
+            violations,
+        }
+    }
+
+    /// Drives the stack until every process outside `faulty` decides, the
+    /// budget runs out, or the source ends; returns the packaged result.
+    pub fn run<S: StepSource>(mut self, src: &mut S, budget: u64, faulty: ProcSet) -> StackRun {
+        let correct = faulty.complement(self.task.universe());
+        let status = self.sim.run(
+            src,
+            RunConfig::steps(budget).stop_when(StopWhen::AllDecided(correct)),
+        );
+        self.snapshot(status, faulty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::ProcessId;
+    use st_sched::{RotatingStarvation, SeededRandom, SetTimely};
+
+    fn inputs(n: usize) -> Vec<Value> {
+        (0..n as Value).map(|v| 7 + 3 * v).collect()
+    }
+
+    #[test]
+    fn picks_trivial_for_t_less_than_k() {
+        let task = AgreementTask::new(1, 2, 4).unwrap();
+        let stack = AgreementStack::build(task, &inputs(4));
+        assert_eq!(stack.kind(), StackKind::Trivial);
+        assert!(stack.fd().is_none());
+    }
+
+    #[test]
+    fn picks_fd_stack_for_k_le_t() {
+        let task = AgreementTask::new(2, 2, 4).unwrap();
+        let stack = AgreementStack::build(task, &inputs(4));
+        assert_eq!(stack.kind(), StackKind::FdParallelPaxos);
+        assert!(stack.fd().is_some());
+    }
+
+    #[test]
+    fn trivial_stack_terminates_on_random_schedule() {
+        let task = AgreementTask::new(1, 2, 4).unwrap();
+        let stack = AgreementStack::build(task, &inputs(4));
+        let mut src = SeededRandom::new(task.universe(), 5);
+        let run = stack.run(&mut src, 100_000, ProcSet::EMPTY);
+        assert!(run.is_clean_termination(), "{:?}", run.violations);
+    }
+
+    #[test]
+    fn fd_stack_terminates_on_conforming_schedule() {
+        let task = AgreementTask::new(2, 1, 3).unwrap();
+        let stack = AgreementStack::build(task, &inputs(3));
+        let p = ProcSet::from_indices([0]);
+        let q = ProcSet::from_indices([0, 1, 2]);
+        let mut src = SetTimely::new(p, q, 6, SeededRandom::new(task.universe(), 8));
+        let run = stack.run(&mut src, 2_000_000, ProcSet::EMPTY);
+        assert!(run.is_clean_termination(), "{:?}", run.violations);
+        // Consensus: a single decided value.
+        let distinct: std::collections::BTreeSet<Value> =
+            run.outcome.decisions.iter().flatten().copied().collect();
+        assert_eq!(distinct.len(), 1);
+    }
+
+    #[test]
+    fn fd_stack_safe_under_oblivious_adversary() {
+        // (1,1,3) under rotating starvation of singletons. An *oblivious*
+        // schedule cannot reliably prevent decision (a transient Paxos
+        // leader may sneak a ballot through — impossibility only promises
+        // that SOME schedule defeats each algorithm, and that schedule must
+        // be adaptive; see `adversary::AdaptiveAdversary`). What must hold
+        // unconditionally is safety.
+        let task = AgreementTask::new(1, 1, 3).unwrap();
+        let stack = AgreementStack::build(task, &inputs(3));
+        let mut src = RotatingStarvation::new(task.universe(), 1);
+        let run = stack.run(&mut src, 500_000, ProcSet::EMPTY);
+        assert!(run.is_safe(), "{:?}", run.violations);
+        let distinct: std::collections::BTreeSet<Value> =
+            run.outcome.decisions.iter().flatten().copied().collect();
+        assert!(distinct.len() <= 1);
+        let _ = ProcessId::new(0);
+    }
+}

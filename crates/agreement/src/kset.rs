@@ -1,0 +1,198 @@
+//! `(t,k,n)`-agreement from k-anti-Ω: the k-parallel-Paxos construction.
+//!
+//! The paper (Section 4.3) solves `(t,k,n)`-agreement from t-resilient
+//! k-anti-Ω via Zieliński's generic result. We use the **stronger property
+//! the Figure 2 algorithm actually guarantees** (Lemma 22): eventually all
+//! correct processes hold the *same* winnerset `A0` of size `k`, containing
+//! at least one correct process. Given that, the construction is the
+//! standard one:
+//!
+//! - run `k` independent single-decree Paxos instances;
+//! - instance `r` is led, at any moment, by the `r`-th smallest member of
+//!   the *current local* winnerset;
+//! - every process decides the first instance decision it observes.
+//!
+//! **Safety is unconditional**: each instance is Paxos (at most one chosen
+//! value, always a proposed one), so at most `k` distinct decisions in *any*
+//! run — even adversarial ones outside `S^k_{t+1,n}`. **Termination** needs
+//! winnerset stabilization: the stable `A0` has a correct member, say its
+//! `r`-th, which then leads instance `r` unopposed and decides. This
+//! substitution (documented in DESIGN.md §3.3) preserves Theorem 24
+//! end-to-end.
+
+use st_core::Value;
+use st_fd::{KAntiOmega, KAntiOmegaLocal};
+use st_sim::{ProcessCtx, Sim};
+
+use crate::paxos::{AttemptOutcome, Paxos, ProposerState};
+
+/// Probe key publishing the instance index a process decided through.
+pub const DECIDED_INSTANCE_PROBE: &str = "decided-instance";
+
+/// A k-set agreement object: `k` Paxos instances driven by a k-anti-Ω
+/// winnerset. Clone into each process.
+#[derive(Clone, Debug)]
+pub struct KSetAgreement {
+    instances: Vec<Paxos>,
+}
+
+impl KSetAgreement {
+    /// Allocates `k` Paxos instances in `sim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn alloc(sim: &mut Sim, k: usize) -> Self {
+        assert!(k >= 1 && k <= sim.universe().n(), "need 1 <= k <= n");
+        KSetAgreement {
+            instances: (0..k).map(|r| Paxos::alloc(sim, &format!("kset[{r}]"))).collect(),
+        }
+    }
+
+    /// The agreement degree `k`.
+    pub fn k(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// The underlying instances (instrumentation).
+    pub fn instances(&self) -> &[Paxos] {
+        &self.instances
+    }
+
+    /// The full per-process protocol: interleaves FD refreshes, decision
+    /// scans, and leader duties until a decision is reached; then records it
+    /// via [`ProcessCtx::decide`] and halts.
+    ///
+    /// `fd` must be a k-anti-Ω instance with the same `k` allocated in the
+    /// same simulator.
+    pub async fn run(self, ctx: ProcessCtx, fd: KAntiOmega, proposal: Value) {
+        assert_eq!(fd.config().k, self.k(), "FD degree must match");
+        let mut fd_local = fd.local_state();
+        let mut states: Vec<ProposerState> = (0..self.k()).map(|_| ProposerState::default()).collect();
+        loop {
+            if let Some((value, instance)) = self
+                .round(&ctx, &fd, &mut fd_local, &mut states, proposal)
+                .await
+            {
+                ctx.probe(DECIDED_INSTANCE_PROBE, instance as u64);
+                ctx.decide(value);
+                return;
+            }
+        }
+    }
+
+    /// One protocol round: an FD iteration, a decision scan, and one ballot
+    /// attempt per instance this process currently leads. Returns the
+    /// decision when one is reached. Exposed separately so the BG simulation
+    /// can drive the protocol step-by-step.
+    pub async fn round(
+        &self,
+        ctx: &ProcessCtx,
+        fd: &KAntiOmega,
+        fd_local: &mut KAntiOmegaLocal,
+        states: &mut [ProposerState],
+        proposal: Value,
+    ) -> Option<(Value, usize)> {
+        fd.iterate(ctx, fd_local).await;
+        // Scan for decisions first: adopting is always cheapest.
+        for (r, instance) in self.instances.iter().enumerate() {
+            if let Some(v) = instance.check_decision(ctx).await {
+                return Some((v, r));
+            }
+        }
+        // Lead wherever the current winnerset appoints us.
+        for (r, instance) in self.instances.iter().enumerate() {
+            if fd_local.winnerset.nth(r) == Some(ctx.pid()) {
+                if let AttemptOutcome::Decided(v) =
+                    instance.attempt(ctx, &mut states[r], proposal).await
+                {
+                    return Some((v, r));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::{ProcSet, ProcessId, Universe};
+    use st_fd::KAntiOmegaConfig;
+    use st_sched::{SeededRandom, SetTimely};
+    use st_sim::{RunConfig, StopWhen};
+
+    /// Full stack under a conforming schedule: FD + k-parallel Paxos.
+    #[test]
+    fn decides_under_matching_synchrony() {
+        let (n, k, t) = (4usize, 2usize, 2usize);
+        let u = Universe::new(n).unwrap();
+        let mut sim = Sim::new(u);
+        let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t));
+        let kset = KSetAgreement::alloc(&mut sim, k);
+        let inputs: Vec<Value> = (0..n as Value).map(|v| 10 + v).collect();
+        for p in u.processes() {
+            let fd = fd.clone();
+            let kset = kset.clone();
+            let proposal = inputs[p.index()];
+            sim.spawn(p, move |ctx| kset.run(ctx, fd, proposal)).unwrap();
+        }
+        let pset: ProcSet = (0..k).map(ProcessId::new).collect();
+        let qset: ProcSet = (0..=t).map(ProcessId::new).collect();
+        let mut src = SetTimely::new(pset, qset, 2 * (t + 1), SeededRandom::new(u, 3));
+        let status = sim.run(
+            &mut src,
+            RunConfig::steps(3_000_000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
+        );
+        assert_eq!(status, st_sim::RunStatus::Stopped, "stack must terminate");
+        let outcome = sim
+            .report()
+            .agreement_outcome(&inputs, ProcSet::full(u));
+        let task = st_core::AgreementTask::new(t, k, n).unwrap();
+        let violations = st_core::check_outcome(&task, &outcome);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// Safety holds under pure random (non-conforming) schedules: whatever
+    /// decides, decides consistently.
+    #[test]
+    fn safety_under_random_schedules() {
+        for seed in 0..10u64 {
+            let (n, k, t) = (4usize, 2usize, 3usize);
+            let u = Universe::new(n).unwrap();
+            let mut sim = Sim::new(u);
+            let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t));
+            let kset = KSetAgreement::alloc(&mut sim, k);
+            let inputs: Vec<Value> = (0..n as Value).collect();
+            for p in u.processes() {
+                let fd = fd.clone();
+                let kset = kset.clone();
+                let proposal = inputs[p.index()];
+                sim.spawn(p, move |ctx| kset.run(ctx, fd, proposal)).unwrap();
+            }
+            let mut src = SeededRandom::new(u, seed);
+            sim.run(&mut src, RunConfig::steps(300_000));
+            let outcome = sim.report().agreement_outcome(&inputs, ProcSet::full(u));
+            // Check only the safety clauses (termination not owed on a
+            // truncated budget).
+            let decided: std::collections::BTreeSet<Value> =
+                outcome.decisions.iter().flatten().copied().collect();
+            assert!(decided.len() <= k, "seed {seed}: {decided:?}");
+            for d in &decided {
+                assert!(inputs.contains(d), "seed {seed}: unproposed {d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "FD degree must match")]
+    fn mismatched_fd_rejected() {
+        let u = Universe::new(3).unwrap();
+        let mut sim = Sim::new(u);
+        let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(1, 2));
+        let kset = KSetAgreement::alloc(&mut sim, 2);
+        sim.spawn(ProcessId::new(0), move |ctx| kset.run(ctx, fd, 0))
+            .unwrap();
+        sim.step_with(ProcessId::new(0));
+    }
+}

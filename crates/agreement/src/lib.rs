@@ -1,0 +1,27 @@
+//! `(t,k,n)`-agreement protocols over read-write shared memory.
+//!
+//! - [`Paxos`] — single-decree shared-memory Paxos (Disk-Paxos-style, one
+//!   single-writer record per process): the safety workhorse.
+//! - [`KSetAgreement`] — the k-parallel-Paxos construction driven by the
+//!   Figure 2 winnerset (Theorem 24's possibility side; see DESIGN.md §3.3
+//!   for the documented substitution of Zieliński's generic reduction).
+//! - [`TrivialAgreement`] — the folklore `t < k` algorithm (asynchronously
+//!   solvable regime).
+//! - [`AgreementStack`] — one-call composition: picks the right protocol
+//!   for a task, spawns all processes, runs, and checks the outcome with
+//!   the `st-core` checkers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversary;
+mod harness;
+mod kset;
+mod paxos;
+mod trivial;
+
+pub use adversary::{drive_adversarially, AdversarialRun};
+pub use harness::{AgreementStack, StackKind, StackRun};
+pub use kset::{KSetAgreement, DECIDED_INSTANCE_PROBE};
+pub use paxos::{AttemptOutcome, Paxos, PaxosRecord, ProposerState};
+pub use trivial::TrivialAgreement;

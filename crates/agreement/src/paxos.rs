@@ -1,0 +1,313 @@
+//! Single-decree shared-memory Paxos over single-writer registers.
+//!
+//! The construction is Disk Paxos (Gafni–Lamport) specialized to one "disk"
+//! whose blocks are SWMR registers: each process owns a record
+//! `(mbal, bal, val)`; a proposer with ballot `b`
+//!
+//! 1. writes `mbal = b` to its record, reads all records, and **aborts** if
+//!    any record carries `mbal > b`;
+//! 2. adopts the value of the highest `bal` seen (or its own proposal if
+//!    none), writes `(mbal = b, bal = b, val)`, re-reads all records, and
+//!    aborts on any `mbal > b`;
+//! 3. otherwise the value is **chosen**: it is published in a decision
+//!    register.
+//!
+//! Safety (one chosen value per instance, always a proposed value) holds
+//! under full asynchrony and any number of dueling proposers; termination
+//! needs an eventually-unique proposer — exactly what the k-anti-Ω winnerset
+//! provides to each instance in [`KSetAgreement`](crate::KSetAgreement).
+//!
+//! Ballots are made unique by the rule `b = round · n + pid + 1`.
+
+use st_core::Value;
+use st_sim::{ProcessCtx, Reg, Sim};
+
+/// One process's Paxos record (a "disk block").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PaxosRecord {
+    /// Highest ballot this process has entered (phase 1).
+    pub mbal: u64,
+    /// Ballot at which `val` was accepted (phase 2), 0 if none.
+    pub bal: u64,
+    /// Accepted value, `None` if never accepted.
+    pub val: Option<Value>,
+}
+
+/// A single-decree Paxos instance: `n` records plus a decision register.
+#[derive(Clone, Debug)]
+pub struct Paxos {
+    records: Vec<Reg<PaxosRecord>>,
+    decision: Reg<Option<Value>>,
+    n: u64,
+}
+
+/// Proposer-local state: the next round and the cached own record (the
+/// record is single-writer, so the cache is always exact).
+#[derive(Clone, Debug, Default)]
+pub struct ProposerState {
+    round: u64,
+    own: PaxosRecord,
+    /// Ballot attempts made (metrics).
+    pub attempts: u64,
+}
+
+/// Result of one ballot attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// This attempt chose (or observed) the decision.
+    Decided(Value),
+    /// A higher ballot interfered; the proposer state has been advanced
+    /// past it.
+    Preempted,
+}
+
+impl Paxos {
+    /// Allocates an instance in `sim`: one record per process (single
+    /// writer) and one multi-writer decision register.
+    pub fn alloc(sim: &mut Sim, name: &str) -> Self {
+        let records = sim.alloc_per_process(&format!("{name}.rec"), PaxosRecord::default());
+        let decision = sim.alloc(format!("{name}.decision"), None);
+        Paxos {
+            records,
+            decision,
+            n: sim.universe().n() as u64,
+        }
+    }
+
+    /// Reads the decision register. **One step.**
+    pub async fn check_decision(&self, ctx: &ProcessCtx) -> Option<Value> {
+        ctx.read(self.decision).await
+    }
+
+    /// Runs one complete ballot as a proposer: decision check, phase 1,
+    /// phase 2, publication. Costs `2 + 2n` steps when uncontended.
+    ///
+    /// On [`AttemptOutcome::Preempted`], `state.round` has been advanced
+    /// beyond every interfering ballot, so a lone repeating proposer always
+    /// eventually decides.
+    pub async fn attempt(
+        &self,
+        ctx: &ProcessCtx,
+        state: &mut ProposerState,
+        proposal: Value,
+    ) -> AttemptOutcome {
+        state.attempts += 1;
+        // Fast path: someone already decided.
+        if let Some(v) = self.check_decision(ctx).await {
+            return AttemptOutcome::Decided(v);
+        }
+
+        let me = ctx.pid().index();
+        let b = state.round * self.n + me as u64 + 1;
+        state.round += 1;
+
+        // Phase 1: announce the ballot, then look for competition and for
+        // previously accepted values.
+        state.own.mbal = b;
+        ctx.write(self.records[me], state.own).await;
+        let mut max_seen = 0u64;
+        let mut best: Option<(u64, Value)> = state.own.val.map(|v| (state.own.bal, v));
+        for (q, &reg) in self.records.iter().enumerate() {
+            if q == me {
+                continue;
+            }
+            let rec = ctx.read(reg).await;
+            max_seen = max_seen.max(rec.mbal);
+            if let Some(v) = rec.val {
+                if best.is_none_or(|(bb, _)| rec.bal > bb) {
+                    best = Some((rec.bal, v));
+                }
+            }
+        }
+        if max_seen > b {
+            state.round = state.round.max(max_seen / self.n + 1);
+            return AttemptOutcome::Preempted;
+        }
+
+        // Phase 2: accept the safest value and look for competition again.
+        let value = best.map(|(_, v)| v).unwrap_or(proposal);
+        state.own = PaxosRecord {
+            mbal: b,
+            bal: b,
+            val: Some(value),
+        };
+        ctx.write(self.records[me], state.own).await;
+        let mut max_seen = 0u64;
+        for (q, &reg) in self.records.iter().enumerate() {
+            if q == me {
+                continue;
+            }
+            let rec = ctx.read(reg).await;
+            max_seen = max_seen.max(rec.mbal);
+        }
+        if max_seen > b {
+            state.round = state.round.max(max_seen / self.n + 1);
+            return AttemptOutcome::Preempted;
+        }
+
+        // Chosen: publish.
+        ctx.write(self.decision, Some(value)).await;
+        AttemptOutcome::Decided(value)
+    }
+
+    /// Peeks the decision without a step (instrumentation).
+    pub fn peek_decision(&self, sim: &Sim) -> Option<Value> {
+        sim.peek(self.decision)
+    }
+
+    /// Peeks every record without steps (instrumentation; used by the
+    /// adaptive adversary, which — like the model's adversary — sees all
+    /// state).
+    pub fn peek_records(&self, sim: &Sim) -> Vec<PaxosRecord> {
+        self.records.iter().map(|&r| sim.peek(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::{ProcSet, ProcessId, Schedule, ScheduleCursor, Universe};
+    use st_sim::{RunConfig, StopWhen};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// n proposers with distinct values, interleaved by `schedule`; each
+    /// repeatedly attempts until it decides.
+    fn run_duel(n: usize, schedule: Vec<usize>, budget: u64) -> Vec<Option<Value>> {
+        let u = Universe::new(n).unwrap();
+        let mut sim = Sim::new(u);
+        let paxos = Paxos::alloc(&mut sim, "px");
+        for p in u.processes() {
+            let paxos = paxos.clone();
+            sim.spawn(p, move |ctx| async move {
+                let mut state = ProposerState::default();
+                let my_value = 100 + ctx.pid().index() as Value;
+                loop {
+                    if let AttemptOutcome::Decided(v) =
+                        paxos.attempt(&ctx, &mut state, my_value).await
+                    {
+                        ctx.decide(v);
+                        return;
+                    }
+                }
+            })
+            .unwrap();
+        }
+        let mut src = ScheduleCursor::new(Schedule::from_indices(schedule));
+        sim.run(
+            &mut src,
+            RunConfig::steps(budget).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
+        );
+        let rep = sim.report();
+        (0..n).map(|i| rep.decision_value(pid(i))).collect()
+    }
+
+    #[test]
+    fn solo_proposer_decides_own_value() {
+        let decisions = run_duel(3, vec![0; 60], 60);
+        assert_eq!(decisions[0], Some(100));
+    }
+
+    #[test]
+    fn sequential_proposers_agree() {
+        // p0 completes, then p1, then p2: all must decide p0's value.
+        let sched: Vec<usize> = std::iter::repeat_n(0, 40)
+            .chain(std::iter::repeat_n(1, 40))
+            .chain(std::iter::repeat_n(2, 40))
+            .collect();
+        let decisions = run_duel(3, sched, 200);
+        assert_eq!(decisions, vec![Some(100), Some(100), Some(100)]);
+    }
+
+    #[test]
+    fn agreement_under_many_interleavings() {
+        for seed in 0..50u64 {
+            let n = 3;
+            let sched: Vec<usize> = (0..3000)
+                .map(|i| (((seed + 1) * 2654435761).wrapping_mul(i + 1) % n as u64) as usize)
+                .collect();
+            let decisions = run_duel(n, sched, 3000);
+            let decided: Vec<Value> = decisions.iter().flatten().copied().collect();
+            if let Some(&first) = decided.first() {
+                assert!(
+                    decided.iter().all(|&v| v == first),
+                    "seed {seed}: split decision {decisions:?}"
+                );
+                assert!((100..100 + n as Value).contains(&first), "invalid value");
+            }
+        }
+    }
+
+    #[test]
+    fn preemption_advances_round() {
+        // p1 runs a full ballot; p0 then attempts with a stale round and must
+        // be preempted or adopt p1's value — never decide its own over a
+        // chosen one.
+        let sched: Vec<usize> = std::iter::repeat_n(1, 40)
+            .chain(std::iter::repeat_n(0, 80))
+            .collect();
+        let decisions = run_duel(2, sched, 200);
+        assert_eq!(decisions[1], Some(101));
+        assert_eq!(decisions[0], Some(101), "p0 must adopt the chosen value");
+    }
+
+    #[test]
+    fn crashed_leader_mid_ballot_is_recoverable() {
+        // p0 writes phase 2 but crashes before publishing; p1 must adopt
+        // p0's accepted value (it may be chosen).
+        let u = Universe::new(2).unwrap();
+        let mut sim = Sim::new(u);
+        let paxos = Paxos::alloc(&mut sim, "px");
+        {
+            let paxos = paxos.clone();
+            sim.spawn(pid(0), move |ctx| async move {
+                let mut state = ProposerState::default();
+                let _ = paxos.attempt(&ctx, &mut state, 100).await;
+            })
+            .unwrap();
+        }
+        {
+            let paxos = paxos.clone();
+            sim.spawn(pid(1), move |ctx| async move {
+                let mut state = ProposerState::default();
+                loop {
+                    if let AttemptOutcome::Decided(v) =
+                        paxos.attempt(&ctx, &mut state, 101).await
+                    {
+                        ctx.decide(v);
+                        return;
+                    }
+                }
+            })
+            .unwrap();
+        }
+        // p0: decision check (1) + phase1 write (1) + read other (1) +
+        // phase2 write (1) = 4 steps, then crash (stop scheduling).
+        let sched: Vec<usize> = [0usize, 0, 0, 0]
+            .into_iter()
+            .chain(std::iter::repeat_n(1, 60))
+            .collect();
+        let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
+        sim.run(&mut src, RunConfig::steps(100));
+        assert_eq!(
+            sim.report().decision_value(pid(1)),
+            Some(100),
+            "p1 must adopt p0's phase-2 value"
+        );
+    }
+
+    #[test]
+    fn validity_only_proposed_values() {
+        for seed in 0..20u64 {
+            let sched: Vec<usize> = (0..2000)
+                .map(|i| ((seed * 7 + i * 13 + i / 5) % 4) as usize)
+                .collect();
+            let decisions = run_duel(4, sched, 2000);
+            for d in decisions.iter().flatten() {
+                assert!((100..104).contains(d));
+            }
+        }
+    }
+}

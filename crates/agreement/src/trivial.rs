@@ -1,0 +1,134 @@
+//! The trivial algorithm for `t < k` (asynchronously solvable regime).
+//!
+//! When fewer processes may crash than values may be decided, the closing
+//! remark of Section 4.3 applies: `(t,k,n)`-agreement is solvable in the
+//! fully asynchronous system. The folklore algorithm: the `k` lowest-indexed
+//! processes decide their own values immediately and publish them; everyone
+//! else keeps collecting the `k` publication registers and adopts the first
+//! value seen. Since `t < k`, at least one publisher is correct, so a value
+//! always appears.
+
+use st_core::Value;
+use st_sim::{ProcessCtx, Reg, Sim};
+
+/// The trivial `t < k` agreement object. Clone into each process.
+#[derive(Clone, Debug)]
+pub struct TrivialAgreement {
+    published: Vec<Reg<Option<Value>>>,
+}
+
+impl TrivialAgreement {
+    /// Allocates `k` publication registers (owned by the `k` lowest-indexed
+    /// processes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn alloc(sim: &mut Sim, k: usize) -> Self {
+        assert!(k >= 1 && k <= sim.universe().n(), "need 1 <= k <= n");
+        let published = (0..k)
+            .map(|i| {
+                let owner = st_core::ProcessId::new(i);
+                sim.alloc_sw(format!("trivial.decide[{i}]"), owner, None)
+            })
+            .collect();
+        TrivialAgreement { published }
+    }
+
+    /// The agreement degree `k`.
+    pub fn k(&self) -> usize {
+        self.published.len()
+    }
+
+    /// The per-process protocol: publishers decide in one step; adopters
+    /// poll the publication registers.
+    pub async fn run(self, ctx: ProcessCtx, proposal: Value) {
+        let me = ctx.pid().index();
+        if me < self.published.len() {
+            ctx.write(self.published[me], Some(proposal)).await;
+            ctx.decide(proposal);
+            return;
+        }
+        loop {
+            for &reg in &self.published {
+                if let Some(v) = ctx.read(reg).await {
+                    ctx.decide(v);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::{AgreementTask, ProcSet, ProcessId, Universe};
+    use st_sched::{CrashAfter, CrashPlan, SeededRandom};
+    use st_sim::{RunConfig, StopWhen};
+
+    fn run_trivial(
+        n: usize,
+        k: usize,
+        t: usize,
+        crashed: ProcSet,
+        seed: u64,
+    ) -> (st_sim::RunReport, Vec<Value>) {
+        let u = Universe::new(n).unwrap();
+        let mut sim = Sim::new(u);
+        let obj = TrivialAgreement::alloc(&mut sim, k);
+        let inputs: Vec<Value> = (0..n as Value).map(|v| 50 + v).collect();
+        for p in u.processes() {
+            let obj = obj.clone();
+            let proposal = inputs[p.index()];
+            sim.spawn(p, move |ctx| obj.run(ctx, proposal)).unwrap();
+        }
+        let plan = CrashPlan::all_at(crashed, 0);
+        let mut src = CrashAfter::new(SeededRandom::new(u, seed), plan);
+        let correct = crashed.complement(u);
+        sim.run(
+            &mut src,
+            RunConfig::steps(100_000).stop_when(StopWhen::AllDecided(correct)),
+        );
+        let _ = t;
+        (sim.report(), inputs)
+    }
+
+    #[test]
+    fn all_correct_processes_decide() {
+        let (report, inputs) = run_trivial(5, 3, 2, ProcSet::EMPTY, 1);
+        let u = Universe::new(5).unwrap();
+        let outcome = report.agreement_outcome(&inputs, ProcSet::full(u));
+        let task = AgreementTask::new(2, 3, 5).unwrap();
+        assert!(st_core::check_outcome(&task, &outcome).is_empty());
+    }
+
+    #[test]
+    fn tolerates_t_crashed_publishers() {
+        // k = 3, t = 2: crash publishers p0, p1 from the start; p2 remains.
+        let crashed = ProcSet::from_indices([0, 1]);
+        let (report, inputs) = run_trivial(5, 3, 2, crashed, 2);
+        let u = Universe::new(5).unwrap();
+        let correct = crashed.complement(u);
+        let outcome = report.agreement_outcome(&inputs, correct);
+        let task = AgreementTask::new(2, 3, 5).unwrap();
+        assert!(
+            st_core::check_outcome(&task, &outcome).is_empty(),
+            "correct processes must all decide p2's value"
+        );
+        // Adopters must have adopted p2's value specifically.
+        for adopter in [3usize, 4] {
+            assert_eq!(report.decision_value(ProcessId::new(adopter)), Some(52));
+        }
+    }
+
+    #[test]
+    fn at_most_k_values() {
+        let (report, inputs) = run_trivial(6, 2, 1, ProcSet::EMPTY, 3);
+        let u = Universe::new(6).unwrap();
+        let outcome = report.agreement_outcome(&inputs, ProcSet::full(u));
+        let distinct: std::collections::BTreeSet<Value> =
+            outcome.decisions.iter().flatten().copied().collect();
+        assert!(distinct.len() <= 2);
+    }
+}

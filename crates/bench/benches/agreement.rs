@@ -1,0 +1,40 @@
+//! E3 bench — the full (t,k,n)-agreement stack to decision on conforming
+//! schedules, plus the trivial-regime baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_agreement::AgreementStack;
+use st_core::{AgreementTask, ProcSet, ProcessId, Value};
+use st_sched::{SeededRandom, SetTimely};
+
+fn inputs(n: usize) -> Vec<Value> {
+    (0..n as Value).collect()
+}
+
+fn run_stack(n: usize, k: usize, t: usize, seed: u64, budget: u64) -> Option<u64> {
+    let task = AgreementTask::new(t, k, n).unwrap();
+    let stack = AgreementStack::build(task, &inputs(n));
+    let psize = k.min(t).max(1);
+    let p: ProcSet = (0..psize).map(ProcessId::new).collect();
+    let q: ProcSet = (0..=t).map(ProcessId::new).collect();
+    let mut src = SetTimely::new(p, q, 2 * (t + 1), SeededRandom::new(task.universe(), seed));
+    let run = stack.run(&mut src, budget, ProcSet::EMPTY);
+    run.report.all_decided_step(run.outcome.correct)
+}
+
+fn agreement_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agreement/to_decision");
+    group.sample_size(10);
+    for &(n, k, t) in &[(3usize, 1usize, 1usize), (4, 2, 2), (5, 2, 3), (4, 3, 2)] {
+        let steps = run_stack(n, k, t, 3, 8_000_000);
+        println!("agreement e2e: ({t},{k},{n}) decided@{steps:?}");
+        group.bench_with_input(
+            BenchmarkId::new("decide", format!("t{t}k{k}n{n}")),
+            &(n, k, t),
+            |b, &(n, k, t)| b.iter(|| run_stack(n, k, t, 3, 8_000_000)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, agreement_grid);
+criterion_main!(benches);

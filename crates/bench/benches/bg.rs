@@ -1,0 +1,50 @@
+//! E6 bench — BG simulation: reduction runs and safe-agreement throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_bgsim::{run_reduction, TrivialKDecide};
+use st_core::{StepSource, Universe, Value};
+use st_sched::RoundRobin;
+
+fn reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bg/reduction");
+    group.sample_size(10);
+    for &(k, n_sim) in &[(1usize, 4usize), (2, 5), (3, 6)] {
+        let stalled = {
+            let machines: Vec<TrivialKDecide> = (0..n_sim)
+                .map(|u| TrivialKDecide::new(u, k, u as Value))
+                .collect();
+            let mut src = RoundRobin::new(Universe::new(k + 1).unwrap());
+            let r = run_reduction(k + 1, machines, 64, &mut src, 4_000_000);
+            r.stalled_simulated().len()
+        };
+        println!("bg reduction: k={k} n_sim={n_sim} stalled={stalled}");
+        group.bench_with_input(
+            BenchmarkId::new("simulate", format!("k{k}n{n_sim}")),
+            &(k, n_sim),
+            |b, &(k, n_sim)| {
+                b.iter(|| {
+                    let machines: Vec<TrivialKDecide> = (0..n_sim)
+                        .map(|u| TrivialKDecide::new(u, k, u as Value))
+                        .collect();
+                    let mut src = RoundRobin::new(Universe::new(k + 1).unwrap());
+                    run_reduction(k + 1, machines, 64, &mut src, 4_000_000).host_steps
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn host_schedule_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bg/host_throughput");
+    group.bench_function("round_robin_take_100k", |b| {
+        b.iter(|| {
+            let mut src = RoundRobin::new(Universe::new(3).unwrap());
+            src.take_schedule(100_000).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reduction, host_schedule_throughput);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E2/E7 bench — Figure 2 k-anti-Ω: time-to-stabilization workloads over
+//! the (n, k) grid and the timeout-policy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_core::{ProcSet, ProcessId, Universe};
+use st_fd::convergence::winnerset_stabilization;
+use st_fd::{KAntiOmega, KAntiOmegaConfig, TimeoutPolicy};
+use st_sched::{SeededRandom, SetTimely};
+use st_sim::{RunConfig, Sim};
+
+fn run_fd(n: usize, k: usize, t: usize, policy: TimeoutPolicy, budget: u64) -> Option<u64> {
+    let universe = Universe::new(n).unwrap();
+    let mut sim = Sim::new(universe);
+    let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t).with_policy(policy));
+    for p in universe.processes() {
+        let fd = fd.clone();
+        sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
+    }
+    let p: ProcSet = (0..k).map(ProcessId::new).collect();
+    let q: ProcSet = (0..=t).map(ProcessId::new).collect();
+    let mut src = SetTimely::new(p, q, 2 * (t + 1), SeededRandom::new(universe, 7));
+    sim.run(&mut src, RunConfig::steps(budget));
+    winnerset_stabilization(&sim.report(), ProcSet::full(universe)).map(|s| s.step)
+}
+
+fn convergence_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd/convergence");
+    group.sample_size(10);
+    for &(n, k, t) in &[(3usize, 1usize, 1usize), (4, 1, 2), (4, 2, 2), (5, 2, 3)] {
+        // Print the series: stabilization step per cell (paper: Theorem 23).
+        let stab = run_fd(n, k, t, TimeoutPolicy::Increment, 600_000);
+        println!("fd convergence: n={n} k={k} t={t} stabilized@{stab:?}");
+        group.bench_with_input(
+            BenchmarkId::new("run_200k_steps", format!("n{n}k{k}t{t}")),
+            &(n, k, t),
+            |b, &(n, k, t)| b.iter(|| run_fd(n, k, t, TimeoutPolicy::Increment, 200_000)),
+        );
+    }
+    group.finish();
+}
+
+fn timeout_policy_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd/timeout_policy");
+    group.sample_size(10);
+    for policy in [TimeoutPolicy::Increment, TimeoutPolicy::Double] {
+        let stab = run_fd(4, 1, 2, policy, 2_000_000);
+        println!("fd ablation: policy={policy:?} stabilized@{stab:?}");
+        group.bench_with_input(
+            BenchmarkId::new("run_200k_steps", format!("{policy:?}")),
+            &policy,
+            |b, &p| b.iter(|| run_fd(4, 1, 2, p, 200_000)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, convergence_grid, timeout_policy_ablation, set_vs_process);
+fn set_vs_process(c: &mut Criterion) {
+    // E8 workload: only groups are timely. The set-based detector is the
+    // only one that converges; both are timed on the same schedule.
+    use st_fd::ProcessTimelyDetector;
+    use st_sched::AlternatingRotation;
+
+    fn run_baseline(budget: u64) -> u64 {
+        let universe = Universe::new(4).unwrap();
+        let mut sim = Sim::new(universe);
+        let fd = ProcessTimelyDetector::alloc(&mut sim, 2, 2, TimeoutPolicy::Increment);
+        for p in universe.processes() {
+            let fd = fd.clone();
+            sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
+        }
+        let groups = [ProcSet::from_indices([0, 1]), ProcSet::from_indices([2, 3])];
+        let mut src = AlternatingRotation::new(&groups);
+        sim.run(&mut src, RunConfig::steps(budget));
+        sim.steps_executed()
+    }
+
+    fn run_setbased(budget: u64) -> Option<u64> {
+        let universe = Universe::new(4).unwrap();
+        let mut sim = Sim::new(universe);
+        let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(2, 2));
+        for p in universe.processes() {
+            let fd = fd.clone();
+            sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
+        }
+        let groups = [ProcSet::from_indices([0, 1]), ProcSet::from_indices([2, 3])];
+        let mut src = AlternatingRotation::new(&groups);
+        sim.run(&mut src, RunConfig::steps(budget));
+        winnerset_stabilization(&sim.report(), ProcSet::full(universe)).map(|s| s.step)
+    }
+
+    let mut group = c.benchmark_group("fd/set_vs_process");
+    group.sample_size(10);
+    println!(
+        "motivation: set-based stabilized@{:?}; process-based never (by design)",
+        run_setbased(1_000_000)
+    );
+    group.bench_function("set_based_200k", |b| b.iter(|| run_setbased(200_000)));
+    group.bench_function("process_based_200k", |b| b.iter(|| run_baseline(200_000)));
+    group.finish();
+}
+
+criterion_main!(benches);

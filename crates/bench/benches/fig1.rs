@@ -1,0 +1,53 @@
+//! E1 bench — regenerates the Figure 1 series: empirical timeliness bounds
+//! of the singletons and the pair on growing prefixes, and times the
+//! analyzer doing it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_core::timeliness::{all_timely_pairs, empirical_bound, find_timely_pair};
+use st_core::{ProcSet, ProcessId, StepSource, Universe};
+use st_sched::Figure1;
+use std::hint::black_box;
+
+fn figure1_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/empirical_bound");
+    for &len in &[10_000usize, 40_000, 160_000] {
+        let schedule = Figure1::new(ProcessId::new(0), ProcessId::new(1), ProcessId::new(2))
+            .take_schedule(len);
+        let p1 = ProcSet::from_indices([0]);
+        let pair = ProcSet::from_indices([0, 1]);
+        let q = ProcSet::from_indices([2]);
+
+        // Print the series the experiment reports (paper shape: singleton
+        // grows, pair pinned at 2).
+        println!(
+            "fig1 series: len={len} bound(p1)={} bound(pair)={}",
+            empirical_bound(&schedule, p1, q),
+            empirical_bound(&schedule, pair, q)
+        );
+
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("singleton", len), &schedule, |b, s| {
+            b.iter(|| empirical_bound(black_box(s), p1, q))
+        });
+        group.bench_with_input(BenchmarkId::new("pair", len), &schedule, |b, s| {
+            b.iter(|| empirical_bound(black_box(s), pair, q))
+        });
+    }
+    group.finish();
+}
+
+fn pair_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/pair_search");
+    let universe = Universe::new(6).unwrap();
+    let schedule = st_sched::SeededRandom::new(universe, 5).take_schedule(20_000);
+    group.bench_function("find_timely_pair(2,3)", |b| {
+        b.iter(|| find_timely_pair(black_box(&schedule), universe, 2, 3, 8))
+    });
+    group.bench_function("all_timely_pairs(2,2)", |b| {
+        b.iter(|| all_timely_pairs(black_box(&schedule), universe, 2, 2, 6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figure1_series, pair_search);
+criterion_main!(benches);

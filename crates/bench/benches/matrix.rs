@@ -1,0 +1,47 @@
+//! E4/E5 bench — solvability-matrix cells: one conforming (solvable) cell
+//! and one adaptive-adversary (unsolvable) cell per group, timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_agreement::{drive_adversarially, AgreementStack};
+use st_core::{AgreementTask, ProcSet, ProcessId, Value};
+use st_fd::TimeoutPolicy;
+use st_sched::{SeededRandom, SetTimely};
+
+fn inputs(n: usize) -> Vec<Value> {
+    (0..n as Value).collect()
+}
+
+fn solvable_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix/solvable_cell");
+    group.sample_size(10);
+    group.bench_function("(1,1,3)_in_S1_2", |b| {
+        b.iter(|| {
+            let task = AgreementTask::new(1, 1, 3).unwrap();
+            let stack = AgreementStack::build(task, &inputs(3));
+            let p = ProcSet::from_indices([0]);
+            let q = ProcSet::from_indices([0, 1]);
+            let mut src = SetTimely::new(p, q, 4, SeededRandom::new(task.universe(), 5));
+            stack.run(&mut src, 4_000_000, ProcSet::EMPTY).is_clean_termination()
+        })
+    });
+    group.finish();
+}
+
+fn unsolvable_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix/unsolvable_cell");
+    group.sample_size(10);
+    group.bench_function("(1,1,3)_blocked_in_S2_3", |b| {
+        b.iter(|| {
+            let task = AgreementTask::new(1, 1, 3).unwrap();
+            let stack =
+                AgreementStack::build_full(task, &inputs(3), TimeoutPolicy::Increment, false);
+            let adv = drive_adversarially(stack, 150_000, ProcSet::EMPTY, None);
+            let _ = ProcessId::new(0);
+            adv.run.outcome.decisions.iter().all(|d| d.is_none())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, solvable_cell, unsolvable_cell);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Substrate bench — simulator step dispatch, register objects, Paxos
+//! ballots, safe agreement.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use st_core::{ProcSet, ProcessId, Schedule, ScheduleCursor, Universe};
+use st_registers::{AdoptCommit, Collect, Snapshot};
+use st_sim::{RunConfig, Sim, StopWhen};
+
+fn sim_step_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/sim_steps");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("pause_loop_100k", |b| {
+        b.iter(|| {
+            let u = Universe::new(4).unwrap();
+            let mut sim = Sim::new(u);
+            for p in u.processes() {
+                sim.spawn(p, move |ctx| async move {
+                    loop {
+                        ctx.pause().await;
+                    }
+                })
+                .unwrap();
+            }
+            let mut src = st_sched::RoundRobin::new(u);
+            sim.run(&mut src, RunConfig::steps(100_000));
+            sim.steps_executed()
+        })
+    });
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("register_rw_100k", |b| {
+        b.iter(|| {
+            let u = Universe::new(2).unwrap();
+            let mut sim = Sim::new(u);
+            let reg = sim.alloc("x", 0u64);
+            for p in u.processes() {
+                sim.spawn(p, move |ctx| async move {
+                    loop {
+                        let v = ctx.read(reg).await;
+                        ctx.write(reg, v + 1).await;
+                    }
+                })
+                .unwrap();
+            }
+            let mut src = st_sched::RoundRobin::new(u);
+            sim.run(&mut src, RunConfig::steps(100_000));
+            sim.peek(reg)
+        })
+    });
+    group.finish();
+}
+
+fn shared_objects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/objects");
+    group.bench_function("collect_n4", |b| {
+        b.iter(|| {
+            let u = Universe::new(4).unwrap();
+            let mut sim = Sim::new(u);
+            let obj: Collect<u64> = Collect::alloc(&mut sim, "c");
+            for p in u.processes() {
+                let obj = obj.clone();
+                sim.spawn(p, move |ctx| async move {
+                    obj.store(&ctx, 1).await;
+                    let _ = obj.collect(&ctx).await;
+                    ctx.decide(1);
+                })
+                .unwrap();
+            }
+            let mut src = st_sched::RoundRobin::new(u);
+            sim.run(
+                &mut src,
+                RunConfig::steps(1000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
+            );
+            sim.steps_executed()
+        })
+    });
+    group.bench_function("snapshot_scan_n4", |b| {
+        b.iter(|| {
+            let u = Universe::new(4).unwrap();
+            let mut sim = Sim::new(u);
+            let obj: Snapshot<u64> = Snapshot::alloc(&mut sim, "s");
+            for p in u.processes() {
+                let obj = obj.clone();
+                sim.spawn(p, move |ctx| async move {
+                    obj.update(&ctx, 2).await;
+                    let _ = obj.scan(&ctx).await;
+                    ctx.decide(1);
+                })
+                .unwrap();
+            }
+            let mut src = st_sched::RoundRobin::new(u);
+            sim.run(
+                &mut src,
+                RunConfig::steps(5000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
+            );
+            sim.steps_executed()
+        })
+    });
+    group.bench_function("adopt_commit_n4", |b| {
+        b.iter(|| {
+            let u = Universe::new(4).unwrap();
+            let mut sim = Sim::new(u);
+            let obj: AdoptCommit<u64> = AdoptCommit::alloc(&mut sim, "ac");
+            for p in u.processes() {
+                let obj = obj.clone();
+                sim.spawn(p, move |ctx| async move {
+                    let out = obj.propose(&ctx, 5).await;
+                    ctx.decide(*out.value());
+                })
+                .unwrap();
+            }
+            let mut src = st_sched::RoundRobin::new(u);
+            sim.run(
+                &mut src,
+                RunConfig::steps(1000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
+            );
+            sim.steps_executed()
+        })
+    });
+    group.bench_function("paxos_solo_ballot", |b| {
+        b.iter(|| {
+            let u = Universe::new(3).unwrap();
+            let mut sim = Sim::new(u);
+            let px = st_agreement::Paxos::alloc(&mut sim, "px");
+            {
+                let px = px.clone();
+                sim.spawn(ProcessId::new(0), move |ctx| async move {
+                    let mut st = st_agreement::ProposerState::default();
+                    if let st_agreement::AttemptOutcome::Decided(v) =
+                        px.attempt(&ctx, &mut st, 9).await
+                    {
+                        ctx.decide(v);
+                    }
+                })
+                .unwrap();
+            }
+            let mut src = ScheduleCursor::new(Schedule::from_indices(vec![0; 30]));
+            sim.run(&mut src, RunConfig::steps(30));
+            sim.steps_executed()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_step_dispatch, shared_objects);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Generator bench — throughput of every schedule source and the analyzer
+//! certification path used by the experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_core::{ProcSet, StepSource, SystemSpec, Universe};
+use st_sched::{
+    FictitiousCrash, Figure1, GeneralizedFigure1, RotatingStarvation, RoundRobin, SeededRandom,
+    SetTimely,
+};
+
+const LEN: usize = 100_000;
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/generate_100k");
+    group.throughput(Throughput::Elements(LEN as u64));
+    let u = Universe::new(6).unwrap();
+
+    group.bench_function("round_robin", |b| {
+        b.iter(|| RoundRobin::new(u).take_schedule(LEN).len())
+    });
+    group.bench_function("seeded_random", |b| {
+        b.iter(|| SeededRandom::new(u, 1).take_schedule(LEN).len())
+    });
+    group.bench_function("figure1", |b| {
+        b.iter(|| {
+            Figure1::new(
+                st_core::ProcessId::new(0),
+                st_core::ProcessId::new(1),
+                st_core::ProcessId::new(2),
+            )
+            .take_schedule(LEN)
+            .len()
+        })
+    });
+    group.bench_function("generalized_figure1", |b| {
+        b.iter(|| {
+            GeneralizedFigure1::new(ProcSet::from_indices([0, 1, 2]), ProcSet::from_indices([3, 4]))
+                .take_schedule(LEN)
+                .len()
+        })
+    });
+    group.bench_function("set_timely_over_random", |b| {
+        b.iter(|| {
+            SetTimely::new(
+                ProcSet::from_indices([0, 1]),
+                ProcSet::from_indices([2, 3, 4]),
+                4,
+                SeededRandom::new(u, 2),
+            )
+            .take_schedule(LEN)
+            .len()
+        })
+    });
+    group.bench_function("rotating_starvation", |b| {
+        b.iter(|| RotatingStarvation::new(u, 2).take_schedule(LEN).len())
+    });
+    group.bench_function("fictitious_crash", |b| {
+        b.iter(|| {
+            FictitiousCrash::new(SystemSpec::new(1, 2, 6).unwrap(), 4, 2)
+                .take_schedule(LEN)
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn certification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/certify");
+    let u = Universe::new(6).unwrap();
+    let mut gen = SetTimely::new(
+        ProcSet::from_indices([0]),
+        ProcSet::from_indices([1, 2, 3]),
+        4,
+        SeededRandom::new(u, 3),
+    );
+    let schedule = gen.take_schedule(LEN);
+    for &(i, j) in &[(1usize, 3usize), (2, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("witness_scan", format!("i{i}j{j}")),
+            &(i, j),
+            |b, &(i, j)| {
+                b.iter(|| {
+                    st_core::timeliness::find_timely_pair(&schedule, u, i, j, 6).is_some()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, generators, certification);
+criterion_main!(benches);

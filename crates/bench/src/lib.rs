@@ -1,0 +1,4 @@
+//! Benchmark harness crate: all content lives in `benches/` (one Criterion
+//! bench per paper figure/experiment — see DESIGN.md §5). The library
+//! target exists only to anchor the package; `bench = false` keeps
+//! `cargo bench` from running the default harness on it.

@@ -1,0 +1,31 @@
+//! The Borowsky–Gafni simulation substrate.
+//!
+//! The impossibility side of Theorem 26 is proved by reduction: `k+1`
+//! processes BG-simulate an `n`-process algorithm such that (i) at most `k`
+//! simulated processes crash and (ii) every set of `k+1` simulated processes
+//! is timely in the simulated schedule. This crate implements that
+//! machinery from scratch and makes both properties measurable:
+//!
+//! - [`SafeAgreement`] — the Borowsky–Gafni object whose constant-length
+//!   unsafe zone is the reason one crashed simulator blocks at most one
+//!   simulated process;
+//! - [`StepMachine`] / [`SimOp`] — deterministic simulated automata over
+//!   single-writer-cell memory (with [`TrivialKDecide`] and [`FloodMin`] as
+//!   concrete algorithms);
+//! - [`BgSimulation`] — the simulation driver (versioned cell copies,
+//!   per-read safe agreement, round-robin simulated scheduling, decision
+//!   adoption);
+//! - [`run_reduction`] — the packaged Theorem 26 experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod reduction;
+mod safe_agreement;
+mod simulate;
+
+pub use machine::{FloodMin, SimOp, StepMachine, TrivialKDecide};
+pub use reduction::{run_reduction, ReductionReport};
+pub use safe_agreement::{Resolution, SafeAgreement};
+pub use simulate::{BgSimulation, SIM_STEP_PROBE};

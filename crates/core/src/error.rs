@@ -1,0 +1,94 @@
+//! Error types for the model layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing model objects with invalid parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelError {
+    /// Universe size out of range (`n == 0` or `n > 64`).
+    InvalidUniverse {
+        /// Requested universe size.
+        n: usize,
+    },
+    /// Process index outside the universe.
+    ProcessOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Universe size.
+        n: usize,
+    },
+    /// System parameters violating `1 ≤ i ≤ j ≤ n`.
+    InvalidSystem {
+        /// Timely-set size.
+        i: usize,
+        /// Observed-set size.
+        j: usize,
+        /// Universe size.
+        n: usize,
+    },
+    /// Task parameters violating `1 ≤ t ≤ n−1` or `1 ≤ k ≤ n`.
+    InvalidTask {
+        /// Resilience.
+        t: usize,
+        /// Agreement degree.
+        k: usize,
+        /// Universe size.
+        n: usize,
+    },
+    /// A task and a system with different universe sizes were combined.
+    MismatchedUniverse {
+        /// The task's `n`.
+        task_n: usize,
+        /// The system's `n`.
+        system_n: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidUniverse { n } => {
+                write!(f, "invalid universe size {n} (must be 1..=64)")
+            }
+            ModelError::ProcessOutOfRange { index, n } => {
+                write!(f, "process index {index} out of range for universe of {n}")
+            }
+            ModelError::InvalidSystem { i, j, n } => {
+                write!(f, "invalid system S^{i}_{{{j},{n}}}: requires 1 <= i <= j <= n")
+            }
+            ModelError::InvalidTask { t, k, n } => {
+                write!(
+                    f,
+                    "invalid task ({t},{k},{n})-agreement: requires 1 <= t <= n-1 and 1 <= k <= n"
+                )
+            }
+            ModelError::MismatchedUniverse { task_n, system_n } => {
+                write!(f, "task has n = {task_n} but system has n = {system_n}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ModelError::InvalidSystem { i: 3, j: 2, n: 4 };
+        assert!(e.to_string().contains("S^3_{2,4}"));
+        let e = ModelError::InvalidTask { t: 0, k: 1, n: 3 };
+        assert!(e.to_string().contains("(0,1,3)"));
+        let e = ModelError::MismatchedUniverse { task_n: 3, system_n: 4 };
+        assert!(e.to_string().contains("n = 3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error>() {}
+        assert_err::<ModelError>();
+    }
+}

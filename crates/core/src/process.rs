@@ -1,0 +1,178 @@
+//! Process identities and the process universe `Π_n`.
+//!
+//! The paper considers a shared-memory system with `n` processes
+//! `Π_n = {1, ..., n}`. We index processes from `0` to `n − 1` internally and
+//! render them as `p0, p1, ...` for display.
+
+use std::fmt;
+
+use crate::error::ModelError;
+
+/// Maximum number of processes supported by the bitset representation of
+/// [`ProcSet`](crate::ProcSet).
+pub const MAX_PROCESSES: usize = 64;
+
+/// The identity of a process in `Π_n`.
+///
+/// A `ProcessId` is a plain index; it carries no reference to a particular
+/// universe, so the same id can be used across simulations of the same size.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::ProcessId;
+///
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process id from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_PROCESSES` (the bitset representation of
+    /// process sets covers at most 64 processes).
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < MAX_PROCESSES,
+            "process index {index} exceeds MAX_PROCESSES ({MAX_PROCESSES})"
+        );
+        ProcessId(index as u32)
+    }
+
+    /// Returns the zero-based index of this process.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(p: ProcessId) -> usize {
+        p.index()
+    }
+}
+
+/// The process universe `Π_n`: the set of all `n` processes of a system.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::Universe;
+///
+/// let u = Universe::new(4).unwrap();
+/// assert_eq!(u.n(), 4);
+/// let ids: Vec<_> = u.processes().map(|p| p.index()).collect();
+/// assert_eq!(ids, vec![0, 1, 2, 3]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Universe {
+    n: u32,
+}
+
+impl Universe {
+    /// Creates a universe of `n` processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidUniverse`] if `n == 0` or
+    /// `n > MAX_PROCESSES`.
+    pub fn new(n: usize) -> Result<Self, ModelError> {
+        if n == 0 || n > MAX_PROCESSES {
+            return Err(ModelError::InvalidUniverse { n });
+        }
+        Ok(Universe { n: n as u32 })
+    }
+
+    /// Number of processes in the universe.
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Iterates over all process ids `p0 .. p(n-1)` in index order.
+    pub fn processes(&self) -> impl DoubleEndedIterator<Item = ProcessId> + ExactSizeIterator {
+        (0..self.n).map(ProcessId)
+    }
+
+    /// Returns `true` if `p` belongs to this universe.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        p.0 < self.n
+    }
+
+    /// Returns the process with the given index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ProcessOutOfRange`] if `index >= n`.
+    pub fn process(&self, index: usize) -> Result<ProcessId, ModelError> {
+        if index >= self.n() {
+            return Err(ModelError::ProcessOutOfRange { index, n: self.n() });
+        }
+        Ok(ProcessId(index as u32))
+    }
+}
+
+impl fmt::Display for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Π_{}", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        for i in 0..MAX_PROCESSES {
+            let p = ProcessId::new(i);
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_PROCESSES")]
+    fn process_id_too_large_panics() {
+        let _ = ProcessId::new(MAX_PROCESSES);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId::new(0).to_string(), "p0");
+        assert_eq!(ProcessId::new(12).to_string(), "p12");
+        assert_eq!(Universe::new(5).unwrap().to_string(), "Π_5");
+    }
+
+    #[test]
+    fn universe_bounds() {
+        assert!(Universe::new(0).is_err());
+        assert!(Universe::new(MAX_PROCESSES + 1).is_err());
+        assert!(Universe::new(1).is_ok());
+        assert!(Universe::new(MAX_PROCESSES).is_ok());
+    }
+
+    #[test]
+    fn universe_iteration_and_membership() {
+        let u = Universe::new(3).unwrap();
+        let all: Vec<_> = u.processes().collect();
+        assert_eq!(all.len(), 3);
+        assert!(u.contains(ProcessId::new(2)));
+        assert!(!u.contains(ProcessId::new(3)));
+        assert!(u.process(2).is_ok());
+        assert!(u.process(3).is_err());
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+    }
+}

@@ -1,0 +1,398 @@
+//! Sets of processes, represented as 64-bit bitsets.
+//!
+//! Set timeliness (Definition 1 of the paper) compares *sets* of processes,
+//! and the Figure 2 algorithm enumerates `Π^k_n` — all subsets of size `k` —
+//! so set operations must be cheap. A `ProcSet` packs membership into a `u64`,
+//! which also gives us the "arbitrary total order on `Π^k_n`" the paper uses
+//! for tie-breaking (we order by the bitset value; see [`ProcSet::cmp`]).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Sub};
+
+use crate::process::{ProcessId, Universe, MAX_PROCESSES};
+
+/// A set of processes drawn from `Π_n` (`n ≤ 64`), stored as a bitmask.
+///
+/// Bit `i` set means process `p_i` is a member.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{ProcSet, ProcessId};
+///
+/// let p = ProcSet::from_indices([0, 2]);
+/// assert!(p.contains(ProcessId::new(0)));
+/// assert!(!p.contains(ProcessId::new(1)));
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.to_string(), "{p0,p2}");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcSet(u64);
+
+impl ProcSet {
+    /// The empty set.
+    pub const EMPTY: ProcSet = ProcSet(0);
+
+    /// Creates a set from a raw bitmask (bit `i` ⇒ process `i`).
+    pub fn from_bits(bits: u64) -> Self {
+        ProcSet(bits)
+    }
+
+    /// Returns the raw bitmask.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Creates a singleton set `{p}`.
+    pub fn singleton(p: ProcessId) -> Self {
+        ProcSet(1u64 << p.index())
+    }
+
+    /// Creates a set from an iterator of process indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= 64`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        let mut bits = 0u64;
+        for i in indices {
+            assert!(i < MAX_PROCESSES, "process index {i} out of range");
+            bits |= 1u64 << i;
+        }
+        ProcSet(bits)
+    }
+
+    /// The full set `Π_n` for a universe of `n` processes.
+    pub fn full(universe: Universe) -> Self {
+        let n = universe.n();
+        if n == MAX_PROCESSES {
+            ProcSet(u64::MAX)
+        } else {
+            ProcSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if the set has no members.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(self, p: ProcessId) -> bool {
+        self.0 & (1u64 << p.index()) != 0
+    }
+
+    /// Returns a copy with `p` inserted.
+    pub fn with(self, p: ProcessId) -> Self {
+        ProcSet(self.0 | (1u64 << p.index()))
+    }
+
+    /// Returns a copy with `p` removed.
+    pub fn without(self, p: ProcessId) -> Self {
+        ProcSet(self.0 & !(1u64 << p.index()))
+    }
+
+    /// Inserts `p` in place; returns whether the set changed.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        let before = self.0;
+        self.0 |= 1u64 << p.index();
+        self.0 != before
+    }
+
+    /// Removes `p` in place; returns whether the set changed.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        let before = self.0;
+        self.0 &= !(1u64 << p.index());
+        self.0 != before
+    }
+
+    /// Set union.
+    pub fn union(self, other: ProcSet) -> Self {
+        ProcSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: ProcSet) -> Self {
+        ProcSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(self, other: ProcSet) -> Self {
+        ProcSet(self.0 & !other.0)
+    }
+
+    /// Complement within the universe `Π_n`.
+    pub fn complement(self, universe: Universe) -> Self {
+        ProcSet(!self.0).intersection(ProcSet::full(universe))
+    }
+
+    /// Subset test: `self ⊆ other`.
+    pub fn is_subset(self, other: ProcSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Disjointness test.
+    pub fn is_disjoint(self, other: ProcSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Smallest member, if any.
+    pub fn min(self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ProcessId::new(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// Largest member, if any.
+    pub fn max(self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ProcessId::new(63 - self.0.leading_zeros() as usize))
+        }
+    }
+
+    /// The `r`-th smallest member (zero-based rank), if it exists.
+    ///
+    /// This is the selection rule used by the k-parallel-Paxos construction:
+    /// instance `r` is led by `winnerset.nth(r)`.
+    pub fn nth(self, r: usize) -> Option<ProcessId> {
+        self.iter().nth(r)
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(self) -> Iter {
+        Iter { bits: self.0 }
+    }
+
+    /// Collects members into a vector, in increasing index order.
+    pub fn to_vec(self) -> Vec<ProcessId> {
+        self.iter().collect()
+    }
+}
+
+/// Iterator over the members of a [`ProcSet`], in increasing index order.
+#[derive(Clone, Debug)]
+pub struct Iter {
+    bits: u64,
+}
+
+impl Iterator for Iter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.bits == 0 {
+            return None;
+        }
+        let idx = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(ProcessId::new(idx))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let c = self.bits.count_ones() as usize;
+        (c, Some(c))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for ProcSet {
+    type Item = ProcessId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl FromIterator<ProcessId> for ProcSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcSet::EMPTY;
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcessId> for ProcSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl BitOr for ProcSet {
+    type Output = ProcSet;
+    fn bitor(self, rhs: ProcSet) -> ProcSet {
+        self.union(rhs)
+    }
+}
+
+impl BitAnd for ProcSet {
+    type Output = ProcSet;
+    fn bitand(self, rhs: ProcSet) -> ProcSet {
+        self.intersection(rhs)
+    }
+}
+
+impl BitXor for ProcSet {
+    type Output = ProcSet;
+    fn bitxor(self, rhs: ProcSet) -> ProcSet {
+        ProcSet(self.0 ^ rhs.0)
+    }
+}
+
+impl Sub for ProcSet {
+    type Output = ProcSet;
+    fn sub(self, rhs: ProcSet) -> ProcSet {
+        self.difference(rhs)
+    }
+}
+
+impl fmt::Debug for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProcSet")?;
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: usize) -> Universe {
+        Universe::new(n).unwrap()
+    }
+
+    #[test]
+    fn basic_membership() {
+        let s = ProcSet::from_indices([1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(ProcessId::new(3)));
+        assert!(!s.contains(ProcessId::new(2)));
+        assert!(!s.is_empty());
+        assert!(ProcSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut s = ProcSet::EMPTY;
+        assert!(s.insert(ProcessId::new(7)));
+        assert!(!s.insert(ProcessId::new(7)));
+        assert!(s.remove(ProcessId::new(7)));
+        assert!(!s.remove(ProcessId::new(7)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn with_without_are_pure() {
+        let s = ProcSet::from_indices([0]);
+        let t = s.with(ProcessId::new(1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.without(ProcessId::new(0)), ProcSet::from_indices([1]));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ProcSet::from_indices([0, 1, 2]);
+        let b = ProcSet::from_indices([2, 3]);
+        assert_eq!(a.union(b), ProcSet::from_indices([0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), ProcSet::from_indices([2]));
+        assert_eq!(a.difference(b), ProcSet::from_indices([0, 1]));
+        assert_eq!(a | b, a.union(b));
+        assert_eq!(a & b, a.intersection(b));
+        assert_eq!(a - b, a.difference(b));
+        assert_eq!(a ^ b, ProcSet::from_indices([0, 1, 3]));
+    }
+
+    #[test]
+    fn complement_in_universe() {
+        let a = ProcSet::from_indices([0, 2]);
+        assert_eq!(a.complement(u(4)), ProcSet::from_indices([1, 3]));
+        assert_eq!(ProcSet::EMPTY.complement(u(3)), ProcSet::full(u(3)));
+    }
+
+    #[test]
+    fn full_set_of_64() {
+        let s = ProcSet::full(u(64));
+        assert_eq!(s.len(), 64);
+        assert_eq!(s.complement(u(64)), ProcSet::EMPTY);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = ProcSet::from_indices([1, 2]);
+        let b = ProcSet::from_indices([0, 1, 2, 3]);
+        assert!(a.is_subset(b));
+        assert!(!b.is_subset(a));
+        assert!(ProcSet::EMPTY.is_subset(a));
+        assert!(a.is_disjoint(ProcSet::from_indices([0, 3])));
+        assert!(!a.is_disjoint(b));
+    }
+
+    #[test]
+    fn min_max_nth() {
+        let s = ProcSet::from_indices([5, 9, 17]);
+        assert_eq!(s.min(), Some(ProcessId::new(5)));
+        assert_eq!(s.max(), Some(ProcessId::new(17)));
+        assert_eq!(s.nth(0), Some(ProcessId::new(5)));
+        assert_eq!(s.nth(1), Some(ProcessId::new(9)));
+        assert_eq!(s.nth(2), Some(ProcessId::new(17)));
+        assert_eq!(s.nth(3), None);
+        assert_eq!(ProcSet::EMPTY.min(), None);
+        assert_eq!(ProcSet::EMPTY.max(), None);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s = ProcSet::from_indices([3, 0, 11]);
+        let v: Vec<usize> = s.iter().map(|p| p.index()).collect();
+        assert_eq!(v, vec![0, 3, 11]);
+        let rebuilt: ProcSet = s.iter().collect();
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(ProcSet::EMPTY.to_string(), "{}");
+        assert_eq!(ProcSet::from_indices([0, 2]).to_string(), "{p0,p2}");
+        assert_eq!(
+            format!("{:?}", ProcSet::from_indices([1])),
+            "ProcSet{p1}"
+        );
+    }
+
+    #[test]
+    fn total_order_is_consistent() {
+        // The order used for tie-breaking in Figure 2 (any total order works;
+        // ours is by bitmask value).
+        let a = ProcSet::from_indices([0]);
+        let b = ProcSet::from_indices([1]);
+        let c = ProcSet::from_indices([0, 1]);
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,273 @@
+//! The paper's main result, Theorem 27, as an executable predicate.
+//!
+//! > **Theorem 27.** For every `t, k, n` such that `1 ≤ k ≤ t ≤ n − 1` and
+//! > every `i, j` such that `1 ≤ i ≤ j ≤ n`, the `(t,k,n)`-agreement problem
+//! > can be solved in system `S^i_{j,n}` **iff** `i ≤ k` and
+//! > `j − i ≥ t + 1 − k`.
+//!
+//! Together with the trivial-solvability regime `t < k` (Corollary 25's
+//! remark), this classifies every cell of the `(i, j, t, k, n)` grid. The
+//! experiment harness (E5) compares this predicate against observed protocol
+//! behaviour on every cell.
+
+use std::fmt;
+
+use crate::agreementspec::AgreementTask;
+use crate::error::ModelError;
+use crate::system::SystemSpec;
+
+/// Why a task is unsolvable in a system (the two failing constraints of
+/// Theorem 27; both may fail at once, in which case the `i > k` branch is
+/// reported, matching the case analysis in the paper's proof).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnsolvableReason {
+    /// `i > k`: the guaranteed timely set is larger than the agreement
+    /// degree. Proved impossible by the BG-simulation reduction
+    /// (Theorem 26 part 2).
+    TimelySetTooLarge,
+    /// `j − i < t + 1 − k`: the synchrony "spread" is too small for the
+    /// resilience demanded. Proved impossible by the fictitious-crash
+    /// reduction (Theorem 27 case 2b).
+    SpreadTooSmall,
+}
+
+impl fmt::Display for UnsolvableReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnsolvableReason::TimelySetTooLarge => {
+                write!(f, "i > k (timely set larger than agreement degree)")
+            }
+            UnsolvableReason::SpreadTooSmall => {
+                write!(f, "j - i < t + 1 - k (synchrony spread too small)")
+            }
+        }
+    }
+}
+
+/// Verdict of the Theorem 27 predicate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Solvability {
+    /// Solvable; if `trivially` is set, `t < k` makes the task solvable even
+    /// in the fully asynchronous system (no synchrony needed).
+    Solvable {
+        /// `true` iff `t < k` (asynchronously solvable).
+        trivially: bool,
+    },
+    /// Unsolvable, with the violated constraint.
+    Unsolvable(UnsolvableReason),
+}
+
+impl Solvability {
+    /// Returns `true` for either solvable variant.
+    pub fn is_solvable(&self) -> bool {
+        matches!(self, Solvability::Solvable { .. })
+    }
+}
+
+impl fmt::Display for Solvability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Solvability::Solvable { trivially: true } => write!(f, "solvable (trivially, t < k)"),
+            Solvability::Solvable { trivially: false } => write!(f, "solvable"),
+            Solvability::Unsolvable(r) => write!(f, "unsolvable: {r}"),
+        }
+    }
+}
+
+/// Decides whether `(t,k,n)`-agreement is solvable in `S^i_{j,n}`
+/// (Theorem 27, extended with the trivial `t < k` regime).
+///
+/// # Errors
+///
+/// Returns [`ModelError::MismatchedUniverse`] if the task and system disagree
+/// on `n`.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{solvability, AgreementTask, SystemSpec};
+///
+/// let task = AgreementTask::new(2, 2, 5).unwrap(); // (t=2, k=2, n=5)
+/// let sys = SystemSpec::new(2, 3, 5).unwrap();     // S^2_{3,5}
+/// assert!(solvability(&task, &sys).unwrap().is_solvable());
+///
+/// // Strengthening resilience by one flips the verdict (the separation the
+/// // paper is about): (3,2,5) is NOT solvable in S^2_{3,5}.
+/// let harder = AgreementTask::new(3, 2, 5).unwrap();
+/// assert!(!solvability(&harder, &sys).unwrap().is_solvable());
+/// ```
+pub fn solvability(task: &AgreementTask, sys: &SystemSpec) -> Result<Solvability, ModelError> {
+    if task.n() != sys.n() {
+        return Err(ModelError::MismatchedUniverse {
+            task_n: task.n(),
+            system_n: sys.n(),
+        });
+    }
+    if task.t() < task.k() {
+        // t < k: solvable in the asynchronous system (footnote to
+        // Corollary 25), hence in every S^i_{j,n}.
+        return Ok(Solvability::Solvable { trivially: true });
+    }
+    let (i, j, t, k) = (sys.i(), sys.j(), task.t(), task.k());
+    if i > k {
+        Ok(Solvability::Unsolvable(UnsolvableReason::TimelySetTooLarge))
+    } else if j - i < (t + 1) - k {
+        Ok(Solvability::Unsolvable(UnsolvableReason::SpreadTooSmall))
+    } else {
+        Ok(Solvability::Solvable { trivially: false })
+    }
+}
+
+/// The canonical system that "closely matches" a task: `S^k_{t+1,n}`
+/// (Theorem 24: `(t,k,n)`-agreement is solvable there; Theorem 27: neither
+/// `(t+1,k,n)` nor `(t,k−1,n)` is).
+///
+/// # Errors
+///
+/// Returns an error when `t + 1 > n` would make the spec ill-formed, which
+/// cannot happen for valid tasks (`t ≤ n − 1`), or when `k > t + 1` (the
+/// trivial regime, where no matching system is defined).
+pub fn matching_system(task: &AgreementTask) -> Result<SystemSpec, ModelError> {
+    SystemSpec::new(task.k(), task.t() + 1, task.n())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(t: usize, k: usize, n: usize) -> AgreementTask {
+        AgreementTask::new(t, k, n).unwrap()
+    }
+
+    fn sys(i: usize, j: usize, n: usize) -> SystemSpec {
+        SystemSpec::new(i, j, n).unwrap()
+    }
+
+    #[test]
+    fn theorem24_region_is_solvable() {
+        // (t,k,n)-agreement solvable in S^k_{t+1,n} for all 1 ≤ k ≤ t ≤ n−1.
+        for n in 2..=8 {
+            for t in 1..n {
+                for k in 1..=t {
+                    let s = matching_system(&task(t, k, n)).unwrap();
+                    assert!(
+                        solvability(&task(t, k, n), &s).unwrap().is_solvable(),
+                        "t={t} k={k} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn separation_from_stronger_resilience() {
+        // S^k_{t+1,n} does NOT solve (t+1, k, n)-agreement (needs t+1 ≤ n−1).
+        for n in 3..=8 {
+            for t in 1..n - 1 {
+                for k in 1..=t {
+                    let s = sys(k, t + 1, n);
+                    let v = solvability(&task(t + 1, k, n), &s).unwrap();
+                    assert_eq!(
+                        v,
+                        Solvability::Unsolvable(UnsolvableReason::SpreadTooSmall),
+                        "t={t} k={k} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn separation_from_stronger_agreement() {
+        // S^k_{t+1,n} does NOT solve (t, k−1, n)-agreement (needs k ≥ 2).
+        for n in 3..=8 {
+            for t in 2..n {
+                for k in 2..=t {
+                    let s = sys(k, t + 1, n);
+                    let v = solvability(&task(t, k - 1, n), &s).unwrap();
+                    assert_eq!(
+                        v,
+                        Solvability::Unsolvable(UnsolvableReason::TimelySetTooLarge),
+                        "t={t} k={k} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem26_boundary() {
+        // (k,k,n) solvable in S^k_{n,n}, unsolvable in S^{k+1}_{n,n}.
+        for n in 2..=8 {
+            for k in 1..n {
+                assert!(solvability(&task(k, k, n), &sys(k, n, n))
+                    .unwrap()
+                    .is_solvable());
+                if k < n {
+                    assert!(!solvability(&task(k, k, n), &sys(k + 1, n, n))
+                        .unwrap()
+                        .is_solvable());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn asynchronous_system_solves_only_trivial() {
+        // In S^i_{i,n} (asynchronous), (t,k,n) with k ≤ t is unsolvable:
+        // j − i = 0 < t + 1 − k.
+        for n in 2..=6 {
+            for i in 1..=n {
+                for t in 1..n {
+                    for k in 1..=t {
+                        assert!(!solvability(&task(t, k, n), &sys(i, i, n))
+                            .unwrap()
+                            .is_solvable());
+                    }
+                }
+            }
+        }
+        // ...while t < k is trivially solvable everywhere.
+        assert_eq!(
+            solvability(&task(1, 2, 4), &sys(3, 3, 4)).unwrap(),
+            Solvability::Solvable { trivially: true }
+        );
+    }
+
+    #[test]
+    fn mismatched_universe_is_an_error() {
+        assert!(matches!(
+            solvability(&task(1, 1, 4), &sys(1, 2, 5)),
+            Err(ModelError::MismatchedUniverse { .. })
+        ));
+    }
+
+    #[test]
+    fn exhaustive_iff_matches_inequalities() {
+        // Cross-check the predicate against the raw inequalities on the full
+        // grid for n = 6.
+        let n = 6;
+        for t in 1..n {
+            for k in 1..=t {
+                for i in 1..=n {
+                    for j in i..=n {
+                        let v = solvability(&task(t, k, n), &sys(i, j, n)).unwrap();
+                        let expected = i <= k && j - i >= t + 1 - k;
+                        assert_eq!(v.is_solvable(), expected, "t={t} k={k} i={i} j={j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Solvability::Solvable { trivially: false }.to_string(),
+            "solvable"
+        );
+        assert!(Solvability::Unsolvable(UnsolvableReason::SpreadTooSmall)
+            .to_string()
+            .contains("spread"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Enumeration of `Π^k_n` — all size-`k` subsets of the process universe.
+//!
+//! The Figure 2 algorithm keeps a timer and a shared counter row per set
+//! `A ∈ Π^k_n`, so we need a deterministic enumeration with ranking and
+//! unranking (sets are addressed by rank in register arrays). Enumeration is
+//! in *colexicographic bitmask order* (ascending `u64` value), produced with
+//! Gosper's hack; ranking uses the combinatorial number system.
+
+use crate::procset::ProcSet;
+use crate::process::Universe;
+
+/// Binomial coefficient `C(n, k)` computed without overflow for the sizes used
+/// here (`n ≤ 64`); saturates at `u64::MAX` if the true value would overflow.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::subsets::binomial;
+///
+/// assert_eq!(binomial(5, 2), 10);
+/// assert_eq!(binomial(6, 0), 1);
+/// assert_eq!(binomial(4, 5), 0);
+/// ```
+pub fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+/// Iterator over all size-`k` subsets of `Π_n`, in ascending bitmask order.
+///
+/// This order coincides with the "arbitrary total order on `Π^k_n`" used for
+/// tie-breaking in Figure 2 (see [`ProcSet`]'s `Ord`).
+#[derive(Clone, Debug)]
+pub struct KSubsets {
+    n: usize,
+    current: Option<u64>,
+    limit: u64,
+}
+
+impl KSubsets {
+    /// Creates the iterator over `Π^k_n`.
+    ///
+    /// For `k == 0` the iterator yields exactly the empty set; for `k > n` it
+    /// is empty.
+    pub fn new(universe: Universe, k: usize) -> Self {
+        let n = universe.n();
+        let limit = if n == 64 { u64::MAX } else { 1u64 << n };
+        let current = if k > n {
+            None
+        } else if k == 0 {
+            Some(0)
+        } else {
+            Some((1u64 << k) - 1)
+        };
+        KSubsets { n, current, limit }
+    }
+}
+
+impl Iterator for KSubsets {
+    type Item = ProcSet;
+
+    fn next(&mut self) -> Option<ProcSet> {
+        let v = self.current?;
+        // Advance with Gosper's hack to the next bitmask with the same
+        // population count.
+        self.current = if v == 0 {
+            None
+        } else {
+            let c = v & v.wrapping_neg();
+            let r = v.wrapping_add(c);
+            if r == 0 {
+                None // overflow past 64 bits
+            } else {
+                let next = (((r ^ v) >> 2) / c) | r;
+                // `limit` is a power of two (or MAX for n = 64); masks with a
+                // set bit at or beyond position n are out of the universe.
+                if self.n < 64 && next >= self.limit {
+                    None
+                } else {
+                    Some(next)
+                }
+            }
+        };
+        Some(ProcSet::from_bits(v))
+    }
+}
+
+/// Enumerates `Π^k_n` into a vector, in ascending bitmask order.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{subsets::k_subsets, Universe, ProcSet};
+///
+/// let u = Universe::new(4).unwrap();
+/// let all = k_subsets(u, 2);
+/// assert_eq!(all.len(), 6);
+/// assert_eq!(all[0], ProcSet::from_indices([0, 1]));
+/// ```
+pub fn k_subsets(universe: Universe, k: usize) -> Vec<ProcSet> {
+    KSubsets::new(universe, k).collect()
+}
+
+/// Returns the rank of `set` within the ascending-bitmask enumeration of
+/// `Π^k_n`, where `k = set.len()`.
+///
+/// Ranks are the indices used to address per-set register rows in Figure 2.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{subsets::{k_subsets, rank}, Universe};
+///
+/// let u = Universe::new(5).unwrap();
+/// for (i, s) in k_subsets(u, 3).iter().enumerate() {
+///     assert_eq!(rank(*s) as usize, i);
+/// }
+/// ```
+pub fn rank(set: ProcSet) -> u64 {
+    // Combinatorial number system: for members m_1 < m_2 < ... < m_k,
+    // rank = Σ C(m_i, i). This matches ascending-bitmask order because for
+    // fixed popcount, bitmask order equals colex order on member lists.
+    let mut r = 0u64;
+    for (i, p) in set.iter().enumerate() {
+        r += binomial(p.index(), i + 1);
+    }
+    r
+}
+
+/// Inverse of [`rank`]: returns the `rank`-th size-`k` subset of `Π_n`.
+///
+/// # Panics
+///
+/// Panics if `rank >= C(n, k)`.
+pub fn unrank(universe: Universe, k: usize, rank: u64) -> ProcSet {
+    let n = universe.n();
+    assert!(
+        rank < binomial(n, k),
+        "rank {rank} out of range for C({n},{k})"
+    );
+    let mut remaining = rank;
+    let mut set = ProcSet::EMPTY;
+    let mut kk = k;
+    // Choose members from the largest down: the largest member m is the
+    // greatest value with C(m, k) <= remaining.
+    while kk > 0 {
+        let mut m = kk - 1;
+        while binomial(m + 1, kk) <= remaining {
+            m += 1;
+        }
+        remaining -= binomial(m, kk);
+        set.insert(crate::process::ProcessId::new(m));
+        kk -= 1;
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Universe;
+
+    fn u(n: usize) -> Universe {
+        Universe::new(n).unwrap()
+    }
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(10, 1), 10);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(52, 5), 2_598_960);
+        assert_eq!(binomial(64, 32), 1_832_624_140_942_590_534);
+        assert_eq!(binomial(3, 4), 0);
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        for n in 1..=8 {
+            for k in 0..=n {
+                let v = k_subsets(u(n), k);
+                assert_eq!(v.len() as u64, binomial(n, k), "n={n} k={k}");
+                for s in &v {
+                    assert_eq!(s.len(), k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_is_sorted_and_unique() {
+        let v = k_subsets(u(7), 3);
+        for w in v.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn k_zero_yields_empty_set() {
+        let v = k_subsets(u(4), 0);
+        assert_eq!(v, vec![ProcSet::EMPTY]);
+    }
+
+    #[test]
+    fn k_equals_n_yields_full_set() {
+        let v = k_subsets(u(5), 5);
+        assert_eq!(v, vec![ProcSet::full(u(5))]);
+    }
+
+    #[test]
+    fn k_greater_than_n_is_empty() {
+        assert!(k_subsets(u(3), 4).is_empty());
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        for n in 1..=9 {
+            for k in 1..=n {
+                for (i, s) in KSubsets::new(u(n), k).enumerate() {
+                    assert_eq!(rank(s), i as u64, "n={n} k={k} s={s}");
+                    assert_eq!(unrank(u(n), k, i as u64), s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_subsets() {
+        // n = 64 exercises the overflow-guarded Gosper step.
+        let mut it = KSubsets::new(u(64), 63);
+        let mut count = 0;
+        while it.next().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_out_of_range_panics() {
+        let _ = unrank(u(4), 2, 6);
+    }
+}

@@ -1,0 +1,391 @@
+//! Set timeliness: Definition 1 of the paper, and its analyzer.
+//!
+//! > **Definition 1.** `P` is timely with respect to `Q` in `S` if there is an
+//! > integer `i` such that every sequence of consecutive steps of `S` that
+//! > contains `i` occurrences of processes in `Q` contains a process in `P`.
+//!
+//! On a finite schedule the property is characterized by the *maximal P-free
+//! intervals*: contiguous runs of steps containing no member of `P`. `P` is
+//! timely wrt `Q` with bound `b` iff no `P`-free interval contains `b` or more
+//! `Q`-steps, so the least valid bound is
+//! `1 + max_{P-free interval} (#Q-steps in the interval)`.
+//!
+//! For an *infinite* schedule, timeliness holds iff that quantity is bounded
+//! over all prefixes. Experiments therefore measure the *empirical bound* on
+//! growing prefixes: a timely pair plateaus, a non-timely pair grows without
+//! bound (this is exactly the Figure 1 phenomenon, reproduced in experiment
+//! E1).
+
+use crate::procset::ProcSet;
+use crate::schedule::Schedule;
+use crate::subsets::KSubsets;
+use crate::process::Universe;
+
+/// Largest number of `Q`-steps found in any maximal `P`-free interval of `s`.
+///
+/// This is the witness quantity for Definition 1: `P` is timely wrt `Q` with
+/// bound `b` iff this value is `< b`. Steps by processes in `P ∩ Q` terminate
+/// a `P`-free interval (they are `P`-steps).
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{timeliness::max_q_steps_in_p_free_interval, Schedule, ProcSet};
+///
+/// // q q p q — the leading P-free interval has two Q-steps.
+/// let s = Schedule::from_indices([1, 1, 0, 1]);
+/// let p = ProcSet::from_indices([0]);
+/// let q = ProcSet::from_indices([1]);
+/// assert_eq!(max_q_steps_in_p_free_interval(&s, p, q), 2);
+/// ```
+pub fn max_q_steps_in_p_free_interval(s: &Schedule, p: ProcSet, q: ProcSet) -> usize {
+    let mut max_run = 0usize;
+    let mut current = 0usize;
+    for step in s.iter() {
+        if p.contains(step) {
+            current = 0;
+        } else if q.contains(step) {
+            current += 1;
+            if current > max_run {
+                max_run = current;
+            }
+        }
+    }
+    max_run
+}
+
+/// Tests Definition 1 with an explicit bound on a finite schedule: every
+/// contiguous interval containing `bound` `Q`-steps must contain a `P`-step.
+///
+/// # Panics
+///
+/// Panics if `bound == 0` (Definition 1 quantifies over positive integers).
+pub fn is_timely_with_bound(s: &Schedule, p: ProcSet, q: ProcSet, bound: usize) -> bool {
+    assert!(bound > 0, "timeliness bound must be positive");
+    max_q_steps_in_p_free_interval(s, p, q) < bound
+}
+
+/// The least bound `b` for which `P` is timely wrt `Q` on this finite
+/// schedule (the *empirical bound*).
+///
+/// On a prefix of an infinite schedule this is a lower estimate of the true
+/// bound; it is exact in the limit. A pair whose empirical bound keeps growing
+/// with the prefix length is not timely in the infinite schedule.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{timeliness::empirical_bound, Schedule, ProcSet};
+///
+/// let s = Schedule::from_indices([0, 1, 0, 1, 0, 1]);
+/// let p = ProcSet::from_indices([0]);
+/// let q = ProcSet::from_indices([1]);
+/// assert_eq!(empirical_bound(&s, p, q), 2);
+/// ```
+pub fn empirical_bound(s: &Schedule, p: ProcSet, q: ProcSet) -> usize {
+    max_q_steps_in_p_free_interval(s, p, q) + 1
+}
+
+/// Evidence that a pair is (empirically) timely: the pair plus its bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimelyPair {
+    /// The timely set `P`.
+    pub p: ProcSet,
+    /// The observed set `Q`.
+    pub q: ProcSet,
+    /// Empirical bound on the analyzed prefix.
+    pub bound: usize,
+}
+
+/// Searches for a pair `(P, Q)` with `|P| = i`, `|Q| = j` whose empirical
+/// bound on `s` is at most `bound_cap`. Returns the first such pair in the
+/// deterministic `Π^i_n × Π^j_n` enumeration order, or `None`.
+///
+/// This is the finite-prefix membership test for the system `S^i_{j,n}`
+/// (Section 2.2): a schedule of `S^i_{j,n}` must exhibit such a pair with
+/// *some* bound; on a prefix we test with an explicit cap.
+///
+/// The search prunes by `P`-free runs: for a fixed `P` only runs containing at
+/// least `bound_cap` total steps can disqualify a `Q`, so schedules that are
+/// actually timely are scanned quickly.
+pub fn find_timely_pair(
+    s: &Schedule,
+    universe: Universe,
+    i: usize,
+    j: usize,
+    bound_cap: usize,
+) -> Option<TimelyPair> {
+    assert!(bound_cap > 0, "bound cap must be positive");
+    for p in KSubsets::new(universe, i) {
+        // Collect per-process step counts of each maximal P-free run that
+        // could possibly violate the cap.
+        let runs = collect_p_free_runs(s, p, universe, bound_cap);
+        'q_loop: for q in KSubsets::new(universe, j) {
+            for run in &runs {
+                let q_steps: usize = q.iter().map(|x| run[x.index()]).sum();
+                if q_steps >= bound_cap {
+                    continue 'q_loop;
+                }
+            }
+            let bound = empirical_bound(s, p, q);
+            debug_assert!(bound <= bound_cap);
+            return Some(TimelyPair { p, q, bound });
+        }
+    }
+    None
+}
+
+/// Lists **all** pairs `(P, Q)` with `|P| = i`, `|Q| = j` and empirical bound
+/// at most `bound_cap` on `s`.
+pub fn all_timely_pairs(
+    s: &Schedule,
+    universe: Universe,
+    i: usize,
+    j: usize,
+    bound_cap: usize,
+) -> Vec<TimelyPair> {
+    assert!(bound_cap > 0, "bound cap must be positive");
+    let mut out = Vec::new();
+    for p in KSubsets::new(universe, i) {
+        let runs = collect_p_free_runs(s, p, universe, bound_cap);
+        'q_loop: for q in KSubsets::new(universe, j) {
+            for run in &runs {
+                let q_steps: usize = q.iter().map(|x| run[x.index()]).sum();
+                if q_steps >= bound_cap {
+                    continue 'q_loop;
+                }
+            }
+            out.push(TimelyPair {
+                p,
+                q,
+                bound: empirical_bound(s, p, q),
+            });
+        }
+    }
+    out
+}
+
+/// Per-process step counts of each maximal `P`-free run of `s` that contains
+/// at least `min_total` steps (shorter runs cannot push any `Q` to the cap).
+fn collect_p_free_runs(
+    s: &Schedule,
+    p: ProcSet,
+    universe: Universe,
+    min_total: usize,
+) -> Vec<Vec<usize>> {
+    let n = universe.n();
+    let mut runs = Vec::new();
+    let mut current = vec![0usize; n];
+    let mut total = 0usize;
+    for step in s.iter() {
+        if p.contains(step) {
+            if total >= min_total {
+                runs.push(std::mem::replace(&mut current, vec![0usize; n]));
+            } else {
+                current.iter_mut().for_each(|c| *c = 0);
+            }
+            total = 0;
+        } else if step.index() < n {
+            current[step.index()] += 1;
+            total += 1;
+        }
+    }
+    if total >= min_total {
+        runs.push(current);
+    }
+    runs
+}
+
+/// Observation 2 (checkable form): if `P` is timely wrt `Q` with bound `b1`
+/// and `P'` timely wrt `Q'` with bound `b2`, then `P ∪ P'` is timely wrt
+/// `Q ∪ Q'` with bound `b1 + b2 − 1`.
+///
+/// Returns the combined pair with the guaranteed bound; the empirical bound
+/// on any given schedule may of course be smaller.
+pub fn observation2_combine(a: TimelyPair, b: TimelyPair) -> TimelyPair {
+    TimelyPair {
+        p: a.p.union(b.p),
+        q: a.q.union(b.q),
+        bound: a.bound + b.bound - 1,
+    }
+}
+
+/// Observation 3 (checkable form): growing `P` and shrinking `Q` preserves
+/// timeliness with the same bound. Returns the weakened pair.
+///
+/// # Panics
+///
+/// Panics if `p_sup` is not a superset of `pair.p` or `q_sub` is not a subset
+/// of `pair.q`.
+pub fn observation3_weaken(pair: TimelyPair, p_sup: ProcSet, q_sub: ProcSet) -> TimelyPair {
+    assert!(pair.p.is_subset(p_sup), "P must grow");
+    assert!(q_sub.is_subset(pair.q), "Q must shrink");
+    TimelyPair {
+        p: p_sup,
+        q: q_sub,
+        bound: pair.bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: usize) -> Universe {
+        Universe::new(n).unwrap()
+    }
+
+    fn set(ix: &[usize]) -> ProcSet {
+        ProcSet::from_indices(ix.iter().copied())
+    }
+
+    #[test]
+    fn perfectly_alternating_schedule_has_bound_two() {
+        let s = Schedule::from_indices([0, 1, 0, 1, 0, 1, 0, 1]);
+        assert_eq!(empirical_bound(&s, set(&[0]), set(&[1])), 2);
+        assert!(is_timely_with_bound(&s, set(&[0]), set(&[1]), 2));
+        assert!(!is_timely_with_bound(&s, set(&[0]), set(&[1]), 1));
+    }
+
+    #[test]
+    fn starved_process_gets_growing_bound() {
+        // p0 appears once, then p1 runs alone.
+        let mut idx = vec![0usize];
+        idx.extend(std::iter::repeat_n(1, 50));
+        let s = Schedule::from_indices(idx);
+        assert_eq!(empirical_bound(&s, set(&[0]), set(&[1])), 51);
+    }
+
+    #[test]
+    fn q_subset_of_p_gives_bound_one() {
+        // Every Q-step is a P-step, so no P-free interval has any Q-step.
+        let s = Schedule::from_indices([0, 1, 2, 0, 1, 2]);
+        assert_eq!(empirical_bound(&s, set(&[0, 1]), set(&[1])), 1);
+    }
+
+    #[test]
+    fn empty_schedule_bound_is_one() {
+        let s = Schedule::new();
+        assert_eq!(empirical_bound(&s, set(&[0]), set(&[1])), 1);
+    }
+
+    #[test]
+    fn q_absent_gives_bound_one() {
+        let s = Schedule::from_indices([0, 0, 0]);
+        assert_eq!(empirical_bound(&s, set(&[1]), set(&[2])), 1);
+    }
+
+    #[test]
+    fn trailing_p_free_interval_counts() {
+        // p then many q: the trailing run must be counted.
+        let s = Schedule::from_indices([0, 1, 1, 1]);
+        assert_eq!(empirical_bound(&s, set(&[0]), set(&[1])), 4);
+    }
+
+    #[test]
+    fn figure1_example_pairs() {
+        // Schedule [(p1·q)^i (p2·q)^i] for i = 1..4 with p1=0, p2=1, q=2.
+        let mut idx = Vec::new();
+        for i in 1..=4usize {
+            for _ in 0..i {
+                idx.extend([0, 2]);
+            }
+            for _ in 0..i {
+                idx.extend([1, 2]);
+            }
+        }
+        let s = Schedule::from_indices(idx);
+        // Neither singleton is timely with a small bound...
+        assert!(empirical_bound(&s, set(&[0]), set(&[2])) >= 4);
+        assert!(empirical_bound(&s, set(&[1]), set(&[2])) >= 4);
+        // ...but the pair is timely with bound 2.
+        assert_eq!(empirical_bound(&s, set(&[0, 1]), set(&[2])), 2);
+    }
+
+    #[test]
+    fn find_timely_pair_on_round_robin() {
+        let s = Schedule::from_indices((0..300).map(|i| i % 3));
+        let found = find_timely_pair(&s, u(3), 1, 2, 4).expect("round robin is timely");
+        assert!(found.bound <= 4);
+        // Every singleton is timely wrt everything in round-robin: an
+        // interval with 3 steps of any Q must wrap past every process.
+        assert_eq!(found.p.len(), 1);
+        assert_eq!(found.q.len(), 2);
+    }
+
+    #[test]
+    fn find_timely_pair_respects_cap() {
+        // p1 heavily starved: only pair {p0} wrt sets not reaching cap.
+        let mut idx = vec![0usize; 20];
+        idx.push(1);
+        let s = Schedule::from_indices(idx);
+        // {p1} wrt {p0} needs bound 21; cap 5 must reject it.
+        assert!(find_timely_pair(&s, u(2), 1, 1, 5)
+            .map(|tp| tp.p != set(&[1]))
+            .unwrap_or(true));
+        // {p0} wrt {p1}: p0 steps everywhere, bound small.
+        let found = find_timely_pair(&s, u(2), 1, 1, 5).unwrap();
+        assert_eq!(found.p, set(&[0]));
+    }
+
+    #[test]
+    fn all_timely_pairs_counts() {
+        let s = Schedule::from_indices((0..120).map(|i| i % 4));
+        let pairs = all_timely_pairs(&s, u(4), 1, 2, 5);
+        // Round robin: every (singleton, 2-set) pair is timely with bound ≤ 5:
+        // 4 singletons × C(4,2) = 24 pairs.
+        assert_eq!(pairs.len(), 24);
+        for tp in pairs {
+            assert!(tp.bound <= 5);
+            assert!(is_timely_with_bound(&s, tp.p, tp.q, tp.bound));
+        }
+    }
+
+    #[test]
+    fn observation2_bound_is_sound() {
+        // Figure 1 prefix: {p0} wrt {p0} bound 1; {p1} wrt {p2} some bound b.
+        let s = Schedule::from_indices([0, 2, 1, 2, 0, 2, 1, 2]);
+        let a = TimelyPair {
+            p: set(&[0]),
+            q: set(&[0]),
+            bound: empirical_bound(&s, set(&[0]), set(&[0])),
+        };
+        let b = TimelyPair {
+            p: set(&[1]),
+            q: set(&[2]),
+            bound: empirical_bound(&s, set(&[1]), set(&[2])),
+        };
+        let c = observation2_combine(a, b);
+        assert!(is_timely_with_bound(&s, c.p, c.q, c.bound));
+    }
+
+    #[test]
+    fn observation3_weakening_is_sound() {
+        let s = Schedule::from_indices([0, 1, 0, 1, 2, 0, 1]);
+        let pair = TimelyPair {
+            p: set(&[0]),
+            q: set(&[1, 2]),
+            bound: empirical_bound(&s, set(&[0]), set(&[1, 2])),
+        };
+        let w = observation3_weaken(pair, set(&[0, 2]), set(&[1]));
+        assert!(is_timely_with_bound(&s, w.p, w.q, w.bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "P must grow")]
+    fn observation3_rejects_shrinking_p() {
+        let pair = TimelyPair {
+            p: set(&[0, 1]),
+            q: set(&[2]),
+            bound: 3,
+        };
+        let _ = observation3_weaken(pair, set(&[0]), set(&[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_rejected() {
+        let s = Schedule::new();
+        let _ = is_timely_with_bound(&s, set(&[0]), set(&[1]), 0);
+    }
+}

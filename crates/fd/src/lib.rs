@@ -1,0 +1,32 @@
+//! Failure detectors: the paper's Figure 2 algorithm and its analysis.
+//!
+//! - [`KAntiOmega`] — the t-resilient k-anti-Ω algorithm of Figure 2,
+//!   transcribed line-by-line: heartbeats, per-set timers over `Π^k_n`,
+//!   shared accusation counters `Counter[A, q]`, winnerset selection by
+//!   minimal `(accusation, A)`.
+//! - [`Omega`] — the `k = 1` special case: the classic leader oracle
+//!   (footnote 2 of the paper).
+//! - [`ProcessTimelyDetector`] — the *process*-timeliness baseline the
+//!   paper improves on (accuses individuals instead of sets); it flaps
+//!   forever on schedules where only sets are timely (experiment E8).
+//! - [`TimeoutPolicy`] — the paper's increment-by-one rule plus a doubling
+//!   ablation.
+//! - [`convergence`] — trace analyses: the k-anti-Ω specification
+//!   ([`convergence::kanti_omega_witness`]) and the stronger Lemma 22
+//!   common-winnerset stabilization
+//!   ([`convergence::winnerset_stabilization`]) that the agreement layer
+//!   builds on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+pub mod convergence;
+mod kanti;
+mod omega;
+mod timeout;
+
+pub use baseline::{ProcessTimelyDetector, ProcessTimelyLocal, BASELINE_WINNERSET_PROBE};
+pub use kanti::{KAntiOmega, KAntiOmegaConfig, KAntiOmegaLocal, WINNERSET_PROBE};
+pub use omega::{Omega, OmegaLocal};
+pub use timeout::TimeoutPolicy;

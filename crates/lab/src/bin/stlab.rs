@@ -1,0 +1,52 @@
+//! `stlab` — runs the paper's experiments and prints their tables.
+//!
+//! Usage:
+//! ```text
+//! stlab [--fast] [--tsv] [e1 e2 … | all]
+//! ```
+//!
+//! `--fast` shrinks budgets and grids (smoke runs); `--tsv` additionally
+//! emits each table as tab-separated values for downstream plotting.
+
+use st_lab::{run_experiment, LabConfig, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let tsv = args.iter().any(|a| a == "--tsv");
+    let cfg = if fast { LabConfig::fast() } else { LabConfig::full() };
+    let mut ids: Vec<String> = args
+        .into_iter()
+        .filter(|a| a != "--fast" && a != "--tsv")
+        .map(|a| a.to_lowercase())
+        .collect();
+    if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut failures = 0;
+    for id in &ids {
+        match run_experiment(id, &cfg) {
+            Some(result) => {
+                println!("{}", result.render());
+                if tsv {
+                    for (name, table) in &result.tables {
+                        println!("#tsv {} — {name}", result.id);
+                        print!("{}", table.to_tsv());
+                    }
+                }
+                if !result.pass {
+                    failures += 1;
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {id} (known: e1..e7, all)");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Experiment configuration and result packaging.
+
+use crate::table::Table;
+
+/// Scales experiment budgets: `fast` keeps everything test-suite friendly,
+/// `full` is the paper-grade run used for EXPERIMENTS.md.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabConfig {
+    /// Reduce grids and budgets for quick runs (tests, smoke checks).
+    pub fast: bool,
+    /// Base seed for all randomized workloads.
+    pub seed: u64,
+}
+
+impl LabConfig {
+    /// Paper-grade configuration.
+    pub fn full() -> Self {
+        LabConfig {
+            fast: false,
+            seed: 0xE1AC_5EED,
+        }
+    }
+
+    /// Test-suite configuration (small grids, small budgets).
+    pub fn fast() -> Self {
+        LabConfig {
+            fast: true,
+            seed: 0xE1AC_5EED,
+        }
+    }
+
+    /// Scales a step budget.
+    pub fn budget(&self, full: u64) -> u64 {
+        if self.fast {
+            (full / 8).max(50_000)
+        } else {
+            full
+        }
+    }
+}
+
+/// The outcome of one experiment: tables plus a pass verdict against the
+/// paper's claims.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Experiment id (`E1`..`E7`).
+    pub id: &'static str,
+    /// Human title, including the paper artifact it regenerates.
+    pub title: &'static str,
+    /// Named tables.
+    pub tables: Vec<(String, Table)>,
+    /// Free-form observations.
+    pub notes: Vec<String>,
+    /// Whether every checked expectation matched the paper.
+    pub pass: bool,
+}
+
+impl ExperimentResult {
+    /// Renders the full experiment block as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        for (name, table) in &self.tables {
+            out.push_str(&format!("\n-- {name} --\n{table}"));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out.push_str(&format!(
+            "verdict: {}\n",
+            if self.pass { "PASS (matches paper)" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_scaling() {
+        assert_eq!(LabConfig::full().budget(1_000_000), 1_000_000);
+        assert_eq!(LabConfig::fast().budget(1_000_000), 125_000);
+        assert_eq!(LabConfig::fast().budget(80_000), 50_000);
+    }
+
+    #[test]
+    fn render_includes_verdict() {
+        let r = ExperimentResult {
+            id: "E0",
+            title: "smoke",
+            tables: vec![("t".into(), Table::new(["a"]))],
+            notes: vec!["hello".into()],
+            pass: true,
+        };
+        let s = r.render();
+        assert!(s.contains("E0") && s.contains("PASS") && s.contains("hello"));
+    }
+}

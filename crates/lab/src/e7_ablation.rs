@@ -1,0 +1,130 @@
+//! E7 — ablations of the design choices DESIGN.md calls out.
+//!
+//! 1. **Timeout policy** (Figure 2 line 17): the paper's increment-by-one
+//!    versus doubling. Doubling reaches a sufficient timeout in
+//!    exponentially fewer expirations, so convergence should come earlier in
+//!    steps, at the cost of overshooting timeouts.
+//! 2. **Synchrony quality**: stabilization step as a function of the
+//!    enforced timeliness bound of the schedule — worse bounds (weaker
+//!    synchrony) must push convergence later, tracing the "cost of partial
+//!    synchrony" curve.
+
+use st_core::{ProcSet, ProcessId, StepSource, Universe};
+use st_fd::convergence::winnerset_stabilization;
+use st_fd::{KAntiOmega, KAntiOmegaConfig, TimeoutPolicy};
+use st_sched::{SeededRandom, SetTimely};
+use st_sim::{RunConfig, Sim};
+
+use crate::config::{ExperimentResult, LabConfig};
+use crate::table::Table;
+
+fn stabilization_step<S: StepSource>(
+    n: usize,
+    k: usize,
+    t: usize,
+    policy: TimeoutPolicy,
+    src: &mut S,
+    budget: u64,
+) -> Option<u64> {
+    let universe = Universe::new(n).unwrap();
+    let mut sim = Sim::new(universe);
+    let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t).with_policy(policy));
+    for p in universe.processes() {
+        let fd = fd.clone();
+        sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
+    }
+    sim.run(src, RunConfig::steps(budget));
+    winnerset_stabilization(&sim.report(), ProcSet::full(universe)).map(|s| s.step)
+}
+
+/// Runs E7.
+pub fn run(cfg: &LabConfig) -> ExperimentResult {
+    let mut pass = true;
+
+    // Ablation 1: timeout policy, at a deliberately loose schedule bound so
+    // that timers must grow substantially before convergence.
+    let mut policy_table = Table::new(["n", "k", "t", "bound", "policy", "stabilized@step"]);
+    let (n, k, t) = (4usize, 1usize, 2usize);
+    let universe = Universe::new(n).unwrap();
+    let p = ProcSet::from_indices([0]);
+    let q: ProcSet = (0..=t).map(ProcessId::new).collect();
+    let loose_bound = if cfg.fast { 24 } else { 48 };
+    let mut results = Vec::new();
+    for policy in [TimeoutPolicy::Increment, TimeoutPolicy::Double] {
+        let mut src = SetTimely::new(p, q, loose_bound, SeededRandom::new(universe, cfg.seed));
+        let stab = stabilization_step(n, k, t, policy, &mut src, cfg.budget(6_000_000));
+        policy_table.row([
+            n.to_string(),
+            k.to_string(),
+            t.to_string(),
+            loose_bound.to_string(),
+            format!("{policy:?}"),
+            stab.map_or("-".into(), |s| s.to_string()),
+        ]);
+        results.push(stab);
+    }
+    // Both must converge; doubling must not be slower.
+    pass &= results.iter().all(|r| r.is_some());
+    if let [Some(inc), Some(dbl)] = results[..] {
+        pass &= dbl <= inc;
+    }
+
+    // Ablation 2: synchrony quality sweep (paper policy).
+    let mut sweep_table = Table::new(["bound", "stabilized@step"]);
+    let bounds: &[usize] = if cfg.fast { &[4, 16] } else { &[4, 8, 16, 32, 64] };
+    let mut prev: Option<u64> = None;
+    let mut monotone_violations = 0usize;
+    for &bound in bounds {
+        let mut src = SetTimely::new(p, q, bound, SeededRandom::new(universe, cfg.seed + 1));
+        let stab = stabilization_step(
+            n,
+            k,
+            t,
+            TimeoutPolicy::Increment,
+            &mut src,
+            cfg.budget(8_000_000),
+        );
+        sweep_table.row([bound.to_string(), stab.map_or("-".into(), |s| s.to_string())]);
+        pass &= stab.is_some();
+        if let (Some(prev_s), Some(s)) = (prev, stab) {
+            // Stabilization tracks the *observed* worst gap of the filler,
+            // which saturates once the enforced cap exceeds it: large bounds
+            // plateau. Count only genuine decreases (beyond 5% of the
+            // plateau level) as inversions.
+            if s < prev_s - prev_s / 20 {
+                monotone_violations += 1;
+            }
+        }
+        prev = stab;
+    }
+    // The trend must be non-decreasing up to the plateau (tolerate one
+    // genuine local inversion from scheduling noise).
+    pass &= monotone_violations <= 1;
+
+    ExperimentResult {
+        id: "E7",
+        title: "Ablations — timeout policy and synchrony quality",
+        tables: vec![
+            ("timeout policy (Figure 2 line 17)".into(), policy_table),
+            ("stabilization vs schedule bound".into(), sweep_table),
+        ],
+        notes: vec![
+            "doubling converges no later than increment at loose bounds".into(),
+            "weaker synchrony (larger bound) delays convergence until the filler's \
+             observed worst gap, not the enforced cap, dominates (plateau)"
+                .into(),
+        ],
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_matches_expectations() {
+        let result = run(&LabConfig::fast());
+        assert!(result.pass, "{}", result.render());
+    }
+}

@@ -1,0 +1,50 @@
+//! Experiment harness: regenerates every figure and theorem of the paper as
+//! a measured table.
+//!
+//! | Id | Paper artifact | Module |
+//! |----|----------------|--------|
+//! | E1 | Figure 1 (set-timely, not process-timely)        | [`e1_figure1`] |
+//! | E2 | Figure 2 / Theorem 23 (k-anti-Ω convergence)     | [`e2_fd`] |
+//! | E3 | Theorem 24 / Corollary 25 (agreement solvable)   | [`e3_agreement`] |
+//! | E4 | Theorem 26 (the i = k / i = k+1 boundary)        | [`e4_boundary`] |
+//! | E5 | Theorem 27 (the full solvability matrix)         | [`e5_matrix`] |
+//! | E6 | Theorem 26 proof (the BG reduction, executed)    | [`e6_bg`] |
+//! | E7 | Ablations (timeout policy, synchrony quality)    | [`e7_ablation`] |
+//! | E8 | Motivation: set vs process timeliness            | [`e8_motivation`] |
+//!
+//! Run them all with the `stlab` binary: `cargo run -p st-lab --release --bin stlab -- all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod e1_figure1;
+pub mod e2_fd;
+pub mod e3_agreement;
+pub mod e4_boundary;
+pub mod e5_matrix;
+pub mod e6_bg;
+pub mod e7_ablation;
+pub mod e8_motivation;
+pub mod table;
+
+pub use config::{ExperimentResult, LabConfig};
+pub use table::Table;
+
+/// Runs one experiment by id (`"e1"`…`"e7"`).
+pub fn run_experiment(id: &str, cfg: &LabConfig) -> Option<ExperimentResult> {
+    match id {
+        "e1" => Some(e1_figure1::run(cfg)),
+        "e2" => Some(e2_fd::run(cfg)),
+        "e3" => Some(e3_agreement::run(cfg)),
+        "e4" => Some(e4_boundary::run(cfg)),
+        "e5" => Some(e5_matrix::run(cfg)),
+        "e6" => Some(e6_bg::run(cfg)),
+        "e7" => Some(e7_ablation::run(cfg)),
+        "e8" => Some(e8_motivation::run(cfg)),
+        _ => None,
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL_EXPERIMENTS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];

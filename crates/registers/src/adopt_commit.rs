@@ -1,0 +1,217 @@
+//! Adopt-commit objects (Gafni's reconciliation primitive).
+//!
+//! An adopt-commit object supports a single `propose(v)` per process and
+//! returns either `Commit(w)` or `Adopt(w)` such that:
+//!
+//! - **Validity** — `w` was proposed by some process;
+//! - **Convergence** — if every proposer proposes the same `v`, every
+//!   outcome is `Commit(v)`;
+//! - **Coherence** — if any process gets `Commit(w)`, every outcome is
+//!   `Commit(w)` or `Adopt(w)`.
+//!
+//! It is the classic safety core of round-based consensus: commitment is
+//! safe, adoption carries the value into the next round. Implemented with
+//! two store-collect phases over SWMR registers (`2n + 2` steps per
+//! propose).
+
+use st_sim::{ProcessCtx, Reg, RegValue, Sim};
+
+/// Outcome of [`AdoptCommit::propose`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcOutcome<T> {
+    /// Safe to decide `T`: every other proposer adopts it.
+    Commit(T),
+    /// Must carry `T` forward; deciding would be unsafe.
+    Adopt(T),
+}
+
+impl<T> AcOutcome<T> {
+    /// The carried value, whichever the verdict.
+    pub fn value(&self) -> &T {
+        match self {
+            AcOutcome::Commit(v) | AcOutcome::Adopt(v) => v,
+        }
+    }
+
+    /// Returns `true` for `Commit`.
+    pub fn is_commit(&self) -> bool {
+        matches!(self, AcOutcome::Commit(_))
+    }
+}
+
+/// Phase-two cell: `(saw_unanimity, carried_value)`.
+type Phase2Cell<T> = (bool, T);
+
+/// An adopt-commit object. Clone into each participating process.
+#[derive(Clone, Debug)]
+pub struct AdoptCommit<T> {
+    phase1: Vec<Reg<Option<T>>>,
+    phase2: Vec<Reg<Option<Phase2Cell<T>>>>,
+}
+
+impl<T: RegValue + Ord> AdoptCommit<T> {
+    /// Allocates the object's registers in `sim` (two single-writer
+    /// registers per process: `name.A[p]`, `name.B[p]`).
+    pub fn alloc(sim: &mut Sim, name: &str) -> Self {
+        AdoptCommit {
+            phase1: sim.alloc_per_process(&format!("{name}.A"), None),
+            phase2: sim.alloc_per_process(&format!("{name}.B"), None),
+        }
+    }
+
+    /// Proposes `value`; at most one call per process per object.
+    ///
+    /// **`2n + 2` steps.**
+    pub async fn propose(&self, ctx: &ProcessCtx, value: T) -> AcOutcome<T> {
+        let me = ctx.pid().index();
+
+        // Phase 1: publish the proposal, then look for disagreement.
+        ctx.write(self.phase1[me], Some(value.clone())).await;
+        let mut unanimous = true;
+        let mut carried = value.clone();
+        for &reg in &self.phase1 {
+            if let Some(seen) = ctx.read(reg).await {
+                if seen != value {
+                    unanimous = false;
+                    carried = carried.min(seen);
+                }
+            }
+        }
+
+        // Phase 2: publish the verdict, then reconcile.
+        ctx.write(self.phase2[me], Some((unanimous, carried.clone())))
+            .await;
+        let mut all_unanimous = true;
+        let mut committed: Option<T> = None;
+        let mut fallback = carried;
+        for &reg in &self.phase2 {
+            if let Some((flag, v)) = ctx.read(reg).await {
+                if flag {
+                    committed = Some(v);
+                } else {
+                    all_unanimous = false;
+                    fallback = fallback.min(v);
+                }
+            }
+        }
+
+        match committed {
+            Some(v) if all_unanimous => AcOutcome::Commit(v),
+            Some(v) => AcOutcome::Adopt(v),
+            None => AcOutcome::Adopt(fallback),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::{ProcSet, ProcessId, Schedule, ScheduleCursor, Universe};
+    use st_sim::{RunConfig, Sim, StopWhen};
+
+    /// Runs an adopt-commit with the given proposals and interleaving;
+    /// returns (is_commit, value) per process.
+    fn run_ac(proposals: &[u64], schedule: Vec<usize>) -> Vec<Option<(bool, u64)>> {
+        let n = proposals.len();
+        let u = Universe::new(n).unwrap();
+        let mut sim = Sim::new(u);
+        let ac: AdoptCommit<u64> = AdoptCommit::alloc(&mut sim, "AC");
+        let results = sim.alloc_array("result", n, None::<(bool, u64)>);
+        for p in u.processes() {
+            let ac = ac.clone();
+            let my_result = results[p.index()];
+            let proposal = proposals[p.index()];
+            sim.spawn(p, move |ctx| async move {
+                let outcome = ac.propose(&ctx, proposal).await;
+                ctx.write(my_result, Some((outcome.is_commit(), *outcome.value())))
+                    .await;
+            })
+            .unwrap();
+        }
+        let mut src = ScheduleCursor::new(Schedule::from_indices(schedule));
+        sim.run(
+            &mut src,
+            RunConfig::steps(10_000).stop_when(StopWhen::AllFinished(ProcSet::full(u))),
+        );
+        results.iter().map(|&r| sim.peek(r)).collect()
+    }
+
+    fn round_robin(n: usize, len: usize) -> Vec<usize> {
+        (0..len).map(|i| i % n).collect()
+    }
+
+    fn sequential(n: usize, per: usize) -> Vec<usize> {
+        (0..n).flat_map(|p| std::iter::repeat_n(p, per)).collect()
+    }
+
+    #[test]
+    fn unanimous_proposals_commit() {
+        for sched in [round_robin(3, 60), sequential(3, 10)] {
+            let out = run_ac(&[7, 7, 7], sched);
+            for (i, r) in out.iter().enumerate() {
+                let (commit, v) = r.expect("all must finish");
+                assert!(commit, "p{i} must commit on unanimity");
+                assert_eq!(v, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn solo_proposal_commits() {
+        // Only p0 moves; others never step. p0 must commit its own value.
+        let out = run_ac(&[3, 8, 9], sequential(1, 10));
+        let (commit, v) = out[0].expect("p0 finishes");
+        assert!(commit);
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn coherence_under_contention() {
+        // Many interleavings of conflicting proposals: if anyone commits w,
+        // everyone carries w.
+        for seed in 0..30u64 {
+            let n = 3;
+            let sched: Vec<usize> = (0..200)
+                .map(|i| ((seed * 31 + i * 17 + i / 7) % n as u64) as usize)
+                .collect();
+            let out = run_ac(&[1, 2, 3], sched);
+            let finished: Vec<(bool, u64)> = out.iter().flatten().copied().collect();
+            if let Some((_, w)) = finished.iter().find(|(c, _)| *c) {
+                for (_, v) in &finished {
+                    assert_eq!(v, w, "seed {seed}: committed {w}, saw {v}");
+                }
+            }
+            // Validity: all carried values were proposed.
+            for (_, v) in &finished {
+                assert!([1, 2, 3].contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn disagreement_seen_sequentially_adopts() {
+        // p0 completes fully, then p1 proposes a different value: p1 sees
+        // p0's committed value and must adopt/commit that value, never its
+        // own.
+        let mut sched = sequential(1, 10);
+        sched.extend(std::iter::repeat_n(1, 10));
+        let out = run_ac(&[4, 9, 0], sched);
+        let (c0, v0) = out[0].unwrap();
+        assert!(c0 && v0 == 4);
+        let (_, v1) = out[1].unwrap();
+        assert_eq!(v1, 4, "p1 must carry p0's committed value");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let c: AcOutcome<u64> = AcOutcome::Commit(5);
+        let a: AcOutcome<u64> = AcOutcome::Adopt(6);
+        assert!(c.is_commit() && !a.is_commit());
+        assert_eq!(*c.value(), 5);
+        assert_eq!(*a.value(), 6);
+    }
+
+    // Silence an unused-import lint in non-test builds.
+    #[allow(unused)]
+    fn _unused(_: ProcessId) {}
+}

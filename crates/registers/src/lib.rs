@@ -1,0 +1,26 @@
+//! Classic shared-memory objects built from atomic registers.
+//!
+//! Substrate crate: the agreement protocols (`st-agreement`) and the BG
+//! simulation (`st-bgsim`) are built from these three primitives, each
+//! implemented from plain single-writer registers exactly as in the
+//! read-write shared-memory literature:
+//!
+//! - [`Collect`] — store-collect (regular, non-atomic read of all
+//!   components);
+//! - [`Snapshot`] — atomic snapshot via double collect;
+//! - [`AdoptCommit`] — Gafni's adopt-commit, the safety core of round-based
+//!   agreement.
+//!
+//! All objects are `Clone` and stateless (state lives in shared registers):
+//! clone one instance into each process task.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adopt_commit;
+mod collect;
+mod snapshot;
+
+pub use adopt_commit::{AcOutcome, AdoptCommit};
+pub use collect::Collect;
+pub use snapshot::{ScanOutcome, Snapshot, VersionedCell};

@@ -1,0 +1,154 @@
+//! Property tests for the shared objects: adopt-commit coherence, snapshot
+//! consistency, and collect regularity under arbitrary interleavings.
+
+use proptest::prelude::*;
+use st_core::{ProcSet, ProcessId, Schedule, ScheduleCursor, Universe, Value};
+use st_registers::{AcOutcome, AdoptCommit, Collect, Snapshot};
+use st_sim::{RunConfig, Sim, StopWhen};
+
+prop_compose! {
+    fn arb_schedule(n: usize)(steps in prop::collection::vec(0..n, 100..2_500)) -> Schedule {
+        Schedule::from_indices(steps)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adopt-commit: validity always; coherence — a commit forces every
+    /// other outcome to carry the same value; convergence — unanimous
+    /// proposals always commit.
+    #[test]
+    fn adopt_commit_contract(sched in arb_schedule(3), unanimous in any::<bool>()) {
+        let n = 3;
+        let u = Universe::new(n).unwrap();
+        let mut sim = Sim::new(u);
+        let ac: AdoptCommit<Value> = AdoptCommit::alloc(&mut sim, "ac");
+        let results = sim.alloc_array("res", n, None::<(bool, Value)>);
+        let proposals: Vec<Value> = if unanimous {
+            vec![9; n]
+        } else {
+            (0..n as Value).collect()
+        };
+        for p in u.processes() {
+            let ac = ac.clone();
+            let slot = results[p.index()];
+            let v = proposals[p.index()];
+            sim.spawn(p, move |ctx| async move {
+                let out = ac.propose(&ctx, v).await;
+                ctx.write(slot, Some((out.is_commit(), *out.value()))).await;
+            }).unwrap();
+        }
+        let len = sched.len() as u64;
+        let mut src = ScheduleCursor::new(sched);
+        sim.run(&mut src, RunConfig::steps(len).stop_when(StopWhen::AllFinished(ProcSet::full(u))));
+        let outs: Vec<(bool, Value)> = results.iter().filter_map(|&r| sim.peek(r)).collect();
+        for (_, v) in &outs {
+            prop_assert!(proposals.contains(v), "unproposed {v}");
+        }
+        if let Some((_, w)) = outs.iter().find(|(c, _)| *c) {
+            for (_, v) in &outs {
+                prop_assert_eq!(v, w, "coherence violated");
+            }
+        }
+        if unanimous && outs.len() == n {
+            prop_assert!(outs.iter().all(|(c, v)| *c && *v == 9), "convergence violated");
+        }
+    }
+
+    /// Snapshot scans only ever return values that were actually written,
+    /// and sequential scans at one process are monotone in versions.
+    #[test]
+    fn snapshot_regularity(sched in arb_schedule(3)) {
+        let n = 3;
+        let u = Universe::new(n).unwrap();
+        let mut sim = Sim::new(u);
+        let snap: Snapshot<Value> = Snapshot::alloc(&mut sim, "s");
+        let witness = sim.alloc("w", Vec::<Value>::new());
+        // p0 scans repeatedly recording what it saw of p1's cell; p1 writes
+        // increasing values; p2 idles on updates.
+        {
+            let snap = snap.clone();
+            sim.spawn(ProcessId::new(0), move |ctx| async move {
+                loop {
+                    let view = snap.scan(&ctx).await;
+                    if let Some(v) = view[1] {
+                        let mut seen = ctx.read(witness).await;
+                        seen.push(v);
+                        ctx.write(witness, seen).await;
+                    }
+                }
+            }).unwrap();
+        }
+        {
+            let snap = snap.clone();
+            sim.spawn(ProcessId::new(1), move |ctx| async move {
+                let mut i = 0;
+                loop {
+                    i += 1;
+                    snap.update(&ctx, i).await;
+                }
+            }).unwrap();
+        }
+        {
+            let snap = snap.clone();
+            sim.spawn(ProcessId::new(2), move |ctx| async move {
+                loop {
+                    snap.update(&ctx, 1_000).await;
+                }
+            }).unwrap();
+        }
+        let len = sched.len() as u64;
+        let mut src = ScheduleCursor::new(sched);
+        sim.run(&mut src, RunConfig::steps(len));
+        let seen: Vec<Value> = sim.peek(witness);
+        // p1's observed values are nondecreasing (scans are ordered).
+        for w in seen.windows(2) {
+            prop_assert!(w[0] <= w[1], "scan regression: {seen:?}");
+        }
+    }
+
+    /// Collect: after everyone stored, any complete collect sees all
+    /// components.
+    #[test]
+    fn collect_sees_completed_stores(order_seed in 0u64..1_000) {
+        let n = 4;
+        let u = Universe::new(n).unwrap();
+        let mut sim = Sim::new(u);
+        let obj: Collect<Value> = Collect::alloc(&mut sim, "c");
+        for p in u.processes() {
+            let obj = obj.clone();
+            sim.spawn(p, move |ctx| async move {
+                obj.store(&ctx, 1 + ctx.pid().index() as Value).await;
+                let seen = obj.collect(&ctx).await;
+                ctx.decide(seen.iter().flatten().count() as Value);
+            }).unwrap();
+        }
+        // Phase 1: all stores (any order); phase 2: all collects.
+        let mut order: Vec<usize> = (0..n).collect();
+        // Cheap deterministic shuffle from the seed.
+        for i in (1..n).rev() {
+            let j = (order_seed as usize).wrapping_mul(31).wrapping_add(i) % (i + 1);
+            order.swap(i, j);
+        }
+        let mut steps: Vec<usize> = order.clone();
+        for round in 0..n {
+            let _ = round;
+            steps.extend(order.iter().copied());
+        }
+        let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
+        sim.run(&mut src, RunConfig::steps(1_000).stop_when(StopWhen::AllDecided(ProcSet::full(u))));
+        for p in u.processes() {
+            // Every collector ran after all stores: sees all n components.
+            prop_assert_eq!(sim.report().decision_value(p), Some(n as Value));
+        }
+    }
+
+    /// AcOutcome accessors are consistent.
+    #[test]
+    fn outcome_accessors(v in any::<u64>(), commit in any::<bool>()) {
+        let out: AcOutcome<u64> = if commit { AcOutcome::Commit(v) } else { AcOutcome::Adopt(v) };
+        prop_assert_eq!(*out.value(), v);
+        prop_assert_eq!(out.is_commit(), commit);
+    }
+}

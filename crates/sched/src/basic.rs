@@ -1,0 +1,193 @@
+//! Basic generators: round-robin and seeded random.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use st_core::{ProcSet, ProcessId, StepSource, Universe};
+
+/// Cyclic round-robin over a set of processes (the whole universe by
+/// default) — the maximally synchronous schedule: every singleton is timely
+/// with respect to everything with bound `|set|`.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{Universe, StepSource, Schedule};
+/// use st_sched::RoundRobin;
+///
+/// let mut rr = RoundRobin::new(Universe::new(3).unwrap());
+/// assert_eq!(rr.take_schedule(6), Schedule::from_indices([0, 1, 2, 0, 1, 2]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RoundRobin {
+    members: Vec<ProcessId>,
+    pos: usize,
+}
+
+impl RoundRobin {
+    /// Round-robin over the full universe.
+    pub fn new(universe: Universe) -> Self {
+        RoundRobin {
+            members: universe.processes().collect(),
+            pos: 0,
+        }
+    }
+
+    /// Round-robin over an explicit non-empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty.
+    pub fn over(set: ProcSet) -> Self {
+        assert!(!set.is_empty(), "round robin needs at least one process");
+        RoundRobin {
+            members: set.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl StepSource for RoundRobin {
+    fn next_step(&mut self) -> Option<ProcessId> {
+        let p = self.members[self.pos];
+        self.pos = (self.pos + 1) % self.members.len();
+        Some(p)
+    }
+}
+
+/// Uniform (or weighted) random scheduling with a deterministic seed.
+///
+/// Random schedules are "average-case asynchronous": with probability one
+/// every process is correct and every pair of sets is timely for *some*
+/// bound, but the bound is unbounded in expectation across seeds — useful as
+/// filler inside [`SetTimely`](crate::SetTimely) and as a baseline workload.
+#[derive(Clone, Debug)]
+pub struct SeededRandom {
+    members: Vec<ProcessId>,
+    weights: Vec<u32>,
+    total_weight: u64,
+    rng: StdRng,
+}
+
+impl SeededRandom {
+    /// Uniform over the universe.
+    pub fn new(universe: Universe, seed: u64) -> Self {
+        let members: Vec<ProcessId> = universe.processes().collect();
+        let weights = vec![1u32; members.len()];
+        let total_weight = members.len() as u64;
+        SeededRandom {
+            members,
+            weights,
+            total_weight,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform over an explicit non-empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty.
+    pub fn over(set: ProcSet, seed: u64) -> Self {
+        assert!(!set.is_empty(), "random source needs at least one process");
+        let members = set.to_vec();
+        let weights = vec![1u32; members.len()];
+        let total_weight = members.len() as u64;
+        SeededRandom {
+            members,
+            weights,
+            total_weight,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sets integer weights per member (same order as the member list);
+    /// a weight of 0 silences a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the member count or all weights are
+    /// zero.
+    pub fn with_weights(mut self, weights: Vec<u32>) -> Self {
+        assert_eq!(weights.len(), self.members.len(), "one weight per member");
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "at least one weight must be positive");
+        self.weights = weights;
+        self.total_weight = total;
+        self
+    }
+}
+
+impl StepSource for SeededRandom {
+    fn next_step(&mut self) -> Option<ProcessId> {
+        let mut ticket = self.rng.random_range(0..self.total_weight);
+        for (i, &w) in self.weights.iter().enumerate() {
+            let w = w as u64;
+            if ticket < w {
+                return Some(self.members[i]);
+            }
+            ticket -= w;
+        }
+        unreachable!("ticket below total weight always lands")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::Schedule;
+
+    fn u(n: usize) -> Universe {
+        Universe::new(n).unwrap()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::over(ProcSet::from_indices([1, 3]));
+        assert_eq!(rr.take_schedule(5), Schedule::from_indices([1, 3, 1, 3, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn round_robin_empty_panics() {
+        let _ = RoundRobin::over(ProcSet::EMPTY);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = SeededRandom::new(u(4), 42).take_schedule(100);
+        let b = SeededRandom::new(u(4), 42).take_schedule(100);
+        let c = SeededRandom::new(u(4), 43).take_schedule(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_covers_all_processes() {
+        let s = SeededRandom::new(u(5), 7).take_schedule(1000);
+        assert_eq!(s.participants(), ProcSet::full(u(5)));
+    }
+
+    #[test]
+    fn zero_weight_silences() {
+        let src = SeededRandom::new(u(3), 1).with_weights(vec![1, 0, 1]);
+        let mut src = src;
+        let s = src.take_schedule(500);
+        assert_eq!(s.occurrences(ProcessId::new(1)), 0);
+        assert!(s.occurrences(ProcessId::new(0)) > 0);
+        assert!(s.occurrences(ProcessId::new(2)) > 0);
+    }
+
+    #[test]
+    fn heavy_weight_dominates() {
+        let mut src = SeededRandom::new(u(2), 9).with_weights(vec![99, 1]);
+        let s = src.take_schedule(2000);
+        assert!(s.occurrences(ProcessId::new(0)) > s.occurrences(ProcessId::new(1)) * 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per member")]
+    fn weight_length_mismatch_panics() {
+        let _ = SeededRandom::new(u(3), 1).with_weights(vec![1, 2]);
+    }
+}

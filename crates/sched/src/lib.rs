@@ -1,0 +1,41 @@
+//! Schedule generators with ground-truth set-timeliness properties.
+//!
+//! Experiments need schedules whose membership in `S^i_{j,n}` is known *by
+//! construction*, not just observed. This crate provides:
+//!
+//! - **Basic sources** — [`RoundRobin`], [`SeededRandom`] (deterministic per
+//!   seed).
+//! - **The Figure 1 family** — [`Figure1`] and [`GeneralizedFigure1`]: a set
+//!   that is timely while none of its members is.
+//! - **Conforming generators** — [`SetTimely`] enforces a chosen timely pair
+//!   over any adversarial filler; [`Eventually`] prepends chaotic prefixes
+//!   (absorbed by Definition 1's bound).
+//! - **Proof-derived adversaries** — [`RotatingStarvation`] (Theorem 26
+//!   part 2: only sets of size `> k` are timely) and [`FictitiousCrash`]
+//!   (Theorem 27 case 2b: in `S^i_{j,n}` yet outside `S^k_{t+1,n}`).
+//! - **Crash plans** — [`CrashPlan`] / [`CrashAfter`] model faulty processes
+//!   as processes with finitely many steps.
+//! - **Certification** — [`validate`] cross-checks every generator claim
+//!   against the `st-core` analyzer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alternating;
+mod basic;
+mod crashes;
+mod cycle;
+mod fictitious;
+mod figure1;
+mod set_timely;
+mod starvation;
+pub mod validate;
+
+pub use alternating::AlternatingRotation;
+pub use basic::{RoundRobin, SeededRandom};
+pub use crashes::{CrashAfter, CrashPlan};
+pub use cycle::Cycle;
+pub use fictitious::FictitiousCrash;
+pub use figure1::{Figure1, GeneralizedFigure1};
+pub use set_timely::{Eventually, SetTimely};
+pub use starvation::RotatingStarvation;

@@ -1,0 +1,124 @@
+//! Cross-checks between generators and the `st-core` timeliness analyzer.
+//!
+//! Generators in this crate make *constructive* claims ("this output is in
+//! `S^i_{j,n}`", "no size-`k` set is timely here"). These helpers turn those
+//! claims into checkable evidence over finite prefixes, and are used both by
+//! this crate's tests and by the experiment harness to certify workloads
+//! before measuring protocols on them.
+
+use st_core::subsets::KSubsets;
+use st_core::timeliness::{empirical_bound, max_q_steps_in_p_free_interval};
+use st_core::{ProcSet, Schedule, StepSource, Universe};
+
+/// Generates a prefix and verifies a claimed timely pair against it.
+/// Returns the prefix (for further analysis) on success.
+///
+/// # Errors
+///
+/// Returns the offending empirical bound when the claim fails.
+pub fn certify_timely<S: StepSource>(
+    gen: &mut S,
+    prefix_len: usize,
+    p: ProcSet,
+    q: ProcSet,
+    bound: usize,
+) -> Result<Schedule, usize> {
+    let s = gen.take_schedule(prefix_len);
+    let eb = empirical_bound(&s, p, q);
+    if eb <= bound {
+        Ok(s)
+    } else {
+        Err(eb)
+    }
+}
+
+/// Starvation evidence for the claim "no size-`k` set is timely with respect
+/// to any size-`q_size` set": the **minimum**, over all pairs, of the longest
+/// `K`-free `Q`-run. The claim is supported when this value is large (and
+/// keeps growing with the prefix); a timely pair would pin it to a constant.
+pub fn min_starvation_evidence(
+    s: &Schedule,
+    universe: Universe,
+    k: usize,
+    q_size: usize,
+) -> usize {
+    let mut min_evidence = usize::MAX;
+    for kset in KSubsets::new(universe, k) {
+        for qset in KSubsets::new(universe, q_size) {
+            let run = max_q_steps_in_p_free_interval(s, kset, qset);
+            min_evidence = min_evidence.min(run);
+            if min_evidence == 0 {
+                return 0;
+            }
+        }
+    }
+    min_evidence
+}
+
+/// Convenience: the evidence of [`min_starvation_evidence`] computed on two
+/// nested prefixes, certifying both magnitude and growth.
+///
+/// Returns `(evidence_short, evidence_long)`.
+pub fn starvation_growth<S: StepSource>(
+    gen: &mut S,
+    short_len: usize,
+    long_len: usize,
+    universe: Universe,
+    k: usize,
+    q_size: usize,
+) -> (usize, usize) {
+    assert!(short_len < long_len, "short prefix must be shorter");
+    let long = gen.take_schedule(long_len);
+    let short = long.prefix(short_len);
+    (
+        min_starvation_evidence(&short, universe, k, q_size),
+        min_starvation_evidence(&long, universe, k, q_size),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RotatingStarvation, SeededRandom, SetTimely};
+
+    fn u(n: usize) -> Universe {
+        Universe::new(n).unwrap()
+    }
+
+    #[test]
+    fn certify_accepts_conforming_generator() {
+        let p = ProcSet::from_indices([0]);
+        let q = ProcSet::from_indices([1, 2]);
+        let mut gen = SetTimely::new(p, q, 3, SeededRandom::new(u(3), 4));
+        assert!(certify_timely(&mut gen, 5_000, p, q, 3).is_ok());
+    }
+
+    #[test]
+    fn certify_rejects_false_claim() {
+        // Pure random filler over 3 processes: {p0} wrt {p1,p2} with bound 2
+        // will be violated quickly.
+        let mut gen = SeededRandom::new(u(3), 11);
+        let p = ProcSet::from_indices([0]);
+        let q = ProcSet::from_indices([1, 2]);
+        let res = certify_timely(&mut gen, 5_000, p, q, 2);
+        assert!(res.is_err());
+        assert!(res.unwrap_err() > 2);
+    }
+
+    #[test]
+    fn starvation_evidence_grows_for_adversary() {
+        let mut gen = RotatingStarvation::new(u(4), 1);
+        let (short, long) = starvation_growth(&mut gen, 3_000, 40_000, u(4), 1, 2);
+        assert!(short >= 1);
+        assert!(long > short, "evidence must grow: {short} vs {long}");
+    }
+
+    #[test]
+    fn starvation_evidence_bounded_for_timely_schedule() {
+        // Round-robin: every singleton timely wrt everything → evidence stays
+        // below n.
+        let mut gen = crate::RoundRobin::new(u(4));
+        let s = gen.take_schedule(20_000);
+        assert!(min_starvation_evidence(&s, u(4), 1, 2) < 4);
+    }
+}

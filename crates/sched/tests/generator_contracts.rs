@@ -1,0 +1,157 @@
+//! Property tests: every generator's constructive claim holds on long
+//! prefixes, for arbitrary parameters and seeds.
+
+use proptest::prelude::*;
+use st_core::subsets::KSubsets;
+use st_core::timeliness::{empirical_bound, max_q_steps_in_p_free_interval};
+use st_core::{ProcSet, StepSource, SystemSpec, Universe};
+use st_sched::{
+    CrashAfter, CrashPlan, Eventually, FictitiousCrash, GeneralizedFigure1, RotatingStarvation,
+    RoundRobin, SeededRandom, SetTimely,
+};
+
+fn u(n: usize) -> Universe {
+    Universe::new(n).unwrap()
+}
+
+/// Picks a random non-empty subset of `Π_n` from a bitmask seed.
+fn subset(n: usize, bits: u64) -> ProcSet {
+    let mask = (1u64 << n) - 1;
+    let b = bits & mask;
+    if b == 0 {
+        ProcSet::from_indices([0])
+    } else {
+        ProcSet::from_bits(b)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SetTimely's guarantee holds over random fillers, for any sets and any
+    /// bound ≥ 2.
+    #[test]
+    fn set_timely_guarantee(n in 3usize..=8, pbits in 1u64..255, qbits in 1u64..255,
+                            bound in 2usize..6, seed in 0u64..1000) {
+        let p = subset(n, pbits);
+        let q = subset(n, qbits);
+        let filler = SeededRandom::new(u(n), seed);
+        let mut gen = SetTimely::new(p, q, bound, filler);
+        let s = gen.take_schedule(8_000);
+        prop_assert!(empirical_bound(&s, p, q) <= bound);
+    }
+
+    /// SetTimely preserves the guarantee under crash plans that keep at least
+    /// one P member alive.
+    #[test]
+    fn set_timely_with_crashes(seed in 0u64..500, crash_step in 0u64..2000) {
+        let n = 5;
+        let p = ProcSet::from_indices([0, 1]);
+        let q = ProcSet::from_indices([2, 3, 4]);
+        // Crash p1 and one Q member; p0 stays alive.
+        let plan = CrashPlan::new()
+            .crash(st_core::ProcessId::new(1), crash_step)
+            .crash(st_core::ProcessId::new(3), crash_step / 2);
+        let filler = CrashAfter::new(SeededRandom::new(u(n), seed), plan.clone());
+        let mut gen = SetTimely::new(p, q, 3, filler).with_crashes(plan);
+        let s = gen.take_schedule(8_000);
+        prop_assert!(empirical_bound(&s, p, q) <= 3);
+        // Crashed processes really stop.
+        prop_assert_eq!(s.suffix(4000).occurrences(st_core::ProcessId::new(1)), 0);
+    }
+
+    /// GeneralizedFigure1: the set bound holds while each proper subset's
+    /// starvation keeps growing between prefix lengths.
+    #[test]
+    fn figure1_family_contract(n in 3usize..=7, psize in 2usize..=3) {
+        prop_assume!(psize < n);
+        let p: ProcSet = (0..psize).map(st_core::ProcessId::new).collect();
+        let q: ProcSet = (psize..n).map(st_core::ProcessId::new).collect();
+        let mut gen = GeneralizedFigure1::new(p, q);
+        let bound = gen.guaranteed_bound();
+        let s = gen.take_schedule(40_000);
+        prop_assert!(empirical_bound(&s, p, q) <= bound);
+        for drop in p.iter() {
+            let sub = p.without(drop);
+            let early = max_q_steps_in_p_free_interval(&s.prefix(4_000), sub, q);
+            let late = max_q_steps_in_p_free_interval(&s, sub, q);
+            prop_assert!(late > early, "subset without {drop} stopped starving");
+        }
+    }
+
+    /// RotatingStarvation: every (k+1)-set timely within its guaranteed
+    /// bound; every k-set starved beyond any timely constant.
+    #[test]
+    fn rotating_starvation_contract(n in 3usize..=6, k in 1usize..=2) {
+        prop_assume!(k < n);
+        let mut gen = RotatingStarvation::new(u(n), k);
+        let bound = gen.guaranteed_bound();
+        let s = gen.take_schedule(50_000);
+        let full = ProcSet::full(u(n));
+        for pset in KSubsets::new(u(n), k + 1) {
+            prop_assert!(empirical_bound(&s, pset, full) <= bound);
+        }
+        for kset in KSubsets::new(u(n), k) {
+            prop_assert!(max_q_steps_in_p_free_interval(&s, kset, full) > bound);
+        }
+    }
+
+    /// FictitiousCrash: membership witness at bound 1; starvation of every
+    /// (k, t+1) pair grows with the prefix.
+    #[test]
+    fn fictitious_crash_contract(n in 4usize..=6, t in 2usize..=4, k in 1usize..=2, j_minus_i in 0usize..=1) {
+        prop_assume!(k <= t && t < n);
+        prop_assume!(j_minus_i < t + 1 - k);
+        let i = 1usize;
+        let j = i + j_minus_i;
+        let spec = SystemSpec::new(i, j, n).unwrap();
+        let mut gen = FictitiousCrash::new(spec, t, k);
+        let (p, q) = gen.membership_witness();
+        let s = gen.take_schedule(60_000);
+        prop_assert_eq!(empirical_bound(&s, p, q), 1);
+        // Starvation evidence grows for the (k, t+1) pairs.
+        let short = st_sched::validate::min_starvation_evidence(&s.prefix(6_000), u(n), k, t + 1);
+        let long = st_sched::validate::min_starvation_evidence(&s, u(n), k, t + 1);
+        prop_assert!(long > short, "starvation stopped growing: {} vs {}", short, long);
+    }
+
+    /// Eventually: the body guarantee holds on the suffix, and the overall
+    /// schedule still has a finite bound (prefix absorbed).
+    #[test]
+    fn eventually_contract(prefix_len in 1u64..500, seed in 0u64..200) {
+        let n = 4;
+        let p = ProcSet::from_indices([0]);
+        let q = ProcSet::from_indices([1, 2, 3]);
+        let chaos = SeededRandom::over(q, seed); // P fully starved in prefix
+        let body = SetTimely::new(p, q, 4, SeededRandom::new(u(n), seed + 1));
+        let mut gen = Eventually::new(chaos, prefix_len, body);
+        let s = gen.take_schedule(6_000);
+        prop_assert!(empirical_bound(&s.suffix(prefix_len as usize), p, q) <= 4);
+        // Overall bound exists and is at most prefix + body bound.
+        prop_assert!(empirical_bound(&s, p, q) <= prefix_len as usize + 4);
+    }
+
+    /// Round-robin is the synchrony baseline: every singleton timely wrt
+    /// everything with bound n.
+    #[test]
+    fn round_robin_baseline(n in 2usize..=8) {
+        let mut gen = RoundRobin::new(u(n));
+        let s = gen.take_schedule(2_000);
+        for pid in u(n).processes() {
+            prop_assert!(empirical_bound(&s, ProcSet::singleton(pid), ProcSet::full(u(n))) <= n);
+        }
+    }
+
+    /// CrashAfter: a crashed process takes no steps past its crash point and
+    /// the schedule stays within the universe.
+    #[test]
+    fn crash_after_contract(n in 2usize..=6, seed in 0u64..200, crash_step in 0u64..1000) {
+        let victim = st_core::ProcessId::new(0);
+        let plan = CrashPlan::new().crash(victim, crash_step);
+        let mut gen = CrashAfter::new(SeededRandom::new(u(n), seed), plan);
+        let s = gen.take_schedule(4_000);
+        prop_assert!(s.is_within(u(n)));
+        let after = s.suffix(crash_step as usize);
+        prop_assert_eq!(after.occurrences(victim), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+use st_core::ProcessId;
+
+/// Errors surfaced by the simulator.
+///
+/// Most are *protocol* bugs (type confusion, write-discipline violations)
+/// rather than user-input errors, and abort the run with context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A register was accessed with the wrong value type.
+    TypeMismatch {
+        /// Register arena index.
+        register: usize,
+        /// Register name given at allocation.
+        name: String,
+    },
+    /// A single-writer register was written by a process other than its
+    /// declared writer.
+    WriteDisciplineViolation {
+        /// Register arena index.
+        register: usize,
+        /// Register name given at allocation.
+        name: String,
+        /// Declared writer.
+        owner: ProcessId,
+        /// Faulting writer.
+        writer: ProcessId,
+    },
+    /// A register handle did not belong to this simulator's arena.
+    UnknownRegister {
+        /// Out-of-range arena index.
+        register: usize,
+    },
+    /// `spawn` was called twice for the same process.
+    AlreadySpawned {
+        /// The doubly-spawned process.
+        process: ProcessId,
+    },
+    /// A scheduled process polled `Pending` without consuming its step
+    /// grant: its future is waiting on something other than a simulator
+    /// operation, which the deterministic executor cannot make progress on.
+    StuckProcess {
+        /// The stuck process.
+        process: ProcessId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TypeMismatch { register, name } => {
+                write!(f, "type mismatch on register #{register} ({name})")
+            }
+            SimError::WriteDisciplineViolation {
+                register,
+                name,
+                owner,
+                writer,
+            } => write!(
+                f,
+                "write-discipline violation on register #{register} ({name}): owned by {owner}, written by {writer}"
+            ),
+            SimError::UnknownRegister { register } => {
+                write!(f, "unknown register #{register}")
+            }
+            SimError::AlreadySpawned { process } => {
+                write!(f, "process {process} spawned twice")
+            }
+            SimError::StuckProcess { process } => {
+                write!(f, "process {process} is pending on a non-simulator future")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_register_name() {
+        let e = SimError::WriteDisciplineViolation {
+            register: 7,
+            name: "Heartbeat[3]".into(),
+            owner: ProcessId::new(3),
+            writer: ProcessId::new(1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("Heartbeat[3]") && s.contains("p3") && s.contains("p1"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic read-write shared-memory simulator.
+//!
+//! This crate is the runtime substrate of the reproduction: it executes
+//! protocol automata over atomic registers, driven step-by-step by a
+//! schedule, exactly as in the model of *Partial Synchrony Based on Set
+//! Timeliness* (Section 2):
+//!
+//! - a **step** is one register read or write plus unbounded local
+//!   computation ([`ProcessCtx::read`]/[`ProcessCtx::write`] suspend until
+//!   the schedule grants the process a step);
+//! - the executor is hand-rolled, single-threaded, and **fully
+//!   deterministic** — the schedule is the only nondeterminism, so runs are
+//!   reproducible bit-for-bit and the schedule is a controlled experimental
+//!   variable;
+//! - crashes are schedules that stop scheduling a process; probes expose
+//!   local protocol state (failure-detector outputs, round numbers) to the
+//!   trace without costing steps.
+//!
+//! See [`Sim`] for the entry point and a complete example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ctx;
+pub mod error;
+pub mod memory;
+pub mod register;
+mod runner;
+pub mod trace;
+
+pub use ctx::ProcessCtx;
+pub use error::SimError;
+pub use memory::{Memory, RegisterStats};
+pub use register::{Reg, RegValue, WriteDiscipline};
+pub use runner::{RunConfig, RunReport, RunStatus, Sim, StepOutcome, StopWhen};
+pub use trace::{Decision, ProbeEvent, ProbeLog};

@@ -1,0 +1,264 @@
+//! The register arena: the shared memory `Ξ` of the model.
+//!
+//! Registers are allocated before the run, hold type-erased values, and are
+//! accessed atomically (the simulator is single-threaded; atomicity is by
+//! construction). Accounting (read/write counts, versions) feeds the trace.
+
+use std::any::Any;
+
+use st_core::ProcessId;
+
+use crate::error::SimError;
+use crate::register::{Reg, RegValue, WriteDiscipline};
+
+struct RegisterCell {
+    name: String,
+    discipline: WriteDiscipline,
+    value: Box<dyn Any>,
+    /// Number of completed writes (version counter).
+    writes: u64,
+    /// Number of completed reads.
+    reads: u64,
+}
+
+/// The register arena.
+#[derive(Default)]
+pub struct Memory {
+    cells: Vec<RegisterCell>,
+}
+
+/// Per-register access statistics, reported after a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegisterStats {
+    /// Name given at allocation.
+    pub name: String,
+    /// Completed writes.
+    pub writes: u64,
+    /// Completed reads.
+    pub reads: u64,
+}
+
+impl Memory {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of allocated registers.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if no register has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Allocates a register with the given write discipline and initial
+    /// value, returning its typed handle.
+    pub fn alloc<T: RegValue>(
+        &mut self,
+        name: impl Into<String>,
+        discipline: WriteDiscipline,
+        init: T,
+    ) -> Reg<T> {
+        let index = self.cells.len() as u32;
+        self.cells.push(RegisterCell {
+            name: name.into(),
+            discipline,
+            value: Box::new(init),
+            writes: 0,
+            reads: 0,
+        });
+        Reg::new(index)
+    }
+
+    fn cell(&self, index: usize) -> Result<&RegisterCell, SimError> {
+        self.cells
+            .get(index)
+            .ok_or(SimError::UnknownRegister { register: index })
+    }
+
+    fn cell_mut(&mut self, index: usize) -> Result<&mut RegisterCell, SimError> {
+        self.cells
+            .get_mut(index)
+            .ok_or(SimError::UnknownRegister { register: index })
+    }
+
+    /// Atomic read: returns a clone of the current value and counts the
+    /// access.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownRegister`] for a foreign handle,
+    /// [`SimError::TypeMismatch`] if `T` differs from the allocation type.
+    pub fn read<T: RegValue>(&mut self, reg: Reg<T>) -> Result<T, SimError> {
+        let idx = reg.index();
+        let cell = self.cell_mut(idx)?;
+        let value = cell
+            .value
+            .downcast_ref::<T>()
+            .ok_or_else(|| SimError::TypeMismatch {
+                register: idx,
+                name: cell.name.clone(),
+            })?
+            .clone();
+        cell.reads += 1;
+        Ok(value)
+    }
+
+    /// Atomic write: replaces the value and counts the access, enforcing the
+    /// register's write discipline.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownRegister`], [`SimError::TypeMismatch`], or
+    /// [`SimError::WriteDisciplineViolation`] when a single-writer register
+    /// is written by a foreign process.
+    pub fn write<T: RegValue>(
+        &mut self,
+        writer: ProcessId,
+        reg: Reg<T>,
+        value: T,
+    ) -> Result<(), SimError> {
+        let idx = reg.index();
+        let cell = self.cell_mut(idx)?;
+        if let WriteDiscipline::SingleWriter(owner) = cell.discipline {
+            if owner != writer {
+                return Err(SimError::WriteDisciplineViolation {
+                    register: idx,
+                    name: cell.name.clone(),
+                    owner,
+                    writer,
+                });
+            }
+        }
+        let slot = cell
+            .value
+            .downcast_mut::<T>()
+            .ok_or_else(|| SimError::TypeMismatch {
+                register: idx,
+                name: cell.name.clone(),
+            })?;
+        *slot = value;
+        cell.writes += 1;
+        Ok(())
+    }
+
+    /// Non-step observation of a register (for tests and instrumentation):
+    /// does not count as an access.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Memory::read`], minus accounting.
+    pub fn peek<T: RegValue>(&self, reg: Reg<T>) -> Result<T, SimError> {
+        let idx = reg.index();
+        let cell = self.cell(idx)?;
+        cell.value
+            .downcast_ref::<T>()
+            .cloned()
+            .ok_or_else(|| SimError::TypeMismatch {
+                register: idx,
+                name: cell.name.clone(),
+            })
+    }
+
+    /// Name of a register.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownRegister`] for a foreign handle.
+    pub fn name(&self, index: usize) -> Result<&str, SimError> {
+        Ok(&self.cell(index)?.name)
+    }
+
+    /// Access statistics for all registers, in allocation order.
+    pub fn stats(&self) -> Vec<RegisterStats> {
+        self.cells
+            .iter()
+            .map(|c| RegisterStats {
+                name: c.name.clone(),
+                writes: c.writes,
+                reads: c.reads,
+            })
+            .collect()
+    }
+
+    /// Total completed register operations (reads + writes).
+    pub fn total_ops(&self) -> u64 {
+        self.cells.iter().map(|c| c.reads + c.writes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut m = Memory::new();
+        let r = m.alloc("x", WriteDiscipline::MultiWriter, 0u64);
+        assert_eq!(m.read(r).unwrap(), 0);
+        m.write(p(0), r, 42).unwrap();
+        assert_eq!(m.read(r).unwrap(), 42);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn structured_values() {
+        let mut m = Memory::new();
+        let r = m.alloc("pair", WriteDiscipline::MultiWriter, (0u64, Vec::<u32>::new()));
+        m.write(p(1), r, (7, vec![1, 2])).unwrap();
+        assert_eq!(m.read(r).unwrap(), (7, vec![1, 2]));
+    }
+
+    #[test]
+    fn single_writer_enforced() {
+        let mut m = Memory::new();
+        let r = m.alloc("hb", WriteDiscipline::SingleWriter(p(2)), 0u64);
+        assert!(m.write(p(2), r, 1).is_ok());
+        let err = m.write(p(0), r, 9).unwrap_err();
+        assert!(matches!(err, SimError::WriteDisciplineViolation { .. }));
+        // Failed write must not change the value or counts.
+        assert_eq!(m.peek(r).unwrap(), 1);
+        assert_eq!(m.stats()[0].writes, 1);
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let mut m = Memory::new();
+        let r = m.alloc("x", WriteDiscipline::MultiWriter, 5u64);
+        // Forge a handle with the wrong type at the same index.
+        let wrong: Reg<String> = Reg::new(r.index);
+        assert!(matches!(m.peek(wrong), Err(SimError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_register_detected() {
+        let m = Memory::new();
+        let r: Reg<u64> = Reg::new(9);
+        assert!(matches!(m.peek(r), Err(SimError::UnknownRegister { register: 9 })));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut m = Memory::new();
+        let r = m.alloc("x", WriteDiscipline::MultiWriter, 0u64);
+        let s = m.alloc("y", WriteDiscipline::MultiWriter, 0u64);
+        m.write(p(0), r, 1).unwrap();
+        let _ = m.read(r).unwrap();
+        let _ = m.read(r).unwrap();
+        let _ = m.peek(s).unwrap(); // peek not counted
+        let stats = m.stats();
+        assert_eq!(stats[0].writes, 1);
+        assert_eq!(stats[0].reads, 2);
+        assert_eq!(stats[1].reads, 0);
+        assert_eq!(m.total_ops(), 3);
+        assert_eq!(m.name(0).unwrap(), "x");
+    }
+}

@@ -1,0 +1,419 @@
+//! The deterministic executor and run controller.
+//!
+//! A [`Sim`] owns the register arena, the spawned process futures, and the
+//! trace. Driving it with a [`StepSource`] executes the schedule: each step
+//! grants exactly one register operation to the scheduled process. The
+//! executor is single-threaded and fully deterministic — the schedule is the
+//! only source of nondeterminism in a run, which is precisely the model of
+//! the paper.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use st_core::{
+    AgreementOutcome, ProcSet, ProcessId, Schedule, StepSource, Universe, Value,
+};
+
+use crate::ctx::{ProcessCtx, SimShared};
+use crate::error::SimError;
+use crate::memory::{Memory, RegisterStats};
+use crate::register::{Reg, RegValue, WriteDiscipline};
+use crate::trace::{executed_schedule, Decision, ProbeLog, TraceInner};
+
+/// Result of executing a single step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// The process consumed its grant (performed one register operation or a
+    /// pause) and is still running.
+    Progressed,
+    /// The process's future completed during this step.
+    Finished,
+    /// The scheduled process has no live automaton (never spawned, already
+    /// finished, or crashed): the step is a no-op, as for a halted process
+    /// in the model.
+    Idle,
+    /// The process polled `Pending` without consuming its grant — it is
+    /// blocked on a non-simulator future, which deterministic execution
+    /// cannot resolve.
+    Stuck,
+}
+
+/// Why a [`Sim::run`] call returned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunStatus {
+    /// The stop condition fired.
+    Stopped,
+    /// The step budget was exhausted.
+    MaxSteps,
+    /// The step source ran out of steps.
+    SourceEnded,
+    /// A process got stuck (see [`StepOutcome::Stuck`]).
+    Stuck(ProcessId),
+}
+
+/// Stop conditions checked after every executed step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StopWhen {
+    /// Never stop early; run until the budget or the source ends.
+    #[default]
+    Never,
+    /// Stop once every member of the set has decided.
+    AllDecided(ProcSet),
+    /// Stop once every member of the set has finished (future completed).
+    AllFinished(ProcSet),
+    /// Stop at the first decision by any process.
+    AnyDecided,
+}
+
+/// Configuration of one `run` call.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Hard cap on executed steps for this call.
+    pub max_steps: u64,
+    /// Early-stop condition.
+    pub stop: StopWhen,
+}
+
+impl RunConfig {
+    /// Runs up to `max_steps` with no early stop.
+    pub fn steps(max_steps: u64) -> Self {
+        RunConfig {
+            max_steps,
+            stop: StopWhen::Never,
+        }
+    }
+
+    /// Sets the stop condition.
+    pub fn stop_when(mut self, stop: StopWhen) -> Self {
+        self.stop = stop;
+        self
+    }
+}
+
+/// Snapshot of a run: decisions, probe log, statistics, and (optionally) the
+/// executed schedule.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Total steps executed so far.
+    pub steps: u64,
+    /// Per-process decision (indexed by process index).
+    pub decisions: Vec<Option<Decision>>,
+    /// Per-process completion flag.
+    pub finished: Vec<bool>,
+    /// The probe log.
+    pub probes: ProbeLog,
+    /// The executed schedule, when recording was enabled.
+    pub executed: Option<Schedule>,
+    /// Per-process completed register operations.
+    pub op_counts: Vec<u64>,
+    /// Per-register access statistics.
+    pub register_stats: Vec<RegisterStats>,
+}
+
+impl RunReport {
+    /// Decided value of process `p`, if any.
+    pub fn decision_value(&self, p: ProcessId) -> Option<Value> {
+        self.decisions[p.index()].map(|d| d.value)
+    }
+
+    /// The set of processes that decided.
+    pub fn decided_set(&self) -> ProcSet {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_some())
+            .map(|(i, _)| ProcessId::new(i))
+            .collect()
+    }
+
+    /// Step of the latest decision among `among`, if all of them decided.
+    pub fn all_decided_step(&self, among: ProcSet) -> Option<u64> {
+        let mut max = 0;
+        for p in among.iter() {
+            max = max.max(self.decisions[p.index()]?.step);
+        }
+        Some(max)
+    }
+
+    /// Packages the run as an [`AgreementOutcome`] for the `st-core`
+    /// checkers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` length differs from the number of processes.
+    pub fn agreement_outcome(&self, inputs: &[Value], correct: ProcSet) -> AgreementOutcome {
+        assert_eq!(inputs.len(), self.decisions.len(), "inputs length must be n");
+        AgreementOutcome {
+            inputs: inputs.to_vec(),
+            decisions: self.decisions.iter().map(|d| d.map(|x| x.value)).collect(),
+            correct,
+        }
+    }
+}
+
+struct Slot {
+    future: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    spawned: bool,
+}
+
+/// The deterministic shared-memory simulator.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{Universe, ProcessId, ScheduleCursor, Schedule};
+/// use st_sim::{Sim, RunConfig};
+///
+/// let mut sim = Sim::new(Universe::new(2).unwrap());
+/// let reg = sim.alloc("token", 0u64);
+/// for pid in sim.universe().processes() {
+///     let ctx = sim.ctx(pid);
+///     sim.spawn(pid, |ctx| async move {
+///         let v = ctx.read(reg).await;
+///         ctx.write(reg, v + 1).await;
+///         ctx.decide(v + 1);
+///     }).unwrap();
+///     let _ = ctx; // ctx available for external inspection too
+/// }
+/// let mut src = ScheduleCursor::new(Schedule::from_indices([0, 0, 1, 1]));
+/// sim.run(&mut src, RunConfig::steps(10));
+/// let report = sim.report();
+/// assert_eq!(report.decision_value(ProcessId::new(0)), Some(1));
+/// assert_eq!(report.decision_value(ProcessId::new(1)), Some(2));
+/// ```
+pub struct Sim {
+    shared: Rc<SimShared>,
+    slots: Vec<Slot>,
+    universe: Universe,
+    finished: Vec<bool>,
+    steps: u64,
+}
+
+impl Sim {
+    /// Creates a simulator for `universe` without executed-schedule
+    /// recording.
+    pub fn new(universe: Universe) -> Self {
+        Sim::with_recording(universe, false)
+    }
+
+    /// Creates a simulator, optionally recording the executed schedule (one
+    /// `ProcessId` per step; enable for timeliness analysis of runs).
+    pub fn with_recording(universe: Universe, record_schedule: bool) -> Self {
+        let n = universe.n();
+        Sim {
+            shared: Rc::new(SimShared {
+                memory: std::cell::RefCell::new(Memory::new()),
+                grant: std::cell::Cell::new(None),
+                step: std::cell::Cell::new(0),
+                trace: std::cell::RefCell::new(TraceInner::new(n, record_schedule)),
+                n,
+            }),
+            slots: (0..n)
+                .map(|_| Slot {
+                    future: None,
+                    spawned: false,
+                })
+                .collect(),
+            universe,
+            finished: vec![false; n],
+            steps: 0,
+        }
+    }
+
+    /// The simulated universe.
+    pub fn universe(&self) -> Universe {
+        self.universe
+    }
+
+    /// Allocates a multi-writer register.
+    pub fn alloc<T: RegValue>(&mut self, name: impl Into<String>, init: T) -> Reg<T> {
+        self.shared
+            .memory
+            .borrow_mut()
+            .alloc(name, WriteDiscipline::MultiWriter, init)
+    }
+
+    /// Allocates a single-writer register owned by `owner`.
+    pub fn alloc_sw<T: RegValue>(
+        &mut self,
+        name: impl Into<String>,
+        owner: ProcessId,
+        init: T,
+    ) -> Reg<T> {
+        self.shared
+            .memory
+            .borrow_mut()
+            .alloc(name, WriteDiscipline::SingleWriter(owner), init)
+    }
+
+    /// Allocates `count` multi-writer registers named `name[0..count]`.
+    pub fn alloc_array<T: RegValue>(&mut self, name: &str, count: usize, init: T) -> Vec<Reg<T>> {
+        (0..count)
+            .map(|i| self.alloc(format!("{name}[{i}]"), init.clone()))
+            .collect()
+    }
+
+    /// Allocates one single-writer register per process, `name[p]` owned by
+    /// `p` — the layout of `Heartbeat[p]` in Figure 2.
+    pub fn alloc_per_process<T: RegValue>(&mut self, name: &str, init: T) -> Vec<Reg<T>> {
+        self.universe
+            .processes()
+            .map(|p| self.alloc_sw(format!("{name}[{}]", p.index()), p, init.clone()))
+            .collect()
+    }
+
+    /// A context handle for `pid` (for spawning helpers or external
+    /// inspection).
+    pub fn ctx(&self, pid: ProcessId) -> ProcessCtx {
+        ProcessCtx::new(pid, Rc::clone(&self.shared))
+    }
+
+    /// Spawns the automaton of `pid` from an async closure over its context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AlreadySpawned`] if `pid` was spawned before.
+    pub fn spawn<F, Fut>(&mut self, pid: ProcessId, f: F) -> Result<(), SimError>
+    where
+        F: FnOnce(ProcessCtx) -> Fut,
+        Fut: Future<Output = ()> + 'static,
+    {
+        if self.slots[pid.index()].spawned {
+            return Err(SimError::AlreadySpawned { process: pid });
+        }
+        let future = Box::pin(f(self.ctx(pid)));
+        let slot = &mut self.slots[pid.index()];
+        slot.future = Some(future);
+        slot.spawned = true;
+        Ok(())
+    }
+
+    /// Executes one step by `p`.
+    ///
+    /// Steps of processes without a live automaton are no-ops (the halted
+    /// automaton self-loops), but still count and are still recorded — they
+    /// are real steps of the schedule.
+    pub fn step_with(&mut self, p: ProcessId) -> StepOutcome {
+        assert!(self.universe.contains(p), "{p} outside {}", self.universe);
+        self.shared.step.set(self.steps);
+        self.steps += 1;
+        if let Some(executed) = self.shared.trace.borrow_mut().executed.as_mut() {
+            executed.push(p);
+        }
+
+        let slot = &mut self.slots[p.index()];
+        let Some(future) = slot.future.as_mut() else {
+            return StepOutcome::Idle;
+        };
+
+        self.shared.grant.set(Some(p));
+        let mut cx = Context::from_waker(Waker::noop());
+        let poll = future.as_mut().poll(&mut cx);
+        let grant_left = self.shared.grant.take();
+
+        match poll {
+            Poll::Ready(()) => {
+                slot.future = None;
+                self.finished[p.index()] = true;
+                StepOutcome::Finished
+            }
+            Poll::Pending if grant_left.is_none() => StepOutcome::Progressed,
+            Poll::Pending => StepOutcome::Stuck,
+        }
+    }
+
+    /// Drives the simulation from `src` under `cfg`. Can be called again to
+    /// continue the same simulation with a different source or budget.
+    pub fn run<S: StepSource>(&mut self, src: &mut S, cfg: RunConfig) -> RunStatus {
+        for _ in 0..cfg.max_steps {
+            if self.stop_met(&cfg.stop) {
+                return RunStatus::Stopped;
+            }
+            let Some(p) = src.next_step() else {
+                return RunStatus::SourceEnded;
+            };
+            if self.step_with(p) == StepOutcome::Stuck {
+                return RunStatus::Stuck(p);
+            }
+        }
+        if self.stop_met(&cfg.stop) {
+            RunStatus::Stopped
+        } else {
+            RunStatus::MaxSteps
+        }
+    }
+
+    fn stop_met(&self, stop: &StopWhen) -> bool {
+        match stop {
+            StopWhen::Never => false,
+            StopWhen::AllDecided(set) => {
+                let trace = self.shared.trace.borrow();
+                set.iter().all(|p| trace.decisions[p.index()].is_some())
+            }
+            StopWhen::AllFinished(set) => set.iter().all(|p| self.finished[p.index()]),
+            StopWhen::AnyDecided => {
+                let trace = self.shared.trace.borrow();
+                trace.decisions.iter().any(|d| d.is_some())
+            }
+        }
+    }
+
+    /// Steps executed so far.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps
+    }
+
+    /// Non-step observation of a register (tests and instrumentation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on foreign handles or type confusion.
+    pub fn peek<T: RegValue>(&self, reg: Reg<T>) -> T {
+        self.shared
+            .memory
+            .borrow()
+            .peek(reg)
+            .unwrap_or_else(|e| panic!("peek failed: {e}"))
+    }
+
+    /// Crashes `p`: its automaton is dropped and all its future steps become
+    /// no-ops. (Schedule generators usually *stop scheduling* crashed
+    /// processes instead, which is the model's notion of a crash; explicit
+    /// crashing is for fault-injection tests.)
+    pub fn crash(&mut self, p: ProcessId) {
+        self.slots[p.index()].future = None;
+    }
+
+    /// Whether `p`'s automaton has completed.
+    pub fn is_finished(&self, p: ProcessId) -> bool {
+        self.finished[p.index()]
+    }
+
+    /// Snapshot of the current trace and statistics.
+    pub fn report(&self) -> RunReport {
+        let trace = self.shared.trace.borrow();
+        RunReport {
+            steps: self.steps,
+            decisions: trace.decisions.clone(),
+            finished: self.finished.clone(),
+            probes: ProbeLog::new(trace.probes.clone()),
+            executed: trace.executed.as_deref().map(executed_schedule),
+            op_counts: trace.op_counts.clone(),
+            register_stats: self.shared.memory.borrow().stats(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Sim[n={}, steps={}, registers={}]",
+            self.universe.n(),
+            self.steps,
+            self.shared.memory.borrow().len()
+        )
+    }
+}

@@ -1,0 +1,359 @@
+//! Integration tests for the deterministic executor: step semantics,
+//! determinism, crashes, stop conditions, and instrumentation.
+
+use st_core::{ProcSet, ProcessId, Schedule, ScheduleCursor, Universe};
+use st_sim::{RunConfig, RunStatus, Sim, StepOutcome, StopWhen};
+
+fn universe(n: usize) -> Universe {
+    Universe::new(n).unwrap()
+}
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Each scheduled step performs exactly one register operation.
+#[test]
+fn one_operation_per_step() {
+    let mut sim = Sim::new(universe(1));
+    let r = sim.alloc("x", 0u64);
+    sim.spawn(pid(0), |ctx| async move {
+        for i in 1..=5u64 {
+            ctx.write(r, i).await;
+        }
+    })
+    .unwrap();
+
+    // After s steps, exactly s writes have happened.
+    for expected in 1..=4u64 {
+        assert_eq!(sim.step_with(pid(0)), StepOutcome::Progressed);
+        assert_eq!(sim.peek(r), expected);
+    }
+    // The fifth write is the last operation: the future completes within the
+    // same poll, so the step reports Finished.
+    assert_eq!(sim.step_with(pid(0)), StepOutcome::Finished);
+    assert_eq!(sim.peek(r), 5);
+    assert!(sim.is_finished(pid(0)));
+    // Further steps are idle no-ops.
+    assert_eq!(sim.step_with(pid(0)), StepOutcome::Idle);
+    assert_eq!(sim.steps_executed(), 6);
+}
+
+/// Local computation between operations is free: many local mutations happen
+/// within a single step.
+#[test]
+fn local_computation_is_free() {
+    let mut sim = Sim::new(universe(1));
+    let r = sim.alloc("sum", 0u64);
+    sim.spawn(pid(0), |ctx| async move {
+        let mut local = 0u64;
+        for i in 0..1000 {
+            local += i; // free local work
+        }
+        ctx.write(r, local).await; // exactly one step
+    })
+    .unwrap();
+    sim.step_with(pid(0));
+    assert_eq!(sim.peek(r), 499_500);
+    assert_eq!(sim.steps_executed(), 1);
+}
+
+/// Steps by never-spawned processes are real but idle — this models the
+/// fictitious, crashed-from-the-start processes of the Theorem 27 proof.
+#[test]
+fn unspawned_process_steps_are_idle() {
+    let mut sim = Sim::new(universe(2));
+    let r = sim.alloc("x", 0u64);
+    sim.spawn(pid(0), |ctx| async move {
+        ctx.write(r, 1).await;
+    })
+    .unwrap();
+    assert_eq!(sim.step_with(pid(1)), StepOutcome::Idle);
+    // The single write is p0's last operation: Finished on the same step.
+    assert_eq!(sim.step_with(pid(0)), StepOutcome::Finished);
+    assert_eq!(sim.peek(r), 1);
+}
+
+/// Interleaving respects the schedule exactly: a register ping-pong between
+/// two processes reproduces the scheduled order.
+#[test]
+fn interleaving_follows_schedule() {
+    let mut sim = Sim::with_recording(universe(2), true);
+    let log = sim.alloc("log", Vec::<u64>::new());
+    for me in 0..2usize {
+        sim.spawn(pid(me), move |ctx| async move {
+            for round in 0..3u64 {
+                let mut cur = ctx.read(log).await;
+                cur.push(me as u64 * 10 + round);
+                ctx.write(log, cur).await;
+            }
+        })
+        .unwrap();
+    }
+    // p0 completes fully, then p1: strict sequential order.
+    let mut src = ScheduleCursor::new(Schedule::from_indices([0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1]));
+    sim.run(&mut src, RunConfig::steps(100));
+    assert_eq!(sim.peek(log), vec![0, 1, 2, 10, 11, 12]);
+    let report = sim.report();
+    assert_eq!(
+        report.executed.unwrap(),
+        Schedule::from_indices([0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1])
+    );
+}
+
+/// The same seed/schedule gives bit-identical traces (determinism).
+#[test]
+fn deterministic_replay() {
+    fn run_once() -> (Vec<Option<u64>>, u64) {
+        let mut sim = Sim::new(universe(3));
+        let regs = sim.alloc_per_process("v", 0u64);
+        for i in 0..3usize {
+            let my = regs[i];
+            let all = regs.clone();
+            sim.spawn(pid(i), move |ctx| async move {
+                ctx.write(my, (i as u64 + 1) * 7).await;
+                let mut sum = 0;
+                for r in all {
+                    sum += ctx.read(r).await;
+                }
+                ctx.decide(sum);
+            })
+            .unwrap();
+        }
+        let sched: Vec<usize> = (0..60).map(|s| (s * 7 + s / 3) % 3).collect();
+        let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
+        sim.run(&mut src, RunConfig::steps(100));
+        let rep = sim.report();
+        (
+            rep.decisions.iter().map(|d| d.map(|x| x.value)).collect(),
+            rep.steps,
+        )
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+/// Crashed processes stop making progress; their registers keep their last
+/// written values.
+#[test]
+fn crash_freezes_process() {
+    let mut sim = Sim::new(universe(2));
+    let r = sim.alloc("x", 0u64);
+    sim.spawn(pid(0), |ctx| async move {
+        for i in 1..1000u64 {
+            ctx.write(r, i).await;
+        }
+    })
+    .unwrap();
+    sim.step_with(pid(0));
+    sim.step_with(pid(0));
+    assert_eq!(sim.peek(r), 2);
+    sim.crash(pid(0));
+    assert_eq!(sim.step_with(pid(0)), StepOutcome::Idle);
+    assert_eq!(sim.peek(r), 2);
+}
+
+/// StopWhen::AllDecided fires as soon as the set has decided, not later.
+#[test]
+fn stop_when_all_decided() {
+    let mut sim = Sim::new(universe(3));
+    let r = sim.alloc("x", 0u64);
+    for i in 0..3usize {
+        sim.spawn(pid(i), move |ctx| async move {
+            let v = ctx.read(r).await;
+            ctx.decide(v + i as u64);
+            // Keep running forever after deciding.
+            loop {
+                ctx.pause().await;
+            }
+        })
+        .unwrap();
+    }
+    let sched: Vec<usize> = (0..300).map(|s| s % 3).collect();
+    let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
+    let status = sim.run(
+        &mut src,
+        RunConfig::steps(300).stop_when(StopWhen::AllDecided(ProcSet::from_indices([0, 1, 2]))),
+    );
+    assert_eq!(status, RunStatus::Stopped);
+    // All three decide at their first step each: 3 steps + 1 extra poll round.
+    assert!(sim.steps_executed() <= 4, "stopped late: {}", sim.steps_executed());
+}
+
+/// AnyDecided stops at the first decision.
+#[test]
+fn stop_when_any_decided() {
+    let mut sim = Sim::new(universe(2));
+    sim.spawn(pid(0), |ctx| async move {
+        ctx.pause().await;
+        ctx.pause().await;
+        ctx.decide(42);
+    })
+    .unwrap();
+    sim.spawn(pid(1), |ctx| async move {
+        loop {
+            ctx.pause().await;
+        }
+    })
+    .unwrap();
+    let sched: Vec<usize> = (0..100).map(|s| s % 2).collect();
+    let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
+    let status = sim.run(&mut src, RunConfig::steps(100).stop_when(StopWhen::AnyDecided));
+    assert_eq!(status, RunStatus::Stopped);
+    assert_eq!(sim.report().decision_value(pid(0)), Some(42));
+}
+
+/// Run status distinguishes budget exhaustion from source exhaustion.
+#[test]
+fn run_statuses() {
+    let mut sim = Sim::new(universe(1));
+    sim.spawn(pid(0), |ctx| async move {
+        loop {
+            ctx.pause().await;
+        }
+    })
+    .unwrap();
+    let mut src = ScheduleCursor::new(Schedule::from_indices([0, 0, 0]));
+    assert_eq!(sim.run(&mut src, RunConfig::steps(10)), RunStatus::SourceEnded);
+    let mut src2 = ScheduleCursor::new(Schedule::from_indices(vec![0; 50]));
+    assert_eq!(sim.run(&mut src2, RunConfig::steps(5)), RunStatus::MaxSteps);
+    assert_eq!(sim.steps_executed(), 8);
+}
+
+/// A process pending on a foreign future is reported as stuck.
+#[test]
+fn stuck_process_detected() {
+    struct NeverReady;
+    impl std::future::Future for NeverReady {
+        type Output = ();
+        fn poll(
+            self: std::pin::Pin<&mut Self>,
+            _: &mut std::task::Context<'_>,
+        ) -> std::task::Poll<()> {
+            std::task::Poll::Pending
+        }
+    }
+    let mut sim = Sim::new(universe(1));
+    sim.spawn(pid(0), |_ctx| async move {
+        NeverReady.await;
+    })
+    .unwrap();
+    let mut src = ScheduleCursor::new(Schedule::from_indices([0]));
+    assert_eq!(sim.run(&mut src, RunConfig::steps(5)), RunStatus::Stuck(pid(0)));
+}
+
+/// Probes are free (no steps) and recorded with the right step indices.
+#[test]
+fn probes_are_free_and_ordered() {
+    let mut sim = Sim::new(universe(1));
+    let r = sim.alloc("x", 0u64);
+    sim.spawn(pid(0), |ctx| async move {
+        ctx.probe("phase", 1);
+        ctx.write(r, 1).await;
+        ctx.probe("phase", 2);
+        ctx.probe_set("members", ProcSet::from_indices([0, 3]));
+        ctx.write(r, 2).await;
+        ctx.probe("phase", 3);
+    })
+    .unwrap();
+    let mut src = ScheduleCursor::new(Schedule::from_indices(vec![0; 10]));
+    sim.run(&mut src, RunConfig::steps(10));
+    let rep = sim.report();
+    let tl = rep.probes.timeline(pid(0), "phase");
+    assert_eq!(tl.iter().map(|&(_, v)| v).collect::<Vec<_>>(), vec![1, 2, 3]);
+    assert_eq!(
+        rep.probes.last_value(pid(0), "members"),
+        Some(ProcSet::from_indices([0, 3]).bits())
+    );
+    // Probes took no steps: only 2 writes + 1 finishing step happened.
+    assert_eq!(rep.op_counts[0], 2);
+}
+
+/// Double spawn is rejected; double decide panics.
+#[test]
+fn spawn_and_decide_misuse() {
+    let mut sim = Sim::new(universe(1));
+    sim.spawn(pid(0), |ctx| async move {
+        ctx.pause().await;
+    })
+    .unwrap();
+    assert!(sim.spawn(pid(0), |ctx| async move {
+        ctx.pause().await;
+    })
+    .is_err());
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut sim = Sim::new(universe(1));
+        sim.spawn(pid(0), |ctx| async move {
+            ctx.decide(1);
+            ctx.decide(2);
+        })
+        .unwrap();
+        sim.step_with(pid(0));
+    }));
+    assert!(result.is_err(), "double decide must panic");
+}
+
+/// Write-discipline violations surface as panics naming the register.
+#[test]
+fn single_writer_violation_panics() {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut sim = Sim::new(universe(2));
+        let hb = sim.alloc_per_process("Heartbeat", 0u64);
+        // p1 tries to write p0's heartbeat.
+        sim.spawn(pid(1), move |ctx| async move {
+            ctx.write(hb[0], 9).await;
+        })
+        .unwrap();
+        sim.step_with(pid(1));
+    }));
+    assert!(result.is_err());
+}
+
+/// Report helpers: decided set, all-decided step, agreement outcome.
+#[test]
+fn report_helpers() {
+    let mut sim = Sim::new(universe(3));
+    for i in 0..2usize {
+        sim.spawn(pid(i), move |ctx| async move {
+            ctx.pause().await;
+            ctx.decide(5);
+        })
+        .unwrap();
+    }
+    let mut src = ScheduleCursor::new(Schedule::from_indices([0, 0, 1, 1]));
+    sim.run(&mut src, RunConfig::steps(10));
+    let rep = sim.report();
+    assert_eq!(rep.decided_set(), ProcSet::from_indices([0, 1]));
+    assert_eq!(rep.all_decided_step(ProcSet::from_indices([0, 1])), Some(2));
+    assert_eq!(rep.all_decided_step(ProcSet::from_indices([0, 2])), None);
+
+    let outcome = rep.agreement_outcome(&[5, 5, 7], ProcSet::from_indices([0, 1]));
+    assert_eq!(outcome.decisions, vec![Some(5), Some(5), None]);
+}
+
+/// The executed schedule recording matches what the analyzer needs.
+#[test]
+fn executed_schedule_feeds_analyzer() {
+    let mut sim = Sim::with_recording(universe(2), true);
+    sim.spawn(pid(0), |ctx| async move {
+        loop {
+            ctx.pause().await;
+        }
+    })
+    .unwrap();
+    sim.spawn(pid(1), |ctx| async move {
+        loop {
+            ctx.pause().await;
+        }
+    })
+    .unwrap();
+    let mut src = ScheduleCursor::new(Schedule::from_indices([0, 1, 0, 1, 0, 1]));
+    sim.run(&mut src, RunConfig::steps(6));
+    let executed = sim.report().executed.unwrap();
+    let bound = st_core::timeliness::empirical_bound(
+        &executed,
+        ProcSet::from_indices([0]),
+        ProcSet::from_indices([1]),
+    );
+    assert_eq!(bound, 2);
+}

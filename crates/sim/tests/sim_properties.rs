@@ -1,0 +1,137 @@
+//! Property tests for the executor: accounting invariants that hold for
+//! every schedule and every protocol shape.
+
+use proptest::prelude::*;
+use st_core::{ProcSet, ProcessId, Schedule, ScheduleCursor, Universe};
+use st_sim::{RunConfig, Sim};
+
+prop_compose! {
+    fn arb_schedule(n: usize)(steps in prop::collection::vec(0..n, 0..2_000)) -> Schedule {
+        Schedule::from_indices(steps)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Total register operations never exceed executed steps, and equal
+    /// them exactly when no process pauses, idles, or finishes mid-run.
+    #[test]
+    fn ops_bounded_by_steps(sched in arb_schedule(3)) {
+        let u = Universe::new(3).unwrap();
+        let mut sim = Sim::new(u);
+        let reg = sim.alloc("x", 0u64);
+        for p in u.processes() {
+            sim.spawn(p, move |ctx| async move {
+                loop {
+                    let v = ctx.read(reg).await;
+                    ctx.write(reg, v + 1).await;
+                }
+            }).unwrap();
+        }
+        let len = sched.len() as u64;
+        let mut src = ScheduleCursor::new(sched);
+        sim.run(&mut src, RunConfig::steps(len));
+        let report = sim.report();
+        let total_ops: u64 = report.op_counts.iter().sum();
+        prop_assert_eq!(total_ops, report.steps);
+    }
+
+    /// Per-process op counts split exactly along the schedule's step counts
+    /// for never-finishing protocols.
+    #[test]
+    fn per_process_accounting(sched in arb_schedule(4)) {
+        let u = Universe::new(4).unwrap();
+        let mut sim = Sim::new(u);
+        let regs = sim.alloc_per_process("r", 0u64);
+        for p in u.processes() {
+            let mine = regs[p.index()];
+            sim.spawn(p, move |ctx| async move {
+                let mut i = 0u64;
+                loop {
+                    i += 1;
+                    ctx.write(mine, i).await;
+                }
+            }).unwrap();
+        }
+        let counts = sched.step_counts(u);
+        let len = sched.len() as u64;
+        let mut src = ScheduleCursor::new(sched);
+        sim.run(&mut src, RunConfig::steps(len));
+        let report = sim.report();
+        for (idx, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(report.op_counts[idx], c as u64);
+            // The register holds exactly the number of writes performed.
+            prop_assert_eq!(sim.peek(regs[idx]), c as u64);
+        }
+    }
+
+    /// The executed-schedule recording reproduces the driving schedule
+    /// verbatim, including steps of finished and unspawned processes.
+    #[test]
+    fn recording_is_verbatim(sched in arb_schedule(3)) {
+        let u = Universe::new(3).unwrap();
+        let mut sim = Sim::with_recording(u, true);
+        // p0 finishes immediately; p2 is never spawned.
+        sim.spawn(ProcessId::new(0), |ctx| async move {
+            ctx.pause().await;
+        }).unwrap();
+        sim.spawn(ProcessId::new(1), |ctx| async move {
+            loop { ctx.pause().await; }
+        }).unwrap();
+        let len = sched.len() as u64;
+        let mut src = ScheduleCursor::new(sched.clone());
+        sim.run(&mut src, RunConfig::steps(len));
+        prop_assert_eq!(sim.report().executed.unwrap(), sched);
+    }
+
+    /// Crash makes a process permanently idle without disturbing others'
+    /// registers.
+    #[test]
+    fn crash_isolates(sched in arb_schedule(2), crash_at in 0usize..500) {
+        let u = Universe::new(2).unwrap();
+        let mut sim = Sim::new(u);
+        let regs = sim.alloc_per_process("r", 0u64);
+        for p in u.processes() {
+            let mine = regs[p.index()];
+            sim.spawn(p, move |ctx| async move {
+                let mut i = 0u64;
+                loop {
+                    i += 1;
+                    ctx.write(mine, i).await;
+                }
+            }).unwrap();
+        }
+        let len = sched.len();
+        let cut = crash_at.min(len);
+        let mut src = ScheduleCursor::new(sched.prefix(cut));
+        sim.run(&mut src, RunConfig::steps(cut as u64));
+        let frozen = sim.peek(regs[0]);
+        sim.crash(ProcessId::new(0));
+        let mut src = ScheduleCursor::new(sched.suffix(cut));
+        sim.run(&mut src, RunConfig::steps((len - cut) as u64));
+        // p0's register froze at the crash; p1's reflects all its steps.
+        prop_assert_eq!(sim.peek(regs[0]), frozen);
+        prop_assert_eq!(sim.peek(regs[1]), sched.occurrences(ProcessId::new(1)) as u64);
+    }
+
+    /// Probes never consume steps: a probe-only process finishes on its
+    /// first granted step regardless of probe volume.
+    #[test]
+    fn probes_are_free(probe_count in 0usize..200) {
+        let u = Universe::new(1).unwrap();
+        let mut sim = Sim::new(u);
+        sim.spawn(ProcessId::new(0), move |ctx| async move {
+            for i in 0..probe_count {
+                ctx.probe("x", i as u64);
+            }
+            ctx.pause().await;
+        }).unwrap();
+        sim.step_with(ProcessId::new(0));
+        let report = sim.report();
+        prop_assert_eq!(report.probes.len(), probe_count);
+        prop_assert_eq!(report.op_counts[0], 0);
+        prop_assert_eq!(report.steps, 1);
+        let _ = ProcSet::EMPTY;
+    }
+}

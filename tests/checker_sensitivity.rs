@@ -1,0 +1,138 @@
+//! Negative-control tests of the measurement harness itself: deliberately
+//! broken protocols must be *caught* by the checkers. A reproduction whose
+//! instruments cannot fail is not measuring anything.
+
+use set_timeliness::core::{
+    check_outcome, AgreementTask, AgreementViolation, ProcSet, ProcessId, Schedule,
+    ScheduleCursor, Universe, Value,
+};
+use set_timeliness::sim::{RunConfig, Sim, StopWhen};
+
+/// A "protocol" in which everybody just decides its own input: with more
+/// than k distinct inputs this must violate k-agreement.
+#[test]
+fn checker_catches_k_agreement_violation() {
+    let n = 4;
+    let task = AgreementTask::new(2, 2, n).unwrap();
+    let universe = Universe::new(n).unwrap();
+    let mut sim = Sim::new(universe);
+    let inputs: Vec<Value> = (0..n as Value).collect(); // 4 distinct values
+    for p in universe.processes() {
+        let v = inputs[p.index()];
+        sim.spawn(p, move |ctx| async move {
+            ctx.pause().await;
+            ctx.decide(v);
+        })
+        .unwrap();
+    }
+    let steps: Vec<usize> = (0..2 * n).map(|i| i % n).collect();
+    let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
+    sim.run(
+        &mut src,
+        RunConfig::steps(100).stop_when(StopWhen::AllDecided(ProcSet::full(universe))),
+    );
+    let outcome = sim.report().agreement_outcome(&inputs, ProcSet::full(universe));
+    let violations = check_outcome(&task, &outcome);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, AgreementViolation::KAgreement { values, .. } if values.len() == 4)),
+        "decide-own with 4 distinct inputs must violate 2-agreement: {violations:?}"
+    );
+}
+
+/// A protocol that invents a value must be caught by validity.
+#[test]
+fn checker_catches_validity_violation() {
+    let n = 3;
+    let task = AgreementTask::new(1, 3, n).unwrap(); // k = n: agreement is lax
+    let universe = Universe::new(n).unwrap();
+    let mut sim = Sim::new(universe);
+    let inputs: Vec<Value> = vec![1, 2, 3];
+    for p in universe.processes() {
+        sim.spawn(p, move |ctx| async move {
+            ctx.pause().await;
+            ctx.decide(777); // never proposed
+        })
+        .unwrap();
+    }
+    let mut src = ScheduleCursor::new(Schedule::from_indices([0, 1, 2]));
+    sim.run(&mut src, RunConfig::steps(10));
+    let outcome = sim.report().agreement_outcome(&inputs, ProcSet::full(universe));
+    let violations = check_outcome(&task, &outcome);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, AgreementViolation::Validity { value: 777, .. })),
+        "inventing 777 must violate validity: {violations:?}"
+    );
+}
+
+/// A protocol that never decides must be caught by termination — but only
+/// within the fault budget.
+#[test]
+fn checker_catches_termination_violation_within_budget_only() {
+    let n = 3;
+    let task = AgreementTask::new(1, 1, n).unwrap();
+    let universe = Universe::new(n).unwrap();
+    let mut sim = Sim::new(universe);
+    let inputs: Vec<Value> = vec![5, 5, 5];
+    for p in universe.processes() {
+        sim.spawn(p, move |ctx| async move {
+            loop {
+                ctx.pause().await;
+            }
+        })
+        .unwrap();
+    }
+    let steps: Vec<usize> = (0..300).map(|i| i % n).collect();
+    let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
+    sim.run(&mut src, RunConfig::steps(300));
+
+    // Zero crashes (≤ t = 1): termination owed and violated.
+    let outcome = sim.report().agreement_outcome(&inputs, ProcSet::full(universe));
+    let violations = check_outcome(&task, &outcome);
+    assert!(violations
+        .iter()
+        .any(|v| matches!(v, AgreementViolation::Termination { .. })));
+
+    // Two "crashes" (> t = 1): termination not owed.
+    let outcome = sim
+        .report()
+        .agreement_outcome(&inputs, ProcSet::from_indices([0]));
+    assert!(check_outcome(&task, &outcome).is_empty());
+}
+
+/// The FD convergence analyzer must NOT report stabilization for a detector
+/// that flaps until the very end.
+#[test]
+fn convergence_analyzer_rejects_flapping() {
+    use set_timeliness::fd::convergence::winnerset_stabilization;
+    use set_timeliness::fd::WINNERSET_PROBE;
+
+    let universe = Universe::new(2).unwrap();
+    let mut sim = Sim::new(universe);
+    for p in universe.processes() {
+        sim.spawn(p, move |ctx| async move {
+            let mut flip = 0u64;
+            loop {
+                // Publish alternating winnersets forever.
+                ctx.probe(WINNERSET_PROBE, 1 + (flip % 2));
+                flip += 1;
+                ctx.pause().await;
+            }
+        })
+        .unwrap();
+    }
+    let steps: Vec<usize> = (0..500).map(|i| i % 2).collect();
+    let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
+    sim.run(&mut src, RunConfig::steps(500));
+    // Final values may coincide across processes, but each process's own
+    // timeline never stabilizes before its last publication; the detected
+    // "stabilization step" must be at the very end of the trace, never
+    // earlier.
+    if let Some(stab) = winnerset_stabilization(&sim.report(), ProcSet::full(universe)) {
+        assert!(stab.step >= 498, "flapping mistaken for early stabilization");
+    }
+    let _ = ProcessId::new(0);
+}

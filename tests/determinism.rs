@@ -1,0 +1,95 @@
+//! Whole-stack determinism: identical seeds and budgets produce identical
+//! traces across every layer — the property that makes the experiment
+//! harness reproducible.
+
+use set_timeliness::agreement::AgreementStack;
+use set_timeliness::bgsim::{run_reduction, TrivialKDecide};
+use set_timeliness::core::{AgreementTask, ProcSet, ProcessId, StepSource, Value};
+use set_timeliness::fd::WINNERSET_PROBE;
+use set_timeliness::sched::{FictitiousCrash, RotatingStarvation, SeededRandom, SetTimely};
+
+fn fingerprint_probes(timeline: &[(u64, u64)]) -> u64 {
+    // FNV-style fold of the probe timeline.
+    timeline.iter().fold(0xcbf29ce484222325u64, |h, &(s, v)| {
+        (h ^ s.wrapping_mul(31).wrapping_add(v)).wrapping_mul(0x100000001b3)
+    })
+}
+
+#[test]
+fn agreement_stack_is_deterministic() {
+    let run_once = || {
+        let task = AgreementTask::new(2, 1, 4).unwrap();
+        let inputs: Vec<Value> = vec![5, 6, 7, 8];
+        let stack = AgreementStack::build(task, &inputs);
+        let p = ProcSet::from_indices([0]);
+        let q = ProcSet::from_indices([0, 1, 2]);
+        let mut src = SetTimely::new(p, q, 6, SeededRandom::new(task.universe(), 99));
+        let run = stack.run(&mut src, 1_500_000, ProcSet::EMPTY);
+        let probes: Vec<u64> = task
+            .universe()
+            .processes()
+            .map(|pr| fingerprint_probes(&run.report.probes.timeline(pr, WINNERSET_PROBE)))
+            .collect();
+        (
+            run.report.steps,
+            run.outcome.decisions.clone(),
+            probes,
+            run.report.op_counts.clone(),
+        )
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn generators_are_deterministic() {
+    let take = |mut s: Box<dyn StepSource>| -> Vec<ProcessId> {
+        (0..5_000).map(|_| s.next_step().unwrap()).collect()
+    };
+    let u = set_timeliness::core::Universe::new(5).unwrap();
+    let spec = set_timeliness::core::SystemSpec::new(1, 2, 5).unwrap();
+
+    let a = take(Box::new(SeededRandom::new(u, 7)));
+    let b = take(Box::new(SeededRandom::new(u, 7)));
+    assert_eq!(a, b);
+
+    let a = take(Box::new(RotatingStarvation::new(u, 2)));
+    let b = take(Box::new(RotatingStarvation::new(u, 2)));
+    assert_eq!(a, b);
+
+    let a = take(Box::new(FictitiousCrash::new(spec, 3, 1)));
+    let b = take(Box::new(FictitiousCrash::new(spec, 3, 1)));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn bg_reduction_is_deterministic() {
+    let run_once = || {
+        let machines: Vec<TrivialKDecide> =
+            (0..5).map(|u| TrivialKDecide::new(u, 2, u as Value)).collect();
+        let host = set_timeliness::core::Universe::new(3).unwrap();
+        let mut src = SeededRandom::new(host, 1234);
+        let r = run_reduction(3, machines, 64, &mut src, 300_000);
+        (
+            r.simulator_decisions,
+            r.simulated_decisions,
+            r.host_steps,
+            r.simulated_schedules.iter().map(|s| s.len()).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Sanity check that the fingerprints above are actually sensitive.
+    let u = set_timeliness::core::Universe::new(5).unwrap();
+    let a: Vec<ProcessId> = {
+        let mut s = SeededRandom::new(u, 1);
+        (0..2_000).map(|_| s.next_step().unwrap()).collect()
+    };
+    let b: Vec<ProcessId> = {
+        let mut s = SeededRandom::new(u, 2);
+        (0..2_000).map(|_| s.next_step().unwrap()).collect()
+    };
+    assert_ne!(a, b);
+}
