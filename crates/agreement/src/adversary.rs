@@ -167,8 +167,7 @@ mod tests {
     #[test]
     fn blocks_consensus_while_two_sets_stay_timely() {
         let task = AgreementTask::new(1, 1, 3).unwrap();
-        let stack =
-            AgreementStack::build_full(task, &inputs(3), TimeoutPolicy::Increment, true);
+        let stack = AgreementStack::build_full(task, &inputs(3), TimeoutPolicy::Increment, true);
         let pair = ProcSet::from_indices([0, 1]);
         let full = ProcSet::full(task.universe());
         let adv = drive_adversarially(stack, 600_000, ProcSet::EMPTY, Some((pair, full)));
@@ -194,8 +193,7 @@ mod tests {
     #[test]
     fn blocks_two_set_agreement() {
         let task = AgreementTask::new(2, 2, 4).unwrap();
-        let stack =
-            AgreementStack::build_full(task, &inputs(4), TimeoutPolicy::Increment, true);
+        let stack = AgreementStack::build_full(task, &inputs(4), TimeoutPolicy::Increment, true);
         let trio = ProcSet::from_indices([0, 1, 2]);
         let full = ProcSet::full(task.universe());
         let adv = drive_adversarially(stack, 900_000, ProcSet::EMPTY, Some((trio, full)));
@@ -211,8 +209,7 @@ mod tests {
     #[test]
     fn blocks_with_fictitious_crash() {
         let task = AgreementTask::new(2, 1, 4).unwrap();
-        let stack =
-            AgreementStack::build_full(task, &inputs(4), TimeoutPolicy::Increment, true);
+        let stack = AgreementStack::build_full(task, &inputs(4), TimeoutPolicy::Increment, true);
         // C = {p3} crashed from the start (j − i = 1 ≤ t − k = 1).
         let crashed = ProcSet::from_indices([3]);
         let p_i = ProcSet::from_indices([0]);

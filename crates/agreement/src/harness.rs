@@ -104,11 +104,7 @@ impl AgreementStack {
     /// # Panics
     ///
     /// Panics if `inputs.len() != n`.
-    pub fn build_with_policy(
-        task: AgreementTask,
-        inputs: &[Value],
-        policy: TimeoutPolicy,
-    ) -> Self {
+    pub fn build_with_policy(task: AgreementTask, inputs: &[Value], policy: TimeoutPolicy) -> Self {
         Self::build_full(task, inputs, policy, false)
     }
 

@@ -45,7 +45,9 @@ impl KSetAgreement {
     pub fn alloc(sim: &mut Sim, k: usize) -> Self {
         assert!(k >= 1 && k <= sim.universe().n(), "need 1 <= k <= n");
         KSetAgreement {
-            instances: (0..k).map(|r| Paxos::alloc(sim, &format!("kset[{r}]"))).collect(),
+            instances: (0..k)
+                .map(|r| Paxos::alloc(sim, &format!("kset[{r}]")))
+                .collect(),
         }
     }
 
@@ -68,7 +70,8 @@ impl KSetAgreement {
     pub async fn run(self, ctx: ProcessCtx, fd: KAntiOmega, proposal: Value) {
         assert_eq!(fd.config().k, self.k(), "FD degree must match");
         let mut fd_local = fd.local_state();
-        let mut states: Vec<ProposerState> = (0..self.k()).map(|_| ProposerState::default()).collect();
+        let mut states: Vec<ProposerState> =
+            (0..self.k()).map(|_| ProposerState::default()).collect();
         loop {
             if let Some((value, instance)) = self
                 .round(&ctx, &fd, &mut fd_local, &mut states, proposal)
@@ -135,7 +138,8 @@ mod tests {
             let fd = fd.clone();
             let kset = kset.clone();
             let proposal = inputs[p.index()];
-            sim.spawn(p, move |ctx| kset.run(ctx, fd, proposal)).unwrap();
+            sim.spawn(p, move |ctx| kset.run(ctx, fd, proposal))
+                .unwrap();
         }
         let pset: ProcSet = (0..k).map(ProcessId::new).collect();
         let qset: ProcSet = (0..=t).map(ProcessId::new).collect();
@@ -145,9 +149,7 @@ mod tests {
             RunConfig::steps(3_000_000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
         );
         assert_eq!(status, st_sim::RunStatus::Stopped, "stack must terminate");
-        let outcome = sim
-            .report()
-            .agreement_outcome(&inputs, ProcSet::full(u));
+        let outcome = sim.report().agreement_outcome(&inputs, ProcSet::full(u));
         let task = st_core::AgreementTask::new(t, k, n).unwrap();
         let violations = st_core::check_outcome(&task, &outcome);
         assert!(violations.is_empty(), "{violations:?}");
@@ -168,7 +170,8 @@ mod tests {
                 let fd = fd.clone();
                 let kset = kset.clone();
                 let proposal = inputs[p.index()];
-                sim.spawn(p, move |ctx| kset.run(ctx, fd, proposal)).unwrap();
+                sim.spawn(p, move |ctx| kset.run(ctx, fd, proposal))
+                    .unwrap();
             }
             let mut src = SeededRandom::new(u, seed);
             sim.run(&mut src, RunConfig::steps(300_000));

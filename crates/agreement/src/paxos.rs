@@ -273,9 +273,7 @@ mod tests {
             sim.spawn(pid(1), move |ctx| async move {
                 let mut state = ProposerState::default();
                 loop {
-                    if let AttemptOutcome::Decided(v) =
-                        paxos.attempt(&ctx, &mut state, 101).await
-                    {
+                    if let AttemptOutcome::Decided(v) = paxos.attempt(&ctx, &mut state, 101).await {
                         ctx.decide(v);
                         return;
                     }

@@ -2,9 +2,7 @@
 //! and adversarial drivers — the unconditional half of the paper's claims.
 
 use proptest::prelude::*;
-use st_agreement::{
-    drive_adversarially, AgreementStack, AttemptOutcome, Paxos, ProposerState,
-};
+use st_agreement::{drive_adversarially, AgreementStack, AttemptOutcome, Paxos, ProposerState};
 use st_core::{AgreementTask, ProcSet, Schedule, ScheduleCursor, Universe, Value};
 use st_fd::TimeoutPolicy;
 use st_sched::{CrashAfter, CrashPlan, SeededRandom};

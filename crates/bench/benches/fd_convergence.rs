@@ -54,7 +54,12 @@ fn timeout_policy_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, convergence_grid, timeout_policy_ablation, set_vs_process);
+criterion_group!(
+    benches,
+    convergence_grid,
+    timeout_policy_ablation,
+    set_vs_process
+);
 fn set_vs_process(c: &mut Criterion) {
     // E8 workload: only groups are timely. The set-based detector is the
     // only one that converges; both are timed on the same schedule.

@@ -21,7 +21,9 @@ fn solvable_cell(c: &mut Criterion) {
             let p = ProcSet::from_indices([0]);
             let q = ProcSet::from_indices([0, 1]);
             let mut src = SetTimely::new(p, q, 4, SeededRandom::new(task.universe(), 5));
-            stack.run(&mut src, 4_000_000, ProcSet::EMPTY).is_clean_termination()
+            stack
+                .run(&mut src, 4_000_000, ProcSet::EMPTY)
+                .is_clean_termination()
         })
     });
     group.finish();

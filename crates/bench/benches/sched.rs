@@ -34,9 +34,12 @@ fn generators(c: &mut Criterion) {
     });
     group.bench_function("generalized_figure1", |b| {
         b.iter(|| {
-            GeneralizedFigure1::new(ProcSet::from_indices([0, 1, 2]), ProcSet::from_indices([3, 4]))
-                .take_schedule(LEN)
-                .len()
+            GeneralizedFigure1::new(
+                ProcSet::from_indices([0, 1, 2]),
+                ProcSet::from_indices([3, 4]),
+            )
+            .take_schedule(LEN)
+            .len()
         })
     });
     group.bench_function("set_timely_over_random", |b| {
@@ -79,9 +82,7 @@ fn certification(c: &mut Criterion) {
             BenchmarkId::new("witness_scan", format!("i{i}j{j}")),
             &(i, j),
             |b, &(i, j)| {
-                b.iter(|| {
-                    st_core::timeliness::find_timely_pair(&schedule, u, i, j, 6).is_some()
-                })
+                b.iter(|| st_core::timeliness::find_timely_pair(&schedule, u, i, j, 6).is_some())
             },
         );
     }

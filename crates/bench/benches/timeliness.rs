@@ -1,0 +1,209 @@
+//! Timeliness sweep bench — the zero-allocation engine
+//! ([`TimelinessAnalyzer`]) against the kept naive reference
+//! ([`st_core::timeliness::naive`]) on full `Π^i_n × Π^j_n` matrix sweeps,
+//! plus the `BENCH_timeliness.json` baseline emitter that starts the
+//! repository's recorded perf trajectory.
+//!
+//! Workloads follow the acceptance shape of the engine: `n = 12`,
+//! `L = 100_000`-step schedules, both a near-synchronous (round-robin) and
+//! a seeded-random schedule — the two ends of the dedup spectrum (the
+//! round-robin decomposition collapses to a couple of distinct run
+//! histograms; the random one exercises the sorted early-exit path).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_core::timeliness::{naive, sweep_matrix, TimelinessAnalyzer};
+use st_core::{Schedule, StepSource, Universe};
+use st_sched::{RoundRobin, SeededRandom};
+
+const N: usize = 12;
+const LEN: usize = 100_000;
+const CAP: usize = 2 * N;
+const I: usize = 2;
+const J: usize = 2;
+
+fn universe() -> Universe {
+    Universe::new(N).unwrap()
+}
+
+fn round_robin_schedule() -> Schedule {
+    RoundRobin::new(universe()).take_schedule(LEN)
+}
+
+fn seeded_random_schedule() -> Schedule {
+    SeededRandom::new(universe(), 0xBEEF).take_schedule(LEN)
+}
+
+fn matrix_sweeps(c: &mut Criterion) {
+    let rr = round_robin_schedule();
+    let rnd = seeded_random_schedule();
+    let mut group = c.benchmark_group("timeliness/all_timely_pairs");
+    group.sample_size(10);
+    group.bench_function("naive_rr_i2_j2", |b| {
+        b.iter(|| naive::all_timely_pairs(&rr, universe(), I, J, CAP).len())
+    });
+    group.bench_function("engine_rr_i2_j2", |b| {
+        let mut az = TimelinessAnalyzer::new(universe());
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            az.all_timely_pairs_into(&rr, I, J, CAP, &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("naive_rnd_i2_j2", |b| {
+        b.iter(|| naive::all_timely_pairs(&rnd, universe(), I, J, CAP).len())
+    });
+    group.bench_function("engine_rnd_i2_j2", |b| {
+        let mut az = TimelinessAnalyzer::new(universe());
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            az.all_timely_pairs_into(&rnd, I, J, CAP, &mut out);
+            out.len()
+        })
+    });
+    group.finish();
+
+    // The full n×n matrix in one call (shared decompositions + threads);
+    // no naive partner — the naive full matrix is out of time budget by
+    // orders of magnitude, which is the point of the engine.
+    let mut group = c.benchmark_group("timeliness/sweep_matrix");
+    group.sample_size(10);
+    group.bench_function("engine_full_n12_rnd", |b| {
+        b.iter(|| {
+            sweep_matrix(&rnd, universe(), CAP, usize::MAX)
+                .cells()
+                .iter()
+                .map(|c| c.timely_pairs)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+/// Times one closure, best of `reps`.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Emits `BENCH_timeliness.json` at the workspace root: the recorded
+/// baseline of the sweep-engine speedup and simulator step throughput this
+/// PR introduces. Future perf PRs extend the measurements and compare.
+fn emit_baseline(_c: &mut Criterion) {
+    // The emitter is a multi-minute fixed workload with a file side effect;
+    // honor the harness filter so targeted runs don't pay for it (and don't
+    // silently rewrite the committed baseline).
+    if let Some(filter) = criterion::cli_filter() {
+        if !"baseline".contains(filter.as_str()) {
+            println!("baseline emitter skipped (filter {filter:?})");
+            return;
+        }
+    }
+    let rr = round_robin_schedule();
+    let rnd = seeded_random_schedule();
+
+    let naive_rr = time_best(2, || {
+        naive::all_timely_pairs(&rr, universe(), I, J, CAP).len()
+    });
+    let naive_rnd = time_best(2, || {
+        naive::all_timely_pairs(&rnd, universe(), I, J, CAP).len()
+    });
+    let mut az = TimelinessAnalyzer::new(universe());
+    let mut out = Vec::new();
+    let engine_rr = time_best(5, || {
+        out.clear();
+        az.all_timely_pairs_into(&rr, I, J, CAP, &mut out);
+        out.len()
+    });
+    let engine_rnd = time_best(5, || {
+        out.clear();
+        az.all_timely_pairs_into(&rnd, I, J, CAP, &mut out);
+        out.len()
+    });
+    let matrix_full = time_best(3, || {
+        sweep_matrix(&rnd, universe(), CAP, usize::MAX)
+            .cells()
+            .iter()
+            .map(|c| c.timely_pairs)
+            .sum::<u64>()
+    });
+
+    // Simulator step throughput: the u64 word path (every register of the
+    // paper's protocols) against the boxed representation it replaced,
+    // via a non-u64 newtype that still goes through Box<dyn Any>.
+    let word = time_best(3, run_register_loop::<u64>);
+    let boxed = time_best(3, run_register_loop::<BoxedWord>);
+
+    let json = format!(
+        "{{\n  \"schema\": \"st-bench/timeliness-v1\",\n  \
+         \"workload\": {{\"n\": {N}, \"schedule_len\": {LEN}, \"bound_cap\": {CAP}, \"i\": {I}, \"j\": {J}}},\n  \
+         \"all_timely_pairs_ms\": {{\n    \
+           \"round_robin\": {{\"naive\": {naive_rr:.2}, \"engine\": {engine_rr:.2}, \"speedup\": {:.1}}},\n    \
+           \"seeded_random\": {{\"naive\": {naive_rnd:.2}, \"engine\": {engine_rnd:.2}, \"speedup\": {:.1}}}\n  }},\n  \
+         \"sweep_matrix_full_ms\": {{\"engine\": {matrix_full:.2}}},\n  \
+         \"sim_register_rw_100k_ms\": {{\"boxed\": {boxed:.2}, \"word\": {word:.2}, \"speedup\": {:.2}}}\n}}\n",
+        naive_rr / engine_rr,
+        naive_rnd / engine_rnd,
+        boxed / word,
+    );
+    let path = criterion::workspace_root().join("BENCH_timeliness.json");
+    std::fs::write(&path, &json).expect("write BENCH_timeliness.json");
+    println!("baseline written to {}:\n{json}", path.display());
+}
+
+/// `u64` wrapped so the arena stores it boxed: the pre-fast-path layout.
+#[derive(Clone, Debug)]
+struct BoxedWord(u64);
+
+trait Counter: Clone + std::fmt::Debug + 'static {
+    fn zero() -> Self;
+    fn bump(self) -> Self;
+}
+
+impl Counter for u64 {
+    fn zero() -> Self {
+        0
+    }
+    fn bump(self) -> Self {
+        self + 1
+    }
+}
+
+impl Counter for BoxedWord {
+    fn zero() -> Self {
+        BoxedWord(0)
+    }
+    fn bump(self) -> Self {
+        BoxedWord(self.0 + 1)
+    }
+}
+
+fn run_register_loop<T: Counter>() -> u64 {
+    use st_sim::{RunConfig, Sim};
+    let u = Universe::new(2).unwrap();
+    let mut sim = Sim::new(u);
+    let reg = sim.alloc("x", T::zero());
+    for p in u.processes() {
+        sim.spawn(p, move |ctx| async move {
+            loop {
+                let v = ctx.read(reg).await;
+                ctx.write(reg, v.bump()).await;
+            }
+        })
+        .unwrap();
+    }
+    let mut src = RoundRobin::new(u);
+    sim.run(&mut src, RunConfig::steps(100_000));
+    sim.steps_executed()
+}
+
+criterion_group!(benches, matrix_sweeps, emit_baseline);
+criterion_main!(benches);

@@ -103,15 +103,13 @@ impl StepMachine for TrivialKDecide {
         self.state = match std::mem::replace(&mut self.state, TrivialState::Done) {
             TrivialState::Publish => TrivialState::DecideOwn,
             TrivialState::DecideOwn => TrivialState::Done,
-            TrivialState::Scan => {
-                match read_value.expect("ReadCell outcome required") {
-                    Some(v) => TrivialState::DecideAdopted(v),
-                    None => {
-                        self.scan_at = (self.scan_at + 1) % self.k;
-                        TrivialState::Scan
-                    }
+            TrivialState::Scan => match read_value.expect("ReadCell outcome required") {
+                Some(v) => TrivialState::DecideAdopted(v),
+                None => {
+                    self.scan_at = (self.scan_at + 1) % self.k;
+                    TrivialState::Scan
                 }
-            }
+            },
             TrivialState::DecideAdopted(_) => TrivialState::Done,
             TrivialState::Done => TrivialState::Done,
         };

@@ -177,7 +177,11 @@ mod tests {
         let report = run_reduction(k + 1, machines, 64, &mut src, 2_000_000);
 
         let sched = &report.simulated_schedules[0];
-        assert!(sched.len() >= n_sim * 3, "schedule too short: {}", sched.len());
+        assert!(
+            sched.len() >= n_sim * 3,
+            "schedule too short: {}",
+            sched.len()
+        );
         let universe = Universe::new(n_sim).unwrap();
         let full = ProcSet::full(universe);
         for pair in st_core::subsets::KSubsets::new(universe, k + 1) {
@@ -199,7 +203,12 @@ mod tests {
             .collect();
         let mut src = RoundRobin::new(Universe::new(k + 1).unwrap());
         let report = run_reduction(k + 1, machines, 32, &mut src, 1_000_000);
-        let simulated: Vec<Value> = report.simulated_decisions.iter().flatten().copied().collect();
+        let simulated: Vec<Value> = report
+            .simulated_decisions
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         for d in report.simulator_decisions.iter().flatten() {
             assert!(simulated.contains(d), "adopted {d} not simulated");
         }
@@ -209,8 +218,9 @@ mod tests {
     #[test]
     fn reduction_is_deterministic() {
         let run = || {
-            let machines: Vec<TrivialKDecide> =
-                (0..4).map(|u| TrivialKDecide::new(u, 2, u as Value)).collect();
+            let machines: Vec<TrivialKDecide> = (0..4)
+                .map(|u| TrivialKDecide::new(u, 2, u as Value))
+                .collect();
             let sched: Vec<usize> = (0..40_000).map(|i| (i * 7 + i / 11) % 3).collect();
             let mut src = ScheduleCursor::new(st_core::Schedule::from_indices(sched));
             let r = run_reduction(3, machines, 64, &mut src, 60_000);

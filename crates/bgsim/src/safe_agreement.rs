@@ -44,18 +44,10 @@ impl SafeAgreement {
     /// `width` proposers, indexed by process index `0..width`).
     pub fn alloc(sim: &mut Sim, name: &str, width: usize) -> Self {
         let values = (0..width)
-            .map(|s| {
-                sim.alloc_sw(
-                    format!("{name}.V[{s}]"),
-                    st_core::ProcessId::new(s),
-                    None,
-                )
-            })
+            .map(|s| sim.alloc_sw(format!("{name}.V[{s}]"), st_core::ProcessId::new(s), None))
             .collect();
         let levels = (0..width)
-            .map(|s| {
-                sim.alloc_sw(format!("{name}.L[{s}]"), st_core::ProcessId::new(s), 0u64)
-            })
+            .map(|s| sim.alloc_sw(format!("{name}.L[{s}]"), st_core::ProcessId::new(s), 0u64))
             .collect();
         SafeAgreement { values, levels }
     }
@@ -80,7 +72,8 @@ impl SafeAgreement {
                 saw_two = true;
             }
         }
-        ctx.write(self.levels[me], if saw_two { 0 } else { 2 }).await;
+        ctx.write(self.levels[me], if saw_two { 0 } else { 2 })
+            .await;
     }
 
     /// One non-blocking resolution scan. **`width` steps**, plus up to
@@ -147,7 +140,12 @@ mod tests {
                 .unwrap();
             }
             let sched: Vec<usize> = (0..2000)
-                .map(|i| ((seed.wrapping_mul(6364136223846793005).wrapping_add(i * 2654435761)) % 3) as usize)
+                .map(|i| {
+                    ((seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(i * 2654435761))
+                        % 3) as usize
+                })
                 .collect();
             let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
             sim.run(
@@ -197,7 +195,10 @@ mod tests {
         }
         // p0 takes exactly 2 steps: V write + L←1 write — then crashes *in*
         // the unsafe zone. p1 runs alone forever after.
-        let sched: Vec<usize> = [0usize, 0].into_iter().chain(std::iter::repeat_n(1, 500)).collect();
+        let sched: Vec<usize> = [0usize, 0]
+            .into_iter()
+            .chain(std::iter::repeat_n(1, 500))
+            .collect();
         let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
         sim.run(&mut src, RunConfig::steps(502));
         assert!(sa.peek_unsafe(&sim), "p0 is stuck at level 1");

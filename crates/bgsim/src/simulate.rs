@@ -201,7 +201,11 @@ impl<M: StepMachine + Clone + 'static> BgSimulation<M> {
 
     /// Extracts simulator `s`'s linearization of the simulated schedule from
     /// a run report.
-    pub fn simulated_schedule(&self, report: &RunReport, simulator: st_core::ProcessId) -> Schedule {
+    pub fn simulated_schedule(
+        &self,
+        report: &RunReport,
+        simulator: st_core::ProcessId,
+    ) -> Schedule {
         report
             .probes
             .timeline(simulator, SIM_STEP_PROBE)

@@ -16,8 +16,8 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::error::ModelError;
-use crate::procset::ProcSet;
 use crate::process::Universe;
+use crate::procset::ProcSet;
 
 /// Values proposed and decided by processes.
 ///
@@ -145,13 +145,24 @@ impl fmt::Display for AgreementViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AgreementViolation::KAgreement { values, k } => {
-                write!(f, "k-agreement violated: {} distinct values (k = {k})", values.len())
+                write!(
+                    f,
+                    "k-agreement violated: {} distinct values (k = {k})",
+                    values.len()
+                )
             }
             AgreementViolation::Validity { process, value } => {
-                write!(f, "validity violated: p{process} decided unproposed value {value}")
+                write!(
+                    f,
+                    "validity violated: p{process} decided unproposed value {value}"
+                )
             }
             AgreementViolation::Termination { undecided } => {
-                write!(f, "termination violated: {} correct processes undecided", undecided.len())
+                write!(
+                    f,
+                    "termination violated: {} correct processes undecided",
+                    undecided.len()
+                )
             }
         }
     }
@@ -168,7 +179,11 @@ impl fmt::Display for AgreementViolation {
 /// Panics if `inputs`/`decisions` lengths differ from `n`.
 pub fn check_outcome(task: &AgreementTask, outcome: &AgreementOutcome) -> Vec<AgreementViolation> {
     assert_eq!(outcome.inputs.len(), task.n(), "inputs length must be n");
-    assert_eq!(outcome.decisions.len(), task.n(), "decisions length must be n");
+    assert_eq!(
+        outcome.decisions.len(),
+        task.n(),
+        "decisions length must be n"
+    );
     let mut violations = Vec::new();
 
     // Uniform validity.
@@ -218,7 +233,11 @@ mod tests {
         AgreementTask::new(t, k, n).unwrap()
     }
 
-    fn outcome(inputs: &[Value], decisions: &[Option<Value>], correct: &[usize]) -> AgreementOutcome {
+    fn outcome(
+        inputs: &[Value],
+        decisions: &[Option<Value>],
+        correct: &[usize],
+    ) -> AgreementOutcome {
         AgreementOutcome {
             inputs: inputs.to_vec(),
             decisions: decisions.to_vec(),
@@ -256,7 +275,9 @@ mod tests {
         let t = task(1, 1, 3);
         let o = outcome(&[10, 20, 30], &[Some(10), Some(20), None], &[0, 1]);
         let v = check_outcome(&t, &o);
-        assert!(v.iter().any(|x| matches!(x, AgreementViolation::KAgreement { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, AgreementViolation::KAgreement { .. })));
     }
 
     #[test]
@@ -266,7 +287,13 @@ mod tests {
         let v = check_outcome(&t, &o);
         assert!(matches!(
             v.as_slice(),
-            [AgreementViolation::Validity { process: 0, value: 99 }, ..]
+            [
+                AgreementViolation::Validity {
+                    process: 0,
+                    value: 99
+                },
+                ..
+            ]
         ));
     }
 
@@ -276,9 +303,9 @@ mod tests {
         // One crash (within t = 1): correct p2 undecided → violation.
         let o = outcome(&[1, 2, 3], &[Some(1), None, None], &[0, 2]);
         let v = check_outcome(&t, &o);
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, AgreementViolation::Termination { undecided } if undecided == &vec![2])));
+        assert!(v.iter().any(
+            |x| matches!(x, AgreementViolation::Termination { undecided } if undecided == &vec![2])
+        ));
     }
 
     #[test]
@@ -295,13 +322,18 @@ mod tests {
         let t = task(2, 1, 3);
         let o = outcome(&[5, 6, 7], &[Some(5), Some(6), None], &[2]);
         let v = check_outcome(&t, &o);
-        assert!(v.iter().any(|x| matches!(x, AgreementViolation::KAgreement { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, AgreementViolation::KAgreement { .. })));
     }
 
     #[test]
     fn display_forms() {
         assert_eq!(task(2, 1, 5).to_string(), "(2,1,5)-agreement");
-        let viol = AgreementViolation::Validity { process: 1, value: 9 };
+        let viol = AgreementViolation::Validity {
+            process: 1,
+            value: 9,
+        };
         assert!(viol.to_string().contains("validity"));
     }
 }

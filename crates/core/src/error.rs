@@ -55,7 +55,10 @@ impl fmt::Display for ModelError {
                 write!(f, "process index {index} out of range for universe of {n}")
             }
             ModelError::InvalidSystem { i, j, n } => {
-                write!(f, "invalid system S^{i}_{{{j},{n}}}: requires 1 <= i <= j <= n")
+                write!(
+                    f,
+                    "invalid system S^{i}_{{{j},{n}}}: requires 1 <= i <= j <= n"
+                )
             }
             ModelError::InvalidTask { t, k, n } => {
                 write!(
@@ -82,7 +85,10 @@ mod tests {
         assert!(e.to_string().contains("S^3_{2,4}"));
         let e = ModelError::InvalidTask { t: 0, k: 1, n: 3 };
         assert!(e.to_string().contains("(0,1,3)"));
-        let e = ModelError::MismatchedUniverse { task_n: 3, system_n: 4 };
+        let e = ModelError::MismatchedUniverse {
+            task_n: 3,
+            system_n: 4,
+        };
         assert!(e.to_string().contains("n = 3"));
     }
 

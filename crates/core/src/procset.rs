@@ -380,10 +380,7 @@ mod tests {
     fn display_form() {
         assert_eq!(ProcSet::EMPTY.to_string(), "{}");
         assert_eq!(ProcSet::from_indices([0, 2]).to_string(), "{p0,p2}");
-        assert_eq!(
-            format!("{:?}", ProcSet::from_indices([1])),
-            "ProcSet{p1}"
-        );
+        assert_eq!(format!("{:?}", ProcSet::from_indices([1])), "ProcSet{p1}");
     }
 
     #[test]

@@ -10,10 +10,10 @@
 
 use std::fmt;
 
+use crate::process::Universe;
 use crate::procset::ProcSet;
 use crate::schedule::Schedule;
 use crate::subsets::KSubsets;
-use crate::process::Universe;
 use crate::timeliness::TimelyPair;
 
 /// The synchrony profile of a finite schedule.
@@ -39,9 +39,8 @@ impl SynchronyProfile {
     pub fn analyze(schedule: &Schedule, universe: Universe, bound_cap: usize) -> Self {
         assert!(bound_cap > 0, "bound cap must be positive");
         let n = universe.n();
-        let mut best: Vec<Vec<Option<TimelyPair>>> = (1..=n)
-            .map(|i| vec![None; n - i + 1])
-            .collect();
+        let mut best: Vec<Vec<Option<TimelyPair>>> =
+            (1..=n).map(|i| vec![None; n - i + 1]).collect();
         for i in 1..=n {
             for p in KSubsets::new(universe, i) {
                 // Per-process counts of maximal P-free runs, pruned to runs
@@ -56,16 +55,18 @@ impl SynchronyProfile {
                             worst = worst.max(q_steps);
                         }
                         let bound = worst + 1;
-                        if bound <= bound_cap
-                            && slot.is_none_or(|b: TimelyPair| bound < b.bound)
-                        {
+                        if bound <= bound_cap && slot.is_none_or(|b: TimelyPair| bound < b.bound) {
                             *slot = Some(TimelyPair { p, q, bound });
                         }
                     }
                 }
             }
         }
-        SynchronyProfile { n, best, cap: bound_cap }
+        SynchronyProfile {
+            n,
+            best,
+            cap: bound_cap,
+        }
     }
 
     /// Universe size.
@@ -103,11 +104,7 @@ impl SynchronyProfile {
     /// strongest system claims this prefix supports.
     pub fn frontier(&self) -> Vec<(usize, usize)> {
         (1..=self.n)
-            .filter_map(|j| {
-                (1..=j)
-                    .find(|&i| self.supports(i, j))
-                    .map(|i| (i, j))
-            })
+            .filter_map(|j| (1..=j).find(|&i| self.supports(i, j)).map(|i| (i, j)))
             .collect()
     }
 }
@@ -164,7 +161,6 @@ impl fmt::Display for SynchronyProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn u(n: usize) -> Universe {
         Universe::new(n).unwrap()

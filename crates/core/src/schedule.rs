@@ -198,10 +198,7 @@ mod tests {
         assert_eq!(s.len(), 5);
         assert_eq!(s.occurrences(ProcessId::new(0)), 3);
         assert_eq!(s.occurrences(ProcessId::new(9)), 0);
-        assert_eq!(
-            s.occurrences_of_set(ProcSet::from_indices([1, 2])),
-            2
-        );
+        assert_eq!(s.occurrences_of_set(ProcSet::from_indices([1, 2])), 2);
         assert_eq!(s.participants(), ProcSet::from_indices([0, 1, 2]));
     }
 
@@ -210,7 +207,10 @@ mod tests {
         let a = Schedule::from_indices([0, 1]);
         let b = Schedule::from_indices([2]);
         let c = a.concat(&b);
-        assert_eq!(c.as_slice(), &[ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+        assert_eq!(
+            c.as_slice(),
+            &[ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]
+        );
         assert_eq!(c.prefix(2), a);
         assert_eq!(c.suffix(2), b);
         assert_eq!(c.prefix(99), c);

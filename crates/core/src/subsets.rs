@@ -6,8 +6,8 @@
 //! in *colexicographic bitmask order* (ascending `u64` value), produced with
 //! Gosper's hack; ranking uses the combinatorial number system.
 
-use crate::procset::ProcSet;
 use crate::process::Universe;
+use crate::procset::ProcSet;
 
 /// Binomial coefficient `C(n, k)` computed without overflow for the sizes used
 /// here (`n ≤ 64`); saturates at `u64::MAX` if the true value would overflow.
@@ -60,9 +60,33 @@ impl KSubsets {
         } else if k == 0 {
             Some(0)
         } else {
-            Some((1u64 << k) - 1)
+            // `u64::MAX >> (64 - k)` is the lowest k-bit mask; the plain
+            // `(1u64 << k) - 1` overflows for the full set Π^64_64.
+            Some(u64::MAX >> (64 - k))
         };
         KSubsets { n, current, limit }
+    }
+
+    /// Creates the iterator over `Π^k_n` starting at the subset of the given
+    /// rank — the tail of the enumeration a chunked (e.g. multi-threaded)
+    /// sweep hands to one worker. `starting_at_rank(u, k, 0)` equals
+    /// `new(u, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= C(n, k)` (via [`unrank`]) — except `rank == 0`,
+    /// which is always valid and yields the empty iterator when `k > n`.
+    pub fn starting_at_rank(universe: Universe, k: usize, rank: u64) -> Self {
+        if rank == 0 {
+            return KSubsets::new(universe, k);
+        }
+        let n = universe.n();
+        let limit = if n == 64 { u64::MAX } else { 1u64 << n };
+        KSubsets {
+            n,
+            current: Some(unrank(universe, k, rank).bits()),
+            limit,
+        }
     }
 }
 
@@ -232,6 +256,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn full_set_of_64_is_enumerable() {
+        // Regression: k == 64 used to compute `(1u64 << 64) - 1`, a shift
+        // overflow (debug panic, empty iterator in release). Π^64_64 is the
+        // single full set.
+        let v = k_subsets(u(64), 64);
+        assert_eq!(v, vec![ProcSet::full(u(64))]);
+        assert_eq!(rank(v[0]), 0);
+    }
+
+    #[test]
+    fn starting_at_rank_resumes_enumeration() {
+        for n in [5, 7] {
+            for k in 1..=n {
+                let all = k_subsets(u(n), k);
+                let starts = [0u64, 1, all.len() as u64 / 2, all.len() as u64 - 1];
+                for start in starts.into_iter().filter(|&r| r < all.len() as u64) {
+                    let tail: Vec<ProcSet> = KSubsets::starting_at_rank(u(n), k, start).collect();
+                    assert_eq!(tail, all[start as usize..], "n={n} k={k} start={start}");
+                }
+            }
+        }
+        // Rank 0 with k > n is the empty enumeration, like `new`.
+        assert_eq!(KSubsets::starting_at_rank(u(3), 4, 0).count(), 0);
     }
 
     #[test]

@@ -160,7 +160,9 @@ mod tests {
     fn witness_on_round_robin_prefix() {
         let spec = SystemSpec::new(1, 3, 3).unwrap();
         let s = Schedule::from_indices((0..120).map(|i| i % 3));
-        let w = spec.witness_on_prefix(&s, 4).expect("round robin is in S^1_{3,3}");
+        let w = spec
+            .witness_on_prefix(&s, 4)
+            .expect("round robin is in S^1_{3,3}");
         assert_eq!(w.p.len(), 1);
         assert_eq!(w.q.len(), 3);
     }

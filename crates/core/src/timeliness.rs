@@ -15,11 +15,46 @@
 //! growing prefixes: a timely pair plateaus, a non-timely pair grows without
 //! bound (this is exactly the Figure 1 phenomenon, reproduced in experiment
 //! E1).
+//!
+//! # The sweep engine and its complexity
+//!
+//! Sweeping `Π^i_n × Π^j_n` over a schedule of length `L` is the hot path of
+//! the Figure 1 and Theorem 27 experiments. The naive loop (kept in
+//! [`naive`] as the differential-testing reference) costs
+//!
+//! ```text
+//! O( C(n,i) · [ L  +  C(n,j) · (R·j + L) ] )
+//! ```
+//!
+//! per `(i, j)` cell — the trailing `L` is a full-schedule rescan per
+//! *accepted* `Q` (to compute its exact bound), and every `P` re-allocates
+//! its run table. [`TimelinessAnalyzer`] removes both: it decomposes the
+//! schedule into its maximal `P`-free **run histograms** once per `P`, into
+//! flat scratch buffers that are reused across the whole sweep (zero
+//! allocations at steady state), deduplicates identical histograms, and
+//! answers every `Q`-query — cap test *and* exact bound — from the
+//! decomposition:
+//!
+//! ```text
+//! O( C(n,i) · [ L + R·log R  +  C(n,j) · U'·j ] )
+//! ```
+//!
+//! where `R` is the number of maximal `P`-free runs, `U ≤ R` the number of
+//! *distinct* run histograms, and `U' ≤ U` the prefix actually inspected:
+//! histograms are kept sorted by descending total step count, so both
+//! queries stop at the first histogram whose total cannot beat the running
+//! answer (`Σ_{q∈Q} h[q] ≤ Σ h`). On periodic or near-synchronous schedules
+//! `U` is a small constant and the per-`Q` cost collapses to `O(j)`.
+//! A matrix sweep ([`sweep_matrix`]) additionally shares each `P`
+//! decomposition across **all** `j` columns and spreads the `Π^i_n` outer
+//! loop over threads ([`std::thread::scope`]; this environment has no
+//! external dependencies, so no rayon — the chunking is by subset rank and
+//! deterministic).
 
+use crate::process::Universe;
 use crate::procset::ProcSet;
 use crate::schedule::Schedule;
-use crate::subsets::KSubsets;
-use crate::process::Universe;
+use crate::subsets::{binomial, KSubsets};
 
 /// Largest number of `Q`-steps found in any maximal `P`-free interval of `s`.
 ///
@@ -86,6 +121,57 @@ pub fn empirical_bound(s: &Schedule, p: ProcSet, q: ProcSet) -> usize {
     max_q_steps_in_p_free_interval(s, p, q) + 1
 }
 
+/// Empirical bounds of several `(P, Q)` pairs on several growing prefixes of
+/// one schedule, in a **single pass** over the steps.
+///
+/// `checkpoints` must be ascending; each entry is clamped to `s.len()`.
+/// Returns one row per checkpoint, each row holding the bound of every pair
+/// on that prefix — `result[c][k] == empirical_bound(&s.prefix(checkpoints[c]),
+/// pairs[k].0, pairs[k].1)`. This is the E1 (Figure 1) access pattern: the
+/// naive form rescans the schedule `pairs × checkpoints` times, this scans it
+/// once with `O(pairs)` state.
+///
+/// # Panics
+///
+/// Panics if `checkpoints` is not ascending.
+pub fn prefix_bounds(
+    s: &Schedule,
+    pairs: &[(ProcSet, ProcSet)],
+    checkpoints: &[usize],
+) -> Vec<Vec<usize>> {
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] <= w[1]),
+        "checkpoints must be ascending"
+    );
+    let mut current = vec![0usize; pairs.len()];
+    let mut max = vec![0usize; pairs.len()];
+    let mut out = Vec::with_capacity(checkpoints.len());
+    let mut next_cp = checkpoints.iter().copied().peekable();
+    let emit = |max: &[usize], out: &mut Vec<Vec<usize>>| {
+        out.push(max.iter().map(|&m| m + 1).collect());
+    };
+    for (pos, step) in s.iter().enumerate() {
+        while next_cp.peek().is_some_and(|&cp| cp.min(s.len()) <= pos) {
+            next_cp.next();
+            emit(&max, &mut out);
+        }
+        for (k, &(p, q)) in pairs.iter().enumerate() {
+            if p.contains(step) {
+                current[k] = 0;
+            } else if q.contains(step) {
+                current[k] += 1;
+                if current[k] > max[k] {
+                    max[k] = current[k];
+                }
+            }
+        }
+    }
+    for _ in next_cp {
+        emit(&max, &mut out);
+    }
+    out
+}
+
 /// Evidence that a pair is (empirically) timely: the pair plus its bound.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TimelyPair {
@@ -97,6 +183,453 @@ pub struct TimelyPair {
     pub bound: usize,
 }
 
+/// The zero-allocation timeliness sweep engine.
+///
+/// Holds the maximal-`P`-free-run decomposition of one schedule for one `P`
+/// at a time, in flat buffers that are reused across calls: after the first
+/// [`decompose`](Self::decompose) at a given schedule size, subsequent
+/// decompositions allocate nothing. All queries
+/// ([`max_q_steps`](Self::max_q_steps), [`bound`](Self::bound),
+/// [`within_cap`](Self::within_cap)) are answered from the decomposition —
+/// the schedule is never rescanned.
+///
+/// # Decomposition invariants
+///
+/// After `decompose(s, p)`:
+///
+/// - every maximal `P`-free interval of `s` with at least one in-universe
+///   step is recorded as a **histogram**: per-process step counts over the
+///   interval (intervals with zero countable steps carry no information for
+///   any `Q` and are dropped);
+/// - identical histograms are stored **once**; [`runs`](Self::runs) is the
+///   number of distinct histograms, [`raw_runs`](Self::raw_runs) the number
+///   of recorded intervals (`Σ` multiplicities);
+/// - histograms are ordered by **descending total** step count, which makes
+///   both query loops early-exit sound: for any `Q`,
+///   `Σ_{q∈Q} h[q] ≤ total(h)`, so once `total` drops to the running
+///   maximum (or below the cap) no later histogram can change the answer;
+/// - for every histogram, `total` equals the sum of its per-process counts.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{timeliness::TimelinessAnalyzer, Schedule, ProcSet, Universe};
+///
+/// let u = Universe::new(3).unwrap();
+/// let s = Schedule::from_indices([0, 1, 2, 0, 1, 2]);
+/// let mut az = TimelinessAnalyzer::new(u);
+/// az.decompose(&s, ProcSet::from_indices([0]));
+/// let q = ProcSet::from_indices([1, 2]);
+/// assert_eq!(az.bound(q), 3);
+/// assert!(az.within_cap(q, 3));
+/// assert!(!az.within_cap(q, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimelinessAnalyzer {
+    universe: Universe,
+    n: usize,
+    /// Flat histogram storage: slot `r` is `counts[r*n .. (r+1)*n]`.
+    counts: Vec<u32>,
+    /// Total in-universe steps per slot (parallel to slots).
+    totals: Vec<u64>,
+    /// Distinct-histogram access path: slot ids sorted by descending total.
+    uniq: Vec<u32>,
+    /// Multiplicity per distinct histogram (parallel to `uniq`).
+    mult: Vec<u32>,
+    /// Scratch for the sort.
+    order: Vec<u32>,
+    /// The `P` of the current decomposition.
+    decomposed_p: Option<ProcSet>,
+}
+
+impl TimelinessAnalyzer {
+    /// Creates an analyzer for schedules over `universe`.
+    pub fn new(universe: Universe) -> Self {
+        TimelinessAnalyzer {
+            universe,
+            n: universe.n(),
+            counts: Vec::new(),
+            totals: Vec::new(),
+            uniq: Vec::new(),
+            mult: Vec::new(),
+            order: Vec::new(),
+            decomposed_p: None,
+        }
+    }
+
+    /// The universe this analyzer sweeps over.
+    pub fn universe(&self) -> Universe {
+        self.universe
+    }
+
+    /// The `P` of the current decomposition, if any.
+    pub fn decomposed_p(&self) -> Option<ProcSet> {
+        self.decomposed_p
+    }
+
+    /// Number of **distinct** run histograms in the current decomposition.
+    pub fn runs(&self) -> usize {
+        self.uniq.len()
+    }
+
+    /// Number of recorded maximal `P`-free intervals before deduplication.
+    pub fn raw_runs(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Decomposes `s` into its maximal `P`-free run histograms (see the type
+    /// docs for the invariants). One `O(L)` pass plus an `O(R log R)` sort;
+    /// reuses all internal buffers.
+    pub fn decompose(&mut self, s: &Schedule, p: ProcSet) {
+        let n = self.n;
+        self.counts.clear();
+        self.totals.clear();
+        let mut base = usize::MAX; // no open run
+        let mut total = 0u64;
+        for step in s.iter() {
+            if p.contains(step) {
+                if base != usize::MAX {
+                    self.totals.push(total);
+                    base = usize::MAX;
+                    total = 0;
+                }
+            } else {
+                let idx = step.index();
+                if idx < n {
+                    if base == usize::MAX {
+                        base = self.counts.len();
+                        self.counts.resize(base + n, 0);
+                    }
+                    self.counts[base + idx] += 1;
+                    total += 1;
+                }
+            }
+        }
+        if base != usize::MAX {
+            self.totals.push(total);
+        }
+
+        // Order slots by descending total (ties by histogram content so that
+        // duplicates become adjacent), then collapse duplicates.
+        let Self {
+            counts,
+            totals,
+            uniq,
+            mult,
+            order,
+            ..
+        } = self;
+        order.clear();
+        order.extend(0..totals.len() as u32);
+        let hist = |slot: u32| &counts[slot as usize * n..(slot as usize + 1) * n];
+        order.sort_unstable_by(|&a, &b| {
+            totals[b as usize]
+                .cmp(&totals[a as usize])
+                .then_with(|| hist(a).cmp(hist(b)))
+        });
+        uniq.clear();
+        mult.clear();
+        for &slot in order.iter() {
+            match uniq.last() {
+                Some(&prev)
+                    if totals[prev as usize] == totals[slot as usize]
+                        && hist(prev) == hist(slot) =>
+                {
+                    *mult.last_mut().expect("mult parallel to uniq") += 1;
+                }
+                _ => {
+                    uniq.push(slot);
+                    mult.push(1);
+                }
+            }
+        }
+        self.decomposed_p = Some(p);
+    }
+
+    #[inline]
+    fn q_sum(&self, slot: u32, q: ProcSet) -> u64 {
+        let base = slot as usize * self.n;
+        let mut bits = q.bits();
+        let mut sum = 0u64;
+        while bits != 0 {
+            let idx = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if idx < self.n {
+                sum += self.counts[base + idx] as u64;
+            }
+        }
+        sum
+    }
+
+    /// Largest number of `Q`-steps in any maximal `P`-free interval —
+    /// [`max_q_steps_in_p_free_interval`] answered from the decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been decomposed yet.
+    pub fn max_q_steps(&self, q: ProcSet) -> usize {
+        assert!(self.decomposed_p.is_some(), "decompose a schedule first");
+        let mut best = 0u64;
+        for &slot in &self.uniq {
+            if self.totals[slot as usize] <= best {
+                break; // descending totals: no later histogram can win
+            }
+            best = best.max(self.q_sum(slot, q));
+        }
+        best as usize
+    }
+
+    /// Empirical bound of `(P, Q)` for the decomposed `P` — equals
+    /// [`empirical_bound`] without rescanning the schedule.
+    pub fn bound(&self, q: ProcSet) -> usize {
+        self.max_q_steps(q) + 1
+    }
+
+    /// `true` iff `P` is timely wrt `Q` with a bound `≤ cap` — i.e., no run
+    /// contains `cap` or more `Q`-steps. Inspects only histograms with
+    /// `total ≥ cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` or nothing has been decomposed yet.
+    pub fn within_cap(&self, q: ProcSet, cap: usize) -> bool {
+        assert!(cap > 0, "bound cap must be positive");
+        assert!(self.decomposed_p.is_some(), "decompose a schedule first");
+        let cap = cap as u64;
+        for &slot in &self.uniq {
+            if self.totals[slot as usize] < cap {
+                break;
+            }
+            if self.q_sum(slot, q) >= cap {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// [`find_timely_pair`] on this analyzer: first pair of the
+    /// deterministic `Π^i_n × Π^j_n` enumeration whose empirical bound is at
+    /// most `bound_cap`, with every `P` decomposed exactly once.
+    pub fn find_timely_pair(
+        &mut self,
+        s: &Schedule,
+        i: usize,
+        j: usize,
+        bound_cap: usize,
+    ) -> Option<TimelyPair> {
+        assert!(bound_cap > 0, "bound cap must be positive");
+        for p in KSubsets::new(self.universe, i) {
+            self.decompose(s, p);
+            for q in KSubsets::new(self.universe, j) {
+                if self.within_cap(q, bound_cap) {
+                    let bound = self.bound(q);
+                    debug_assert!(bound <= bound_cap);
+                    return Some(TimelyPair { p, q, bound });
+                }
+            }
+        }
+        None
+    }
+
+    /// [`all_timely_pairs`] on this analyzer, appending into a caller-owned
+    /// vector so sweeps can reuse it.
+    pub fn all_timely_pairs_into(
+        &mut self,
+        s: &Schedule,
+        i: usize,
+        j: usize,
+        bound_cap: usize,
+        out: &mut Vec<TimelyPair>,
+    ) {
+        assert!(bound_cap > 0, "bound cap must be positive");
+        for p in KSubsets::new(self.universe, i) {
+            self.decompose(s, p);
+            for q in KSubsets::new(self.universe, j) {
+                if self.within_cap(q, bound_cap) {
+                    out.push(TimelyPair {
+                        p,
+                        q,
+                        bound: self.bound(q),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Sweeps one `Π^i_n` row against several `j` columns, sharing each `P`
+    /// decomposition across all of them. Returns one [`MatrixCell`] per
+    /// entry of `js`.
+    pub fn sweep_row(
+        &mut self,
+        s: &Schedule,
+        i: usize,
+        js: &[usize],
+        bound_cap: usize,
+    ) -> Vec<MatrixCell> {
+        self.sweep_row_ranked(s, i, js, bound_cap, 0, binomial(self.n, i))
+    }
+
+    /// [`sweep_row`](Self::sweep_row) over the rank interval
+    /// `[first_rank, last_rank)` of `Π^i_n` — the unit of work a parallel
+    /// sweep hands to one thread.
+    pub fn sweep_row_ranked(
+        &mut self,
+        s: &Schedule,
+        i: usize,
+        js: &[usize],
+        bound_cap: usize,
+        first_rank: u64,
+        last_rank: u64,
+    ) -> Vec<MatrixCell> {
+        assert!(bound_cap > 0, "bound cap must be positive");
+        let mut cells: Vec<MatrixCell> = js.iter().map(|&j| MatrixCell::empty(i, j)).collect();
+        if first_rank >= last_rank {
+            return cells;
+        }
+        let subsets = KSubsets::starting_at_rank(self.universe, i, first_rank)
+            .take((last_rank - first_rank) as usize);
+        for p in subsets {
+            self.decompose(s, p);
+            for (cell, &j) in cells.iter_mut().zip(js) {
+                for q in KSubsets::new(self.universe, j) {
+                    if self.within_cap(q, bound_cap) {
+                        let bound = self.bound(q);
+                        cell.timely_pairs += 1;
+                        cell.min_bound = Some(cell.min_bound.map_or(bound, |b| b.min(bound)));
+                        if cell.first.is_none() {
+                            cell.first = Some(TimelyPair { p, q, bound });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Summary of one `(i, j)` cell of a matrix sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatrixCell {
+    /// `|P|` of the swept row.
+    pub i: usize,
+    /// `|Q|` of the swept column.
+    pub j: usize,
+    /// Number of pairs within the cap.
+    pub timely_pairs: u64,
+    /// First such pair in enumeration order.
+    pub first: Option<TimelyPair>,
+    /// Smallest empirical bound over the cell.
+    pub min_bound: Option<usize>,
+}
+
+impl MatrixCell {
+    fn empty(i: usize, j: usize) -> Self {
+        MatrixCell {
+            i,
+            j,
+            timely_pairs: 0,
+            first: None,
+            min_bound: None,
+        }
+    }
+
+    fn merge(&mut self, other: &MatrixCell) {
+        debug_assert_eq!((self.i, self.j), (other.i, other.j));
+        self.timely_pairs += other.timely_pairs;
+        self.min_bound = match (self.min_bound, other.min_bound) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        // Chunks are merged in ascending rank order, so the first Some wins.
+        if self.first.is_none() {
+            self.first = other.first;
+        }
+    }
+}
+
+/// The full `(i, j)` solvability-experiment matrix of one schedule: for
+/// every `1 ≤ i, j ≤ n`, the number of timely `Π^i_n × Π^j_n` pairs within
+/// the cap, the first such pair, and the least bound.
+#[derive(Clone, Debug)]
+pub struct SweepMatrix {
+    n: usize,
+    cells: Vec<MatrixCell>,
+}
+
+impl SweepMatrix {
+    /// The cell for `(i, j)` (`1 ≤ i, j ≤ n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn cell(&self, i: usize, j: usize) -> &MatrixCell {
+        assert!(i >= 1 && i <= self.n && j >= 1 && j <= self.n);
+        &self.cells[(i - 1) * self.n + (j - 1)]
+    }
+
+    /// All cells in row-major `(i, j)` order.
+    pub fn cells(&self) -> &[MatrixCell] {
+        &self.cells
+    }
+}
+
+/// Sweeps **every** `(i, j)` cell (`1 ≤ i, j ≤ n`) of `s` with one shared
+/// decomposition per `P` and the `Π^i_n` loop spread across up to
+/// `threads` OS threads (capped by [`std::thread::available_parallelism`];
+/// pass `1` to force the sequential path). Results are identical to the
+/// sequential sweep: work is split by subset rank and merged in rank order.
+pub fn sweep_matrix(
+    s: &Schedule,
+    universe: Universe,
+    bound_cap: usize,
+    threads: usize,
+) -> SweepMatrix {
+    assert!(bound_cap > 0, "bound cap must be positive");
+    let n = universe.n();
+    let js: Vec<usize> = (1..=n).collect();
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let workers = threads.clamp(1, hw);
+    let mut cells = Vec::with_capacity(n * n);
+    for i in 1..=n {
+        let total_ranks = binomial(n, i);
+        // Spawning threads costs more than small rows; keep those inline.
+        let workers = if total_ranks < 64 {
+            1
+        } else {
+            workers.min(total_ranks as usize)
+        };
+        if workers == 1 {
+            let mut az = TimelinessAnalyzer::new(universe);
+            cells.extend(az.sweep_row(s, i, &js, bound_cap));
+            continue;
+        }
+        let chunk = total_ranks.div_ceil(workers as u64);
+        let row = std::thread::scope(|scope| {
+            let js = &js;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let first = chunk * w as u64;
+                    let last = (first + chunk).min(total_ranks);
+                    scope.spawn(move || {
+                        let mut az = TimelinessAnalyzer::new(universe);
+                        az.sweep_row_ranked(s, i, js, bound_cap, first, last)
+                    })
+                })
+                .collect();
+            let mut row: Vec<MatrixCell> = js.iter().map(|&j| MatrixCell::empty(i, j)).collect();
+            for handle in handles {
+                let part = handle.join().expect("sweep worker panicked");
+                for (cell, partial) in row.iter_mut().zip(&part) {
+                    cell.merge(partial);
+                }
+            }
+            row
+        });
+        cells.extend(row);
+    }
+    SweepMatrix { n, cells }
+}
+
 /// Searches for a pair `(P, Q)` with `|P| = i`, `|Q| = j` whose empirical
 /// bound on `s` is at most `bound_cap`. Returns the first such pair in the
 /// deterministic `Π^i_n × Π^j_n` enumeration order, or `None`.
@@ -105,9 +638,8 @@ pub struct TimelyPair {
 /// (Section 2.2): a schedule of `S^i_{j,n}` must exhibit such a pair with
 /// *some* bound; on a prefix we test with an explicit cap.
 ///
-/// The search prunes by `P`-free runs: for a fixed `P` only runs containing at
-/// least `bound_cap` total steps can disqualify a `Q`, so schedules that are
-/// actually timely are scanned quickly.
+/// Convenience wrapper over [`TimelinessAnalyzer::find_timely_pair`]; for
+/// repeated sweeps, hold an analyzer and reuse its buffers.
 pub fn find_timely_pair(
     s: &Schedule,
     universe: Universe,
@@ -115,28 +647,13 @@ pub fn find_timely_pair(
     j: usize,
     bound_cap: usize,
 ) -> Option<TimelyPair> {
-    assert!(bound_cap > 0, "bound cap must be positive");
-    for p in KSubsets::new(universe, i) {
-        // Collect per-process step counts of each maximal P-free run that
-        // could possibly violate the cap.
-        let runs = collect_p_free_runs(s, p, universe, bound_cap);
-        'q_loop: for q in KSubsets::new(universe, j) {
-            for run in &runs {
-                let q_steps: usize = q.iter().map(|x| run[x.index()]).sum();
-                if q_steps >= bound_cap {
-                    continue 'q_loop;
-                }
-            }
-            let bound = empirical_bound(s, p, q);
-            debug_assert!(bound <= bound_cap);
-            return Some(TimelyPair { p, q, bound });
-        }
-    }
-    None
+    TimelinessAnalyzer::new(universe).find_timely_pair(s, i, j, bound_cap)
 }
 
 /// Lists **all** pairs `(P, Q)` with `|P| = i`, `|Q| = j` and empirical bound
 /// at most `bound_cap` on `s`.
+///
+/// Convenience wrapper over [`TimelinessAnalyzer::all_timely_pairs_into`].
 pub fn all_timely_pairs(
     s: &Schedule,
     universe: Universe,
@@ -144,56 +661,109 @@ pub fn all_timely_pairs(
     j: usize,
     bound_cap: usize,
 ) -> Vec<TimelyPair> {
-    assert!(bound_cap > 0, "bound cap must be positive");
     let mut out = Vec::new();
-    for p in KSubsets::new(universe, i) {
-        let runs = collect_p_free_runs(s, p, universe, bound_cap);
-        'q_loop: for q in KSubsets::new(universe, j) {
-            for run in &runs {
-                let q_steps: usize = q.iter().map(|x| run[x.index()]).sum();
-                if q_steps >= bound_cap {
-                    continue 'q_loop;
-                }
-            }
-            out.push(TimelyPair {
-                p,
-                q,
-                bound: empirical_bound(s, p, q),
-            });
-        }
-    }
+    TimelinessAnalyzer::new(universe).all_timely_pairs_into(s, i, j, bound_cap, &mut out);
     out
 }
 
-/// Per-process step counts of each maximal `P`-free run of `s` that contains
-/// at least `min_total` steps (shorter runs cannot push any `Q` to the cap).
-fn collect_p_free_runs(
-    s: &Schedule,
-    p: ProcSet,
-    universe: Universe,
-    min_total: usize,
-) -> Vec<Vec<usize>> {
-    let n = universe.n();
-    let mut runs = Vec::new();
-    let mut current = vec![0usize; n];
-    let mut total = 0usize;
-    for step in s.iter() {
-        if p.contains(step) {
-            if total >= min_total {
-                runs.push(std::mem::replace(&mut current, vec![0usize; n]));
-            } else {
-                current.iter_mut().for_each(|c| *c = 0);
+/// The pre-engine sweep loops, kept verbatim as the differential-testing
+/// reference for [`TimelinessAnalyzer`] (and as the baseline of the
+/// `timeliness` criterion bench). Semantics are the contract; performance is
+/// not: every `P` allocates a fresh run table and every accepted `Q` rescans
+/// the schedule.
+pub mod naive {
+    use super::{empirical_bound, TimelyPair};
+    use crate::process::Universe;
+    use crate::procset::ProcSet;
+    use crate::schedule::Schedule;
+    use crate::subsets::KSubsets;
+
+    /// Reference implementation of [`find_timely_pair`](super::find_timely_pair).
+    pub fn find_timely_pair(
+        s: &Schedule,
+        universe: Universe,
+        i: usize,
+        j: usize,
+        bound_cap: usize,
+    ) -> Option<TimelyPair> {
+        assert!(bound_cap > 0, "bound cap must be positive");
+        for p in KSubsets::new(universe, i) {
+            let runs = collect_p_free_runs(s, p, universe, bound_cap);
+            'q_loop: for q in KSubsets::new(universe, j) {
+                for run in &runs {
+                    let q_steps: usize = q.iter().map(|x| run[x.index()]).sum();
+                    if q_steps >= bound_cap {
+                        continue 'q_loop;
+                    }
+                }
+                let bound = empirical_bound(s, p, q);
+                debug_assert!(bound <= bound_cap);
+                return Some(TimelyPair { p, q, bound });
             }
-            total = 0;
-        } else if step.index() < n {
-            current[step.index()] += 1;
-            total += 1;
         }
+        None
     }
-    if total >= min_total {
-        runs.push(current);
+
+    /// Reference implementation of [`all_timely_pairs`](super::all_timely_pairs).
+    pub fn all_timely_pairs(
+        s: &Schedule,
+        universe: Universe,
+        i: usize,
+        j: usize,
+        bound_cap: usize,
+    ) -> Vec<TimelyPair> {
+        assert!(bound_cap > 0, "bound cap must be positive");
+        let mut out = Vec::new();
+        for p in KSubsets::new(universe, i) {
+            let runs = collect_p_free_runs(s, p, universe, bound_cap);
+            'q_loop: for q in KSubsets::new(universe, j) {
+                for run in &runs {
+                    let q_steps: usize = q.iter().map(|x| run[x.index()]).sum();
+                    if q_steps >= bound_cap {
+                        continue 'q_loop;
+                    }
+                }
+                out.push(TimelyPair {
+                    p,
+                    q,
+                    bound: empirical_bound(s, p, q),
+                });
+            }
+        }
+        out
     }
-    runs
+
+    /// Per-process step counts of each maximal `P`-free run of `s` that
+    /// contains at least `min_total` steps (shorter runs cannot push any `Q`
+    /// to the cap).
+    fn collect_p_free_runs(
+        s: &Schedule,
+        p: ProcSet,
+        universe: Universe,
+        min_total: usize,
+    ) -> Vec<Vec<usize>> {
+        let n = universe.n();
+        let mut runs = Vec::new();
+        let mut current = vec![0usize; n];
+        let mut total = 0usize;
+        for step in s.iter() {
+            if p.contains(step) {
+                if total >= min_total {
+                    runs.push(std::mem::replace(&mut current, vec![0usize; n]));
+                } else {
+                    current.iter_mut().for_each(|c| *c = 0);
+                }
+                total = 0;
+            } else if step.index() < n {
+                current[step.index()] += 1;
+                total += 1;
+            }
+        }
+        if total >= min_total {
+            runs.push(current);
+        }
+        runs
+    }
 }
 
 /// Observation 2 (checkable form): if `P` is timely wrt `Q` with bound `b1`
@@ -303,6 +873,80 @@ mod tests {
     }
 
     #[test]
+    fn analyzer_matches_streaming_bound() {
+        let s = Schedule::from_indices([0, 2, 1, 1, 2, 0, 2, 2, 1, 0, 0, 1]);
+        let mut az = TimelinessAnalyzer::new(u(3));
+        for pb in 1u64..8 {
+            let p = ProcSet::from_bits(pb);
+            az.decompose(&s, p);
+            for qb in 1u64..8 {
+                let q = ProcSet::from_bits(qb);
+                assert_eq!(
+                    az.max_q_steps(q),
+                    max_q_steps_in_p_free_interval(&s, p, q),
+                    "p={p} q={q}"
+                );
+                assert_eq!(az.bound(q), empirical_bound(&s, p, q));
+                for cap in 1..6 {
+                    assert_eq!(
+                        az.within_cap(q, cap),
+                        is_timely_with_bound(&s, p, q, cap),
+                        "p={p} q={q} cap={cap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analyzer_dedupes_periodic_runs() {
+        // Round-robin: every P-free run of a fixed P has the same histogram.
+        let s = Schedule::from_indices((0..3000).map(|i| i % 3));
+        let mut az = TimelinessAnalyzer::new(u(3));
+        az.decompose(&s, set(&[0]));
+        assert_eq!(az.raw_runs(), 1000);
+        assert!(az.runs() <= 2, "distinct histograms: {}", az.runs());
+    }
+
+    #[test]
+    fn analyzer_empty_and_absent_cases() {
+        let mut az = TimelinessAnalyzer::new(u(3));
+        az.decompose(&Schedule::new(), set(&[0]));
+        assert_eq!(az.runs(), 0);
+        assert_eq!(az.bound(set(&[1])), 1);
+        assert!(az.within_cap(set(&[1]), 1));
+        // P covering every step: no P-free run survives.
+        az.decompose(&Schedule::from_indices([0, 0, 1]), set(&[0, 1]));
+        assert_eq!(az.runs(), 0);
+        assert_eq!(az.bound(set(&[2])), 1);
+    }
+
+    #[test]
+    fn prefix_bounds_matches_per_prefix_scans() {
+        let s = Schedule::from_indices([0, 2, 2, 1, 2, 2, 2, 0, 1, 2]);
+        let pairs = [
+            (set(&[0]), set(&[2])),
+            (set(&[1]), set(&[2])),
+            (set(&[0, 1]), set(&[2])),
+        ];
+        let checkpoints = [0, 3, 5, 10, 99];
+        let rows = prefix_bounds(&s, &pairs, &checkpoints);
+        assert_eq!(rows.len(), checkpoints.len());
+        for (row, &cp) in rows.iter().zip(&checkpoints) {
+            let prefix = s.prefix(cp);
+            for (k, &(p, q)) in pairs.iter().enumerate() {
+                assert_eq!(row[k], empirical_bound(&prefix, p, q), "cp={cp} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn prefix_bounds_rejects_unsorted_checkpoints() {
+        let _ = prefix_bounds(&Schedule::new(), &[], &[5, 3]);
+    }
+
+    #[test]
     fn find_timely_pair_on_round_robin() {
         let s = Schedule::from_indices((0..300).map(|i| i % 3));
         let found = find_timely_pair(&s, u(3), 1, 2, 4).expect("round robin is timely");
@@ -338,6 +982,49 @@ mod tests {
         for tp in pairs {
             assert!(tp.bound <= 5);
             assert!(is_timely_with_bound(&s, tp.p, tp.q, tp.bound));
+        }
+    }
+
+    #[test]
+    fn engine_agrees_with_naive_on_a_mixed_schedule() {
+        // A schedule with starvation, bursts, and periodic phases.
+        let mut idx: Vec<usize> = (0..200).map(|i| i % 4).collect();
+        idx.extend(vec![0; 37]);
+        idx.extend((0..100).map(|i| (i % 3) + 1));
+        idx.extend([2, 2, 2, 3, 3, 0, 1, 0, 1]);
+        let s = Schedule::from_indices(idx);
+        for i in 1..=3 {
+            for j in 1..=3 {
+                for cap in [1, 2, 5, 40] {
+                    assert_eq!(
+                        all_timely_pairs(&s, u(4), i, j, cap),
+                        naive::all_timely_pairs(&s, u(4), i, j, cap),
+                        "i={i} j={j} cap={cap}"
+                    );
+                    assert_eq!(
+                        find_timely_pair(&s, u(4), i, j, cap),
+                        naive::find_timely_pair(&s, u(4), i, j, cap),
+                        "i={i} j={j} cap={cap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matrix_matches_cellwise_scans() {
+        let s = Schedule::from_indices((0..240).map(|i| (i * 7 + i / 5) % 4));
+        for threads in [1, 4] {
+            let m = sweep_matrix(&s, u(4), 5, threads);
+            for i in 1..=4 {
+                for j in 1..=4 {
+                    let cell = m.cell(i, j);
+                    let pairs = naive::all_timely_pairs(&s, u(4), i, j, 5);
+                    assert_eq!(cell.timely_pairs as usize, pairs.len(), "i={i} j={j}");
+                    assert_eq!(cell.first, pairs.first().copied());
+                    assert_eq!(cell.min_bound, pairs.iter().map(|t| t.bound).min());
+                }
+            }
         }
     }
 

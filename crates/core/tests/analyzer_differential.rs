@@ -1,0 +1,120 @@
+//! Differential tests: the zero-allocation sweep engine
+//! ([`TimelinessAnalyzer`], [`sweep_matrix`]) against the kept naive
+//! reference ([`timeliness::naive`]) — exact agreement on every `(i, j)`
+//! cell of seeded-random schedules.
+
+use st_core::timeliness::{self, naive, sweep_matrix, TimelinessAnalyzer};
+use st_core::{Schedule, Universe};
+
+/// Deterministic schedule generator (SplitMix64) — self-contained so this
+/// test depends on nothing but st-core.
+fn random_schedule(n: usize, len: usize, mut seed: u64) -> Schedule {
+    Schedule::from_indices((0..len).map(move |_| {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize % n
+    }))
+}
+
+/// Skews a random schedule with starvation bursts so non-timely pairs and
+/// deep caps are exercised, not just the uniform case.
+fn bursty_schedule(n: usize, len: usize, seed: u64) -> Schedule {
+    let base = random_schedule(n, len, seed);
+    let mut steps: Vec<usize> = base.iter().map(|p| p.index()).collect();
+    // Starve the top half for a stretch in the middle.
+    let third = len / 3;
+    for s in steps[third..2 * third].iter_mut() {
+        *s %= (n / 2).max(1);
+    }
+    Schedule::from_indices(steps)
+}
+
+#[test]
+fn engine_matches_naive_on_all_cells_small_universes() {
+    for n in [2usize, 3, 5, 8] {
+        let universe = Universe::new(n).unwrap();
+        // Full seed battery on the small universes; Π^i_8 × Π^j_8 over all
+        // 64 cells is already ~180k pair checks per schedule, one seed is
+        // plenty there.
+        let seeds: &[u64] = if n < 8 {
+            &[1, 0xDEAD, 0xFEED_5EED]
+        } else {
+            &[0xDEAD]
+        };
+        for &seed in seeds {
+            let schedules = [
+                random_schedule(n, 600, seed),
+                bursty_schedule(n, 600, seed ^ 0xABCD),
+            ];
+            for s in &schedules {
+                let mut az = TimelinessAnalyzer::new(universe);
+                let mut engine_pairs = Vec::new();
+                for i in 1..=n {
+                    for j in 1..=n {
+                        for cap in [1usize, 3, n + 1, 200] {
+                            engine_pairs.clear();
+                            az.all_timely_pairs_into(s, i, j, cap, &mut engine_pairs);
+                            let reference = naive::all_timely_pairs(s, universe, i, j, cap);
+                            assert_eq!(
+                                engine_pairs, reference,
+                                "all_timely_pairs n={n} seed={seed:#x} i={i} j={j} cap={cap}"
+                            );
+                            assert_eq!(
+                                az.find_timely_pair(s, i, j, cap),
+                                naive::find_timely_pair(s, universe, i, j, cap),
+                                "find_timely_pair n={n} seed={seed:#x} i={i} j={j} cap={cap}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_naive_cells() {
+    let n = 6;
+    let universe = Universe::new(n).unwrap();
+    let s = bursty_schedule(n, 900, 0x5CA1E);
+    let cap = n + 2;
+    for threads in [1usize, 3, 16] {
+        let matrix = sweep_matrix(&s, universe, cap, threads);
+        for i in 1..=n {
+            for j in 1..=n {
+                let cell = matrix.cell(i, j);
+                let reference = naive::all_timely_pairs(&s, universe, i, j, cap);
+                assert_eq!(
+                    cell.timely_pairs as usize,
+                    reference.len(),
+                    "count i={i} j={j} threads={threads}"
+                );
+                assert_eq!(cell.first, reference.first().copied());
+                assert_eq!(cell.min_bound, reference.iter().map(|t| t.bound).min());
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_bounds_match_streaming_scan_on_random_sets() {
+    let n = 7;
+    let universe = Universe::new(n).unwrap();
+    let s = random_schedule(n, 1_500, 0xB0B);
+    let mut az = TimelinessAnalyzer::new(universe);
+    // All (P, Q) pairs of every size via raw bitmasks.
+    for p_bits in 1u64..(1 << n) {
+        let p = st_core::ProcSet::from_bits(p_bits);
+        az.decompose(&s, p);
+        for q_bits in [1u64, 0b101, (1 << n) - 1, p_bits] {
+            let q = st_core::ProcSet::from_bits(q_bits);
+            assert_eq!(
+                az.bound(q),
+                timeliness::empirical_bound(&s, p, q),
+                "p={p_bits:#b} q={q_bits:#b}"
+            );
+        }
+    }
+}

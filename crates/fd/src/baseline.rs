@@ -175,7 +175,13 @@ mod tests {
     use st_sched::{RoundRobin, SeededRandom, SetTimely};
     use st_sim::RunConfig;
 
-    fn run_baseline<S: StepSource>(n: usize, k: usize, t: usize, src: &mut S, budget: u64) -> st_sim::RunReport {
+    fn run_baseline<S: StepSource>(
+        n: usize,
+        k: usize,
+        t: usize,
+        src: &mut S,
+        budget: u64,
+    ) -> st_sim::RunReport {
         let universe = Universe::new(n).unwrap();
         let mut sim = Sim::new(universe);
         let fd = ProcessTimelyDetector::alloc(&mut sim, k, t, TimeoutPolicy::Increment);
@@ -199,7 +205,11 @@ mod tests {
                 Some(c) if c != set => return None,
                 _ => {}
             }
-            step = step.max(report.probes.stabilization_step(p, BASELINE_WINNERSET_PROBE)?);
+            step = step.max(
+                report
+                    .probes
+                    .stabilization_step(p, BASELINE_WINNERSET_PROBE)?,
+            );
         }
         common.map(|c| (c, step))
     }

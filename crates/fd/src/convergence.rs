@@ -13,7 +13,8 @@
 //! correct process. [`winnerset_stabilization`] detects that; the
 //! k-parallel-Paxos agreement layer relies on it.
 
-use st_core::{ProcSet, ProcessId};
+use st_core::timeliness::{TimelinessAnalyzer, TimelyPair};
+use st_core::{ProcSet, ProcessId, Universe};
 use st_sim::RunReport;
 
 use crate::kanti::WINNERSET_PROBE;
@@ -113,6 +114,28 @@ pub fn winnerset_stabilization(report: &RunReport, correct: ProcSet) -> Option<S
     })
 }
 
+/// Certifies that the run really took place in the system `S^i_{j,n}` it
+/// claims, by sweeping the **executed schedule** recorded in the report
+/// with the [`TimelinessAnalyzer`]: returns the first `(P, Q)` pair with
+/// `|P| = i`, `|Q| = j` and empirical bound at most `bound_cap`, or `None`
+/// if no such pair exists (or the run did not record its schedule — enable
+/// [`Sim::with_recording`](st_sim::Sim::with_recording)).
+///
+/// Convergence claims about Figure 2 are conditional on membership in
+/// `S^k_{t+1,n}`; checking the premise on the same trace as the conclusion
+/// turns "converged on a schedule we believe is timely" into a
+/// self-contained theorem instance.
+pub fn certify_system_membership(
+    report: &RunReport,
+    universe: Universe,
+    i: usize,
+    j: usize,
+    bound_cap: usize,
+) -> Option<TimelyPair> {
+    let schedule = report.executed.as_ref()?;
+    TimelinessAnalyzer::new(universe).find_timely_pair(schedule, i, j, bound_cap)
+}
+
 /// Counts winnerset changes published by `p` after `step` — a liveness-of-
 /// instability measure for adversarial runs (a stack that keeps flapping is
 /// evidence of non-convergence).
@@ -196,7 +219,13 @@ mod tests {
         // next probe, suspend); later polls publish once per step: steps are
         // 0,0,1,2,3 — three events strictly after step 0.
         assert_eq!(changes_after(&report, ProcessId::new(0), 0), 3);
-        assert_eq!(report.probes.timeline(ProcessId::new(0), WINNERSET_PROBE).len(), 5);
+        assert_eq!(
+            report
+                .probes
+                .timeline(ProcessId::new(0), WINNERSET_PROBE)
+                .len(),
+            5
+        );
     }
 
     #[test]

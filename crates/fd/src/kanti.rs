@@ -198,10 +198,11 @@ impl KAntiOmega {
         let m = self.subsets.len();
         let t = self.config.t;
 
-        // Line 2: read every Counter[A, q].
+        // Line 2: read every Counter[A, q] — the |Π^k_n|·n-read inner loop
+        // of the algorithm, kept on the simulator's u64 word fast path.
         for a in 0..m {
             for q in 0..n {
-                local.cnt[a][q] = ctx.read(self.counter[a][q]).await;
+                local.cnt[a][q] = ctx.read_word(self.counter[a][q]).await;
             }
         }
 
@@ -232,11 +233,11 @@ impl KAntiOmega {
 
         // Lines 6–7: bump heartbeat.
         local.my_hb += 1;
-        ctx.write(self.heartbeat[me], local.my_hb).await;
+        ctx.write_word(self.heartbeat[me], local.my_hb).await;
 
         // Lines 8–13: check other processes' heartbeats.
         for q in 0..n {
-            let hbq = ctx.read(self.heartbeat[q]).await;
+            let hbq = ctx.read_word(self.heartbeat[q]).await;
             if hbq > local.prev_heartbeat[q] {
                 for &rank in &self.containing[q] {
                     local.timer[rank as usize] = local.timeout[rank as usize];
@@ -252,7 +253,8 @@ impl KAntiOmega {
             if local.timer[a] == 0 {
                 local.timeout[a] = self.config.policy.grow(local.timeout[a]);
                 local.timer[a] = local.timeout[a];
-                ctx.write(self.counter[a][me], local.cnt[a][me] + 1).await;
+                ctx.write_word(self.counter[a][me], local.cnt[a][me] + 1)
+                    .await;
             }
         }
 
@@ -361,7 +363,10 @@ mod tests {
         let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
         sim.run(&mut src, RunConfig::steps(40));
         let rep = sim.report();
-        assert_eq!(rep.probes.last_value(ProcessId::new(0), "iter-done"), Some(1));
+        assert_eq!(
+            rep.probes.last_value(ProcessId::new(0), "iter-done"),
+            Some(1)
+        );
         assert_eq!(fd.peek_heartbeat(&sim, ProcessId::new(0)), 1);
     }
 
@@ -372,7 +377,8 @@ mod tests {
         let mut sim = Sim::new(universe(3));
         let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(1, 2));
         let fd2 = fd.clone();
-        sim.spawn(ProcessId::new(0), move |ctx| fd2.run(ctx)).unwrap();
+        sim.spawn(ProcessId::new(0), move |ctx| fd2.run(ctx))
+            .unwrap();
         let steps = vec![0usize; 4000];
         let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
         sim.run(&mut src, RunConfig::steps(4000));

@@ -145,7 +145,10 @@ mod tests {
         sim.run(&mut src, RunConfig::steps(61_000));
         for survivor in [1usize, 2] {
             let l = sim.peek(leaders[survivor]);
-            assert_ne!(l, 0, "crashed p0 must not stay leader (p{survivor} trusts p{l})");
+            assert_ne!(
+                l, 0,
+                "crashed p0 must not stay leader (p{survivor} trusts p{l})"
+            );
         }
     }
 

@@ -12,7 +12,13 @@ prop_compose! {
     }
 }
 
-fn run_fd(n: usize, k: usize, t: usize, policy: TimeoutPolicy, sched: Schedule) -> (Sim, KAntiOmega) {
+fn run_fd(
+    n: usize,
+    k: usize,
+    t: usize,
+    policy: TimeoutPolicy,
+    sched: Schedule,
+) -> (Sim, KAntiOmega) {
     let universe = Universe::new(n).unwrap();
     let mut sim = Sim::new(universe);
     let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t).with_policy(policy));

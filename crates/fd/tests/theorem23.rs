@@ -3,7 +3,7 @@
 //! converge outside it.
 
 use st_core::{ProcSet, ProcessId, StepSource, Universe};
-use st_fd::convergence::{kanti_omega_witness, winnerset_stabilization};
+use st_fd::convergence::{certify_system_membership, kanti_omega_witness, winnerset_stabilization};
 use st_fd::{KAntiOmega, KAntiOmegaConfig, TimeoutPolicy};
 use st_sched::{CrashAfter, CrashPlan, RotatingStarvation, SeededRandom, SetTimely};
 use st_sim::{RunConfig, RunReport, Sim};
@@ -16,7 +16,9 @@ fn run_fd<S: StepSource>(
     budget: u64,
 ) -> RunReport {
     let universe = Universe::new(n).unwrap();
-    let mut sim = Sim::new(universe);
+    // Record the executed schedule so system membership can be certified on
+    // the same trace the convergence claims are made about.
+    let mut sim = Sim::with_recording(universe, true);
     let fd = KAntiOmega::alloc(&mut sim, config);
     for p in universe.processes() {
         let fd = fd.clone();
@@ -39,6 +41,12 @@ fn converges_in_matching_system_fault_free() {
         let mut src = SetTimely::new(p, q, 2 * (t + 1), SeededRandom::new(universe, 7));
         let report = run_fd(n, KAntiOmegaConfig::new(k, t), &mut src, 400_000);
         let correct = ProcSet::full(universe);
+
+        // Premise first: the executed schedule really is in S^k_{t+1,n}.
+        let membership = certify_system_membership(&report, universe, k, t + 1, 2 * (t + 1))
+            .unwrap_or_else(|| panic!("schedule not in S^{k}_{{{},{n}}}", t + 1));
+        assert_eq!(membership.p.len(), k);
+        assert_eq!(membership.q.len(), t + 1);
 
         let stab = winnerset_stabilization(&report, correct)
             .unwrap_or_else(|| panic!("no stabilization for n={n} k={k} t={t}"));

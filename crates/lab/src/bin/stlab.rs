@@ -14,7 +14,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let tsv = args.iter().any(|a| a == "--tsv");
-    let cfg = if fast { LabConfig::fast() } else { LabConfig::full() };
+    let cfg = if fast {
+        LabConfig::fast()
+    } else {
+        LabConfig::full()
+    };
     let mut ids: Vec<String> = args
         .into_iter()
         .filter(|a| a != "--fast" && a != "--tsv")

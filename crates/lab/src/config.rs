@@ -68,7 +68,11 @@ impl ExperimentResult {
         }
         out.push_str(&format!(
             "verdict: {}\n",
-            if self.pass { "PASS (matches paper)" } else { "FAIL" }
+            if self.pass {
+                "PASS (matches paper)"
+            } else {
+                "FAIL"
+            }
         ));
         out
     }

@@ -4,8 +4,12 @@
 //! prefixes of `S = [(p1·q)^i (p2·q)^i]`, the empirical timeliness bound of
 //! each singleton `{p1}`, `{p2}` with respect to `{q}` grows without bound,
 //! while the bound of the *set* `{p1, p2}` stays at the constant 2.
+//!
+//! All three curves over all prefix checkpoints come from **one pass** over
+//! the schedule via [`prefix_bounds`] (the naive form rescans the schedule
+//! once per curve per checkpoint — `3 × log₂ 64` scans for the same table).
 
-use st_core::timeliness::empirical_bound;
+use st_core::timeliness::prefix_bounds;
 use st_core::{ProcSet, ProcessId, StepSource};
 use st_sched::Figure1;
 
@@ -26,6 +30,18 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
     let mut gen = Figure1::new(p1, p2, q);
     let schedule = gen.take_schedule(max_len);
 
+    // Doubling ladder from max_len/64, always ending exactly at max_len
+    // (whatever the stride alignment), so the last row is the full prefix.
+    let mut checkpoints = Vec::new();
+    let mut len = (max_len / 64).max(1);
+    while len < max_len {
+        checkpoints.push(len);
+        len *= 2;
+    }
+    checkpoints.push(max_len);
+    let pairs = [(s1, qs), (s2, qs), (pair, qs)];
+    let rows = prefix_bounds(&schedule, &pairs, &checkpoints);
+
     let mut table = Table::new([
         "prefix_steps",
         "bound({p1} wrt {q})",
@@ -34,12 +50,9 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
     ]);
     let mut pass = true;
     let mut last_singleton_bound = 0usize;
-    let mut len = max_len / 64;
-    while len <= max_len {
-        let prefix = schedule.prefix(len);
-        let b1 = empirical_bound(&prefix, s1, qs);
-        let b2 = empirical_bound(&prefix, s2, qs);
-        let bp = empirical_bound(&prefix, pair, qs);
+    let mut final_b1 = 0usize;
+    for (&len, bounds) in checkpoints.iter().zip(&rows) {
+        let (b1, b2, bp) = (bounds[0], bounds[1], bounds[2]);
         table.row([
             len.to_string(),
             b1.to_string(),
@@ -51,9 +64,8 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         // …and the singleton bounds keep growing.
         pass &= b1 >= last_singleton_bound;
         last_singleton_bound = b1;
-        len *= 2;
+        final_b1 = b1;
     }
-    let final_b1 = empirical_bound(&schedule, s1, qs);
     pass &= final_b1 > 16; // unbounded growth evidence on the full prefix
 
     ExperimentResult {
@@ -70,11 +82,30 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use st_core::timeliness::empirical_bound;
 
     #[test]
     fn e1_matches_paper() {
         let result = run(&LabConfig::fast());
         assert!(result.pass, "{}", result.render());
         assert!(!result.tables[0].1.is_empty());
+    }
+
+    #[test]
+    fn e1_single_pass_agrees_with_per_prefix_scans() {
+        // The one-pass prefix_bounds table must equal the naive per-prefix
+        // empirical_bound scans it replaced.
+        let mut gen = Figure1::new(ProcessId::new(0), ProcessId::new(1), ProcessId::new(2));
+        let schedule = gen.take_schedule(4_000);
+        let s1 = ProcSet::from_indices([0]);
+        let pairq = (ProcSet::from_indices([0, 1]), ProcSet::from_indices([2]));
+        let pairs = [(s1, ProcSet::from_indices([2])), pairq];
+        let checkpoints = [62, 125, 500, 1_000, 4_000];
+        let rows = prefix_bounds(&schedule, &pairs, &checkpoints);
+        for (&cp, row) in checkpoints.iter().zip(&rows) {
+            let prefix = schedule.prefix(cp);
+            assert_eq!(row[0], empirical_bound(&prefix, pairs[0].0, pairs[0].1));
+            assert_eq!(row[1], empirical_bound(&prefix, pairs[1].0, pairs[1].1));
+        }
     }
 }

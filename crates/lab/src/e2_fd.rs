@@ -7,7 +7,7 @@
 //! (rotating starvation) are included as negative controls.
 
 use st_core::{ProcSet, ProcessId, StepSource, Universe};
-use st_fd::convergence::{kanti_omega_witness, winnerset_stabilization};
+use st_fd::convergence::{certify_system_membership, kanti_omega_witness, winnerset_stabilization};
 use st_fd::{KAntiOmega, KAntiOmegaConfig};
 use st_sched::{CrashAfter, CrashPlan, RotatingStarvation, SeededRandom, SetTimely};
 use st_sim::{RunConfig, RunReport, Sim};
@@ -17,7 +17,9 @@ use crate::table::Table;
 
 fn run_fd<S: StepSource>(n: usize, k: usize, t: usize, src: &mut S, budget: u64) -> RunReport {
     let universe = Universe::new(n).unwrap();
-    let mut sim = Sim::new(universe);
+    // Recorded so conforming rows can certify S^k_{t+1,n} membership on the
+    // trace itself (see `record`).
+    let mut sim = Sim::with_recording(universe, true);
     let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t));
     for p in universe.processes() {
         let fd = fd.clone();
@@ -30,7 +32,15 @@ fn run_fd<S: StepSource>(n: usize, k: usize, t: usize, src: &mut S, budget: u64)
 /// Runs E2.
 pub fn run(cfg: &LabConfig) -> ExperimentResult {
     let mut table = Table::new([
-        "n", "k", "t", "schedule", "crashes", "stabilized@step", "winnerset", "has_correct",
+        "n",
+        "k",
+        "t",
+        "schedule",
+        "crashes",
+        "in-system",
+        "stabilized@step",
+        "winnerset",
+        "has_correct",
         "k-anti-Ω",
     ]);
     let mut pass = true;
@@ -61,7 +71,17 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         // Conforming, fault-free.
         let mut src = SetTimely::new(p, q, 2 * (t + 1), SeededRandom::new(universe, cfg.seed));
         let report = run_fd(n, k, t, &mut src, budget);
-        pass &= record(&mut table, n, k, t, "SetTimely", ProcSet::EMPTY, &report, full, true);
+        pass &= record(
+            &mut table,
+            n,
+            k,
+            t,
+            "SetTimely",
+            ProcSet::EMPTY,
+            &report,
+            full,
+            true,
+        );
 
         // Conforming, with t crashes (crash the top-t, keeping P alive).
         if n - t >= k {
@@ -129,6 +149,10 @@ fn record(
 ) -> bool {
     let stab = winnerset_stabilization(report, correct);
     let witness = kanti_omega_witness(report, correct);
+    // Membership premise, checked by the timeliness engine on the executed
+    // schedule. Only meaningful (and only required) for conforming rows.
+    let universe = Universe::new(n).unwrap();
+    let membership = certify_system_membership(report, universe, k, t + 1, 4 * (t + 1));
     let (stab_str, ws_str, has_correct) = match stab {
         Some(s) => (
             s.step.to_string(),
@@ -143,6 +167,7 @@ fn record(
         t.to_string(),
         schedule.to_string(),
         crashed.len().to_string(),
+        membership.map_or("no".into(), |tp| format!("yes(b={})", tp.bound)),
         stab_str,
         ws_str,
         if stab.is_some() {
@@ -150,10 +175,12 @@ fn record(
         } else {
             "-".into()
         },
-        witness.map_or("violated".to_string(), |w| format!("holds (c={})", w.trusted)),
+        witness.map_or("violated".to_string(), |w| {
+            format!("holds (c={})", w.trusted)
+        }),
     ]);
     if expect_converge {
-        stab.is_some() && has_correct && witness.is_some()
+        membership.is_some() && stab.is_some() && has_correct && witness.is_some()
     } else {
         // The negative control row is informational: an oblivious adversary
         // is not guaranteed to defeat the detector on every finite budget

@@ -6,8 +6,8 @@
 //! with `t` crashes, and measures: steps until every correct process
 //! decided, number of distinct decisions, and the checker verdict.
 
-use st_core::{AgreementTask, ProcSet, ProcessId, Value};
 use st_agreement::AgreementStack;
+use st_core::{AgreementTask, ProcSet, ProcessId, Value};
 use st_sched::{CrashAfter, CrashPlan, SeededRandom, SetTimely};
 
 use crate::config::{ExperimentResult, LabConfig};
@@ -20,7 +20,13 @@ fn inputs(n: usize) -> Vec<Value> {
 /// Runs E3.
 pub fn run(cfg: &LabConfig) -> ExperimentResult {
     let mut table = Table::new([
-        "task", "protocol", "crashes", "status", "decided@step", "distinct", "violations",
+        "task",
+        "protocol",
+        "crashes",
+        "status",
+        "decided@step",
+        "distinct",
+        "violations",
     ]);
     let mut pass = true;
     let budget = cfg.budget(4_000_000);
@@ -47,7 +53,11 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         let task = AgreementTask::new(t, k, n).unwrap();
         let universe = task.universe();
         let p: ProcSet = (0..k.min(t)).map(ProcessId::new).collect();
-        let p = if p.is_empty() { ProcSet::from_indices([0]) } else { p };
+        let p = if p.is_empty() {
+            ProcSet::from_indices([0])
+        } else {
+            p
+        };
         let q: ProcSet = (0..=t).map(ProcessId::new).collect();
 
         // Fault-free conforming run.
@@ -78,9 +88,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         id: "E3",
         title: "Theorem 24 / Corollary 25 — (t,k,n)-agreement solvable in S^k_{t+1,n}",
         tables: vec![("end-to-end agreement grid".into(), table)],
-        notes: vec![
-            "every conforming run terminates with ≤ k distinct proposed values".into(),
-        ],
+        notes: vec!["every conforming run terminates with ≤ k distinct proposed values".into()],
         pass,
     }
 }

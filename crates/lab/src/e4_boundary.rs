@@ -22,7 +22,13 @@ fn inputs(n: usize) -> Vec<Value> {
 /// Runs E4.
 pub fn run(cfg: &LabConfig) -> ExperimentResult {
     let mut table = Table::new([
-        "task", "side", "schedule", "decided", "safe", "max_frozen", "certificate",
+        "task",
+        "side",
+        "schedule",
+        "decided",
+        "safe",
+        "max_frozen",
+        "certificate",
     ]);
     let mut pass = true;
 
@@ -47,7 +53,12 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
             task.to_string(),
             format!("S^{k}_{{{n},{n}}}"),
             "SetTimely".to_string(),
-            run.outcome.decisions.iter().filter(|d| d.is_some()).count().to_string(),
+            run.outcome
+                .decisions
+                .iter()
+                .filter(|d| d.is_some())
+                .count()
+                .to_string(),
             run.is_safe().to_string(),
             "-".to_string(),
             "-".to_string(),
@@ -55,8 +66,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         pass &= solvable_ok;
 
         // Unsolvable side: S^{k+1}_{n,n} — adaptive adversary.
-        let stack =
-            AgreementStack::build_full(task, &inputs(n), TimeoutPolicy::Increment, true);
+        let stack = AgreementStack::build_full(task, &inputs(n), TimeoutPolicy::Increment, true);
         let witness_p: ProcSet = (0..=k).map(ProcessId::new).collect(); // size k+1
         let adv = drive_adversarially(
             stack,
@@ -70,8 +80,15 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
             task.to_string(),
             format!("S^{}_{{{n},{n}}}", k + 1),
             "AdaptiveAdversary".to_string(),
-            (task.n() - adv.run.outcome.decisions.iter().filter(|d| d.is_none()).count())
-                .to_string(),
+            (task.n()
+                - adv
+                    .run
+                    .outcome
+                    .decisions
+                    .iter()
+                    .filter(|d| d.is_none())
+                    .count())
+            .to_string(),
             adv.run.is_safe().to_string(),
             adv.max_frozen.to_string(),
             format!("{} wrt Π_{n} bound {}", cert.p, cert.bound),

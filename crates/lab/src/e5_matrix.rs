@@ -15,9 +15,10 @@
 //! Safety must hold in every cell.
 
 use st_agreement::{drive_adversarially, AgreementStack};
+use st_core::timeliness::{sweep_matrix, TimelinessAnalyzer};
 use st_core::{
-    solvability, AgreementTask, ProcSet, ProcessId, Solvability, SystemSpec, UnsolvableReason,
-    Value,
+    solvability, AgreementTask, ProcSet, ProcessId, Solvability, StepSource, SystemSpec,
+    UnsolvableReason, Value,
 };
 use st_fd::TimeoutPolicy;
 use st_sched::{SeededRandom, SetTimely};
@@ -39,18 +40,25 @@ enum Observed {
 
 /// Runs one predicted-solvable cell: conforming schedule, expect clean
 /// termination.
-fn run_solvable_cell(
-    cfg: &LabConfig,
-    task: AgreementTask,
-    sys: SystemSpec,
-) -> Observed {
+fn run_solvable_cell(cfg: &LabConfig, task: AgreementTask, sys: SystemSpec) -> Observed {
     let universe = task.universe();
     let (i, j) = (sys.i(), sys.j());
     // Conforming schedule: P = first i processes timely wrt Q = first j.
     let p: ProcSet = (0..i).map(ProcessId::new).collect();
     let q: ProcSet = (0..j).map(ProcessId::new).collect();
+    // Certify membership in S^i_{j,n} *before* trusting the cell: sweep a
+    // prefix of the same generator with the timeliness engine.
+    let cap = 2 * (j + 1);
+    let prefix = SetTimely::new(p, q, cap, SeededRandom::new(universe, cfg.seed))
+        .take_schedule(cfg.budget(40_000) as usize);
+    let certified = TimelinessAnalyzer::new(universe)
+        .find_timely_pair(&prefix, i, j, cap)
+        .is_some();
+    if !certified {
+        return Observed::Mismatch;
+    }
     let stack = AgreementStack::build(task, &inputs(task.n()));
-    let mut src = SetTimely::new(p, q, 2 * (j + 1), SeededRandom::new(universe, cfg.seed));
+    let mut src = SetTimely::new(p, q, cap, SeededRandom::new(universe, cfg.seed));
     let run = stack.run(&mut src, cfg.budget(4_000_000), ProcSet::EMPTY);
     if run.is_clean_termination() {
         Observed::Decided
@@ -68,12 +76,7 @@ fn run_unsolvable_cell(
     reason: UnsolvableReason,
 ) -> Observed {
     let n = task.n();
-    let stack = AgreementStack::build_full(
-        task,
-        &inputs(n),
-        TimeoutPolicy::Increment,
-        true,
-    );
+    let stack = AgreementStack::build_full(task, &inputs(n), TimeoutPolicy::Increment, true);
     let (precrashed, witness) = match reason {
         UnsolvableReason::TimelySetTooLarge => {
             // Freezer alone: every (k+1)-set timely; weaken to a size-i
@@ -89,16 +92,8 @@ fn run_unsolvable_cell(
         }
     };
     let adv = drive_adversarially(stack, cfg.budget(1_000_000), precrashed, Some(witness));
-    let blocked = adv
-        .run
-        .outcome
-        .decisions
-        .iter()
-        .all(|d| d.is_none());
-    let cert_ok = adv
-        .certificate
-        .map(|c| c.bound <= 4 * n)
-        .unwrap_or(false);
+    let blocked = adv.run.outcome.decisions.iter().all(|d| d.is_none());
+    let cert_ok = adv.certificate.map(|c| c.bound <= 4 * n).unwrap_or(false);
     if blocked && adv.run.is_safe() && cert_ok {
         Observed::BlockedSafely
     } else {
@@ -147,11 +142,44 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         }
     }
 
+    // Companion view: the full (i, j) timeliness sweep of one random
+    // schedule, produced by the shared-decomposition matrix engine. Every
+    // cell of the solvability matrix above asks "is there a timely pair of
+    // this shape?"; this table answers it for all shapes at once.
+    let sweep_len = cfg.budget(80_000) as usize;
+    let schedule = SeededRandom::new(st_core::Universe::new(n).unwrap(), cfg.seed ^ 0x5EED)
+        .take_schedule(sweep_len);
+    let swept = sweep_matrix(
+        &schedule,
+        st_core::Universe::new(n).unwrap(),
+        2 * n,
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    let mut sweep_table = Table::new(["i \\ j", "counts per j (1..=n)"]);
+    for i in 1..=n {
+        let counts: Vec<String> = (1..=n)
+            .map(|j| swept.cell(i, j).timely_pairs.to_string())
+            .collect();
+        sweep_table.row([i.to_string(), counts.join(" ")]);
+    }
+
     ExperimentResult {
         id: "E5",
         title: "Theorem 27 — solvability matrix: (t,k,n) vs S^i_{j,n}",
-        tables: vec![(format!("matrix for n = {n} ({cells} cells)"), table)],
-        notes: vec![format!("{agreements}/{cells} cells agree with the predicate")],
+        tables: vec![
+            (format!("matrix for n = {n} ({cells} cells)"), table),
+            (
+                format!(
+                    "timely-pair counts per (i, j) on a seeded-random schedule \
+                     (L = {sweep_len}, cap = {})",
+                    2 * n
+                ),
+                sweep_table,
+            ),
+        ],
+        notes: vec![format!(
+            "{agreements}/{cells} cells agree with the predicate"
+        )],
         pass,
     }
 }

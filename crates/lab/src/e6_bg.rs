@@ -26,8 +26,15 @@ use crate::table::Table;
 /// Runs E6.
 pub fn run(cfg: &LabConfig) -> ExperimentResult {
     let mut table = Table::new([
-        "k", "n_sim", "sim_crashes", "stalled_sim", "prop_i", "max_(k+1)_bound", "prop_ii",
-        "simulator_values", "k_agreement",
+        "k",
+        "n_sim",
+        "sim_crashes",
+        "stalled_sim",
+        "prop_i",
+        "max_(k+1)_bound",
+        "prop_ii",
+        "simulator_values",
+        "k_agreement",
     ]);
     let mut pass = true;
     let budget = cfg.budget(4_000_000);
@@ -73,10 +80,13 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
             }
             let prop_ii = max_bound <= 4 * n_sim && sched.len() > n_sim;
 
-            let values: std::collections::BTreeSet<Value> =
-                report.simulator_decisions.iter().flatten().copied().collect();
-            let k_agree = values.len() <= k
-                && report.simulator_decisions[live_sim].is_some();
+            let values: std::collections::BTreeSet<Value> = report
+                .simulator_decisions
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            let k_agree = values.len() <= k && report.simulator_decisions[live_sim].is_some();
 
             table.row([
                 k.to_string(),

@@ -71,7 +71,11 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
 
     // Ablation 2: synchrony quality sweep (paper policy).
     let mut sweep_table = Table::new(["bound", "stabilized@step"]);
-    let bounds: &[usize] = if cfg.fast { &[4, 16] } else { &[4, 8, 16, 32, 64] };
+    let bounds: &[usize] = if cfg.fast {
+        &[4, 16]
+    } else {
+        &[4, 8, 16, 32, 64]
+    };
     let mut prev: Option<u64> = None;
     let mut monotone_violations = 0usize;
     for &bound in bounds {
@@ -84,7 +88,10 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
             &mut src,
             cfg.budget(8_000_000),
         );
-        sweep_table.row([bound.to_string(), stab.map_or("-".into(), |s| s.to_string())]);
+        sweep_table.row([
+            bound.to_string(),
+            stab.map_or("-".into(), |s| s.to_string()),
+        ]);
         pass &= stab.is_some();
         if let (Some(prev_s), Some(s)) = (prev, stab) {
             // Stabilization tracks the *observed* worst gap of the filler,

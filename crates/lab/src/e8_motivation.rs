@@ -17,8 +17,7 @@
 use st_core::{ProcSet, ProcessId, StepSource, Universe};
 use st_fd::convergence::winnerset_stabilization;
 use st_fd::{
-    KAntiOmega, KAntiOmegaConfig, ProcessTimelyDetector, TimeoutPolicy,
-    BASELINE_WINNERSET_PROBE,
+    KAntiOmega, KAntiOmegaConfig, ProcessTimelyDetector, TimeoutPolicy, BASELINE_WINNERSET_PROBE,
 };
 use st_sched::AlternatingRotation;
 use st_sim::{RunConfig, RunReport, Sim};
@@ -26,7 +25,13 @@ use st_sim::{RunConfig, RunReport, Sim};
 use crate::config::{ExperimentResult, LabConfig};
 use crate::table::Table;
 
-fn run_set_based<S: StepSource>(n: usize, k: usize, t: usize, src: &mut S, budget: u64) -> RunReport {
+fn run_set_based<S: StepSource>(
+    n: usize,
+    k: usize,
+    t: usize,
+    src: &mut S,
+    budget: u64,
+) -> RunReport {
     let universe = Universe::new(n).unwrap();
     let mut sim = Sim::new(universe);
     let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t));
@@ -72,7 +77,13 @@ fn late_flaps(report: &RunReport, n: usize, key: &str, after: u64) -> usize {
 /// Runs E8.
 pub fn run(cfg: &LabConfig) -> ExperimentResult {
     let mut table = Table::new([
-        "n", "k", "t", "detector", "stabilized@step", "winnerset", "late_flaps",
+        "n",
+        "k",
+        "t",
+        "detector",
+        "stabilized@step",
+        "winnerset",
+        "late_flaps",
     ]);
     let mut pass = true;
     let budget = cfg.budget(1_600_000);

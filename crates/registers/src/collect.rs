@@ -74,10 +74,7 @@ mod tests {
             .unwrap();
         }
         // Everyone stores first (3 steps), then collects (9 steps).
-        let order: Vec<usize> = [0, 1, 2]
-            .into_iter()
-            .chain((0..9).map(|i| i % 3))
-            .collect();
+        let order: Vec<usize> = [0, 1, 2].into_iter().chain((0..9).map(|i| i % 3)).collect();
         let mut src = ScheduleCursor::new(Schedule::from_indices(order));
         sim.run(
             &mut src,
@@ -85,7 +82,11 @@ mod tests {
         );
         let rep = sim.report();
         for pid in u.processes() {
-            assert_eq!(rep.decision_value(pid), Some(3), "{pid} must see all stores");
+            assert_eq!(
+                rep.decision_value(pid),
+                Some(3),
+                "{pid} must see all stores"
+            );
         }
     }
 
@@ -118,7 +119,10 @@ mod tests {
         let mut src = ScheduleCursor::new(Schedule::from_indices([0, 0, 1, 0, 1, 0, 0]));
         sim.run(&mut src, RunConfig::steps(20));
         let d = sim.report().decision_value(st_core::ProcessId::new(1));
-        assert!(matches!(d, Some(1..=5)), "collected value must be a stored one: {d:?}");
+        assert!(
+            matches!(d, Some(1..=5)),
+            "collected value must be a stored one: {d:?}"
+        );
     }
 
     #[test]

@@ -211,7 +211,10 @@ mod tests {
         // and the budget of 1 attempt is exhausted.
         let order = vec![0, 0, 1, 1, 0, 0, 0, 0];
         let mut src = ScheduleCursor::new(Schedule::from_indices(order));
-        sim.run(&mut src, RunConfig::steps(8).stop_when(StopWhen::AnyDecided));
+        sim.run(
+            &mut src,
+            RunConfig::steps(8).stop_when(StopWhen::AnyDecided),
+        );
         assert_eq!(sim.report().decision_value(pid(0)), Some(2));
     }
 

@@ -140,7 +140,10 @@ mod tests {
         let mut gen = AlternatingRotation::new(&groups_2x2());
         let s = gen.take_schedule(200_000);
         let tail = s.suffix(s.len() / 2);
-        assert_eq!(tail.participants(), ProcSet::full(Universe::new(4).unwrap()));
+        assert_eq!(
+            tail.participants(),
+            ProcSet::full(Universe::new(4).unwrap())
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ mod tests {
     #[test]
     fn repeats_verbatim() {
         let mut src = Cycle::new(Schedule::from_indices([2, 0]));
-        assert_eq!(src.take_schedule(5), Schedule::from_indices([2, 0, 2, 0, 2]));
+        assert_eq!(
+            src.take_schedule(5),
+            Schedule::from_indices([2, 0, 2, 0, 2])
+        );
         assert_eq!(src.period_len(), 2);
     }
 

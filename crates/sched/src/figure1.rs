@@ -44,10 +44,7 @@ impl Figure1 {
     pub fn new(p1: ProcessId, p2: ProcessId, q: ProcessId) -> Self {
         assert!(p1 != p2 && p1 != q && p2 != q, "processes must be distinct");
         Figure1 {
-            inner: GeneralizedFigure1::new(
-                ProcSet::singleton(p1).with(p2),
-                ProcSet::singleton(q),
-            ),
+            inner: GeneralizedFigure1::new(ProcSet::singleton(p1).with(p2), ProcSet::singleton(q)),
         }
     }
 }
@@ -142,10 +139,7 @@ mod tests {
         let mut f = Figure1::new(p(0), p(1), p(2));
         let s = f.take_schedule(4 + 8 + 12);
         // Epoch boundaries: i=1 has 4 steps, i=2 has 8, i=3 has 12.
-        assert_eq!(
-            s.prefix(4),
-            st_core::Schedule::from_indices([0, 2, 1, 2])
-        );
+        assert_eq!(s.prefix(4), st_core::Schedule::from_indices([0, 2, 1, 2]));
         assert_eq!(
             s.suffix(4).prefix(8),
             st_core::Schedule::from_indices([0, 2, 0, 2, 1, 2, 1, 2])
@@ -157,7 +151,11 @@ mod tests {
         let mut f = Figure1::new(p(0), p(1), p(2));
         let s = f.take_schedule(5000);
         assert_eq!(
-            empirical_bound(&s, ProcSet::from_indices([0, 1]), ProcSet::from_indices([2])),
+            empirical_bound(
+                &s,
+                ProcSet::from_indices([0, 1]),
+                ProcSet::from_indices([2])
+            ),
             2
         );
     }
@@ -209,10 +207,8 @@ mod tests {
 
     #[test]
     fn all_processes_are_correct() {
-        let mut g = GeneralizedFigure1::new(
-            ProcSet::from_indices([0, 1]),
-            ProcSet::from_indices([2, 3]),
-        );
+        let mut g =
+            GeneralizedFigure1::new(ProcSet::from_indices([0, 1]), ProcSet::from_indices([2, 3]));
         let s = g.take_schedule(10_000);
         // Everyone keeps appearing in the last quarter.
         let tail = s.suffix(7_500);

@@ -36,12 +36,7 @@ pub fn certify_timely<S: StepSource>(
 /// to any size-`q_size` set": the **minimum**, over all pairs, of the longest
 /// `K`-free `Q`-run. The claim is supported when this value is large (and
 /// keeps growing with the prefix); a timely pair would pin it to a constant.
-pub fn min_starvation_evidence(
-    s: &Schedule,
-    universe: Universe,
-    k: usize,
-    q_size: usize,
-) -> usize {
+pub fn min_starvation_evidence(s: &Schedule, universe: Universe, k: usize, q_size: usize) -> usize {
     let mut min_evidence = usize::MAX;
     for kset in KSubsets::new(universe, k) {
         for qset in KSubsets::new(universe, q_size) {

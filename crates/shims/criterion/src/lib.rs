@@ -1,0 +1,351 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this vendored shim
+//! implements the API subset the workspace's benches use — benchmark
+//! groups, [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with *real*
+//! measurements: per-benchmark calibration, multiple timed samples, median
+//! selection, and a machine-readable JSON report per benchmark under
+//! `target/criterion-shim/`.
+//!
+//! It is not statistically equivalent to criterion (no bootstrap, no
+//! outlier classification), but it is deterministic in interface and good
+//! enough to track order-of-magnitude perf trajectories in CI-less
+//! environments. Swap the workspace dependency back to crates.io criterion
+//! and every bench compiles unchanged.
+//!
+//! Environment knobs:
+//! - `CRITERION_SHIM_BUDGET_MS` — wall-clock budget per benchmark
+//!   (default 3000).
+//! - `CRITERION_SHIM_SAMPLES` — override sample count for every group.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state: the CLI filter plus the report directory.
+pub struct Criterion {
+    filter: Option<String>,
+    out_dir: PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: cli_filter(),
+            out_dir: workspace_root().join("target").join("criterion-shim"),
+        }
+    }
+}
+
+/// The benchmark filter `cargo bench -- <filter>` forwards: the first
+/// non-flag CLI argument (cargo itself injects flags like `--bench`).
+/// Exposed so bench binaries with custom side effects (report emitters)
+/// can honor the same filter the harness applies.
+pub fn cli_filter() -> Option<String> {
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+/// The workspace root: the nearest ancestor of the current directory
+/// holding a `Cargo.lock` (falls back to the current directory). All
+/// benches share it for report output.
+pub fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    cwd.ancestors()
+        .find(|d| d.join("Cargo.lock").exists())
+        .map(|d| d.to_path_buf())
+        .unwrap_or(cwd)
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a group (subset of criterion's enum).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark identifier (`function_name/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measurement time is accepted for source compatibility; the shim uses
+    /// its own budget (see crate docs).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.id, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run_one(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, bench: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, bench);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let budget = Duration::from_millis(env_u64("CRITERION_SHIM_BUDGET_MS", 3000));
+        let samples = (env_u64("CRITERION_SHIM_SAMPLES", self.sample_size as u64) as usize).max(1);
+
+        // Calibration sample: one iteration, also serves as warmup.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        // Scale iterations so one sample runs ≥ ~5 ms (cheap ops) while a
+        // whole run of `samples` stays near the budget (expensive ops).
+        let per_sample_target = (budget / (samples as u32)).min(Duration::from_millis(200));
+        let target = per_sample_target.max(Duration::from_millis(5));
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let started = Instant::now();
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for taken in 0..samples {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+            if started.elapsed() > budget && taken + 1 >= 2 {
+                break;
+            }
+        }
+        per_iter_ns.sort_by(|a, z| a.total_cmp(z));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => (n as f64 * 1e9 / median, "elem/s"),
+            Throughput::Bytes(n) => (n as f64 * 1e9 / median, "B/s"),
+        });
+        match rate {
+            Some((r, unit)) => println!(
+                "{full:<56} time: [{}]  thrpt: [{} {unit}]",
+                fmt_ns(median),
+                fmt_rate(r)
+            ),
+            None => println!("{full:<56} time: [{}]", fmt_ns(median)),
+        }
+        self.write_report(&full, median, mean, per_iter_ns.len(), iters);
+    }
+
+    fn write_report(&self, full: &str, median: f64, mean: f64, samples: usize, iters: u64) {
+        let dir = &self.criterion.out_dir;
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let fname: String = full
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let (tp_kind, tp_n) = match self.throughput {
+            Some(Throughput::Elements(n)) => ("elements", n),
+            Some(Throughput::Bytes(n)) => ("bytes", n),
+            None => ("none", 0),
+        };
+        let json = format!(
+            "{{\"id\":\"{full}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\
+             \"samples\":{samples},\"iters_per_sample\":{iters},\
+             \"throughput\":{{\"kind\":\"{tp_kind}\",\"per_iter\":{tp_n}}}}}\n"
+        );
+        if let Ok(mut file) = fs::File::create(dir.join(format!("{fname}.json"))) {
+            let _ = file.write_all(json.as_bytes());
+        }
+    }
+
+    /// Ends the group (report files are already written).
+    pub fn finish(self) {}
+}
+
+/// Drives the closure under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of the routine; the return value is black-boxed
+    /// so the computation is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} K", r / 1e3)
+    } else {
+        format!("{r:.1} ")
+    }
+}
+
+/// Declares a group runner function invoking each target with a fresh
+/// [`Criterion`] (subset of criterion's macro: no custom config closure).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        let from: BenchmarkId = "plain".into();
+        assert_eq!(from.id, "plain");
+    }
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("CRITERION_SHIM_BUDGET_MS", "50");
+        let mut c = Criterion {
+            filter: None,
+            out_dir: std::env::temp_dir().join("criterion-shim-selftest"),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..100u64).sum::<u64>())
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+        std::env::remove_var("CRITERION_SHIM_BUDGET_MS");
+    }
+}

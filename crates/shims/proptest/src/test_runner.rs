@@ -1,0 +1,173 @@
+//! Case execution: configuration, the deterministic RNG, and the loop that
+//! drives generated cases through a property body.
+
+/// Run configuration (subset of proptest's).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Overrides the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property was violated; the runner panics with this message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; it is re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic generator handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (rejection sampling; `bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// FNV-1a over the test name: distinct tests get distinct seed streams
+/// while every run of the same test is identical.
+fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives `config.cases` generated cases through the property. The closure
+/// returns the case outcome plus a rendering of the generated inputs.
+/// Panics — with the inputs, case index, and seed — on the first failing
+/// case; rejected cases are re-drawn, with a cap to catch over-restrictive
+/// assumptions.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let base = seed_of(name);
+    let max_rejects = (config.cases as u64) * 32;
+    let mut rejects = 0u64;
+    let mut draw = 0u64;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        let seed = base.wrapping_add(draw.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        draw += 1;
+        let mut rng = TestRng::from_seed(seed);
+        let (outcome, values) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "property `{name}` rejected too many cases ({rejects}); \
+                     weaken its prop_assume! conditions"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed at case {passed} (seed {seed:#x}):\n  \
+                     inputs: {values}\n  {msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(1);
+        let mut b = TestRng::from_seed(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn runner_counts_cases() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(10), "count", |_rng| {
+            n += 1;
+            (Ok(()), String::new())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_reports_failure() {
+        run_cases(&ProptestConfig::with_cases(5), "fails", |_rng| {
+            (Err(TestCaseError::fail("nope")), "x = 1; ".to_string())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected too many")]
+    fn runner_caps_rejections() {
+        run_cases(&ProptestConfig::with_cases(2), "rejects", |_rng| {
+            (Err(TestCaseError::reject("never")), String::new())
+        });
+    }
+}

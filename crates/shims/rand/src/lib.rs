@@ -1,0 +1,141 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no network access, so this
+//! vendored shim implements exactly the API subset the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::random_range`] over integer ranges. The generator is a
+//! deterministic SplitMix64 — statistically solid for scheduling workloads
+//! and reproducible per seed, which is all the schedule generators need.
+//!
+//! Swap the workspace `[workspace.dependencies] rand` entry back to a
+//! crates.io version requirement to use the real crate; no call sites need
+//! to change.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable random number generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing random value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// Produces the next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from a range (subset of `rand::Rng::random_range`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(&mut |bound| sample_below(self, bound))
+    }
+}
+
+/// Uniform sample in `[0, bound)` by rejection from the top multiple of
+/// `bound`, so every value is equally likely.
+fn sample_below<G: Rng + ?Sized>(rng: &mut G, bound: u64) -> u64 {
+    debug_assert!(bound > 0, "empty sampling range");
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+/// Ranges that can be sampled from (subset of `rand::distr::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value; `draw(bound)` returns a uniform value in `[0, bound)`.
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + draw(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u64, u32, usize);
+
+/// Concrete generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`: SplitMix64.
+    ///
+    /// Not cryptographic (neither is the workload): chosen for speed, full
+    /// 64-bit state diffusion, and a one-word state that derives cleanly
+    /// from `seed_from_u64`.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v: usize = rng.random_range(0..5usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
+        for _ in 0..100 {
+            let v: u64 = rng.random_range(10u64..12);
+            assert!((10..12).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: u64 = rng.random_range(3u64..3);
+    }
+}

@@ -27,6 +27,17 @@ pub(crate) struct SimShared {
     /// Global step index (the index of the step currently executing).
     pub step: Cell<u64>,
     pub trace: RefCell<TraceInner>,
+    /// Bitmask mirror of `trace.decisions` (`ProcSet::bits` encoding),
+    /// maintained by [`ProcessCtx::decide`]: lets the executor evaluate
+    /// `StopWhen::AllDecided` / `AnyDecided` in O(1) per step without
+    /// borrowing the trace.
+    pub decided: Cell<u64>,
+    /// Per-process completed register operations; `Cell`s so the per-op
+    /// accounting path skips the trace `RefCell`.
+    pub op_counts: Vec<Cell<u64>>,
+    /// Whether the executed schedule is being recorded — checked before
+    /// borrowing the trace on every step.
+    pub recording: bool,
     pub n: usize,
 }
 
@@ -88,6 +99,48 @@ impl ProcessCtx {
         }
     }
 
+    /// Atomically reads a `u64` register through the word fast path (no
+    /// type erasure — see [`Memory`]'s module docs). **Costs one step.**
+    ///
+    /// Equivalent to [`read`](Self::read) for `Reg<u64>`; protocols with
+    /// register-scan inner loops (the Figure 2 counter matrix) use this to
+    /// keep the per-step dispatch monomorphic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol bugs: foreign handles or type confusion.
+    pub async fn read_word(&self, reg: Reg<u64>) -> u64 {
+        self.step_grant().await;
+        let result = self.shared.memory.borrow_mut().read_word(reg);
+        match result {
+            Ok(v) => {
+                self.count_op();
+                v
+            }
+            Err(e) => panic!("simulated {} read failed: {e}", self.pid),
+        }
+    }
+
+    /// Atomically writes a `u64` register through the word fast path.
+    /// **Costs one step.**
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol bugs: foreign handles, type confusion, or
+    /// violating a single-writer discipline.
+    pub async fn write_word(&self, reg: Reg<u64>, value: u64) {
+        self.step_grant().await;
+        let result = self
+            .shared
+            .memory
+            .borrow_mut()
+            .write_word(self.pid, reg, value);
+        match result {
+            Ok(()) => self.count_op(),
+            Err(e) => panic!("simulated {} write failed: {e}", self.pid),
+        }
+    }
+
     /// Consumes one step without touching shared memory (a "skip" step; the
     /// model equivalent is reading a dummy register).
     pub async fn pause(&self) {
@@ -131,6 +184,9 @@ impl ProcessCtx {
             value
         );
         *slot = Some(Decision { value, step });
+        self.shared
+            .decided
+            .set(self.shared.decided.get() | ProcSet::singleton(self.pid).bits());
     }
 
     /// Returns `true` if this process has decided.
@@ -145,7 +201,8 @@ impl ProcessCtx {
     }
 
     fn count_op(&self) {
-        self.shared.trace.borrow_mut().op_counts[self.pid.index()] += 1;
+        let slot = &self.shared.op_counts[self.pid.index()];
+        slot.set(slot.get() + 1);
     }
 
     fn step_grant(&self) -> StepGrant<'_> {

@@ -1,24 +1,61 @@
 //! The register arena: the shared memory `Ξ` of the model.
 //!
-//! Registers are allocated before the run, hold type-erased values, and are
-//! accessed atomically (the simulator is single-threaded; atomicity is by
-//! construction). Accounting (read/write counts, versions) feeds the trace.
+//! Registers are allocated before the run, hold either a raw `u64` word or a
+//! type-erased value, and are accessed atomically (the simulator is
+//! single-threaded; atomicity is by construction). Accounting (read/write
+//! counts, versions) feeds the trace.
+//!
+//! # The typed word fast path
+//!
+//! Every register of the paper's protocols (Figure 2's `Heartbeat[p]` and
+//! `Counter[A, q]`, ballot numbers, round counters) is a `u64`, and the
+//! k-anti-Ω inner loop reads `|Π^k_n|·n` of them per iteration — so the
+//! generic `Box<dyn Any>` + downcast + clone representation sat on the
+//! hottest path of the whole simulator. `u64` registers are therefore stored
+//! **unboxed** in a word arena variant: [`Memory::read_word`] /
+//! [`Memory::write_word`] touch them with a plain enum match (no vtable, no
+//! downcast, no clone), and the generic [`Memory::read`] / [`Memory::write`]
+//! route `T = u64` to the same representation via a compile-time
+//! [`TypeId`] check that monomorphizes away. Handles, disciplines, and error
+//! behavior are unchanged.
 
-use std::any::Any;
+use std::any::{Any, TypeId};
 
 use st_core::ProcessId;
 
 use crate::error::SimError;
 use crate::register::{Reg, RegValue, WriteDiscipline};
 
+/// Storage for one register: `u64`s live unboxed on the word fast path.
+enum CellValue {
+    Word(u64),
+    Boxed(Box<dyn Any>),
+}
+
 struct RegisterCell {
     name: String,
     discipline: WriteDiscipline,
-    value: Box<dyn Any>,
+    value: CellValue,
     /// Number of completed writes (version counter).
     writes: u64,
     /// Number of completed reads.
     reads: u64,
+}
+
+impl RegisterCell {
+    fn check_writer(&self, index: usize, writer: ProcessId) -> Result<(), SimError> {
+        if let WriteDiscipline::SingleWriter(owner) = self.discipline {
+            if owner != writer {
+                return Err(SimError::WriteDisciplineViolation {
+                    register: index,
+                    name: self.name.clone(),
+                    owner,
+                    writer,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The register arena.
@@ -38,6 +75,27 @@ pub struct RegisterStats {
     pub reads: u64,
 }
 
+fn is_word<T: 'static>() -> bool {
+    TypeId::of::<T>() == TypeId::of::<u64>()
+}
+
+/// Converts a `T` proven (by [`is_word`]) to be `u64`. The `dyn Any` hop is
+/// how safe Rust spells a checked transmute; it compiles to a move once
+/// monomorphized.
+fn to_word<T: RegValue>(value: T) -> u64 {
+    *(&value as &dyn Any)
+        .downcast_ref::<u64>()
+        .expect("caller checked T = u64")
+}
+
+/// Inverse of [`to_word`].
+fn from_word<T: RegValue>(word: u64) -> T {
+    (&word as &dyn Any)
+        .downcast_ref::<T>()
+        .expect("caller checked T = u64")
+        .clone()
+}
+
 impl Memory {
     /// Creates an empty arena.
     pub fn new() -> Self {
@@ -55,7 +113,8 @@ impl Memory {
     }
 
     /// Allocates a register with the given write discipline and initial
-    /// value, returning its typed handle.
+    /// value, returning its typed handle. `u64` values take the word fast
+    /// path (see the module docs).
     pub fn alloc<T: RegValue>(
         &mut self,
         name: impl Into<String>,
@@ -63,10 +122,15 @@ impl Memory {
         init: T,
     ) -> Reg<T> {
         let index = self.cells.len() as u32;
+        let value = if is_word::<T>() {
+            CellValue::Word(to_word(init))
+        } else {
+            CellValue::Boxed(Box::new(init))
+        };
         self.cells.push(RegisterCell {
             name: name.into(),
             discipline,
-            value: Box::new(init),
+            value,
             writes: 0,
             reads: 0,
         });
@@ -95,16 +159,45 @@ impl Memory {
     pub fn read<T: RegValue>(&mut self, reg: Reg<T>) -> Result<T, SimError> {
         let idx = reg.index();
         let cell = self.cell_mut(idx)?;
-        let value = cell
-            .value
-            .downcast_ref::<T>()
-            .ok_or_else(|| SimError::TypeMismatch {
-                register: idx,
-                name: cell.name.clone(),
-            })?
-            .clone();
+        let value = match &cell.value {
+            CellValue::Word(w) if is_word::<T>() => from_word(*w),
+            CellValue::Boxed(boxed) => boxed
+                .downcast_ref::<T>()
+                .ok_or_else(|| SimError::TypeMismatch {
+                    register: idx,
+                    name: cell.name.clone(),
+                })?
+                .clone(),
+            CellValue::Word(_) => {
+                return Err(SimError::TypeMismatch {
+                    register: idx,
+                    name: cell.name.clone(),
+                })
+            }
+        };
         cell.reads += 1;
         Ok(value)
+    }
+
+    /// Atomic word read: the non-generic fast path for `u64` registers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Memory::read`].
+    #[inline]
+    pub fn read_word(&mut self, reg: Reg<u64>) -> Result<u64, SimError> {
+        let idx = reg.index();
+        let cell = self.cell_mut(idx)?;
+        match cell.value {
+            CellValue::Word(w) => {
+                cell.reads += 1;
+                Ok(w)
+            }
+            CellValue::Boxed(_) => Err(SimError::TypeMismatch {
+                register: idx,
+                name: cell.name.clone(),
+            }),
+        }
     }
 
     /// Atomic write: replaces the value and counts the access, enforcing the
@@ -123,26 +216,55 @@ impl Memory {
     ) -> Result<(), SimError> {
         let idx = reg.index();
         let cell = self.cell_mut(idx)?;
-        if let WriteDiscipline::SingleWriter(owner) = cell.discipline {
-            if owner != writer {
-                return Err(SimError::WriteDisciplineViolation {
+        cell.check_writer(idx, writer)?;
+        match &mut cell.value {
+            CellValue::Word(w) if is_word::<T>() => *w = to_word(value),
+            CellValue::Boxed(boxed) => {
+                let slot = boxed
+                    .downcast_mut::<T>()
+                    .ok_or_else(|| SimError::TypeMismatch {
+                        register: idx,
+                        name: cell.name.clone(),
+                    })?;
+                *slot = value;
+            }
+            CellValue::Word(_) => {
+                return Err(SimError::TypeMismatch {
                     register: idx,
                     name: cell.name.clone(),
-                    owner,
-                    writer,
-                });
+                })
             }
         }
-        let slot = cell
-            .value
-            .downcast_mut::<T>()
-            .ok_or_else(|| SimError::TypeMismatch {
-                register: idx,
-                name: cell.name.clone(),
-            })?;
-        *slot = value;
         cell.writes += 1;
         Ok(())
+    }
+
+    /// Atomic word write: the non-generic fast path for `u64` registers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Memory::write`].
+    #[inline]
+    pub fn write_word(
+        &mut self,
+        writer: ProcessId,
+        reg: Reg<u64>,
+        value: u64,
+    ) -> Result<(), SimError> {
+        let idx = reg.index();
+        let cell = self.cell_mut(idx)?;
+        cell.check_writer(idx, writer)?;
+        match &mut cell.value {
+            CellValue::Word(w) => {
+                *w = value;
+                cell.writes += 1;
+                Ok(())
+            }
+            CellValue::Boxed(_) => Err(SimError::TypeMismatch {
+                register: idx,
+                name: cell.name.clone(),
+            }),
+        }
     }
 
     /// Non-step observation of a register (for tests and instrumentation):
@@ -154,13 +276,22 @@ impl Memory {
     pub fn peek<T: RegValue>(&self, reg: Reg<T>) -> Result<T, SimError> {
         let idx = reg.index();
         let cell = self.cell(idx)?;
-        cell.value
-            .downcast_ref::<T>()
-            .cloned()
-            .ok_or_else(|| SimError::TypeMismatch {
+        match &cell.value {
+            CellValue::Word(w) if is_word::<T>() => Ok(from_word(*w)),
+            CellValue::Boxed(boxed) => {
+                boxed
+                    .downcast_ref::<T>()
+                    .cloned()
+                    .ok_or_else(|| SimError::TypeMismatch {
+                        register: idx,
+                        name: cell.name.clone(),
+                    })
+            }
+            CellValue::Word(_) => Err(SimError::TypeMismatch {
                 register: idx,
                 name: cell.name.clone(),
-            })
+            }),
+        }
     }
 
     /// Name of a register.
@@ -210,9 +341,45 @@ mod tests {
     }
 
     #[test]
+    fn word_fast_path_roundtrip() {
+        let mut m = Memory::new();
+        let r = m.alloc("hb", WriteDiscipline::MultiWriter, 7u64);
+        // Word and generic accessors see the same cell.
+        assert_eq!(m.read_word(r).unwrap(), 7);
+        m.write_word(p(1), r, 9).unwrap();
+        assert_eq!(m.read(r).unwrap(), 9);
+        m.write(p(0), r, 11).unwrap();
+        assert_eq!(m.read_word(r).unwrap(), 11);
+        let stats = m.stats();
+        assert_eq!(stats[0].reads, 3);
+        assert_eq!(stats[0].writes, 2);
+    }
+
+    #[test]
+    fn word_accessors_reject_boxed_cells() {
+        let mut m = Memory::new();
+        let r = m.alloc("s", WriteDiscipline::MultiWriter, String::from("x"));
+        let forged: Reg<u64> = Reg::new(r.index);
+        assert!(matches!(
+            m.read_word(forged),
+            Err(SimError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            m.write_word(p(0), forged, 1),
+            Err(SimError::TypeMismatch { .. })
+        ));
+        // Failed accesses are not counted.
+        assert_eq!(m.stats()[0].reads + m.stats()[0].writes, 0);
+    }
+
+    #[test]
     fn structured_values() {
         let mut m = Memory::new();
-        let r = m.alloc("pair", WriteDiscipline::MultiWriter, (0u64, Vec::<u32>::new()));
+        let r = m.alloc(
+            "pair",
+            WriteDiscipline::MultiWriter,
+            (0u64, Vec::<u32>::new()),
+        );
         m.write(p(1), r, (7, vec![1, 2])).unwrap();
         assert_eq!(m.read(r).unwrap(), (7, vec![1, 2]));
     }
@@ -223,6 +390,9 @@ mod tests {
         let r = m.alloc("hb", WriteDiscipline::SingleWriter(p(2)), 0u64);
         assert!(m.write(p(2), r, 1).is_ok());
         let err = m.write(p(0), r, 9).unwrap_err();
+        assert!(matches!(err, SimError::WriteDisciplineViolation { .. }));
+        // The word path enforces the same discipline.
+        let err = m.write_word(p(0), r, 9).unwrap_err();
         assert!(matches!(err, SimError::WriteDisciplineViolation { .. }));
         // Failed write must not change the value or counts.
         assert_eq!(m.peek(r).unwrap(), 1);
@@ -236,13 +406,26 @@ mod tests {
         // Forge a handle with the wrong type at the same index.
         let wrong: Reg<String> = Reg::new(r.index);
         assert!(matches!(m.peek(wrong), Err(SimError::TypeMismatch { .. })));
+        let mut_err = m.read(wrong);
+        assert!(matches!(mut_err, Err(SimError::TypeMismatch { .. })));
+        assert!(matches!(
+            m.write(p(0), wrong, "s".into()),
+            Err(SimError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
     fn unknown_register_detected() {
-        let m = Memory::new();
+        let mut m = Memory::new();
         let r: Reg<u64> = Reg::new(9);
-        assert!(matches!(m.peek(r), Err(SimError::UnknownRegister { register: 9 })));
+        assert!(matches!(
+            m.peek(r),
+            Err(SimError::UnknownRegister { register: 9 })
+        ));
+        assert!(matches!(
+            m.read_word(r),
+            Err(SimError::UnknownRegister { register: 9 })
+        ));
     }
 
     #[test]

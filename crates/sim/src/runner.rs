@@ -7,14 +7,13 @@
 //! only source of nondeterminism in a run, which is precisely the model of
 //! the paper.
 
+use std::cell::Cell;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-use st_core::{
-    AgreementOutcome, ProcSet, ProcessId, Schedule, StepSource, Universe, Value,
-};
+use st_core::{AgreementOutcome, ProcSet, ProcessId, Schedule, StepSource, Universe, Value};
 
 use crate::ctx::{ProcessCtx, SimShared};
 use crate::error::SimError;
@@ -144,7 +143,11 @@ impl RunReport {
     ///
     /// Panics if `inputs` length differs from the number of processes.
     pub fn agreement_outcome(&self, inputs: &[Value], correct: ProcSet) -> AgreementOutcome {
-        assert_eq!(inputs.len(), self.decisions.len(), "inputs length must be n");
+        assert_eq!(
+            inputs.len(),
+            self.decisions.len(),
+            "inputs length must be n"
+        );
         AgreementOutcome {
             inputs: inputs.to_vec(),
             decisions: self.decisions.iter().map(|d| d.map(|x| x.value)).collect(),
@@ -208,6 +211,9 @@ impl Sim {
                 grant: std::cell::Cell::new(None),
                 step: std::cell::Cell::new(0),
                 trace: std::cell::RefCell::new(TraceInner::new(n, record_schedule)),
+                decided: std::cell::Cell::new(0),
+                op_counts: (0..n).map(|_| std::cell::Cell::new(0)).collect(),
+                recording: record_schedule,
                 n,
             }),
             slots: (0..n)
@@ -299,8 +305,10 @@ impl Sim {
         assert!(self.universe.contains(p), "{p} outside {}", self.universe);
         self.shared.step.set(self.steps);
         self.steps += 1;
-        if let Some(executed) = self.shared.trace.borrow_mut().executed.as_mut() {
-            executed.push(p);
+        if self.shared.recording {
+            if let Some(executed) = self.shared.trace.borrow_mut().executed.as_mut() {
+                executed.push(p);
+            }
         }
 
         let slot = &mut self.slots[p.index()];
@@ -346,18 +354,21 @@ impl Sim {
     }
 
     fn stop_met(&self, stop: &StopWhen) -> bool {
+        // Decision conditions read the cached `decided` bitmask (maintained
+        // by `ProcessCtx::decide`) — O(1) per executed step, no trace
+        // borrow.
         match stop {
             StopWhen::Never => false,
-            StopWhen::AllDecided(set) => {
-                let trace = self.shared.trace.borrow();
-                set.iter().all(|p| trace.decisions[p.index()].is_some())
-            }
+            StopWhen::AllDecided(set) => set.bits() & !self.shared.decided.get() == 0,
             StopWhen::AllFinished(set) => set.iter().all(|p| self.finished[p.index()]),
-            StopWhen::AnyDecided => {
-                let trace = self.shared.trace.borrow();
-                trace.decisions.iter().any(|d| d.is_some())
-            }
+            StopWhen::AnyDecided => self.shared.decided.get() != 0,
         }
+    }
+
+    /// The set of processes that have decided so far (O(1) snapshot of the
+    /// cached bitmask).
+    pub fn decided_set(&self) -> ProcSet {
+        ProcSet::from_bits(self.shared.decided.get())
     }
 
     /// Steps executed so far.
@@ -400,7 +411,7 @@ impl Sim {
             finished: self.finished.clone(),
             probes: ProbeLog::new(trace.probes.clone()),
             executed: trace.executed.as_deref().map(executed_schedule),
-            op_counts: trace.op_counts.clone(),
+            op_counts: self.shared.op_counts.iter().map(Cell::get).collect(),
             register_stats: self.shared.memory.borrow().stats(),
         }
     }

@@ -32,11 +32,14 @@ pub struct Decision {
 }
 
 /// Mutable instrumentation state, owned by the simulator.
+///
+/// Step-hot counters live outside this struct (as `Cell`s in the shared
+/// state) so the per-step path never takes the `RefCell` borrow: this holds
+/// only the event-shaped data.
 pub(crate) struct TraceInner {
     pub probes: Vec<ProbeEvent>,
     pub decisions: Vec<Option<Decision>>,
     pub executed: Option<Vec<ProcessId>>,
-    pub op_counts: Vec<u64>,
 }
 
 impl TraceInner {
@@ -45,7 +48,6 @@ impl TraceInner {
             probes: Vec::new(),
             decisions: vec![None; n],
             executed: record_schedule.then(Vec::new),
-            op_counts: vec![0; n],
         }
     }
 }

@@ -176,7 +176,11 @@ fn stop_when_all_decided() {
     );
     assert_eq!(status, RunStatus::Stopped);
     // All three decide at their first step each: 3 steps + 1 extra poll round.
-    assert!(sim.steps_executed() <= 4, "stopped late: {}", sim.steps_executed());
+    assert!(
+        sim.steps_executed() <= 4,
+        "stopped late: {}",
+        sim.steps_executed()
+    );
 }
 
 /// AnyDecided stops at the first decision.
@@ -197,7 +201,10 @@ fn stop_when_any_decided() {
     .unwrap();
     let sched: Vec<usize> = (0..100).map(|s| s % 2).collect();
     let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
-    let status = sim.run(&mut src, RunConfig::steps(100).stop_when(StopWhen::AnyDecided));
+    let status = sim.run(
+        &mut src,
+        RunConfig::steps(100).stop_when(StopWhen::AnyDecided),
+    );
     assert_eq!(status, RunStatus::Stopped);
     assert_eq!(sim.report().decision_value(pid(0)), Some(42));
 }
@@ -213,7 +220,10 @@ fn run_statuses() {
     })
     .unwrap();
     let mut src = ScheduleCursor::new(Schedule::from_indices([0, 0, 0]));
-    assert_eq!(sim.run(&mut src, RunConfig::steps(10)), RunStatus::SourceEnded);
+    assert_eq!(
+        sim.run(&mut src, RunConfig::steps(10)),
+        RunStatus::SourceEnded
+    );
     let mut src2 = ScheduleCursor::new(Schedule::from_indices(vec![0; 50]));
     assert_eq!(sim.run(&mut src2, RunConfig::steps(5)), RunStatus::MaxSteps);
     assert_eq!(sim.steps_executed(), 8);
@@ -238,7 +248,10 @@ fn stuck_process_detected() {
     })
     .unwrap();
     let mut src = ScheduleCursor::new(Schedule::from_indices([0]));
-    assert_eq!(sim.run(&mut src, RunConfig::steps(5)), RunStatus::Stuck(pid(0)));
+    assert_eq!(
+        sim.run(&mut src, RunConfig::steps(5)),
+        RunStatus::Stuck(pid(0))
+    );
 }
 
 /// Probes are free (no steps) and recorded with the right step indices.
@@ -259,7 +272,10 @@ fn probes_are_free_and_ordered() {
     sim.run(&mut src, RunConfig::steps(10));
     let rep = sim.report();
     let tl = rep.probes.timeline(pid(0), "phase");
-    assert_eq!(tl.iter().map(|&(_, v)| v).collect::<Vec<_>>(), vec![1, 2, 3]);
+    assert_eq!(
+        tl.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+        vec![1, 2, 3]
+    );
     assert_eq!(
         rep.probes.last_value(pid(0), "members"),
         Some(ProcSet::from_indices([0, 3]).bits())
@@ -276,10 +292,11 @@ fn spawn_and_decide_misuse() {
         ctx.pause().await;
     })
     .unwrap();
-    assert!(sim.spawn(pid(0), |ctx| async move {
-        ctx.pause().await;
-    })
-    .is_err());
+    assert!(sim
+        .spawn(pid(0), |ctx| async move {
+            ctx.pause().await;
+        })
+        .is_err());
 
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut sim = Sim::new(universe(1));

@@ -66,5 +66,8 @@ fn main() {
         println!("  simulator {s}: {d:?}");
     }
     let distinct = report.distinct_simulator_values();
-    println!("distinct adopted values: {distinct} (≤ k = {k}: {})", distinct <= k);
+    println!(
+        "distinct adopted values: {distinct} (≤ k = {k}: {})",
+        distinct <= k
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
     // What does theory allow in S^2_{4,6}?
     for k in [1usize, 2] {
         let task = AgreementTask::new(3, k, n).expect("valid task");
-        println!("{task} in {system}: {}", solvability(&task, &system).unwrap());
+        println!(
+            "{task} in {system}: {}",
+            solvability(&task, &system).unwrap()
+        );
     }
 
     // Proposals: each replica proposes its locally staged config epoch.

@@ -37,7 +37,10 @@ fn main() {
     // --- 2. The Theorem 27 predicate ------------------------------------
     let task = AgreementTask::new(2, 1, 4).expect("valid task"); // 2-resilient consensus, n = 4
     let system = SystemSpec::new(1, 3, 4).expect("valid system"); // S^1_{3,4}
-    println!("\n{task} in {system}: {}", solvability(&task, &system).unwrap());
+    println!(
+        "\n{task} in {system}: {}",
+        solvability(&task, &system).unwrap()
+    );
 
     // --- 3. Run the stack ------------------------------------------------
     let inputs = [10, 20, 30, 40];
@@ -45,12 +48,7 @@ fn main() {
     // A conforming schedule of S^1_{3,4}: {p0} timely wrt {p0,p1,p2}.
     let timely = ProcSet::from_indices([0]);
     let observed = ProcSet::from_indices([0, 1, 2]);
-    let mut source = SetTimely::new(
-        timely,
-        observed,
-        6,
-        SeededRandom::new(task.universe(), 42),
-    );
+    let mut source = SetTimely::new(timely, observed, 6, SeededRandom::new(task.universe(), 42));
     let run = stack.run(&mut source, 3_000_000, ProcSet::EMPTY);
 
     println!("\nconsensus run ({:?}):", run.status);

@@ -11,8 +11,8 @@
 //!
 //! Run with: `cargo run --release --example synchrony_profile`
 
-use set_timeliness::core::{ProcSet, SynchronyProfile, SystemSpec, Universe};
 use set_timeliness::core::stepsource::StepSource;
+use set_timeliness::core::{ProcSet, SynchronyProfile, SystemSpec, Universe};
 use set_timeliness::sched::{
     AlternatingRotation, FictitiousCrash, Figure1, RotatingStarvation, RoundRobin, SeededRandom,
 };
@@ -20,7 +20,10 @@ use set_timeliness::sched::{
 fn show(name: &str, schedule: &set_timeliness::core::Schedule, n: usize, cap: usize) {
     let universe = Universe::new(n).expect("valid universe");
     let profile = SynchronyProfile::analyze(schedule, universe, cap);
-    println!("--- {name} (n = {n}, {} steps, cap {cap}) ---", schedule.len());
+    println!(
+        "--- {name} (n = {n}, {} steps, cap {cap}) ---",
+        schedule.len()
+    );
     print!("{profile}");
     let frontier = profile.frontier();
     let rendered: Vec<String> = frontier.iter().map(|(i, j)| format!("({i},{j})")).collect();
@@ -34,7 +37,12 @@ fn main() {
     let u = Universe::new(n).expect("valid universe");
 
     show("RoundRobin", &RoundRobin::new(u).take_schedule(len), n, cap);
-    show("SeededRandom", &SeededRandom::new(u, 7).take_schedule(len), n, cap);
+    show(
+        "SeededRandom",
+        &SeededRandom::new(u, 7).take_schedule(len),
+        n,
+        cap,
+    );
     show(
         "Figure1 (p0,p1 vs p2)",
         &Figure1::new(

@@ -3,8 +3,8 @@
 //! instruments cannot fail is not measuring anything.
 
 use set_timeliness::core::{
-    check_outcome, AgreementTask, AgreementViolation, ProcSet, ProcessId, Schedule,
-    ScheduleCursor, Universe, Value,
+    check_outcome, AgreementTask, AgreementViolation, ProcSet, ProcessId, Schedule, ScheduleCursor,
+    Universe, Value,
 };
 use set_timeliness::sim::{RunConfig, Sim, StopWhen};
 
@@ -31,12 +31,14 @@ fn checker_catches_k_agreement_violation() {
         &mut src,
         RunConfig::steps(100).stop_when(StopWhen::AllDecided(ProcSet::full(universe))),
     );
-    let outcome = sim.report().agreement_outcome(&inputs, ProcSet::full(universe));
+    let outcome = sim
+        .report()
+        .agreement_outcome(&inputs, ProcSet::full(universe));
     let violations = check_outcome(&task, &outcome);
     assert!(
-        violations
-            .iter()
-            .any(|v| matches!(v, AgreementViolation::KAgreement { values, .. } if values.len() == 4)),
+        violations.iter().any(
+            |v| matches!(v, AgreementViolation::KAgreement { values, .. } if values.len() == 4)
+        ),
         "decide-own with 4 distinct inputs must violate 2-agreement: {violations:?}"
     );
 }
@@ -58,7 +60,9 @@ fn checker_catches_validity_violation() {
     }
     let mut src = ScheduleCursor::new(Schedule::from_indices([0, 1, 2]));
     sim.run(&mut src, RunConfig::steps(10));
-    let outcome = sim.report().agreement_outcome(&inputs, ProcSet::full(universe));
+    let outcome = sim
+        .report()
+        .agreement_outcome(&inputs, ProcSet::full(universe));
     let violations = check_outcome(&task, &outcome);
     assert!(
         violations
@@ -90,7 +94,9 @@ fn checker_catches_termination_violation_within_budget_only() {
     sim.run(&mut src, RunConfig::steps(300));
 
     // Zero crashes (≤ t = 1): termination owed and violated.
-    let outcome = sim.report().agreement_outcome(&inputs, ProcSet::full(universe));
+    let outcome = sim
+        .report()
+        .agreement_outcome(&inputs, ProcSet::full(universe));
     let violations = check_outcome(&task, &outcome);
     assert!(violations
         .iter()
@@ -132,7 +138,10 @@ fn convergence_analyzer_rejects_flapping() {
     // "stabilization step" must be at the very end of the trace, never
     // earlier.
     if let Some(stab) = winnerset_stabilization(&sim.report(), ProcSet::full(universe)) {
-        assert!(stab.step >= 498, "flapping mistaken for early stabilization");
+        assert!(
+            stab.step >= 498,
+            "flapping mistaken for early stabilization"
+        );
     }
     let _ = ProcessId::new(0);
 }

@@ -64,8 +64,9 @@ fn generators_are_deterministic() {
 #[test]
 fn bg_reduction_is_deterministic() {
     let run_once = || {
-        let machines: Vec<TrivialKDecide> =
-            (0..5).map(|u| TrivialKDecide::new(u, 2, u as Value)).collect();
+        let machines: Vec<TrivialKDecide> = (0..5)
+            .map(|u| TrivialKDecide::new(u, 2, u as Value))
+            .collect();
         let host = set_timeliness::core::Universe::new(3).unwrap();
         let mut src = SeededRandom::new(host, 1234);
         let r = run_reduction(3, machines, 64, &mut src, 300_000);
@@ -73,7 +74,10 @@ fn bg_reduction_is_deterministic() {
             r.simulator_decisions,
             r.simulated_decisions,
             r.host_steps,
-            r.simulated_schedules.iter().map(|s| s.len()).collect::<Vec<_>>(),
+            r.simulated_schedules
+                .iter()
+                .map(|s| s.len())
+                .collect::<Vec<_>>(),
         )
     };
     assert_eq!(run_once(), run_once());

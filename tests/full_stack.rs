@@ -3,14 +3,10 @@
 
 use set_timeliness::agreement::{AgreementStack, StackKind};
 use set_timeliness::core::timeliness::empirical_bound;
-use set_timeliness::core::{
-    check_outcome, AgreementTask, ProcSet, ProcessId, StepSource, Value,
-};
+use set_timeliness::core::{check_outcome, AgreementTask, ProcSet, ProcessId, StepSource, Value};
 use set_timeliness::fd::convergence::winnerset_stabilization;
 use set_timeliness::fd::{KAntiOmega, KAntiOmegaConfig};
-use set_timeliness::sched::{
-    CrashAfter, CrashPlan, Eventually, SeededRandom, SetTimely,
-};
+use set_timeliness::sched::{CrashAfter, CrashPlan, Eventually, SeededRandom, SetTimely};
 use set_timeliness::sim::{RunConfig, Sim, StopWhen};
 
 fn inputs(n: usize) -> Vec<Value> {
@@ -104,7 +100,10 @@ fn executed_schedule_matches_generator_promise() {
     let p = ProcSet::from_indices([2]);
     let q = ProcSet::from_indices([0, 1, 3]);
     let mut gen = SetTimely::new(p, q, 5, SeededRandom::new(universe, 31));
-    sim.run(&mut gen, RunConfig::steps(50_000).stop_when(StopWhen::Never));
+    sim.run(
+        &mut gen,
+        RunConfig::steps(50_000).stop_when(StopWhen::Never),
+    );
     let executed = sim.report().executed.unwrap();
     assert_eq!(executed.len(), 50_000);
     assert!(empirical_bound(&executed, p, q) <= 5);

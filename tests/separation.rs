@@ -80,7 +80,11 @@ fn run_level_separation_stronger_resilience() {
         "{:?}",
         adv.run.outcome.decisions
     );
-    assert_eq!(adv.certificate.unwrap().bound, 1, "S^1_{{2,3}} membership witness");
+    assert_eq!(
+        adv.certificate.unwrap().bound,
+        1,
+        "S^1_{{2,3}} membership witness"
+    );
 }
 
 /// Run-level separation at stronger agreement: S^2_{3,4} solves (2,2,4) but
