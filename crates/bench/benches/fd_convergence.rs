@@ -1,21 +1,50 @@
 //! E2/E7 bench — Figure 2 k-anti-Ω: time-to-stabilization workloads over
-//! the (n, k) grid and the timeout-policy ablation.
+//! the (n, k) grid, the async-vs-state-machine ABI comparison, and the
+//! timeout-policy ablation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use st_core::{ProcSet, ProcessId, Universe};
-use st_fd::convergence::winnerset_stabilization;
+use st_fd::convergence::{run_until_quiescent, winnerset_stabilization};
 use st_fd::{KAntiOmega, KAntiOmegaConfig, TimeoutPolicy};
 use st_sched::{SeededRandom, SetTimely};
 use st_sim::{RunConfig, Sim};
 
-fn run_fd(n: usize, k: usize, t: usize, policy: TimeoutPolicy, budget: u64) -> Option<u64> {
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Abi {
+    Async,
+    Machine,
+}
+
+fn build_fd(n: usize, k: usize, t: usize, policy: TimeoutPolicy, abi: Abi) -> Sim {
     let universe = Universe::new(n).unwrap();
     let mut sim = Sim::new(universe);
     let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t).with_policy(policy));
     for p in universe.processes() {
-        let fd = fd.clone();
-        sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
+        match abi {
+            Abi::Async => {
+                let fd = fd.clone();
+                sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
+            }
+            Abi::Machine => sim.spawn_automaton(p, fd.machine()).unwrap(),
+        }
     }
+    sim
+}
+
+fn run_fd(n: usize, k: usize, t: usize, policy: TimeoutPolicy, budget: u64) -> Option<u64> {
+    run_fd_abi(n, k, t, policy, budget, Abi::Machine)
+}
+
+fn run_fd_abi(
+    n: usize,
+    k: usize,
+    t: usize,
+    policy: TimeoutPolicy,
+    budget: u64,
+    abi: Abi,
+) -> Option<u64> {
+    let universe = Universe::new(n).unwrap();
+    let mut sim = build_fd(n, k, t, policy, abi);
     let p: ProcSet = (0..k).map(ProcessId::new).collect();
     let q: ProcSet = (0..=t).map(ProcessId::new).collect();
     let mut src = SetTimely::new(p, q, 2 * (t + 1), SeededRandom::new(universe, 7));
@@ -39,6 +68,46 @@ fn convergence_grid(c: &mut Criterion) {
     group.finish();
 }
 
+/// The two automaton ABIs on the same E2 workload: the step-throughput
+/// comparison the `timeliness` bench records in `BENCH_timeliness.json`.
+fn abi_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd/abi");
+    group.sample_size(10);
+    for abi in [Abi::Async, Abi::Machine] {
+        group.bench_with_input(
+            BenchmarkId::new("kanti_200k_steps_n8", format!("{abi:?}")),
+            &abi,
+            |b, &abi| b.iter(|| run_fd_abi(8, 2, 3, TimeoutPolicy::Increment, 200_000, abi)),
+        );
+    }
+    group.finish();
+
+    // The quiescence-polling harness (borrow-free accessors, early stop)
+    // against a fixed-budget drive with the same verdict.
+    let mut group = c.benchmark_group("fd/quiescent_harness");
+    group.sample_size(10);
+    group.bench_function("poll_4k_quiet8_n5", |b| {
+        b.iter(|| {
+            let universe = Universe::new(5).unwrap();
+            let mut sim = build_fd(5, 2, 3, TimeoutPolicy::Increment, Abi::Machine);
+            let p: ProcSet = (0..2).map(ProcessId::new).collect();
+            let q: ProcSet = (0..=3).map(ProcessId::new).collect();
+            let mut src = SetTimely::new(p, q, 8, SeededRandom::new(universe, 7));
+            run_until_quiescent(
+                &mut sim,
+                &mut src,
+                ProcSet::full(universe),
+                600_000,
+                4_000,
+                8,
+            )
+            .stabilization
+            .map(|s| s.step)
+        })
+    });
+    group.finish();
+}
+
 fn timeout_policy_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fd/timeout_policy");
     group.sample_size(10);
@@ -57,6 +126,7 @@ fn timeout_policy_ablation(c: &mut Criterion) {
 criterion_group!(
     benches,
     convergence_grid,
+    abi_comparison,
     timeout_policy_ablation,
     set_vs_process
 );

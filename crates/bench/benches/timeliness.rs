@@ -1,21 +1,26 @@
 //! Timeliness sweep bench — the zero-allocation engine
 //! ([`TimelinessAnalyzer`]) against the kept naive reference
 //! ([`st_core::timeliness::naive`]) on full `Π^i_n × Π^j_n` matrix sweeps,
-//! plus the `BENCH_timeliness.json` baseline emitter that starts the
-//! repository's recorded perf trajectory.
+//! the work-stealing matrix sweep against the kept static split, the
+//! simulator's two automaton ABIs on the Figure 2 k-anti-Ω workload, plus
+//! the `BENCH_timeliness.json` baseline emitter that records the
+//! repository's perf trajectory.
 //!
-//! Workloads follow the acceptance shape of the engine: `n = 12`,
+//! Sweep workloads follow the acceptance shape of the engine: `n = 12`,
 //! `L = 100_000`-step schedules, both a near-synchronous (round-robin) and
 //! a seeded-random schedule — the two ends of the dedup spectrum (the
 //! round-robin decomposition collapses to a couple of distinct run
-//! histograms; the random one exercises the sorted early-exit path).
+//! histograms; the random one exercises the sorted early-exit path). The
+//! simulator workload is the E2 convergence shape: `n = 8` k-anti-Ω with
+//! `k = 2`, `t = 3` on a conforming `SetTimely` schedule.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use st_core::timeliness::{naive, sweep_matrix, TimelinessAnalyzer};
-use st_core::{Schedule, StepSource, Universe};
-use st_sched::{RoundRobin, SeededRandom};
+use st_core::timeliness::{naive, sweep_matrix, sweep_matrix_static_split, TimelinessAnalyzer};
+use st_core::{ProcSet, ProcessId, Schedule, StepSource, Universe};
+use st_fd::{KAntiOmega, KAntiOmegaConfig};
+use st_sched::{RoundRobin, SeededRandom, SetTimely};
 
 const N: usize = 12;
 const LEN: usize = 100_000;
@@ -68,7 +73,8 @@ fn matrix_sweeps(c: &mut Criterion) {
 
     // The full n×n matrix in one call (shared decompositions + threads);
     // no naive partner — the naive full matrix is out of time budget by
-    // orders of magnitude, which is the point of the engine.
+    // orders of magnitude, which is the point of the engine. Work-stealing
+    // chunking (the default) against the kept static rank split.
     let mut group = c.benchmark_group("timeliness/sweep_matrix");
     group.sample_size(10);
     group.bench_function("engine_full_n12_rnd", |b| {
@@ -79,6 +85,77 @@ fn matrix_sweeps(c: &mut Criterion) {
                 .map(|c| c.timely_pairs)
                 .sum::<u64>()
         })
+    });
+    group.bench_function("static_split_full_n12_rnd", |b| {
+        b.iter(|| {
+            sweep_matrix_static_split(&rnd, universe(), CAP, usize::MAX)
+                .cells()
+                .iter()
+                .map(|c| c.timely_pairs)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+// The n = 8 convergence workload of the step-throughput acceptance
+// criterion: every process runs the Figure 2 detector with k = 2, t = 3 on
+// a conforming SetTimely schedule.
+const SIM_N: usize = 8;
+const SIM_K: usize = 2;
+const SIM_T: usize = 3;
+
+/// The conforming E2 schedule for the workload, materialized once: driving
+/// the run from a pre-generated schedule (a cursor over an array) keeps the
+/// measurement on the executor + automaton cost, not on the SetTimely
+/// generator, which costs more per step than either ABI.
+fn kanti_schedule(steps: u64) -> Schedule {
+    let u = Universe::new(SIM_N).unwrap();
+    let p: ProcSet = (0..SIM_K).map(ProcessId::new).collect();
+    let q: ProcSet = (0..=SIM_T).map(ProcessId::new).collect();
+    SetTimely::new(p, q, 2 * (SIM_T + 1), SeededRandom::new(u, 7)).take_schedule(steps as usize)
+}
+
+/// Runs the kanti workload over `schedule` on the chosen ABI; returns the
+/// executed step count (consumed by `black_box`). The machine side runs as
+/// a typed fleet over the replay drive — the state-machine ABI's fastest
+/// mode; the async side is driven by the equivalent schedule cursor (the
+/// only drive a boxed future admits).
+fn run_kanti_workload(schedule: &Schedule, machine: bool) -> u64 {
+    use st_core::ScheduleCursor;
+    use st_sim::{RunConfig, Sim};
+    let u = Universe::new(SIM_N).unwrap();
+    let mut sim = Sim::new(u);
+    let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(SIM_K, SIM_T));
+    if machine {
+        let mut fleet: Vec<_> = u.processes().map(|_| fd.machine()).collect();
+        sim.run_automata_replay(
+            &mut fleet,
+            schedule,
+            RunConfig::steps(schedule.len() as u64),
+        );
+    } else {
+        for p in u.processes() {
+            let fd = fd.clone();
+            sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
+        }
+        let mut src = ScheduleCursor::new(schedule.clone());
+        sim.run(&mut src, RunConfig::steps(schedule.len() as u64));
+    }
+    sim.steps_executed()
+}
+
+/// Async poll path vs explicit state machine on identical workloads — the
+/// step-throughput lever this bench exists to track.
+fn sim_step_throughput(c: &mut Criterion) {
+    let schedule = kanti_schedule(200_000);
+    let mut group = c.benchmark_group("sim/step_throughput");
+    group.sample_size(10);
+    group.bench_function("kanti_async_200k_n8", |b| {
+        b.iter(|| run_kanti_workload(&schedule, false))
+    });
+    group.bench_function("kanti_machine_200k_n8", |b| {
+        b.iter(|| run_kanti_workload(&schedule, true))
     });
     group.finish();
 }
@@ -128,8 +205,15 @@ fn emit_baseline(_c: &mut Criterion) {
         az.all_timely_pairs_into(&rnd, I, J, CAP, &mut out);
         out.len()
     });
-    let matrix_full = time_best(3, || {
+    let matrix_steal = time_best(2, || {
         sweep_matrix(&rnd, universe(), CAP, usize::MAX)
+            .cells()
+            .iter()
+            .map(|c| c.timely_pairs)
+            .sum::<u64>()
+    });
+    let matrix_static = time_best(2, || {
+        sweep_matrix_static_split(&rnd, universe(), CAP, usize::MAX)
             .cells()
             .iter()
             .map(|c| c.timely_pairs)
@@ -142,17 +226,33 @@ fn emit_baseline(_c: &mut Criterion) {
     let word = time_best(3, run_register_loop::<u64>);
     let boxed = time_best(3, run_register_loop::<BoxedWord>);
 
+    // The two automaton ABIs on the n = 8 kanti convergence workload: the
+    // async poll path against the explicit state machine.
+    const SIM_STEPS: u64 = 2_000_000;
+    let kanti_sched = kanti_schedule(SIM_STEPS);
+    let kanti_async = time_best(3, || run_kanti_workload(&kanti_sched, false));
+    let kanti_machine = time_best(3, || run_kanti_workload(&kanti_sched, true));
+    let async_ns = kanti_async * 1e6 / SIM_STEPS as f64;
+    let machine_ns = kanti_machine * 1e6 / SIM_STEPS as f64;
+
     let json = format!(
-        "{{\n  \"schema\": \"st-bench/timeliness-v1\",\n  \
+        "{{\n  \"schema\": \"st-bench/timeliness-v2\",\n  \
          \"workload\": {{\"n\": {N}, \"schedule_len\": {LEN}, \"bound_cap\": {CAP}, \"i\": {I}, \"j\": {J}}},\n  \
          \"all_timely_pairs_ms\": {{\n    \
            \"round_robin\": {{\"naive\": {naive_rr:.2}, \"engine\": {engine_rr:.2}, \"speedup\": {:.1}}},\n    \
            \"seeded_random\": {{\"naive\": {naive_rnd:.2}, \"engine\": {engine_rnd:.2}, \"speedup\": {:.1}}}\n  }},\n  \
-         \"sweep_matrix_full_ms\": {{\"engine\": {matrix_full:.2}}},\n  \
-         \"sim_register_rw_100k_ms\": {{\"boxed\": {boxed:.2}, \"word\": {word:.2}, \"speedup\": {:.2}}}\n}}\n",
+         \"sweep_matrix_full_ms\": {{\"static_split\": {matrix_static:.2}, \"work_steal\": {matrix_steal:.2}, \"speedup\": {:.2}}},\n  \
+         \"sim_register_rw_100k_ms\": {{\"boxed\": {boxed:.2}, \"word\": {word:.2}, \"speedup\": {:.2}}},\n  \
+         \"sim_step_throughput\": {{\n    \
+           \"workload\": {{\"n\": {SIM_N}, \"k\": {SIM_K}, \"t\": {SIM_T}, \"steps\": {SIM_STEPS}, \"schedule\": \"SetTimely\"}},\n    \
+           \"async_ns_per_step\": {async_ns:.2},\n    \
+           \"automaton_ns_per_step\": {machine_ns:.2},\n    \
+           \"speedup\": {:.2}\n  }}\n}}\n",
         naive_rr / engine_rr,
         naive_rnd / engine_rnd,
+        matrix_static / matrix_steal,
         boxed / word,
+        async_ns / machine_ns,
     );
     let path = criterion::workspace_root().join("BENCH_timeliness.json");
     std::fs::write(&path, &json).expect("write BENCH_timeliness.json");
@@ -205,5 +305,5 @@ fn run_register_loop<T: Counter>() -> u64 {
     sim.steps_executed()
 }
 
-criterion_group!(benches, matrix_sweeps, emit_baseline);
+criterion_group!(benches, matrix_sweeps, sim_step_throughput, emit_baseline);
 criterion_main!(benches);

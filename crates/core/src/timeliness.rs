@@ -48,8 +48,13 @@
 //! A matrix sweep ([`sweep_matrix`]) additionally shares each `P`
 //! decomposition across **all** `j` columns and spreads the `Π^i_n` outer
 //! loop over threads ([`std::thread::scope`]; this environment has no
-//! external dependencies, so no rayon — the chunking is by subset rank and
-//! deterministic).
+//! external dependencies, so no rayon). Workers pull fixed-size rank chunks
+//! from a shared atomic counter — work stealing, since per-`P` cost varies
+//! wildly with how early the descending-total scan exits — and chunk
+//! results merge in ascending rank order, so the output is deterministic
+//! and identical to the sequential sweep. The pre-work-stealing static
+//! split is kept as [`sweep_matrix_static_split`] for the recorded bench
+//! trajectory.
 
 use crate::process::Universe;
 use crate::procset::ProcSet;
@@ -573,12 +578,102 @@ impl SweepMatrix {
     }
 }
 
+/// Resolves the caller's thread request: `usize::MAX` means "one worker per
+/// hardware thread"; any other value is honored as given (oversubscribing
+/// the hardware is allowed — it is how the stealing machinery is exercised
+/// on small hosts), bounded only by a sanity cap.
+fn resolve_workers(threads: usize) -> usize {
+    if threads == usize::MAX {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads.clamp(1, 64)
+    }
+}
+
 /// Sweeps **every** `(i, j)` cell (`1 ≤ i, j ≤ n`) of `s` with one shared
-/// decomposition per `P` and the `Π^i_n` loop spread across up to
-/// `threads` OS threads (capped by [`std::thread::available_parallelism`];
-/// pass `1` to force the sequential path). Results are identical to the
-/// sequential sweep: work is split by subset rank and merged in rank order.
+/// decomposition per `P` and the `Π^i_n` loop spread across `threads` OS
+/// worker threads (pass `1` to force the sequential path, `usize::MAX` for
+/// one worker per hardware thread).
+///
+/// Workers **steal work** instead of owning a static slice: a shared atomic
+/// rank counter hands out fixed-size chunks of `Π^i_n`, so a worker that
+/// drew cheap subsets (early-exit decompositions) loops back for more while
+/// a slow worker is still grinding — the imbalance a static
+/// `total_ranks / workers` split cannot absorb. Results are **identical to
+/// the sequential sweep**: chunk results are merged in ascending rank
+/// order, so counts, first-pair, and min-bound are deterministic
+/// (differential-tested against [`sweep_matrix_static_split`] and
+/// [`naive`]).
 pub fn sweep_matrix(
+    s: &Schedule,
+    universe: Universe,
+    bound_cap: usize,
+    threads: usize,
+) -> SweepMatrix {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    assert!(bound_cap > 0, "bound cap must be positive");
+    let n = universe.n();
+    let js: Vec<usize> = (1..=n).collect();
+    let workers = resolve_workers(threads);
+    let mut cells = Vec::with_capacity(n * n);
+    for i in 1..=n {
+        let total_ranks = binomial(n, i);
+        // Spawning threads costs more than small rows; keep those inline.
+        if workers == 1 || total_ranks < 64 {
+            let mut az = TimelinessAnalyzer::new(universe);
+            cells.extend(az.sweep_row(s, i, &js, bound_cap));
+            continue;
+        }
+        let workers = workers.min(total_ranks as usize);
+        // Steal granularity: aim for several grabs per worker so the tail
+        // imbalance is one chunk, not one static share; floor it so the
+        // counter is not contended for trivial work items.
+        let chunk = (total_ranks / (workers as u64 * 8)).max(16);
+        let next_rank = AtomicU64::new(0);
+        let parts: Mutex<Vec<(u64, Vec<MatrixCell>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let (js, next_rank, parts) = (&js, &next_rank, &parts);
+            for _ in 0..workers {
+                scope.spawn(move || {
+                    let mut az = TimelinessAnalyzer::new(universe);
+                    loop {
+                        let first = next_rank.fetch_add(chunk, Ordering::Relaxed);
+                        if first >= total_ranks {
+                            break;
+                        }
+                        let last = (first + chunk).min(total_ranks);
+                        let part = az.sweep_row_ranked(s, i, js, bound_cap, first, last);
+                        parts
+                            .lock()
+                            .expect("sweep worker panicked")
+                            .push((first, part));
+                    }
+                });
+            }
+        });
+        let mut parts = parts.into_inner().expect("sweep worker panicked");
+        // Chunks are disjoint rank intervals: merging in ascending first-rank
+        // order reproduces the sequential enumeration exactly.
+        parts.sort_unstable_by_key(|&(first, _)| first);
+        let mut row: Vec<MatrixCell> = js.iter().map(|&j| MatrixCell::empty(i, j)).collect();
+        for (_, part) in &parts {
+            for (cell, partial) in row.iter_mut().zip(part) {
+                cell.merge(partial);
+            }
+        }
+        cells.extend(row);
+    }
+    SweepMatrix { n, cells }
+}
+
+/// The pre-work-stealing parallel sweep: a static `total_ranks / workers`
+/// rank split, one slice per thread. Kept (like [`naive`]) as the
+/// comparison baseline for the recorded bench trajectory and as a
+/// differential-testing reference for [`sweep_matrix`]; results are
+/// identical, only the load balancing differs.
+pub fn sweep_matrix_static_split(
     s: &Schedule,
     universe: Universe,
     bound_cap: usize,
@@ -587,12 +682,10 @@ pub fn sweep_matrix(
     assert!(bound_cap > 0, "bound cap must be positive");
     let n = universe.n();
     let js: Vec<usize> = (1..=n).collect();
-    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let workers = threads.clamp(1, hw);
+    let workers = resolve_workers(threads);
     let mut cells = Vec::with_capacity(n * n);
     for i in 1..=n {
         let total_ranks = binomial(n, i);
-        // Spawning threads costs more than small rows; keep those inline.
         let workers = if total_ranks < 64 {
             1
         } else {
@@ -1023,6 +1116,35 @@ mod tests {
                     assert_eq!(cell.timely_pairs as usize, pairs.len(), "i={i} j={j}");
                     assert_eq!(cell.first, pairs.first().copied());
                     assert_eq!(cell.min_bound, pairs.iter().map(|t| t.bound).min());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_sweep_matches_sequential_and_static_split() {
+        // n = 10, so rows with C(10, i) ≥ 64 genuinely enter the stealing
+        // path (chunk = 16 ⇒ several grabs per worker); thread counts above
+        // the hardware are honored, so this exercises real interleaving
+        // even on a single-core host.
+        let n = 10;
+        let s = Schedule::from_indices((0..2_000).map(|i| (i * 13 + i / 7) % n));
+        let sequential = sweep_matrix(&s, u(n), 6, 1);
+        for threads in [3, 8] {
+            let stolen = sweep_matrix(&s, u(n), 6, threads);
+            let static_split = sweep_matrix_static_split(&s, u(n), 6, threads);
+            for i in 1..=n {
+                for j in 1..=n {
+                    assert_eq!(
+                        stolen.cell(i, j),
+                        sequential.cell(i, j),
+                        "steal vs sequential i={i} j={j} threads={threads}"
+                    );
+                    assert_eq!(
+                        static_split.cell(i, j),
+                        sequential.cell(i, j),
+                        "static vs sequential i={i} j={j} threads={threads}"
+                    );
                 }
             }
         }

@@ -19,10 +19,18 @@
 //! detector can be *composed* with a protocol in the same process (the
 //! process interleaves FD iterations with protocol steps); the standalone
 //! automaton of the paper is [`KAntiOmega::run`].
+//!
+//! The detector ships in **both simulator ABIs**: the async transcription
+//! above, and [`KAntiOmegaMachine`] — an explicit state machine on the
+//! executor's non-async fast path ([`st_sim::Automaton`]) that the
+//! convergence experiments and benches drive. The two are observationally
+//! identical step-for-step (same probes at the same step indices, same
+//! register writes in the same order); `tests/differential.rs` enforces it
+//! on round-robin, seeded-random, and Figure 1 schedules.
 
 use st_core::subsets::k_subsets;
 use st_core::{ProcSet, ProcessId, Universe};
-use st_sim::{ProcessCtx, Reg, Sim};
+use st_sim::{Automaton, ProcessCtx, Reg, Sim, Status, StepAccess};
 
 use crate::timeout::TimeoutPolicy;
 
@@ -271,6 +279,16 @@ impl KAntiOmega {
         }
     }
 
+    /// The same automaton as an explicit state machine on the simulator's
+    /// non-async fast path: spawn via
+    /// [`Sim::spawn_automaton`](st_sim::Sim::spawn_automaton), e.g.
+    /// `sim.spawn_automaton(p, fd.machine())`. Observationally identical to
+    /// [`run`](Self::run), step for step, at a fraction of the per-step
+    /// cost.
+    pub fn machine(&self) -> KAntiOmegaMachine {
+        KAntiOmegaMachine::new(self.clone())
+    }
+
     /// The subsets table (rank order), for analyses.
     pub fn subsets(&self) -> &[ProcSet] {
         &self.subsets
@@ -314,6 +332,271 @@ impl KAntiOmegaLocal {
     /// Current accusation counter for the set of the given rank.
     pub fn accusation_of(&self, rank: usize) -> u64 {
         self.accusation[rank]
+    }
+}
+
+/// Control state of [`KAntiOmegaMachine`]: which Figure 2 line the next
+/// scheduled step executes. Every variant performs exactly one register
+/// operation; the local computation between operations (lines 3–5, timer
+/// bookkeeping) runs at the phase boundaries, inside the step that precedes
+/// it — exactly where the async transcription runs it.
+#[derive(Clone, Copy, Debug)]
+enum Phase {
+    /// Line 2: read `Counter[A, q]`, flat index `a·n + q` into the counter
+    /// table. `m·n` steps per iteration — the hot phase.
+    ReadCounters(u32),
+    /// Line 7: write the bumped heartbeat.
+    WriteHeartbeat,
+    /// Lines 8–13: read `Heartbeat[q]` and reset timers of sets containing
+    /// `q` whose heartbeat advanced.
+    ReadHeartbeats(u32),
+    /// Lines 16–19: write the accusation `Counter[A, p]` for the expired
+    /// set at this index of the machine's expired list.
+    Accuse(u32),
+}
+
+/// The Figure 2 automaton as an explicit state machine
+/// ([`st_sim::Automaton`]): the non-async fast path of the detector.
+///
+/// Construct via [`KAntiOmega::machine`] and spawn with
+/// [`Sim::spawn_automaton`](st_sim::Sim::spawn_automaton). Local state is
+/// kept in flat buffers (the counter snapshot is one `m·n` vector, the
+/// register handles one flat table), so the hot `ReadCounters` step is a
+/// bounds-checked word read plus an index increment — no future to resume,
+/// no grant handshake, no nested `Vec` hops.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{ProcSet, Universe, ScheduleCursor, Schedule};
+/// use st_fd::{KAntiOmega, KAntiOmegaConfig};
+/// use st_sim::{RunConfig, Sim};
+///
+/// let universe = Universe::new(3).unwrap();
+/// let mut sim = Sim::new(universe);
+/// let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(1, 1));
+/// for p in universe.processes() {
+///     sim.spawn_automaton(p, fd.machine()).unwrap();
+/// }
+/// let steps: Vec<usize> = (0..60_000).map(|s| s % 3).collect();
+/// let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
+/// sim.run(&mut src, RunConfig::steps(60_000));
+/// let stab = st_fd::convergence::winnerset_stabilization(
+///     &sim.report(),
+///     ProcSet::full(universe),
+/// );
+/// assert_eq!(stab.unwrap().winnerset.len(), 1);
+/// ```
+pub struct KAntiOmegaMachine {
+    fd: KAntiOmega,
+    phase: Phase,
+    // The local variables block of Figure 2, flat where the async port nests.
+    my_hb: u64,
+    prev_heartbeat: Vec<u64>,
+    timeout: Vec<u64>,
+    timer: Vec<u64>,
+    /// The handle of `Counter[A₀, p₀]`: Figure 2's counter matrix is
+    /// allocated contiguously (rank-major, process-minor), so the line 2
+    /// scan reads `counter_base + i` via
+    /// [`StepAccess::read_word_array`] — no handle table to load on the
+    /// hot phase (contiguity is asserted at construction).
+    counter_base: Reg<u64>,
+    /// The line 2 snapshot, flattened to `[a·n + q]`.
+    cnt: Vec<u64>,
+    /// Memoized line 3: `accusation[a]` is a pure function of the row
+    /// `cnt[a·n .. (a+1)·n]`, so it is recomputed only when a counter in
+    /// that row actually changed since the previous iteration. After
+    /// convergence no counter moves and the whole line 3 pass is `m`
+    /// cached loads — this is where the state machine stops paying the
+    /// per-iteration sort the async transcription re-runs verbatim.
+    accusation: Vec<u64>,
+    /// Rows whose snapshot changed since `accusation[a]` was computed.
+    row_dirty: Vec<bool>,
+    scratch: Vec<u64>,
+    winnerset: ProcSet,
+    fd_output: ProcSet,
+    published: Option<ProcSet>,
+    iterations: u64,
+    /// Ranks whose timers expired this iteration, in ascending order —
+    /// the pending line 18 writes.
+    expired: Vec<u32>,
+}
+
+impl KAntiOmegaMachine {
+    fn new(fd: KAntiOmega) -> Self {
+        let n = fd.universe.n();
+        let m = fd.subsets.len();
+        let counter_base = fd.counter[0][0];
+        for (a, row) in fd.counter.iter().enumerate() {
+            for (q, reg) in row.iter().enumerate() {
+                assert_eq!(
+                    reg.index(),
+                    counter_base.index() + a * n + q,
+                    "counter matrix must be allocated contiguously"
+                );
+            }
+        }
+        KAntiOmegaMachine {
+            fd,
+            phase: Phase::ReadCounters(0),
+            my_hb: 0,
+            prev_heartbeat: vec![0; n],
+            timeout: vec![1; m],
+            timer: vec![1; m],
+            counter_base,
+            cnt: vec![0; m * n],
+            accusation: vec![0; m],
+            row_dirty: vec![true; m],
+            scratch: vec![0; n],
+            winnerset: ProcSet::EMPTY,
+            fd_output: ProcSet::EMPTY,
+            published: None,
+            iterations: 0,
+            expired: Vec::with_capacity(m),
+        }
+    }
+
+    /// Current winner set (line 4).
+    pub fn winnerset(&self) -> ProcSet {
+        self.winnerset
+    }
+
+    /// Current FD output `Π_n − winnerset` (line 5).
+    pub fn fd_output(&self) -> ProcSet {
+        self.fd_output
+    }
+
+    /// Completed loop iterations.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Lines 3–5 plus the line 6 increment: runs at the end of the last
+    /// line 2 read, inside that read's step (where the async port runs it).
+    fn select_winner(&mut self, mem: &StepAccess<'_>) {
+        let n = self.fd.universe.n();
+        let m = self.fd.subsets.len();
+        let t = self.fd.config.t;
+
+        // Line 3: accusation[A] is the (t+1)-st smallest of cnt[A, *] —
+        // recomputed only for rows whose snapshot changed (see the field
+        // docs; values are identical to recomputing every row). Line 4: the
+        // winner minimizes (accusation[A], A) — subsets are in ascending
+        // set order, so a strict `<` scan in rank order realizes the
+        // lexicographic tie-break.
+        let mut winner = 0usize;
+        let mut winner_acc = u64::MAX;
+        for a in 0..m {
+            if self.row_dirty[a] {
+                self.row_dirty[a] = false;
+                self.scratch.copy_from_slice(&self.cnt[a * n..(a + 1) * n]);
+                let (_, &mut acc, _) = self.scratch.select_nth_unstable(t);
+                self.accusation[a] = acc;
+            }
+            let acc = self.accusation[a];
+            if acc < winner_acc {
+                winner = a;
+                winner_acc = acc;
+            }
+        }
+        self.winnerset = self.fd.subsets[winner];
+        // Line 5: fdOutput = Π_n − winnerset.
+        self.fd_output = self.winnerset.complement(self.fd.universe);
+        if self.published != Some(self.winnerset) {
+            mem.probe_set(WINNERSET_PROBE, self.winnerset);
+            self.published = Some(self.winnerset);
+        }
+
+        // Line 6: bump the local heartbeat; the write is the next step.
+        self.my_hb += 1;
+    }
+
+    /// Lines 14–15 + 17 bookkeeping for every set at once: decrement all
+    /// timers, grow the timeout of the expired ones, and queue their
+    /// accusation writes (ascending rank — the order the async loop emits
+    /// them). Timer arithmetic is local, so batching it at the end of the
+    /// lines 8–13 phase is unobservable; the queued writes then replay one
+    /// per step.
+    fn expire_timers(&mut self) {
+        self.expired.clear();
+        for a in 0..self.timer.len() {
+            self.timer[a] -= 1;
+            if self.timer[a] == 0 {
+                self.timeout[a] = self.fd.config.policy.grow(self.timeout[a]);
+                self.timer[a] = self.timeout[a];
+                self.expired.push(a as u32);
+            }
+        }
+    }
+
+    /// Closes the loop iteration and re-enters line 2.
+    fn next_iteration(&mut self) {
+        self.iterations += 1;
+        self.phase = Phase::ReadCounters(0);
+    }
+}
+
+impl Automaton for KAntiOmegaMachine {
+    fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+        match self.phase {
+            Phase::ReadCounters(idx) => {
+                let i = idx as usize;
+                let value = mem.read_word_array(self.counter_base, i);
+                // Counters move rarely (one accusation per timer expiry):
+                // compare-before-store keeps the line 3 memo exact and the
+                // row-index division off the common path.
+                if self.cnt[i] != value {
+                    self.cnt[i] = value;
+                    self.row_dirty[i / self.fd.universe.n()] = true;
+                }
+                if i + 1 == self.cnt.len() {
+                    self.select_winner(mem);
+                    self.phase = Phase::WriteHeartbeat;
+                } else {
+                    self.phase = Phase::ReadCounters(idx + 1);
+                }
+            }
+            Phase::WriteHeartbeat => {
+                // Line 7.
+                let me = mem.pid().index();
+                mem.write_word(self.fd.heartbeat[me], self.my_hb);
+                self.phase = Phase::ReadHeartbeats(0);
+            }
+            Phase::ReadHeartbeats(q) => {
+                let qi = q as usize;
+                let hbq = mem.read_word(self.fd.heartbeat[qi]);
+                if hbq > self.prev_heartbeat[qi] {
+                    for &rank in &self.fd.containing[qi] {
+                        self.timer[rank as usize] = self.timeout[rank as usize];
+                    }
+                    self.prev_heartbeat[qi] = hbq;
+                }
+                if qi + 1 == self.fd.universe.n() {
+                    self.expire_timers();
+                    if self.expired.is_empty() {
+                        self.next_iteration();
+                    } else {
+                        self.phase = Phase::Accuse(0);
+                    }
+                } else {
+                    self.phase = Phase::ReadHeartbeats(q + 1);
+                }
+            }
+            Phase::Accuse(idx) => {
+                // Line 18: accuse from the line 2 snapshot, as the paper
+                // (and the async port) does.
+                let me = mem.pid().index();
+                let a = self.expired[idx as usize] as usize;
+                let snap = self.cnt[a * self.fd.universe.n() + me];
+                mem.write_word(self.fd.counter[a][me], snap + 1);
+                if idx as usize + 1 == self.expired.len() {
+                    self.next_iteration();
+                } else {
+                    self.phase = Phase::Accuse(idx + 1);
+                }
+            }
+        }
+        Status::Running
     }
 }
 

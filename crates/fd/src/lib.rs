@@ -4,6 +4,11 @@
 //!   transcribed line-by-line: heartbeats, per-set timers over `Π^k_n`,
 //!   shared accusation counters `Counter[A, q]`, winnerset selection by
 //!   minimal `(accusation, A)`.
+//! - [`KAntiOmegaMachine`] — the same algorithm as an explicit state
+//!   machine on the simulator's non-async fast path
+//!   ([`st_sim::Automaton`]); observationally identical to the async
+//!   transcription (enforced by `tests/differential.rs`) and what the
+//!   convergence experiments run.
 //! - [`Omega`] — the `k = 1` special case: the classic leader oracle
 //!   (footnote 2 of the paper).
 //! - [`ProcessTimelyDetector`] — the *process*-timeliness baseline the
@@ -27,6 +32,8 @@ mod omega;
 mod timeout;
 
 pub use baseline::{ProcessTimelyDetector, ProcessTimelyLocal, BASELINE_WINNERSET_PROBE};
-pub use kanti::{KAntiOmega, KAntiOmegaConfig, KAntiOmegaLocal, WINNERSET_PROBE};
+pub use kanti::{
+    KAntiOmega, KAntiOmegaConfig, KAntiOmegaLocal, KAntiOmegaMachine, WINNERSET_PROBE,
+};
 pub use omega::{Omega, OmegaLocal};
 pub use timeout::TimeoutPolicy;

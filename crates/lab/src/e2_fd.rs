@@ -22,8 +22,10 @@ fn run_fd<S: StepSource>(n: usize, k: usize, t: usize, src: &mut S, budget: u64)
     let mut sim = Sim::with_recording(universe, true);
     let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t));
     for p in universe.processes() {
-        let fd = fd.clone();
-        sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
+        // The state-machine ABI: observationally identical to the async
+        // transcription (st-fd differential tests), several times cheaper
+        // per step — the whole grid is simulator-bound.
+        sim.spawn_automaton(p, fd.machine()).unwrap();
     }
     sim.run(src, RunConfig::steps(budget));
     sim.report()

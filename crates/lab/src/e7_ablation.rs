@@ -29,11 +29,10 @@ fn stabilization_step<S: StepSource>(
     let universe = Universe::new(n).unwrap();
     let mut sim = Sim::new(universe);
     let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t).with_policy(policy));
-    for p in universe.processes() {
-        let fd = fd.clone();
-        sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
-    }
-    sim.run(src, RunConfig::steps(budget));
+    // Typed fleet on the state-machine fast path (differentially equal to
+    // the async port); the ablation sweeps multi-million-step budgets.
+    let mut fleet: Vec<_> = universe.processes().map(|_| fd.machine()).collect();
+    sim.run_automata(&mut fleet, src, RunConfig::steps(budget));
     winnerset_stabilization(&sim.report(), ProcSet::full(universe)).map(|s| s.step)
 }
 

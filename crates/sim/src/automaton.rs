@@ -1,0 +1,311 @@
+//! The non-async automaton ABI: explicit state machines on the executor's
+//! fast path.
+//!
+//! The async [`ProcessCtx`](crate::ProcessCtx) path is ergonomic — protocol
+//! code reads like the paper's pseudocode — but every step pays for the poll
+//! machinery: resuming a compiler-generated future, the grant-cell
+//! handshake, and the suspension at the next awaited operation. Profiles of
+//! the Figure 2 experiments put that machinery at well over half of the
+//! async path's ~23–26 ns/step on the n = 8 workload — far above the cost
+//! of the register operation itself (`BENCH_timeliness.json` tracks the
+//! measured numbers).
+//!
+//! An [`Automaton`] is the explicit alternative: the executor calls
+//! [`Automaton::step`] once per granted step and hands it a scoped
+//! [`StepAccess`] — a direct view of the register arena plus the
+//! instrumentation channels. No future, no poll, no grant cell: the automaton
+//! keeps its own control state (typically a phase enum) and performs **at
+//! most one** shared-memory operation per call, exactly the model's notion
+//! of a step (one register access plus unbounded local computation).
+//!
+//! Both ABIs coexist in one [`Sim`](crate::Sim): spawn ergonomic protocols
+//! with [`Sim::spawn`](crate::Sim::spawn) and hot ones with
+//! [`Sim::spawn_automaton`](crate::Sim::spawn_automaton). Step semantics,
+//! accounting, probes, and decisions are identical across the two — the
+//! differential tests in `st-fd` hold the Figure 2 detector to
+//! *observational equality* between its two implementations.
+
+use st_core::{ProcSet, ProcessId, Value};
+
+use crate::ctx::SimShared;
+use crate::memory::Memory;
+use crate::register::{Reg, RegValue};
+use crate::trace::{Decision, ProbeEvent};
+
+/// What an automaton reports after a step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// The automaton has more steps to take.
+    Running,
+    /// The automaton completed; further scheduled steps become no-ops (the
+    /// halted automaton self-loops, as in the model).
+    Done,
+}
+
+/// An explicit protocol state machine driven directly by the executor.
+///
+/// Implementations keep their control state (phase, loop indices) in plain
+/// fields and advance it by one scheduled step per [`step`](Self::step)
+/// call. See the module docs for the contract and
+/// [`Sim::spawn_automaton`](crate::Sim::spawn_automaton) for wiring.
+///
+/// # Examples
+///
+/// A two-phase automaton incrementing a shared counter and deciding:
+///
+/// ```
+/// use st_sim::{Automaton, Reg, Sim, Status, StepAccess};
+/// use st_core::{Universe, ProcessId};
+///
+/// enum Phase { Read, Write(u64), Done }
+/// struct Incr { reg: Reg<u64>, phase: Phase }
+///
+/// impl Automaton for Incr {
+///     fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+///         match self.phase {
+///             Phase::Read => {
+///                 let v = mem.read_word(self.reg);
+///                 self.phase = Phase::Write(v + 1);
+///                 Status::Running
+///             }
+///             Phase::Write(v) => {
+///                 mem.write_word(self.reg, v);
+///                 mem.decide(v);
+///                 self.phase = Phase::Done;
+///                 Status::Done
+///             }
+///             Phase::Done => unreachable!("executor stops stepping after Done"),
+///         }
+///     }
+/// }
+///
+/// let mut sim = Sim::new(Universe::new(1).unwrap());
+/// let reg = sim.alloc("x", 41u64);
+/// sim.spawn_automaton(ProcessId::new(0), Incr { reg, phase: Phase::Read }).unwrap();
+/// sim.step_with(ProcessId::new(0));
+/// sim.step_with(ProcessId::new(0));
+/// assert_eq!(sim.peek(reg), 42);
+/// ```
+pub trait Automaton {
+    /// Executes one scheduled step: at most one register operation through
+    /// `mem`, plus any amount of local computation.
+    fn step(&mut self, mem: &mut StepAccess<'_>) -> Status;
+}
+
+/// Scoped, direct view of the simulator handed to an [`Automaton`] for
+/// exactly one step.
+///
+/// Mirrors the [`ProcessCtx`](crate::ProcessCtx) API without the `async`
+/// layer: register operations are plain calls against the word arena
+/// (`&mut Memory`, no per-operation `RefCell` borrow), probes and decisions
+/// go to the same trace. The **one-operation-per-step** discipline that the
+/// async path gets from its grant handshake is enforced here explicitly:
+/// a second register operation in the same step panics.
+pub struct StepAccess<'a> {
+    pid: ProcessId,
+    /// The executing step's global index, passed by value: the hot loops
+    /// never touch the shared step cell.
+    step: u64,
+    memory: &'a mut Memory,
+    shared: &'a SimShared,
+    /// The step's one slot (register operation *or* pause) was consumed.
+    op_used: bool,
+    /// A register operation was actually performed (pauses excluded) — the
+    /// executor accumulates per-process op counts from this.
+    op_performed: bool,
+}
+
+impl<'a> StepAccess<'a> {
+    pub(crate) fn new(
+        pid: ProcessId,
+        step: u64,
+        memory: &'a mut Memory,
+        shared: &'a SimShared,
+    ) -> Self {
+        StepAccess {
+            pid,
+            step,
+            memory,
+            shared,
+            op_used: false,
+            op_performed: false,
+        }
+    }
+
+    /// Whether this step performed a register operation (pauses excluded) —
+    /// the executor accumulates per-process op counts from this flag, off
+    /// the step path.
+    pub(crate) fn op_performed(&self) -> bool {
+        self.op_performed
+    }
+
+    /// This process's identity.
+    #[inline]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Number of processes in the system.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.shared.n
+    }
+
+    /// The global step index currently executing (instrumentation only; a
+    /// real process has no access to global time).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.step
+    }
+
+    #[inline]
+    fn consume_op(&mut self) {
+        assert!(
+            !self.op_used,
+            "automaton of {} performed two shared-memory operations in one \
+             step; a step is one register access plus local computation",
+            self.pid
+        );
+        self.op_used = true;
+        self.op_performed = true;
+    }
+
+    /// Atomically reads a `u64` register through the word fast path.
+    /// **Costs the step's one operation.**
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol bugs: a second operation this step, foreign
+    /// handles, or type confusion.
+    #[inline]
+    pub fn read_word(&mut self, reg: Reg<u64>) -> u64 {
+        self.consume_op();
+        match self.memory.read_word(reg) {
+            Ok(v) => v,
+            Err(e) => panic!("simulated {} read failed: {e}", self.pid),
+        }
+    }
+
+    /// Atomically writes a `u64` register through the word fast path.
+    /// **Costs the step's one operation.**
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol bugs: a second operation this step, foreign
+    /// handles, type confusion, or violating a single-writer discipline.
+    #[inline]
+    pub fn write_word(&mut self, reg: Reg<u64>, value: u64) {
+        self.consume_op();
+        if let Err(e) = self.memory.write_word(self.pid, reg, value) {
+            panic!("simulated {} write failed: {e}", self.pid);
+        }
+    }
+
+    /// [`read_word`](Self::read_word) of the register allocated `offset`
+    /// slots after `base` — the register-*array* scan primitive. Arrays from
+    /// [`Sim::alloc_array`](crate::Sim::alloc_array) /
+    /// [`Sim::alloc_per_process`](crate::Sim::alloc_per_process) (and any
+    /// back-to-back allocation sequence) are contiguous, so a scanning
+    /// automaton can keep one base handle and a counter instead of loading
+    /// a handle from its own table every step — one less data-dependent
+    /// load on the hottest path in the simulator. All access-time checks
+    /// (bounds, storage class) still apply to the derived slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol bugs: a second operation this step, an offset
+    /// falling outside the arena, or a non-`u64` register at the slot.
+    #[inline]
+    pub fn read_word_array(&mut self, base: Reg<u64>, offset: usize) -> u64 {
+        self.consume_op();
+        let reg: Reg<u64> = Reg::new((base.index() + offset) as u32);
+        match self.memory.read_word(reg) {
+            Ok(v) => v,
+            Err(e) => panic!("simulated {} array read failed: {e}", self.pid),
+        }
+    }
+
+    /// Atomically reads a register of any type. **Costs the step's one
+    /// operation.**
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`read_word`](Self::read_word).
+    pub fn read<T: RegValue>(&mut self, reg: Reg<T>) -> T {
+        self.consume_op();
+        match self.memory.read(reg) {
+            Ok(v) => v,
+            Err(e) => panic!("simulated {} read failed: {e}", self.pid),
+        }
+    }
+
+    /// Atomically writes a register of any type. **Costs the step's one
+    /// operation.**
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`write_word`](Self::write_word).
+    pub fn write<T: RegValue>(&mut self, reg: Reg<T>, value: T) {
+        self.consume_op();
+        if let Err(e) = self.memory.write(self.pid, reg, value) {
+            panic!("simulated {} write failed: {e}", self.pid);
+        }
+    }
+
+    /// Consumes the step's operation without touching shared memory — the
+    /// automaton form of [`ProcessCtx::pause`](crate::ProcessCtx::pause).
+    /// Returning from [`Automaton::step`] without any operation is
+    /// equivalent; this exists to make the intent explicit (and to enforce
+    /// that nothing else runs in the same step).
+    pub fn pause(&mut self) {
+        assert!(
+            !self.op_used,
+            "automaton of {} paused after an operation in the same step",
+            self.pid
+        );
+        self.op_used = true;
+    }
+
+    /// Publishes an instrumentation probe. **Free** (see
+    /// [`ProcessCtx::probe`](crate::ProcessCtx::probe)).
+    pub fn probe(&self, key: &'static str, value: u64) {
+        self.shared.trace.borrow_mut().probes.push(ProbeEvent {
+            step: self.step,
+            pid: self.pid,
+            key,
+            value,
+        });
+    }
+
+    /// Publishes a process-set-valued probe (encoded as the bitset).
+    pub fn probe_set(&self, key: &'static str, set: ProcSet) {
+        self.probe(key, set.bits());
+    }
+
+    /// Records this process's irrevocable decision. **Free.**
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process already decided (decisions are irrevocable).
+    pub fn decide(&self, value: Value) {
+        let step = self.step;
+        let mut trace = self.shared.trace.borrow_mut();
+        let slot = &mut trace.decisions[self.pid.index()];
+        assert!(
+            slot.is_none(),
+            "process {} decided twice (had {:?}, now {})",
+            self.pid,
+            slot,
+            value
+        );
+        *slot = Some(Decision { value, step });
+        self.shared
+            .decided
+            .set(self.shared.decided.get() | ProcSet::singleton(self.pid).bits());
+    }
+
+    /// Returns `true` if this process has decided.
+    pub fn has_decided(&self) -> bool {
+        self.shared.trace.borrow().decisions[self.pid.index()].is_some()
+    }
+}

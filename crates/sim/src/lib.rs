@@ -6,8 +6,7 @@
 //! Timeliness* (Section 2):
 //!
 //! - a **step** is one register read or write plus unbounded local
-//!   computation ([`ProcessCtx::read`]/[`ProcessCtx::write`] suspend until
-//!   the schedule grants the process a step);
+//!   computation;
 //! - the executor is hand-rolled, single-threaded, and **fully
 //!   deterministic** — the schedule is the only nondeterminism, so runs are
 //!   reproducible bit-for-bit and the schedule is a controlled experimental
@@ -16,11 +15,55 @@
 //!   local protocol state (failure-detector outputs, round numbers) to the
 //!   trace without costing steps.
 //!
+//! # The two automaton ABIs
+//!
+//! Protocols plug into the executor through either of two equivalent ABIs,
+//! and one [`Sim`] mixes both kinds of slots freely:
+//!
+//! 1. **Async** ([`Sim::spawn`], [`ProcessCtx`]): the protocol is an
+//!    `async fn`; each register operation suspends until the schedule
+//!    grants the process a step. This is the ergonomic default — code reads
+//!    like the paper's pseudocode — and the right choice for everything off
+//!    the hot path (`st-registers`, `st-agreement`, tests, scripted
+//!    scenarios). Cost: the compiler-generated future must be polled and
+//!    resumed every step (~23–26 ns/step on the Figure 2 n = 8 workload on
+//!    the reference host).
+//! 2. **State machine** ([`Sim::spawn_automaton`], [`Automaton`],
+//!    [`StepAccess`]): the protocol keeps explicit control state and the
+//!    executor calls [`Automaton::step`] directly with a scoped view of the
+//!    register arena — no `Pin<Box<dyn Future>>`, no poll/grant handshake,
+//!    and (in a machine-only run) a single arena borrow per `run` call
+//!    instead of one per step. This is the fast path for protocols stepped
+//!    millions of times per experiment.
+//!
+//! The state-machine ABI additionally unlocks two drive modes the boxed
+//! async path cannot express:
+//!
+//! - [`Sim::run_automata`] drives a caller-owned homogeneous fleet
+//!   (`&mut [A]`) with **static dispatch** — the automaton body inlines
+//!   into the executor loop;
+//! - [`Sim::run_automata_replay`] drives the fleet straight off a
+//!   pre-materialized [`Schedule`] slice, fusing the cursor pull into the
+//!   loop condition.
+//!
+//! The Figure 2 k-anti-Ω detector in `st-fd` ships on both ABIs, held
+//! observationally identical (same probes at the same step indices, same
+//! register footprint) by differential tests; on the replay drive the
+//! state machine executes the n = 8 convergence workload at ≥3× the async
+//! step throughput (~7.5 vs ~23 ns/step on the reference host — see
+//! `BENCH_timeliness.json` at the repository root for the recorded
+//! numbers).
+//!
+//! Step semantics are identical across the ABIs and drive modes: one
+//! register operation per scheduled step, same accounting, same probes and
+//! decisions, same determinism guarantees.
+//!
 //! See [`Sim`] for the entry point and a complete example.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod automaton;
 mod ctx;
 pub mod error;
 pub mod memory;
@@ -28,6 +71,7 @@ pub mod register;
 mod runner;
 pub mod trace;
 
+pub use automaton::{Automaton, Status, StepAccess};
 pub use ctx::ProcessCtx;
 pub use error::SimError;
 pub use memory::{Memory, RegisterStats};

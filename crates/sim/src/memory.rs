@@ -5,19 +5,30 @@
 //! single-threaded; atomicity is by construction). Accounting (read/write
 //! counts, versions) feeds the trace.
 //!
-//! # The typed word fast path
+//! # The typed word fast path, and the arena layout
 //!
 //! Every register of the paper's protocols (Figure 2's `Heartbeat[p]` and
 //! `Counter[A, q]`, ballot numbers, round counters) is a `u64`, and the
 //! k-anti-Ω inner loop reads `|Π^k_n|·n` of them per iteration — so the
-//! generic `Box<dyn Any>` + downcast + clone representation sat on the
-//! hottest path of the whole simulator. `u64` registers are therefore stored
-//! **unboxed** in a word arena variant: [`Memory::read_word`] /
-//! [`Memory::write_word`] touch them with a plain enum match (no vtable, no
-//! downcast, no clone), and the generic [`Memory::read`] / [`Memory::write`]
-//! route `T = u64` to the same representation via a compile-time
-//! [`TypeId`] check that monomorphizes away. Handles, disciplines, and error
-//! behavior are unchanged.
+//! register representation sits on the hottest path of the whole simulator.
+//! Two layout decisions follow:
+//!
+//! 1. **Unboxed words.** `u64` registers are stored as plain words:
+//!    [`Memory::read_word`] / [`Memory::write_word`] touch them with a byte
+//!    compare and an array load (no vtable, no downcast, no clone), and the
+//!    generic [`Memory::read`] / [`Memory::write`] route `T = u64` to the
+//!    same representation via a compile-time [`TypeId`] check that
+//!    monomorphizes away.
+//! 2. **Structure of arrays.** The arena keeps parallel arrays — kinds
+//!    (1 byte), word values (8 bytes), read/write counts, and the *cold*
+//!    metadata (names, disciplines, boxed values) off to the side — instead
+//!    of an array of register structs. A protocol that sweeps hundreds of
+//!    registers per iteration (the Figure 2 counter matrix) then streams a
+//!    few KiB of dense values rather than dragging each register's name and
+//!    discipline through the cache with it: the per-step cost of the sweep
+//!    is the load, the count bump, and nothing else.
+//!
+//! Handles, disciplines, and error behavior are independent of the layout.
 
 use std::any::{Any, TypeId};
 
@@ -26,42 +37,38 @@ use st_core::ProcessId;
 use crate::error::SimError;
 use crate::register::{Reg, RegValue, WriteDiscipline};
 
-/// Storage for one register: `u64`s live unboxed on the word fast path.
-enum CellValue {
-    Word(u64),
-    Boxed(Box<dyn Any>),
+/// Storage class of a register: words live inline in the hot cell,
+/// everything else is boxed in the side table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Word,
+    Boxed,
 }
 
-struct RegisterCell {
-    name: String,
-    discipline: WriteDiscipline,
-    value: CellValue,
-    /// Number of completed writes (version counter).
-    writes: u64,
-    /// Number of completed reads.
+/// The per-register state the step path actually touches: 32 bytes, two to
+/// a cache line, one bounds check per access.
+struct HotCell {
+    /// The value for `Kind::Word`, the index into `Memory::boxed` for
+    /// `Kind::Boxed`.
+    payload: u64,
+    /// Completed reads.
     reads: u64,
+    /// Completed writes (version counter).
+    writes: u64,
+    kind: Kind,
 }
 
-impl RegisterCell {
-    fn check_writer(&self, index: usize, writer: ProcessId) -> Result<(), SimError> {
-        if let WriteDiscipline::SingleWriter(owner) = self.discipline {
-            if owner != writer {
-                return Err(SimError::WriteDisciplineViolation {
-                    register: index,
-                    name: self.name.clone(),
-                    owner,
-                    writer,
-                });
-            }
-        }
-        Ok(())
-    }
-}
-
-/// The register arena.
+/// The register arena (see the module docs for the layout).
 #[derive(Default)]
 pub struct Memory {
-    cells: Vec<RegisterCell>,
+    /// Hot per-register state, dense.
+    cells: Vec<HotCell>,
+    /// Write discipline per register (checked on writes only).
+    disciplines: Vec<WriteDiscipline>,
+    /// Allocation names (cold: error messages and stats).
+    names: Vec<String>,
+    /// Side table for non-word values.
+    boxed: Vec<Box<dyn Any>>,
 }
 
 /// Per-register access statistics, reported after a run.
@@ -122,31 +129,43 @@ impl Memory {
         init: T,
     ) -> Reg<T> {
         let index = self.cells.len() as u32;
-        let value = if is_word::<T>() {
-            CellValue::Word(to_word(init))
+        let (kind, payload) = if is_word::<T>() {
+            (Kind::Word, to_word(init))
         } else {
-            CellValue::Boxed(Box::new(init))
+            let slot = self.boxed.len() as u64;
+            self.boxed.push(Box::new(init));
+            (Kind::Boxed, slot)
         };
-        self.cells.push(RegisterCell {
-            name: name.into(),
-            discipline,
-            value,
-            writes: 0,
+        self.cells.push(HotCell {
+            payload,
             reads: 0,
+            writes: 0,
+            kind,
         });
+        self.disciplines.push(discipline);
+        self.names.push(name.into());
         Reg::new(index)
     }
 
-    fn cell(&self, index: usize) -> Result<&RegisterCell, SimError> {
-        self.cells
-            .get(index)
-            .ok_or(SimError::UnknownRegister { register: index })
+    fn type_mismatch(&self, index: usize) -> SimError {
+        SimError::TypeMismatch {
+            register: index,
+            name: self.names[index].clone(),
+        }
     }
 
-    fn cell_mut(&mut self, index: usize) -> Result<&mut RegisterCell, SimError> {
-        self.cells
-            .get_mut(index)
-            .ok_or(SimError::UnknownRegister { register: index })
+    fn check_writer(&self, index: usize, writer: ProcessId) -> Result<(), SimError> {
+        if let WriteDiscipline::SingleWriter(owner) = self.disciplines[index] {
+            if owner != writer {
+                return Err(SimError::WriteDisciplineViolation {
+                    register: index,
+                    name: self.names[index].clone(),
+                    owner,
+                    writer,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Atomic read: returns a clone of the current value and counts the
@@ -157,29 +176,31 @@ impl Memory {
     /// [`SimError::UnknownRegister`] for a foreign handle,
     /// [`SimError::TypeMismatch`] if `T` differs from the allocation type.
     pub fn read<T: RegValue>(&mut self, reg: Reg<T>) -> Result<T, SimError> {
+        if is_word::<T>() {
+            // Monomorphizes to the word path for T = u64.
+            let forged: Reg<u64> = Reg::new(reg.index);
+            return self.read_word(forged).map(from_word);
+        }
         let idx = reg.index();
-        let cell = self.cell_mut(idx)?;
-        let value = match &cell.value {
-            CellValue::Word(w) if is_word::<T>() => from_word(*w),
-            CellValue::Boxed(boxed) => boxed
-                .downcast_ref::<T>()
-                .ok_or_else(|| SimError::TypeMismatch {
-                    register: idx,
-                    name: cell.name.clone(),
-                })?
-                .clone(),
-            CellValue::Word(_) => {
-                return Err(SimError::TypeMismatch {
-                    register: idx,
-                    name: cell.name.clone(),
-                })
+        let cell = self
+            .cells
+            .get(idx)
+            .ok_or(SimError::UnknownRegister { register: idx })?;
+        match cell.kind {
+            Kind::Boxed => {
+                let value = self.boxed[cell.payload as usize]
+                    .downcast_ref::<T>()
+                    .ok_or_else(|| self.type_mismatch(idx))?
+                    .clone();
+                self.cells[idx].reads += 1;
+                Ok(value)
             }
-        };
-        cell.reads += 1;
-        Ok(value)
+            Kind::Word => Err(self.type_mismatch(idx)),
+        }
     }
 
-    /// Atomic word read: the non-generic fast path for `u64` registers.
+    /// Atomic word read: the non-generic fast path for `u64` registers — a
+    /// bounds check, a kind compare, and a count bump on one hot cell.
     ///
     /// # Errors
     ///
@@ -187,16 +208,13 @@ impl Memory {
     #[inline]
     pub fn read_word(&mut self, reg: Reg<u64>) -> Result<u64, SimError> {
         let idx = reg.index();
-        let cell = self.cell_mut(idx)?;
-        match cell.value {
-            CellValue::Word(w) => {
+        match self.cells.get_mut(idx) {
+            Some(cell) if cell.kind == Kind::Word => {
                 cell.reads += 1;
-                Ok(w)
+                Ok(cell.payload)
             }
-            CellValue::Boxed(_) => Err(SimError::TypeMismatch {
-                register: idx,
-                name: cell.name.clone(),
-            }),
+            Some(_) => Err(self.type_mismatch(idx)),
+            None => Err(SimError::UnknownRegister { register: idx }),
         }
     }
 
@@ -214,29 +232,27 @@ impl Memory {
         reg: Reg<T>,
         value: T,
     ) -> Result<(), SimError> {
-        let idx = reg.index();
-        let cell = self.cell_mut(idx)?;
-        cell.check_writer(idx, writer)?;
-        match &mut cell.value {
-            CellValue::Word(w) if is_word::<T>() => *w = to_word(value),
-            CellValue::Boxed(boxed) => {
-                let slot = boxed
-                    .downcast_mut::<T>()
-                    .ok_or_else(|| SimError::TypeMismatch {
-                        register: idx,
-                        name: cell.name.clone(),
-                    })?;
-                *slot = value;
-            }
-            CellValue::Word(_) => {
-                return Err(SimError::TypeMismatch {
-                    register: idx,
-                    name: cell.name.clone(),
-                })
-            }
+        if is_word::<T>() {
+            let forged: Reg<u64> = Reg::new(reg.index);
+            return self.write_word(writer, forged, to_word(value));
         }
-        cell.writes += 1;
-        Ok(())
+        let idx = reg.index();
+        let cell = self
+            .cells
+            .get(idx)
+            .ok_or(SimError::UnknownRegister { register: idx })?;
+        self.check_writer(idx, writer)?;
+        match cell.kind {
+            Kind::Boxed => {
+                match self.boxed[cell.payload as usize].downcast_mut::<T>() {
+                    Some(slot) => *slot = value,
+                    None => return Err(self.type_mismatch(idx)),
+                }
+                self.cells[idx].writes += 1;
+                Ok(())
+            }
+            Kind::Word => Err(self.type_mismatch(idx)),
+        }
     }
 
     /// Atomic word write: the non-generic fast path for `u64` registers.
@@ -252,18 +268,36 @@ impl Memory {
         value: u64,
     ) -> Result<(), SimError> {
         let idx = reg.index();
-        let cell = self.cell_mut(idx)?;
-        cell.check_writer(idx, writer)?;
-        match &mut cell.value {
-            CellValue::Word(w) => {
-                *w = value;
+        // Single-writer registers are the common case in the paper's
+        // protocols; the discipline lives in a cold array, loaded only on
+        // writes (reads outnumber writes ~n·|Π^k_n| to 1 in Figure 2).
+        match self.disciplines.get(idx) {
+            Some(&WriteDiscipline::MultiWriter) => {}
+            Some(&WriteDiscipline::SingleWriter(owner)) if owner == writer => {}
+            Some(_) => return Err(self.writer_violation(idx, writer)),
+            None => return Err(SimError::UnknownRegister { register: idx }),
+        }
+        let cell = &mut self.cells[idx];
+        match cell.kind {
+            Kind::Word => {
+                cell.payload = value;
                 cell.writes += 1;
                 Ok(())
             }
-            CellValue::Boxed(_) => Err(SimError::TypeMismatch {
-                register: idx,
-                name: cell.name.clone(),
-            }),
+            Kind::Boxed => Err(self.type_mismatch(idx)),
+        }
+    }
+
+    #[cold]
+    fn writer_violation(&self, index: usize, writer: ProcessId) -> SimError {
+        match self.disciplines[index] {
+            WriteDiscipline::SingleWriter(owner) => SimError::WriteDisciplineViolation {
+                register: index,
+                name: self.names[index].clone(),
+                owner,
+                writer,
+            },
+            WriteDiscipline::MultiWriter => unreachable!("only single-writer can violate"),
         }
     }
 
@@ -275,22 +309,17 @@ impl Memory {
     /// Same as [`Memory::read`], minus accounting.
     pub fn peek<T: RegValue>(&self, reg: Reg<T>) -> Result<T, SimError> {
         let idx = reg.index();
-        let cell = self.cell(idx)?;
-        match &cell.value {
-            CellValue::Word(w) if is_word::<T>() => Ok(from_word(*w)),
-            CellValue::Boxed(boxed) => {
-                boxed
-                    .downcast_ref::<T>()
-                    .cloned()
-                    .ok_or_else(|| SimError::TypeMismatch {
-                        register: idx,
-                        name: cell.name.clone(),
-                    })
-            }
-            CellValue::Word(_) => Err(SimError::TypeMismatch {
-                register: idx,
-                name: cell.name.clone(),
-            }),
+        let cell = self
+            .cells
+            .get(idx)
+            .ok_or(SimError::UnknownRegister { register: idx })?;
+        match cell.kind {
+            Kind::Word if is_word::<T>() => Ok(from_word(cell.payload)),
+            Kind::Boxed => self.boxed[cell.payload as usize]
+                .downcast_ref::<T>()
+                .cloned()
+                .ok_or_else(|| self.type_mismatch(idx)),
+            Kind::Word => Err(self.type_mismatch(idx)),
         }
     }
 
@@ -300,17 +329,22 @@ impl Memory {
     ///
     /// [`SimError::UnknownRegister`] for a foreign handle.
     pub fn name(&self, index: usize) -> Result<&str, SimError> {
-        Ok(&self.cell(index)?.name)
+        if index < self.names.len() {
+            Ok(&self.names[index])
+        } else {
+            Err(SimError::UnknownRegister { register: index })
+        }
     }
 
     /// Access statistics for all registers, in allocation order.
     pub fn stats(&self) -> Vec<RegisterStats> {
-        self.cells
+        self.names
             .iter()
-            .map(|c| RegisterStats {
-                name: c.name.clone(),
-                writes: c.writes,
-                reads: c.reads,
+            .zip(&self.cells)
+            .map(|(name, cell)| RegisterStats {
+                name: name.clone(),
+                writes: cell.writes,
+                reads: cell.reads,
             })
             .collect()
     }
@@ -382,6 +416,23 @@ mod tests {
         );
         m.write(p(1), r, (7, vec![1, 2])).unwrap();
         assert_eq!(m.read(r).unwrap(), (7, vec![1, 2]));
+    }
+
+    #[test]
+    fn word_and_boxed_registers_interleave() {
+        // The boxed side table must stay aligned when allocations alternate
+        // between the dense and boxed classes.
+        let mut m = Memory::new();
+        let w0 = m.alloc("w0", WriteDiscipline::MultiWriter, 10u64);
+        let b0 = m.alloc("b0", WriteDiscipline::MultiWriter, String::from("a"));
+        let w1 = m.alloc("w1", WriteDiscipline::MultiWriter, 20u64);
+        let b1 = m.alloc("b1", WriteDiscipline::MultiWriter, vec![1u32]);
+        m.write(p(0), b0, "z".into()).unwrap();
+        m.write_word(p(0), w1, 21).unwrap();
+        assert_eq!(m.read(b0).unwrap(), "z");
+        assert_eq!(m.read(b1).unwrap(), vec![1u32]);
+        assert_eq!(m.read_word(w0).unwrap(), 10);
+        assert_eq!(m.read_word(w1).unwrap(), 21);
     }
 
     #[test]

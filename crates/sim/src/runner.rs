@@ -13,8 +13,11 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-use st_core::{AgreementOutcome, ProcSet, ProcessId, Schedule, StepSource, Universe, Value};
+use st_core::{
+    AgreementOutcome, ProcSet, ProcessId, Schedule, StepSource, Universe, Value, MAX_PROCESSES,
+};
 
+use crate::automaton::{Automaton, Status, StepAccess};
 use crate::ctx::{ProcessCtx, SimShared};
 use crate::error::SimError;
 use crate::memory::{Memory, RegisterStats};
@@ -156,8 +159,17 @@ impl RunReport {
     }
 }
 
+/// A live automaton: one of the two execution ABIs (see the crate docs).
+enum Body {
+    /// Async protocol over a [`ProcessCtx`]: driven through the poll/grant
+    /// machinery.
+    Future(Pin<Box<dyn Future<Output = ()>>>),
+    /// Explicit state machine: driven directly, no poll, no grant cell.
+    Machine(Box<dyn Automaton>),
+}
+
 struct Slot {
-    future: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    body: Option<Body>,
     spawned: bool,
 }
 
@@ -218,7 +230,7 @@ impl Sim {
             }),
             slots: (0..n)
                 .map(|_| Slot {
-                    future: None,
+                    body: None,
                     spawned: false,
                 })
                 .collect(),
@@ -291,7 +303,28 @@ impl Sim {
         }
         let future = Box::pin(f(self.ctx(pid)));
         let slot = &mut self.slots[pid.index()];
-        slot.future = Some(future);
+        slot.body = Some(Body::Future(future));
+        slot.spawned = true;
+        Ok(())
+    }
+
+    /// Spawns the automaton of `pid` as an explicit state machine on the
+    /// non-async fast path (see [`Automaton`]). Machine and async slots mix
+    /// freely in one simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AlreadySpawned`] if `pid` was spawned before.
+    pub fn spawn_automaton<A: Automaton + 'static>(
+        &mut self,
+        pid: ProcessId,
+        automaton: A,
+    ) -> Result<(), SimError> {
+        if self.slots[pid.index()].spawned {
+            return Err(SimError::AlreadySpawned { process: pid });
+        }
+        let slot = &mut self.slots[pid.index()];
+        slot.body = Some(Body::Machine(Box::new(automaton)));
         slot.spawned = true;
         Ok(())
     }
@@ -312,29 +345,65 @@ impl Sim {
         }
 
         let slot = &mut self.slots[p.index()];
-        let Some(future) = slot.future.as_mut() else {
-            return StepOutcome::Idle;
-        };
-
-        self.shared.grant.set(Some(p));
-        let mut cx = Context::from_waker(Waker::noop());
-        let poll = future.as_mut().poll(&mut cx);
-        let grant_left = self.shared.grant.take();
-
-        match poll {
-            Poll::Ready(()) => {
-                slot.future = None;
-                self.finished[p.index()] = true;
-                StepOutcome::Finished
+        match slot.body.as_mut() {
+            None => StepOutcome::Idle,
+            Some(Body::Machine(machine)) => {
+                // The fast path: no future, no grant handshake — the machine
+                // gets a scoped direct view of the arena for this one step.
+                let (status, op_used) = {
+                    let mut memory = self.shared.memory.borrow_mut();
+                    let mut access = StepAccess::new(p, self.steps - 1, &mut memory, &self.shared);
+                    let status = machine.step(&mut access);
+                    (status, access.op_performed())
+                };
+                if op_used {
+                    let count = &self.shared.op_counts[p.index()];
+                    count.set(count.get() + 1);
+                }
+                match status {
+                    Status::Running => StepOutcome::Progressed,
+                    Status::Done => {
+                        slot.body = None;
+                        self.finished[p.index()] = true;
+                        StepOutcome::Finished
+                    }
+                }
             }
-            Poll::Pending if grant_left.is_none() => StepOutcome::Progressed,
-            Poll::Pending => StepOutcome::Stuck,
+            Some(Body::Future(future)) => {
+                self.shared.grant.set(Some(p));
+                let mut cx = Context::from_waker(Waker::noop());
+                let poll = future.as_mut().poll(&mut cx);
+                let grant_left = self.shared.grant.take();
+
+                match poll {
+                    Poll::Ready(()) => {
+                        slot.body = None;
+                        self.finished[p.index()] = true;
+                        StepOutcome::Finished
+                    }
+                    Poll::Pending if grant_left.is_none() => StepOutcome::Progressed,
+                    Poll::Pending => StepOutcome::Stuck,
+                }
+            }
         }
     }
 
     /// Drives the simulation from `src` under `cfg`. Can be called again to
     /// continue the same simulation with a different source or budget.
+    ///
+    /// When no async slot is live the run dispatches to a specialized loop
+    /// that holds the register-arena borrow for the **whole call** instead
+    /// of re-entering the `RefCell` on every step — the state-machine ABI's
+    /// "scoped direct view" in its cheapest form. Semantics are identical to
+    /// the general loop.
     pub fn run<S: StepSource>(&mut self, src: &mut S, cfg: RunConfig) -> RunStatus {
+        let machines_only = self
+            .slots
+            .iter()
+            .all(|s| !matches!(s.body, Some(Body::Future(_))));
+        if machines_only {
+            return self.run_machines(src, cfg);
+        }
         for _ in 0..cfg.max_steps {
             if self.stop_met(&cfg.stop) {
                 return RunStatus::Stopped;
@@ -350,6 +419,285 @@ impl Sim {
             RunStatus::Stopped
         } else {
             RunStatus::MaxSteps
+        }
+    }
+
+    /// The machine-only run loop: one arena borrow per call, one direct
+    /// `step` dispatch per scheduled step (no poll, no grant cell, no
+    /// per-step `RefCell`). Steps of processes without a live automaton are
+    /// no-ops that still count and are still recorded, as in
+    /// [`step_with`](Self::step_with).
+    ///
+    /// The common configuration — no early stop, no schedule recording — is
+    /// a dedicated inner loop with nothing on it but the dispatch: the
+    /// executor's contribution to a step is the cursor pull, the step-index
+    /// bump, the slot load, and the call.
+    fn run_machines<S: StepSource>(&mut self, src: &mut S, cfg: RunConfig) -> RunStatus {
+        let shared = Rc::clone(&self.shared);
+        let mut memory = shared.memory.borrow_mut();
+        // Per-process op counts accumulate on the stack and flush once at
+        // the end of the call: the step path touches no shared counter.
+        let mut ops_local = [0u64; MAX_PROCESSES];
+        let status = 'run: {
+            if matches!(cfg.stop, StopWhen::Never) && !shared.recording {
+                for _ in 0..cfg.max_steps {
+                    let Some(p) = src.next_step() else {
+                        break 'run RunStatus::SourceEnded;
+                    };
+                    // Out-of-universe ids fail the slot lookup, which
+                    // doubles as the bounds assertion of the general path.
+                    let slot = self
+                        .slots
+                        .get_mut(p.index())
+                        .unwrap_or_else(|| panic!("{p} outside the simulated universe"));
+                    let step = self.steps;
+                    self.steps += 1;
+                    if let Some(Body::Machine(machine)) = slot.body.as_mut() {
+                        let mut access = StepAccess::new(p, step, &mut memory, &shared);
+                        let status = machine.step(&mut access);
+                        ops_local[p.index()] += access.op_performed() as u64;
+                        if status == Status::Done {
+                            slot.body = None;
+                            self.finished[p.index()] = true;
+                        }
+                    }
+                }
+                break 'run RunStatus::MaxSteps;
+            }
+            for _ in 0..cfg.max_steps {
+                if self.stop_met(&cfg.stop) {
+                    break 'run RunStatus::Stopped;
+                }
+                let Some(p) = src.next_step() else {
+                    break 'run RunStatus::SourceEnded;
+                };
+                assert!(self.universe.contains(p), "{p} outside {}", self.universe);
+                let step = self.steps;
+                self.steps += 1;
+                if shared.recording {
+                    if let Some(executed) = shared.trace.borrow_mut().executed.as_mut() {
+                        executed.push(p);
+                    }
+                }
+                let slot = &mut self.slots[p.index()];
+                if let Some(Body::Machine(machine)) = slot.body.as_mut() {
+                    let mut access = StepAccess::new(p, step, &mut memory, &shared);
+                    let status = machine.step(&mut access);
+                    ops_local[p.index()] += access.op_performed() as u64;
+                    if status == Status::Done {
+                        slot.body = None;
+                        self.finished[p.index()] = true;
+                    }
+                }
+            }
+            if self.stop_met(&cfg.stop) {
+                RunStatus::Stopped
+            } else {
+                RunStatus::MaxSteps
+            }
+        };
+        for (cell, &ops) in shared.op_counts.iter().zip(&ops_local) {
+            if ops != 0 {
+                cell.set(cell.get() + ops);
+            }
+        }
+        status
+    }
+
+    /// Drives a homogeneous fleet of automata — `automata[i]` is the
+    /// machine of process `i` — with **static dispatch**: `A` is a concrete
+    /// type, so the automaton's `step` inlines into the executor loop and
+    /// the per-step cost collapses to the cursor pull, the step bump, and
+    /// the inlined body. This is the fastest execution mode of the
+    /// simulator, and it is only expressible on the state-machine ABI (an
+    /// async slot is a `Pin<Box<dyn Future>>` by construction — every poll
+    /// is an opaque virtual call).
+    ///
+    /// The fleet is caller-owned: inspect the machines after (between) runs
+    /// for their local state. Steps of processes whose machine has
+    /// completed ([`Status::Done`]) are no-ops, as for finished slots;
+    /// decisions, probes, and accounting flow into the same trace as the
+    /// slot-based modes. Crashes are expressed by the schedule (stop
+    /// scheduling the process), as in the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `automata.len() != n` or if any process was spawned into a
+    /// slot (the two modes do not mix within one `Sim`; mixing ABIs is what
+    /// [`spawn`](Self::spawn) + [`spawn_automaton`](Self::spawn_automaton)
+    /// are for).
+    pub fn run_automata<A: Automaton, S: StepSource>(
+        &mut self,
+        automata: &mut [A],
+        src: &mut S,
+        cfg: RunConfig,
+    ) -> RunStatus {
+        assert_eq!(
+            automata.len(),
+            self.universe.n(),
+            "one automaton per process"
+        );
+        assert!(
+            self.slots.iter().all(|s| !s.spawned),
+            "run_automata drives a caller-owned fleet; this Sim has spawned slots"
+        );
+        let shared = Rc::clone(&self.shared);
+        let mut memory = shared.memory.borrow_mut();
+        let mut ops_local = [0u64; MAX_PROCESSES];
+        let status = 'run: {
+            if matches!(cfg.stop, StopWhen::Never) && !shared.recording {
+                // Completion flags live in a register-resident bitmask for
+                // the duration of the loop (n ≤ 64 by the ProcSet
+                // representation).
+                let mut done_mask: u64 = ProcSet::EMPTY.bits();
+                for (i, &f) in self.finished.iter().enumerate() {
+                    done_mask |= (f as u64) << i;
+                }
+                let mut steps = self.steps;
+                for _ in 0..cfg.max_steps {
+                    let Some(p) = src.next_step() else {
+                        self.steps = steps;
+                        self.sync_finished(done_mask);
+                        break 'run RunStatus::SourceEnded;
+                    };
+                    let idx = p.index();
+                    let machine = automata
+                        .get_mut(idx)
+                        .unwrap_or_else(|| panic!("{p} outside the simulated universe"));
+                    let step = steps;
+                    steps += 1;
+                    if done_mask & (1 << idx) == 0 {
+                        let mut access = StepAccess::new(p, step, &mut memory, &shared);
+                        let status = machine.step(&mut access);
+                        ops_local[idx] += access.op_performed() as u64;
+                        if status == Status::Done {
+                            done_mask |= 1 << idx;
+                        }
+                    }
+                }
+                self.steps = steps;
+                self.sync_finished(done_mask);
+                break 'run RunStatus::MaxSteps;
+            }
+            for _ in 0..cfg.max_steps {
+                if self.stop_met(&cfg.stop) {
+                    break 'run RunStatus::Stopped;
+                }
+                let Some(p) = src.next_step() else {
+                    break 'run RunStatus::SourceEnded;
+                };
+                assert!(self.universe.contains(p), "{p} outside {}", self.universe);
+                let step = self.steps;
+                self.steps += 1;
+                if shared.recording {
+                    if let Some(executed) = shared.trace.borrow_mut().executed.as_mut() {
+                        executed.push(p);
+                    }
+                }
+                let idx = p.index();
+                if !self.finished[idx] {
+                    let mut access = StepAccess::new(p, step, &mut memory, &shared);
+                    let status = automata[idx].step(&mut access);
+                    ops_local[idx] += access.op_performed() as u64;
+                    if status == Status::Done {
+                        self.finished[idx] = true;
+                    }
+                }
+            }
+            if self.stop_met(&cfg.stop) {
+                RunStatus::Stopped
+            } else {
+                RunStatus::MaxSteps
+            }
+        };
+        for (cell, &ops) in shared.op_counts.iter().zip(&ops_local) {
+            if ops != 0 {
+                cell.set(cell.get() + ops);
+            }
+        }
+        status
+    }
+
+    /// [`run_automata`](Self::run_automata) over a pre-materialized
+    /// [`Schedule`], equivalent to driving a fresh
+    /// [`ScheduleCursor`](st_core::ScheduleCursor) over it — but the fleet
+    /// loop iterates the schedule's step slice directly, fusing the cursor
+    /// pull and the budget check into the loop condition. This is the
+    /// highest-throughput drive the simulator has; the step-throughput
+    /// bench runs the Figure 2 workload through it.
+    ///
+    /// Returns [`RunStatus::SourceEnded`] if the schedule ran out before
+    /// `cfg.max_steps`, [`RunStatus::Stopped`]/[`RunStatus::MaxSteps`]
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// As for [`run_automata`](Self::run_automata).
+    pub fn run_automata_replay<A: Automaton>(
+        &mut self,
+        automata: &mut [A],
+        schedule: &Schedule,
+        cfg: RunConfig,
+    ) -> RunStatus {
+        assert_eq!(
+            automata.len(),
+            self.universe.n(),
+            "one automaton per process"
+        );
+        assert!(
+            self.slots.iter().all(|s| !s.spawned),
+            "run_automata_replay drives a caller-owned fleet; this Sim has spawned slots"
+        );
+        if !matches!(cfg.stop, StopWhen::Never) || self.shared.recording {
+            let mut src = st_core::ScheduleCursor::new(schedule.clone());
+            return self.run_automata(automata, &mut src, cfg);
+        }
+        let shared = Rc::clone(&self.shared);
+        let mut memory = shared.memory.borrow_mut();
+        let mut ops_local = [0u64; MAX_PROCESSES];
+        let mut done_mask: u64 = 0;
+        for (i, &f) in self.finished.iter().enumerate() {
+            done_mask |= (f as u64) << i;
+        }
+        let take = schedule
+            .len()
+            .min(cfg.max_steps.min(usize::MAX as u64) as usize);
+        let mut steps = self.steps;
+        for &p in &schedule.as_slice()[..take] {
+            let idx = p.index();
+            let machine = automata
+                .get_mut(idx)
+                .unwrap_or_else(|| panic!("{p} outside the simulated universe"));
+            let step = steps;
+            steps += 1;
+            if done_mask & (1 << idx) == 0 {
+                let mut access = StepAccess::new(p, step, &mut memory, &shared);
+                let status = machine.step(&mut access);
+                ops_local[idx] += access.op_performed() as u64;
+                if status == Status::Done {
+                    done_mask |= 1 << idx;
+                }
+            }
+        }
+        self.steps = steps;
+        self.sync_finished(done_mask);
+        for (cell, &ops) in shared.op_counts.iter().zip(&ops_local) {
+            if ops != 0 {
+                cell.set(cell.get() + ops);
+            }
+        }
+        if take < schedule.len() {
+            RunStatus::MaxSteps
+        } else if (take as u64) < cfg.max_steps {
+            RunStatus::SourceEnded
+        } else {
+            RunStatus::MaxSteps
+        }
+    }
+
+    fn sync_finished(&mut self, done_mask: u64) {
+        for (i, f) in self.finished.iter_mut().enumerate() {
+            *f = done_mask & (1 << i) != 0;
         }
     }
 
@@ -376,6 +724,29 @@ impl Sim {
         self.steps
     }
 
+    /// Number of probe events published so far.
+    ///
+    /// O(1), no trace materialization: pollers that only need to detect
+    /// *new activity* (the Figure 2 winnerset probe publishes only on
+    /// change, so a flat count means quiescence) use this instead of
+    /// cloning a [`RunReport`] per poll interval.
+    pub fn probe_count(&self) -> usize {
+        self.shared.trace.borrow().probes.len()
+    }
+
+    /// Per-process decisions so far (indexed by process index).
+    ///
+    /// Copies only the `n`-element decision array — none of the probe or
+    /// register statistics a full [`Sim::report`] clones.
+    pub fn decisions(&self) -> Vec<Option<Decision>> {
+        self.shared.trace.borrow().decisions.clone()
+    }
+
+    /// Completed register operations of `p` so far (O(1)).
+    pub fn op_count(&self, p: ProcessId) -> u64 {
+        self.shared.op_counts[p.index()].get()
+    }
+
     /// Non-step observation of a register (tests and instrumentation).
     ///
     /// # Panics
@@ -394,7 +765,7 @@ impl Sim {
     /// processes instead, which is the model's notion of a crash; explicit
     /// crashing is for fault-injection tests.)
     pub fn crash(&mut self, p: ProcessId) {
-        self.slots[p.index()].future = None;
+        self.slots[p.index()].body = None;
     }
 
     /// Whether `p`'s automaton has completed.

@@ -1,0 +1,330 @@
+//! Integration tests for the non-async automaton ABI: step semantics,
+//! mixing with async slots, the one-operation-per-step discipline,
+//! completion, and crashes.
+
+use st_core::{ProcSet, ProcessId, Schedule, ScheduleCursor, Universe};
+use st_sim::{Automaton, Reg, RunConfig, Sim, Status, StepAccess, StepOutcome, StopWhen};
+
+fn universe(n: usize) -> Universe {
+    Universe::new(n).unwrap()
+}
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Write 1..=limit into a register, one write per step, then decide.
+struct CountUp {
+    reg: Reg<u64>,
+    next: u64,
+    limit: u64,
+}
+
+impl Automaton for CountUp {
+    fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+        mem.write_word(self.reg, self.next);
+        if self.next == self.limit {
+            mem.decide(self.next);
+            Status::Done
+        } else {
+            self.next += 1;
+            Status::Running
+        }
+    }
+}
+
+#[test]
+fn one_operation_per_step_and_completion() {
+    let mut sim = Sim::new(universe(1));
+    let r = sim.alloc("x", 0u64);
+    sim.spawn_automaton(
+        pid(0),
+        CountUp {
+            reg: r,
+            next: 1,
+            limit: 5,
+        },
+    )
+    .unwrap();
+
+    for expected in 1..=4u64 {
+        assert_eq!(sim.step_with(pid(0)), StepOutcome::Progressed);
+        assert_eq!(sim.peek(r), expected);
+    }
+    assert_eq!(sim.step_with(pid(0)), StepOutcome::Finished);
+    assert_eq!(sim.peek(r), 5);
+    assert!(sim.is_finished(pid(0)));
+    assert_eq!(sim.step_with(pid(0)), StepOutcome::Idle);
+    assert_eq!(sim.op_count(pid(0)), 5);
+    assert_eq!(sim.decisions()[0].map(|d| d.value), Some(5));
+}
+
+/// Machine and async slots interleave in one simulation over shared
+/// registers.
+#[test]
+fn machine_and_async_slots_mix() {
+    let mut sim = Sim::new(universe(2));
+    let r = sim.alloc("ping", 0u64);
+
+    // p0: machine incrementing the register by one per step.
+    struct Incr {
+        reg: Reg<u64>,
+        phase: bool,
+        cached: u64,
+    }
+    impl Automaton for Incr {
+        fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+            if self.phase {
+                mem.write_word(self.reg, self.cached + 1);
+            } else {
+                self.cached = mem.read_word(self.reg);
+            }
+            self.phase = !self.phase;
+            Status::Running
+        }
+    }
+    sim.spawn_automaton(
+        pid(0),
+        Incr {
+            reg: r,
+            phase: false,
+            cached: 0,
+        },
+    )
+    .unwrap();
+
+    // p1: async protocol doing the same through the poll path.
+    sim.spawn(pid(1), move |ctx| async move {
+        loop {
+            let v = ctx.read_word(r).await;
+            ctx.write_word(r, v + 1).await;
+        }
+    })
+    .unwrap();
+
+    // Strict alternation of complete read+write rounds.
+    let steps: Vec<usize> = [0, 0, 1, 1].repeat(25).to_vec();
+    let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
+    sim.run(&mut src, RunConfig::steps(100));
+    assert_eq!(sim.peek(r), 50);
+    assert_eq!(sim.op_count(pid(0)), 50);
+    assert_eq!(sim.op_count(pid(1)), 50);
+}
+
+/// A second register operation in the same step is a protocol bug and
+/// panics.
+#[test]
+fn two_operations_in_one_step_panic() {
+    struct DoubleOp {
+        reg: Reg<u64>,
+    }
+    impl Automaton for DoubleOp {
+        fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+            let v = mem.read_word(self.reg);
+            mem.write_word(self.reg, v + 1); // second op: must panic
+            Status::Running
+        }
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut sim = Sim::new(universe(1));
+        let r = sim.alloc("x", 0u64);
+        sim.spawn_automaton(pid(0), DoubleOp { reg: r }).unwrap();
+        sim.step_with(pid(0));
+    }));
+    assert!(result.is_err(), "two ops in one step must panic");
+}
+
+/// Probes are free, pause consumes the step, and stop conditions see
+/// machine decisions.
+#[test]
+fn probes_pause_and_stop_conditions() {
+    struct Prober {
+        ticks: u64,
+    }
+    impl Automaton for Prober {
+        fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+            self.ticks += 1;
+            mem.probe("tick", self.ticks);
+            mem.pause();
+            if self.ticks == 3 {
+                mem.decide(99);
+            }
+            Status::Running
+        }
+    }
+    let mut sim = Sim::new(universe(1));
+    sim.spawn_automaton(pid(0), Prober { ticks: 0 }).unwrap();
+    let mut src = ScheduleCursor::new(Schedule::from_indices(vec![0; 50]));
+    let status = sim.run(
+        &mut src,
+        RunConfig::steps(50).stop_when(StopWhen::AllDecided(ProcSet::from_indices([0]))),
+    );
+    assert_eq!(status, st_sim::RunStatus::Stopped);
+    assert_eq!(sim.steps_executed(), 3); // decided on the third tick
+    assert_eq!(sim.probe_count(), 3);
+    // Pauses are steps but not register operations.
+    assert_eq!(sim.op_count(pid(0)), 0);
+    let rep = sim.report();
+    assert_eq!(
+        rep.probes.timeline(pid(0), "tick"),
+        vec![(0, 1), (1, 2), (2, 3)]
+    );
+}
+
+/// Crashing a machine freezes it like an async automaton.
+#[test]
+fn crash_freezes_machine() {
+    let mut sim = Sim::new(universe(1));
+    let r = sim.alloc("x", 0u64);
+    sim.spawn_automaton(
+        pid(0),
+        CountUp {
+            reg: r,
+            next: 1,
+            limit: 1_000,
+        },
+    )
+    .unwrap();
+    sim.step_with(pid(0));
+    sim.step_with(pid(0));
+    assert_eq!(sim.peek(r), 2);
+    sim.crash(pid(0));
+    assert_eq!(sim.step_with(pid(0)), StepOutcome::Idle);
+    assert_eq!(sim.peek(r), 2);
+}
+
+/// The typed fleet runner: statically dispatched machines, completion
+/// semantics, op accounting, and stop conditions.
+#[test]
+fn fleet_runner_matches_slot_semantics() {
+    let n = 3;
+    let mut sim = Sim::new(universe(n));
+    let regs = sim.alloc_array("c", n, 0u64);
+    let mut fleet: Vec<CountUp> = regs
+        .iter()
+        .enumerate()
+        .map(|(i, &reg)| CountUp {
+            reg,
+            next: 1,
+            limit: (i as u64 + 1) * 2,
+        })
+        .collect();
+    let sched: Vec<usize> = (0..60).map(|s| s % n).collect();
+    let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
+    let status = sim.run_automata(&mut fleet, &mut src, RunConfig::steps(100));
+    assert_eq!(status, st_sim::RunStatus::SourceEnded);
+    // Every machine ran to its limit, then its steps became no-ops.
+    for (i, &reg) in regs.iter().enumerate() {
+        assert_eq!(sim.peek(reg), (i as u64 + 1) * 2);
+        assert!(sim.is_finished(pid(i)));
+        assert_eq!(sim.op_count(pid(i)), (i as u64 + 1) * 2);
+        assert_eq!(
+            sim.decisions()[i].map(|d| d.value),
+            Some((i as u64 + 1) * 2)
+        );
+    }
+    assert_eq!(sim.steps_executed(), 60);
+}
+
+/// The replay drive is equivalent to a cursor over the same schedule.
+#[test]
+fn replay_drive_equals_cursor_drive() {
+    let n = 2;
+    let schedule = Schedule::from_indices((0..40).map(|s| s % n));
+    let run = |replay: bool| {
+        let mut sim = Sim::new(universe(n));
+        let regs = sim.alloc_array("c", n, 0u64);
+        let mut fleet: Vec<CountUp> = (0..n)
+            .map(|i| CountUp {
+                reg: regs[i],
+                next: 1,
+                limit: 100,
+            })
+            .collect();
+        if replay {
+            sim.run_automata_replay(&mut fleet, &schedule, RunConfig::steps(100));
+        } else {
+            let mut src = ScheduleCursor::new(schedule.clone());
+            sim.run_automata(&mut fleet, &mut src, RunConfig::steps(100));
+        }
+        (
+            sim.steps_executed(),
+            sim.peek(regs[0]),
+            sim.peek(regs[1]),
+            sim.op_count(pid(0)),
+        )
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// The fleet runner honors stop conditions through the general loop.
+#[test]
+fn fleet_runner_stop_condition() {
+    let mut sim = Sim::new(universe(1));
+    let r = sim.alloc("x", 0u64);
+    let mut fleet = vec![CountUp {
+        reg: r,
+        next: 1,
+        limit: 3,
+    }];
+    let mut src = ScheduleCursor::new(Schedule::from_indices(vec![0; 50]));
+    let status = sim.run_automata(
+        &mut fleet,
+        &mut src,
+        RunConfig::steps(50).stop_when(StopWhen::AllDecided(ProcSet::from_indices([0]))),
+    );
+    assert_eq!(status, st_sim::RunStatus::Stopped);
+    assert_eq!(sim.peek(r), 3);
+}
+
+/// A fleet cannot be driven over a Sim with spawned slots.
+#[test]
+fn fleet_runner_rejects_spawned_slots() {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut sim = Sim::new(universe(1));
+        let r = sim.alloc("x", 0u64);
+        sim.spawn(pid(0), |ctx| async move {
+            ctx.pause().await;
+        })
+        .unwrap();
+        let mut fleet = vec![CountUp {
+            reg: r,
+            next: 1,
+            limit: 1,
+        }];
+        let mut src = ScheduleCursor::new(Schedule::from_indices([0]));
+        sim.run_automata(&mut fleet, &mut src, RunConfig::steps(1));
+    }));
+    assert!(result.is_err(), "mixed fleet + slots must panic");
+}
+
+/// Double spawn across ABIs is rejected in both directions.
+#[test]
+fn double_spawn_across_abis_rejected() {
+    let mut sim = Sim::new(universe(1));
+    let r = sim.alloc("x", 0u64);
+    sim.spawn_automaton(
+        pid(0),
+        CountUp {
+            reg: r,
+            next: 1,
+            limit: 2,
+        },
+    )
+    .unwrap();
+    assert!(sim
+        .spawn(pid(0), |ctx| async move {
+            ctx.pause().await;
+        })
+        .is_err());
+    assert!(sim
+        .spawn_automaton(
+            pid(0),
+            CountUp {
+                reg: r,
+                next: 1,
+                limit: 2
+            }
+        )
+        .is_err());
+}
