@@ -25,6 +25,21 @@ pub enum StackKind {
     Trivial,
 }
 
+/// Which simulator ABI the FD + k-parallel-Paxos stack runs on. The two are
+/// observationally identical (enforced by `tests/differential.rs`); the
+/// machine ABI is ≥2× faster per step and is the default. The trivial
+/// `t < k` protocol always runs async (it is a handful of steps per
+/// process; nothing to win).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StackAbi {
+    /// Async `ProcessCtx` protocols in future slots.
+    Async,
+    /// [`KSetAgreementMachine`] state machines in automaton slots — the
+    /// fast path E3/E4 run on.
+    #[default]
+    Machine,
+}
+
 /// A fully spawned agreement stack, ready to run.
 ///
 /// # Examples
@@ -51,6 +66,7 @@ pub struct AgreementStack {
     task: AgreementTask,
     inputs: Vec<Value>,
     kind: StackKind,
+    abi: StackAbi,
     fd: Option<KAntiOmega>,
     kset: Option<KSetAgreement>,
 }
@@ -109,7 +125,8 @@ impl AgreementStack {
     }
 
     /// Builds a stack recording the executed schedule (for post-hoc
-    /// timeliness certification, e.g. by the adaptive adversary).
+    /// timeliness certification, e.g. by the adaptive adversary), on the
+    /// default [`StackAbi::Machine`] fast path.
     ///
     /// # Panics
     ///
@@ -120,10 +137,33 @@ impl AgreementStack {
         policy: TimeoutPolicy,
         record_schedule: bool,
     ) -> Self {
+        Self::build_abi(task, inputs, policy, record_schedule, StackAbi::default())
+    }
+
+    /// Builds a stack on an explicit simulator ABI — [`StackAbi::Async`]
+    /// keeps the FD + k-parallel-Paxos processes on the `ProcessCtx` poll
+    /// path (differential testing, debugging with paper-shaped code);
+    /// [`StackAbi::Machine`] (the default everywhere else) spawns one
+    /// [`KSetAgreementMachine`](crate::KSetAgreementMachine) per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n`.
+    pub fn build_abi(
+        task: AgreementTask,
+        inputs: &[Value],
+        policy: TimeoutPolicy,
+        record_schedule: bool,
+        abi: StackAbi,
+    ) -> Self {
         assert_eq!(inputs.len(), task.n(), "one input per process");
         let universe = task.universe();
         let mut sim = Sim::with_recording(universe, record_schedule);
+        let mut abi = abi;
         let (kind, fd, kset) = if task.is_trivially_solvable() {
+            // The trivial protocol always runs async (nothing to win);
+            // record the *effective* ABI, not the requested one.
+            abi = StackAbi::Async;
             let obj = TrivialAgreement::alloc(&mut sim, task.k());
             for p in universe.processes() {
                 let obj = obj.clone();
@@ -139,11 +179,19 @@ impl AgreementStack {
             );
             let kset = KSetAgreement::alloc(&mut sim, task.k());
             for p in universe.processes() {
-                let fd = fd.clone();
-                let kset = kset.clone();
                 let proposal = inputs[p.index()];
-                sim.spawn(p, move |ctx| kset.run(ctx, fd, proposal))
-                    .expect("fresh simulator");
+                match abi {
+                    StackAbi::Async => {
+                        let fd = fd.clone();
+                        let kset = kset.clone();
+                        sim.spawn(p, move |ctx| kset.run(ctx, fd, proposal))
+                            .expect("fresh simulator");
+                    }
+                    StackAbi::Machine => {
+                        sim.spawn_automaton(p, kset.machine(&fd, proposal))
+                            .expect("fresh simulator");
+                    }
+                }
             }
             (StackKind::FdParallelPaxos, Some(fd), Some(kset))
         };
@@ -152,6 +200,7 @@ impl AgreementStack {
             task,
             inputs: inputs.to_vec(),
             kind,
+            abi,
             fd,
             kset,
         }
@@ -160,6 +209,13 @@ impl AgreementStack {
     /// The protocol the stack chose.
     pub fn kind(&self) -> StackKind {
         self.kind
+    }
+
+    /// The simulator ABI the stack **effectively** runs on: for trivial
+    /// (`t < k`) stacks this is always [`StackAbi::Async`] regardless of
+    /// what the builder was asked for.
+    pub fn abi(&self) -> StackAbi {
+        self.abi
     }
 
     /// The FD instance, when the stack uses one (instrumentation).
@@ -192,6 +248,12 @@ impl AgreementStack {
         &mut self.sim
     }
 
+    /// Decomposes the stack into its simulator (for drivers that need to
+    /// own it — clone [`fd`](Self::fd)/[`kset`](Self::kset) first).
+    pub fn into_sim(self) -> Sim {
+        self.sim
+    }
+
     /// Packages the current state as a [`StackRun`] without driving further
     /// (used by custom drivers such as the adaptive adversary).
     pub fn snapshot(&self, status: RunStatus, faulty: ProcSet) -> StackRun {
@@ -211,10 +273,13 @@ impl AgreementStack {
     /// budget runs out, or the source ends; returns the packaged result.
     pub fn run<S: StepSource>(mut self, src: &mut S, budget: u64, faulty: ProcSet) -> StackRun {
         let correct = faulty.complement(self.task.universe());
-        let status = self.sim.run(
-            src,
-            RunConfig::steps(budget).stop_when(StopWhen::AllDecided(correct)),
-        );
+        let status = self
+            .sim
+            .run(
+                src,
+                RunConfig::steps(budget).stop_when(StopWhen::AllDecided(correct)),
+            )
+            .expect("agreement schedules stay within the task universe");
         self.snapshot(status, faulty)
     }
 }
@@ -235,6 +300,9 @@ mod tests {
         let stack = AgreementStack::build(task, &inputs(4));
         assert_eq!(stack.kind(), StackKind::Trivial);
         assert!(stack.fd().is_none());
+        // Trivial stacks run async whatever ABI was requested: `abi()`
+        // reports the effective one.
+        assert_eq!(stack.abi(), StackAbi::Async);
     }
 
     #[test]
@@ -243,6 +311,7 @@ mod tests {
         let stack = AgreementStack::build(task, &inputs(4));
         assert_eq!(stack.kind(), StackKind::FdParallelPaxos);
         assert!(stack.fd().is_some());
+        assert_eq!(stack.abi(), StackAbi::Machine);
     }
 
     #[test]

@@ -21,10 +21,10 @@
 //! end-to-end.
 
 use st_core::Value;
-use st_fd::{KAntiOmega, KAntiOmegaLocal};
-use st_sim::{ProcessCtx, Sim};
+use st_fd::{KAntiOmega, KAntiOmegaLocal, KAntiOmegaMachine};
+use st_sim::{Automaton, ProcessCtx, Sim, Status, StepAccess};
 
-use crate::paxos::{AttemptOutcome, Paxos, ProposerState};
+use crate::paxos::{AttemptOutcome, CoreStep, Paxos, PaxosProposerCore, ProposerState};
 
 /// Probe key publishing the instance index a process decided through.
 pub const DECIDED_INSTANCE_PROBE: &str = "decided-instance";
@@ -37,11 +37,15 @@ pub struct KSetAgreement {
 }
 
 impl KSetAgreement {
-    /// Allocates `k` Paxos instances in `sim`.
+    /// Allocates `k` Paxos instances in `sim`. This is the single
+    /// constructor gate for **both** execution ABIs: the async protocol
+    /// ([`run`](Self::run)) and the state machine ([`machine`](Self::machine))
+    /// share the object it allocates, so the `k`-bounds failure mode is
+    /// identical by construction.
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0` or `k > n`.
+    /// Panics with `"need 1 <= k <= n"` if `k == 0` or `k > n`.
     pub fn alloc(sim: &mut Sim, k: usize) -> Self {
         assert!(k >= 1 && k <= sim.universe().n(), "need 1 <= k <= n");
         KSetAgreement {
@@ -115,6 +119,142 @@ impl KSetAgreement {
         }
         None
     }
+
+    /// The full per-process protocol as an explicit state machine on the
+    /// simulator's non-async fast path ([`st_sim::Automaton`]): an embedded
+    /// [`KAntiOmegaMachine`] for the FD iterations, interleaved with the
+    /// decision scan and one machine-ABI Paxos proposer per instance —
+    /// stepping the sub-machines under the same leader-of-instance-`r` rule
+    /// as [`run`](Self::run), one register operation per scheduled step.
+    /// Observationally identical to the async protocol, step for step
+    /// (`tests/differential.rs`).
+    ///
+    /// One machine per process: spawn with
+    /// [`Sim::spawn_automaton`](st_sim::Sim::spawn_automaton) or drive a
+    /// `Vec` of them as a typed fleet
+    /// ([`Sim::run_automata`](st_sim::Sim::run_automata) and the replay
+    /// drives).
+    ///
+    /// # Panics
+    ///
+    /// Panics with `"FD degree must match"` if `fd`'s `k` differs from this
+    /// object's — the same condition (and message) the async
+    /// [`run`](Self::run) asserts; the machine constructor simply checks it
+    /// at construction instead of at the first step. The `k`-bounds
+    /// conditions of [`alloc`](Self::alloc) hold by construction (both ABIs
+    /// share the allocated object).
+    pub fn machine(&self, fd: &KAntiOmega, proposal: Value) -> KSetAgreementMachine {
+        assert_eq!(fd.config().k, self.k(), "FD degree must match");
+        KSetAgreementMachine {
+            kset: self.clone(),
+            fd: fd.machine(),
+            fd_iterations_seen: 0,
+            proposers: self
+                .instances
+                .iter()
+                .map(|instance| PaxosProposerCore::new(instance.clone()))
+                .collect(),
+            proposal,
+            phase: KsetPhase::Fd,
+        }
+    }
+}
+
+/// Control state of [`KSetAgreementMachine`]: which part of the protocol
+/// round the next scheduled step executes.
+#[derive(Clone, Copy, Debug)]
+enum KsetPhase {
+    /// Stepping the embedded FD machine until it closes an iteration.
+    Fd,
+    /// Decision scan: read instance `r`'s decision register.
+    Scan(u32),
+    /// Leading instance `r`: stepping its Paxos proposer core.
+    Lead(u32),
+}
+
+/// The k-set agreement protocol on the state-machine ABI. Construct via
+/// [`KSetAgreement::machine`].
+pub struct KSetAgreementMachine {
+    kset: KSetAgreement,
+    fd: KAntiOmegaMachine,
+    /// FD iterations completed at the last phase hand-off: the Fd phase
+    /// ends exactly when the embedded machine's iteration counter moves.
+    fd_iterations_seen: u64,
+    proposers: Vec<PaxosProposerCore>,
+    proposal: Value,
+    phase: KsetPhase,
+}
+
+impl KSetAgreementMachine {
+    /// The agreement degree `k`.
+    pub fn k(&self) -> usize {
+        self.kset.k()
+    }
+
+    /// Ballot attempts made so far on instance `r` (metrics).
+    pub fn attempts(&self, r: usize) -> u64 {
+        self.proposers[r].attempts()
+    }
+}
+
+impl Automaton for KSetAgreementMachine {
+    fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+        match self.phase {
+            KsetPhase::Fd => {
+                // One step of Figure 2; at the iteration boundary the next
+                // scheduled step opens the decision scan — exactly where the
+                // async protocol resumes after `fd.iterate(..)` returns.
+                self.fd.step(mem);
+                if self.fd.iterations() > self.fd_iterations_seen {
+                    self.fd_iterations_seen = self.fd.iterations();
+                    self.phase = KsetPhase::Scan(0);
+                }
+                Status::Running
+            }
+            KsetPhase::Scan(r) => {
+                let ri = r as usize;
+                if let Some(v) = mem.read(self.kset.instances[ri].decision) {
+                    // Adopt: cheapest path to a decision.
+                    mem.probe(DECIDED_INSTANCE_PROBE, r as u64);
+                    mem.decide(v);
+                    return Status::Done;
+                }
+                if ri + 1 < self.kset.k() {
+                    self.phase = KsetPhase::Scan(r + 1);
+                    return Status::Running;
+                }
+                // Scan complete: lead wherever the current winnerset
+                // appoints us (a process is the r-th smallest member of at
+                // most one r), else back to the FD.
+                let winnerset = self.fd.winnerset();
+                self.phase = KsetPhase::Fd;
+                for lead in 0..self.kset.k() {
+                    if winnerset.nth(lead) == Some(mem.pid()) {
+                        self.phase = KsetPhase::Lead(lead as u32);
+                        break;
+                    }
+                }
+                Status::Running
+            }
+            KsetPhase::Lead(r) => {
+                let ri = r as usize;
+                match self.proposers[ri].step(mem, self.proposal) {
+                    CoreStep::Busy => Status::Running,
+                    CoreStep::Decided(v) => {
+                        mem.probe(DECIDED_INSTANCE_PROBE, r as u64);
+                        mem.decide(v);
+                        Status::Done
+                    }
+                    CoreStep::Preempted => {
+                        // The async round returns to the FD after a
+                        // preempted attempt (no further instance matches).
+                        self.phase = KsetPhase::Fd;
+                        Status::Running
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -144,10 +284,12 @@ mod tests {
         let pset: ProcSet = (0..k).map(ProcessId::new).collect();
         let qset: ProcSet = (0..=t).map(ProcessId::new).collect();
         let mut src = SetTimely::new(pset, qset, 2 * (t + 1), SeededRandom::new(u, 3));
-        let status = sim.run(
-            &mut src,
-            RunConfig::steps(3_000_000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
-        );
+        let status = sim
+            .run(
+                &mut src,
+                RunConfig::steps(3_000_000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
+            )
+            .unwrap();
         assert_eq!(status, st_sim::RunStatus::Stopped, "stack must terminate");
         let outcome = sim.report().agreement_outcome(&inputs, ProcSet::full(u));
         let task = st_core::AgreementTask::new(t, k, n).unwrap();
@@ -174,7 +316,7 @@ mod tests {
                     .unwrap();
             }
             let mut src = SeededRandom::new(u, seed);
-            sim.run(&mut src, RunConfig::steps(300_000));
+            sim.run(&mut src, RunConfig::steps(300_000)).unwrap();
             let outcome = sim.report().agreement_outcome(&inputs, ProcSet::full(u));
             // Check only the safety clauses (termination not owed on a
             // truncated budget).
@@ -197,5 +339,84 @@ mod tests {
         sim.spawn(ProcessId::new(0), move |ctx| kset.run(ctx, fd, 0))
             .unwrap();
         sim.step_with(ProcessId::new(0));
+    }
+
+    /// The machine constructor rejects a mismatched FD with the **same**
+    /// assertion message as the async path — the failure modes of the two
+    /// ABIs are deliberately identical.
+    #[test]
+    #[should_panic(expected = "FD degree must match")]
+    fn mismatched_fd_rejected_machine() {
+        let u = Universe::new(3).unwrap();
+        let mut sim = Sim::new(u);
+        let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(1, 2));
+        let kset = KSetAgreement::alloc(&mut sim, 2);
+        let _ = kset.machine(&fd, 0);
+    }
+
+    /// `alloc` is the single constructor gate for both ABIs: the `k`-bounds
+    /// panic fires with the same message whichever path the caller is
+    /// building toward.
+    #[test]
+    fn k_bounds_failure_is_consistent() {
+        for bad_k in [0usize, 4] {
+            let msg = std::panic::catch_unwind(|| {
+                let u = Universe::new(3).unwrap();
+                let mut sim = Sim::new(u);
+                let _ = KSetAgreement::alloc(&mut sim, bad_k);
+            })
+            .expect_err("k out of bounds must panic");
+            let msg = msg
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| msg.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap();
+            assert!(
+                msg.contains("need 1 <= k <= n"),
+                "k = {bad_k}: unexpected message {msg:?}"
+            );
+        }
+    }
+
+    /// `k == 1` edge (consensus): both ABIs allocate, and the machine stack
+    /// decides a single value under a conforming schedule.
+    #[test]
+    fn k_equals_one_edge() {
+        let (n, k, t) = (3usize, 1usize, 1usize);
+        let u = Universe::new(n).unwrap();
+        let mut sim = Sim::new(u);
+        let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t));
+        let kset = KSetAgreement::alloc(&mut sim, k);
+        assert_eq!(kset.k(), 1);
+        for p in u.processes() {
+            sim.spawn_automaton(p, kset.machine(&fd, 70 + p.index() as Value))
+                .unwrap();
+        }
+        let pset: ProcSet = (0..k).map(ProcessId::new).collect();
+        let qset: ProcSet = (0..=t).map(ProcessId::new).collect();
+        let mut src = SetTimely::new(pset, qset, 2 * (t + 1), SeededRandom::new(u, 5));
+        let status = sim
+            .run(
+                &mut src,
+                RunConfig::steps(3_000_000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
+            )
+            .unwrap();
+        assert_eq!(status, st_sim::RunStatus::Stopped);
+        let decided: std::collections::BTreeSet<Value> =
+            sim.decisions().iter().flatten().map(|d| d.value).collect();
+        assert_eq!(decided.len(), 1, "consensus: exactly one value");
+    }
+
+    /// `k == n` edge: allocation succeeds at the upper bound on both
+    /// constructor paths (the regime is trivially solvable — `t ≤ n−1 < k`
+    /// — so the FD composition never arises; Figure 2 itself requires
+    /// `k ≤ t ≤ n−1`).
+    #[test]
+    fn k_equals_n_edge_allocates() {
+        let u = Universe::new(3).unwrap();
+        let mut sim = Sim::new(u);
+        let kset = KSetAgreement::alloc(&mut sim, 3);
+        assert_eq!(kset.k(), 3);
+        assert_eq!(kset.instances().len(), 3);
     }
 }

@@ -10,6 +10,27 @@
 //! - [`AgreementStack`] — one-call composition: picks the right protocol
 //!   for a task, spawns all processes, runs, and checks the outcome with
 //!   the `st-core` checkers.
+//!
+//! # The two execution ABIs
+//!
+//! The hot protocols ship in **both simulator ABIs** (see the `st-sim`
+//! crate docs): the async `ProcessCtx` transcriptions above, and explicit
+//! state machines on the executor's non-async fast path —
+//! [`PaxosMachine`] (the proposer's attempt loop, one register operation
+//! per scheduled step) and [`KSetAgreementMachine`] (an embedded
+//! `KAntiOmegaMachine` interleaved with the decision scan and one
+//! machine-ABI Paxos proposer core per instance, under the same
+//! leader-of-instance-`r` rule). The machine ports are held
+//! **observationally identical** to the async transcriptions — same probe
+//! sequences at the same step indices, same decisions, same op counts,
+//! same register footprint — by `tests/differential.rs` on round-robin,
+//! seeded-random, Figure 1, and crash schedules.
+//!
+//! [`AgreementStack`] runs the FD + k-parallel-Paxos stack on the machine
+//! ABI by default ([`StackAbi::Machine`]); E3/E4 and the benches ride it at
+//! ≥2× the async step throughput (`BENCH_timeliness.json`,
+//! `agreement_step_throughput`). Build with [`StackAbi::Async`] to keep
+//! paper-shaped async code in the loop (differential testing, debugging).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,7 +42,7 @@ mod paxos;
 mod trivial;
 
 pub use adversary::{drive_adversarially, AdversarialRun};
-pub use harness::{AgreementStack, StackKind, StackRun};
-pub use kset::{KSetAgreement, DECIDED_INSTANCE_PROBE};
-pub use paxos::{AttemptOutcome, Paxos, PaxosRecord, ProposerState};
+pub use harness::{AgreementStack, StackAbi, StackKind, StackRun};
+pub use kset::{KSetAgreement, KSetAgreementMachine, DECIDED_INSTANCE_PROBE};
+pub use paxos::{AttemptOutcome, Paxos, PaxosMachine, PaxosRecord, ProposerState};
 pub use trivial::TrivialAgreement;

@@ -17,10 +17,21 @@
 //! needs an eventually-unique proposer — exactly what the k-anti-Ω winnerset
 //! provides to each instance in [`KSetAgreement`](crate::KSetAgreement).
 //!
-//! Ballots are made unique by the rule `b = round · n + pid + 1`.
+//! Ballots are made unique by the rule `b = round · n + pid + 1`, computed
+//! with **checked arithmetic**: ballot uniqueness is the foundation of the
+//! safety argument, so on `u64` exhaustion the proposer panics (documented
+//! on [`Paxos::attempt`]) instead of silently wrapping into a reused ballot.
+//!
+//! The proposer ships in **both simulator ABIs**: the async transcription
+//! ([`Paxos::attempt`]) and [`PaxosMachine`] — the same attempt loop as an
+//! explicit state machine on the executor's non-async fast path
+//! ([`st_sim::Automaton`]), one register operation per scheduled step. The
+//! two are observationally identical step-for-step;
+//! `tests/differential.rs` enforces it on round-robin, seeded-random,
+//! Figure 1, and crash schedules.
 
 use st_core::Value;
-use st_sim::{ProcessCtx, Reg, Sim};
+use st_sim::{Automaton, ProcessCtx, Reg, Sim, Status, StepAccess};
 
 /// One process's Paxos record (a "disk block").
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -36,8 +47,8 @@ pub struct PaxosRecord {
 /// A single-decree Paxos instance: `n` records plus a decision register.
 #[derive(Clone, Debug)]
 pub struct Paxos {
-    records: Vec<Reg<PaxosRecord>>,
-    decision: Reg<Option<Value>>,
+    pub(crate) records: Vec<Reg<PaxosRecord>>,
+    pub(crate) decision: Reg<Option<Value>>,
     n: u64,
 }
 
@@ -79,6 +90,38 @@ impl Paxos {
         ctx.read(self.decision).await
     }
 
+    /// The ballot of `round` for proposer `me`: `b = round · n + me + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ballot space is exhausted (the product or sum
+    /// overflows `u64`): wrapping would reuse a ballot number and break
+    /// ballot uniqueness, the foundation of the safety argument. At one
+    /// ballot per scheduled step this takes ~10⁴ simulated years on the
+    /// reference host; exhaustion is a configuration bug, not a reachable
+    /// protocol state.
+    fn ballot(&self, round: u64, me: usize) -> u64 {
+        round
+            .checked_mul(self.n)
+            .and_then(|x| x.checked_add(me as u64 + 1))
+            .unwrap_or_else(|| {
+                panic!(
+                    "Paxos ballot space exhausted: round {round} · n {} + pid {me} + 1 \
+                     overflows u64 (ballot uniqueness would break)",
+                    self.n
+                )
+            })
+    }
+
+    /// Advances `round` past every round that could have produced a ballot
+    /// ≤ `max_seen` — the preemption rule, shared verbatim by both ABIs.
+    fn advance_round(&self, state: &mut ProposerState, max_seen: u64) {
+        // Saturating: at the top of the round space the next `ballot` call
+        // panics with the documented exhaustion message rather than a bare
+        // arithmetic overflow here.
+        state.round = state.round.max((max_seen / self.n).saturating_add(1));
+    }
+
     /// Runs one complete ballot as a proposer: decision check, phase 1,
     /// phase 2, publication. Costs `2 + 2n` steps when uncontended.
     ///
@@ -98,7 +141,7 @@ impl Paxos {
         }
 
         let me = ctx.pid().index();
-        let b = state.round * self.n + me as u64 + 1;
+        let b = self.ballot(state.round, me);
         state.round += 1;
 
         // Phase 1: announce the ballot, then look for competition and for
@@ -120,7 +163,7 @@ impl Paxos {
             }
         }
         if max_seen > b {
-            state.round = state.round.max(max_seen / self.n + 1);
+            self.advance_round(state, max_seen);
             return AttemptOutcome::Preempted;
         }
 
@@ -141,7 +184,7 @@ impl Paxos {
             max_seen = max_seen.max(rec.mbal);
         }
         if max_seen > b {
-            state.round = state.round.max(max_seen / self.n + 1);
+            self.advance_round(state, max_seen);
             return AttemptOutcome::Preempted;
         }
 
@@ -160,6 +203,262 @@ impl Paxos {
     /// state).
     pub fn peek_records(&self, sim: &Sim) -> Vec<PaxosRecord> {
         self.records.iter().map(|&r| sim.peek(r)).collect()
+    }
+
+    /// The proposer as an explicit state machine on the simulator's
+    /// non-async fast path: the attempt loop of the async tests (`attempt`
+    /// until decided, then decide and halt) as an [`st_sim::Automaton`].
+    /// Spawn with [`Sim::spawn_automaton`](st_sim::Sim::spawn_automaton) or
+    /// drive as a typed fleet. Observationally identical to the async
+    /// transcription, step for step.
+    ///
+    /// # Panics
+    ///
+    /// Stepping the machine panics on ballot-space exhaustion, exactly as
+    /// the async proposer (see [`attempt`](Self::attempt)).
+    pub fn machine(&self, proposal: Value) -> PaxosMachine {
+        PaxosMachine {
+            core: PaxosProposerCore::new(self.clone()),
+            proposal,
+        }
+    }
+}
+
+/// Control state of a machine-ABI proposer: which operation of the current
+/// attempt the next scheduled step performs. Every variant performs exactly
+/// one register operation; the evaluation between phases (ballot choice,
+/// value adoption, preemption checks) runs at the phase boundaries inside
+/// the step that precedes it — exactly where the async transcription runs
+/// it.
+#[derive(Clone, Copy, Debug)]
+enum ProposerPhase {
+    /// The attempt's fast path: read the decision register.
+    CheckDecision,
+    /// Phase 1 announce: write `(mbal = b)` to the own record.
+    Phase1Write,
+    /// Phase 1 scan: read record `q`, tracking the maximal `mbal` seen and
+    /// the highest-ballot accepted value.
+    Phase1Read {
+        q: u32,
+        max_seen: u64,
+        best: Option<(u64, Value)>,
+    },
+    /// Phase 2 accept: write `(mbal = b, bal = b, val)` to the own record.
+    Phase2Write { value: Value },
+    /// Phase 2 scan: re-read record `q` looking for competition.
+    Phase2Read { q: u32, max_seen: u64, value: Value },
+    /// Chosen: publish the decision.
+    Publish { value: Value },
+}
+
+/// What one machine step of a proposer core produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CoreStep {
+    /// Mid-attempt: more steps to take.
+    Busy,
+    /// This step's operation observed or chose the decision.
+    Decided(Value),
+    /// A higher ballot interfered; the round has been advanced past it and
+    /// the core has been reset for the next attempt.
+    Preempted,
+}
+
+/// The single-attempt proposer engine shared by [`PaxosMachine`] and the
+/// k-set agreement machine: one register operation per `step` call,
+/// mirroring [`Paxos::attempt`] operation for operation.
+#[derive(Clone, Debug)]
+pub(crate) struct PaxosProposerCore {
+    paxos: Paxos,
+    state: ProposerState,
+    phase: ProposerPhase,
+    /// The current attempt's ballot.
+    b: u64,
+}
+
+/// The next record index to scan after `q`, skipping the proposer's own.
+fn next_other(q: usize, me: usize, n: usize) -> Option<u32> {
+    let mut q = q + 1;
+    if q == me {
+        q += 1;
+    }
+    (q < n).then_some(q as u32)
+}
+
+/// The first record index to scan, skipping the proposer's own.
+fn first_other(me: usize, n: usize) -> Option<u32> {
+    let q = if me == 0 { 1 } else { 0 };
+    (q < n).then_some(q as u32)
+}
+
+impl PaxosProposerCore {
+    pub(crate) fn new(paxos: Paxos) -> Self {
+        PaxosProposerCore {
+            paxos,
+            state: ProposerState::default(),
+            phase: ProposerPhase::CheckDecision,
+            b: 0,
+        }
+    }
+
+    /// Ballot attempts made so far (metrics; mirrors
+    /// [`ProposerState::attempts`]).
+    pub(crate) fn attempts(&self) -> u64 {
+        self.state.attempts
+    }
+
+    /// Executes one step of the current attempt: exactly one register
+    /// operation. After `Decided`/`Preempted` the core is reset, so the next
+    /// `step` call begins a fresh attempt.
+    pub(crate) fn step(&mut self, mem: &mut StepAccess<'_>, proposal: Value) -> CoreStep {
+        let me = mem.pid().index();
+        let n = self.paxos.records.len();
+        match self.phase {
+            ProposerPhase::CheckDecision => {
+                self.state.attempts += 1;
+                if let Some(v) = mem.read(self.paxos.decision) {
+                    return CoreStep::Decided(v);
+                }
+                self.b = self.paxos.ballot(self.state.round, me);
+                self.state.round += 1;
+                self.state.own.mbal = self.b;
+                self.phase = ProposerPhase::Phase1Write;
+                CoreStep::Busy
+            }
+            ProposerPhase::Phase1Write => {
+                mem.write(self.paxos.records[me], self.state.own);
+                let best = self.state.own.val.map(|v| (self.state.own.bal, v));
+                match first_other(me, n) {
+                    Some(q) => {
+                        self.phase = ProposerPhase::Phase1Read {
+                            q,
+                            max_seen: 0,
+                            best,
+                        };
+                        CoreStep::Busy
+                    }
+                    // n == 1: nothing to scan, no competition possible.
+                    None => {
+                        self.enter_phase2(best, proposal);
+                        CoreStep::Busy
+                    }
+                }
+            }
+            ProposerPhase::Phase1Read {
+                q,
+                mut max_seen,
+                mut best,
+            } => {
+                let rec = mem.read(self.paxos.records[q as usize]);
+                max_seen = max_seen.max(rec.mbal);
+                if let Some(v) = rec.val {
+                    if best.is_none_or(|(bb, _)| rec.bal > bb) {
+                        best = Some((rec.bal, v));
+                    }
+                }
+                if let Some(next) = next_other(q as usize, me, n) {
+                    self.phase = ProposerPhase::Phase1Read {
+                        q: next,
+                        max_seen,
+                        best,
+                    };
+                    return CoreStep::Busy;
+                }
+                if max_seen > self.b {
+                    return self.preempt(max_seen);
+                }
+                self.enter_phase2(best, proposal);
+                CoreStep::Busy
+            }
+            ProposerPhase::Phase2Write { value } => {
+                mem.write(self.paxos.records[me], self.state.own);
+                match first_other(me, n) {
+                    Some(q) => {
+                        self.phase = ProposerPhase::Phase2Read {
+                            q,
+                            max_seen: 0,
+                            value,
+                        };
+                        CoreStep::Busy
+                    }
+                    None => {
+                        self.phase = ProposerPhase::Publish { value };
+                        CoreStep::Busy
+                    }
+                }
+            }
+            ProposerPhase::Phase2Read {
+                q,
+                mut max_seen,
+                value,
+            } => {
+                let rec = mem.read(self.paxos.records[q as usize]);
+                max_seen = max_seen.max(rec.mbal);
+                if let Some(next) = next_other(q as usize, me, n) {
+                    self.phase = ProposerPhase::Phase2Read {
+                        q: next,
+                        max_seen,
+                        value,
+                    };
+                    return CoreStep::Busy;
+                }
+                if max_seen > self.b {
+                    return self.preempt(max_seen);
+                }
+                self.phase = ProposerPhase::Publish { value };
+                CoreStep::Busy
+            }
+            ProposerPhase::Publish { value } => {
+                mem.write(self.paxos.decision, Some(value));
+                self.phase = ProposerPhase::CheckDecision;
+                CoreStep::Decided(value)
+            }
+        }
+    }
+
+    /// Phase-boundary bookkeeping between the phase 1 scan and the phase 2
+    /// write: adopt the safest value and stage the accept record.
+    fn enter_phase2(&mut self, best: Option<(u64, Value)>, proposal: Value) {
+        let value = best.map(|(_, v)| v).unwrap_or(proposal);
+        self.state.own = PaxosRecord {
+            mbal: self.b,
+            bal: self.b,
+            val: Some(value),
+        };
+        self.phase = ProposerPhase::Phase2Write { value };
+    }
+
+    fn preempt(&mut self, max_seen: u64) -> CoreStep {
+        self.paxos.advance_round(&mut self.state, max_seen);
+        self.phase = ProposerPhase::CheckDecision;
+        CoreStep::Preempted
+    }
+}
+
+/// The standalone Paxos proposer on the state-machine ABI: attempts ballots
+/// until a decision is observed or chosen, records it via
+/// [`StepAccess::decide`], and halts. Construct with [`Paxos::machine`].
+#[derive(Clone, Debug)]
+pub struct PaxosMachine {
+    core: PaxosProposerCore,
+    proposal: Value,
+}
+
+impl PaxosMachine {
+    /// Ballot attempts made so far (metrics).
+    pub fn attempts(&self) -> u64 {
+        self.core.attempts()
+    }
+}
+
+impl Automaton for PaxosMachine {
+    fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+        match self.core.step(mem, self.proposal) {
+            CoreStep::Busy | CoreStep::Preempted => Status::Running,
+            CoreStep::Decided(v) => {
+                mem.decide(v);
+                Status::Done
+            }
+        }
     }
 }
 
@@ -199,7 +498,8 @@ mod tests {
         sim.run(
             &mut src,
             RunConfig::steps(budget).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
-        );
+        )
+        .unwrap();
         let rep = sim.report();
         (0..n).map(|i| rep.decision_value(pid(i))).collect()
     }
@@ -288,12 +588,82 @@ mod tests {
             .chain(std::iter::repeat_n(1, 60))
             .collect();
         let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
-        sim.run(&mut src, RunConfig::steps(100));
+        sim.run(&mut src, RunConfig::steps(100)).unwrap();
         assert_eq!(
             sim.report().decision_value(pid(1)),
             Some(100),
             "p1 must adopt p0's phase-2 value"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "ballot space exhausted")]
+    fn ballot_overflow_panics_async() {
+        let u = Universe::new(2).unwrap();
+        let mut sim = Sim::new(u);
+        let paxos = Paxos::alloc(&mut sim, "px");
+        sim.spawn(pid(0), move |ctx| async move {
+            // round · n overflows u64
+            let mut state = ProposerState {
+                round: u64::MAX / 2 + 1,
+                ..Default::default()
+            };
+            let _ = paxos.attempt(&ctx, &mut state, 1).await;
+        })
+        .unwrap();
+        // The decision check consumes the step; the ballot is computed (and
+        // panics) in the same poll.
+        sim.step_with(pid(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ballot space exhausted")]
+    fn ballot_overflow_panics_machine() {
+        let u = Universe::new(2).unwrap();
+        let mut sim = Sim::new(u);
+        let paxos = Paxos::alloc(&mut sim, "px");
+        let mut machine = paxos.machine(1);
+        machine.core.state.round = u64::MAX / 2 + 1;
+        sim.spawn_automaton(pid(0), machine).unwrap();
+        sim.step_with(pid(0));
+    }
+
+    #[test]
+    fn ballot_at_u64_boundary_is_exact() {
+        // n = 2, me = 0, round = (u64::MAX − 1)/2 → b = u64::MAX exactly:
+        // the checked rule admits the full ballot space, no early panic.
+        let u = Universe::new(2).unwrap();
+        let mut sim = Sim::new(u);
+        let paxos = Paxos::alloc(&mut sim, "px");
+        let paxos2 = paxos.clone();
+        sim.spawn(pid(0), move |ctx| async move {
+            let mut state = ProposerState {
+                round: (u64::MAX - 1) / 2,
+                ..Default::default()
+            };
+            let _ = paxos2.attempt(&ctx, &mut state, 1).await;
+        })
+        .unwrap();
+        sim.step_with(pid(0)); // decision check
+        sim.step_with(pid(0)); // phase-1 announce
+        assert_eq!(paxos.peek_records(&sim)[0].mbal, u64::MAX);
+    }
+
+    /// The machine proposer decides its own value when running solo —
+    /// the machine twin of `solo_proposer_decides_own_value`.
+    #[test]
+    fn machine_solo_proposer_decides_own_value() {
+        let u = Universe::new(3).unwrap();
+        let mut sim = Sim::new(u);
+        let paxos = Paxos::alloc(&mut sim, "px");
+        let mut fleet: Vec<PaxosMachine> =
+            (0..3).map(|i| paxos.machine(100 + i as Value)).collect();
+        let schedule = Schedule::from_indices(vec![0usize; 60]);
+        sim.run_automata_replay(&mut fleet, &schedule, RunConfig::steps(60))
+            .unwrap();
+        assert_eq!(sim.decisions()[0].map(|d| d.value), Some(100));
+        assert_eq!(paxos.peek_decision(&sim), Some(100));
+        assert_eq!(fleet[0].attempts(), 1);
     }
 
     #[test]

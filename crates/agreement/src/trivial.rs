@@ -89,7 +89,8 @@ mod tests {
         sim.run(
             &mut src,
             RunConfig::steps(100_000).stop_when(StopWhen::AllDecided(correct)),
-        );
+        )
+        .unwrap();
         let _ = t;
         (sim.report(), inputs)
     }

@@ -39,7 +39,7 @@ proptest! {
             }).unwrap();
         }
         let mut src = ScheduleCursor::new(sched);
-        sim.run(&mut src, RunConfig::steps(2000).stop_when(StopWhen::AllDecided(ProcSet::full(u))));
+        sim.run(&mut src, RunConfig::steps(2000).stop_when(StopWhen::AllDecided(ProcSet::full(u)))).unwrap();
         let rep = sim.report();
         let decided: Vec<Value> = rep.decisions.iter().flatten().map(|d| d.value).collect();
         if let Some(&first) = decided.first() {

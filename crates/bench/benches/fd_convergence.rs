@@ -48,7 +48,7 @@ fn run_fd_abi(
     let p: ProcSet = (0..k).map(ProcessId::new).collect();
     let q: ProcSet = (0..=t).map(ProcessId::new).collect();
     let mut src = SetTimely::new(p, q, 2 * (t + 1), SeededRandom::new(universe, 7));
-    sim.run(&mut src, RunConfig::steps(budget));
+    sim.run(&mut src, RunConfig::steps(budget)).unwrap();
     winnerset_stabilization(&sim.report(), ProcSet::full(universe)).map(|s| s.step)
 }
 
@@ -146,7 +146,7 @@ fn set_vs_process(c: &mut Criterion) {
         }
         let groups = [ProcSet::from_indices([0, 1]), ProcSet::from_indices([2, 3])];
         let mut src = AlternatingRotation::new(&groups);
-        sim.run(&mut src, RunConfig::steps(budget));
+        sim.run(&mut src, RunConfig::steps(budget)).unwrap();
         sim.steps_executed()
     }
 
@@ -160,7 +160,7 @@ fn set_vs_process(c: &mut Criterion) {
         }
         let groups = [ProcSet::from_indices([0, 1]), ProcSet::from_indices([2, 3])];
         let mut src = AlternatingRotation::new(&groups);
-        sim.run(&mut src, RunConfig::steps(budget));
+        sim.run(&mut src, RunConfig::steps(budget)).unwrap();
         winnerset_stabilization(&sim.report(), ProcSet::full(universe)).map(|s| s.step)
     }
 

@@ -22,7 +22,7 @@ fn sim_step_dispatch(c: &mut Criterion) {
                 .unwrap();
             }
             let mut src = st_sched::RoundRobin::new(u);
-            sim.run(&mut src, RunConfig::steps(100_000));
+            sim.run(&mut src, RunConfig::steps(100_000)).unwrap();
             sim.steps_executed()
         })
     });
@@ -42,7 +42,7 @@ fn sim_step_dispatch(c: &mut Criterion) {
                 .unwrap();
             }
             let mut src = st_sched::RoundRobin::new(u);
-            sim.run(&mut src, RunConfig::steps(100_000));
+            sim.run(&mut src, RunConfig::steps(100_000)).unwrap();
             sim.peek(reg)
         })
     });
@@ -69,7 +69,8 @@ fn shared_objects(c: &mut Criterion) {
             sim.run(
                 &mut src,
                 RunConfig::steps(1000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
-            );
+            )
+            .unwrap();
             sim.steps_executed()
         })
     });
@@ -91,7 +92,8 @@ fn shared_objects(c: &mut Criterion) {
             sim.run(
                 &mut src,
                 RunConfig::steps(5000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
-            );
+            )
+            .unwrap();
             sim.steps_executed()
         })
     });
@@ -112,7 +114,8 @@ fn shared_objects(c: &mut Criterion) {
             sim.run(
                 &mut src,
                 RunConfig::steps(1000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
-            );
+            )
+            .unwrap();
             sim.steps_executed()
         })
     });
@@ -134,7 +137,7 @@ fn shared_objects(c: &mut Criterion) {
                 .unwrap();
             }
             let mut src = ScheduleCursor::new(Schedule::from_indices(vec![0; 30]));
-            sim.run(&mut src, RunConfig::steps(30));
+            sim.run(&mut src, RunConfig::steps(30)).unwrap();
             sim.steps_executed()
         })
     });

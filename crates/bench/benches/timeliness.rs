@@ -133,14 +133,16 @@ fn run_kanti_workload(schedule: &Schedule, machine: bool) -> u64 {
             &mut fleet,
             schedule,
             RunConfig::steps(schedule.len() as u64),
-        );
+        )
+        .unwrap();
     } else {
         for p in u.processes() {
             let fd = fd.clone();
             sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
         }
         let mut src = ScheduleCursor::new(schedule.clone());
-        sim.run(&mut src, RunConfig::steps(schedule.len() as u64));
+        sim.run(&mut src, RunConfig::steps(schedule.len() as u64))
+            .unwrap();
     }
     sim.steps_executed()
 }
@@ -156,6 +158,127 @@ fn sim_step_throughput(c: &mut Criterion) {
     });
     group.bench_function("kanti_machine_200k_n8", |b| {
         b.iter(|| run_kanti_workload(&schedule, true))
+    });
+    group.finish();
+}
+
+// The E3 workload of the agreement step-throughput acceptance criterion:
+// the full FD + k-parallel-Paxos stack on a conforming SetTimely schedule,
+// run until every process decides — the E3 construction at the E2 universe
+// size (n = 8, where the FD's counter matrix makes the stepping cost real;
+// the small E3 grid rows decide in a few hundred steps and measure only
+// setup).
+const AG_N: usize = 8;
+const AG_K: usize = 3;
+const AG_T: usize = 4;
+
+/// The conforming E3 schedule for the agreement workload, materialized once
+/// (as for the kanti workload: measure the executor + automata, not the
+/// generator).
+fn agreement_schedule(steps: usize) -> Schedule {
+    let u = Universe::new(AG_N).unwrap();
+    let p: ProcSet = (0..AG_K.min(AG_T)).map(ProcessId::new).collect();
+    let q: ProcSet = (0..=AG_T).map(ProcessId::new).collect();
+    SetTimely::new(p, q, 2 * (AG_T + 1), SeededRandom::new(u, 3)).take_schedule(steps)
+}
+
+/// How the agreement workload is executed.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AgreementMode {
+    /// Async stack in future slots, cursor drive to all-decided.
+    Async,
+    /// `KSetAgreementMachine` stack in automaton slots, cursor drive to
+    /// all-decided — the mode E3/E4 run in.
+    MachineSlot,
+    /// Typed fleet on the plain replay drive (no stop condition: the
+    /// schedule is pre-truncated at the decision step).
+    FleetReplay,
+    /// Typed fleet on the sharded batched replay drive.
+    FleetReplaySharded,
+}
+
+/// Runs the (t,k,n) = (4,3,8) stack over `schedule` in the chosen mode;
+/// returns executed steps and the wall-clock of the **drive only** (stack
+/// construction and the cursor's schedule clone excluded — at ~8k steps to
+/// decision they would otherwise dominate the per-step figure).
+fn run_agreement_workload(schedule: &Schedule, mode: AgreementMode) -> (u64, f64) {
+    use st_agreement::{KSetAgreement, StackAbi};
+    use st_core::{AgreementTask, ScheduleCursor};
+    use st_fd::{KAntiOmega, KAntiOmegaConfig, TimeoutPolicy};
+    use st_sim::{RunConfig, Sim, StopWhen};
+
+    let task = AgreementTask::new(AG_T, AG_K, AG_N).unwrap();
+    let inputs: Vec<u64> = (0..AG_N as u64).collect();
+    match mode {
+        AgreementMode::Async | AgreementMode::MachineSlot => {
+            let abi = if mode == AgreementMode::Async {
+                StackAbi::Async
+            } else {
+                StackAbi::Machine
+            };
+            let mut stack = st_agreement::AgreementStack::build_abi(
+                task,
+                &inputs,
+                TimeoutPolicy::Increment,
+                false,
+                abi,
+            );
+            let mut src = ScheduleCursor::new(schedule.clone());
+            let full = ProcSet::full(task.universe());
+            let start = Instant::now();
+            stack
+                .sim_mut()
+                .run(
+                    &mut src,
+                    RunConfig::steps(schedule.len() as u64).stop_when(StopWhen::AllDecided(full)),
+                )
+                .unwrap();
+            (stack.sim().steps_executed(), start.elapsed().as_secs_f64())
+        }
+        AgreementMode::FleetReplay | AgreementMode::FleetReplaySharded => {
+            let u = task.universe();
+            let mut sim = Sim::new(u);
+            let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(AG_K, AG_T));
+            let kset = KSetAgreement::alloc(&mut sim, AG_K);
+            let mut fleet: Vec<_> = u
+                .processes()
+                .map(|p| kset.machine(&fd, inputs[p.index()]))
+                .collect();
+            let cfg = RunConfig::steps(schedule.len() as u64);
+            let start = Instant::now();
+            if mode == AgreementMode::FleetReplay {
+                sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap();
+            } else {
+                sim.run_automata_replay_sharded(&mut fleet, schedule, 2, 4096, cfg)
+                    .unwrap();
+            }
+            (sim.steps_executed(), start.elapsed().as_secs_f64())
+        }
+    }
+}
+
+/// Best-of-`reps` drive time (ms) of the agreement workload.
+fn agreement_time_best(reps: usize, schedule: &Schedule, mode: AgreementMode) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, secs) = std::hint::black_box(run_agreement_workload(schedule, mode));
+        best = best.min(secs * 1e3);
+    }
+    best
+}
+
+/// Async stack vs the machine-ABI agreement stack on the E3 workload — the
+/// ROADMAP's "port the agreement stack's hot protocols" lever, tracked as
+/// `agreement_step_throughput` in the committed baseline.
+fn agreement_step_throughput(c: &mut Criterion) {
+    let schedule = agreement_schedule(200_000);
+    let mut group = c.benchmark_group("agreement/step_throughput");
+    group.sample_size(10);
+    group.bench_function("e3_async_t4k3n8", |b| {
+        b.iter(|| run_agreement_workload(&schedule, AgreementMode::Async))
+    });
+    group.bench_function("e3_machine_t4k3n8", |b| {
+        b.iter(|| run_agreement_workload(&schedule, AgreementMode::MachineSlot))
     });
     group.finish();
 }
@@ -235,6 +358,27 @@ fn emit_baseline(_c: &mut Criterion) {
     let async_ns = kanti_async * 1e6 / SIM_STEPS as f64;
     let machine_ns = kanti_machine * 1e6 / SIM_STEPS as f64;
 
+    // The agreement stack on both ABIs: the E3 (t,k,n) = (4,3,8) workload
+    // to all-decided, plus the typed fleet on the plain and sharded replay
+    // drives over the decision prefix. Timed drive-only (see
+    // `run_agreement_workload`).
+    let ag_sched = agreement_schedule(200_000);
+    let (decided_at, _) = run_agreement_workload(&ag_sched, AgreementMode::MachineSlot);
+    assert_eq!(
+        decided_at,
+        run_agreement_workload(&ag_sched, AgreementMode::Async).0,
+        "ABIs must decide at the same step (differential identity)"
+    );
+    let ag_prefix = Schedule::from_steps(ag_sched.as_slice()[..decided_at as usize].to_vec());
+    let ag_async = agreement_time_best(5, &ag_sched, AgreementMode::Async);
+    let ag_machine = agreement_time_best(5, &ag_sched, AgreementMode::MachineSlot);
+    let ag_fleet = agreement_time_best(5, &ag_prefix, AgreementMode::FleetReplay);
+    let ag_sharded = agreement_time_best(5, &ag_prefix, AgreementMode::FleetReplaySharded);
+    let ag_async_ns = ag_async * 1e6 / decided_at as f64;
+    let ag_machine_ns = ag_machine * 1e6 / decided_at as f64;
+    let ag_fleet_ns = ag_fleet * 1e6 / decided_at as f64;
+    let ag_sharded_ns = ag_sharded * 1e6 / decided_at as f64;
+
     let json = format!(
         "{{\n  \"schema\": \"st-bench/timeliness-v2\",\n  \
          \"workload\": {{\"n\": {N}, \"schedule_len\": {LEN}, \"bound_cap\": {CAP}, \"i\": {I}, \"j\": {J}}},\n  \
@@ -247,12 +391,22 @@ fn emit_baseline(_c: &mut Criterion) {
            \"workload\": {{\"n\": {SIM_N}, \"k\": {SIM_K}, \"t\": {SIM_T}, \"steps\": {SIM_STEPS}, \"schedule\": \"SetTimely\"}},\n    \
            \"async_ns_per_step\": {async_ns:.2},\n    \
            \"automaton_ns_per_step\": {machine_ns:.2},\n    \
+           \"speedup\": {:.2}\n  }},\n  \
+         \"agreement_step_throughput\": {{\n    \
+           \"workload\": {{\"n\": {AG_N}, \"k\": {AG_K}, \"t\": {AG_T}, \"decided_at_step\": {decided_at}, \"schedule\": \"SetTimely\", \"experiment\": \"E3\"}},\n    \
+           \"async_ns_per_step\": {ag_async_ns:.2},\n    \
+           \"machine_slot_ns_per_step\": {ag_machine_ns:.2},\n    \
+           \"fleet_replay_ns_per_step\": {ag_fleet_ns:.2},\n    \
+           \"fleet_replay_sharded_ns_per_step\": {ag_sharded_ns:.2},\n    \
+           \"machine_slot_speedup\": {:.2},\n    \
            \"speedup\": {:.2}\n  }}\n}}\n",
         naive_rr / engine_rr,
         naive_rnd / engine_rnd,
         matrix_static / matrix_steal,
         boxed / word,
         async_ns / machine_ns,
+        ag_async_ns / ag_machine_ns,
+        ag_async_ns / ag_fleet_ns,
     );
     let path = criterion::workspace_root().join("BENCH_timeliness.json");
     std::fs::write(&path, &json).expect("write BENCH_timeliness.json");
@@ -301,9 +455,15 @@ fn run_register_loop<T: Counter>() -> u64 {
         .unwrap();
     }
     let mut src = RoundRobin::new(u);
-    sim.run(&mut src, RunConfig::steps(100_000));
+    sim.run(&mut src, RunConfig::steps(100_000)).unwrap();
     sim.steps_executed()
 }
 
-criterion_group!(benches, matrix_sweeps, sim_step_throughput, emit_baseline);
+criterion_group!(
+    benches,
+    matrix_sweeps,
+    sim_step_throughput,
+    agreement_step_throughput,
+    emit_baseline
+);
 criterion_main!(benches);

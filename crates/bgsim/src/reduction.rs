@@ -81,10 +81,12 @@ where
         sim.spawn(s, move |ctx| bg.run_simulator(ctx))
             .expect("fresh simulator");
     }
-    let status = sim.run(
-        src,
-        RunConfig::steps(budget).stop_when(StopWhen::AllFinished(ProcSet::full(universe))),
-    );
+    let status = sim
+        .run(
+            src,
+            RunConfig::steps(budget).stop_when(StopWhen::AllFinished(ProcSet::full(universe))),
+        )
+        .expect("reduction schedule within the simulator universe");
     let report = sim.report();
     ReductionReport {
         status,

@@ -151,7 +151,8 @@ mod tests {
             sim.run(
                 &mut src,
                 RunConfig::steps(2000).stop_when(StopWhen::AllDecided(ProcSet::full(u))),
-            );
+            )
+            .unwrap();
             let rep = sim.report();
             let decided: Vec<Value> = (0..width)
                 .filter_map(|i| rep.decision_value(pid(i)))
@@ -200,7 +201,7 @@ mod tests {
             .chain(std::iter::repeat_n(1, 500))
             .collect();
         let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
-        sim.run(&mut src, RunConfig::steps(502));
+        sim.run(&mut src, RunConfig::steps(502)).unwrap();
         assert!(sa.peek_unsafe(&sim), "p0 is stuck at level 1");
         assert_eq!(
             sim.report().decision_value(pid(1)),
@@ -231,7 +232,7 @@ mod tests {
         // p0 never runs at all.
         let sched: Vec<usize> = std::iter::repeat_n(1, 200).collect();
         let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
-        sim.run(&mut src, RunConfig::steps(200));
+        sim.run(&mut src, RunConfig::steps(200)).unwrap();
         assert_eq!(sim.report().decision_value(pid(1)), Some(9));
     }
 
@@ -252,7 +253,7 @@ mod tests {
             .unwrap();
         }
         let mut src = ScheduleCursor::new(Schedule::from_indices(vec![0; 10]));
-        sim.run(&mut src, RunConfig::steps(10));
+        sim.run(&mut src, RunConfig::steps(10)).unwrap();
         assert_eq!(sim.report().decision_value(pid(0)), Some(1));
     }
 }

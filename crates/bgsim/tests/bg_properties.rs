@@ -40,7 +40,7 @@ proptest! {
         }
         let len = sched.len() as u64;
         let mut src = ScheduleCursor::new(sched);
-        sim.run(&mut src, RunConfig::steps(len).stop_when(StopWhen::AllDecided(ProcSet::full(u))));
+        sim.run(&mut src, RunConfig::steps(len).stop_when(StopWhen::AllDecided(ProcSet::full(u)))).unwrap();
         let decided: Vec<Value> = sim.report().decisions.iter().flatten().map(|d| d.value).collect();
         if let Some(&first) = decided.first() {
             prop_assert!(decided.iter().all(|&v| v == first));
@@ -118,10 +118,10 @@ proptest! {
         // complete their (constant-length) unsafe zones.
         let mut src = ScheduleCursor::new(Schedule::from_indices(order));
         sim.run(&mut src, RunConfig::steps(10_000)
-            .stop_when(StopWhen::AllFinished(ProcSet::full(u))));
+            .stop_when(StopWhen::AllFinished(ProcSet::full(u)))).unwrap();
         let drain: Vec<usize> = (0..40).map(|i| i % 2).collect();
         let mut src2 = ScheduleCursor::new(Schedule::from_indices(drain));
-        sim.run(&mut src2, RunConfig::steps(40));
+        sim.run(&mut src2, RunConfig::steps(40)).unwrap();
         prop_assert!(!sa.peek_unsafe(&sim), "no one may remain at level 1");
     }
 }

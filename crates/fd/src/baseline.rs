@@ -189,7 +189,7 @@ mod tests {
             let fd = fd.clone();
             sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
         }
-        sim.run(src, RunConfig::steps(budget));
+        sim.run(src, RunConfig::steps(budget)).unwrap();
         sim.report()
     }
 

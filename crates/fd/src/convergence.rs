@@ -197,7 +197,9 @@ pub fn run_until_quiescent<S: StepSource>(
             break;
         }
         let chunk = poll_interval.min(budget - executed);
-        status = sim.run(src, RunConfig::steps(chunk));
+        status = sim
+            .run(src, RunConfig::steps(chunk))
+            .expect("poll schedule within universe");
         match status {
             RunStatus::MaxSteps => {}
             // Source ended, stop condition, or a stuck process: no more
@@ -255,7 +257,7 @@ mod tests {
         }
         let order: Vec<usize> = (0..200).map(|s| s % n).collect();
         let mut src = ScheduleCursor::new(Schedule::from_indices(order));
-        sim.run(&mut src, RunConfig::steps(200));
+        sim.run(&mut src, RunConfig::steps(200)).unwrap();
         sim.report()
     }
 
@@ -339,7 +341,7 @@ mod tests {
             sim.spawn_automaton(p, fd.machine()).unwrap();
         }
         let mut src = ScheduleCursor::new(Schedule::from_indices(steps.clone()));
-        sim.run(&mut src, RunConfig::steps(budget));
+        sim.run(&mut src, RunConfig::steps(budget)).unwrap();
         let reference = winnerset_stabilization(&sim.report(), full).expect("round-robin settles");
 
         // Quiescence-polled run over the same schedule.

@@ -90,7 +90,7 @@ impl KAntiOmegaConfig {
 /// // Round-robin is synchronous: the detector settles quickly.
 /// let steps: Vec<usize> = (0..60_000).map(|s| s % 3).collect();
 /// let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
-/// sim.run(&mut src, RunConfig::steps(60_000));
+/// sim.run(&mut src, RunConfig::steps(60_000)).unwrap();
 /// let stab = st_fd::convergence::winnerset_stabilization(
 ///     &sim.report(),
 ///     ProcSet::full(universe),
@@ -380,7 +380,7 @@ enum Phase {
 /// }
 /// let steps: Vec<usize> = (0..60_000).map(|s| s % 3).collect();
 /// let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
-/// sim.run(&mut src, RunConfig::steps(60_000));
+/// sim.run(&mut src, RunConfig::steps(60_000)).unwrap();
 /// let stab = st_fd::convergence::winnerset_stabilization(
 ///     &sim.report(),
 ///     ProcSet::full(universe),
@@ -537,6 +537,10 @@ impl KAntiOmegaMachine {
 }
 
 impl Automaton for KAntiOmegaMachine {
+    // Inline hint: the k-set agreement machine (st-agreement) embeds this
+    // machine and calls `step` once per scheduled step on its hottest path;
+    // without the hint the cross-crate call stays opaque.
+    #[inline]
     fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
         match self.phase {
             Phase::ReadCounters(idx) => {
@@ -644,7 +648,7 @@ mod tests {
         // One iteration for n=3, k=1: 3*3 reads + 1 write + 3 reads + expiry writes.
         let steps = vec![0usize; 40];
         let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
-        sim.run(&mut src, RunConfig::steps(40));
+        sim.run(&mut src, RunConfig::steps(40)).unwrap();
         let rep = sim.report();
         assert_eq!(
             rep.probes.last_value(ProcessId::new(0), "iter-done"),
@@ -664,7 +668,7 @@ mod tests {
             .unwrap();
         let steps = vec![0usize; 4000];
         let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
-        sim.run(&mut src, RunConfig::steps(4000));
+        sim.run(&mut src, RunConfig::steps(4000)).unwrap();
         // Ranks: {p0}=0, {p1}=1, {p2}=2.
         let acc_p1 = fd.peek_counter(&sim, 1, ProcessId::new(0));
         let acc_p2 = fd.peek_counter(&sim, 2, ProcessId::new(0));
@@ -699,7 +703,7 @@ mod tests {
             .unwrap();
         }
         let mut src = ScheduleCursor::new(Schedule::from_indices([0, 1, 2, 3]));
-        sim.run(&mut src, RunConfig::steps(4));
+        sim.run(&mut src, RunConfig::steps(4)).unwrap();
         // Now run one FD iteration on a fresh context: spawn would conflict,
         // so compute the accusation directly from peeked counters.
         let cnt: Vec<u64> = (0..4)

@@ -112,7 +112,7 @@ mod tests {
         }
         let order: Vec<usize> = (0..30_000).map(|s| s % n).collect();
         let mut src = ScheduleCursor::new(Schedule::from_indices(order));
-        sim.run(&mut src, RunConfig::steps(30_000));
+        sim.run(&mut src, RunConfig::steps(30_000)).unwrap();
         // All processes trust the same leader at the end.
         let final_leaders: Vec<u64> = leaders.iter().map(|&r| sim.peek(r)).collect();
         assert!(final_leaders.iter().all(|&l| l == final_leaders[0]));
@@ -142,7 +142,7 @@ mod tests {
         let mut order: Vec<usize> = (0..60).map(|s| s % n).collect();
         order.extend((0..60_000).map(|s| 1 + (s % 2)));
         let mut src = ScheduleCursor::new(Schedule::from_indices(order));
-        sim.run(&mut src, RunConfig::steps(61_000));
+        sim.run(&mut src, RunConfig::steps(61_000)).unwrap();
         for survivor in [1usize, 2] {
             let l = sim.peek(leaders[survivor]);
             assert_ne!(

@@ -42,18 +42,19 @@ fn run_kanti(
                 sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
             }
             let mut src = ScheduleCursor::new(schedule.clone());
-            sim.run(&mut src, RunConfig::steps(budget));
+            sim.run(&mut src, RunConfig::steps(budget)).unwrap();
         }
         Mode::MachineSlot => {
             for p in universe.processes() {
                 sim.spawn_automaton(p, fd.machine()).unwrap();
             }
             let mut src = ScheduleCursor::new(schedule.clone());
-            sim.run(&mut src, RunConfig::steps(budget));
+            sim.run(&mut src, RunConfig::steps(budget)).unwrap();
         }
         Mode::FleetReplay => {
             let mut fleet: Vec<_> = universe.processes().map(|_| fd.machine()).collect();
-            sim.run_automata_replay(&mut fleet, schedule, RunConfig::steps(budget));
+            sim.run_automata_replay(&mut fleet, schedule, RunConfig::steps(budget))
+                .unwrap();
         }
     }
 
@@ -174,14 +175,16 @@ fn unrecorded_fast_loops_match_recorded_runs() {
                         &mut fleet,
                         schedule,
                         RunConfig::steps(schedule.len() as u64),
-                    );
+                    )
+                    .unwrap();
                 } else {
                     for p in universe.processes() {
                         let fd = fd.clone();
                         sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
                     }
                     let mut src = ScheduleCursor::new(schedule.clone());
-                    sim.run(&mut src, RunConfig::steps(schedule.len() as u64));
+                    sim.run(&mut src, RunConfig::steps(schedule.len() as u64))
+                        .unwrap();
                 }
                 let mut registers = Vec::new();
                 for p in universe.processes() {

@@ -28,7 +28,7 @@ fn run_fd(
     }
     let len = sched.len() as u64;
     let mut src = ScheduleCursor::new(sched);
-    sim.run(&mut src, RunConfig::steps(len));
+    sim.run(&mut src, RunConfig::steps(len)).unwrap();
     (sim, fd)
 }
 
@@ -77,7 +77,7 @@ proptest! {
         let mut prev_hb: Vec<u64> = vec![0; n];
         // Drive in chunks, checking monotonicity at each checkpoint.
         for _ in 0..8 {
-            sim.run(&mut src, RunConfig::steps(sched.len() as u64 / 8));
+            sim.run(&mut src, RunConfig::steps(sched.len() as u64 / 8)).unwrap();
             let counters: Vec<Vec<u64>> = (0..fd.set_count())
                 .map(|rank| {
                     (0..n)

@@ -24,7 +24,7 @@ fn run_fd<S: StepSource>(
         let fd = fd.clone();
         sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
     }
-    sim.run(src, RunConfig::steps(budget));
+    sim.run(src, RunConfig::steps(budget)).unwrap();
     sim.report()
 }
 

@@ -27,7 +27,7 @@ fn run_fd<S: StepSource>(n: usize, k: usize, t: usize, src: &mut S, budget: u64)
         // per step — the whole grid is simulator-bound.
         sim.spawn_automaton(p, fd.machine()).unwrap();
     }
-    sim.run(src, RunConfig::steps(budget));
+    sim.run(src, RunConfig::steps(budget)).unwrap();
     sim.report()
 }
 

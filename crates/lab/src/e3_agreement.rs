@@ -5,6 +5,13 @@
 //! trivial algorithm when `t < k`) on conforming schedules, fault-free and
 //! with `t` crashes, and measures: steps until every correct process
 //! decided, number of distinct decisions, and the checker verdict.
+//!
+//! Since the agreement stack's machine-ABI port, the FD + k-parallel-Paxos
+//! runs execute on the simulator's non-async fast path
+//! ([`st_agreement::StackAbi::Machine`], the `AgreementStack` default) —
+//! observationally identical to the async transcription (the
+//! `st-agreement` differential suite) at ≥2× the step throughput
+//! (`BENCH_timeliness.json`, `agreement_step_throughput`).
 
 use st_agreement::AgreementStack;
 use st_core::{AgreementTask, ProcSet, ProcessId, Value};

@@ -6,6 +6,11 @@
 //! forever while freezing at most `k` processes at a time, so every
 //! `(k+1)`-set stays timely — certified post hoc with the analyzer. Safety
 //! holds on both sides.
+//!
+//! Both sides run the stack on the machine ABI (the `AgreementStack`
+//! default since the agreement port): the adaptive adversary single-steps
+//! machine slots exactly as it did future slots, and the danger-window
+//! freezing logic reads the same registers.
 
 use st_agreement::{drive_adversarially, AgreementStack};
 use st_core::{AgreementTask, ProcSet, ProcessId, Value};

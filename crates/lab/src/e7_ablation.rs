@@ -32,7 +32,8 @@ fn stabilization_step<S: StepSource>(
     // Typed fleet on the state-machine fast path (differentially equal to
     // the async port); the ablation sweeps multi-million-step budgets.
     let mut fleet: Vec<_> = universe.processes().map(|_| fd.machine()).collect();
-    sim.run_automata(&mut fleet, src, RunConfig::steps(budget));
+    sim.run_automata(&mut fleet, src, RunConfig::steps(budget))
+        .unwrap();
     winnerset_stabilization(&sim.report(), ProcSet::full(universe)).map(|s| s.step)
 }
 

@@ -39,7 +39,7 @@ fn run_set_based<S: StepSource>(
         let fd = fd.clone();
         sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
     }
-    sim.run(src, RunConfig::steps(budget));
+    sim.run(src, RunConfig::steps(budget)).unwrap();
     sim.report()
 }
 
@@ -57,7 +57,7 @@ fn run_process_based<S: StepSource>(
         let fd = fd.clone();
         sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
     }
-    sim.run(src, RunConfig::steps(budget));
+    sim.run(src, RunConfig::steps(budget)).unwrap();
     sim.report()
 }
 

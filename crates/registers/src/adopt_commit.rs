@@ -14,7 +14,7 @@
 //! two store-collect phases over SWMR registers (`2n + 2` steps per
 //! propose).
 
-use st_sim::{ProcessCtx, Reg, RegValue, Sim};
+use st_sim::{ProcessCtx, Reg, RegValue, Sim, StepAccess};
 
 /// Outcome of [`AdoptCommit::propose`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,6 +101,135 @@ impl<T: RegValue + Ord> AdoptCommit<T> {
             None => AcOutcome::Adopt(fallback),
         }
     }
+
+    /// Begins a machine-ABI propose of `value`: the `2n + 2`-step sequence
+    /// of [`propose`](Self::propose) as a resumable step core (one register
+    /// operation per [`AcPropose::step`] call), for automata that inline
+    /// the object's step sequence. At most one propose per process per
+    /// object, as for the async path.
+    pub fn propose_machine(&self, value: T) -> AcPropose<T> {
+        AcPropose {
+            phase1: self.phase1.clone(),
+            phase2: self.phase2.clone(),
+            value,
+            phase: AcPhase::Phase1Write,
+        }
+    }
+}
+
+/// Control state of a machine-ABI propose: which of the `2n + 2` operations
+/// the next step performs.
+#[derive(Clone, Debug)]
+enum AcPhase<T> {
+    Phase1Write,
+    Phase1Read {
+        q: usize,
+        unanimous: bool,
+        carried: T,
+    },
+    Phase2Write {
+        unanimous: bool,
+        carried: T,
+    },
+    Phase2Read {
+        q: usize,
+        all_unanimous: bool,
+        committed: Option<T>,
+        fallback: T,
+    },
+}
+
+/// A machine-ABI adopt-commit propose in progress — the state-machine port
+/// of [`AdoptCommit::propose`], operation for operation. Obtain from
+/// [`AdoptCommit::propose_machine`].
+#[derive(Clone, Debug)]
+pub struct AcPropose<T> {
+    phase1: Vec<Reg<Option<T>>>,
+    phase2: Vec<Reg<Option<Phase2Cell<T>>>>,
+    value: T,
+    phase: AcPhase<T>,
+}
+
+impl<T: RegValue + Ord> AcPropose<T> {
+    /// Performs this step's operation. Returns the outcome once the final
+    /// phase-2 read completes (after exactly `2n + 2` calls). **Costs the
+    /// step's one operation.**
+    pub fn step(&mut self, mem: &mut StepAccess<'_>) -> Option<AcOutcome<T>> {
+        let me = mem.pid().index();
+        let n = self.phase1.len();
+        match std::mem::replace(&mut self.phase, AcPhase::Phase1Write) {
+            AcPhase::Phase1Write => {
+                mem.write(self.phase1[me], Some(self.value.clone()));
+                self.phase = AcPhase::Phase1Read {
+                    q: 0,
+                    unanimous: true,
+                    carried: self.value.clone(),
+                };
+                None
+            }
+            AcPhase::Phase1Read {
+                q,
+                mut unanimous,
+                mut carried,
+            } => {
+                if let Some(seen) = mem.read(self.phase1[q]) {
+                    if seen != self.value {
+                        unanimous = false;
+                        carried = carried.min(seen);
+                    }
+                }
+                self.phase = if q + 1 < n {
+                    AcPhase::Phase1Read {
+                        q: q + 1,
+                        unanimous,
+                        carried,
+                    }
+                } else {
+                    AcPhase::Phase2Write { unanimous, carried }
+                };
+                None
+            }
+            AcPhase::Phase2Write { unanimous, carried } => {
+                mem.write(self.phase2[me], Some((unanimous, carried.clone())));
+                self.phase = AcPhase::Phase2Read {
+                    q: 0,
+                    all_unanimous: true,
+                    committed: None,
+                    fallback: carried,
+                };
+                None
+            }
+            AcPhase::Phase2Read {
+                q,
+                mut all_unanimous,
+                mut committed,
+                mut fallback,
+            } => {
+                if let Some((flag, v)) = mem.read(self.phase2[q]) {
+                    if flag {
+                        committed = Some(v);
+                    } else {
+                        all_unanimous = false;
+                        fallback = fallback.min(v);
+                    }
+                }
+                if q + 1 < n {
+                    self.phase = AcPhase::Phase2Read {
+                        q: q + 1,
+                        all_unanimous,
+                        committed,
+                        fallback,
+                    };
+                    return None;
+                }
+                Some(match committed {
+                    Some(v) if all_unanimous => AcOutcome::Commit(v),
+                    Some(v) => AcOutcome::Adopt(v),
+                    None => AcOutcome::Adopt(fallback),
+                })
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +261,8 @@ mod tests {
         sim.run(
             &mut src,
             RunConfig::steps(10_000).stop_when(StopWhen::AllFinished(ProcSet::full(u))),
-        );
+        )
+        .unwrap();
         results.iter().map(|&r| sim.peek(r)).collect()
     }
 
@@ -200,6 +330,104 @@ mod tests {
         assert!(c0 && v0 == 4);
         let (_, v1) = out[1].unwrap();
         assert_eq!(v1, 4, "p1 must carry p0's committed value");
+    }
+
+    /// The machine-ABI propose is observationally identical to the async
+    /// transcription: same outcomes, same op counts, same register
+    /// statistics, on identical schedules.
+    #[test]
+    fn propose_machine_differential() {
+        use st_sim::{Automaton, Status};
+
+        struct AcRunner {
+            propose: crate::AcPropose<u64>,
+            result: st_sim::Reg<Option<(bool, u64)>>,
+            outcome: Option<(bool, u64)>,
+        }
+        impl Automaton for AcRunner {
+            fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+                if let Some(out) = self.outcome {
+                    mem.write(self.result, Some(out));
+                    return Status::Done;
+                }
+                if let Some(out) = self.propose.step(mem) {
+                    self.outcome = Some((out.is_commit(), *out.value()));
+                }
+                Status::Running
+            }
+        }
+
+        let run_machine = |proposals: &[u64], schedule: Vec<usize>| {
+            let n = proposals.len();
+            let u = Universe::new(n).unwrap();
+            let mut sim = Sim::new(u);
+            let ac: AdoptCommit<u64> = AdoptCommit::alloc(&mut sim, "AC");
+            let results = sim.alloc_array("result", n, None::<(bool, u64)>);
+            for p in u.processes() {
+                sim.spawn_automaton(
+                    p,
+                    AcRunner {
+                        propose: ac.propose_machine(proposals[p.index()]),
+                        result: results[p.index()],
+                        outcome: None,
+                    },
+                )
+                .unwrap();
+            }
+            let mut src = ScheduleCursor::new(Schedule::from_indices(schedule));
+            sim.run(
+                &mut src,
+                RunConfig::steps(10_000).stop_when(StopWhen::AllFinished(ProcSet::full(u))),
+            )
+            .unwrap();
+            let outs: Vec<Option<(bool, u64)>> = results.iter().map(|&r| sim.peek(r)).collect();
+            let rep = sim.report();
+            (outs, rep.op_counts, rep.register_stats)
+        };
+        let run_async = |proposals: &[u64], schedule: Vec<usize>| {
+            let n = proposals.len();
+            let u = Universe::new(n).unwrap();
+            let mut sim = Sim::new(u);
+            let ac: AdoptCommit<u64> = AdoptCommit::alloc(&mut sim, "AC");
+            let results = sim.alloc_array("result", n, None::<(bool, u64)>);
+            for p in u.processes() {
+                let ac = ac.clone();
+                let my_result = results[p.index()];
+                let proposal = proposals[p.index()];
+                sim.spawn(p, move |ctx| async move {
+                    let outcome = ac.propose(&ctx, proposal).await;
+                    ctx.write(my_result, Some((outcome.is_commit(), *outcome.value())))
+                        .await;
+                })
+                .unwrap();
+            }
+            let mut src = ScheduleCursor::new(Schedule::from_indices(schedule));
+            sim.run(
+                &mut src,
+                RunConfig::steps(10_000).stop_when(StopWhen::AllFinished(ProcSet::full(u))),
+            )
+            .unwrap();
+            let outs: Vec<Option<(bool, u64)>> = results.iter().map(|&r| sim.peek(r)).collect();
+            let rep = sim.report();
+            (outs, rep.op_counts, rep.register_stats)
+        };
+
+        for (label, proposals, sched) in [
+            ("rr unanimous", vec![7u64, 7, 7], round_robin(3, 60)),
+            ("rr conflict", vec![1, 2, 3], round_robin(3, 60)),
+            ("seq", vec![4, 9, 0], sequential(3, 12)),
+            (
+                "scrambled",
+                vec![5, 5, 8, 2],
+                (0..200).map(|i| (i * 13 + i / 7) % 4).collect(),
+            ),
+        ] {
+            assert_eq!(
+                run_async(&proposals, sched.clone()),
+                run_machine(&proposals, sched),
+                "{label}: ABIs diverged"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,16 @@
 //!
 //! All objects are `Clone` and stateless (state lives in shared registers):
 //! clone one instance into each process task.
+//!
+//! The primitives the agreement propose path builds on also ship as
+//! **machine-ABI step cores** for protocols on the simulator's non-async
+//! fast path ([`st_sim::Automaton`]): [`Collect::store_machine`] /
+//! [`CollectScan`] (store-collect) and [`AcPropose`] (the adopt-commit
+//! propose as a `2n + 2`-operation phase sequence). A step core performs
+//! exactly one register operation per `step` call, so an automaton inlines
+//! the object's step sequence without breaking the one-operation-per-step
+//! discipline; each core is held operation-for-operation identical to its
+//! async transcription by in-module differential tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +31,6 @@ mod adopt_commit;
 mod collect;
 mod snapshot;
 
-pub use adopt_commit::{AcOutcome, AdoptCommit};
-pub use collect::Collect;
+pub use adopt_commit::{AcOutcome, AcPropose, AdoptCommit};
+pub use collect::{Collect, CollectScan};
 pub use snapshot::{ScanOutcome, Snapshot, VersionedCell};

@@ -143,7 +143,8 @@ mod tests {
         sim.run(
             &mut src,
             RunConfig::steps(100).stop_when(StopWhen::AllFinished(ProcSet::full(u))),
-        );
+        )
+        .unwrap();
         let rep = sim.report();
         for p in u.processes() {
             assert_eq!(rep.decision_value(p), Some(33), "{p}");
@@ -177,7 +178,7 @@ mod tests {
         // and p0's double collect stabilizes.
         let order = vec![0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0];
         let mut src = ScheduleCursor::new(Schedule::from_indices(order));
-        sim.run(&mut src, RunConfig::steps(50));
+        sim.run(&mut src, RunConfig::steps(50)).unwrap();
         // The final snapshot must reflect p1's last write.
         assert_eq!(sim.report().decision_value(pid(0)), Some(2));
     }
@@ -214,7 +215,8 @@ mod tests {
         sim.run(
             &mut src,
             RunConfig::steps(8).stop_when(StopWhen::AnyDecided),
-        );
+        )
+        .unwrap();
         assert_eq!(sim.report().decision_value(pid(0)), Some(2));
     }
 

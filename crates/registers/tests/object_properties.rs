@@ -41,7 +41,7 @@ proptest! {
         }
         let len = sched.len() as u64;
         let mut src = ScheduleCursor::new(sched);
-        sim.run(&mut src, RunConfig::steps(len).stop_when(StopWhen::AllFinished(ProcSet::full(u))));
+        sim.run(&mut src, RunConfig::steps(len).stop_when(StopWhen::AllFinished(ProcSet::full(u)))).unwrap();
         let outs: Vec<(bool, Value)> = results.iter().filter_map(|&r| sim.peek(r)).collect();
         for (_, v) in &outs {
             prop_assert!(proposals.contains(v), "unproposed {v}");
@@ -100,7 +100,7 @@ proptest! {
         }
         let len = sched.len() as u64;
         let mut src = ScheduleCursor::new(sched);
-        sim.run(&mut src, RunConfig::steps(len));
+        sim.run(&mut src, RunConfig::steps(len)).unwrap();
         let seen: Vec<Value> = sim.peek(witness);
         // p1's observed values are nondecreasing (scans are ordered).
         for w in seen.windows(2) {
@@ -137,7 +137,7 @@ proptest! {
             steps.extend(order.iter().copied());
         }
         let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
-        sim.run(&mut src, RunConfig::steps(1_000).stop_when(StopWhen::AllDecided(ProcSet::full(u))));
+        sim.run(&mut src, RunConfig::steps(1_000).stop_when(StopWhen::AllDecided(ProcSet::full(u)))).unwrap();
         for p in u.processes() {
             // Every collector ran after all stores: sees all n components.
             prop_assert_eq!(sim.report().decision_value(p), Some(n as Value));

@@ -47,6 +47,16 @@ pub enum SimError {
         /// The stuck process.
         process: ProcessId,
     },
+    /// A step source or schedule named a process outside the simulated
+    /// universe. Returned (not panicked) by the run/replay entry points so
+    /// that a malformed schedule — a user input, not a protocol bug — is a
+    /// recoverable error.
+    ScheduleOutOfUniverse {
+        /// The out-of-universe process named by the schedule.
+        process: ProcessId,
+        /// Size of the simulated universe (valid indices are `0..n`).
+        n: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -72,6 +82,12 @@ impl fmt::Display for SimError {
             }
             SimError::StuckProcess { process } => {
                 write!(f, "process {process} is pending on a non-simulator future")
+            }
+            SimError::ScheduleOutOfUniverse { process, n } => {
+                write!(
+                    f,
+                    "schedule names {process} outside the simulated universe (n = {n})"
+                )
             }
         }
     }

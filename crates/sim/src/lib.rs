@@ -44,19 +44,31 @@
 //!   into the executor loop;
 //! - [`Sim::run_automata_replay`] drives the fleet straight off a
 //!   pre-materialized [`Schedule`] slice, fusing the cursor pull into the
-//!   loop condition.
+//!   loop condition;
+//! - [`Sim::run_automata_replay_sharded`] batches the replay per
+//!   **cache-resident fleet shard**: the schedule is processed in
+//!   contiguous slices, each slice executed shard by shard (the
+//!   deterministic *shard-stable reordering* of the schedule — see
+//!   [`sharded_replay_order`] for the exact executed order and the
+//!   equivalence contract). Use it when per-automaton working sets are
+//!   large enough that the raw interleaving thrashes the cache.
 //!
-//! The Figure 2 k-anti-Ω detector in `st-fd` ships on both ABIs, held
-//! observationally identical (same probes at the same step indices, same
-//! register footprint) by differential tests; on the replay drive the
+//! The Figure 2 k-anti-Ω detector in `st-fd` and the agreement stack in
+//! `st-agreement` (Paxos proposer, k-set agreement) ship on both ABIs,
+//! held observationally identical (same probes at the same step indices,
+//! same register footprint) by differential tests; on the replay drive the
 //! state machine executes the n = 8 convergence workload at ≥3× the async
-//! step throughput (~7.5 vs ~23 ns/step on the reference host — see
-//! `BENCH_timeliness.json` at the repository root for the recorded
+//! step throughput, and the full FD + k-parallel-Paxos stack runs the E3
+//! workload at ≥2× (see `BENCH_timeliness.json` at the repository root,
+//! `sim_step_throughput` and `agreement_step_throughput`, for the recorded
 //! numbers).
 //!
 //! Step semantics are identical across the ABIs and drive modes: one
 //! register operation per scheduled step, same accounting, same probes and
-//! decisions, same determinism guarantees.
+//! decisions, same determinism guarantees. Malformed schedules — a step
+//! source naming a process outside the universe — surface as typed
+//! [`SimError::ScheduleOutOfUniverse`] errors from every run/replay entry
+//! point, not as panics.
 //!
 //! See [`Sim`] for the entry point and a complete example.
 
@@ -76,5 +88,7 @@ pub use ctx::ProcessCtx;
 pub use error::SimError;
 pub use memory::{Memory, RegisterStats};
 pub use register::{Reg, RegValue, WriteDiscipline};
-pub use runner::{RunConfig, RunReport, RunStatus, Sim, StepOutcome, StopWhen};
+pub use runner::{
+    sharded_replay_order, RunConfig, RunReport, RunStatus, Sim, StepOutcome, StopWhen,
+};
 pub use trace::{Decision, ProbeEvent, ProbeLog};

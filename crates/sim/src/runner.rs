@@ -193,7 +193,7 @@ struct Slot {
 ///     let _ = ctx; // ctx available for external inspection too
 /// }
 /// let mut src = ScheduleCursor::new(Schedule::from_indices([0, 0, 1, 1]));
-/// sim.run(&mut src, RunConfig::steps(10));
+/// sim.run(&mut src, RunConfig::steps(10)).unwrap();
 /// let report = sim.report();
 /// assert_eq!(report.decision_value(ProcessId::new(0)), Some(1));
 /// assert_eq!(report.decision_value(ProcessId::new(1)), Some(2));
@@ -396,7 +396,18 @@ impl Sim {
     /// of re-entering the `RefCell` on every step — the state-machine ABI's
     /// "scoped direct view" in its cheapest form. Semantics are identical to
     /// the general loop.
-    pub fn run<S: StepSource>(&mut self, src: &mut S, cfg: RunConfig) -> RunStatus {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduleOutOfUniverse`] if `src` names a process
+    /// outside the simulated universe. Steps produced before the offending
+    /// one have executed normally (and are recorded when recording is on);
+    /// the simulation remains usable.
+    pub fn run<S: StepSource>(
+        &mut self,
+        src: &mut S,
+        cfg: RunConfig,
+    ) -> Result<RunStatus, SimError> {
         let machines_only = self
             .slots
             .iter()
@@ -406,19 +417,35 @@ impl Sim {
         }
         for _ in 0..cfg.max_steps {
             if self.stop_met(&cfg.stop) {
-                return RunStatus::Stopped;
+                return Ok(RunStatus::Stopped);
             }
             let Some(p) = src.next_step() else {
-                return RunStatus::SourceEnded;
+                return Ok(RunStatus::SourceEnded);
             };
+            self.check_in_universe(p)?;
             if self.step_with(p) == StepOutcome::Stuck {
-                return RunStatus::Stuck(p);
+                return Ok(RunStatus::Stuck(p));
             }
         }
-        if self.stop_met(&cfg.stop) {
+        Ok(if self.stop_met(&cfg.stop) {
             RunStatus::Stopped
         } else {
             RunStatus::MaxSteps
+        })
+    }
+
+    /// Typed bounds check of a scheduled process id against the universe —
+    /// the run/replay entry points surface a malformed schedule as
+    /// [`SimError::ScheduleOutOfUniverse`] instead of panicking.
+    #[inline]
+    fn check_in_universe(&self, p: ProcessId) -> Result<(), SimError> {
+        if self.universe.contains(p) {
+            Ok(())
+        } else {
+            Err(SimError::ScheduleOutOfUniverse {
+                process: p,
+                n: self.universe.n(),
+            })
         }
     }
 
@@ -432,7 +459,12 @@ impl Sim {
     /// a dedicated inner loop with nothing on it but the dispatch: the
     /// executor's contribution to a step is the cursor pull, the step-index
     /// bump, the slot load, and the call.
-    fn run_machines<S: StepSource>(&mut self, src: &mut S, cfg: RunConfig) -> RunStatus {
+    fn run_machines<S: StepSource>(
+        &mut self,
+        src: &mut S,
+        cfg: RunConfig,
+    ) -> Result<RunStatus, SimError> {
+        let n = self.universe.n();
         let shared = Rc::clone(&self.shared);
         let mut memory = shared.memory.borrow_mut();
         // Per-process op counts accumulate on the stack and flush once at
@@ -442,14 +474,13 @@ impl Sim {
             if matches!(cfg.stop, StopWhen::Never) && !shared.recording {
                 for _ in 0..cfg.max_steps {
                     let Some(p) = src.next_step() else {
-                        break 'run RunStatus::SourceEnded;
+                        break 'run Ok(RunStatus::SourceEnded);
                     };
                     // Out-of-universe ids fail the slot lookup, which
-                    // doubles as the bounds assertion of the general path.
-                    let slot = self
-                        .slots
-                        .get_mut(p.index())
-                        .unwrap_or_else(|| panic!("{p} outside the simulated universe"));
+                    // doubles as the bounds check of the general path.
+                    let Some(slot) = self.slots.get_mut(p.index()) else {
+                        break 'run Err(SimError::ScheduleOutOfUniverse { process: p, n });
+                    };
                     let step = self.steps;
                     self.steps += 1;
                     if let Some(Body::Machine(machine)) = slot.body.as_mut() {
@@ -462,16 +493,18 @@ impl Sim {
                         }
                     }
                 }
-                break 'run RunStatus::MaxSteps;
+                break 'run Ok(RunStatus::MaxSteps);
             }
             for _ in 0..cfg.max_steps {
                 if self.stop_met(&cfg.stop) {
-                    break 'run RunStatus::Stopped;
+                    break 'run Ok(RunStatus::Stopped);
                 }
                 let Some(p) = src.next_step() else {
-                    break 'run RunStatus::SourceEnded;
+                    break 'run Ok(RunStatus::SourceEnded);
                 };
-                assert!(self.universe.contains(p), "{p} outside {}", self.universe);
+                if let Err(e) = self.check_in_universe(p) {
+                    break 'run Err(e);
+                }
                 let step = self.steps;
                 self.steps += 1;
                 if shared.recording {
@@ -491,9 +524,9 @@ impl Sim {
                 }
             }
             if self.stop_met(&cfg.stop) {
-                RunStatus::Stopped
+                Ok(RunStatus::Stopped)
             } else {
-                RunStatus::MaxSteps
+                Ok(RunStatus::MaxSteps)
             }
         };
         for (cell, &ops) in shared.op_counts.iter().zip(&ops_local) {
@@ -520,6 +553,12 @@ impl Sim {
     /// slot-based modes. Crashes are expressed by the schedule (stop
     /// scheduling the process), as in the model.
     ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduleOutOfUniverse`] if `src` names a process
+    /// outside the simulated universe; steps before the offending one have
+    /// executed normally.
+    ///
     /// # Panics
     ///
     /// Panics if `automata.len() != n` or if any process was spawned into a
@@ -531,7 +570,7 @@ impl Sim {
         automata: &mut [A],
         src: &mut S,
         cfg: RunConfig,
-    ) -> RunStatus {
+    ) -> Result<RunStatus, SimError> {
         assert_eq!(
             automata.len(),
             self.universe.n(),
@@ -541,6 +580,7 @@ impl Sim {
             self.slots.iter().all(|s| !s.spawned),
             "run_automata drives a caller-owned fleet; this Sim has spawned slots"
         );
+        let n = self.universe.n();
         let shared = Rc::clone(&self.shared);
         let mut memory = shared.memory.borrow_mut();
         let mut ops_local = [0u64; MAX_PROCESSES];
@@ -558,12 +598,14 @@ impl Sim {
                     let Some(p) = src.next_step() else {
                         self.steps = steps;
                         self.sync_finished(done_mask);
-                        break 'run RunStatus::SourceEnded;
+                        break 'run Ok(RunStatus::SourceEnded);
                     };
                     let idx = p.index();
-                    let machine = automata
-                        .get_mut(idx)
-                        .unwrap_or_else(|| panic!("{p} outside the simulated universe"));
+                    let Some(machine) = automata.get_mut(idx) else {
+                        self.steps = steps;
+                        self.sync_finished(done_mask);
+                        break 'run Err(SimError::ScheduleOutOfUniverse { process: p, n });
+                    };
                     let step = steps;
                     steps += 1;
                     if done_mask & (1 << idx) == 0 {
@@ -577,16 +619,18 @@ impl Sim {
                 }
                 self.steps = steps;
                 self.sync_finished(done_mask);
-                break 'run RunStatus::MaxSteps;
+                break 'run Ok(RunStatus::MaxSteps);
             }
             for _ in 0..cfg.max_steps {
                 if self.stop_met(&cfg.stop) {
-                    break 'run RunStatus::Stopped;
+                    break 'run Ok(RunStatus::Stopped);
                 }
                 let Some(p) = src.next_step() else {
-                    break 'run RunStatus::SourceEnded;
+                    break 'run Ok(RunStatus::SourceEnded);
                 };
-                assert!(self.universe.contains(p), "{p} outside {}", self.universe);
+                if let Err(e) = self.check_in_universe(p) {
+                    break 'run Err(e);
+                }
                 let step = self.steps;
                 self.steps += 1;
                 if shared.recording {
@@ -605,9 +649,9 @@ impl Sim {
                 }
             }
             if self.stop_met(&cfg.stop) {
-                RunStatus::Stopped
+                Ok(RunStatus::Stopped)
             } else {
-                RunStatus::MaxSteps
+                Ok(RunStatus::MaxSteps)
             }
         };
         for (cell, &ops) in shared.op_counts.iter().zip(&ops_local) {
@@ -630,6 +674,13 @@ impl Sim {
     /// `cfg.max_steps`, [`RunStatus::Stopped`]/[`RunStatus::MaxSteps`]
     /// otherwise.
     ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduleOutOfUniverse`] if the replayed prefix
+    /// names a process outside the universe. The schedule is validated
+    /// **before** any step executes (it is finite and materialized), so an
+    /// `Err` leaves the simulation untouched.
+    ///
     /// # Panics
     ///
     /// As for [`run_automata`](Self::run_automata).
@@ -638,7 +689,7 @@ impl Sim {
         automata: &mut [A],
         schedule: &Schedule,
         cfg: RunConfig,
-    ) -> RunStatus {
+    ) -> Result<RunStatus, SimError> {
         assert_eq!(
             automata.len(),
             self.universe.n(),
@@ -648,6 +699,10 @@ impl Sim {
             self.slots.iter().all(|s| !s.spawned),
             "run_automata_replay drives a caller-owned fleet; this Sim has spawned slots"
         );
+        let take = schedule
+            .len()
+            .min(cfg.max_steps.min(usize::MAX as u64) as usize);
+        self.validate_slice(&schedule.as_slice()[..take])?;
         if !matches!(cfg.stop, StopWhen::Never) || self.shared.recording {
             let mut src = st_core::ScheduleCursor::new(schedule.clone());
             return self.run_automata(automata, &mut src, cfg);
@@ -659,20 +714,14 @@ impl Sim {
         for (i, &f) in self.finished.iter().enumerate() {
             done_mask |= (f as u64) << i;
         }
-        let take = schedule
-            .len()
-            .min(cfg.max_steps.min(usize::MAX as u64) as usize);
         let mut steps = self.steps;
         for &p in &schedule.as_slice()[..take] {
             let idx = p.index();
-            let machine = automata
-                .get_mut(idx)
-                .unwrap_or_else(|| panic!("{p} outside the simulated universe"));
             let step = steps;
             steps += 1;
             if done_mask & (1 << idx) == 0 {
                 let mut access = StepAccess::new(p, step, &mut memory, &shared);
-                let status = machine.step(&mut access);
+                let status = automata[idx].step(&mut access);
                 ops_local[idx] += access.op_performed() as u64;
                 if status == Status::Done {
                     done_mask |= 1 << idx;
@@ -686,13 +735,155 @@ impl Sim {
                 cell.set(cell.get() + ops);
             }
         }
-        if take < schedule.len() {
+        Ok(if take < schedule.len() {
             RunStatus::MaxSteps
         } else if (take as u64) < cfg.max_steps {
             RunStatus::SourceEnded
         } else {
             RunStatus::MaxSteps
+        })
+    }
+
+    /// Pre-validates a materialized schedule slice against the universe.
+    fn validate_slice(&self, slice: &[ProcessId]) -> Result<(), SimError> {
+        let n = self.universe.n();
+        for &p in slice {
+            if p.index() >= n {
+                return Err(SimError::ScheduleOutOfUniverse { process: p, n });
+            }
         }
+        Ok(())
+    }
+
+    /// [`run_automata_replay`](Self::run_automata_replay) batched per
+    /// cache-resident fleet shard: the fleet is partitioned into shards of
+    /// `shard_size` consecutive processes, the schedule into contiguous
+    /// slices of `slice_len` steps, and each slice is executed **shard by
+    /// shard** — for each shard in ascending order, the slice's steps that
+    /// belong to that shard run in their original relative order.
+    ///
+    /// The drive therefore executes the *shard-stable reordering* of
+    /// `schedule`: a deterministic permutation that preserves every
+    /// process's subschedule (each process sees exactly its own steps in the
+    /// original order) but groups, within each slice, the steps of one
+    /// shard's automata back to back. [`sharded_replay_order`] materializes
+    /// the exact executed schedule, and
+    /// `run_automata_replay_sharded(a, s, sh, sl, cfg)` is observationally
+    /// identical to
+    /// `run_automata_replay(a, &sharded_replay_order(s, sh, sl), cfg)` —
+    /// the differential tests enforce it. With `shard_size >= n` or
+    /// `slice_len == 1` the reordering is the identity and the drive is
+    /// step-for-step the plain replay.
+    ///
+    /// Why batch: a fleet of state machines with per-automaton working sets
+    /// larger than the step interleaving's reuse distance (the Figure 2
+    /// machine's counter snapshot is `|Π^k_n|·n` words) thrashes the cache
+    /// when the schedule round-robins across the whole fleet. Grouping a
+    /// slice's steps per shard keeps one shard's automata hot for the whole
+    /// slice at the cost of a bounded, deterministic reorder of the
+    /// interleaving — a legitimate schedule of the same model. Note the
+    /// reorder can change how much work the *protocol* does per step
+    /// (within-slice bursts starve the other shards; timeout-based
+    /// protocols then accuse more), so measure end to end before adopting
+    /// it: `BENCH_timeliness.json` records the trade on the agreement
+    /// workload, where the plain replay wins at small n.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduleOutOfUniverse`] (before executing
+    /// anything) if the replayed prefix names a process outside the
+    /// universe.
+    ///
+    /// # Panics
+    ///
+    /// As for [`run_automata`](Self::run_automata); additionally panics if
+    /// `shard_size == 0` or `slice_len == 0`, or if `cfg.stop` is not
+    /// [`StopWhen::Never`] (the batched drive has no per-step stop
+    /// evaluation — drive slices yourself if you need early stops).
+    pub fn run_automata_replay_sharded<A: Automaton>(
+        &mut self,
+        automata: &mut [A],
+        schedule: &Schedule,
+        shard_size: usize,
+        slice_len: usize,
+        cfg: RunConfig,
+    ) -> Result<RunStatus, SimError> {
+        assert_eq!(
+            automata.len(),
+            self.universe.n(),
+            "one automaton per process"
+        );
+        assert!(
+            self.slots.iter().all(|s| !s.spawned),
+            "run_automata_replay_sharded drives a caller-owned fleet; this Sim has spawned slots"
+        );
+        assert!(shard_size > 0, "shard_size must be positive");
+        assert!(slice_len > 0, "slice_len must be positive");
+        assert!(
+            matches!(cfg.stop, StopWhen::Never),
+            "the sharded replay drive supports StopWhen::Never only"
+        );
+        let n = self.universe.n();
+        let take = schedule
+            .len()
+            .min(cfg.max_steps.min(usize::MAX as u64) as usize);
+        let prefix = &schedule.as_slice()[..take];
+        self.validate_slice(prefix)?;
+        let shards = n.div_ceil(shard_size);
+        let shared = Rc::clone(&self.shared);
+        let mut memory = shared.memory.borrow_mut();
+        let mut ops_local = [0u64; MAX_PROCESSES];
+        let mut done_mask: u64 = 0;
+        for (i, &f) in self.finished.iter().enumerate() {
+            done_mask |= (f as u64) << i;
+        }
+        let mut steps = self.steps;
+        // One bucketing pass per slice (reused buffers) instead of
+        // rescanning the slice once per shard: the drive's cost stays
+        // O(slice_len), not O(shards · slice_len).
+        let mut buckets: Vec<Vec<ProcessId>> = vec![Vec::with_capacity(slice_len); shards];
+        for slice in prefix.chunks(slice_len) {
+            for bucket in &mut buckets {
+                bucket.clear();
+            }
+            for &p in slice {
+                buckets[p.index() / shard_size].push(p);
+            }
+            for bucket in &buckets {
+                for &p in bucket {
+                    let idx = p.index();
+                    let step = steps;
+                    steps += 1;
+                    if shared.recording {
+                        if let Some(executed) = shared.trace.borrow_mut().executed.as_mut() {
+                            executed.push(p);
+                        }
+                    }
+                    if done_mask & (1 << idx) == 0 {
+                        let mut access = StepAccess::new(p, step, &mut memory, &shared);
+                        let status = automata[idx].step(&mut access);
+                        ops_local[idx] += access.op_performed() as u64;
+                        if status == Status::Done {
+                            done_mask |= 1 << idx;
+                        }
+                    }
+                }
+            }
+        }
+        self.steps = steps;
+        self.sync_finished(done_mask);
+        for (cell, &ops) in shared.op_counts.iter().zip(&ops_local) {
+            if ops != 0 {
+                cell.set(cell.get() + ops);
+            }
+        }
+        Ok(if take < schedule.len() {
+            RunStatus::MaxSteps
+        } else if (take as u64) < cfg.max_steps {
+            RunStatus::SourceEnded
+        } else {
+            RunStatus::MaxSteps
+        })
     }
 
     fn sync_finished(&mut self, done_mask: u64) {
@@ -751,13 +942,23 @@ impl Sim {
     ///
     /// # Panics
     ///
-    /// Panics on foreign handles or type confusion.
+    /// Panics on foreign handles or type confusion; use
+    /// [`try_peek`](Self::try_peek) for the non-panicking form.
     pub fn peek<T: RegValue>(&self, reg: Reg<T>) -> T {
-        self.shared
-            .memory
-            .borrow()
-            .peek(reg)
+        self.try_peek(reg)
             .unwrap_or_else(|e| panic!("peek failed: {e}"))
+    }
+
+    /// Non-step observation of a register, surfacing foreign handles and
+    /// type confusion as typed errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRegister`] for handles outside this
+    /// arena and [`SimError::TypeMismatch`] when `T` is not the register's
+    /// allocated type.
+    pub fn try_peek<T: RegValue>(&self, reg: Reg<T>) -> Result<T, SimError> {
+        self.shared.memory.borrow().peek(reg)
     }
 
     /// Crashes `p`: its automaton is dropped and all its future steps become
@@ -786,6 +987,43 @@ impl Sim {
             register_stats: self.shared.memory.borrow().stats(),
         }
     }
+}
+
+/// The exact schedule executed by
+/// [`Sim::run_automata_replay_sharded`]: each contiguous `slice_len`-step
+/// slice of `schedule` is stably reordered to group steps by fleet shard
+/// (`shard = process index / shard_size`), shards in ascending order.
+///
+/// Per-process subschedules are preserved — the reordering only permutes
+/// steps of *different* processes within one slice — so the result is a
+/// legitimate schedule of the same universe with the same per-process step
+/// counts. `run_automata_replay_sharded(a, s, sh, sl, cfg)` and
+/// `run_automata_replay(a, &sharded_replay_order(s, sh, sl), cfg)` are
+/// observationally identical.
+///
+/// # Panics
+///
+/// Panics if `shard_size == 0` or `slice_len == 0`.
+pub fn sharded_replay_order(schedule: &Schedule, shard_size: usize, slice_len: usize) -> Schedule {
+    assert!(shard_size > 0, "shard_size must be positive");
+    assert!(slice_len > 0, "slice_len must be positive");
+    let mut out = Vec::with_capacity(schedule.len());
+    for slice in schedule.as_slice().chunks(slice_len) {
+        let shards = slice
+            .iter()
+            .map(|p| p.index() / shard_size + 1)
+            .max()
+            .unwrap_or(0);
+        for shard in 0..shards {
+            out.extend(
+                slice
+                    .iter()
+                    .filter(|p| p.index() / shard_size == shard)
+                    .copied(),
+            );
+        }
+    }
+    Schedule::from_steps(out)
 }
 
 impl std::fmt::Debug for Sim {

@@ -105,7 +105,7 @@ fn machine_and_async_slots_mix() {
     // Strict alternation of complete read+write rounds.
     let steps: Vec<usize> = [0, 0, 1, 1].repeat(25).to_vec();
     let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
-    sim.run(&mut src, RunConfig::steps(100));
+    sim.run(&mut src, RunConfig::steps(100)).unwrap();
     assert_eq!(sim.peek(r), 50);
     assert_eq!(sim.op_count(pid(0)), 50);
     assert_eq!(sim.op_count(pid(1)), 50);
@@ -155,10 +155,12 @@ fn probes_pause_and_stop_conditions() {
     let mut sim = Sim::new(universe(1));
     sim.spawn_automaton(pid(0), Prober { ticks: 0 }).unwrap();
     let mut src = ScheduleCursor::new(Schedule::from_indices(vec![0; 50]));
-    let status = sim.run(
-        &mut src,
-        RunConfig::steps(50).stop_when(StopWhen::AllDecided(ProcSet::from_indices([0]))),
-    );
+    let status = sim
+        .run(
+            &mut src,
+            RunConfig::steps(50).stop_when(StopWhen::AllDecided(ProcSet::from_indices([0]))),
+        )
+        .unwrap();
     assert_eq!(status, st_sim::RunStatus::Stopped);
     assert_eq!(sim.steps_executed(), 3); // decided on the third tick
     assert_eq!(sim.probe_count(), 3);
@@ -211,7 +213,9 @@ fn fleet_runner_matches_slot_semantics() {
         .collect();
     let sched: Vec<usize> = (0..60).map(|s| s % n).collect();
     let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
-    let status = sim.run_automata(&mut fleet, &mut src, RunConfig::steps(100));
+    let status = sim
+        .run_automata(&mut fleet, &mut src, RunConfig::steps(100))
+        .unwrap();
     assert_eq!(status, st_sim::RunStatus::SourceEnded);
     // Every machine ran to its limit, then its steps became no-ops.
     for (i, &reg) in regs.iter().enumerate() {
@@ -242,10 +246,12 @@ fn replay_drive_equals_cursor_drive() {
             })
             .collect();
         if replay {
-            sim.run_automata_replay(&mut fleet, &schedule, RunConfig::steps(100));
+            sim.run_automata_replay(&mut fleet, &schedule, RunConfig::steps(100))
+                .unwrap();
         } else {
             let mut src = ScheduleCursor::new(schedule.clone());
-            sim.run_automata(&mut fleet, &mut src, RunConfig::steps(100));
+            sim.run_automata(&mut fleet, &mut src, RunConfig::steps(100))
+                .unwrap();
         }
         (
             sim.steps_executed(),
@@ -268,11 +274,13 @@ fn fleet_runner_stop_condition() {
         limit: 3,
     }];
     let mut src = ScheduleCursor::new(Schedule::from_indices(vec![0; 50]));
-    let status = sim.run_automata(
-        &mut fleet,
-        &mut src,
-        RunConfig::steps(50).stop_when(StopWhen::AllDecided(ProcSet::from_indices([0]))),
-    );
+    let status = sim
+        .run_automata(
+            &mut fleet,
+            &mut src,
+            RunConfig::steps(50).stop_when(StopWhen::AllDecided(ProcSet::from_indices([0]))),
+        )
+        .unwrap();
     assert_eq!(status, st_sim::RunStatus::Stopped);
     assert_eq!(sim.peek(r), 3);
 }
@@ -293,7 +301,8 @@ fn fleet_runner_rejects_spawned_slots() {
             limit: 1,
         }];
         let mut src = ScheduleCursor::new(Schedule::from_indices([0]));
-        sim.run_automata(&mut fleet, &mut src, RunConfig::steps(1));
+        sim.run_automata(&mut fleet, &mut src, RunConfig::steps(1))
+            .unwrap();
     }));
     assert!(result.is_err(), "mixed fleet + slots must panic");
 }
@@ -327,4 +336,166 @@ fn double_spawn_across_abis_rejected() {
             }
         )
         .is_err());
+}
+
+/// A schedule naming a process outside the universe yields a typed `Err`
+/// from every fleet drive — not a panic — and (for the replay drives) the
+/// simulation is untouched.
+#[test]
+fn out_of_universe_schedule_is_a_typed_error() {
+    use st_sim::SimError;
+    let n = 2;
+    let bad = Schedule::from_indices([0, 1, 5, 0]);
+
+    // Replay drives validate the whole prefix up front: nothing executes.
+    let mut sim = Sim::new(universe(n));
+    let regs = sim.alloc_array("c", n, 0u64);
+    let mut fleet: Vec<CountUp> = (0..n)
+        .map(|i| CountUp {
+            reg: regs[i],
+            next: 1,
+            limit: 100,
+        })
+        .collect();
+    let err = sim
+        .run_automata_replay(&mut fleet, &bad, RunConfig::steps(100))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SimError::ScheduleOutOfUniverse {
+            process: pid(5),
+            n: 2
+        }
+    );
+    assert_eq!(
+        sim.steps_executed(),
+        0,
+        "replay must validate before running"
+    );
+    let err = sim
+        .run_automata_replay_sharded(&mut fleet, &bad, 1, 8, RunConfig::steps(100))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SimError::ScheduleOutOfUniverse {
+            process: pid(5),
+            n: 2
+        }
+    );
+    assert_eq!(sim.steps_executed(), 0);
+
+    // The generator-driven drive errors at the offending step; prior steps
+    // have executed.
+    let mut src = ScheduleCursor::new(bad.clone());
+    let err = sim
+        .run_automata(&mut fleet, &mut src, RunConfig::steps(100))
+        .unwrap_err();
+    assert!(matches!(err, SimError::ScheduleOutOfUniverse { .. }));
+    assert_eq!(sim.steps_executed(), 2);
+    assert!(err.to_string().contains("outside the simulated universe"));
+}
+
+/// With `shard_size >= n` (or `slice_len == 1`) the sharded drive is the
+/// identity reorder: step-for-step the plain replay.
+#[test]
+fn sharded_replay_identity_cases_match_plain_replay() {
+    let n = 3;
+    let schedule = Schedule::from_indices((0..120).map(|s| (s * 7 + s / 5) % n));
+    let run = |mode: u8| {
+        let mut sim = Sim::new(universe(n));
+        let regs = sim.alloc_array("c", n, 0u64);
+        let mut fleet: Vec<CountUp> = (0..n)
+            .map(|i| CountUp {
+                reg: regs[i],
+                next: 1,
+                limit: 1000,
+            })
+            .collect();
+        match mode {
+            0 => sim
+                .run_automata_replay(&mut fleet, &schedule, RunConfig::steps(1000))
+                .unwrap(),
+            1 => sim
+                .run_automata_replay_sharded(&mut fleet, &schedule, n, 16, RunConfig::steps(1000))
+                .unwrap(),
+            _ => sim
+                .run_automata_replay_sharded(&mut fleet, &schedule, 1, 1, RunConfig::steps(1000))
+                .unwrap(),
+        };
+        let vals: Vec<u64> = regs.iter().map(|&r| sim.peek(r)).collect();
+        (sim.steps_executed(), vals, sim.op_count(pid(0)))
+    };
+    assert_eq!(run(0), run(1));
+    assert_eq!(run(0), run(2));
+}
+
+/// The sharded drive executes exactly the shard-stable reordering:
+/// observationally identical to the plain replay over
+/// `sharded_replay_order(schedule, shard_size, slice_len)`.
+#[test]
+fn sharded_replay_equals_replay_of_reordered_schedule() {
+    use st_sim::sharded_replay_order;
+    let n = 4;
+    let schedule = Schedule::from_indices((0..200).map(|s| (s * 13 + s / 3) % n));
+    for (shard_size, slice_len) in [(2usize, 8usize), (1, 16), (3, 5)] {
+        let reordered = sharded_replay_order(&schedule, shard_size, slice_len);
+        // Same per-process subschedules, same length.
+        assert_eq!(reordered.len(), schedule.len());
+        let run = |sharded: bool| {
+            let mut sim = Sim::new(universe(n));
+            let regs = sim.alloc_array("c", n, 0u64);
+            let mut fleet: Vec<CountUp> = (0..n)
+                .map(|i| CountUp {
+                    reg: regs[i],
+                    next: 1,
+                    limit: 1000,
+                })
+                .collect();
+            if sharded {
+                sim.run_automata_replay_sharded(
+                    &mut fleet,
+                    &schedule,
+                    shard_size,
+                    slice_len,
+                    RunConfig::steps(1000),
+                )
+                .unwrap();
+            } else {
+                sim.run_automata_replay(&mut fleet, &reordered, RunConfig::steps(1000))
+                    .unwrap();
+            }
+            let vals: Vec<u64> = regs.iter().map(|&r| sim.peek(r)).collect();
+            let ops: Vec<u64> = (0..n).map(|i| sim.op_count(pid(i))).collect();
+            (sim.steps_executed(), vals, ops, sim.report().register_stats)
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "shard {shard_size} slice {slice_len}"
+        );
+    }
+}
+
+/// The sharded drive records the *executed* (reordered) schedule when
+/// recording is enabled.
+#[test]
+fn sharded_replay_records_executed_order() {
+    use st_sim::sharded_replay_order;
+    let n = 3;
+    let schedule = Schedule::from_indices((0..30).map(|s| s % n));
+    let mut sim = Sim::with_recording(universe(n), true);
+    let regs = sim.alloc_array("c", n, 0u64);
+    let mut fleet: Vec<CountUp> = (0..n)
+        .map(|i| CountUp {
+            reg: regs[i],
+            next: 1,
+            limit: 1000,
+        })
+        .collect();
+    sim.run_automata_replay_sharded(&mut fleet, &schedule, 2, 6, RunConfig::steps(1000))
+        .unwrap();
+    assert_eq!(
+        sim.report().executed.unwrap(),
+        sharded_replay_order(&schedule, 2, 6)
+    );
 }

@@ -92,7 +92,7 @@ fn interleaving_follows_schedule() {
     }
     // p0 completes fully, then p1: strict sequential order.
     let mut src = ScheduleCursor::new(Schedule::from_indices([0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1]));
-    sim.run(&mut src, RunConfig::steps(100));
+    sim.run(&mut src, RunConfig::steps(100)).unwrap();
     assert_eq!(sim.peek(log), vec![0, 1, 2, 10, 11, 12]);
     let report = sim.report();
     assert_eq!(
@@ -122,7 +122,7 @@ fn deterministic_replay() {
         }
         let sched: Vec<usize> = (0..60).map(|s| (s * 7 + s / 3) % 3).collect();
         let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
-        sim.run(&mut src, RunConfig::steps(100));
+        sim.run(&mut src, RunConfig::steps(100)).unwrap();
         let rep = sim.report();
         (
             rep.decisions.iter().map(|d| d.map(|x| x.value)).collect(),
@@ -170,10 +170,12 @@ fn stop_when_all_decided() {
     }
     let sched: Vec<usize> = (0..300).map(|s| s % 3).collect();
     let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
-    let status = sim.run(
-        &mut src,
-        RunConfig::steps(300).stop_when(StopWhen::AllDecided(ProcSet::from_indices([0, 1, 2]))),
-    );
+    let status = sim
+        .run(
+            &mut src,
+            RunConfig::steps(300).stop_when(StopWhen::AllDecided(ProcSet::from_indices([0, 1, 2]))),
+        )
+        .unwrap();
     assert_eq!(status, RunStatus::Stopped);
     // All three decide at their first step each: 3 steps + 1 extra poll round.
     assert!(
@@ -201,10 +203,12 @@ fn stop_when_any_decided() {
     .unwrap();
     let sched: Vec<usize> = (0..100).map(|s| s % 2).collect();
     let mut src = ScheduleCursor::new(Schedule::from_indices(sched));
-    let status = sim.run(
-        &mut src,
-        RunConfig::steps(100).stop_when(StopWhen::AnyDecided),
-    );
+    let status = sim
+        .run(
+            &mut src,
+            RunConfig::steps(100).stop_when(StopWhen::AnyDecided),
+        )
+        .unwrap();
     assert_eq!(status, RunStatus::Stopped);
     assert_eq!(sim.report().decision_value(pid(0)), Some(42));
 }
@@ -221,11 +225,14 @@ fn run_statuses() {
     .unwrap();
     let mut src = ScheduleCursor::new(Schedule::from_indices([0, 0, 0]));
     assert_eq!(
-        sim.run(&mut src, RunConfig::steps(10)),
+        sim.run(&mut src, RunConfig::steps(10)).unwrap(),
         RunStatus::SourceEnded
     );
     let mut src2 = ScheduleCursor::new(Schedule::from_indices(vec![0; 50]));
-    assert_eq!(sim.run(&mut src2, RunConfig::steps(5)), RunStatus::MaxSteps);
+    assert_eq!(
+        sim.run(&mut src2, RunConfig::steps(5)).unwrap(),
+        RunStatus::MaxSteps
+    );
     assert_eq!(sim.steps_executed(), 8);
 }
 
@@ -249,7 +256,7 @@ fn stuck_process_detected() {
     .unwrap();
     let mut src = ScheduleCursor::new(Schedule::from_indices([0]));
     assert_eq!(
-        sim.run(&mut src, RunConfig::steps(5)),
+        sim.run(&mut src, RunConfig::steps(5)).unwrap(),
         RunStatus::Stuck(pid(0))
     );
 }
@@ -269,7 +276,7 @@ fn probes_are_free_and_ordered() {
     })
     .unwrap();
     let mut src = ScheduleCursor::new(Schedule::from_indices(vec![0; 10]));
-    sim.run(&mut src, RunConfig::steps(10));
+    sim.run(&mut src, RunConfig::steps(10)).unwrap();
     let rep = sim.report();
     let tl = rep.probes.timeline(pid(0), "phase");
     assert_eq!(
@@ -338,7 +345,7 @@ fn report_helpers() {
         .unwrap();
     }
     let mut src = ScheduleCursor::new(Schedule::from_indices([0, 0, 1, 1]));
-    sim.run(&mut src, RunConfig::steps(10));
+    sim.run(&mut src, RunConfig::steps(10)).unwrap();
     let rep = sim.report();
     assert_eq!(rep.decided_set(), ProcSet::from_indices([0, 1]));
     assert_eq!(rep.all_decided_step(ProcSet::from_indices([0, 1])), Some(2));
@@ -365,7 +372,7 @@ fn executed_schedule_feeds_analyzer() {
     })
     .unwrap();
     let mut src = ScheduleCursor::new(Schedule::from_indices([0, 1, 0, 1, 0, 1]));
-    sim.run(&mut src, RunConfig::steps(6));
+    sim.run(&mut src, RunConfig::steps(6)).unwrap();
     let executed = sim.report().executed.unwrap();
     let bound = st_core::timeliness::empirical_bound(
         &executed,
@@ -373,4 +380,59 @@ fn executed_schedule_feeds_analyzer() {
         ProcSet::from_indices([1]),
     );
     assert_eq!(bound, 2);
+}
+
+/// A bad schedule against async slots is a typed error from `run`, not a
+/// panic; steps before the offending one executed and remain visible.
+#[test]
+fn run_surfaces_out_of_universe_schedule_as_error() {
+    use st_sim::SimError;
+    let mut sim = Sim::new(universe(2));
+    let r = sim.alloc("x", 0u64);
+    for i in 0..2usize {
+        sim.spawn(pid(i), move |ctx| async move {
+            loop {
+                let v = ctx.read(r).await;
+                ctx.write(r, v + 1).await;
+            }
+        })
+        .unwrap();
+    }
+    let mut src = ScheduleCursor::new(Schedule::from_indices([0, 1, 9, 0]));
+    let err = sim.run(&mut src, RunConfig::steps(10)).unwrap_err();
+    assert_eq!(
+        err,
+        SimError::ScheduleOutOfUniverse {
+            process: pid(9),
+            n: 2
+        }
+    );
+    // The two good steps ran; the sim is still usable afterwards.
+    assert_eq!(sim.steps_executed(), 2);
+    let mut rest = ScheduleCursor::new(Schedule::from_indices([0, 1]));
+    assert_eq!(
+        sim.run(&mut rest, RunConfig::steps(10)).unwrap(),
+        RunStatus::SourceEnded
+    );
+    assert_eq!(sim.steps_executed(), 4);
+}
+
+/// `try_peek` surfaces foreign handles and type confusion as typed errors.
+#[test]
+fn try_peek_returns_typed_errors() {
+    use st_sim::{Reg, SimError};
+    let mut sim = Sim::new(universe(1));
+    let r = sim.alloc("x", 7u64);
+    assert_eq!(sim.try_peek(r), Ok(7));
+    // A handle no simulator allocated.
+    let foreign: Reg<u64> = {
+        let mut other = Sim::new(universe(1));
+        let _ = other.alloc("a", 0u64);
+        let _ = other.alloc("b", 0u64);
+        other.alloc("c", 0u64)
+    };
+    assert!(matches!(
+        sim.try_peek(foreign),
+        Err(SimError::UnknownRegister { .. })
+    ));
 }

@@ -31,7 +31,7 @@ proptest! {
         }
         let len = sched.len() as u64;
         let mut src = ScheduleCursor::new(sched);
-        sim.run(&mut src, RunConfig::steps(len));
+        sim.run(&mut src, RunConfig::steps(len)).unwrap();
         let report = sim.report();
         let total_ops: u64 = report.op_counts.iter().sum();
         prop_assert_eq!(total_ops, report.steps);
@@ -57,7 +57,7 @@ proptest! {
         let counts = sched.step_counts(u);
         let len = sched.len() as u64;
         let mut src = ScheduleCursor::new(sched);
-        sim.run(&mut src, RunConfig::steps(len));
+        sim.run(&mut src, RunConfig::steps(len)).unwrap();
         let report = sim.report();
         for (idx, &c) in counts.iter().enumerate() {
             prop_assert_eq!(report.op_counts[idx], c as u64);
@@ -81,7 +81,7 @@ proptest! {
         }).unwrap();
         let len = sched.len() as u64;
         let mut src = ScheduleCursor::new(sched.clone());
-        sim.run(&mut src, RunConfig::steps(len));
+        sim.run(&mut src, RunConfig::steps(len)).unwrap();
         prop_assert_eq!(sim.report().executed.unwrap(), sched);
     }
 
@@ -105,11 +105,11 @@ proptest! {
         let len = sched.len();
         let cut = crash_at.min(len);
         let mut src = ScheduleCursor::new(sched.prefix(cut));
-        sim.run(&mut src, RunConfig::steps(cut as u64));
+        sim.run(&mut src, RunConfig::steps(cut as u64)).unwrap();
         let frozen = sim.peek(regs[0]);
         sim.crash(ProcessId::new(0));
         let mut src = ScheduleCursor::new(sched.suffix(cut));
-        sim.run(&mut src, RunConfig::steps((len - cut) as u64));
+        sim.run(&mut src, RunConfig::steps((len - cut) as u64)).unwrap();
         // p0's register froze at the crash; p1's reflects all its steps.
         prop_assert_eq!(sim.peek(regs[0]), frozen);
         prop_assert_eq!(sim.peek(regs[1]), sched.occurrences(ProcessId::new(1)) as u64);

@@ -46,7 +46,7 @@ fn main() {
     let observed = ProcSet::from_indices([1, 2, 3, 4]);
     let mut source = SetTimely::new(timely, observed, 8, filler).with_crashes(plan);
 
-    sim.run(&mut source, RunConfig::steps(1_200_000));
+    sim.run(&mut source, RunConfig::steps(1_200_000)).unwrap();
     let report = sim.report();
 
     println!("leadership timeline (changes only), per node:");

@@ -30,7 +30,8 @@ fn checker_catches_k_agreement_violation() {
     sim.run(
         &mut src,
         RunConfig::steps(100).stop_when(StopWhen::AllDecided(ProcSet::full(universe))),
-    );
+    )
+    .unwrap();
     let outcome = sim
         .report()
         .agreement_outcome(&inputs, ProcSet::full(universe));
@@ -59,7 +60,7 @@ fn checker_catches_validity_violation() {
         .unwrap();
     }
     let mut src = ScheduleCursor::new(Schedule::from_indices([0, 1, 2]));
-    sim.run(&mut src, RunConfig::steps(10));
+    sim.run(&mut src, RunConfig::steps(10)).unwrap();
     let outcome = sim
         .report()
         .agreement_outcome(&inputs, ProcSet::full(universe));
@@ -91,7 +92,7 @@ fn checker_catches_termination_violation_within_budget_only() {
     }
     let steps: Vec<usize> = (0..300).map(|i| i % n).collect();
     let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
-    sim.run(&mut src, RunConfig::steps(300));
+    sim.run(&mut src, RunConfig::steps(300)).unwrap();
 
     // Zero crashes (≤ t = 1): termination owed and violated.
     let outcome = sim
@@ -132,7 +133,7 @@ fn convergence_analyzer_rejects_flapping() {
     }
     let steps: Vec<usize> = (0..500).map(|i| i % 2).collect();
     let mut src = ScheduleCursor::new(Schedule::from_indices(steps));
-    sim.run(&mut src, RunConfig::steps(500));
+    sim.run(&mut src, RunConfig::steps(500)).unwrap();
     // Final values may coincide across processes, but each process's own
     // timeline never stabilizes before its last publication; the detected
     // "stabilization step" must be at the very end of the trace, never

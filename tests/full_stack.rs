@@ -77,7 +77,7 @@ fn standalone_fd_at_n8() {
     let p: ProcSet = (0..k).map(ProcessId::new).collect();
     let q: ProcSet = (0..=t).map(ProcessId::new).collect();
     let mut src = SetTimely::new(p, q, 8, SeededRandom::new(universe, 21));
-    sim.run(&mut src, RunConfig::steps(3_000_000));
+    sim.run(&mut src, RunConfig::steps(3_000_000)).unwrap();
     let stab = winnerset_stabilization(&sim.report(), ProcSet::full(universe))
         .expect("n=8 FD must converge");
     assert_eq!(stab.winnerset.len(), k);
@@ -103,7 +103,8 @@ fn executed_schedule_matches_generator_promise() {
     sim.run(
         &mut gen,
         RunConfig::steps(50_000).stop_when(StopWhen::Never),
-    );
+    )
+    .unwrap();
     let executed = sim.report().executed.unwrap();
     assert_eq!(executed.len(), 50_000);
     assert!(empirical_bound(&executed, p, q) <= 5);
