@@ -2,9 +2,10 @@
 //! ([`TimelinessAnalyzer`]) against the kept naive reference
 //! ([`st_core::timeliness::naive`]) on full `Π^i_n × Π^j_n` matrix sweeps,
 //! the work-stealing matrix sweep against the kept static split, the
-//! simulator's two automaton ABIs on the Figure 2 k-anti-Ω workload, plus
-//! the `BENCH_timeliness.json` baseline emitter that records the
-//! repository's perf trajectory.
+//! simulator's two automaton ABIs on the Figure 2 k-anti-Ω workload, the
+//! scenario-campaign engine's throughput on an E3-shaped grid (1 vs 4
+//! workers), plus the `BENCH_timeliness.json` baseline emitter that records
+//! the repository's perf trajectory.
 //!
 //! Sweep workloads follow the acceptance shape of the engine: `n = 12`,
 //! `L = 100_000`-step schedules, both a near-synchronous (round-robin) and
@@ -283,6 +284,60 @@ fn agreement_step_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+// The campaign-throughput reference grid: E3-shaped — the full agreement
+// stack on conforming SetTimely schedules over a (n, k, t) task grid × 16
+// seeds (64 scenarios). Each scenario runs to all-decided; the campaign
+// engine's scenarios/sec at 1 vs 4 workers is the scaling lever this bench
+// tracks. (On a single-hardware-thread host the two coincide; the recorded
+// `hardware_threads` field says which regime produced the number.)
+const CAMPAIGN_SEEDS: u64 = 16;
+const CAMPAIGN_GRID: [(usize, usize, usize); 4] = [(3, 1, 1), (4, 2, 2), (5, 2, 3), (8, 3, 4)];
+
+fn campaign_reference_grid() -> st_campaign::Campaign {
+    use st_campaign::{Campaign, Scenario, Workload};
+    use st_fd::TimeoutPolicy;
+    use st_sched::GeneratorSpec;
+
+    let mut campaign = Campaign::new();
+    for &(n, k, t) in &CAMPAIGN_GRID {
+        let universe = Universe::new(n).unwrap();
+        let p: ProcSet = (0..k.min(t)).map(ProcessId::new).collect();
+        let q: ProcSet = (0..=t).map(ProcessId::new).collect();
+        let workload = Workload::Agreement {
+            t,
+            k,
+            inputs: (0..n as u64).map(|v| 1000 + 7 * v).collect(),
+            policy: TimeoutPolicy::Increment,
+        };
+        for seed in 0..CAMPAIGN_SEEDS {
+            campaign.push(Scenario::new(
+                format!("t{t}k{k}n{n}/seed{seed}"),
+                universe,
+                GeneratorSpec::set_timely(p, q, 2 * (t + 1), GeneratorSpec::seeded_random(0)),
+                workload.clone(),
+                400_000,
+                seed,
+            ));
+        }
+    }
+    campaign
+}
+
+/// Scenario-campaign engine throughput: the same 64-scenario E3-shaped grid
+/// executed sequentially and on a 4-worker stealing pool.
+fn campaign_throughput(c: &mut Criterion) {
+    let campaign = campaign_reference_grid();
+    let mut group = c.benchmark_group("campaign/throughput");
+    group.sample_size(10);
+    group.bench_function("e3_grid_64_w1", |b| {
+        b.iter(|| campaign.run_parallel(1).len())
+    });
+    group.bench_function("e3_grid_64_w4", |b| {
+        b.iter(|| campaign.run_parallel(4).len())
+    });
+    group.finish();
+}
+
 /// Times one closure, best of `reps`.
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
@@ -379,8 +434,21 @@ fn emit_baseline(_c: &mut Criterion) {
     let ag_fleet_ns = ag_fleet * 1e6 / decided_at as f64;
     let ag_sharded_ns = ag_sharded * 1e6 / decided_at as f64;
 
+    // The scenario-campaign engine on the E3-shaped reference grid:
+    // scenarios/sec sequential vs a 4-worker stealing pool. Outcomes are
+    // thread-count independent (st-campaign's differential determinism
+    // test); only wall-clock moves, and only when the host has cores to
+    // give — `hardware_threads` records which regime produced the numbers.
+    let campaign = campaign_reference_grid();
+    let campaign_scenarios = campaign.len();
+    let campaign_w1 = time_best(3, || campaign.run_parallel(1).len());
+    let campaign_w4 = time_best(3, || campaign.run_parallel(4).len());
+    let campaign_sps_w1 = campaign_scenarios as f64 * 1e3 / campaign_w1;
+    let campaign_sps_w4 = campaign_scenarios as f64 * 1e3 / campaign_w4;
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
     let json = format!(
-        "{{\n  \"schema\": \"st-bench/timeliness-v2\",\n  \
+        "{{\n  \"schema\": \"st-bench/timeliness-v3\",\n  \
          \"workload\": {{\"n\": {N}, \"schedule_len\": {LEN}, \"bound_cap\": {CAP}, \"i\": {I}, \"j\": {J}}},\n  \
          \"all_timely_pairs_ms\": {{\n    \
            \"round_robin\": {{\"naive\": {naive_rr:.2}, \"engine\": {engine_rr:.2}, \"speedup\": {:.1}}},\n    \
@@ -399,6 +467,14 @@ fn emit_baseline(_c: &mut Criterion) {
            \"fleet_replay_ns_per_step\": {ag_fleet_ns:.2},\n    \
            \"fleet_replay_sharded_ns_per_step\": {ag_sharded_ns:.2},\n    \
            \"machine_slot_speedup\": {:.2},\n    \
+           \"speedup\": {:.2}\n  }},\n  \
+         \"campaign_throughput\": {{\n    \
+           \"workload\": {{\"grid\": \"E3-shaped agreement campaign\", \"tasks\": {}, \"seeds\": {CAMPAIGN_SEEDS}, \"scenarios\": {campaign_scenarios}}},\n    \
+           \"hardware_threads\": {hardware_threads},\n    \
+           \"sequential_ms\": {campaign_w1:.2},\n    \
+           \"four_workers_ms\": {campaign_w4:.2},\n    \
+           \"scenarios_per_sec_1w\": {campaign_sps_w1:.1},\n    \
+           \"scenarios_per_sec_4w\": {campaign_sps_w4:.1},\n    \
            \"speedup\": {:.2}\n  }}\n}}\n",
         naive_rr / engine_rr,
         naive_rnd / engine_rnd,
@@ -407,6 +483,8 @@ fn emit_baseline(_c: &mut Criterion) {
         async_ns / machine_ns,
         ag_async_ns / ag_machine_ns,
         ag_async_ns / ag_fleet_ns,
+        CAMPAIGN_GRID.len(),
+        campaign_w1 / campaign_w4,
     );
     let path = criterion::workspace_root().join("BENCH_timeliness.json");
     std::fs::write(&path, &json).expect("write BENCH_timeliness.json");
@@ -464,6 +542,7 @@ criterion_group!(
     matrix_sweeps,
     sim_step_throughput,
     agreement_step_throughput,
+    campaign_throughput,
     emit_baseline
 );
 criterion_main!(benches);

@@ -1,0 +1,334 @@
+//! Campaigns: ordered scenario lists executed by a work-stealing worker
+//! pool with a deterministic rank-ordered merge.
+
+use st_core::parallel::{resolve_workers, steal_chunks};
+use st_core::Universe;
+use st_sched::{CrashPlan, GeneratorSpec};
+
+use crate::scenario::{Scenario, ScenarioOutcome, StopRule, Workload};
+
+/// An ordered list of scenarios, executed together.
+///
+/// The order is the identity of the campaign: every scenario has a *rank*
+/// (its index), outcomes always come back sorted by rank, and
+/// [`run_parallel`](Campaign::run_parallel) guarantees the outcome list is
+/// identical for every thread count.
+#[derive(Clone, Default, Debug)]
+pub struct Campaign {
+    scenarios: Vec<Scenario>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new() -> Self {
+        Campaign::default()
+    }
+
+    /// A campaign from an explicit scenario list (ranks = positions).
+    pub fn from_scenarios(scenarios: Vec<Scenario>) -> Self {
+        Campaign { scenarios }
+    }
+
+    /// Starts a cartesian grid over one universe.
+    pub fn grid(universe: Universe) -> GridBuilder {
+        GridBuilder::new(universe)
+    }
+
+    /// Appends a scenario; returns its rank.
+    pub fn push(&mut self, scenario: Scenario) -> usize {
+        self.scenarios.push(scenario);
+        self.scenarios.len() - 1
+    }
+
+    /// The scenarios, in rank order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// `true` if there is nothing to run.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Runs every scenario sequentially, in rank order. Equivalent to
+    /// `run_parallel(1)`; kept as the obvious reference implementation the
+    /// differential tests compare against.
+    pub fn run_sequential(&self) -> Vec<ScenarioOutcome> {
+        self.scenarios
+            .iter()
+            .enumerate()
+            .map(|(rank, s)| {
+                let mut out = s.run();
+                out.rank = rank;
+                out
+            })
+            .collect()
+    }
+
+    /// Runs the campaign on `threads` OS worker threads (pass `1` to force
+    /// the sequential path, `usize::MAX` for one worker per hardware
+    /// thread) and returns outcomes **in rank order**.
+    ///
+    /// Workers steal scenario ranks off a shared atomic counter — the
+    /// proven `sweep_matrix` pattern, via [`st_core::parallel`] — so a
+    /// worker that drew cheap scenarios (small budgets, early deciders)
+    /// loops back for more while a slow one is still grinding. Each
+    /// scenario builds its own simulator, generator, and protocol stack
+    /// inside the worker; nothing is shared, and the parts are merged in
+    /// ascending rank order. **The returned list is therefore identical for
+    /// every thread count**, oversubscription included (differential-tested
+    /// in `tests/determinism.rs`).
+    pub fn run_parallel(&self, threads: usize) -> Vec<ScenarioOutcome> {
+        let workers = resolve_workers(threads);
+        if workers == 1 || self.scenarios.len() <= 1 {
+            return self.run_sequential();
+        }
+        let parts = steal_chunks(
+            self.scenarios.len() as u64,
+            workers,
+            1,
+            || (),
+            |_, first, last| {
+                debug_assert_eq!(last, first + 1, "scenario chunks are single ranks");
+                let rank = first as usize;
+                let mut out = self.scenarios[rank].run();
+                out.rank = rank;
+                out
+            },
+        );
+        parts.into_iter().map(|(_, out)| out).collect()
+    }
+}
+
+/// Cartesian scenario-grid builder: workloads × generators × crash plans ×
+/// seeds, in that nesting order (workloads outermost, seeds innermost), all
+/// sharing one universe and budget.
+///
+/// Crash plans are applied with [`GeneratorSpec::crashed`]; the scenario's
+/// faulty set is the plan's victims (plus whatever the generator itself
+/// silences).
+pub struct GridBuilder {
+    universe: Universe,
+    generators: Vec<GeneratorSpec>,
+    crashes: Vec<CrashPlan>,
+    seeds: Vec<u64>,
+    workloads: Vec<Workload>,
+    budget: u64,
+    stop: Option<StopRule>,
+}
+
+impl GridBuilder {
+    fn new(universe: Universe) -> Self {
+        GridBuilder {
+            universe,
+            generators: Vec::new(),
+            crashes: vec![CrashPlan::new()],
+            seeds: vec![0],
+            workloads: Vec::new(),
+            budget: 1_000_000,
+            stop: None,
+        }
+    }
+
+    /// The generator axis.
+    pub fn generators(mut self, generators: impl IntoIterator<Item = GeneratorSpec>) -> Self {
+        self.generators = generators.into_iter().collect();
+        self
+    }
+
+    /// The crash axis (defaults to a single empty plan). Include
+    /// `CrashPlan::new()` to keep a no-crash arm.
+    pub fn crash_plans(mut self, plans: impl IntoIterator<Item = CrashPlan>) -> Self {
+        self.crashes = plans.into_iter().collect();
+        self
+    }
+
+    /// The seed axis (defaults to `[0]`).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// The workload axis.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// One workload (the common case).
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workloads = vec![workload];
+        self
+    }
+
+    /// Per-scenario step budget (default 1M).
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the stop rule of every scenario whose workload consults it
+    /// (the generator-driven FD and agreement workloads; the adversary and
+    /// BG drives own their stop semantics — see [`StopRule`]). Default: the
+    /// workload's own rule.
+    pub fn stop(mut self, stop: StopRule) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Materializes the cartesian product as a campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator or workload axis is empty — an empty grid is
+    /// always a bug in the experiment definition.
+    pub fn build(self) -> Campaign {
+        assert!(!self.generators.is_empty(), "grid needs ≥ 1 generator");
+        assert!(!self.workloads.is_empty(), "grid needs ≥ 1 workload");
+        let mut campaign = Campaign::new();
+        for (w, workload) in self.workloads.iter().enumerate() {
+            for generator in &self.generators {
+                for (c, plan) in self.crashes.iter().enumerate() {
+                    let spec = generator.clone().crashed(plan.clone());
+                    for &seed in &self.seeds {
+                        // `crash{c}` is the crash-axis *index*: distinct
+                        // plans get distinct labels even with equal victim
+                        // counts, and generator-silenced processes (e.g.
+                        // FictitiousCrash) are not miscounted as plan
+                        // victims.
+                        let label = format!("w{w}/{}/crash{c}/seed{seed}", spec.family());
+                        let mut scenario = Scenario::new(
+                            label,
+                            self.universe,
+                            spec.clone(),
+                            workload.clone(),
+                            self.budget,
+                            seed,
+                        );
+                        if let Some(stop) = self.stop {
+                            scenario.stop = stop;
+                        }
+                        campaign.push(scenario);
+                    }
+                }
+            }
+        }
+        campaign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{FdAbi, FdDetector, OutcomeData};
+    use st_fd::TimeoutPolicy;
+
+    fn fd_workload() -> Workload {
+        Workload::FdConvergence {
+            k: 1,
+            t: 1,
+            policy: TimeoutPolicy::Increment,
+            abi: FdAbi::MachineSlot,
+            detector: FdDetector::SetBased,
+            certify_membership: false,
+        }
+    }
+
+    #[test]
+    fn grid_is_the_cartesian_product_in_axis_order() {
+        let u = Universe::new(3).unwrap();
+        let campaign = Campaign::grid(u)
+            .generators([
+                GeneratorSpec::round_robin(),
+                GeneratorSpec::seeded_random(0),
+            ])
+            .seeds([7, 8, 9])
+            .workload(fd_workload())
+            .budget(10)
+            .build();
+        assert_eq!(campaign.len(), 6);
+        let labels: Vec<&str> = campaign
+            .scenarios()
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "w0/RoundRobin/crash0/seed7",
+                "w0/RoundRobin/crash0/seed8",
+                "w0/RoundRobin/crash0/seed9",
+                "w0/SeededRandom/crash0/seed7",
+                "w0/SeededRandom/crash0/seed8",
+                "w0/SeededRandom/crash0/seed9",
+            ]
+        );
+    }
+
+    #[test]
+    fn outcomes_come_back_in_rank_order() {
+        let u = Universe::new(3).unwrap();
+        let campaign = Campaign::grid(u)
+            .generators([GeneratorSpec::round_robin()])
+            .seeds(0..5)
+            .workload(fd_workload())
+            .budget(2_000)
+            .build();
+        let out = campaign.run_parallel(3);
+        assert_eq!(out.len(), 5);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.rank, i);
+            assert!(matches!(o.data, OutcomeData::Fd(_)));
+        }
+    }
+
+    #[test]
+    fn budget_only_override_outlives_the_decision() {
+        use st_sim::RunStatus;
+        let u = Universe::new(3).unwrap();
+        let p = st_core::ProcSet::from_indices([0]);
+        let q = st_core::ProcSet::from_indices([0, 1, 2]);
+        let workload = Workload::Agreement {
+            t: 1,
+            k: 1,
+            inputs: vec![10, 20, 30],
+            policy: TimeoutPolicy::Increment,
+        };
+        let spec = GeneratorSpec::set_timely(p, q, 6, GeneratorSpec::seeded_random(0));
+        let grid = |stop: Option<crate::StopRule>| {
+            let mut b = Campaign::grid(u)
+                .generators([spec.clone()])
+                .seeds([8])
+                .workload(workload.clone())
+                .budget(400_000);
+            if let Some(s) = stop {
+                b = b.stop(s);
+            }
+            b.build().run_sequential().remove(0)
+        };
+        // Default: stops at all-decided.
+        let decided = grid(None);
+        let decided = decided.data.as_agreement().unwrap();
+        assert_eq!(decided.status, RunStatus::Stopped);
+        assert!(decided.clean);
+        // BudgetOnly override: same decisions, but the run burns the whole
+        // budget past the decision point.
+        let full = grid(Some(crate::StopRule::BudgetOnly));
+        let full = full.data.as_agreement().unwrap();
+        assert_eq!(full.status, RunStatus::MaxSteps);
+        assert_eq!(full.decisions, decided.decisions);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1 generator")]
+    fn empty_generator_axis_rejected() {
+        let _ = Campaign::grid(Universe::new(2).unwrap())
+            .workload(fd_workload())
+            .build();
+    }
+}

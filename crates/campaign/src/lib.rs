@@ -1,0 +1,54 @@
+//! Scenario-campaign engine: "run this protocol over that scenario space"
+//! as declarative data, executed in parallel.
+//!
+//! The paper's results quantify over *families* of schedules — every
+//! Theorem 24/26/27 claim ranges over systems `S^i_{j,n}` and crash
+//! patterns — so the experiments are grids: generators × crash plans ×
+//! seeds × protocol workloads. This crate turns such a grid into data:
+//!
+//! - a [`Scenario`] is one cell — universe, [`GeneratorSpec`], [`Workload`]
+//!   (FD convergence, `(t,k,n)`-agreement via the full stack, the adaptive
+//!   adversary, or the BG reduction), stop rule, step budget, seed;
+//! - a [`Campaign`] is an ordered list of scenarios with cartesian
+//!   [`grid`](Campaign::grid) builders and
+//!   [`run_parallel`](Campaign::run_parallel);
+//! - a [`ScenarioOutcome`] is the structured, `Eq`-comparable result the
+//!   experiment harness renders into its tables.
+//!
+//! The `st-lab` experiments E2/E3/E4/E7/E8 are campaigns; their bespoke
+//! sequential loops were replaced by grids over this engine.
+//!
+//! # Determinism guarantee
+//!
+//! `run_parallel(threads)` returns **the same outcome list for every
+//! `threads` value** — 1, the hardware width, or an oversubscribed count:
+//!
+//! 1. every scenario is *hermetic*: its simulator, generator, and protocol
+//!    stack are built from the scenario's own fields inside the worker that
+//!    runs it, so no state crosses scenario boundaries;
+//! 2. workers steal scenario *ranks* off a shared atomic counter (the
+//!    `sweep_matrix` pattern, shared via [`st_core::parallel`]) — thread
+//!    count changes who runs a rank and when, never what the rank computes;
+//! 3. results are merged **in ascending rank order**, so the output list is
+//!    the sequential left-to-right enumeration regardless of completion
+//!    order.
+//!
+//! Consequently campaign-backed experiment tables are thread-count
+//! independent: `stlab --threads N` changes wall-clock only. The guarantee
+//! is differential-tested in `tests/determinism.rs` (1 vs 4 vs an
+//! oversubscribed worker pool on a mixed generator/crash/seed grid).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod scenario;
+
+pub use campaign::{Campaign, GridBuilder};
+pub use scenario::{
+    AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, FdAbi, FdDetector, FdOutcome,
+    OutcomeData, Scenario, ScenarioOutcome, StopRule, Workload,
+};
+
+// Re-exported so campaign definitions need only this crate.
+pub use st_sched::GeneratorSpec;

@@ -1,0 +1,587 @@
+//! Scenarios: one protocol run over one generated schedule, as data.
+//!
+//! A [`Scenario`] bundles everything needed to execute one cell of an
+//! experiment grid — universe, generator spec, workload, stop rule, step
+//! budget, seed, faulty set — and [`Scenario::run`] executes it into a
+//! [`ScenarioOutcome`]. Construction of the simulator, the generator, and
+//! the protocol stack all happen inside `run`, so scenarios can be executed
+//! on any thread with no shared state; two runs of the same scenario are
+//! bit-identical.
+
+use st_agreement::{drive_adversarially, AgreementStack, StackKind};
+use st_bgsim::{run_reduction, TrivialKDecide};
+use st_core::{AgreementTask, AgreementViolation, ProcSet, ProcessId, TimelyPair, Universe, Value};
+use st_fd::convergence::{
+    certify_system_membership, kanti_omega_witness, winnerset_stabilization, KAntiOmegaWitness,
+    Stabilization,
+};
+use st_fd::{
+    KAntiOmega, KAntiOmegaConfig, ProcessTimelyDetector, TimeoutPolicy, BASELINE_WINNERSET_PROBE,
+    WINNERSET_PROBE,
+};
+use st_sched::GeneratorSpec;
+use st_sim::{RunConfig, RunStatus, Sim, StopWhen};
+
+/// Which simulator drive a set-based FD scenario uses. The three are
+/// observationally identical (`st-fd`'s differential suite); experiments pin
+/// one so ported tables reproduce their pre-campaign output byte for byte.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FdAbi {
+    /// Async `ProcessCtx` futures (`Sim::spawn`) — E8's drive.
+    Async,
+    /// One automaton slot per process (`Sim::spawn_automaton`) — E2's drive.
+    #[default]
+    MachineSlot,
+    /// Typed machine fleet (`Sim::run_automata`) — E7's drive.
+    MachineFleet,
+}
+
+/// Which failure detector an FD-convergence scenario runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FdDetector {
+    /// The paper's set-based Figure 2 k-anti-Ω.
+    #[default]
+    SetBased,
+    /// The process-timeliness baseline (always driven async) — the
+    /// motivation experiment's control arm.
+    ProcessBased,
+}
+
+/// What protocol the scenario runs over the generated schedule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// k-anti-Ω convergence: run the detector at every process for the full
+    /// budget, then judge stabilization / the k-anti-Ω witness / (optionally)
+    /// system membership on the trace.
+    FdConvergence {
+        /// Detector parameter `k`.
+        k: usize,
+        /// Resilience `t`.
+        t: usize,
+        /// Figure 2 line 17 timeout policy.
+        policy: TimeoutPolicy,
+        /// Simulator drive (set-based only; the baseline is always async).
+        abi: FdAbi,
+        /// Set- or process-based detector.
+        detector: FdDetector,
+        /// Record the executed schedule and certify `S^k_{t+1,n}` membership
+        /// on it (cap `4(t+1)`, as E2 does).
+        certify_membership: bool,
+    },
+    /// `(t,k,n)`-agreement via the full [`AgreementStack`] (trivial algorithm
+    /// when `t < k`, FD + k-parallel Paxos otherwise), run until every
+    /// correct process decides or the budget ends.
+    Agreement {
+        /// Resilience `t`.
+        t: usize,
+        /// Agreement degree `k`.
+        k: usize,
+        /// One proposal per process.
+        inputs: Vec<Value>,
+        /// Timeout policy for the FD underneath.
+        policy: TimeoutPolicy,
+    },
+    /// `(t,k,n)`-agreement driven by the **adaptive adversary** instead of
+    /// the scenario's generator (the adversary constructs its schedule from
+    /// protocol state; the generator spec is ignored and conventionally set
+    /// to [`GeneratorSpec::round_robin`]).
+    AdversarialAgreement {
+        /// Resilience `t`.
+        t: usize,
+        /// Agreement degree `k`.
+        k: usize,
+        /// One proposal per process.
+        inputs: Vec<Value>,
+        /// Timeout policy for the FD underneath.
+        policy: TimeoutPolicy,
+        /// Processes crashed from the start (Theorem 27 case 2b).
+        precrashed: ProcSet,
+        /// Pair whose empirical bound on the executed schedule is certified.
+        witness: Option<(ProcSet, ProcSet)>,
+    },
+    /// The Theorem 26 BG reduction: `universe.n()` simulators run `n_sim`
+    /// copies of the trivial k-decide algorithm under the generated host
+    /// schedule.
+    BgReduction {
+        /// Simulated process count.
+        n_sim: usize,
+        /// Agreement degree `k` of the simulated task.
+        k: usize,
+        /// Safe-agreement read quota per simulated read.
+        max_reads: usize,
+    },
+}
+
+impl Workload {
+    /// The stop rule this workload observes (see [`StopRule`]).
+    pub fn default_stop(&self) -> StopRule {
+        match self {
+            Workload::FdConvergence { .. } => StopRule::BudgetOnly,
+            Workload::Agreement { .. } => StopRule::AllCorrectDecided,
+            // The adversary runs its own drive loop; BG stops when every
+            // simulator finished. Both are budget-bounded.
+            Workload::AdversarialAgreement { .. } | Workload::BgReduction { .. } => {
+                StopRule::BudgetOnly
+            }
+        }
+    }
+}
+
+/// When a scenario stops before its budget is exhausted.
+///
+/// Consulted by the generator-driven workloads ([`Workload::FdConvergence`]
+/// and [`Workload::Agreement`]). The adaptive adversary and the BG
+/// reduction own their drive loops — the adversary never stops early by
+/// design and BG stops when every simulator finished — so the rule does not
+/// apply to them (both remain budget-bounded).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StopRule {
+    /// Run until the budget or the source ends (convergence workloads judge
+    /// the full trace).
+    #[default]
+    BudgetOnly,
+    /// Additionally stop as soon as every correct process decided
+    /// (agreement workloads; `StopWhen::AllDecided`).
+    AllCorrectDecided,
+}
+
+/// One cell of an experiment grid. See the module docs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Scenario {
+    /// Free-form label carried into the outcome (table rows, debugging).
+    pub label: String,
+    /// The process universe.
+    pub universe: Universe,
+    /// The schedule generator, as data.
+    pub generator: GeneratorSpec,
+    /// The protocol run over the schedule.
+    pub workload: Workload,
+    /// When to stop early.
+    pub stop: StopRule,
+    /// Maximum executed steps.
+    pub budget: u64,
+    /// Scenario seed, offset into every embedded generator seed.
+    pub seed: u64,
+    /// Processes counted faulty for outcome checking (winnerset judgments,
+    /// decision obligations). Defaults to what the generator silences.
+    pub faulty: ProcSet,
+}
+
+impl Scenario {
+    /// A scenario with the workload's default stop rule and the generator's
+    /// own faulty set.
+    pub fn new(
+        label: impl Into<String>,
+        universe: Universe,
+        generator: GeneratorSpec,
+        workload: Workload,
+        budget: u64,
+        seed: u64,
+    ) -> Self {
+        let faulty = generator.faulty(universe);
+        let stop = workload.default_stop();
+        Scenario {
+            label: label.into(),
+            universe,
+            generator,
+            workload,
+            stop,
+            budget,
+            seed,
+            faulty,
+        }
+    }
+
+    /// Overrides the faulty set (e.g. when only a subset of the crash plan
+    /// counts against the fault budget).
+    pub fn with_faulty(mut self, faulty: ProcSet) -> Self {
+        self.faulty = faulty;
+        self
+    }
+
+    /// The correct set: complement of [`faulty`](Self::faulty).
+    pub fn correct(&self) -> ProcSet {
+        self.faulty.complement(self.universe)
+    }
+
+    /// Executes the scenario. Deterministic: depends only on the scenario's
+    /// fields, never on the calling thread or on other scenarios.
+    pub fn run(&self) -> ScenarioOutcome {
+        let data = match &self.workload {
+            Workload::FdConvergence {
+                k,
+                t,
+                policy,
+                abi,
+                detector,
+                certify_membership,
+            } => {
+                OutcomeData::Fd(self.run_fd(*k, *t, *policy, *abi, *detector, *certify_membership))
+            }
+            Workload::Agreement {
+                t,
+                k,
+                inputs,
+                policy,
+            } => OutcomeData::Agreement(self.run_agreement(*t, *k, inputs, *policy)),
+            Workload::AdversarialAgreement {
+                t,
+                k,
+                inputs,
+                policy,
+                precrashed,
+                witness,
+            } => OutcomeData::Adversarial(self.run_adversarial(
+                *t,
+                *k,
+                inputs,
+                *policy,
+                *precrashed,
+                *witness,
+            )),
+            Workload::BgReduction {
+                n_sim,
+                k,
+                max_reads,
+            } => OutcomeData::Bg(self.run_bg(*n_sim, *k, *max_reads)),
+        };
+        ScenarioOutcome {
+            rank: 0,
+            label: self.label.clone(),
+            data,
+        }
+    }
+
+    fn run_fd(
+        &self,
+        k: usize,
+        t: usize,
+        policy: TimeoutPolicy,
+        abi: FdAbi,
+        detector: FdDetector,
+        certify_membership: bool,
+    ) -> FdOutcome {
+        let universe = self.universe;
+        let correct = self.correct();
+        let mut src = self.generator.build(universe, self.seed);
+        let mut sim = Sim::with_recording(universe, certify_membership);
+        let mut cfg = RunConfig::steps(self.budget);
+        if self.stop == StopRule::AllCorrectDecided {
+            cfg = cfg.stop_when(StopWhen::AllDecided(correct));
+        }
+        let (status, probe_key) = match detector {
+            FdDetector::SetBased => {
+                let fd =
+                    KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t).with_policy(policy));
+                let status = match abi {
+                    FdAbi::Async => {
+                        for p in universe.processes() {
+                            let fd = fd.clone();
+                            sim.spawn(p, move |ctx| fd.run(ctx)).expect("fresh sim");
+                        }
+                        sim.run(&mut src, cfg)
+                    }
+                    FdAbi::MachineSlot => {
+                        for p in universe.processes() {
+                            sim.spawn_automaton(p, fd.machine()).expect("fresh sim");
+                        }
+                        sim.run(&mut src, cfg)
+                    }
+                    FdAbi::MachineFleet => {
+                        let mut fleet: Vec<_> =
+                            universe.processes().map(|_| fd.machine()).collect();
+                        sim.run_automata(&mut fleet, &mut src, cfg)
+                    }
+                };
+                (status, WINNERSET_PROBE)
+            }
+            FdDetector::ProcessBased => {
+                let fd = ProcessTimelyDetector::alloc(&mut sim, k, t, policy);
+                for p in universe.processes() {
+                    let fd = fd.clone();
+                    sim.spawn(p, move |ctx| fd.run(ctx)).expect("fresh sim");
+                }
+                (sim.run(&mut src, cfg), WINNERSET_PROBE)
+            }
+        };
+        let status = status.expect("generator schedules stay within the universe");
+        let report = sim.report();
+        let (membership, stabilization, witness) = match detector {
+            FdDetector::SetBased => (
+                if certify_membership {
+                    certify_system_membership(&report, universe, k, t + 1, 4 * (t + 1))
+                } else {
+                    None
+                },
+                winnerset_stabilization(&report, correct),
+                kanti_omega_witness(&report, correct),
+            ),
+            // The baseline publishes under its own probe key and is judged
+            // only by its flapping; its winnerset never stabilizes by
+            // construction of the motivation workloads.
+            FdDetector::ProcessBased => (None, None, None),
+        };
+        let flap_key = match detector {
+            FdDetector::SetBased => probe_key,
+            FdDetector::ProcessBased => BASELINE_WINNERSET_PROBE,
+        };
+        let after = self.budget * 3 / 4;
+        let late_flaps = (0..universe.n())
+            .map(|i| {
+                report
+                    .probes
+                    .timeline(ProcessId::new(i), flap_key)
+                    .iter()
+                    .filter(|&&(s, _)| s > after)
+                    .count()
+            })
+            .sum();
+        FdOutcome {
+            status,
+            steps: report.steps,
+            membership,
+            stabilization,
+            witness,
+            late_flaps,
+        }
+    }
+
+    fn run_agreement(
+        &self,
+        t: usize,
+        k: usize,
+        inputs: &[Value],
+        policy: TimeoutPolicy,
+    ) -> AgreementScenarioOutcome {
+        let task = AgreementTask::new(t, k, self.universe.n()).expect("valid task parameters");
+        let mut stack = AgreementStack::build_with_policy(task, inputs, policy);
+        let kind = stack.kind();
+        let mut src = self.generator.build(self.universe, self.seed);
+        // `AgreementStack::run` hardwires the all-decided stop; driving the
+        // simulator directly lets a `StopRule::BudgetOnly` override observe
+        // the full-budget post-decision trace. With the default rule this is
+        // exactly what `stack.run` does.
+        let mut cfg = RunConfig::steps(self.budget);
+        if self.stop == StopRule::AllCorrectDecided {
+            cfg = cfg.stop_when(StopWhen::AllDecided(self.correct()));
+        }
+        let status = stack
+            .sim_mut()
+            .run(&mut src, cfg)
+            .expect("agreement schedules stay within the task universe");
+        let run = stack.snapshot(status, self.faulty);
+        AgreementScenarioOutcome {
+            kind,
+            status: run.status,
+            decided_at: run.report.all_decided_step(run.outcome.correct),
+            decisions: run.outcome.decisions.clone(),
+            correct: run.outcome.correct,
+            violations: run.violations.clone(),
+            clean: run.is_clean_termination(),
+            safe: run.is_safe(),
+        }
+    }
+
+    fn run_adversarial(
+        &self,
+        t: usize,
+        k: usize,
+        inputs: &[Value],
+        policy: TimeoutPolicy,
+        precrashed: ProcSet,
+        witness: Option<(ProcSet, ProcSet)>,
+    ) -> AdversarialOutcome {
+        let task = AgreementTask::new(t, k, self.universe.n()).expect("valid task parameters");
+        let stack = AgreementStack::build_full(task, inputs, policy, true);
+        let adv = drive_adversarially(stack, self.budget, precrashed, witness);
+        AdversarialOutcome {
+            status: adv.run.status,
+            decided: adv
+                .run
+                .outcome
+                .decisions
+                .iter()
+                .filter(|d| d.is_some())
+                .count(),
+            blocked: adv.run.outcome.decisions.iter().all(|d| d.is_none()),
+            safe: adv.run.is_safe(),
+            freeze_events: adv.freeze_events,
+            max_frozen: adv.max_frozen,
+            certificate: adv.certificate,
+        }
+    }
+
+    fn run_bg(&self, n_sim: usize, k: usize, max_reads: usize) -> BgOutcome {
+        let machines: Vec<TrivialKDecide> = (0..n_sim)
+            .map(|u| TrivialKDecide::new(u, k, 300 + u as Value))
+            .collect();
+        let mut src = self.generator.build(self.universe, self.seed);
+        let report = run_reduction(
+            self.universe.n(),
+            machines,
+            max_reads,
+            &mut src,
+            self.budget,
+        );
+        BgOutcome {
+            status: report.status,
+            stalled: report.stalled_simulated(),
+            distinct_simulator_values: report.distinct_simulator_values(),
+            simulator_decisions: report.simulator_decisions.clone(),
+            simulated_decisions: report.simulated_decisions.clone(),
+            host_steps: report.host_steps,
+        }
+    }
+}
+
+/// The result of one scenario, positioned in its campaign.
+///
+/// Derives `PartialEq`/`Eq`: the determinism differential test compares
+/// whole outcome lists across worker counts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScenarioOutcome {
+    /// Position of the scenario in its campaign (set by the campaign
+    /// runner; 0 for standalone `Scenario::run` calls).
+    pub rank: usize,
+    /// The scenario's label, copied through.
+    pub label: String,
+    /// Workload-shaped payload.
+    pub data: OutcomeData,
+}
+
+/// Workload-shaped outcome payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OutcomeData {
+    /// FD-convergence payload.
+    Fd(FdOutcome),
+    /// Agreement payload.
+    Agreement(AgreementScenarioOutcome),
+    /// Adaptive-adversary payload.
+    Adversarial(AdversarialOutcome),
+    /// BG-reduction payload.
+    Bg(BgOutcome),
+}
+
+impl OutcomeData {
+    /// The FD payload, when this is one.
+    pub fn as_fd(&self) -> Option<&FdOutcome> {
+        match self {
+            OutcomeData::Fd(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The agreement payload, when this is one.
+    pub fn as_agreement(&self) -> Option<&AgreementScenarioOutcome> {
+        match self {
+            OutcomeData::Agreement(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The adversarial payload, when this is one.
+    pub fn as_adversarial(&self) -> Option<&AdversarialOutcome> {
+        match self {
+            OutcomeData::Adversarial(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The BG payload, when this is one.
+    pub fn as_bg(&self) -> Option<&BgOutcome> {
+        match self {
+            OutcomeData::Bg(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// What an FD-convergence scenario observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FdOutcome {
+    /// Why the drive ended.
+    pub status: RunStatus,
+    /// Steps executed.
+    pub steps: u64,
+    /// `S^k_{t+1,n}` membership certificate of the executed schedule, when
+    /// requested.
+    pub membership: Option<TimelyPair>,
+    /// Lemma 22 stabilization (common final winnerset).
+    pub stabilization: Option<Stabilization>,
+    /// The k-anti-Ω witness (a correct process eventually never accused).
+    pub witness: Option<KAntiOmegaWitness>,
+    /// Winnerset publications in the last quarter of the budget, summed over
+    /// processes — the flapping measure of the motivation experiment.
+    pub late_flaps: usize,
+}
+
+/// What an agreement scenario observed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AgreementScenarioOutcome {
+    /// Which protocol the stack deployed.
+    pub kind: StackKind,
+    /// Why the run ended.
+    pub status: RunStatus,
+    /// Step by which every correct process had decided, if all did.
+    pub decided_at: Option<u64>,
+    /// Per-process decisions.
+    pub decisions: Vec<Option<Value>>,
+    /// The correct set the obligations were judged against.
+    pub correct: ProcSet,
+    /// Checker violations.
+    pub violations: Vec<AgreementViolation>,
+    /// Every correct process decided and no property was violated.
+    pub clean: bool,
+    /// Safety held (violations are at most termination).
+    pub safe: bool,
+}
+
+impl AgreementScenarioOutcome {
+    /// Number of distinct decided values.
+    pub fn distinct_decisions(&self) -> usize {
+        let set: std::collections::BTreeSet<Value> =
+            self.decisions.iter().flatten().copied().collect();
+        set.len()
+    }
+
+    /// Number of processes that decided.
+    pub fn decided_count(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_some()).count()
+    }
+}
+
+/// What an adaptive-adversary scenario observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AdversarialOutcome {
+    /// Why the drive ended.
+    pub status: RunStatus,
+    /// Processes that decided (the adversary's goal is 0).
+    pub decided: usize,
+    /// No process decided.
+    pub blocked: bool,
+    /// Safety held throughout.
+    pub safe: bool,
+    /// Steps denied to in-danger processes.
+    pub freeze_events: u64,
+    /// Largest simultaneous freeze (≤ k for a correct adversary).
+    pub max_frozen: usize,
+    /// Certified timeliness witness of the executed schedule.
+    pub certificate: Option<TimelyPair>,
+}
+
+/// What a BG-reduction scenario observed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BgOutcome {
+    /// Why the host run ended.
+    pub status: RunStatus,
+    /// Simulated processes that never decided.
+    pub stalled: ProcSet,
+    /// Distinct values adopted by the simulators.
+    pub distinct_simulator_values: usize,
+    /// Decisions adopted by the simulators.
+    pub simulator_decisions: Vec<Option<Value>>,
+    /// Decisions reached inside the simulated run.
+    pub simulated_decisions: Vec<Option<Value>>,
+    /// Host steps executed.
+    pub host_steps: u64,
+}

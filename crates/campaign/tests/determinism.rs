@@ -1,0 +1,95 @@
+//! The campaign engine's determinism guarantee, differentially tested:
+//! `run_parallel(1)`, `run_parallel(4)`, and an oversubscribed worker pool
+//! must produce **byte-identical ordered outcome lists** on a mixed grid —
+//! four generator families × crash/no-crash × four seeds × two workloads.
+
+use st_campaign::{Campaign, FdAbi, FdDetector, ScenarioOutcome, Workload};
+use st_core::{ProcSet, ProcessId, Universe};
+use st_fd::TimeoutPolicy;
+use st_sched::{CrashPlan, GeneratorSpec};
+
+fn mixed_campaign() -> Campaign {
+    let n = 4;
+    let universe = Universe::new(n).unwrap();
+    let p = ProcSet::from_indices([0]);
+    let q = ProcSet::from_indices([0, 1, 2]);
+    // Four distinct generator families, conforming and adversarial.
+    let generators = [
+        GeneratorSpec::set_timely(p, q, 6, GeneratorSpec::seeded_random(0)),
+        GeneratorSpec::GeneralizedFigure1 {
+            p: ProcSet::from_indices([0, 1]),
+            q: ProcSet::from_indices([2, 3]),
+        },
+        GeneratorSpec::AlternatingRotation {
+            groups: vec![ProcSet::from_indices([0, 1]), ProcSet::from_indices([2, 3])],
+            base: 8,
+        },
+        GeneratorSpec::RotatingStarvation { k: 1, base: 8 },
+    ];
+    // Crash axis: no crash, and p3 crashing mid-run (keeps the SetTimely
+    // witness set alive).
+    let crash_axis = [
+        CrashPlan::new(),
+        CrashPlan::new().crash(ProcessId::new(3), 2_000),
+    ];
+    let workloads = [
+        Workload::FdConvergence {
+            k: 1,
+            t: 2,
+            policy: TimeoutPolicy::Increment,
+            abi: FdAbi::MachineSlot,
+            detector: FdDetector::SetBased,
+            certify_membership: true,
+        },
+        Workload::Agreement {
+            t: 2,
+            k: 1,
+            inputs: (0..n as st_core::Value).map(|v| 100 + v).collect(),
+            policy: TimeoutPolicy::Increment,
+        },
+    ];
+    Campaign::grid(universe)
+        .generators(generators)
+        .crash_plans(crash_axis)
+        .seeds([11, 12, 13, 14])
+        .workloads(workloads)
+        .budget(20_000)
+        .build()
+}
+
+fn as_bytes(outcomes: &[ScenarioOutcome]) -> Vec<u8> {
+    // Byte identity, not just `Eq`: the debug rendering covers every field.
+    format!("{outcomes:#?}").into_bytes()
+}
+
+#[test]
+fn thread_count_never_changes_outcomes() {
+    let campaign = mixed_campaign();
+    assert_eq!(campaign.len(), 4 * 2 * 4 * 2, "the mixed grid shape");
+
+    let sequential = campaign.run_parallel(1);
+    assert_eq!(sequential.len(), campaign.len());
+    for (rank, out) in sequential.iter().enumerate() {
+        assert_eq!(out.rank, rank, "outcomes sorted by rank");
+    }
+
+    let four = campaign.run_parallel(4);
+    // Far more workers than scenarios per core: the stealing tail path.
+    let oversubscribed = campaign.run_parallel(33);
+
+    assert_eq!(sequential, four, "4 workers diverged from sequential");
+    assert_eq!(sequential, oversubscribed, "oversubscription diverged");
+    assert_eq!(as_bytes(&sequential), as_bytes(&four));
+    assert_eq!(as_bytes(&sequential), as_bytes(&oversubscribed));
+
+    // And the explicit sequential reference is the same list again.
+    assert_eq!(campaign.run_sequential(), sequential);
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let campaign = mixed_campaign();
+    let a = campaign.run_parallel(4);
+    let b = campaign.run_parallel(4);
+    assert_eq!(as_bytes(&a), as_bytes(&b));
+}

@@ -47,6 +47,7 @@
 
 pub mod agreementspec;
 pub mod error;
+pub mod parallel;
 pub mod process;
 pub mod procset;
 pub mod profile;

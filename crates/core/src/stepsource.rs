@@ -137,6 +137,26 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_boxed_sources_drive_without_generics() {
+        // The campaign engine's shape: a grid of differently-typed
+        // generators behind one trait object, driven (and `take_schedule`d —
+        // `Box<dyn StepSource>` is `Sized`) with no generic parameter.
+        let mut grid: Vec<Box<dyn StepSource>> = vec![
+            Box::new(ScheduleCursor::new(Schedule::from_indices([0, 1]))),
+            Box::new(FromFn({
+                let mut left = 2;
+                move || {
+                    left -= 1;
+                    (left >= 0).then(|| ProcessId::new(2))
+                }
+            })),
+        ];
+        let taken: Vec<Schedule> = grid.iter_mut().map(|g| g.take_schedule(8)).collect();
+        assert_eq!(taken[0], Schedule::from_indices([0, 1]));
+        assert_eq!(taken[1], Schedule::from_indices([2, 2]));
+    }
+
+    #[test]
     fn mut_ref_and_box_forward() {
         let mut c = ScheduleCursor::new(Schedule::from_indices([0, 1, 2]));
         {

@@ -578,17 +578,7 @@ impl SweepMatrix {
     }
 }
 
-/// Resolves the caller's thread request: `usize::MAX` means "one worker per
-/// hardware thread"; any other value is honored as given (oversubscribing
-/// the hardware is allowed — it is how the stealing machinery is exercised
-/// on small hosts), bounded only by a sanity cap.
-fn resolve_workers(threads: usize) -> usize {
-    if threads == usize::MAX {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        threads.clamp(1, 64)
-    }
-}
+use crate::parallel::resolve_workers;
 
 /// Sweeps **every** `(i, j)` cell (`1 ≤ i, j ≤ n`) of `s` with one shared
 /// decomposition per `P` and the `Π^i_n` loop spread across `threads` OS
@@ -610,9 +600,6 @@ pub fn sweep_matrix(
     bound_cap: usize,
     threads: usize,
 ) -> SweepMatrix {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Mutex;
-
     assert!(bound_cap > 0, "bound cap must be positive");
     let n = universe.n();
     let js: Vec<usize> = (1..=n).collect();
@@ -627,36 +614,17 @@ pub fn sweep_matrix(
             continue;
         }
         let workers = workers.min(total_ranks as usize);
-        // Steal granularity: aim for several grabs per worker so the tail
-        // imbalance is one chunk, not one static share; floor it so the
-        // counter is not contended for trivial work items.
-        let chunk = (total_ranks / (workers as u64 * 8)).max(16);
-        let next_rank = AtomicU64::new(0);
-        let parts: Mutex<Vec<(u64, Vec<MatrixCell>)>> = Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            let (js, next_rank, parts) = (&js, &next_rank, &parts);
-            for _ in 0..workers {
-                scope.spawn(move || {
-                    let mut az = TimelinessAnalyzer::new(universe);
-                    loop {
-                        let first = next_rank.fetch_add(chunk, Ordering::Relaxed);
-                        if first >= total_ranks {
-                            break;
-                        }
-                        let last = (first + chunk).min(total_ranks);
-                        let part = az.sweep_row_ranked(s, i, js, bound_cap, first, last);
-                        parts
-                            .lock()
-                            .expect("sweep worker panicked")
-                            .push((first, part));
-                    }
-                });
-            }
-        });
-        let mut parts = parts.into_inner().expect("sweep worker panicked");
-        // Chunks are disjoint rank intervals: merging in ascending first-rank
-        // order reproduces the sequential enumeration exactly.
-        parts.sort_unstable_by_key(|&(first, _)| first);
+        let chunk = crate::parallel::sweep_chunk_size(total_ranks, workers);
+        // Chunks come back as disjoint rank intervals sorted by first rank:
+        // merging in that order reproduces the sequential enumeration
+        // exactly.
+        let parts = crate::parallel::steal_chunks(
+            total_ranks,
+            workers,
+            chunk,
+            || TimelinessAnalyzer::new(universe),
+            |az, first, last| az.sweep_row_ranked(s, i, &js, bound_cap, first, last),
+        );
         let mut row: Vec<MatrixCell> = js.iter().map(|&j| MatrixCell::empty(i, j)).collect();
         for (_, part) in &parts {
             for (cell, partial) in row.iter_mut().zip(part) {

@@ -2,11 +2,13 @@
 //!
 //! Usage:
 //! ```text
-//! stlab [--fast] [--tsv] [e1 e2 … | all]
+//! stlab [--fast] [--tsv] [--threads N] [e1 e2 … | all]
 //! ```
 //!
 //! `--fast` shrinks budgets and grids (smoke runs); `--tsv` additionally
-//! emits each table as tab-separated values for downstream plotting.
+//! emits each table as tab-separated values for downstream plotting;
+//! `--threads N` sets the campaign worker count (default: one per hardware
+//! thread — results are identical for every value, see `st-campaign`).
 
 use st_lab::{run_experiment, LabConfig, ALL_EXPERIMENTS};
 
@@ -14,16 +16,36 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let tsv = args.iter().any(|a| a == "--tsv");
+    let mut threads = usize::MAX;
+    let mut skip_next = false;
+    let mut ids: Vec<String> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        match a.as_str() {
+            "--fast" | "--tsv" => {}
+            "--threads" => {
+                let value = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("--threads needs a value");
+                    std::process::exit(2);
+                });
+                threads = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads expects a positive integer, got {value:?}");
+                    std::process::exit(2);
+                });
+                skip_next = true;
+            }
+            other => ids.push(other.to_lowercase()),
+        }
+    }
     let cfg = if fast {
         LabConfig::fast()
     } else {
         LabConfig::full()
-    };
-    let mut ids: Vec<String> = args
-        .into_iter()
-        .filter(|a| a != "--fast" && a != "--tsv")
-        .map(|a| a.to_lowercase())
-        .collect();
+    }
+    .with_threads(threads);
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
@@ -44,7 +66,7 @@ fn main() {
                 }
             }
             None => {
-                eprintln!("unknown experiment: {id} (known: e1..e7, all)");
+                eprintln!("unknown experiment: {id} (known: e1..e8, all)");
                 failures += 1;
             }
         }

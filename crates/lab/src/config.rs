@@ -10,6 +10,11 @@ pub struct LabConfig {
     pub fast: bool,
     /// Base seed for all randomized workloads.
     pub seed: u64,
+    /// Worker threads for campaign-backed experiments (`usize::MAX` = one
+    /// per hardware thread). Results are thread-count independent — the
+    /// campaign engine merges outcomes in rank order — so this only moves
+    /// wall-clock.
+    pub threads: usize,
 }
 
 impl LabConfig {
@@ -18,6 +23,7 @@ impl LabConfig {
         LabConfig {
             fast: false,
             seed: 0xE1AC_5EED,
+            threads: usize::MAX,
         }
     }
 
@@ -26,7 +32,14 @@ impl LabConfig {
         LabConfig {
             fast: true,
             seed: 0xE1AC_5EED,
+            threads: usize::MAX,
         }
+    }
+
+    /// Overrides the campaign worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Scales a step budget.

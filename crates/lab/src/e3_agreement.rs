@@ -6,16 +6,19 @@
 //! with `t` crashes, and measures: steps until every correct process
 //! decided, number of distinct decisions, and the checker verdict.
 //!
-//! Since the agreement stack's machine-ABI port, the FD + k-parallel-Paxos
-//! runs execute on the simulator's non-async fast path
+//! The grid is a campaign (`st-campaign`): each row is a [`Scenario`] with
+//! a declarative conforming (optionally crash-decorated) generator spec and
+//! the agreement workload, executed in parallel with a deterministic merge.
+//! The stack runs on the simulator's non-async fast path
 //! ([`st_agreement::StackAbi::Machine`], the `AgreementStack` default) —
 //! observationally identical to the async transcription (the
 //! `st-agreement` differential suite) at ≥2× the step throughput
 //! (`BENCH_timeliness.json`, `agreement_step_throughput`).
 
-use st_agreement::AgreementStack;
+use st_campaign::{AgreementScenarioOutcome, Campaign, Scenario, Workload};
 use st_core::{AgreementTask, ProcSet, ProcessId, Value};
-use st_sched::{CrashAfter, CrashPlan, SeededRandom, SetTimely};
+use st_fd::TimeoutPolicy;
+use st_sched::{CrashPlan, GeneratorSpec};
 
 use crate::config::{ExperimentResult, LabConfig};
 use crate::table::Table;
@@ -56,6 +59,8 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         ]
     };
 
+    let mut campaign = Campaign::new();
+    let mut rows: Vec<(AgreementTask, usize)> = Vec::new();
     for &(n, k, t) in grid {
         let task = AgreementTask::new(t, k, n).unwrap();
         let universe = task.universe();
@@ -66,29 +71,50 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
             p
         };
         let q: ProcSet = (0..=t).map(ProcessId::new).collect();
+        let workload = Workload::Agreement {
+            t,
+            k,
+            inputs: inputs(n),
+            policy: TimeoutPolicy::Increment,
+        };
 
         // Fault-free conforming run.
-        let stack = AgreementStack::build(task, &inputs(n));
-        let kind = format!("{:?}", stack.kind());
-        let mut src = SetTimely::new(p, q, 2 * (t + 1), SeededRandom::new(universe, cfg.seed));
-        let run = stack.run(&mut src, budget, ProcSet::EMPTY);
-        pass &= emit(&mut table, &task, &kind, 0, &run);
+        campaign.push(Scenario::new(
+            "conforming",
+            universe,
+            GeneratorSpec::set_timely(p, q, 2 * (t + 1), GeneratorSpec::seeded_random(0)),
+            workload.clone(),
+            budget,
+            cfg.seed,
+        ));
+        rows.push((task, 0));
 
         // With crashes (keep P and the trivial publishers' quorum alive).
         let crash_count = t.min(n.saturating_sub(k.max(1)));
         if crash_count > 0 {
             let crashed: ProcSet = ((n - crash_count)..n).map(ProcessId::new).collect();
             if p.is_disjoint(crashed) {
-                let task2 = AgreementTask::new(t, k, n).unwrap();
-                let stack = AgreementStack::build(task2, &inputs(n));
                 let plan = CrashPlan::all_at(crashed, 2_000);
-                let filler =
-                    CrashAfter::new(SeededRandom::new(universe, cfg.seed + 9), plan.clone());
-                let mut src = SetTimely::new(p, q, 2 * (t + 1), filler).with_crashes(plan);
-                let run = stack.run(&mut src, budget, crashed);
-                pass &= emit(&mut table, &task, &kind, crashed.len(), &run);
+                let spec =
+                    GeneratorSpec::set_timely(p, q, 2 * (t + 1), GeneratorSpec::seeded_random(9))
+                        .crashed(plan);
+                campaign.push(Scenario::new(
+                    "conforming+crash",
+                    universe,
+                    spec,
+                    workload,
+                    budget,
+                    cfg.seed,
+                ));
+                rows.push((task, crashed.len()));
             }
         }
+    }
+
+    let outcomes = campaign.run_parallel(cfg.threads);
+    for ((task, crashes), outcome) in rows.iter().zip(&outcomes) {
+        let run = outcome.data.as_agreement().expect("agreement campaign");
+        pass &= emit(&mut table, task, *crashes, run);
     }
 
     ExperimentResult {
@@ -103,30 +129,23 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
 fn emit(
     table: &mut Table,
     task: &AgreementTask,
-    protocol: &str,
     crashes: usize,
-    run: &st_agreement::StackRun,
+    run: &AgreementScenarioOutcome,
 ) -> bool {
-    let distinct: std::collections::BTreeSet<Value> =
-        run.outcome.decisions.iter().flatten().copied().collect();
-    let decided_at = run
-        .report
-        .all_decided_step(run.outcome.correct)
-        .map_or("-".to_string(), |s| s.to_string());
     table.row([
         task.to_string(),
-        protocol.to_string(),
+        format!("{:?}", run.kind),
         crashes.to_string(),
         format!("{:?}", run.status),
-        decided_at,
-        distinct.len().to_string(),
+        run.decided_at.map_or("-".to_string(), |s| s.to_string()),
+        run.distinct_decisions().to_string(),
         if run.violations.is_empty() {
             "none".to_string()
         } else {
             format!("{:?}", run.violations)
         },
     ]);
-    run.is_clean_termination() && distinct.len() <= task.k()
+    run.clean && run.distinct_decisions() <= task.k()
 }
 
 #[cfg(test)]
@@ -137,5 +156,12 @@ mod tests {
     fn e3_matches_paper() {
         let result = run(&LabConfig::fast());
         assert!(result.pass, "{}", result.render());
+        // Golden: the campaign port reproduces the pre-port tables byte for
+        // byte at the fixed seed (trailing newline from the capture).
+        assert_eq!(
+            format!("{}\n", result.render()),
+            include_str!("../tests/golden/e3_fast.txt"),
+            "E3 output drifted from the golden table"
+        );
     }
 }

@@ -7,15 +7,17 @@
 //! `(k+1)`-set stays timely — certified post hoc with the analyzer. Safety
 //! holds on both sides.
 //!
-//! Both sides run the stack on the machine ABI (the `AgreementStack`
-//! default since the agreement port): the adaptive adversary single-steps
-//! machine slots exactly as it did future slots, and the danger-window
-//! freezing logic reads the same registers.
+//! Both sides are campaign scenarios: the solvable side is the agreement
+//! workload over a conforming `SetTimely` spec, the unsolvable side is the
+//! [`Workload::AdversarialAgreement`] workload (the adversary constructs
+//! its schedule adaptively; the generator spec is a placeholder). Both run
+//! the stack on the machine ABI (the `AgreementStack` default since the
+//! agreement port).
 
-use st_agreement::{drive_adversarially, AgreementStack};
+use st_campaign::{Campaign, Scenario, Workload};
 use st_core::{AgreementTask, ProcSet, ProcessId, Value};
 use st_fd::TimeoutPolicy;
-use st_sched::{SeededRandom, SetTimely};
+use st_sched::GeneratorSpec;
 
 use crate::config::{ExperimentResult, LabConfig};
 use crate::table::Table;
@@ -43,62 +45,74 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         &[(1, 3), (1, 4), (2, 4), (2, 5)]
     };
 
+    let mut campaign = Campaign::new();
     for &(k, n) in grid {
-        let task = AgreementTask::new(k, k, n).unwrap();
-        let universe = task.universe();
+        let universe = AgreementTask::new(k, k, n).unwrap().universe();
+        let full = ProcSet::full(universe);
 
         // Solvable side: S^k_{n,n} — a size-k set timely wrt everyone.
         let p: ProcSet = (0..k).map(ProcessId::new).collect();
-        let full = ProcSet::full(universe);
-        let stack = AgreementStack::build(task, &inputs(n));
-        let mut src = SetTimely::new(p, full, 2 * n, SeededRandom::new(universe, cfg.seed));
-        let run = stack.run(&mut src, cfg.budget(4_000_000), ProcSet::EMPTY);
-        let solvable_ok = run.is_clean_termination();
+        campaign.push(Scenario::new(
+            "solvable",
+            universe,
+            GeneratorSpec::set_timely(p, full, 2 * n, GeneratorSpec::seeded_random(0)),
+            Workload::Agreement {
+                t: k,
+                k,
+                inputs: inputs(n),
+                policy: TimeoutPolicy::Increment,
+            },
+            cfg.budget(4_000_000),
+            cfg.seed,
+        ));
+
+        // Unsolvable side: S^{k+1}_{n,n} — adaptive adversary.
+        let witness_p: ProcSet = (0..=k).map(ProcessId::new).collect(); // size k+1
+        campaign.push(Scenario::new(
+            "unsolvable",
+            universe,
+            GeneratorSpec::round_robin(), // ignored: the adversary schedules
+            Workload::AdversarialAgreement {
+                t: k,
+                k,
+                inputs: inputs(n),
+                policy: TimeoutPolicy::Increment,
+                precrashed: ProcSet::EMPTY,
+                witness: Some((witness_p, full)),
+            },
+            cfg.budget(1_200_000),
+            cfg.seed,
+        ));
+    }
+
+    let outcomes = campaign.run_parallel(cfg.threads);
+    for (&(k, n), pair) in grid.iter().zip(outcomes.chunks(2)) {
+        let task = AgreementTask::new(k, k, n).unwrap();
+
+        let run = pair[0].data.as_agreement().expect("solvable side");
         table.row([
             task.to_string(),
             format!("S^{k}_{{{n},{n}}}"),
             "SetTimely".to_string(),
-            run.outcome
-                .decisions
-                .iter()
-                .filter(|d| d.is_some())
-                .count()
-                .to_string(),
-            run.is_safe().to_string(),
+            run.decided_count().to_string(),
+            run.safe.to_string(),
             "-".to_string(),
             "-".to_string(),
         ]);
-        pass &= solvable_ok;
+        pass &= run.clean;
 
-        // Unsolvable side: S^{k+1}_{n,n} — adaptive adversary.
-        let stack = AgreementStack::build_full(task, &inputs(n), TimeoutPolicy::Increment, true);
-        let witness_p: ProcSet = (0..=k).map(ProcessId::new).collect(); // size k+1
-        let adv = drive_adversarially(
-            stack,
-            cfg.budget(1_200_000),
-            ProcSet::EMPTY,
-            Some((witness_p, full)),
-        );
+        let adv = pair[1].data.as_adversarial().expect("unsolvable side");
         let cert = adv.certificate.expect("requested");
-        let blocked = adv.run.outcome.decisions.iter().all(|d| d.is_none());
         table.row([
             task.to_string(),
             format!("S^{}_{{{n},{n}}}", k + 1),
             "AdaptiveAdversary".to_string(),
-            (task.n()
-                - adv
-                    .run
-                    .outcome
-                    .decisions
-                    .iter()
-                    .filter(|d| d.is_none())
-                    .count())
-            .to_string(),
-            adv.run.is_safe().to_string(),
+            adv.decided.to_string(),
+            adv.safe.to_string(),
             adv.max_frozen.to_string(),
             format!("{} wrt Π_{n} bound {}", cert.p, cert.bound),
         ]);
-        pass &= blocked && adv.run.is_safe() && adv.max_frozen <= k && cert.bound <= 4 * n;
+        pass &= adv.blocked && adv.safe && adv.max_frozen <= k && cert.bound <= 4 * n;
     }
 
     ExperimentResult {
@@ -122,5 +136,12 @@ mod tests {
     fn e4_matches_paper() {
         let result = run(&LabConfig::fast());
         assert!(result.pass, "{}", result.render());
+        // Golden: the campaign port reproduces the pre-port tables byte for
+        // byte at the fixed seed (trailing newline from the capture).
+        assert_eq!(
+            format!("{}\n", result.render()),
+            include_str!("../tests/golden/e4_fast.txt"),
+            "E4 output drifted from the golden table"
+        );
     }
 }

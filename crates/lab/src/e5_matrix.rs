@@ -153,7 +153,9 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         &schedule,
         st_core::Universe::new(n).unwrap(),
         2 * n,
-        std::thread::available_parallelism().map_or(1, |p| p.get()),
+        // The shared resolver (also used inside sweep_matrix and by the
+        // campaign engine): honors `--threads`, `usize::MAX` = hardware.
+        st_core::parallel::resolve_workers(cfg.threads),
     );
     let mut sweep_table = Table::new(["i \\ j", "counts per j (1..=n)"]);
     for i in 1..=n {

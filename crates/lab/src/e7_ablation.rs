@@ -8,51 +8,87 @@
 //!    enforced timeliness bound of the schedule — worse bounds (weaker
 //!    synchrony) must push convergence later, tracing the "cost of partial
 //!    synchrony" curve.
+//!
+//! Both ablations are one campaign: policy and bound axes become scenarios
+//! over the FD-convergence workload on the typed machine fleet (the
+//! state-machine fast path, differentially equal to the async port) and run
+//! in parallel — the multi-million-step sweeps are where `--threads`
+//! actually pays.
 
-use st_core::{ProcSet, ProcessId, StepSource, Universe};
-use st_fd::convergence::winnerset_stabilization;
-use st_fd::{KAntiOmega, KAntiOmegaConfig, TimeoutPolicy};
-use st_sched::{SeededRandom, SetTimely};
-use st_sim::{RunConfig, Sim};
+use st_campaign::{Campaign, FdAbi, FdDetector, Scenario, Workload};
+use st_core::{ProcSet, ProcessId};
+use st_fd::TimeoutPolicy;
+use st_sched::GeneratorSpec;
 
 use crate::config::{ExperimentResult, LabConfig};
 use crate::table::Table;
 
-fn stabilization_step<S: StepSource>(
-    n: usize,
-    k: usize,
-    t: usize,
-    policy: TimeoutPolicy,
-    src: &mut S,
-    budget: u64,
-) -> Option<u64> {
-    let universe = Universe::new(n).unwrap();
-    let mut sim = Sim::new(universe);
-    let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t).with_policy(policy));
-    // Typed fleet on the state-machine fast path (differentially equal to
-    // the async port); the ablation sweeps multi-million-step budgets.
-    let mut fleet: Vec<_> = universe.processes().map(|_| fd.machine()).collect();
-    sim.run_automata(&mut fleet, src, RunConfig::steps(budget))
-        .unwrap();
-    winnerset_stabilization(&sim.report(), ProcSet::full(universe)).map(|s| s.step)
+fn fleet_workload(k: usize, t: usize, policy: TimeoutPolicy) -> Workload {
+    Workload::FdConvergence {
+        k,
+        t,
+        policy,
+        abi: FdAbi::MachineFleet,
+        detector: FdDetector::SetBased,
+        certify_membership: false,
+    }
 }
 
 /// Runs E7.
 pub fn run(cfg: &LabConfig) -> ExperimentResult {
     let mut pass = true;
 
-    // Ablation 1: timeout policy, at a deliberately loose schedule bound so
-    // that timers must grow substantially before convergence.
-    let mut policy_table = Table::new(["n", "k", "t", "bound", "policy", "stabilized@step"]);
     let (n, k, t) = (4usize, 1usize, 2usize);
-    let universe = Universe::new(n).unwrap();
+    let universe = st_core::Universe::new(n).unwrap();
     let p = ProcSet::from_indices([0]);
     let q: ProcSet = (0..=t).map(ProcessId::new).collect();
     let loose_bound = if cfg.fast { 24 } else { 48 };
-    let mut results = Vec::new();
-    for policy in [TimeoutPolicy::Increment, TimeoutPolicy::Double] {
-        let mut src = SetTimely::new(p, q, loose_bound, SeededRandom::new(universe, cfg.seed));
-        let stab = stabilization_step(n, k, t, policy, &mut src, cfg.budget(6_000_000));
+    let policies = [TimeoutPolicy::Increment, TimeoutPolicy::Double];
+    let bounds: &[usize] = if cfg.fast {
+        &[4, 16]
+    } else {
+        &[4, 8, 16, 32, 64]
+    };
+
+    // Ablation 1: timeout policy, at a deliberately loose schedule bound so
+    // that timers must grow substantially before convergence.
+    let mut campaign = Campaign::new();
+    for policy in policies {
+        campaign.push(Scenario::new(
+            "policy",
+            universe,
+            GeneratorSpec::set_timely(p, q, loose_bound, GeneratorSpec::seeded_random(0)),
+            fleet_workload(k, t, policy),
+            cfg.budget(6_000_000),
+            cfg.seed,
+        ));
+    }
+    // Ablation 2: synchrony quality sweep (paper policy).
+    for &bound in bounds {
+        campaign.push(Scenario::new(
+            "bound",
+            universe,
+            GeneratorSpec::set_timely(p, q, bound, GeneratorSpec::seeded_random(1)),
+            fleet_workload(k, t, TimeoutPolicy::Increment),
+            cfg.budget(8_000_000),
+            cfg.seed,
+        ));
+    }
+    let outcomes = campaign.run_parallel(cfg.threads);
+    let stabs: Vec<Option<u64>> = outcomes
+        .iter()
+        .map(|o| {
+            o.data
+                .as_fd()
+                .expect("FD campaign")
+                .stabilization
+                .map(|s| s.step)
+        })
+        .collect();
+    let (policy_stabs, bound_stabs) = stabs.split_at(policies.len());
+
+    let mut policy_table = Table::new(["n", "k", "t", "bound", "policy", "stabilized@step"]);
+    for (policy, stab) in policies.iter().zip(policy_stabs) {
         policy_table.row([
             n.to_string(),
             k.to_string(),
@@ -61,33 +97,17 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
             format!("{policy:?}"),
             stab.map_or("-".into(), |s| s.to_string()),
         ]);
-        results.push(stab);
     }
     // Both must converge; doubling must not be slower.
-    pass &= results.iter().all(|r| r.is_some());
-    if let [Some(inc), Some(dbl)] = results[..] {
+    pass &= policy_stabs.iter().all(|r| r.is_some());
+    if let [Some(inc), Some(dbl)] = policy_stabs[..] {
         pass &= dbl <= inc;
     }
 
-    // Ablation 2: synchrony quality sweep (paper policy).
     let mut sweep_table = Table::new(["bound", "stabilized@step"]);
-    let bounds: &[usize] = if cfg.fast {
-        &[4, 16]
-    } else {
-        &[4, 8, 16, 32, 64]
-    };
     let mut prev: Option<u64> = None;
     let mut monotone_violations = 0usize;
-    for &bound in bounds {
-        let mut src = SetTimely::new(p, q, bound, SeededRandom::new(universe, cfg.seed + 1));
-        let stab = stabilization_step(
-            n,
-            k,
-            t,
-            TimeoutPolicy::Increment,
-            &mut src,
-            cfg.budget(8_000_000),
-        );
+    for (&bound, &stab) in bounds.iter().zip(bound_stabs) {
         sweep_table.row([
             bound.to_string(),
             stab.map_or("-".into(), |s| s.to_string()),
@@ -133,5 +153,12 @@ mod tests {
     fn e7_matches_expectations() {
         let result = run(&LabConfig::fast());
         assert!(result.pass, "{}", result.render());
+        // Golden: the campaign port reproduces the pre-port tables byte for
+        // byte at the fixed seed (trailing newline from the capture).
+        assert_eq!(
+            format!("{}\n", result.render()),
+            include_str!("../tests/golden/e7_fast.txt"),
+            "E7 output drifted from the golden table"
+        );
     }
 }

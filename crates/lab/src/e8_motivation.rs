@@ -13,66 +13,19 @@
 //! - the **process-based** baseline (same machinery, singleton candidates)
 //!   keeps flapping for the whole run — every individual's accusation
 //!   counter grows forever.
+//!
+//! The side-by-side is a campaign: per case, one scenario with the
+//! set-based detector and one with the process-based baseline (both on the
+//! async drive the detectors were transcribed for), over the same
+//! alternating-rotation generator spec.
 
-use st_core::{ProcSet, ProcessId, StepSource, Universe};
-use st_fd::convergence::winnerset_stabilization;
-use st_fd::{
-    KAntiOmega, KAntiOmegaConfig, ProcessTimelyDetector, TimeoutPolicy, BASELINE_WINNERSET_PROBE,
-};
-use st_sched::AlternatingRotation;
-use st_sim::{RunConfig, RunReport, Sim};
+use st_campaign::{Campaign, FdAbi, FdDetector, Scenario, Workload};
+use st_core::{ProcSet, Universe};
+use st_fd::TimeoutPolicy;
+use st_sched::GeneratorSpec;
 
 use crate::config::{ExperimentResult, LabConfig};
 use crate::table::Table;
-
-fn run_set_based<S: StepSource>(
-    n: usize,
-    k: usize,
-    t: usize,
-    src: &mut S,
-    budget: u64,
-) -> RunReport {
-    let universe = Universe::new(n).unwrap();
-    let mut sim = Sim::new(universe);
-    let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t));
-    for p in universe.processes() {
-        let fd = fd.clone();
-        sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
-    }
-    sim.run(src, RunConfig::steps(budget)).unwrap();
-    sim.report()
-}
-
-fn run_process_based<S: StepSource>(
-    n: usize,
-    k: usize,
-    t: usize,
-    src: &mut S,
-    budget: u64,
-) -> RunReport {
-    let universe = Universe::new(n).unwrap();
-    let mut sim = Sim::new(universe);
-    let fd = ProcessTimelyDetector::alloc(&mut sim, k, t, TimeoutPolicy::Increment);
-    for p in universe.processes() {
-        let fd = fd.clone();
-        sim.spawn(p, move |ctx| fd.run(ctx)).unwrap();
-    }
-    sim.run(src, RunConfig::steps(budget)).unwrap();
-    sim.report()
-}
-
-fn late_flaps(report: &RunReport, n: usize, key: &str, after: u64) -> usize {
-    (0..n)
-        .map(|i| {
-            report
-                .probes
-                .timeline(ProcessId::new(i), key)
-                .iter()
-                .filter(|&&(s, _)| s > after)
-                .count()
-        })
-        .sum()
-}
 
 /// Runs E8.
 pub fn run(cfg: &LabConfig) -> ExperimentResult {
@@ -103,21 +56,44 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
     ];
     let cases = if cfg.fast { &cases[..1] } else { cases };
 
+    let mut campaign = Campaign::new();
+    let mut rows: Vec<(usize, usize, usize, &Vec<ProcSet>)> = Vec::new();
     for (n, groups) in cases {
         let n = *n;
         let k = groups[0].len();
         let t = n - 2; // maximal t with the witness group as a k-set
         let t = t.max(k);
         let universe = Universe::new(n).unwrap();
-        let full = ProcSet::full(universe);
+        let spec = GeneratorSpec::AlternatingRotation {
+            groups: groups.clone(),
+            base: 8,
+        };
+        for detector in [FdDetector::SetBased, FdDetector::ProcessBased] {
+            campaign.push(Scenario::new(
+                "motivation",
+                universe,
+                spec.clone(),
+                Workload::FdConvergence {
+                    k,
+                    t,
+                    policy: TimeoutPolicy::Increment,
+                    abi: FdAbi::Async,
+                    detector,
+                    certify_membership: false,
+                },
+                budget,
+                cfg.seed,
+            ));
+        }
+        rows.push((n, k, t, groups));
+    }
 
+    let outcomes = campaign.run_parallel(cfg.threads);
+    for ((n, k, t, groups), pair) in rows.iter().zip(outcomes.chunks(2)) {
         // Set-based Figure 2.
-        let mut src = AlternatingRotation::new(groups);
-        let report = run_set_based(n, k, t, &mut src, budget);
-        let stab = winnerset_stabilization(&report, full);
-        let set_flaps = late_flaps(&report, n, st_fd::WINNERSET_PROBE, budget * 3 / 4);
-        match stab {
-            Some(s) if set_flaps == 0 => {
+        let set_fd = pair[0].data.as_fd().expect("FD campaign");
+        match set_fd.stabilization {
+            Some(s) if set_fd.late_flaps == 0 => {
                 // The stabilized winnerset must be one of the timely groups.
                 let is_group = groups.contains(&s.winnerset);
                 table.row([
@@ -127,7 +103,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
                     "set-based (Figure 2)".to_string(),
                     s.step.to_string(),
                     s.winnerset.to_string(),
-                    set_flaps.to_string(),
+                    set_fd.late_flaps.to_string(),
                 ]);
                 pass &= is_group && s.step < budget / 2;
             }
@@ -139,16 +115,14 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
                     "set-based (Figure 2)".to_string(),
                     "-".to_string(),
                     "-".to_string(),
-                    set_flaps.to_string(),
+                    set_fd.late_flaps.to_string(),
                 ]);
                 pass = false;
             }
         }
 
         // Process-based baseline on the same workload.
-        let mut src = AlternatingRotation::new(groups);
-        let report = run_process_based(n, k, t, &mut src, budget);
-        let flaps = late_flaps(&report, n, BASELINE_WINNERSET_PROBE, budget * 3 / 4);
+        let base_fd = pair[1].data.as_fd().expect("FD campaign");
         table.row([
             n.to_string(),
             k.to_string(),
@@ -156,9 +130,9 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
             "process-based baseline".to_string(),
             "flapping".to_string(),
             "-".to_string(),
-            flaps.to_string(),
+            base_fd.late_flaps.to_string(),
         ]);
-        pass &= flaps > 0;
+        pass &= base_fd.late_flaps > 0;
     }
 
     ExperimentResult {
@@ -182,5 +156,12 @@ mod tests {
     fn e8_matches_motivation() {
         let result = run(&LabConfig::fast());
         assert!(result.pass, "{}", result.render());
+        // Golden: the campaign port reproduces the pre-port tables byte for
+        // byte at the fixed seed (trailing newline from the capture).
+        assert_eq!(
+            format!("{}\n", result.render()),
+            include_str!("../tests/golden/e8_fast.txt"),
+            "E8 output drifted from the golden table"
+        );
     }
 }

@@ -13,6 +13,20 @@
 //! | E8 | Motivation: set vs process timeliness            | [`e8_motivation`] |
 //!
 //! Run them all with the `stlab` binary: `cargo run -p st-lab --release --bin stlab -- all`.
+//!
+//! # The campaign layer
+//!
+//! E2/E3/E4/E7/E8 no longer hand-roll their grid loops: each builds a
+//! `st_campaign::Campaign` of declarative scenarios (generator spec ×
+//! workload × crash plan × seed) and renders its tables from the outcome
+//! list. Campaigns execute on a work-stealing worker pool
+//! (`LabConfig::threads`, the `stlab --threads N` flag) and merge outcomes
+//! in rank order, so **every table is identical for every thread count** —
+//! enforced by golden tests against `tests/golden/*.txt`, captured from the
+//! pre-campaign sequential harness at the fixed seed. E1/E5/E6 keep bespoke
+//! drivers (prefix curves, the solvability matrix sweep, the BG reduction);
+//! E5's companion sweep already parallelizes inside
+//! `st_core::timeliness::sweep_matrix`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

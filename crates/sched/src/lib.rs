@@ -15,6 +15,9 @@
 //!   (Theorem 27 case 2b: in `S^i_{j,n}` yet outside `S^k_{t+1,n}`).
 //! - **Crash plans** — [`CrashPlan`] / [`CrashAfter`] model faulty processes
 //!   as processes with finitely many steps.
+//! - **Declarative specs** — [`GeneratorSpec`] describes any of the above as
+//!   plain data and builds it on demand (`Box<dyn StepSource>`); scenario
+//!   campaigns (`st-campaign`) grid over specs, not generators.
 //! - **Certification** — [`validate`] cross-checks every generator claim
 //!   against the `st-core` analyzer.
 
@@ -28,6 +31,7 @@ mod cycle;
 mod fictitious;
 mod figure1;
 mod set_timely;
+pub mod spec;
 mod starvation;
 pub mod validate;
 
@@ -38,4 +42,5 @@ pub use cycle::Cycle;
 pub use fictitious::FictitiousCrash;
 pub use figure1::{Figure1, GeneralizedFigure1};
 pub use set_timely::{Eventually, SetTimely};
+pub use spec::GeneratorSpec;
 pub use starvation::RotatingStarvation;

@@ -1,0 +1,492 @@
+//! Declarative generator specifications: every generator of this crate as
+//! plain data.
+//!
+//! A [`GeneratorSpec`] describes a schedule generator without constructing
+//! it — the construction happens in [`GeneratorSpec::build`], which closes
+//! over a [`Universe`] and a *scenario seed* and returns a
+//! `Box<dyn StepSource>`. That inversion is what makes scenario *grids*
+//! possible: a campaign can hold a heterogeneous list of specs (round-robin
+//! next to Figure 1 next to a crash-decorated `SetTimely`), clone them
+//! across seed and crash axes, ship them to worker threads (`Spec` is
+//! `Send + Sync`), and only materialize the stateful generator inside the
+//! worker that runs the scenario.
+//!
+//! Seeding: specs never hold an absolute seed, only a `seed_offset`. At
+//! build time the offset is added (wrapping) to the scenario seed, so one
+//! spec reused across a seed axis produces the distinct-but-deterministic
+//! filler streams the experiments use (`cfg.seed`, `cfg.seed + 1`, …).
+//!
+//! Crashes: [`GeneratorSpec::crashed`] applies a [`CrashPlan`] the way the
+//! experiments do by hand — a [`SetTimely`] spec gets the plan both as its
+//! injection filter and as a [`CrashAfter`] wrapper around its filler; any
+//! other spec is wrapped in [`CrashAfter`] directly. [`GeneratorSpec::faulty`]
+//! reports every process the spec silences, so outcome checking can derive
+//! the correct set without re-deriving the plan.
+
+use st_core::{ProcSet, ProcessId, Schedule, StepSource, SystemSpec, Universe};
+
+use crate::alternating::AlternatingRotation;
+use crate::basic::{RoundRobin, SeededRandom};
+use crate::crashes::{CrashAfter, CrashPlan};
+use crate::cycle::Cycle;
+use crate::fictitious::FictitiousCrash;
+use crate::figure1::{Figure1, GeneralizedFigure1};
+use crate::set_timely::{Eventually, SetTimely};
+use crate::starvation::RotatingStarvation;
+
+/// A schedule generator as declarative data. See the module docs for the
+/// build/seed/crash conventions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GeneratorSpec {
+    /// [`RoundRobin`] over the universe (`over: None`) or an explicit set.
+    RoundRobin {
+        /// Explicit member set; `None` means the whole universe.
+        over: Option<ProcSet>,
+    },
+    /// [`SeededRandom`] with seed `scenario_seed + seed_offset`.
+    SeededRandom {
+        /// Explicit member set; `None` means the whole universe.
+        over: Option<ProcSet>,
+        /// Added (wrapping) to the scenario seed at build time.
+        seed_offset: u64,
+        /// Optional per-member weights (same order as the member list).
+        weights: Option<Vec<u32>>,
+    },
+    /// [`SetTimely`]: `p` timely wrt `q` with `bound` over the filler spec.
+    SetTimely {
+        /// The enforced timely set.
+        p: ProcSet,
+        /// The observed set.
+        q: ProcSet,
+        /// The enforced bound.
+        bound: usize,
+        /// Adversarial filler, itself a spec.
+        filler: Box<GeneratorSpec>,
+        /// Crash plan consulted when injecting `P`-steps (empty = none).
+        crashes: CrashPlan,
+    },
+    /// [`Eventually`]: a finite prefix spec, then the body spec.
+    Eventually {
+        /// The chaotic prefix.
+        prefix: Box<GeneratorSpec>,
+        /// Steps taken from the prefix before switching.
+        prefix_len: u64,
+        /// The eventual body.
+        body: Box<GeneratorSpec>,
+    },
+    /// The literal [`Figure1`] schedule.
+    Figure1 {
+        /// First flapping process.
+        p1: ProcessId,
+        /// Second flapping process.
+        p2: ProcessId,
+        /// The observed process.
+        q: ProcessId,
+    },
+    /// [`GeneralizedFigure1`]: `p` collectively timely wrt `q`.
+    GeneralizedFigure1 {
+        /// The collectively timely set.
+        p: ProcSet,
+        /// The observed set.
+        q: ProcSet,
+    },
+    /// [`RotatingStarvation`] of every size-`k` subset.
+    RotatingStarvation {
+        /// The starved subset size.
+        k: usize,
+        /// Base epoch length.
+        base: u64,
+    },
+    /// [`FictitiousCrash`] for system `S^i_{j,n}` against task `(t, k)`
+    /// (`n` comes from the build universe).
+    FictitiousCrash {
+        /// System parameter `i`.
+        i: usize,
+        /// System parameter `j`.
+        j: usize,
+        /// Task resilience `t`.
+        t: usize,
+        /// Task agreement degree `k`.
+        k: usize,
+        /// Base epoch length.
+        base: u64,
+    },
+    /// [`Cycle`]: infinite repetition of a finite schedule.
+    Cycle {
+        /// The repeated period.
+        period: Schedule,
+    },
+    /// [`AlternatingRotation`] over a group partition.
+    AlternatingRotation {
+        /// The disjoint groups.
+        groups: Vec<ProcSet>,
+        /// Base representative-run length.
+        base: u64,
+    },
+    /// [`CrashAfter`]: the inner spec with a crash plan applied.
+    CrashAfter {
+        /// The wrapped spec.
+        inner: Box<GeneratorSpec>,
+        /// When each faulty process takes its last step.
+        plan: CrashPlan,
+    },
+}
+
+impl GeneratorSpec {
+    /// Round-robin over the full universe.
+    pub fn round_robin() -> Self {
+        GeneratorSpec::RoundRobin { over: None }
+    }
+
+    /// Uniform seeded-random over the full universe, at the given offset
+    /// from the scenario seed.
+    pub fn seeded_random(seed_offset: u64) -> Self {
+        GeneratorSpec::SeededRandom {
+            over: None,
+            seed_offset,
+            weights: None,
+        }
+    }
+
+    /// `SetTimely` with the given guarantee over a filler spec.
+    pub fn set_timely(p: ProcSet, q: ProcSet, bound: usize, filler: GeneratorSpec) -> Self {
+        GeneratorSpec::SetTimely {
+            p,
+            q,
+            bound,
+            filler: Box::new(filler),
+            crashes: CrashPlan::new(),
+        }
+    }
+
+    /// Applies a crash plan the way the experiments do by hand: a
+    /// [`SetTimely`] spec keeps injecting only live `P`-members **and** has
+    /// its filler crash-filtered; every other spec is wrapped in
+    /// [`CrashAfter`]. An empty plan returns the spec unchanged.
+    pub fn crashed(self, plan: CrashPlan) -> Self {
+        if plan.is_empty() {
+            return self;
+        }
+        match self {
+            GeneratorSpec::SetTimely {
+                p,
+                q,
+                bound,
+                filler,
+                crashes,
+            } => {
+                debug_assert!(crashes.is_empty(), "crash plan already applied");
+                GeneratorSpec::SetTimely {
+                    p,
+                    q,
+                    bound,
+                    filler: Box::new(GeneratorSpec::CrashAfter {
+                        inner: filler,
+                        plan: plan.clone(),
+                    }),
+                    crashes: plan,
+                }
+            }
+            other => GeneratorSpec::CrashAfter {
+                inner: Box::new(other),
+                plan,
+            },
+        }
+    }
+
+    /// Every process this spec silences — crash-plan victims plus the
+    /// fictitious pre-crashed set. The scenario's correct set is the
+    /// complement.
+    pub fn faulty(&self, universe: Universe) -> ProcSet {
+        match self {
+            GeneratorSpec::RoundRobin { .. }
+            | GeneratorSpec::SeededRandom { .. }
+            | GeneratorSpec::Figure1 { .. }
+            | GeneratorSpec::GeneralizedFigure1 { .. }
+            | GeneratorSpec::RotatingStarvation { .. }
+            | GeneratorSpec::Cycle { .. }
+            | GeneratorSpec::AlternatingRotation { .. } => ProcSet::EMPTY,
+            GeneratorSpec::SetTimely {
+                filler, crashes, ..
+            } => crashes.faulty().union(filler.faulty(universe)),
+            GeneratorSpec::Eventually { prefix, body, .. } => {
+                // A prefix crash only holds for finitely many steps; the
+                // body decides who is faulty in the limit.
+                let _ = prefix;
+                body.faulty(universe)
+            }
+            GeneratorSpec::FictitiousCrash { i, j, .. } => {
+                // The last j − i processes never step (see `FictitiousCrash`).
+                let n = universe.n();
+                ((n - (j - i))..n).map(ProcessId::new).collect()
+            }
+            GeneratorSpec::CrashAfter { inner, plan } => {
+                plan.faulty().union(inner.faulty(universe))
+            }
+        }
+    }
+
+    /// Short family name for tables and labels.
+    pub fn family(&self) -> &'static str {
+        match self {
+            GeneratorSpec::RoundRobin { .. } => "RoundRobin",
+            GeneratorSpec::SeededRandom { .. } => "SeededRandom",
+            GeneratorSpec::SetTimely { .. } => "SetTimely",
+            GeneratorSpec::Eventually { .. } => "Eventually",
+            GeneratorSpec::Figure1 { .. } => "Figure1",
+            GeneratorSpec::GeneralizedFigure1 { .. } => "GeneralizedFigure1",
+            GeneratorSpec::RotatingStarvation { .. } => "RotatingStarvation",
+            GeneratorSpec::FictitiousCrash { .. } => "FictitiousCrash",
+            GeneratorSpec::Cycle { .. } => "Cycle",
+            GeneratorSpec::AlternatingRotation { .. } => "AlternatingRotation",
+            GeneratorSpec::CrashAfter { .. } => "CrashAfter",
+        }
+    }
+
+    /// Materializes the generator for `universe`, offsetting every embedded
+    /// seed by `seed` (wrapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the described generator's own constructor would: empty
+    /// sets, out-of-range parameters, a [`FictitiousCrash`] spec whose
+    /// parameters are solvable, etc. Specs are built eagerly at campaign
+    /// construction in tests, so these fire where the grid is defined, not
+    /// inside a worker.
+    pub fn build(&self, universe: Universe, seed: u64) -> Box<dyn StepSource> {
+        match self {
+            GeneratorSpec::RoundRobin { over } => match over {
+                Some(set) => Box::new(RoundRobin::over(*set)),
+                None => Box::new(RoundRobin::new(universe)),
+            },
+            GeneratorSpec::SeededRandom {
+                over,
+                seed_offset,
+                weights,
+            } => {
+                let s = seed.wrapping_add(*seed_offset);
+                let src = match over {
+                    Some(set) => SeededRandom::over(*set, s),
+                    None => SeededRandom::new(universe, s),
+                };
+                match weights {
+                    Some(w) => Box::new(src.with_weights(w.clone())),
+                    None => Box::new(src),
+                }
+            }
+            GeneratorSpec::SetTimely {
+                p,
+                q,
+                bound,
+                filler,
+                crashes,
+            } => Box::new(
+                SetTimely::new(*p, *q, *bound, filler.build(universe, seed))
+                    .with_crashes(crashes.clone()),
+            ),
+            GeneratorSpec::Eventually {
+                prefix,
+                prefix_len,
+                body,
+            } => Box::new(Eventually::new(
+                prefix.build(universe, seed),
+                *prefix_len,
+                body.build(universe, seed),
+            )),
+            GeneratorSpec::Figure1 { p1, p2, q } => Box::new(Figure1::new(*p1, *p2, *q)),
+            GeneratorSpec::GeneralizedFigure1 { p, q } => Box::new(GeneralizedFigure1::new(*p, *q)),
+            GeneratorSpec::RotatingStarvation { k, base } => {
+                Box::new(RotatingStarvation::with_base(universe, *k, *base))
+            }
+            GeneratorSpec::FictitiousCrash { i, j, t, k, base } => {
+                let spec = SystemSpec::new(*i, *j, universe.n())
+                    .expect("FictitiousCrash spec parameters in range");
+                Box::new(FictitiousCrash::with_base(spec, *t, *k, *base))
+            }
+            GeneratorSpec::Cycle { period } => Box::new(Cycle::new(period.clone())),
+            GeneratorSpec::AlternatingRotation { groups, base } => {
+                Box::new(AlternatingRotation::with_base(groups, *base))
+            }
+            GeneratorSpec::CrashAfter { inner, plan } => {
+                Box::new(CrashAfter::new(inner.build(universe, seed), plan.clone()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::timeliness::empirical_bound;
+
+    fn u(n: usize) -> Universe {
+        Universe::new(n).unwrap()
+    }
+
+    fn set(ix: &[usize]) -> ProcSet {
+        ProcSet::from_indices(ix.iter().copied())
+    }
+
+    /// Every spec builds exactly the generator its hand-rolled twin builds.
+    #[test]
+    fn specs_match_hand_built_generators() {
+        let n = 5;
+        let len = 4_000;
+        let cases: Vec<(GeneratorSpec, Schedule)> = vec![
+            (
+                GeneratorSpec::round_robin(),
+                RoundRobin::new(u(n)).take_schedule(len),
+            ),
+            (
+                GeneratorSpec::RoundRobin {
+                    over: Some(set(&[1, 3])),
+                },
+                RoundRobin::over(set(&[1, 3])).take_schedule(len),
+            ),
+            (
+                GeneratorSpec::seeded_random(3),
+                SeededRandom::new(u(n), 42 + 3).take_schedule(len),
+            ),
+            (
+                GeneratorSpec::SeededRandom {
+                    over: Some(set(&[0, 2, 4])),
+                    seed_offset: 0,
+                    weights: Some(vec![1, 0, 2]),
+                },
+                SeededRandom::over(set(&[0, 2, 4]), 42)
+                    .with_weights(vec![1, 0, 2])
+                    .take_schedule(len),
+            ),
+            (
+                GeneratorSpec::set_timely(
+                    set(&[0]),
+                    set(&[1, 2]),
+                    3,
+                    GeneratorSpec::seeded_random(0),
+                ),
+                SetTimely::new(set(&[0]), set(&[1, 2]), 3, SeededRandom::new(u(n), 42))
+                    .take_schedule(len),
+            ),
+            (
+                GeneratorSpec::Eventually {
+                    prefix: Box::new(GeneratorSpec::RoundRobin {
+                        over: Some(set(&[1])),
+                    }),
+                    prefix_len: 100,
+                    body: Box::new(GeneratorSpec::round_robin()),
+                },
+                Eventually::new(RoundRobin::over(set(&[1])), 100, RoundRobin::new(u(n)))
+                    .take_schedule(len),
+            ),
+            (
+                GeneratorSpec::Figure1 {
+                    p1: ProcessId::new(0),
+                    p2: ProcessId::new(1),
+                    q: ProcessId::new(2),
+                },
+                Figure1::new(ProcessId::new(0), ProcessId::new(1), ProcessId::new(2))
+                    .take_schedule(len),
+            ),
+            (
+                GeneratorSpec::GeneralizedFigure1 {
+                    p: set(&[0, 1]),
+                    q: set(&[2, 3]),
+                },
+                GeneralizedFigure1::new(set(&[0, 1]), set(&[2, 3])).take_schedule(len),
+            ),
+            (
+                GeneratorSpec::RotatingStarvation { k: 2, base: 8 },
+                RotatingStarvation::with_base(u(n), 2, 8).take_schedule(len),
+            ),
+            (
+                GeneratorSpec::FictitiousCrash {
+                    i: 2,
+                    j: 3,
+                    t: 3,
+                    k: 2,
+                    base: 8,
+                },
+                FictitiousCrash::with_base(SystemSpec::new(2, 3, n).unwrap(), 3, 2, 8)
+                    .take_schedule(len),
+            ),
+            (
+                GeneratorSpec::Cycle {
+                    period: Schedule::from_indices([0, 1, 1]),
+                },
+                Cycle::new(Schedule::from_indices([0, 1, 1])).take_schedule(len),
+            ),
+            (
+                GeneratorSpec::AlternatingRotation {
+                    groups: vec![set(&[0, 1]), set(&[2, 3])],
+                    base: 8,
+                },
+                AlternatingRotation::with_base(&[set(&[0, 1]), set(&[2, 3])], 8).take_schedule(len),
+            ),
+        ];
+        for (spec, expected) in cases {
+            let got = spec.build(u(n), 42).take_schedule(len);
+            assert_eq!(got, expected, "spec {spec:?} diverged");
+        }
+    }
+
+    /// `crashed` on SetTimely reproduces the experiments' hand construction:
+    /// crash-filtered filler plus live-member injection.
+    #[test]
+    fn crashed_set_timely_matches_hand_construction() {
+        let n = 5;
+        let p = set(&[0, 1]);
+        let q = set(&[2, 3, 4]);
+        let plan = CrashPlan::all_at(set(&[1, 4]), 500);
+        let spec = GeneratorSpec::set_timely(p, q, 3, GeneratorSpec::seeded_random(1))
+            .crashed(plan.clone());
+        let hand = SetTimely::new(
+            p,
+            q,
+            3,
+            CrashAfter::new(SeededRandom::new(u(n), 8), plan.clone()),
+        )
+        .with_crashes(plan.clone());
+        assert_eq!(
+            spec.build(u(n), 7).take_schedule(6_000),
+            { hand }.take_schedule(6_000)
+        );
+        assert_eq!(spec.faulty(u(n)), set(&[1, 4]));
+        // The guarantee survives the crashes (p0 stays alive).
+        let s = spec.build(u(n), 7).take_schedule(6_000);
+        assert!(empirical_bound(&s.suffix(1_000), p, q) <= 3);
+    }
+
+    /// `crashed` on a non-SetTimely spec is a plain CrashAfter wrapper; an
+    /// empty plan is the identity.
+    #[test]
+    fn crashed_wraps_and_empty_plan_is_identity() {
+        let base = GeneratorSpec::round_robin();
+        assert_eq!(base.clone().crashed(CrashPlan::new()), base);
+        let plan = CrashPlan::new().crash(ProcessId::new(2), 10);
+        let spec = base.crashed(plan.clone());
+        assert_eq!(spec.family(), "CrashAfter");
+        assert_eq!(spec.faulty(u(3)), set(&[2]));
+        let s = spec.build(u(3), 0).take_schedule(1_000);
+        assert_eq!(s.suffix(10).occurrences(ProcessId::new(2)), 0);
+    }
+
+    /// FictitiousCrash reports its fictitious set as faulty.
+    #[test]
+    fn fictitious_faulty_set() {
+        let spec = GeneratorSpec::FictitiousCrash {
+            i: 1,
+            j: 3,
+            t: 4,
+            k: 2,
+            base: 8,
+        };
+        assert_eq!(spec.faulty(u(6)), set(&[4, 5]));
+    }
+
+    /// Specs are Send + Sync: a grid can be shipped to worker threads.
+    #[test]
+    fn specs_cross_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeneratorSpec>();
+    }
+}

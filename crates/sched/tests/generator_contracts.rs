@@ -6,8 +6,8 @@ use st_core::subsets::KSubsets;
 use st_core::timeliness::{empirical_bound, max_q_steps_in_p_free_interval};
 use st_core::{ProcSet, StepSource, SystemSpec, Universe};
 use st_sched::{
-    CrashAfter, CrashPlan, Eventually, FictitiousCrash, GeneralizedFigure1, RotatingStarvation,
-    RoundRobin, SeededRandom, SetTimely,
+    AlternatingRotation, CrashAfter, CrashPlan, Cycle, Eventually, FictitiousCrash,
+    GeneralizedFigure1, RotatingStarvation, RoundRobin, SeededRandom, SetTimely,
 };
 
 fn u(n: usize) -> Universe {
@@ -129,6 +129,78 @@ proptest! {
         prop_assert!(empirical_bound(&s.suffix(prefix_len as usize), p, q) <= 4);
         // Overall bound exists and is at most prefix + body bound.
         prop_assert!(empirical_bound(&s, p, q) <= prefix_len as usize + 4);
+    }
+
+    /// Cycle: the periodic repetition of a random finite word. For every
+    /// pair of sets drawn from the period's participants, the empirical
+    /// bound is *stable in the prefix length* (certified via `validate`'s
+    /// bound check on nested prefixes): periodicity pins every timeliness
+    /// property to one period, the defining contract of the generator.
+    #[test]
+    fn cycle_contract(n in 2usize..=5, len in 1usize..=12, word_seed in 0u64..500,
+                      pbits in 1u64..31, qbits in 1u64..31) {
+        // A random period over a random universe.
+        let period = SeededRandom::new(u(n), word_seed).take_schedule(len);
+        let participants = period.participants();
+        let p = subset(n, pbits).intersection(participants);
+        let q = subset(n, qbits).intersection(participants);
+        prop_assume!(!p.is_empty() && !q.is_empty());
+        let mut gen = Cycle::new(period.clone());
+        let s = gen.take_schedule(len * 64);
+        // The bound over many periods is already reached after two periods
+        // plus slack (any P-free Q-run spans at most one seam), and the
+        // certified bound never grows with longer prefixes.
+        let bound = empirical_bound(&s, p, q);
+        prop_assert!(
+            st_sched::validate::certify_timely(
+                &mut Cycle::new(period.clone()), len * 256, p, q, bound
+            ).is_ok(),
+            "cycle bound must be stable across prefix lengths"
+        );
+        // And it is tight: a longer prefix reproduces exactly it.
+        let longer = Cycle::new(period).take_schedule(len * 256);
+        prop_assert_eq!(empirical_bound(&longer, p, q), bound);
+    }
+
+    /// AlternatingRotation: every group is timely (certified at the
+    /// guaranteed bound via `validate`), while every singleton starves with
+    /// growing evidence — the "set timely, no member timely" contract the
+    /// motivation experiment relies on.
+    #[test]
+    fn alternating_rotation_contract(split in 1usize..=3, extra in 0usize..=2,
+                                     base in 1u64..=8) {
+        // Two disjoint groups covering Π_n: [0, split) and [split, n).
+        let n = split + 1 + extra;
+        let g0: ProcSet = (0..split).map(st_core::ProcessId::new).collect();
+        let g1: ProcSet = (split..n).map(st_core::ProcessId::new).collect();
+        let groups = vec![g0, g1];
+        let gen = AlternatingRotation::with_base(&groups, base);
+        let bound = gen.guaranteed_bound();
+        prop_assert_eq!(bound, groups.len());
+        let full = ProcSet::full(u(n));
+        // Certify each group's claimed bound with the validate helper.
+        for g in &groups {
+            prop_assert!(
+                st_sched::validate::certify_timely(
+                    &mut AlternatingRotation::with_base(&groups, base),
+                    60_000, *g, full, bound
+                ).is_ok(),
+                "group {} must be timely at bound {}", g, bound
+            );
+        }
+        // Singletons of a multi-member group starve unboundedly: evidence
+        // grows between nested prefixes (validate's starvation measure).
+        let s = AlternatingRotation::with_base(&groups, base).take_schedule(120_000);
+        for (g, single) in groups.iter().zip([0usize, split]) {
+            if g.len() < 2 {
+                continue; // a singleton group IS its set: timely by the above
+            }
+            let pset = ProcSet::from_indices([single]);
+            let early = max_q_steps_in_p_free_interval(&s.prefix(12_000), pset, full);
+            let late = max_q_steps_in_p_free_interval(&s, pset, full);
+            prop_assert!(late > early && late > 2 * bound,
+                "singleton p{} must starve unboundedly ({} vs {})", single, early, late);
+        }
     }
 
     /// Round-robin is the synchrony baseline: every singleton timely wrt
