@@ -34,7 +34,8 @@ pub enum StackKind {
 pub enum StackAbi {
     /// Async `ProcessCtx` protocols in future slots.
     Async,
-    /// [`KSetAgreementMachine`] state machines in automaton slots — the
+    /// [`KSetAgreementMachine`](crate::KSetAgreementMachine) state
+    /// machines in automaton slots — the
     /// fast path E3/E4 run on.
     #[default]
     Machine,

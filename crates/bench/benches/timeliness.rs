@@ -4,7 +4,8 @@
 //! the work-stealing matrix sweep against the kept static split, the
 //! simulator's two automaton ABIs on the Figure 2 k-anti-Ω workload, the
 //! scenario-campaign engine's throughput on an E3-shaped grid (1 vs 4
-//! workers), plus the `BENCH_timeliness.json` baseline emitter that records
+//! workers) and its resume overhead (skip-all drive + outcome-store round
+//! trip), plus the `BENCH_timeliness.json` baseline emitter that records
 //! the repository's perf trajectory.
 //!
 //! Sweep workloads follow the acceptance shape of the engine: `n = 12`,
@@ -308,6 +309,7 @@ fn campaign_reference_grid() -> st_campaign::Campaign {
             k,
             inputs: (0..n as u64).map(|v| 1000 + 7 * v).collect(),
             policy: TimeoutPolicy::Increment,
+            certify: None,
         };
         for seed in 0..CAMPAIGN_SEEDS {
             campaign.push(Scenario::new(
@@ -334,6 +336,30 @@ fn campaign_throughput(c: &mut Criterion) {
     });
     group.bench_function("e3_grid_64_w4", |b| {
         b.iter(|| campaign.run_parallel(4).len())
+    });
+    group.finish();
+}
+
+/// Resume overhead: the same 64-scenario grid resumed from a complete
+/// outcome store (pure skip: spec re-encode + lookup + rank merge, no
+/// scenario executes) and the store's serialize→parse round trip — the two
+/// fixed costs a checkpointed sweep pays over a one-shot run.
+fn campaign_resume_overhead(c: &mut Criterion) {
+    use st_campaign::OutcomeStore;
+    let campaign = campaign_reference_grid();
+    let mut store = OutcomeStore::new();
+    campaign.run_resumed(1, "bench", None, Some(&mut store));
+    let mut group = c.benchmark_group("campaign/resume");
+    group.sample_size(10);
+    group.bench_function("e3_grid_64_skip_all", |b| {
+        b.iter(|| campaign.run_resumed(1, "bench", Some(&store), None).len())
+    });
+    group.bench_function("e3_grid_64_store_roundtrip", |b| {
+        b.iter(|| {
+            OutcomeStore::from_json_str(&store.to_json_string())
+                .expect("own bytes")
+                .len()
+        })
     });
     group.finish();
 }
@@ -447,8 +473,32 @@ fn emit_baseline(_c: &mut Criterion) {
     let campaign_sps_w4 = campaign_scenarios as f64 * 1e3 / campaign_w4;
     let hardware_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
 
+    // Resume overhead on the same grid: a complete store (every scenario
+    // skipped — the pure bookkeeping cost), a half store (half the
+    // scenarios re-run), and the store's serialize→parse round trip.
+    let mut full_store = st_campaign::OutcomeStore::new();
+    campaign.run_resumed(1, "bench", None, Some(&mut full_store));
+    let store_bytes = full_store.to_json_string().len();
+    let resume_skip_all = time_best(5, || {
+        campaign
+            .run_resumed(1, "bench", Some(&full_store), None)
+            .len()
+    });
+    let mut half_store = full_store.clone();
+    half_store.retain(|idx, _| idx % 2 == 0);
+    let resume_half = time_best(3, || {
+        campaign
+            .run_resumed(1, "bench", Some(&half_store), None)
+            .len()
+    });
+    let store_roundtrip = time_best(5, || {
+        st_campaign::OutcomeStore::from_json_str(&full_store.to_json_string())
+            .expect("own bytes")
+            .len()
+    });
+
     let json = format!(
-        "{{\n  \"schema\": \"st-bench/timeliness-v3\",\n  \
+        "{{\n  \"schema\": \"st-bench/timeliness-v4\",\n  \
          \"workload\": {{\"n\": {N}, \"schedule_len\": {LEN}, \"bound_cap\": {CAP}, \"i\": {I}, \"j\": {J}}},\n  \
          \"all_timely_pairs_ms\": {{\n    \
            \"round_robin\": {{\"naive\": {naive_rr:.2}, \"engine\": {engine_rr:.2}, \"speedup\": {:.1}}},\n    \
@@ -475,7 +525,15 @@ fn emit_baseline(_c: &mut Criterion) {
            \"four_workers_ms\": {campaign_w4:.2},\n    \
            \"scenarios_per_sec_1w\": {campaign_sps_w1:.1},\n    \
            \"scenarios_per_sec_4w\": {campaign_sps_w4:.1},\n    \
-           \"speedup\": {:.2}\n  }}\n}}\n",
+           \"speedup\": {:.2}\n  }},\n  \
+         \"campaign_resume\": {{\n    \
+           \"workload\": {{\"grid\": \"E3-shaped agreement campaign\", \"scenarios\": {campaign_scenarios}}},\n    \
+           \"store_bytes\": {store_bytes},\n    \
+           \"full_run_ms\": {campaign_w1:.2},\n    \
+           \"resume_skip_all_ms\": {resume_skip_all:.3},\n    \
+           \"resume_half_store_ms\": {resume_half:.2},\n    \
+           \"store_roundtrip_ms\": {store_roundtrip:.3},\n    \
+           \"skip_overhead_us_per_scenario\": {:.1}\n  }}\n}}\n",
         naive_rr / engine_rr,
         naive_rnd / engine_rnd,
         matrix_static / matrix_steal,
@@ -485,6 +543,7 @@ fn emit_baseline(_c: &mut Criterion) {
         ag_async_ns / ag_fleet_ns,
         CAMPAIGN_GRID.len(),
         campaign_w1 / campaign_w4,
+        resume_skip_all * 1e3 / campaign_scenarios as f64,
     );
     let path = criterion::workspace_root().join("BENCH_timeliness.json");
     std::fs::write(&path, &json).expect("write BENCH_timeliness.json");
@@ -543,6 +602,7 @@ criterion_group!(
     sim_step_throughput,
     agreement_step_throughput,
     campaign_throughput,
+    campaign_resume_overhead,
     emit_baseline
 );
 criterion_main!(benches);

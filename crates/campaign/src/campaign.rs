@@ -1,21 +1,33 @@
 //! Campaigns: ordered scenario lists executed by a work-stealing worker
-//! pool with a deterministic rank-ordered merge.
+//! pool with a deterministic rank-ordered merge, filterable and resumable
+//! without changing what any scenario computes.
 
 use st_core::parallel::{resolve_workers, steal_chunks};
 use st_core::Universe;
-use st_sched::{CrashPlan, GeneratorSpec};
+use st_sched::{CrashPlan, GeneratorSpec, TimeoutPolicySpec};
 
 use crate::scenario::{Scenario, ScenarioOutcome, StopRule, Workload};
+use crate::store::OutcomeStore;
 
 /// An ordered list of scenarios, executed together.
 ///
 /// The order is the identity of the campaign: every scenario has a *rank*
-/// (its index), outcomes always come back sorted by rank, and
-/// [`run_parallel`](Campaign::run_parallel) guarantees the outcome list is
-/// identical for every thread count.
+/// (its position at creation), outcomes always come back sorted by rank,
+/// and [`run_parallel`](Campaign::run_parallel) guarantees the outcome list
+/// is identical for every thread count.
+///
+/// Ranks are **permanent**: [`retain`](Campaign::retain) and
+/// [`skip_completed`](Campaign::skip_completed) drop scenarios without
+/// renumbering the survivors, so outcomes of a filtered campaign slot back
+/// into the full run's rank order — [`merge_outcomes`] of a resumed sweep
+/// is byte-identical to the uninterrupted run.
 #[derive(Clone, Default, Debug)]
 pub struct Campaign {
     scenarios: Vec<Scenario>,
+    /// Rank of `scenarios[idx]`; strictly increasing (push only grows
+    /// `next_rank`, filters preserve order).
+    ranks: Vec<usize>,
+    next_rank: usize,
 }
 
 impl Campaign {
@@ -26,7 +38,13 @@ impl Campaign {
 
     /// A campaign from an explicit scenario list (ranks = positions).
     pub fn from_scenarios(scenarios: Vec<Scenario>) -> Self {
-        Campaign { scenarios }
+        let ranks = (0..scenarios.len()).collect();
+        let next_rank = scenarios.len();
+        Campaign {
+            scenarios,
+            ranks,
+            next_rank,
+        }
     }
 
     /// Starts a cartesian grid over one universe.
@@ -36,13 +54,31 @@ impl Campaign {
 
     /// Appends a scenario; returns its rank.
     pub fn push(&mut self, scenario: Scenario) -> usize {
+        let rank = self.next_rank;
+        self.next_rank += 1;
         self.scenarios.push(scenario);
-        self.scenarios.len() - 1
+        self.ranks.push(rank);
+        rank
+    }
+
+    /// Appends every scenario of `other`, re-ranking them to continue this
+    /// campaign's rank sequence (grids built separately can be chained into
+    /// one campaign).
+    pub fn append(&mut self, other: Campaign) {
+        for scenario in other.scenarios {
+            self.push(scenario);
+        }
     }
 
     /// The scenarios, in rank order.
     pub fn scenarios(&self) -> &[Scenario] {
         &self.scenarios
+    }
+
+    /// The rank of each scenario, parallel to
+    /// [`scenarios`](Self::scenarios); strictly increasing.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
     }
 
     /// Number of scenarios.
@@ -55,14 +91,57 @@ impl Campaign {
         self.scenarios.is_empty()
     }
 
+    /// Keeps only the scenarios for which `pred(rank, scenario)` holds,
+    /// **without renumbering** the survivors: a retained scenario keeps the
+    /// rank it had in the full campaign, so its outcome merges back into
+    /// full-run order.
+    pub fn retain(&mut self, mut pred: impl FnMut(usize, &Scenario) -> bool) {
+        // One precomputed mask drives both vectors so they stay zipped.
+        let mask: Vec<bool> = self
+            .ranks
+            .iter()
+            .zip(self.scenarios.iter())
+            .map(|(&rank, s)| pred(rank, s))
+            .collect();
+        let mut it = mask.iter().copied();
+        self.scenarios
+            .retain(|_| it.next().expect("mask covers all"));
+        let mut it = mask.iter().copied();
+        self.ranks.retain(|_| it.next().expect("mask covers all"));
+    }
+
+    /// Removes every scenario that `store` already holds a matching outcome
+    /// for (same campaign `key`, same rank, byte-identical serialized spec)
+    /// and returns those stored outcomes, in rank order.
+    ///
+    /// The spec comparison is what makes resumption safe: an outcome is
+    /// only reused if the stored scenario is *exactly* the one this
+    /// campaign would run — a store written by an older grid silently
+    /// mismatches and the scenario reruns.
+    pub fn skip_completed(&mut self, store: &OutcomeStore, key: &str) -> Vec<ScenarioOutcome> {
+        let scenarios = std::mem::take(&mut self.scenarios);
+        let ranks = std::mem::take(&mut self.ranks);
+        let mut reused = Vec::new();
+        for (scenario, rank) in scenarios.into_iter().zip(ranks) {
+            match store.lookup(key, rank, &scenario) {
+                Some(outcome) => reused.push(outcome),
+                None => {
+                    self.scenarios.push(scenario);
+                    self.ranks.push(rank);
+                }
+            }
+        }
+        reused
+    }
+
     /// Runs every scenario sequentially, in rank order. Equivalent to
     /// `run_parallel(1)`; kept as the obvious reference implementation the
     /// differential tests compare against.
     pub fn run_sequential(&self) -> Vec<ScenarioOutcome> {
         self.scenarios
             .iter()
-            .enumerate()
-            .map(|(rank, s)| {
+            .zip(self.ranks.iter())
+            .map(|(s, &rank)| {
                 let mut out = s.run();
                 out.rank = rank;
                 out
@@ -74,7 +153,7 @@ impl Campaign {
     /// the sequential path, `usize::MAX` for one worker per hardware
     /// thread) and returns outcomes **in rank order**.
     ///
-    /// Workers steal scenario ranks off a shared atomic counter — the
+    /// Workers steal scenario indexes off a shared atomic counter — the
     /// proven `sweep_matrix` pattern, via [`st_core::parallel`] — so a
     /// worker that drew cheap scenarios (small budgets, early deciders)
     /// loops back for more while a slow one is still grinding. Each
@@ -94,30 +173,85 @@ impl Campaign {
             1,
             || (),
             |_, first, last| {
-                debug_assert_eq!(last, first + 1, "scenario chunks are single ranks");
-                let rank = first as usize;
-                let mut out = self.scenarios[rank].run();
-                out.rank = rank;
+                debug_assert_eq!(last, first + 1, "scenario chunks are single indexes");
+                let idx = first as usize;
+                let mut out = self.scenarios[idx].run();
+                out.rank = self.ranks[idx];
                 out
             },
         );
         parts.into_iter().map(|(_, out)| out).collect()
     }
+
+    /// The resumable drive: reuses every outcome `resume` already holds for
+    /// this campaign (under `key`), runs only the remainder on `threads`
+    /// workers, and returns the merged outcome list — **byte-identical to
+    /// an uninterrupted [`run_parallel`](Self::run_parallel)**, because reused and fresh
+    /// outcomes carry their permanent ranks and merge in rank order.
+    ///
+    /// When `record` is given, every returned outcome (reused and fresh
+    /// alike) is recorded into it together with its serialized scenario
+    /// spec, in rank order — so the store written by a resumed sweep is
+    /// byte-identical to the store an uninterrupted sweep writes.
+    pub fn run_resumed(
+        &self,
+        threads: usize,
+        key: &str,
+        resume: Option<&OutcomeStore>,
+        record: Option<&mut OutcomeStore>,
+    ) -> Vec<ScenarioOutcome> {
+        let mut pending = self.clone();
+        let reused = match resume {
+            Some(store) => pending.skip_completed(store, key),
+            None => Vec::new(),
+        };
+        let fresh = pending.run_parallel(threads);
+        let merged = merge_outcomes(reused, fresh);
+        if let Some(store) = record {
+            for out in &merged {
+                let idx = self
+                    .ranks
+                    .binary_search(&out.rank)
+                    .expect("merged ranks come from this campaign");
+                store.record(key, &self.scenarios[idx], out);
+            }
+        }
+        merged
+    }
 }
 
-/// Cartesian scenario-grid builder: workloads × generators × crash plans ×
-/// seeds, in that nesting order (workloads outermost, seeds innermost), all
-/// sharing one universe and budget.
+/// Merges two rank-sorted outcome lists into one rank-sorted list (the
+/// reassembly step of a resumed or partitioned sweep). Ranks are expected
+/// to be disjoint — a campaign never yields the same rank twice.
+pub fn merge_outcomes(
+    mut reused: Vec<ScenarioOutcome>,
+    fresh: Vec<ScenarioOutcome>,
+) -> Vec<ScenarioOutcome> {
+    reused.extend(fresh);
+    reused.sort_by_key(|o| o.rank);
+    reused
+}
+
+/// Cartesian scenario-grid builder: workloads × timeout policies ×
+/// generators × crash plans × seeds, in that nesting order (workloads
+/// outermost, seeds innermost), all sharing one universe and budget.
 ///
 /// Crash plans are applied with [`GeneratorSpec::crashed`]; the scenario's
 /// faulty set is the plan's victims (plus whatever the generator itself
-/// silences).
+/// silences). The timeout-policy axis
+/// ([`timeout_policies`](GridBuilder::timeout_policies)) rewrites each
+/// workload's FD policy per cell — it applies to every FD-backed workload,
+/// [`Workload::AdversarialAgreement`] cells included; when the axis is not
+/// set, workloads keep their own policy and labels are unchanged.
 pub struct GridBuilder {
     universe: Universe,
     generators: Vec<GeneratorSpec>,
     crashes: Vec<CrashPlan>,
     seeds: Vec<u64>,
     workloads: Vec<Workload>,
+    /// `None` = "the workload's own policy" (the default single axis value,
+    /// which also keeps labels in their historical shape).
+    policies: Vec<Option<TimeoutPolicySpec>>,
     budget: u64,
     stop: Option<StopRule>,
 }
@@ -130,6 +264,7 @@ impl GridBuilder {
             crashes: vec![CrashPlan::new()],
             seeds: vec![0],
             workloads: Vec::new(),
+            policies: vec![None],
             budget: 1_000_000,
             stop: None,
         }
@@ -166,6 +301,19 @@ impl GridBuilder {
         self
     }
 
+    /// The FD timeout-policy axis: each cell's workload runs with its
+    /// policy replaced by the axis value
+    /// ([`Workload::with_policy_spec`](crate::Workload::with_policy_spec)),
+    /// and labels gain a policy segment. Defaults to "keep the workload's
+    /// own policy" (no label change).
+    pub fn timeout_policies(
+        mut self,
+        policies: impl IntoIterator<Item = TimeoutPolicySpec>,
+    ) -> Self {
+        self.policies = policies.into_iter().map(Some).collect();
+        self
+    }
+
     /// Per-scenario step budget (default 1M).
     pub fn budget(mut self, budget: u64) -> Self {
         self.budget = budget;
@@ -185,35 +333,46 @@ impl GridBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the generator or workload axis is empty — an empty grid is
-    /// always a bug in the experiment definition.
+    /// Panics if the generator, workload, or timeout-policy axis is empty —
+    /// an empty grid is always a bug in the experiment definition.
     pub fn build(self) -> Campaign {
         assert!(!self.generators.is_empty(), "grid needs ≥ 1 generator");
         assert!(!self.workloads.is_empty(), "grid needs ≥ 1 workload");
+        assert!(!self.policies.is_empty(), "grid needs ≥ 1 timeout policy");
         let mut campaign = Campaign::new();
         for (w, workload) in self.workloads.iter().enumerate() {
-            for generator in &self.generators {
-                for (c, plan) in self.crashes.iter().enumerate() {
-                    let spec = generator.clone().crashed(plan.clone());
-                    for &seed in &self.seeds {
-                        // `crash{c}` is the crash-axis *index*: distinct
-                        // plans get distinct labels even with equal victim
-                        // counts, and generator-silenced processes (e.g.
-                        // FictitiousCrash) are not miscounted as plan
-                        // victims.
-                        let label = format!("w{w}/{}/crash{c}/seed{seed}", spec.family());
-                        let mut scenario = Scenario::new(
-                            label,
-                            self.universe,
-                            spec.clone(),
-                            workload.clone(),
-                            self.budget,
-                            seed,
-                        );
-                        if let Some(stop) = self.stop {
-                            scenario.stop = stop;
+            for policy in &self.policies {
+                let (workload, pol_label) = match policy {
+                    None => (workload.clone(), String::new()),
+                    Some(spec) => (
+                        workload.clone().with_policy_spec(*spec),
+                        format!("{}/", spec.name()),
+                    ),
+                };
+                for generator in &self.generators {
+                    for (c, plan) in self.crashes.iter().enumerate() {
+                        let spec = generator.clone().crashed(plan.clone());
+                        for &seed in &self.seeds {
+                            // `crash{c}` is the crash-axis *index*: distinct
+                            // plans get distinct labels even with equal victim
+                            // counts, and generator-silenced processes (e.g.
+                            // FictitiousCrash) are not miscounted as plan
+                            // victims.
+                            let label =
+                                format!("w{w}/{pol_label}{}/crash{c}/seed{seed}", spec.family());
+                            let mut scenario = Scenario::new(
+                                label,
+                                self.universe,
+                                spec.clone(),
+                                workload.clone(),
+                                self.budget,
+                                seed,
+                            );
+                            if let Some(stop) = self.stop {
+                                scenario.stop = stop;
+                            }
+                            campaign.push(scenario);
                         }
-                        campaign.push(scenario);
                     }
                 }
             }
@@ -268,6 +427,36 @@ mod tests {
                 "w0/SeededRandom/crash0/seed9",
             ]
         );
+        assert_eq!(campaign.ranks(), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn policy_axis_rewrites_workloads_and_labels() {
+        let u = Universe::new(3).unwrap();
+        let campaign = Campaign::grid(u)
+            .generators([GeneratorSpec::round_robin()])
+            .workload(fd_workload())
+            .timeout_policies([TimeoutPolicySpec::Increment, TimeoutPolicySpec::Double])
+            .budget(10)
+            .build();
+        assert_eq!(campaign.len(), 2);
+        assert_eq!(
+            campaign.scenarios()[0].label,
+            "w0/Increment/RoundRobin/crash0/seed0"
+        );
+        assert_eq!(
+            campaign.scenarios()[1].label,
+            "w0/Double/RoundRobin/crash0/seed0"
+        );
+        let policy_of = |s: &Scenario| match s.workload {
+            Workload::FdConvergence { policy, .. } => policy,
+            _ => unreachable!(),
+        };
+        assert_eq!(
+            policy_of(&campaign.scenarios()[0]),
+            TimeoutPolicy::Increment
+        );
+        assert_eq!(policy_of(&campaign.scenarios()[1]), TimeoutPolicy::Double);
     }
 
     #[test]
@@ -288,6 +477,26 @@ mod tests {
     }
 
     #[test]
+    fn retain_preserves_ranks_and_push_continues_them() {
+        let u = Universe::new(3).unwrap();
+        let mut campaign = Campaign::grid(u)
+            .generators([GeneratorSpec::round_robin()])
+            .seeds(0..5)
+            .workload(fd_workload())
+            .budget(500)
+            .build();
+        campaign.retain(|rank, _| rank % 2 == 0);
+        assert_eq!(campaign.ranks(), [0, 2, 4]);
+        let out = campaign.run_parallel(2);
+        let got: Vec<usize> = out.iter().map(|o| o.rank).collect();
+        assert_eq!(got, [0, 2, 4], "retained scenarios keep their ranks");
+        // A later push continues the original sequence, not the filtered
+        // length.
+        let rank = campaign.push(campaign.scenarios()[0].clone());
+        assert_eq!(rank, 5);
+    }
+
+    #[test]
     fn budget_only_override_outlives_the_decision() {
         use st_sim::RunStatus;
         let u = Universe::new(3).unwrap();
@@ -298,6 +507,7 @@ mod tests {
             k: 1,
             inputs: vec![10, 20, 30],
             policy: TimeoutPolicy::Increment,
+            certify: None,
         };
         let spec = GeneratorSpec::set_timely(p, q, 6, GeneratorSpec::seeded_random(0));
         let grid = |stop: Option<crate::StopRule>| {
@@ -322,6 +532,42 @@ mod tests {
         let full = full.data.as_agreement().unwrap();
         assert_eq!(full.status, RunStatus::MaxSteps);
         assert_eq!(full.decisions, decided.decisions);
+    }
+
+    #[test]
+    fn failed_certification_skips_the_drive() {
+        use crate::scenario::CertifyTimely;
+        use st_sim::RunStatus;
+        let u = Universe::new(3).unwrap();
+        let workload = Workload::Agreement {
+            t: 1,
+            k: 1,
+            inputs: vec![1, 2, 3],
+            policy: TimeoutPolicy::Increment,
+            // cap = 1 on a random schedule: no singleton is 1-timely wrt
+            // the whole universe, so certification must fail.
+            certify: Some(CertifyTimely {
+                i: 1,
+                j: 3,
+                cap: 1,
+                prefix_len: 2_000,
+            }),
+        };
+        let scenario = Scenario::new(
+            "uncertified",
+            u,
+            GeneratorSpec::seeded_random(0),
+            workload,
+            500_000,
+            5,
+        );
+        let run = scenario.run();
+        let run = run.data.as_agreement().unwrap();
+        assert_eq!(run.certified, Some(false));
+        // Zero-budget drive: the mismatch verdict is known, so the budget
+        // is not burned — no process ever stepped.
+        assert_eq!(run.status, RunStatus::MaxSteps);
+        assert!(run.decisions.iter().all(|d| d.is_none()));
     }
 
     #[test]

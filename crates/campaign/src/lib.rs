@@ -15,8 +15,33 @@
 //! - a [`ScenarioOutcome`] is the structured, `Eq`-comparable result the
 //!   experiment harness renders into its tables.
 //!
-//! The `st-lab` experiments E2/E3/E4/E7/E8 are campaigns; their bespoke
-//! sequential loops were replaced by grids over this engine.
+//! The `st-lab` experiments E2–E8 (all but E1's prefix curves) are
+//! campaigns; their bespoke sequential loops were replaced by grids over
+//! this engine. E5's solvable cells run [`Workload::Agreement`] with a
+//! [`CertifyTimely`] pre-check, its unsolvable cells run
+//! [`Workload::AdversarialAgreement`]; E6 is a [`Workload::BgReduction`]
+//! grid.
+//!
+//! # Persistence and resumability
+//!
+//! Campaigns are *restartable* production sweeps, not one-shot loops:
+//!
+//! - an [`OutcomeStore`] serializes `(campaign key, rank, scenario spec,
+//!   outcome)` entries to a stable, versioned JSON file
+//!   ([`store::SCHEMA`]); loading a file written by any other schema
+//!   version is a typed [`StoreError::SchemaMismatch`];
+//! - [`Campaign::retain`] filters a campaign **without renumbering**:
+//!   ranks are permanent, so partial outcome lists slot back into full-run
+//!   order;
+//! - [`Campaign::skip_completed`] drops every scenario the store already
+//!   holds (matching key, rank, and byte-identical serialized spec — the
+//!   staleness guard) and returns the stored outcomes;
+//! - [`Campaign::run_resumed`] packages the whole lifecycle: reuse, run
+//!   the remainder at any thread count, merge in rank order, re-record.
+//!   An interrupted-then-resumed sweep returns (and re-writes) **byte
+//!   identical** results to an uninterrupted run — differential- and
+//!   property-tested in `tests/resume.rs` across interrupt points, random
+//!   partitions, and 1/4/oversubscribed worker pools.
 //!
 //! # Determinism guarantee
 //!
@@ -43,12 +68,14 @@
 
 mod campaign;
 mod scenario;
+pub mod store;
 
-pub use campaign::{Campaign, GridBuilder};
+pub use campaign::{merge_outcomes, Campaign, GridBuilder};
 pub use scenario::{
-    AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, FdAbi, FdDetector, FdOutcome,
-    OutcomeData, Scenario, ScenarioOutcome, StopRule, Workload,
+    policy_from_spec, AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, CertifyTimely,
+    FdAbi, FdDetector, FdOutcome, OutcomeData, Scenario, ScenarioOutcome, StopRule, Workload,
 };
+pub use store::{OutcomeStore, StoreEntry, StoreError};
 
 // Re-exported so campaign definitions need only this crate.
-pub use st_sched::GeneratorSpec;
+pub use st_sched::{GeneratorSpec, TimeoutPolicySpec};

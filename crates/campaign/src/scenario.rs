@@ -10,7 +10,11 @@
 
 use st_agreement::{drive_adversarially, AgreementStack, StackKind};
 use st_bgsim::{run_reduction, TrivialKDecide};
-use st_core::{AgreementTask, AgreementViolation, ProcSet, ProcessId, TimelyPair, Universe, Value};
+use st_core::subsets::KSubsets;
+use st_core::timeliness::{empirical_bound, TimelinessAnalyzer};
+use st_core::{
+    AgreementTask, AgreementViolation, ProcSet, ProcessId, StepSource, TimelyPair, Universe, Value,
+};
 use st_fd::convergence::{
     certify_system_membership, kanti_omega_witness, winnerset_stabilization, KAntiOmegaWitness,
     Stabilization,
@@ -19,8 +23,18 @@ use st_fd::{
     KAntiOmega, KAntiOmegaConfig, ProcessTimelyDetector, TimeoutPolicy, BASELINE_WINNERSET_PROBE,
     WINNERSET_PROBE,
 };
-use st_sched::GeneratorSpec;
+use st_sched::{GeneratorSpec, TimeoutPolicySpec};
 use st_sim::{RunConfig, RunStatus, Sim, StopWhen};
+
+/// Converts a declarative [`TimeoutPolicySpec`] grid-axis value (from
+/// `st-sched`, which does not depend on `st-fd`) into the concrete
+/// [`TimeoutPolicy`] the failure detector consumes.
+pub fn policy_from_spec(spec: TimeoutPolicySpec) -> TimeoutPolicy {
+    match spec {
+        TimeoutPolicySpec::Increment => TimeoutPolicy::Increment,
+        TimeoutPolicySpec::Double => TimeoutPolicy::Double,
+    }
+}
 
 /// Which simulator drive a set-based FD scenario uses. The three are
 /// observationally identical (`st-fd`'s differential suite); experiments pin
@@ -80,6 +94,10 @@ pub enum Workload {
         inputs: Vec<Value>,
         /// Timeout policy for the FD underneath.
         policy: TimeoutPolicy,
+        /// Optional pre-run schedule certification (solvable matrix cells
+        /// certify conformance before trusting the run — see
+        /// [`CertifyTimely`]).
+        certify: Option<CertifyTimely>,
     },
     /// `(t,k,n)`-agreement driven by the **adaptive adversary** instead of
     /// the scenario's generator (the adversary constructs its schedule from
@@ -112,6 +130,24 @@ pub enum Workload {
     },
 }
 
+/// Pre-run certification of a conforming cell: before the protocol runs,
+/// the scenario rebuilds its generator from the spec, takes `prefix_len`
+/// steps, and asks the timeliness engine whether the prefix contains an
+/// `(i, j)` timely pair within `cap` — the solvability matrix's "is this
+/// schedule really in `S^i_{j,n}`?" check. The verdict lands in
+/// [`AgreementScenarioOutcome::certified`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CertifyTimely {
+    /// Timely set size `i`.
+    pub i: usize,
+    /// Observed set size `j`.
+    pub j: usize,
+    /// Bound cap accepted by the certification.
+    pub cap: usize,
+    /// Prefix length swept by the analyzer.
+    pub prefix_len: u64,
+}
+
 impl Workload {
     /// The stop rule this workload observes (see [`StopRule`]).
     pub fn default_stop(&self) -> StopRule {
@@ -124,6 +160,24 @@ impl Workload {
                 StopRule::BudgetOnly
             }
         }
+    }
+
+    /// This workload with its FD timeout policy replaced — the grid
+    /// builder's timeout-policy axis. [`Workload::BgReduction`] has no
+    /// failure detector underneath; it is returned unchanged.
+    pub fn with_policy(mut self, new: TimeoutPolicy) -> Workload {
+        match &mut self {
+            Workload::FdConvergence { policy, .. }
+            | Workload::Agreement { policy, .. }
+            | Workload::AdversarialAgreement { policy, .. } => *policy = new,
+            Workload::BgReduction { .. } => {}
+        }
+        self
+    }
+
+    /// [`with_policy`](Self::with_policy) from the declarative axis value.
+    pub fn with_policy_spec(self, spec: TimeoutPolicySpec) -> Workload {
+        self.with_policy(policy_from_spec(spec))
     }
 }
 
@@ -223,7 +277,8 @@ impl Scenario {
                 k,
                 inputs,
                 policy,
-            } => OutcomeData::Agreement(self.run_agreement(*t, *k, inputs, *policy)),
+                certify,
+            } => OutcomeData::Agreement(self.run_agreement(*t, *k, inputs, *policy, *certify)),
             Workload::AdversarialAgreement {
                 t,
                 k,
@@ -352,16 +407,38 @@ impl Scenario {
         k: usize,
         inputs: &[Value],
         policy: TimeoutPolicy,
+        certify: Option<CertifyTimely>,
     ) -> AgreementScenarioOutcome {
+        // Certification sweeps a *fresh* build of the same generator spec —
+        // bit-identical to the schedule the protocol is about to see.
+        let certified = certify.map(|c| {
+            let prefix = self
+                .generator
+                .build(self.universe, self.seed)
+                .take_schedule(c.prefix_len as usize);
+            TimelinessAnalyzer::new(self.universe)
+                .find_timely_pair(&prefix, c.i, c.j, c.cap)
+                .is_some()
+        });
         let task = AgreementTask::new(t, k, self.universe.n()).expect("valid task parameters");
         let mut stack = AgreementStack::build_with_policy(task, inputs, policy);
         let kind = stack.kind();
         let mut src = self.generator.build(self.universe, self.seed);
+        // A failed certification proves nothing about the protocol, so the
+        // drive is skipped (zero budget): the outcome is the stack's
+        // initial-state snapshot with `certified: Some(false)` — and the
+        // multi-million-step budget is not burned on a cell already known
+        // to be mismatched.
+        let budget = if certified == Some(false) {
+            0
+        } else {
+            self.budget
+        };
         // `AgreementStack::run` hardwires the all-decided stop; driving the
         // simulator directly lets a `StopRule::BudgetOnly` override observe
         // the full-budget post-decision trace. With the default rule this is
         // exactly what `stack.run` does.
-        let mut cfg = RunConfig::steps(self.budget);
+        let mut cfg = RunConfig::steps(budget);
         if self.stop == StopRule::AllCorrectDecided {
             cfg = cfg.stop_when(StopWhen::AllDecided(self.correct()));
         }
@@ -379,6 +456,7 @@ impl Scenario {
             violations: run.violations.clone(),
             clean: run.is_clean_termination(),
             safe: run.is_safe(),
+            certified,
         }
     }
 
@@ -423,13 +501,34 @@ impl Scenario {
             &mut src,
             self.budget,
         );
+        // Theorem 26 property (ii), measured on the highest-indexed
+        // simulator's linearization (the one E6's crash plans keep alive):
+        // the worst empirical bound over live (k+1)-sets of simulated
+        // processes. Computed here so the outcome carries the verdict's
+        // ingredients without shipping whole schedules through the store.
+        let live_sim = self.universe.n() - 1;
+        let sched = &report.simulated_schedules[live_sim];
+        let stalled = report.stalled_simulated();
+        let sim_universe = Universe::new(n_sim).expect("simulated universe in range");
+        let full = ProcSet::full(sim_universe);
+        let mut max_live_bound = 0usize;
+        if k < n_sim {
+            for set in KSubsets::new(sim_universe, k + 1) {
+                if !set.is_disjoint(stalled) {
+                    continue;
+                }
+                max_live_bound = max_live_bound.max(empirical_bound(sched, set, full));
+            }
+        }
         BgOutcome {
             status: report.status,
-            stalled: report.stalled_simulated(),
+            stalled,
             distinct_simulator_values: report.distinct_simulator_values(),
             simulator_decisions: report.simulator_decisions.clone(),
             simulated_decisions: report.simulated_decisions.clone(),
             host_steps: report.host_steps,
+            live_sched_len: sched.len(),
+            max_live_bound,
         }
     }
 }
@@ -534,6 +633,9 @@ pub struct AgreementScenarioOutcome {
     pub clean: bool,
     /// Safety held (violations are at most termination).
     pub safe: bool,
+    /// Pre-run schedule certification verdict, when the workload asked for
+    /// one ([`CertifyTimely`]); `None` when not requested.
+    pub certified: Option<bool>,
 }
 
 impl AgreementScenarioOutcome {
@@ -584,4 +686,10 @@ pub struct BgOutcome {
     pub simulated_decisions: Vec<Option<Value>>,
     /// Host steps executed.
     pub host_steps: u64,
+    /// Length of the highest-indexed (never-crashed) simulator's
+    /// linearization of the simulated schedule.
+    pub live_sched_len: usize,
+    /// Worst empirical bound over live `(k+1)`-sets of simulated processes
+    /// on that linearization — Theorem 26 property (ii)'s measure.
+    pub max_live_bound: usize,
 }

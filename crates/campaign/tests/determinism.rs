@@ -46,6 +46,7 @@ fn mixed_campaign() -> Campaign {
             k: 1,
             inputs: (0..n as st_core::Value).map(|v| 100 + v).collect(),
             policy: TimeoutPolicy::Increment,
+            certify: None,
         },
     ];
     Campaign::grid(universe)

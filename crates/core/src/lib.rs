@@ -47,6 +47,7 @@
 
 pub mod agreementspec;
 pub mod error;
+pub mod json;
 pub mod parallel;
 pub mod process;
 pub mod procset;
@@ -62,6 +63,7 @@ pub use agreementspec::{
     check_outcome, AgreementOutcome, AgreementTask, AgreementViolation, Value,
 };
 pub use error::ModelError;
+pub use json::{Json, JsonError};
 pub use process::{ProcessId, Universe, MAX_PROCESSES};
 pub use procset::ProcSet;
 pub use profile::SynchronyProfile;

@@ -2,50 +2,151 @@
 //!
 //! Usage:
 //! ```text
-//! stlab [--fast] [--tsv] [--threads N] [e1 e2 … | all]
+//! stlab [--fast] [--tsv] [--threads N]
+//!       [--outcomes PATH] [--resume PATH]
+//!       [e1 e2 … | all]
+//! stlab --drop-half-store PATH
 //! ```
 //!
 //! `--fast` shrinks budgets and grids (smoke runs); `--tsv` additionally
 //! emits each table as tab-separated values for downstream plotting;
 //! `--threads N` sets the campaign worker count (default: one per hardware
 //! thread — results are identical for every value, see `st-campaign`).
+//!
+//! Persistence: `--outcomes PATH` writes every campaign scenario's outcome
+//! to a versioned store file, checkpointed after **every experiment** (a
+//! killed sweep keeps everything finished so far); `--resume PATH` loads
+//! such a store first and skips every scenario it already holds (matching
+//! experiment, rank, and unchanged spec), carrying the rest of the store
+//! forward — resuming a subset of experiments never discards the others'
+//! stored outcomes. An interrupted sweep resumed this way renders
+//! byte-identical tables — and rewrites a byte-identical store — compared
+//! to an uninterrupted run. A store written by a different schema version
+//! is refused with a typed error (exit code 2), never silently partially
+//! resumed.
+//!
+//! `--drop-half-store PATH` is the maintenance verb CI's resume-smoke
+//! uses: it loads a store, keeps every other entry, and writes it back —
+//! a deterministic "interrupt" for differential testing.
 
-use st_lab::{run_experiment, LabConfig, ALL_EXPERIMENTS};
+use std::process::ExitCode;
+use std::sync::Arc;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let tsv = args.iter().any(|a| a == "--tsv");
-    let mut threads = usize::MAX;
-    let mut skip_next = false;
-    let mut ids: Vec<String> = Vec::new();
-    for (i, a) in args.iter().enumerate() {
-        if skip_next {
-            skip_next = false;
-            continue;
-        }
-        match a.as_str() {
-            "--fast" | "--tsv" => {}
+use st_campaign::OutcomeStore;
+use st_lab::{run_experiment, LabConfig, LabSession, ALL_EXPERIMENTS};
+
+struct Args {
+    fast: bool,
+    tsv: bool,
+    threads: usize,
+    outcomes: Option<String>,
+    resume: Option<String>,
+    drop_half: Option<String>,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        fast: false,
+        tsv: false,
+        threads: usize::MAX,
+        outcomes: None,
+        resume: None,
+        drop_half: None,
+        ids: Vec::new(),
+    };
+    let mut i = 0usize;
+    let value_of = |i: &mut usize, flag: &str, argv: &[String]| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--fast" => args.fast = true,
+            "--tsv" => args.tsv = true,
             "--threads" => {
-                let value = args.get(i + 1).unwrap_or_else(|| {
-                    eprintln!("--threads needs a value");
-                    std::process::exit(2);
-                });
-                threads = value.parse().unwrap_or_else(|_| {
+                let value = value_of(&mut i, "--threads", &argv);
+                args.threads = value.parse().unwrap_or_else(|_| {
                     eprintln!("--threads expects a positive integer, got {value:?}");
                     std::process::exit(2);
                 });
-                skip_next = true;
             }
-            other => ids.push(other.to_lowercase()),
+            "--outcomes" => args.outcomes = Some(value_of(&mut i, "--outcomes", &argv)),
+            "--resume" => args.resume = Some(value_of(&mut i, "--resume", &argv)),
+            "--drop-half-store" => {
+                args.drop_half = Some(value_of(&mut i, "--drop-half-store", &argv))
+            }
+            other => args.ids.push(other.to_lowercase()),
         }
+        i += 1;
     }
-    let cfg = if fast {
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // Maintenance verb: truncate a store to every other entry and exit.
+    if let Some(path) = &args.drop_half {
+        let mut store = match OutcomeStore::load(path) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        let before = store.len();
+        store.retain(|idx, _| idx % 2 == 0);
+        if let Err(e) = store.save(path) {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("{path}: kept {} of {before} outcomes", store.len());
+        return ExitCode::SUCCESS;
+    }
+
+    // Resume store, if any. Schema mismatches and corrupt files are typed
+    // errors — refuse loudly rather than partially resuming.
+    let resume = match &args.resume {
+        None => None,
+        Some(path) => match OutcomeStore::load(path) {
+            Ok(store) => {
+                eprintln!("resuming from {path}: {} stored outcomes", store.len());
+                Some(store)
+            }
+            Err(e) => {
+                eprintln!("cannot resume from {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let session = if args.outcomes.is_some() || resume.is_some() {
+        let mut session = LabSession::new(resume);
+        if let Some(path) = &args.outcomes {
+            // Checkpoint after every experiment, so a genuine interrupt
+            // (Ctrl-C, OOM, CI timeout) leaves a resumable store behind.
+            session = session.with_autosave(path);
+        }
+        Some(Arc::new(session))
+    } else {
+        None
+    };
+
+    let mut cfg = if args.fast {
         LabConfig::fast()
     } else {
         LabConfig::full()
     }
-    .with_threads(threads);
+    .with_threads(args.threads);
+    if let Some(session) = &session {
+        cfg = cfg.with_session(Arc::clone(session));
+    }
+
+    let mut ids = args.ids;
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
@@ -55,7 +156,7 @@ fn main() {
         match run_experiment(id, &cfg) {
             Some(result) => {
                 println!("{}", result.render());
-                if tsv {
+                if args.tsv {
                     for (name, table) in &result.tables {
                         println!("#tsv {} — {name}", result.id);
                         print!("{}", table.to_tsv());
@@ -71,8 +172,21 @@ fn main() {
             }
         }
     }
+
+    // Write the outcome store after the sweep (also when experiments
+    // failed: a partial store is exactly what --resume is for).
+    if let (Some(path), Some(session)) = (&args.outcomes, &session) {
+        let store = session.recorded();
+        if let Err(e) = store.save(path) {
+            eprintln!("cannot write outcome store {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {} outcomes to {path}", store.len());
+    }
+
     if failures > 0 {
         eprintln!("{failures} experiment(s) failed");
-        std::process::exit(1);
+        return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
 }

@@ -1,10 +1,70 @@
-//! Experiment configuration and result packaging.
+//! Experiment configuration, the persistence session, and result
+//! packaging.
+
+use std::sync::{Arc, Mutex};
+
+use st_campaign::{Campaign, OutcomeStore, ScenarioOutcome};
 
 use crate::table::Table;
 
+/// The persistence half of a lab run: an optional store to resume from and
+/// the store every campaign outcome of this run is recorded into.
+///
+/// One session spans all experiments of one `stlab` invocation; each
+/// experiment records under its own campaign key (its id), so a single
+/// store file holds the whole lab sweep and `--resume` skips exactly the
+/// scenarios whose specs are unchanged.
+///
+/// Two properties make the session safe to interrupt:
+///
+/// - the recording store starts as a **copy of the resume store**, so a
+///   run over a subset of experiments carries every other experiment's
+///   stored outcomes forward instead of erasing them (fresh outcomes
+///   replace their `(experiment, rank)` entries; the store's canonical
+///   `(campaign, rank)` ordering keeps the merged bytes identical to an
+///   uninterrupted run's);
+/// - with an [`autosave`](Self::with_autosave) path, the store is written
+///   after **every experiment**, so killing the process mid-sweep leaves a
+///   checkpoint the next `--resume` picks up — not just the simulated
+///   interrupts of the CI smoke test.
+#[derive(Debug, Default)]
+pub struct LabSession {
+    resume: Option<OutcomeStore>,
+    record: Mutex<OutcomeStore>,
+    autosave: Option<std::path::PathBuf>,
+}
+
+impl LabSession {
+    /// A session resuming from `resume` (pass `None` to only record). The
+    /// recording store is seeded with the resume store's entries — see the
+    /// type docs.
+    pub fn new(resume: Option<OutcomeStore>) -> Self {
+        LabSession {
+            record: Mutex::new(resume.clone().unwrap_or_default()),
+            resume,
+            autosave: None,
+        }
+    }
+
+    /// Writes the recording store to `path` after every experiment (the
+    /// interrupt checkpoint).
+    pub fn with_autosave(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.autosave = Some(path.into());
+        self
+    }
+
+    /// The store recorded so far (clone: the session keeps recording).
+    pub fn recorded(&self) -> OutcomeStore {
+        self.record
+            .lock()
+            .expect("no panics while recording")
+            .clone()
+    }
+}
+
 /// Scales experiment budgets: `fast` keeps everything test-suite friendly,
 /// `full` is the paper-grade run used for EXPERIMENTS.md.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct LabConfig {
     /// Reduce grids and budgets for quick runs (tests, smoke checks).
     pub fast: bool,
@@ -15,6 +75,9 @@ pub struct LabConfig {
     /// campaign engine merges outcomes in rank order — so this only moves
     /// wall-clock.
     pub threads: usize,
+    /// Outcome persistence (`stlab --outcomes` / `--resume`); `None` runs
+    /// every scenario and keeps nothing.
+    pub session: Option<Arc<LabSession>>,
 }
 
 impl LabConfig {
@@ -24,6 +87,7 @@ impl LabConfig {
             fast: false,
             seed: 0xE1AC_5EED,
             threads: usize::MAX,
+            session: None,
         }
     }
 
@@ -33,6 +97,7 @@ impl LabConfig {
             fast: true,
             seed: 0xE1AC_5EED,
             threads: usize::MAX,
+            session: None,
         }
     }
 
@@ -42,12 +107,50 @@ impl LabConfig {
         self
     }
 
+    /// Attaches a persistence session.
+    pub fn with_session(mut self, session: Arc<LabSession>) -> Self {
+        self.session = Some(session);
+        self
+    }
+
     /// Scales a step budget.
     pub fn budget(&self, full: u64) -> u64 {
         if self.fast {
             (full / 8).max(50_000)
         } else {
             full
+        }
+    }
+
+    /// Executes a campaign under this configuration: plain
+    /// [`Campaign::run_parallel`] without a session, resumable
+    /// [`Campaign::run_resumed`] (reuse stored outcomes, record everything
+    /// under `key`) with one. Outcome lists are identical either way.
+    pub fn run_campaign(&self, key: &str, campaign: &Campaign) -> Vec<ScenarioOutcome> {
+        match &self.session {
+            None => campaign.run_parallel(self.threads),
+            Some(session) => {
+                let mut record = session.record.lock().expect("no panics while recording");
+                let outcomes = campaign.run_resumed(
+                    self.threads,
+                    key,
+                    session.resume.as_ref(),
+                    Some(&mut record),
+                );
+                // Checkpoint after every experiment: a killed sweep keeps
+                // everything finished so far. A failing write only warns —
+                // the sweep itself is still sound, and the final save (or
+                // the next checkpoint) retries the path.
+                if let Some(path) = &session.autosave {
+                    if let Err(e) = record.save(path) {
+                        eprintln!(
+                            "warning: cannot checkpoint outcome store {}: {e}",
+                            path.display()
+                        );
+                    }
+                }
+                outcomes
+            }
         }
     }
 }
@@ -94,6 +197,61 @@ impl ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use st_campaign::{FdAbi, FdDetector, GeneratorSpec, Scenario, Workload};
+    use st_core::Universe;
+    use st_fd::TimeoutPolicy;
+
+    fn tiny_campaign(seeds: std::ops::Range<u64>) -> Campaign {
+        let mut campaign = Campaign::new();
+        for seed in seeds {
+            campaign.push(Scenario::new(
+                format!("tiny/seed{seed}"),
+                Universe::new(3).unwrap(),
+                GeneratorSpec::round_robin(),
+                Workload::FdConvergence {
+                    k: 1,
+                    t: 1,
+                    policy: TimeoutPolicy::Increment,
+                    abi: FdAbi::MachineSlot,
+                    detector: FdDetector::SetBased,
+                    certify_membership: false,
+                },
+                1_000,
+                seed,
+            ));
+        }
+        campaign
+    }
+
+    /// Resuming a *subset* of experiments must not discard the other
+    /// experiments' stored outcomes: the recording store is seeded with
+    /// the resume store, and re-records replace in place.
+    #[test]
+    fn subset_runs_carry_other_experiments_forward() {
+        // A "previous run" recorded two experiments.
+        let session = Arc::new(LabSession::new(None));
+        let cfg = LabConfig::fast()
+            .with_threads(1)
+            .with_session(session.clone());
+        cfg.run_campaign("e2", &tiny_campaign(0..2));
+        cfg.run_campaign("e6", &tiny_campaign(2..5));
+        let previous = session.recorded();
+        assert_eq!(previous.len(), 5);
+
+        // "This run" resumes only e6.
+        let subset_session = Arc::new(LabSession::new(Some(previous.clone())));
+        let cfg = LabConfig::fast()
+            .with_threads(1)
+            .with_session(subset_session.clone());
+        cfg.run_campaign("e6", &tiny_campaign(2..5));
+        let merged = subset_session.recorded();
+        assert_eq!(merged.len(), 5, "e2 entries survive an e6-only resume");
+        assert_eq!(
+            merged.to_json_string(),
+            previous.to_json_string(),
+            "subset resume rewrites the identical store"
+        );
+    }
 
     #[test]
     fn budget_scaling() {

@@ -157,7 +157,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         });
     }
 
-    let outcomes = campaign.run_parallel(cfg.threads);
+    let outcomes = cfg.run_campaign("e2", &campaign);
     for (row, outcome) in rows.iter().zip(&outcomes) {
         let fd = outcome.data.as_fd().expect("FD campaign");
         pass &= record(&mut table, row, fd);

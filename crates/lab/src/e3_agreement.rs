@@ -76,6 +76,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
             k,
             inputs: inputs(n),
             policy: TimeoutPolicy::Increment,
+            certify: None,
         };
 
         // Fault-free conforming run.
@@ -111,7 +112,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         }
     }
 
-    let outcomes = campaign.run_parallel(cfg.threads);
+    let outcomes = cfg.run_campaign("e3", &campaign);
     for ((task, crashes), outcome) in rows.iter().zip(&outcomes) {
         let run = outcome.data.as_agreement().expect("agreement campaign");
         pass &= emit(&mut table, task, *crashes, run);

@@ -61,6 +61,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
                 k,
                 inputs: inputs(n),
                 policy: TimeoutPolicy::Increment,
+                certify: None,
             },
             cfg.budget(4_000_000),
             cfg.seed,
@@ -85,7 +86,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         ));
     }
 
-    let outcomes = campaign.run_parallel(cfg.threads);
+    let outcomes = cfg.run_campaign("e4", &campaign);
     for (&(k, n), pair) in grid.iter().zip(outcomes.chunks(2)) {
         let task = AgreementTask::new(k, k, n).unwrap();
 

@@ -13,15 +13,23 @@
 //!   `j − i` fictitious crashes (membership witness at bound 1).
 //!
 //! Safety must hold in every cell.
+//!
+//! The matrix is a campaign (`st-campaign`): each cell is a [`Scenario`] —
+//! solvable cells run [`Workload::Agreement`] with a [`CertifyTimely`]
+//! pre-check (the conforming schedule is certified in `S^i_{j,n}` before
+//! the cell is trusted), unsolvable cells run
+//! [`Workload::AdversarialAgreement`] — executed in parallel with the
+//! deterministic rank-ordered merge, and resumable through the outcome
+//! store like every other campaign experiment.
 
-use st_agreement::{drive_adversarially, AgreementStack};
-use st_core::timeliness::{sweep_matrix, TimelinessAnalyzer};
+use st_campaign::{Campaign, CertifyTimely, OutcomeData, Scenario, Workload};
+use st_core::timeliness::sweep_matrix;
 use st_core::{
     solvability, AgreementTask, ProcSet, ProcessId, Solvability, StepSource, SystemSpec,
     UnsolvableReason, Value,
 };
 use st_fd::TimeoutPolicy;
-use st_sched::{SeededRandom, SetTimely};
+use st_sched::GeneratorSpec;
 
 use crate::config::{ExperimentResult, LabConfig};
 use crate::table::Table;
@@ -38,45 +46,48 @@ enum Observed {
     Mismatch,
 }
 
-/// Runs one predicted-solvable cell: conforming schedule, expect clean
-/// termination.
-fn run_solvable_cell(cfg: &LabConfig, task: AgreementTask, sys: SystemSpec) -> Observed {
+/// The scenario of one predicted-solvable cell: conforming generator,
+/// agreement workload, pre-run `S^i_{j,n}` certification.
+fn solvable_scenario(cfg: &LabConfig, task: AgreementTask, sys: SystemSpec) -> Scenario {
     let universe = task.universe();
     let (i, j) = (sys.i(), sys.j());
     // Conforming schedule: P = first i processes timely wrt Q = first j.
     let p: ProcSet = (0..i).map(ProcessId::new).collect();
     let q: ProcSet = (0..j).map(ProcessId::new).collect();
-    // Certify membership in S^i_{j,n} *before* trusting the cell: sweep a
-    // prefix of the same generator with the timeliness engine.
     let cap = 2 * (j + 1);
-    let prefix = SetTimely::new(p, q, cap, SeededRandom::new(universe, cfg.seed))
-        .take_schedule(cfg.budget(40_000) as usize);
-    let certified = TimelinessAnalyzer::new(universe)
-        .find_timely_pair(&prefix, i, j, cap)
-        .is_some();
-    if !certified {
-        return Observed::Mismatch;
-    }
-    let stack = AgreementStack::build(task, &inputs(task.n()));
-    let mut src = SetTimely::new(p, q, cap, SeededRandom::new(universe, cfg.seed));
-    let run = stack.run(&mut src, cfg.budget(4_000_000), ProcSet::EMPTY);
-    if run.is_clean_termination() {
-        Observed::Decided
-    } else {
-        Observed::Mismatch
-    }
+    Scenario::new(
+        format!("{task}/{sys}/solvable"),
+        universe,
+        GeneratorSpec::set_timely(p, q, cap, GeneratorSpec::seeded_random(0)),
+        Workload::Agreement {
+            t: task.t(),
+            k: task.k(),
+            inputs: inputs(task.n()),
+            policy: TimeoutPolicy::Increment,
+            // Certify membership in S^i_{j,n} *before* trusting the cell:
+            // sweep a prefix of the same generator with the timeliness
+            // engine.
+            certify: Some(CertifyTimely {
+                i,
+                j,
+                cap,
+                prefix_len: cfg.budget(40_000),
+            }),
+        },
+        cfg.budget(4_000_000),
+        cfg.seed,
+    )
 }
 
-/// Runs one predicted-unsolvable cell: adaptive adversary (with fictitious
-/// crashes on the spread branch), expect safe blocking.
-fn run_unsolvable_cell(
+/// The scenario of one predicted-unsolvable cell: adaptive adversary (with
+/// fictitious crashes on the spread branch).
+fn unsolvable_scenario(
     cfg: &LabConfig,
     task: AgreementTask,
     sys: SystemSpec,
     reason: UnsolvableReason,
-) -> Observed {
+) -> Scenario {
     let n = task.n();
-    let stack = AgreementStack::build_full(task, &inputs(n), TimeoutPolicy::Increment, true);
     let (precrashed, witness) = match reason {
         UnsolvableReason::TimelySetTooLarge => {
             // Freezer alone: every (k+1)-set timely; weaken to a size-i
@@ -91,13 +102,48 @@ fn run_unsolvable_cell(
             (crashed, (p_i, p_i.union(crashed)))
         }
     };
-    let adv = drive_adversarially(stack, cfg.budget(1_000_000), precrashed, Some(witness));
-    let blocked = adv.run.outcome.decisions.iter().all(|d| d.is_none());
-    let cert_ok = adv.certificate.map(|c| c.bound <= 4 * n).unwrap_or(false);
-    if blocked && adv.run.is_safe() && cert_ok {
-        Observed::BlockedSafely
-    } else {
-        Observed::Mismatch
+    Scenario::new(
+        format!("{task}/{sys}/adversarial"),
+        task.universe(),
+        // The adversary constructs its own schedule; the generator spec is
+        // conventional (see `Workload::AdversarialAgreement`).
+        GeneratorSpec::round_robin(),
+        Workload::AdversarialAgreement {
+            t: task.t(),
+            k: task.k(),
+            inputs: inputs(n),
+            policy: TimeoutPolicy::Increment,
+            precrashed,
+            witness: Some(witness),
+        },
+        cfg.budget(1_000_000),
+        cfg.seed,
+    )
+}
+
+/// What a cell's outcome shows, against what the cell expected.
+fn observe(outcome: &OutcomeData, n: usize) -> Observed {
+    match outcome {
+        OutcomeData::Agreement(run) => {
+            if run.certified == Some(false) {
+                // The conforming generator failed its own membership
+                // certification: the cell proves nothing.
+                Observed::Mismatch
+            } else if run.clean {
+                Observed::Decided
+            } else {
+                Observed::Mismatch
+            }
+        }
+        OutcomeData::Adversarial(adv) => {
+            let cert_ok = adv.certificate.map(|c| c.bound <= 4 * n).unwrap_or(false);
+            if adv.blocked && adv.safe && cert_ok {
+                Observed::BlockedSafely
+            } else {
+                Observed::Mismatch
+            }
+        }
+        _ => Observed::Mismatch,
     }
 }
 
@@ -106,9 +152,11 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
     let n = if cfg.fast { 4 } else { 5 };
     let mut table = Table::new(["task", "system", "theory", "observed", "agree"]);
     let mut pass = true;
-    let mut cells = 0usize;
     let mut agreements = 0usize;
 
+    // One scenario per matrix cell, in row order.
+    let mut campaign = Campaign::new();
+    let mut rows: Vec<(AgreementTask, SystemSpec, Solvability)> = Vec::new();
     for t in 1..n {
         for k in 1..=t {
             let task = AgreementTask::new(t, k, n).unwrap();
@@ -116,30 +164,36 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
                 for j in i..=n {
                     let sys = SystemSpec::new(i, j, n).unwrap();
                     let verdict = solvability(&task, &sys).unwrap();
-                    let observed = match verdict {
-                        Solvability::Solvable { .. } => run_solvable_cell(cfg, task, sys),
+                    campaign.push(match verdict {
+                        Solvability::Solvable { .. } => solvable_scenario(cfg, task, sys),
                         Solvability::Unsolvable(reason) => {
-                            run_unsolvable_cell(cfg, task, sys, reason)
+                            unsolvable_scenario(cfg, task, sys, reason)
                         }
-                    };
-                    let agree = matches!(
-                        (&verdict, observed),
-                        (Solvability::Solvable { .. }, Observed::Decided)
-                            | (Solvability::Unsolvable(_), Observed::BlockedSafely)
-                    );
-                    cells += 1;
-                    agreements += agree as usize;
-                    pass &= agree;
-                    table.row([
-                        task.to_string(),
-                        sys.to_string(),
-                        verdict.to_string(),
-                        format!("{observed:?}"),
-                        agree.to_string(),
-                    ]);
+                    });
+                    rows.push((task, sys, verdict));
                 }
             }
         }
+    }
+    let cells = rows.len();
+    let outcomes = cfg.run_campaign("e5", &campaign);
+
+    for ((task, sys, verdict), outcome) in rows.iter().zip(&outcomes) {
+        let observed = observe(&outcome.data, task.n());
+        let agree = matches!(
+            (verdict, observed),
+            (Solvability::Solvable { .. }, Observed::Decided)
+                | (Solvability::Unsolvable(_), Observed::BlockedSafely)
+        );
+        agreements += agree as usize;
+        pass &= agree;
+        table.row([
+            task.to_string(),
+            sys.to_string(),
+            verdict.to_string(),
+            format!("{observed:?}"),
+            agree.to_string(),
+        ]);
     }
 
     // Companion view: the full (i, j) timeliness sweep of one random
@@ -147,7 +201,8 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
     // cell of the solvability matrix above asks "is there a timely pair of
     // this shape?"; this table answers it for all shapes at once.
     let sweep_len = cfg.budget(80_000) as usize;
-    let schedule = SeededRandom::new(st_core::Universe::new(n).unwrap(), cfg.seed ^ 0x5EED)
+    let schedule = GeneratorSpec::seeded_random(0)
+        .build(st_core::Universe::new(n).unwrap(), cfg.seed ^ 0x5EED)
         .take_schedule(sweep_len);
     let swept = sweep_matrix(
         &schedule,
@@ -190,8 +245,21 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
 mod tests {
     use super::*;
 
-    /// The fast matrix is still 60 full protocol runs; exercised in release
-    /// benches and the `stlab` binary. Here, run a 2-task slice.
+    #[test]
+    fn e5_matches_paper() {
+        let result = run(&LabConfig::fast());
+        assert!(result.pass, "{}", result.render());
+        // Golden: the campaign port reproduces the pre-port tables byte for
+        // byte at the fixed seed (trailing newline from the capture).
+        assert_eq!(
+            format!("{}\n", result.render()),
+            include_str!("../tests/golden/e5_fast.txt"),
+            "E5 output drifted from the golden table"
+        );
+    }
+
+    /// A small 2-task slice through the campaign cell constructors (quick
+    /// to localize a failing shape when the full golden above trips).
     #[test]
     fn e5_slice_matches_paper() {
         let cfg = LabConfig::fast();
@@ -202,12 +270,13 @@ mod tests {
                 for j in i..=n {
                     let sys = SystemSpec::new(i, j, n).unwrap();
                     let verdict = solvability(&task, &sys).unwrap();
-                    let observed = match verdict {
-                        Solvability::Solvable { .. } => run_solvable_cell(&cfg, task, sys),
+                    let scenario = match verdict {
+                        Solvability::Solvable { .. } => solvable_scenario(&cfg, task, sys),
                         Solvability::Unsolvable(reason) => {
-                            run_unsolvable_cell(&cfg, task, sys, reason)
+                            unsolvable_scenario(&cfg, task, sys, reason)
                         }
                     };
+                    let observed = observe(&scenario.run().data, n);
                     let agree = matches!(
                         (&verdict, observed),
                         (Solvability::Solvable { .. }, Observed::Decided)

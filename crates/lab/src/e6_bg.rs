@@ -13,12 +13,16 @@
 //! plus the reduction output: the simulators' adopted decisions satisfy
 //! `(k, k, k+1)`-agreement whenever the simulated algorithm delivers
 //! `(k, k, n)`-agreement decisions.
+//!
+//! The grid is a campaign (`st-campaign`): each row is a [`Scenario`] with
+//! a [`Workload::BgReduction`] cell — the reduction runs inside the
+//! scenario, which also measures property (ii) on the live simulator's
+//! linearization ([`st_campaign::BgOutcome::max_live_bound`]) so outcomes
+//! stay small enough for the outcome store.
 
-use st_bgsim::{run_reduction, TrivialKDecide};
-use st_core::subsets::KSubsets;
-use st_core::timeliness::empirical_bound;
+use st_campaign::{Campaign, Scenario, Workload};
 use st_core::{ProcSet, ProcessId, Universe, Value};
-use st_sched::{CrashAfter, CrashPlan, RoundRobin, SeededRandom};
+use st_sched::{CrashPlan, GeneratorSpec};
 
 use crate::config::{ExperimentResult, LabConfig};
 use crate::table::Table;
@@ -45,62 +49,63 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         &[(1, 4), (1, 5), (2, 5), (2, 6), (3, 6)]
     };
 
+    let mut campaign = Campaign::new();
+    let mut rows: Vec<(usize, usize, usize)> = Vec::new();
     for &(k, n_sim) in grid {
         for crashes in 0..=k.min(if cfg.fast { 1 } else { k }) {
-            let machines: Vec<TrivialKDecide> = (0..n_sim)
-                .map(|u| TrivialKDecide::new(u, k, 300 + u as Value))
-                .collect();
             let host = Universe::new(k + 1).unwrap();
-            let report = if crashes == 0 {
-                let mut src = RoundRobin::new(host);
-                run_reduction(k + 1, machines, 128, &mut src, budget)
+            let generator = if crashes == 0 {
+                GeneratorSpec::round_robin()
             } else {
                 let crashed: ProcSet = (0..crashes).map(ProcessId::new).collect();
-                let plan = CrashPlan::all_at(crashed, 50);
-                let mut src = CrashAfter::new(SeededRandom::new(host, cfg.seed), plan);
-                run_reduction(k + 1, machines, 128, &mut src, budget)
+                GeneratorSpec::seeded_random(0).crashed(CrashPlan::all_at(crashed, 50))
             };
-
-            let stalled = report.stalled_simulated().len();
-            let prop_i = stalled <= crashes;
-
-            // Property (ii) on the last live simulator's linearization.
-            let live_sim = k; // highest-indexed simulator never crashes here
-            let sched = &report.simulated_schedules[live_sim];
-            let sim_universe = Universe::new(n_sim).unwrap();
-            let full = ProcSet::full(sim_universe);
-            let mut max_bound = 0usize;
-            // Only sets of non-stalled processes are owed timeliness.
-            let stalled_set = report.stalled_simulated();
-            for set in KSubsets::new(sim_universe, k + 1) {
-                if !set.is_disjoint(stalled_set) {
-                    continue;
-                }
-                max_bound = max_bound.max(empirical_bound(sched, set, full));
-            }
-            let prop_ii = max_bound <= 4 * n_sim && sched.len() > n_sim;
-
-            let values: std::collections::BTreeSet<Value> = report
-                .simulator_decisions
-                .iter()
-                .flatten()
-                .copied()
-                .collect();
-            let k_agree = values.len() <= k && report.simulator_decisions[live_sim].is_some();
-
-            table.row([
-                k.to_string(),
-                n_sim.to_string(),
-                crashes.to_string(),
-                stalled.to_string(),
-                prop_i.to_string(),
-                max_bound.to_string(),
-                prop_ii.to_string(),
-                format!("{values:?}"),
-                k_agree.to_string(),
-            ]);
-            pass &= prop_i && prop_ii && k_agree;
+            campaign.push(Scenario::new(
+                format!("k{k}/n{n_sim}/crash{crashes}"),
+                host,
+                generator,
+                Workload::BgReduction {
+                    n_sim,
+                    k,
+                    max_reads: 128,
+                },
+                budget,
+                cfg.seed,
+            ));
+            rows.push((k, n_sim, crashes));
         }
+    }
+    let outcomes = cfg.run_campaign("e6", &campaign);
+
+    for (&(k, n_sim, crashes), outcome) in rows.iter().zip(&outcomes) {
+        let report = outcome.data.as_bg().expect("BG campaign");
+        let stalled = report.stalled.len();
+        let prop_i = stalled <= crashes;
+        // Property (ii), measured inside the scenario on the last live
+        // simulator's linearization (highest-indexed: it never crashes
+        // here).
+        let prop_ii = report.max_live_bound <= 4 * n_sim && report.live_sched_len > n_sim;
+        let live_sim = k;
+        let values: std::collections::BTreeSet<Value> = report
+            .simulator_decisions
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        let k_agree = values.len() <= k && report.simulator_decisions[live_sim].is_some();
+
+        table.row([
+            k.to_string(),
+            n_sim.to_string(),
+            crashes.to_string(),
+            stalled.to_string(),
+            prop_i.to_string(),
+            report.max_live_bound.to_string(),
+            prop_ii.to_string(),
+            format!("{values:?}"),
+            k_agree.to_string(),
+        ]);
+        pass &= prop_i && prop_ii && k_agree;
     }
 
     ExperimentResult {
@@ -123,5 +128,12 @@ mod tests {
     fn e6_matches_paper() {
         let result = run(&LabConfig::fast());
         assert!(result.pass, "{}", result.render());
+        // Golden: the campaign port reproduces the pre-port tables byte for
+        // byte at the fixed seed (trailing newline from the capture).
+        assert_eq!(
+            format!("{}\n", result.render()),
+            include_str!("../tests/golden/e6_fast.txt"),
+            "E6 output drifted from the golden table"
+        );
     }
 }

@@ -74,7 +74,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
             cfg.seed,
         ));
     }
-    let outcomes = campaign.run_parallel(cfg.threads);
+    let outcomes = cfg.run_campaign("e7", &campaign);
     let stabs: Vec<Option<u64>> = outcomes
         .iter()
         .map(|o| {

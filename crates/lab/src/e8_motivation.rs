@@ -88,7 +88,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         rows.push((n, k, t, groups));
     }
 
-    let outcomes = campaign.run_parallel(cfg.threads);
+    let outcomes = cfg.run_campaign("e8", &campaign);
     for ((n, k, t, groups), pair) in rows.iter().zip(outcomes.chunks(2)) {
         // Set-based Figure 2.
         let set_fd = pair[0].data.as_fd().expect("FD campaign");

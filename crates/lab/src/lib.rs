@@ -16,17 +16,29 @@
 //!
 //! # The campaign layer
 //!
-//! E2/E3/E4/E7/E8 no longer hand-roll their grid loops: each builds a
+//! E2–E8 no longer hand-roll their grid loops: each builds a
 //! `st_campaign::Campaign` of declarative scenarios (generator spec ×
 //! workload × crash plan × seed) and renders its tables from the outcome
-//! list. Campaigns execute on a work-stealing worker pool
+//! list — E5's solvable/adversarial matrix cells and E6's BG reduction
+//! rows included. Campaigns execute on a work-stealing worker pool
 //! (`LabConfig::threads`, the `stlab --threads N` flag) and merge outcomes
 //! in rank order, so **every table is identical for every thread count** —
 //! enforced by golden tests against `tests/golden/*.txt`, captured from the
-//! pre-campaign sequential harness at the fixed seed. E1/E5/E6 keep bespoke
-//! drivers (prefix curves, the solvability matrix sweep, the BG reduction);
-//! E5's companion sweep already parallelizes inside
+//! pre-campaign sequential harness at the fixed seed. E1 keeps its bespoke
+//! prefix-curve driver; E5's companion sweep parallelizes inside
 //! `st_core::timeliness::sweep_matrix`.
+//!
+//! # Persistence and resume
+//!
+//! Every campaign experiment runs through
+//! [`LabConfig::run_campaign`], which consults the optional
+//! [`LabSession`]: `stlab --outcomes store.json` records every scenario
+//! outcome (keyed by experiment id, rank, and serialized spec) into a
+//! versioned `st_campaign::OutcomeStore`, and `stlab --resume store.json`
+//! skips every stored scenario whose spec is unchanged. Interrupt a sweep,
+//! resume it, and the rendered tables — and the rewritten store — are
+//! byte-identical to an uninterrupted run at any thread count (CI's
+//! `campaign-resume-smoke` enforces this end to end).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,7 +54,7 @@ pub mod e7_ablation;
 pub mod e8_motivation;
 pub mod table;
 
-pub use config::{ExperimentResult, LabConfig};
+pub use config::{ExperimentResult, LabConfig, LabSession};
 pub use table::Table;
 
 /// Runs one experiment by id (`"e1"`…`"e7"`).

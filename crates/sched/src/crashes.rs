@@ -63,6 +63,12 @@ impl CrashPlan {
     pub fn is_empty(&self) -> bool {
         self.crash_at.is_empty()
     }
+
+    /// The `(process, crash step)` entries, in ascending process order —
+    /// the plan's canonical enumeration (used by the campaign store codec).
+    pub fn entries(&self) -> impl Iterator<Item = (ProcessId, u64)> + '_ {
+        self.crash_at.iter().map(|(&p, &s)| (p, s))
+    }
 }
 
 /// Decorator suppressing the steps of crashed processes.

@@ -30,6 +30,7 @@ mod crashes;
 mod cycle;
 mod fictitious;
 mod figure1;
+pub mod policy;
 mod set_timely;
 pub mod spec;
 mod starvation;
@@ -41,6 +42,7 @@ pub use crashes::{CrashAfter, CrashPlan};
 pub use cycle::Cycle;
 pub use fictitious::FictitiousCrash;
 pub use figure1::{Figure1, GeneralizedFigure1};
+pub use policy::TimeoutPolicySpec;
 pub use set_timely::{Eventually, SetTimely};
 pub use spec::GeneratorSpec;
 pub use starvation::RotatingStarvation;

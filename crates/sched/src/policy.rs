@@ -1,0 +1,44 @@
+//! The timeout-policy grid axis, as plain data.
+//!
+//! Campaign grids (`st-campaign`) sweep the failure detector's Figure 2
+//! line-17 timeout growth rule the same way they sweep generators and crash
+//! plans: as a declarative axis value. The concrete grow-rule type lives in
+//! `st-fd` (`st_fd::TimeoutPolicy`), which this crate does not depend on —
+//! so the axis value is this mirror enum, and the campaign engine converts
+//! it when it materializes a scenario's workload (exactly like
+//! [`crate::GeneratorSpec`] mirrors the stateful generators).
+
+/// A failure-detector timeout growth rule, as grid-axis data.
+///
+/// Mirrors `st_fd::TimeoutPolicy` variant for variant; `st-campaign` owns
+/// the conversion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TimeoutPolicySpec {
+    /// The paper's rule: `timeout[A] ← timeout[A] + 1`.
+    #[default]
+    Increment,
+    /// The ablation rule: `timeout[A] ← 2 · timeout[A]`.
+    Double,
+}
+
+impl TimeoutPolicySpec {
+    /// Short name for scenario labels and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            TimeoutPolicySpec::Increment => "Increment",
+            TimeoutPolicySpec::Double => "Double",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_default() {
+        assert_eq!(TimeoutPolicySpec::default(), TimeoutPolicySpec::Increment);
+        assert_eq!(TimeoutPolicySpec::Increment.name(), "Increment");
+        assert_eq!(TimeoutPolicySpec::Double.name(), "Double");
+    }
+}

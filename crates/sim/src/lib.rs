@@ -43,7 +43,8 @@
 //!   (`&mut [A]`) with **static dispatch** — the automaton body inlines
 //!   into the executor loop;
 //! - [`Sim::run_automata_replay`] drives the fleet straight off a
-//!   pre-materialized [`Schedule`] slice, fusing the cursor pull into the
+//!   pre-materialized [`Schedule`](st_core::Schedule) slice, fusing the
+//!   cursor pull into the
 //!   loop condition;
 //! - [`Sim::run_automata_replay_sharded`] batches the replay per
 //!   **cache-resident fleet shard**: the schedule is processed in
