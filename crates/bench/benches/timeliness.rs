@@ -340,6 +340,48 @@ fn campaign_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// One E3-shaped agreement scenario for the invariant-overhead
+/// measurement: the checker-on default path (`Scenario::run` — schedule
+/// recording plus claim replay) against the pre-checker fast path
+/// (`Scenario::run_unchecked`), identical outcome data either way.
+fn invariant_scenario() -> st_campaign::Scenario {
+    use st_campaign::{Scenario, Workload};
+    use st_fd::TimeoutPolicy;
+    use st_sched::GeneratorSpec;
+    let universe = Universe::new(AG_N).unwrap();
+    let p: ProcSet = (0..AG_K.min(AG_T)).map(ProcessId::new).collect();
+    let q: ProcSet = (0..=AG_T).map(ProcessId::new).collect();
+    Scenario::new(
+        "bench/invariant",
+        universe,
+        GeneratorSpec::set_timely(p, q, 2 * (AG_T + 1), GeneratorSpec::seeded_random(0)),
+        Workload::Agreement {
+            t: AG_T,
+            k: AG_K,
+            inputs: (0..AG_N as u64).map(|v| 1000 + 7 * v).collect(),
+            policy: TimeoutPolicy::Increment,
+            certify: None,
+        },
+        400_000,
+        3,
+    )
+}
+
+/// Always-on invariant checker cost: `run()` (checker + recording) vs
+/// `run_unchecked()` on the same E3-shaped scenario.
+fn invariant_overhead(c: &mut Criterion) {
+    let scenario = invariant_scenario();
+    let mut group = c.benchmark_group("campaign/invariant_overhead");
+    group.sample_size(10);
+    group.bench_function("e3_t4k3n8_checked", |b| {
+        b.iter(|| scenario.run().violations.len())
+    });
+    group.bench_function("e3_t4k3n8_unchecked", |b| {
+        b.iter(|| scenario.run_unchecked().violations.len())
+    });
+    group.finish();
+}
+
 /// Resume overhead: the same 64-scenario grid resumed from a complete
 /// outcome store (pure skip: spec re-encode + lookup + rank merge, no
 /// scenario executes) and the store's serialize→parse round trip — the two
@@ -497,8 +539,25 @@ fn emit_baseline(_c: &mut Criterion) {
             .len()
     });
 
+    // The always-on invariant checker's cost on one E3-shaped agreement
+    // scenario: the checked default (schedule recording + claim replay)
+    // against the kept pre-checker fast path. Honest denominators: both
+    // paths run to the same decision step.
+    let inv_scenario = invariant_scenario();
+    let inv_outcome = inv_scenario.run();
+    assert!(inv_outcome.violations.is_empty(), "bench scenario is clean");
+    let inv_steps = inv_outcome
+        .data
+        .as_agreement()
+        .and_then(|a| a.decided_at)
+        .expect("bench scenario decides");
+    let inv_checked = time_best(5, || inv_scenario.run().violations.len());
+    let inv_unchecked = time_best(5, || inv_scenario.run_unchecked().violations.len());
+    let inv_checked_ns = inv_checked * 1e6 / inv_steps as f64;
+    let inv_unchecked_ns = inv_unchecked * 1e6 / inv_steps as f64;
+
     let json = format!(
-        "{{\n  \"schema\": \"st-bench/timeliness-v4\",\n  \
+        "{{\n  \"schema\": \"st-bench/timeliness-v5\",\n  \
          \"workload\": {{\"n\": {N}, \"schedule_len\": {LEN}, \"bound_cap\": {CAP}, \"i\": {I}, \"j\": {J}}},\n  \
          \"all_timely_pairs_ms\": {{\n    \
            \"round_robin\": {{\"naive\": {naive_rr:.2}, \"engine\": {engine_rr:.2}, \"speedup\": {:.1}}},\n    \
@@ -533,7 +592,12 @@ fn emit_baseline(_c: &mut Criterion) {
            \"resume_skip_all_ms\": {resume_skip_all:.3},\n    \
            \"resume_half_store_ms\": {resume_half:.2},\n    \
            \"store_roundtrip_ms\": {store_roundtrip:.3},\n    \
-           \"skip_overhead_us_per_scenario\": {:.1}\n  }}\n}}\n",
+           \"skip_overhead_us_per_scenario\": {:.1}\n  }},\n  \
+         \"invariant_overhead\": {{\n    \
+           \"workload\": {{\"n\": {AG_N}, \"k\": {AG_K}, \"t\": {AG_T}, \"decided_at_step\": {inv_steps}, \"schedule\": \"SetTimely\", \"experiment\": \"E3\"}},\n    \
+           \"unchecked_ns_per_step\": {inv_unchecked_ns:.2},\n    \
+           \"checked_ns_per_step\": {inv_checked_ns:.2},\n    \
+           \"overhead_ratio\": {:.3}\n  }}\n}}\n",
         naive_rr / engine_rr,
         naive_rnd / engine_rnd,
         matrix_static / matrix_steal,
@@ -544,6 +608,7 @@ fn emit_baseline(_c: &mut Criterion) {
         CAMPAIGN_GRID.len(),
         campaign_w1 / campaign_w4,
         resume_skip_all * 1e3 / campaign_scenarios as f64,
+        inv_checked_ns / inv_unchecked_ns,
     );
     let path = criterion::workspace_root().join("BENCH_timeliness.json");
     std::fs::write(&path, &json).expect("write BENCH_timeliness.json");
@@ -602,6 +667,7 @@ criterion_group!(
     sim_step_throughput,
     agreement_step_throughput,
     campaign_throughput,
+    invariant_overhead,
     campaign_resume_overhead,
     emit_baseline
 );

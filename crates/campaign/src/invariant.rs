@@ -1,0 +1,340 @@
+//! The always-on invariant checker: every scenario execution is a
+//! correctness probe, not just a table row.
+//!
+//! [`Scenario::run`](crate::Scenario::run) assembles an [`InvariantChecker`]
+//! from the scenario's own spec — which timeliness guarantee the generator
+//! makes by construction, which crash/outage windows it promises — and
+//! replays those claims against the run's evidence: the recorded executed
+//! [`Schedule`], the agreement checker's verdicts, the Paxos ballot
+//! registers, and the FD stabilization judgment. Violations land in
+//! [`ScenarioOutcome::violations`](crate::ScenarioOutcome) as typed values
+//! the store codec round-trips; when any fire, the executed schedule is
+//! kept as a replayable counterexample.
+//!
+//! What is armed for which workload:
+//!
+//! - **Agreement** — k-agreement (≤ k distinct values), validity, and
+//!   termination-under-budget lifted from the `st-core` outcome checker
+//!   (termination only when the generator *owes* it: a root
+//!   [`SetTimely`](st_sched::SetTimely) spec with a surviving `P` member
+//!   and no failed pre-run certification); ballot-ownership sanity on every
+//!   Paxos register (`b ≡ pid + 1 (mod n)`, `bal ≤ mbal`); guarantee and
+//!   crash-window certification on the executed schedule.
+//! - **FdConvergence** — accusation sanity: a stabilized winnerset must
+//!   contain a correct process (all-correct-accused-forever contradicts
+//!   Lemma 22); guarantee and crash-window certification as above.
+//! - **Adversarial / BG** — nothing: the adversary *aims* for
+//!   non-termination and owns its schedule, and the BG reduction does not
+//!   expose an executed host schedule; their existing verdict fields
+//!   (`safe`, `blocked`, certificates) already carry the judgment.
+
+use std::fmt;
+
+use st_agreement::PaxosRecord;
+use st_core::timeliness::empirical_bound;
+use st_core::{AgreementViolation, ProcSet, ProcessId, Schedule, TimelyPair, Value};
+use st_sched::GeneratorSpec;
+
+use crate::scenario::{OutcomeData, Scenario, Workload};
+
+/// A violated invariant, as typed data. Canonical-JSON encodable by the
+/// outcome store; `Display` renders the CLI's one-line form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InvariantViolation {
+    /// More than `k` distinct values decided.
+    KAgreement {
+        /// The distinct decided values.
+        values: Vec<Value>,
+        /// Maximum allowed count `k`.
+        k: usize,
+    },
+    /// A process decided a value nobody proposed.
+    Validity {
+        /// Index of the deciding process.
+        process: usize,
+        /// The invalid decided value.
+        value: Value,
+    },
+    /// A correct process failed to decide although the generator's
+    /// constructive guarantee owed termination within the budget.
+    Termination {
+        /// Indexes of correct processes that did not decide.
+        undecided: Vec<usize>,
+    },
+    /// A Paxos register held a ballot its owner could not have produced
+    /// (`ballot(round, me) = round·n + me + 1`), or an accepted ballot above
+    /// the promised one.
+    BallotOwnership {
+        /// The k-parallel Paxos instance.
+        instance: usize,
+        /// The register's owning process.
+        process: usize,
+        /// The register's promised ballot.
+        mbal: u64,
+        /// The register's accepted ballot.
+        bal: u64,
+    },
+    /// The FD stabilized on a winnerset containing no correct process —
+    /// every process that was timely throughout ended up accused forever.
+    AccusedTimelyWinnerset {
+        /// The stabilized winnerset.
+        winnerset: ProcSet,
+    },
+    /// The executed schedule broke the timeliness bound the generator
+    /// guarantees by construction.
+    GuaranteeBroken {
+        /// The guaranteed timely set.
+        p: ProcSet,
+        /// The observed set.
+        q: ProcSet,
+        /// The guaranteed bound.
+        bound: usize,
+        /// The observed empirical bound.
+        observed: usize,
+    },
+    /// A process took a step inside a window its generator promised it
+    /// silent in (crash window, or crash-recovery outage window).
+    CrashWindowResurrection {
+        /// The resurrected process.
+        process: usize,
+        /// The offending schedule position.
+        position: u64,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::KAgreement { values, k } => write!(
+                f,
+                "k-agreement violated: {} distinct values (k = {k})",
+                values.len()
+            ),
+            InvariantViolation::Validity { process, value } => {
+                write!(f, "validity violated: p{process} decided unproposed {value}")
+            }
+            InvariantViolation::Termination { undecided } => write!(
+                f,
+                "termination violated: {} correct processes undecided under a guaranteed-timely schedule",
+                undecided.len()
+            ),
+            InvariantViolation::BallotOwnership {
+                instance,
+                process,
+                mbal,
+                bal,
+            } => write!(
+                f,
+                "ballot ownership violated: instance {instance} register of p{process} holds mbal {mbal} / bal {bal}"
+            ),
+            InvariantViolation::AccusedTimelyWinnerset { winnerset } => write!(
+                f,
+                "accusation sanity violated: stabilized winnerset {winnerset} contains no correct process"
+            ),
+            InvariantViolation::GuaranteeBroken {
+                p,
+                q,
+                bound,
+                observed,
+            } => write!(
+                f,
+                "schedule guarantee broken: {p} wrt {q} bound {bound}, observed {observed}"
+            ),
+            InvariantViolation::CrashWindowResurrection { process, position } => write!(
+                f,
+                "crash window violated: p{process} stepped at position {position}"
+            ),
+        }
+    }
+}
+
+/// Evidence a workload drive hands the checker alongside its outcome data.
+#[derive(Default)]
+pub(crate) struct Evidence {
+    /// The executed schedule, when the drive recorded one.
+    pub executed: Option<Schedule>,
+    /// Per-instance Paxos registers `(n, records[instance][process])`, when
+    /// the stack exposed them.
+    pub ballots: Option<(usize, Vec<Vec<PaxosRecord>>)>,
+}
+
+/// The claims a scenario's generator makes by construction, ready to be
+/// replayed against a finished run. Built by
+/// [`InvariantChecker::for_scenario`]; see the module docs for the rules.
+pub struct InvariantChecker {
+    /// Root-level `SetTimely` guarantee, when it survives the faulty set.
+    guarantee: Option<TimelyPair>,
+    /// `(process, from, to)` absence windows (`to = u64::MAX` for plain
+    /// crashes).
+    windows: Vec<(ProcessId, u64, u64)>,
+    /// The scenario's correct set (accusation-sanity yardstick).
+    correct: ProcSet,
+}
+
+impl InvariantChecker {
+    /// Derives the checkable claims from the scenario's spec.
+    pub fn for_scenario(scenario: &Scenario) -> Self {
+        // Only generator-driven workloads execute the spec's schedule; the
+        // adversary ignores the generator and BG re-linearizes it.
+        let generator_drives = matches!(
+            scenario.workload,
+            Workload::FdConvergence { .. } | Workload::Agreement { .. }
+        );
+        let (guarantee, windows) = if generator_drives {
+            (
+                spec_guarantee(&scenario.generator, scenario.faulty),
+                spec_windows(&scenario.generator),
+            )
+        } else {
+            (None, Vec::new())
+        };
+        InvariantChecker {
+            guarantee,
+            windows,
+            correct: scenario.correct(),
+        }
+    }
+
+    /// Whether the generator owes termination-under-budget: a constructive
+    /// timeliness guarantee makes the task solvable on this schedule, so a
+    /// correct process left undecided is a protocol bug, not an artifact.
+    pub fn termination_owed(&self) -> bool {
+        self.guarantee.is_some()
+    }
+
+    /// Replays every armed claim against the outcome and evidence.
+    pub(crate) fn check(&self, data: &OutcomeData, evidence: &Evidence) -> Vec<InvariantViolation> {
+        let mut violations = Vec::new();
+        match data {
+            OutcomeData::Agreement(a) => {
+                // A failed pre-run certification means the schedule was
+                // never shown to conform; the drive is skipped and no
+                // obligation is owed.
+                let certified_off = a.certified == Some(false);
+                for v in &a.violations {
+                    match v {
+                        AgreementViolation::KAgreement { values, k } => {
+                            violations.push(InvariantViolation::KAgreement {
+                                values: values.clone(),
+                                k: *k,
+                            });
+                        }
+                        AgreementViolation::Validity { process, value } => {
+                            violations.push(InvariantViolation::Validity {
+                                process: *process,
+                                value: *value,
+                            });
+                        }
+                        AgreementViolation::Termination { undecided } => {
+                            if self.termination_owed() && !certified_off {
+                                violations.push(InvariantViolation::Termination {
+                                    undecided: undecided.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+                if let Some((n, instances)) = &evidence.ballots {
+                    check_ballots(*n, instances, &mut violations);
+                }
+            }
+            OutcomeData::Fd(f) => {
+                // Accusation sanity: a stabilized winnerset disjoint from
+                // the correct set means every process that was timely
+                // throughout ended up accused forever — the opposite of
+                // what Lemma 22 promises.
+                if let Some(st) = &f.stabilization {
+                    if st.winnerset.is_disjoint(self.correct) {
+                        violations.push(InvariantViolation::AccusedTimelyWinnerset {
+                            winnerset: st.winnerset,
+                        });
+                    }
+                }
+            }
+            OutcomeData::Adversarial(_) | OutcomeData::Bg(_) => {}
+        }
+        if let Some(s) = &evidence.executed {
+            if let Some(g) = &self.guarantee {
+                let observed = empirical_bound(s, g.p, g.q);
+                if observed > g.bound {
+                    violations.push(InvariantViolation::GuaranteeBroken {
+                        p: g.p,
+                        q: g.q,
+                        bound: g.bound,
+                        observed,
+                    });
+                }
+            }
+            for &(p, from, to) in &self.windows {
+                if let Err(position) = st_sched::validate::certify_absence_window(s, p, from, to) {
+                    violations.push(InvariantViolation::CrashWindowResurrection {
+                        process: p.index(),
+                        position,
+                    });
+                }
+            }
+        }
+        violations
+    }
+}
+
+fn check_ballots(
+    n: usize,
+    instances: &[Vec<PaxosRecord>],
+    violations: &mut Vec<InvariantViolation>,
+) {
+    for (instance, records) in instances.iter().enumerate() {
+        for (process, rec) in records.iter().enumerate() {
+            // `ballot(round, me) = round·n + me + 1` ⇒ every ballot in the
+            // register of process `me` is ≡ me + 1 (mod n); 0 means "none".
+            let owned = |b: u64| b == 0 || b % n as u64 == ((process + 1) % n) as u64;
+            if !owned(rec.mbal) || !owned(rec.bal) || rec.bal > rec.mbal {
+                violations.push(InvariantViolation::BallotOwnership {
+                    instance,
+                    process,
+                    mbal: rec.mbal,
+                    bal: rec.bal,
+                });
+            }
+        }
+    }
+}
+
+/// The timeliness guarantee a spec's *root* makes constructively: a
+/// [`SetTimely`](st_sched::SetTimely) root enforces its bound on every
+/// emitted prefix as long as some `P` member survives the faulty set.
+/// Decorated or non-conforming roots guarantee nothing unconditionally —
+/// flapping suspends enforcement, gray/clog change emitted positions, and
+/// random/rotation schedules only have empirical bounds.
+fn spec_guarantee(spec: &GeneratorSpec, faulty: ProcSet) -> Option<TimelyPair> {
+    match spec {
+        GeneratorSpec::SetTimely { p, q, bound, .. } if !p.is_subset(faulty) => Some(TimelyPair {
+            p: *p,
+            q: *q,
+            bound: *bound,
+        }),
+        _ => None,
+    }
+}
+
+/// The absence windows a spec's *root* promises about emitted positions.
+/// Only root-level [`CrashAfter`](st_sched::CrashAfter) and
+/// [`CrashRecovery`](st_sched::CrashRecovery) count: their emitted-step
+/// clocks coincide with output positions, whereas nested plans (e.g. a
+/// crash-filtered `SetTimely` filler) count inner positions that injections
+/// shift.
+fn spec_windows(spec: &GeneratorSpec) -> Vec<(ProcessId, u64, u64)> {
+    match spec {
+        GeneratorSpec::CrashAfter { plan, .. } => plan
+            .entries()
+            .map(|(p, step)| (p, step, u64::MAX))
+            .collect(),
+        GeneratorSpec::CrashRecovery {
+            victim,
+            crash,
+            rejoin,
+            ..
+        } => vec![(*victim, *crash, *rejoin)],
+        _ => Vec::new(),
+    }
+}

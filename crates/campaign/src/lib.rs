@@ -67,10 +67,12 @@
 #![warn(missing_docs)]
 
 mod campaign;
+pub mod invariant;
 mod scenario;
 pub mod store;
 
 pub use campaign::{merge_outcomes, Campaign, GridBuilder};
+pub use invariant::{InvariantChecker, InvariantViolation};
 pub use scenario::{
     policy_from_spec, AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, CertifyTimely,
     FdAbi, FdDetector, FdOutcome, OutcomeData, Scenario, ScenarioOutcome, StopRule, Workload,

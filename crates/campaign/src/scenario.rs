@@ -26,6 +26,9 @@ use st_fd::{
 use st_sched::{GeneratorSpec, TimeoutPolicySpec};
 use st_sim::{RunConfig, RunStatus, Sim, StopWhen};
 
+use crate::invariant::{Evidence, InvariantChecker, InvariantViolation};
+use st_core::Schedule;
+
 /// Converts a declarative [`TimeoutPolicySpec`] grid-axis value (from
 /// `st-sched`, which does not depend on `st-fd`) into the concrete
 /// [`TimeoutPolicy`] the failure detector consumes.
@@ -258,10 +261,25 @@ impl Scenario {
         self.faulty.complement(self.universe)
     }
 
-    /// Executes the scenario. Deterministic: depends only on the scenario's
-    /// fields, never on the calling thread or on other scenarios.
+    /// Executes the scenario with the [`InvariantChecker`] on — the default
+    /// everywhere: every campaign cell is a correctness probe. Deterministic:
+    /// depends only on the scenario's fields, never on the calling thread or
+    /// on other scenarios.
     pub fn run(&self) -> ScenarioOutcome {
-        let data = match &self.workload {
+        self.run_inner(true)
+    }
+
+    /// Executes the scenario without invariant checking or schedule
+    /// recording — the pre-checker fast path, kept for honest overhead
+    /// measurement (`st-bench`'s `invariant_overhead`). Outcome data is
+    /// identical to [`run`](Self::run); `violations` is empty by
+    /// construction.
+    pub fn run_unchecked(&self) -> ScenarioOutcome {
+        self.run_inner(false)
+    }
+
+    fn run_inner(&self, check: bool) -> ScenarioOutcome {
+        let (data, evidence) = match &self.workload {
             Workload::FdConvergence {
                 k,
                 t,
@@ -270,7 +288,9 @@ impl Scenario {
                 detector,
                 certify_membership,
             } => {
-                OutcomeData::Fd(self.run_fd(*k, *t, *policy, *abi, *detector, *certify_membership))
+                let (o, ev) =
+                    self.run_fd(*k, *t, *policy, *abi, *detector, *certify_membership, check);
+                (OutcomeData::Fd(o), ev)
             }
             Workload::Agreement {
                 t,
@@ -278,7 +298,10 @@ impl Scenario {
                 inputs,
                 policy,
                 certify,
-            } => OutcomeData::Agreement(self.run_agreement(*t, *k, inputs, *policy, *certify)),
+            } => {
+                let (o, ev) = self.run_agreement(*t, *k, inputs, *policy, *certify, check);
+                (OutcomeData::Agreement(o), ev)
+            }
             Workload::AdversarialAgreement {
                 t,
                 k,
@@ -286,27 +309,47 @@ impl Scenario {
                 policy,
                 precrashed,
                 witness,
-            } => OutcomeData::Adversarial(self.run_adversarial(
-                *t,
-                *k,
-                inputs,
-                *policy,
-                *precrashed,
-                *witness,
-            )),
+            } => (
+                OutcomeData::Adversarial(self.run_adversarial(
+                    *t,
+                    *k,
+                    inputs,
+                    *policy,
+                    *precrashed,
+                    *witness,
+                )),
+                Evidence::default(),
+            ),
             Workload::BgReduction {
                 n_sim,
                 k,
                 max_reads,
-            } => OutcomeData::Bg(self.run_bg(*n_sim, *k, *max_reads)),
+            } => (
+                OutcomeData::Bg(self.run_bg(*n_sim, *k, *max_reads)),
+                Evidence::default(),
+            ),
+        };
+        let (violations, counterexample) = if check {
+            let violations = InvariantChecker::for_scenario(self).check(&data, &evidence);
+            let counterexample = if violations.is_empty() {
+                None
+            } else {
+                evidence.executed
+            };
+            (violations, counterexample)
+        } else {
+            (Vec::new(), None)
         };
         ScenarioOutcome {
             rank: 0,
             label: self.label.clone(),
             data,
+            violations,
+            counterexample,
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_fd(
         &self,
         k: usize,
@@ -315,11 +358,12 @@ impl Scenario {
         abi: FdAbi,
         detector: FdDetector,
         certify_membership: bool,
-    ) -> FdOutcome {
+        record: bool,
+    ) -> (FdOutcome, Evidence) {
         let universe = self.universe;
         let correct = self.correct();
         let mut src = self.generator.build(universe, self.seed);
-        let mut sim = Sim::with_recording(universe, certify_membership);
+        let mut sim = Sim::with_recording(universe, certify_membership || record);
         let mut cfg = RunConfig::steps(self.budget);
         if self.stop == StopRule::AllCorrectDecided {
             cfg = cfg.stop_when(StopWhen::AllDecided(correct));
@@ -360,7 +404,7 @@ impl Scenario {
             }
         };
         let status = status.expect("generator schedules stay within the universe");
-        let report = sim.report();
+        let mut report = sim.report();
         let (membership, stabilization, witness) = match detector {
             FdDetector::SetBased => (
                 if certify_membership {
@@ -391,14 +435,21 @@ impl Scenario {
                     .count()
             })
             .sum();
-        FdOutcome {
-            status,
-            steps: report.steps,
-            membership,
-            stabilization,
-            witness,
-            late_flaps,
-        }
+        let evidence = Evidence {
+            executed: if record { report.executed.take() } else { None },
+            ballots: None,
+        };
+        (
+            FdOutcome {
+                status,
+                steps: report.steps,
+                membership,
+                stabilization,
+                witness,
+                late_flaps,
+            },
+            evidence,
+        )
     }
 
     fn run_agreement(
@@ -408,7 +459,8 @@ impl Scenario {
         inputs: &[Value],
         policy: TimeoutPolicy,
         certify: Option<CertifyTimely>,
-    ) -> AgreementScenarioOutcome {
+        record: bool,
+    ) -> (AgreementScenarioOutcome, Evidence) {
         // Certification sweeps a *fresh* build of the same generator spec —
         // bit-identical to the schedule the protocol is about to see.
         let certified = certify.map(|c| {
@@ -421,7 +473,7 @@ impl Scenario {
                 .is_some()
         });
         let task = AgreementTask::new(t, k, self.universe.n()).expect("valid task parameters");
-        let mut stack = AgreementStack::build_with_policy(task, inputs, policy);
+        let mut stack = AgreementStack::build_full(task, inputs, policy, record);
         let kind = stack.kind();
         let mut src = self.generator.build(self.universe, self.seed);
         // A failed certification proves nothing about the protocol, so the
@@ -447,17 +499,35 @@ impl Scenario {
             .run(&mut src, cfg)
             .expect("agreement schedules stay within the task universe");
         let run = stack.snapshot(status, self.faulty);
-        AgreementScenarioOutcome {
-            kind,
-            status: run.status,
-            decided_at: run.report.all_decided_step(run.outcome.correct),
-            decisions: run.outcome.decisions.clone(),
-            correct: run.outcome.correct,
-            violations: run.violations.clone(),
-            clean: run.is_clean_termination(),
-            safe: run.is_safe(),
-            certified,
-        }
+        let evidence = if record {
+            Evidence {
+                executed: run.report.executed.clone(),
+                ballots: stack.kset().map(|kset| {
+                    let records = kset
+                        .instances()
+                        .iter()
+                        .map(|paxos| paxos.peek_records(stack.sim()))
+                        .collect();
+                    (self.universe.n(), records)
+                }),
+            }
+        } else {
+            Evidence::default()
+        };
+        (
+            AgreementScenarioOutcome {
+                kind,
+                status: run.status,
+                decided_at: run.report.all_decided_step(run.outcome.correct),
+                decisions: run.outcome.decisions.clone(),
+                correct: run.outcome.correct,
+                violations: run.violations.clone(),
+                clean: run.is_clean_termination(),
+                safe: run.is_safe(),
+                certified,
+            },
+            evidence,
+        )
     }
 
     fn run_adversarial(
@@ -546,6 +616,12 @@ pub struct ScenarioOutcome {
     pub label: String,
     /// Workload-shaped payload.
     pub data: OutcomeData,
+    /// Invariants the [`InvariantChecker`] found violated (empty on healthy
+    /// runs, and always empty from [`Scenario::run_unchecked`]).
+    pub violations: Vec<InvariantViolation>,
+    /// The executed schedule, kept as a replayable counterexample when any
+    /// invariant fired and the workload recorded one.
+    pub counterexample: Option<Schedule>,
 }
 
 /// Workload-shaped outcome payload.

@@ -41,13 +41,16 @@ use st_fd::TimeoutPolicy;
 use st_sched::{CrashPlan, GeneratorSpec};
 use st_sim::RunStatus;
 
+use crate::invariant::InvariantViolation;
 use crate::scenario::{
     AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, FdAbi, FdDetector, FdOutcome,
     OutcomeData, Scenario, ScenarioOutcome, StopRule, Workload,
 };
 
-/// The on-disk schema this build writes and accepts.
-pub const SCHEMA: &str = "st-campaign/outcome-store-v1";
+/// The on-disk schema this build writes and accepts. v2 added the
+/// invariant-checker fields (`violations`, `counterexample`) to every
+/// outcome and the fault-decorator generator kinds.
+pub const SCHEMA: &str = "st-campaign/outcome-store-v2";
 
 /// Why a store failed to load or parse.
 #[derive(Debug)]
@@ -407,7 +410,67 @@ fn encode_generator(spec: &GeneratorSpec) -> Json {
             ("inner", encode_generator(inner)),
             ("plan", crash_plan(plan)),
         ]),
+        GeneratorSpec::Flapping {
+            p,
+            q,
+            bound,
+            filler,
+            timely_dwell,
+            untimely_dwell,
+            seed_offset,
+        } => Json::obj([
+            ("kind", Json::str("Flapping")),
+            ("p", bits(*p)),
+            ("q", bits(*q)),
+            ("bound", Json::U64(*bound as u64)),
+            ("filler", encode_generator(filler)),
+            ("timely_dwell", range(*timely_dwell)),
+            ("untimely_dwell", range(*untimely_dwell)),
+            ("seed_offset", Json::U64(*seed_offset)),
+        ]),
+        GeneratorSpec::GrayFailure {
+            inner,
+            gray,
+            stretch,
+            seed_offset,
+        } => Json::obj([
+            ("kind", Json::str("GrayFailure")),
+            ("inner", encode_generator(inner)),
+            ("gray", bits(*gray)),
+            ("stretch", Json::U64(*stretch)),
+            ("seed_offset", Json::U64(*seed_offset)),
+        ]),
+        GeneratorSpec::BurstClog {
+            inner,
+            clogger,
+            window,
+            gap,
+            seed_offset,
+        } => Json::obj([
+            ("kind", Json::str("BurstClog")),
+            ("inner", encode_generator(inner)),
+            ("clogger", pid(*clogger)),
+            ("window", Json::U64(*window)),
+            ("gap", range(*gap)),
+            ("seed_offset", Json::U64(*seed_offset)),
+        ]),
+        GeneratorSpec::CrashRecovery {
+            inner,
+            victim,
+            crash,
+            rejoin,
+        } => Json::obj([
+            ("kind", Json::str("CrashRecovery")),
+            ("inner", encode_generator(inner)),
+            ("victim", pid(*victim)),
+            ("crash", Json::U64(*crash)),
+            ("rejoin", Json::U64(*rejoin)),
+        ]),
     }
+}
+
+fn range((lo, hi): (u64, u64)) -> Json {
+    Json::arr([Json::U64(lo), Json::U64(hi)])
 }
 
 fn opt_u64(v: Option<u64>) -> Json {
@@ -657,7 +720,73 @@ pub fn encode_outcome(out: &ScenarioOutcome) -> Json {
         ("rank", Json::U64(out.rank as u64)),
         ("label", Json::str(out.label.clone())),
         ("data", data),
+        (
+            "violations",
+            Json::arr(out.violations.iter().map(encode_invariant_violation)),
+        ),
+        (
+            "counterexample",
+            match &out.counterexample {
+                Some(s) => Json::arr(s.iter().map(|p| Json::U64(p.index() as u64))),
+                None => Json::Null,
+            },
+        ),
     ])
+}
+
+fn encode_invariant_violation(v: &InvariantViolation) -> Json {
+    match v {
+        InvariantViolation::KAgreement { values: vs, k } => Json::obj([
+            ("kind", Json::str("KAgreement")),
+            ("values", values(vs)),
+            ("k", Json::U64(*k as u64)),
+        ]),
+        InvariantViolation::Validity { process, value } => Json::obj([
+            ("kind", Json::str("Validity")),
+            ("process", Json::U64(*process as u64)),
+            ("value", Json::U64(*value)),
+        ]),
+        InvariantViolation::Termination { undecided } => Json::obj([
+            ("kind", Json::str("Termination")),
+            (
+                "undecided",
+                Json::arr(undecided.iter().map(|&u| Json::U64(u as u64))),
+            ),
+        ]),
+        InvariantViolation::BallotOwnership {
+            instance,
+            process,
+            mbal,
+            bal,
+        } => Json::obj([
+            ("kind", Json::str("BallotOwnership")),
+            ("instance", Json::U64(*instance as u64)),
+            ("process", Json::U64(*process as u64)),
+            ("mbal", Json::U64(*mbal)),
+            ("bal", Json::U64(*bal)),
+        ]),
+        InvariantViolation::AccusedTimelyWinnerset { winnerset } => Json::obj([
+            ("kind", Json::str("AccusedTimelyWinnerset")),
+            ("winnerset", bits(*winnerset)),
+        ]),
+        InvariantViolation::GuaranteeBroken {
+            p,
+            q,
+            bound,
+            observed,
+        } => Json::obj([
+            ("kind", Json::str("GuaranteeBroken")),
+            ("p", bits(*p)),
+            ("q", bits(*q)),
+            ("bound", Json::U64(*bound as u64)),
+            ("observed", Json::U64(*observed as u64)),
+        ]),
+        InvariantViolation::CrashWindowResurrection { process, position } => Json::obj([
+            ("kind", Json::str("CrashWindowResurrection")),
+            ("process", Json::U64(*process as u64)),
+            ("position", Json::U64(*position)),
+        ]),
+    }
 }
 
 fn encode_violation(v: &st_core::AgreementViolation) -> Json {
@@ -862,11 +991,72 @@ pub fn decode_outcome(j: &Json) -> DecodeResult<ScenarioOutcome> {
         }),
         other => return Err(format!("unknown outcome kind {other:?}")),
     };
+    let violations = field(j, "violations")?
+        .as_arr()
+        .ok_or_else(|| "violations is not an array".to_string())?
+        .iter()
+        .map(decode_invariant_violation)
+        .collect::<DecodeResult<_>>()?;
+    let counterexample = match field(j, "counterexample")? {
+        Json::Null => None,
+        v => Some(st_core::Schedule::from_indices(
+            v.as_arr()
+                .ok_or_else(|| "counterexample is not null or an array".to_string())?
+                .iter()
+                .map(|p| {
+                    p.as_u64()
+                        .map(|u| u as usize)
+                        .ok_or_else(|| "counterexample holds a non-integer".to_string())
+                })
+                .collect::<DecodeResult<Vec<usize>>>()?,
+        )),
+    };
     Ok(ScenarioOutcome {
         rank,
         label,
         data: decoded,
+        violations,
+        counterexample,
     })
+}
+
+fn decode_invariant_violation(j: &Json) -> DecodeResult<InvariantViolation> {
+    match str_field(j, "kind")? {
+        "KAgreement" => Ok(InvariantViolation::KAgreement {
+            values: values_field(j, "values")?,
+            k: usize_field(j, "k")?,
+        }),
+        "Validity" => Ok(InvariantViolation::Validity {
+            process: usize_field(j, "process")?,
+            value: u64_field(j, "value")?,
+        }),
+        "Termination" => Ok(InvariantViolation::Termination {
+            undecided: values_field(j, "undecided")?
+                .into_iter()
+                .map(|v| v as usize)
+                .collect(),
+        }),
+        "BallotOwnership" => Ok(InvariantViolation::BallotOwnership {
+            instance: usize_field(j, "instance")?,
+            process: usize_field(j, "process")?,
+            mbal: u64_field(j, "mbal")?,
+            bal: u64_field(j, "bal")?,
+        }),
+        "AccusedTimelyWinnerset" => Ok(InvariantViolation::AccusedTimelyWinnerset {
+            winnerset: set_field(j, "winnerset")?,
+        }),
+        "GuaranteeBroken" => Ok(InvariantViolation::GuaranteeBroken {
+            p: set_field(j, "p")?,
+            q: set_field(j, "q")?,
+            bound: usize_field(j, "bound")?,
+            observed: usize_field(j, "observed")?,
+        }),
+        "CrashWindowResurrection" => Ok(InvariantViolation::CrashWindowResurrection {
+            process: usize_field(j, "process")?,
+            position: u64_field(j, "position")?,
+        }),
+        other => Err(format!("unknown invariant violation kind {other:?}")),
+    }
 }
 
 fn decode_violation(j: &Json) -> DecodeResult<st_core::AgreementViolation> {

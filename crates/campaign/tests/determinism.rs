@@ -94,3 +94,68 @@ fn repeated_runs_are_reproducible() {
     let b = campaign.run_parallel(4);
     assert_eq!(as_bytes(&a), as_bytes(&b));
 }
+
+/// The fault-injection decorators ride the same guarantee: a grid over all
+/// four decorator families must be byte-identical at 1, 4, and an
+/// oversubscribed worker count, and violation-free on conforming scenarios.
+fn fault_campaign() -> Campaign {
+    let n = 4;
+    let universe = Universe::new(n).unwrap();
+    let p = ProcSet::from_indices([0]);
+    let q = ProcSet::from_indices([0, 1, 2]);
+    let base = || GeneratorSpec::set_timely(p, q, 6, GeneratorSpec::seeded_random(0));
+    let generators = [
+        GeneratorSpec::flapping(p, q, 6, GeneratorSpec::seeded_random(0), (40, 80), (20, 40)),
+        GeneratorSpec::gray_failure(base(), ProcSet::from_indices([3]), 4),
+        GeneratorSpec::burst_clog(base(), ProcessId::new(3), 25, (60, 120)),
+        GeneratorSpec::crash_recovery(base(), ProcessId::new(3), 1_000, 3_000),
+    ];
+    let workloads = [
+        Workload::FdConvergence {
+            k: 1,
+            t: 2,
+            policy: TimeoutPolicy::Increment,
+            abi: FdAbi::MachineSlot,
+            detector: FdDetector::SetBased,
+            certify_membership: false,
+        },
+        Workload::Agreement {
+            t: 2,
+            k: 1,
+            inputs: (0..n as st_core::Value).map(|v| 100 + v).collect(),
+            policy: TimeoutPolicy::Increment,
+            certify: None,
+        },
+    ];
+    Campaign::grid(universe)
+        .generators(generators)
+        .seeds([21, 22, 23])
+        .workloads(workloads)
+        .budget(20_000)
+        .build()
+}
+
+#[test]
+fn fault_decorators_are_worker_count_independent() {
+    let campaign = fault_campaign();
+    assert_eq!(campaign.len(), 4 * 3 * 2, "the fault grid shape");
+
+    let sequential = campaign.run_parallel(1);
+    let four = campaign.run_parallel(4);
+    let oversubscribed = campaign.run_parallel(33);
+
+    assert_eq!(as_bytes(&sequential), as_bytes(&four));
+    assert_eq!(as_bytes(&sequential), as_bytes(&oversubscribed));
+
+    // The decorators stress schedules but never forge evidence: no scenario
+    // in this grid trips the always-on checker.
+    for out in &sequential {
+        assert!(
+            out.violations.is_empty(),
+            "unexpected violation in {}: {:?}",
+            out.label,
+            out.violations
+        );
+        assert!(out.counterexample.is_none());
+    }
+}

@@ -1,0 +1,136 @@
+//! The always-on invariant checker, exercised end to end: a scenario whose
+//! generator owes termination but whose budget forbids it must record a
+//! typed violation plus a replayable counterexample schedule, the store
+//! codec must round-trip every violation kind byte-identically, and the
+//! unchecked fast path must stay violation-free by construction.
+
+use st_campaign::store::{decode_outcome, encode_outcome};
+use st_campaign::{Campaign, InvariantViolation, Scenario, Workload};
+use st_core::{ProcSet, Schedule, Universe, Value};
+use st_fd::TimeoutPolicy;
+use st_sched::GeneratorSpec;
+
+/// An agreement scenario whose root `SetTimely` generator guarantees
+/// solvability (so termination is owed) but whose step budget is far too
+/// small for the stack to decide: the checker must fire.
+fn starved_scenario() -> Scenario {
+    let n = 4;
+    let universe = Universe::new(n).unwrap();
+    let p = ProcSet::from_indices([0]);
+    let q = ProcSet::from_indices([0, 1, 2]);
+    Scenario::new(
+        "fixture/starved",
+        universe,
+        GeneratorSpec::set_timely(p, q, 6, GeneratorSpec::seeded_random(0)),
+        Workload::Agreement {
+            t: 2,
+            k: 1,
+            inputs: (0..n as Value).map(|v| 100 + v).collect(),
+            policy: TimeoutPolicy::Increment,
+            certify: None,
+        },
+        40, // far below any decision point
+        7,
+    )
+}
+
+#[test]
+fn starved_guarantee_records_termination_violation_and_counterexample() {
+    let out = starved_scenario().run();
+    assert!(
+        out.violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::Termination { .. })),
+        "expected a Termination violation, got {:?}",
+        out.violations
+    );
+    let counterexample = out
+        .counterexample
+        .as_ref()
+        .expect("violations must pin the executed schedule");
+    // The counterexample is the replayable executed schedule: within the
+    // universe and exactly as long as the run.
+    assert!(counterexample.is_within(Universe::new(4).unwrap()));
+    assert!(!counterexample.is_empty() && counterexample.len() as u64 <= 40);
+}
+
+#[test]
+fn unchecked_fast_path_never_reports() {
+    let checked = starved_scenario().run();
+    let unchecked = starved_scenario().run_unchecked();
+    assert!(unchecked.violations.is_empty());
+    assert!(unchecked.counterexample.is_none());
+    // Outcome data itself is identical — the checker observes, never steers.
+    assert_eq!(checked.data, unchecked.data);
+}
+
+#[test]
+fn generous_budget_clears_the_same_scenario() {
+    let mut scenario = starved_scenario();
+    scenario.budget = 200_000;
+    let out = scenario.run();
+    assert!(
+        out.violations.is_empty(),
+        "conforming run should be clean: {:?}",
+        out.violations
+    );
+    assert!(out.counterexample.is_none());
+}
+
+#[test]
+fn campaign_outcomes_carry_violations() {
+    // The same fixture through the parallel engine: violations survive the
+    // rank-ordered merge.
+    let campaign = Campaign::from_scenarios(vec![starved_scenario()]);
+    let outcomes = campaign.run_parallel(4);
+    assert_eq!(outcomes.len(), 1);
+    assert!(!outcomes[0].violations.is_empty());
+    assert!(outcomes[0].counterexample.is_some());
+}
+
+#[test]
+fn every_violation_kind_round_trips_through_the_store_codec() {
+    // Start from a real outcome, then splice in one violation of each kind
+    // and a counterexample schedule; the codec must reproduce all of them.
+    let mut out = starved_scenario().run();
+    out.violations = vec![
+        InvariantViolation::KAgreement {
+            values: vec![1, 2, 3],
+            k: 2,
+        },
+        InvariantViolation::Validity {
+            process: 1,
+            value: 99,
+        },
+        InvariantViolation::Termination {
+            undecided: vec![0, 2],
+        },
+        InvariantViolation::BallotOwnership {
+            instance: 1,
+            process: 2,
+            mbal: 7,
+            bal: 11,
+        },
+        InvariantViolation::AccusedTimelyWinnerset {
+            winnerset: ProcSet::from_indices([1, 3]),
+        },
+        InvariantViolation::GuaranteeBroken {
+            p: ProcSet::from_indices([0]),
+            q: ProcSet::from_indices([0, 1]),
+            bound: 4,
+            observed: 9,
+        },
+        InvariantViolation::CrashWindowResurrection {
+            process: 3,
+            position: 1_234,
+        },
+    ];
+    out.counterexample = Some(Schedule::from_indices([0, 1, 2, 3, 0, 1]));
+    let decoded = decode_outcome(&encode_outcome(&out)).expect("decode");
+    assert_eq!(out, decoded);
+    // And byte-identically: re-encoding the decoded outcome is a fixpoint.
+    assert_eq!(
+        encode_outcome(&out).to_string(),
+        encode_outcome(&decoded).to_string()
+    );
+}

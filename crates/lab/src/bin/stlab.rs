@@ -5,6 +5,8 @@
 //! stlab [--fast] [--tsv] [--threads N]
 //!       [--outcomes PATH] [--resume PATH]
 //!       [e1 e2 … | all]
+//! stlab --scenario NAME [--scenario NAME …] [--fast] [--threads N]
+//! stlab --list-scenarios
 //! stlab --drop-half-store PATH
 //! ```
 //!
@@ -25,6 +27,12 @@
 //! is refused with a typed error (exit code 2), never silently partially
 //! resumed.
 //!
+//! Scenarios: `--scenario NAME` (repeatable) runs entries of the named
+//! fault-injection catalog (`SCENARIOS.md`) as campaigns with the
+//! always-on invariant checker; any recorded violation prints a replayable
+//! counterexample schedule and exits non-zero. `--list-scenarios` prints
+//! the catalog; an unknown name exits 2 with the catalog on stderr.
+//!
 //! `--drop-half-store PATH` is the maintenance verb CI's resume-smoke
 //! uses: it loads a store, keeps every other entry, and writes it back —
 //! a deterministic "interrupt" for differential testing.
@@ -33,7 +41,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use st_campaign::OutcomeStore;
-use st_lab::{run_experiment, LabConfig, LabSession, ALL_EXPERIMENTS};
+use st_lab::{run_experiment, scenarios, LabConfig, LabSession, ALL_EXPERIMENTS};
 
 struct Args {
     fast: bool,
@@ -42,6 +50,8 @@ struct Args {
     outcomes: Option<String>,
     resume: Option<String>,
     drop_half: Option<String>,
+    scenarios: Vec<String>,
+    list_scenarios: bool,
     ids: Vec<String>,
 }
 
@@ -54,6 +64,8 @@ fn parse_args() -> Args {
         outcomes: None,
         resume: None,
         drop_half: None,
+        scenarios: Vec::new(),
+        list_scenarios: false,
         ids: Vec::new(),
     };
     let mut i = 0usize;
@@ -80,6 +92,8 @@ fn parse_args() -> Args {
             "--drop-half-store" => {
                 args.drop_half = Some(value_of(&mut i, "--drop-half-store", &argv))
             }
+            "--scenario" => args.scenarios.push(value_of(&mut i, "--scenario", &argv)),
+            "--list-scenarios" => args.list_scenarios = true,
             other => args.ids.push(other.to_lowercase()),
         }
         i += 1;
@@ -87,8 +101,25 @@ fn parse_args() -> Args {
     args
 }
 
+fn print_catalog(to_stderr: bool) {
+    let mut text = String::from("known scenarios:\n");
+    for e in scenarios::CATALOG {
+        text.push_str(&format!("  {:<18} {}\n", e.name, e.fault));
+    }
+    if to_stderr {
+        eprint!("{text}");
+    } else {
+        print!("{text}");
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+
+    if args.list_scenarios {
+        print_catalog(false);
+        return ExitCode::SUCCESS;
+    }
 
     // Maintenance verb: truncate a store to every other entry and exit.
     if let Some(path) = &args.drop_half {
@@ -144,6 +175,50 @@ fn main() -> ExitCode {
     .with_threads(args.threads);
     if let Some(session) = &session {
         cfg = cfg.with_session(Arc::clone(session));
+    }
+
+    // Scenario-catalog mode: run the named fault-injection scenarios with
+    // the always-on invariant checker and exit. Names are validated up
+    // front — an unknown one is a typed refusal, not a partial run.
+    if !args.scenarios.is_empty() {
+        let mut entries = Vec::new();
+        for name in &args.scenarios {
+            match scenarios::find(name) {
+                Some(entry) => entries.push(entry),
+                None => {
+                    eprintln!("unknown scenario: {name}");
+                    print_catalog(true);
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let mut violations = 0usize;
+        let mut broken_fixtures = 0usize;
+        for entry in entries {
+            let report = scenarios::run_entry(entry, &cfg);
+            println!("{}", report.render());
+            violations += report.violation_count();
+            if entry.expect_violation && report.violation_count() == 0 {
+                broken_fixtures += 1;
+            }
+        }
+        if let (Some(path), Some(session)) = (&args.outcomes, &session) {
+            let store = session.recorded();
+            if let Err(e) = store.save(path) {
+                eprintln!("cannot write outcome store {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("wrote {} outcomes to {path}", store.len());
+        }
+        if violations > 0 {
+            eprintln!("{violations} invariant violation(s) recorded");
+            return ExitCode::FAILURE;
+        }
+        if broken_fixtures > 0 {
+            eprintln!("{broken_fixtures} violation fixture(s) failed to fire");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
     }
 
     let mut ids = args.ids;

@@ -155,6 +155,13 @@ impl LabConfig {
     }
 }
 
+/// True when no outcome recorded an [`st_campaign::InvariantViolation`] —
+/// the campaign experiments AND this into their pass verdict, so the E2–E8
+/// grids double as an always-on correctness sweep.
+pub fn violation_free(outcomes: &[ScenarioOutcome]) -> bool {
+    outcomes.iter().all(|o| o.violations.is_empty())
+}
+
 /// The outcome of one experiment: tables plus a pass verdict against the
 /// paper's claims.
 #[derive(Clone, Debug)]

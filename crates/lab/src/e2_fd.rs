@@ -158,6 +158,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
     }
 
     let outcomes = cfg.run_campaign("e2", &campaign);
+    pass &= crate::config::violation_free(&outcomes);
     for (row, outcome) in rows.iter().zip(&outcomes) {
         let fd = outcome.data.as_fd().expect("FD campaign");
         pass &= record(&mut table, row, fd);

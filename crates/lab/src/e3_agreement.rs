@@ -113,6 +113,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
     }
 
     let outcomes = cfg.run_campaign("e3", &campaign);
+    pass &= crate::config::violation_free(&outcomes);
     for ((task, crashes), outcome) in rows.iter().zip(&outcomes) {
         let run = outcome.data.as_agreement().expect("agreement campaign");
         pass &= emit(&mut table, task, *crashes, run);

@@ -87,6 +87,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
     }
 
     let outcomes = cfg.run_campaign("e4", &campaign);
+    pass &= crate::config::violation_free(&outcomes);
     for (&(k, n), pair) in grid.iter().zip(outcomes.chunks(2)) {
         let task = AgreementTask::new(k, k, n).unwrap();
 

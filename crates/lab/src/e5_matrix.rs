@@ -177,6 +177,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
     }
     let cells = rows.len();
     let outcomes = cfg.run_campaign("e5", &campaign);
+    pass &= crate::config::violation_free(&outcomes);
 
     for ((task, sys, verdict), outcome) in rows.iter().zip(&outcomes) {
         let observed = observe(&outcome.data, task.n());

@@ -76,6 +76,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         }
     }
     let outcomes = cfg.run_campaign("e6", &campaign);
+    pass &= crate::config::violation_free(&outcomes);
 
     for (&(k, n_sim, crashes), outcome) in rows.iter().zip(&outcomes) {
         let report = outcome.data.as_bg().expect("BG campaign");

@@ -75,6 +75,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
         ));
     }
     let outcomes = cfg.run_campaign("e7", &campaign);
+    pass &= crate::config::violation_free(&outcomes);
     let stabs: Vec<Option<u64>> = outcomes
         .iter()
         .map(|o| {

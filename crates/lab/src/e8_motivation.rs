@@ -89,6 +89,7 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
     }
 
     let outcomes = cfg.run_campaign("e8", &campaign);
+    pass &= crate::config::violation_free(&outcomes);
     for ((n, k, t, groups), pair) in rows.iter().zip(outcomes.chunks(2)) {
         // Set-based Figure 2.
         let set_fd = pair[0].data.as_fd().expect("FD campaign");

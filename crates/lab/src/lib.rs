@@ -14,6 +14,15 @@
 //!
 //! Run them all with the `stlab` binary: `cargo run -p st-lab --release --bin stlab -- all`.
 //!
+//! Besides the experiments, the lab ships a named **fault-injection
+//! scenario catalog** ([`scenarios`], documented in `SCENARIOS.md`):
+//! `stlab --scenario <name>` runs a cataloged fault shape (flapping
+//! timeliness, gray failure, burst clogging, crash-recovery, the adaptive
+//! adversary) as a campaign with the always-on invariant checker, and
+//! `stlab --list-scenarios` prints the catalog. Any recorded
+//! `InvariantViolation` makes the run exit non-zero and prints a
+//! replayable counterexample schedule.
+//!
 //! # The campaign layer
 //!
 //! E2–E8 no longer hand-roll their grid loops: each builds a
@@ -52,9 +61,10 @@ pub mod e5_matrix;
 pub mod e6_bg;
 pub mod e7_ablation;
 pub mod e8_motivation;
+pub mod scenarios;
 pub mod table;
 
-pub use config::{ExperimentResult, LabConfig, LabSession};
+pub use config::{violation_free, ExperimentResult, LabConfig, LabSession};
 pub use table::Table;
 
 /// Runs one experiment by id (`"e1"`…`"e7"`).

@@ -1,0 +1,378 @@
+//! The named fault-injection scenario catalog behind `stlab --scenario`.
+//!
+//! Each entry names a fault shape from the paper's world — flapping
+//! timeliness, gray failure, burst clogging, crash with recovery, the
+//! adaptive adversary — and builds a small campaign over the full stack
+//! (`n = 5`, `t = 2`, `k = 2`) with the always-on
+//! [`InvariantChecker`](st_campaign::InvariantChecker). `SCENARIOS.md` at
+//! the repo root documents the catalog; `stlab --list-scenarios` prints it.
+//!
+//! One entry, [`starved-fixture`](CATALOG), is an *intentional* violation:
+//! its generator owes termination (a root set-timely guarantee) but its
+//! budget forbids a decision, so the checker records a
+//! [`Termination`](st_campaign::InvariantViolation::Termination) violation
+//! and pins the executed schedule as a replayable counterexample. CI runs
+//! it to prove the checker actually fires; `stlab` exits non-zero whenever
+//! any violation is recorded, so this entry never exits zero.
+
+use st_campaign::{Campaign, FdAbi, FdDetector, OutcomeData, Scenario, ScenarioOutcome, Workload};
+use st_core::{ProcSet, ProcessId, Value};
+use st_fd::TimeoutPolicy;
+use st_sched::GeneratorSpec;
+
+use crate::config::LabConfig;
+
+/// One named scenario in the catalog.
+pub struct CatalogEntry {
+    /// The `--scenario` name.
+    pub name: &'static str,
+    /// The fault shape, one line.
+    pub fault: &'static str,
+    /// Which invariants the checker arms on this entry.
+    pub invariants: &'static str,
+    /// Whether the entry is an intentional-violation fixture (so a recorded
+    /// violation is the *expected* outcome; the exit code is still
+    /// non-zero).
+    pub expect_violation: bool,
+    build: fn(&LabConfig) -> Campaign,
+}
+
+/// The shared task shape: `n = 5` processes, resilience `t = 2`, agreement
+/// degree `k = 2`, with `P = {0, 1}`, `Q = {0, 1, 2}`, bound `2(t+1)`.
+const N: usize = 5;
+const T: usize = 2;
+const K: usize = 2;
+const BOUND: usize = 2 * (T + 1);
+
+fn p() -> ProcSet {
+    ProcSet::from_indices([0, 1])
+}
+
+fn q() -> ProcSet {
+    ProcSet::from_indices([0, 1, 2])
+}
+
+fn inputs() -> Vec<Value> {
+    (0..N as Value).map(|v| 1000 + 7 * v).collect()
+}
+
+fn universe() -> st_core::Universe {
+    st_core::Universe::new(N).unwrap()
+}
+
+fn fd_workload() -> Workload {
+    Workload::FdConvergence {
+        k: K,
+        t: T,
+        policy: TimeoutPolicy::Increment,
+        abi: FdAbi::MachineSlot,
+        detector: FdDetector::SetBased,
+        certify_membership: false,
+    }
+}
+
+fn agreement_workload() -> Workload {
+    Workload::Agreement {
+        t: T,
+        k: K,
+        inputs: inputs(),
+        policy: TimeoutPolicy::Increment,
+        certify: None,
+    }
+}
+
+fn conforming() -> GeneratorSpec {
+    GeneratorSpec::set_timely(p(), q(), BOUND, GeneratorSpec::seeded_random(0))
+}
+
+/// Both workloads over one generator spec, two seeds each.
+fn both_workloads(cfg: &LabConfig, name: &str, spec: GeneratorSpec) -> Campaign {
+    let budget = cfg.budget(1_000_000);
+    let mut campaign = Campaign::new();
+    for workload in [fd_workload(), agreement_workload()] {
+        for offset in 0..2u64 {
+            let kind = match &workload {
+                Workload::FdConvergence { .. } => "fd",
+                _ => "agreement",
+            };
+            campaign.push(Scenario::new(
+                format!("{name}/{kind}/seed{offset}"),
+                universe(),
+                spec.clone(),
+                workload.clone(),
+                budget,
+                cfg.seed.wrapping_add(offset),
+            ));
+        }
+    }
+    campaign
+}
+
+fn baseline(cfg: &LabConfig) -> Campaign {
+    both_workloads(cfg, "baseline", conforming())
+}
+
+fn flapping(cfg: &LabConfig) -> Campaign {
+    both_workloads(
+        cfg,
+        "flapping",
+        GeneratorSpec::flapping(
+            p(),
+            q(),
+            BOUND,
+            GeneratorSpec::seeded_random(0),
+            (60, 120),
+            (20, 60),
+        ),
+    )
+}
+
+fn gray(cfg: &LabConfig) -> Campaign {
+    both_workloads(
+        cfg,
+        "gray",
+        GeneratorSpec::gray_failure(conforming(), ProcSet::from_indices([4]), 8),
+    )
+}
+
+fn clog(cfg: &LabConfig) -> Campaign {
+    both_workloads(
+        cfg,
+        "clog",
+        GeneratorSpec::burst_clog(conforming(), ProcessId::new(4), 40, (80, 160)),
+    )
+}
+
+fn crash_recovery(cfg: &LabConfig) -> Campaign {
+    both_workloads(
+        cfg,
+        "crash-recovery",
+        GeneratorSpec::crash_recovery(conforming(), ProcessId::new(4), 2_000, 6_000),
+    )
+}
+
+fn adversarial(cfg: &LabConfig) -> Campaign {
+    // The adaptive adversary constructs its own schedule; the checker arms
+    // nothing and the outcome's own `safe`/`blocked` verdicts carry the
+    // judgment (Theorem 27's unsolvable side).
+    let mut campaign = Campaign::new();
+    campaign.push(Scenario::new(
+        "adversarial/k2",
+        universe(),
+        GeneratorSpec::round_robin(),
+        Workload::AdversarialAgreement {
+            t: T,
+            k: K,
+            inputs: inputs(),
+            policy: TimeoutPolicy::Increment,
+            precrashed: ProcSet::EMPTY,
+            witness: Some((p(), q())),
+        },
+        cfg.budget(400_000),
+        cfg.seed,
+    ));
+    campaign
+}
+
+fn starved_fixture(cfg: &LabConfig) -> Campaign {
+    // A root set-timely guarantee makes termination owed; 40 steps make it
+    // impossible. Deliberately NOT scaled by `cfg.budget` — the starvation
+    // is the point.
+    let mut campaign = Campaign::new();
+    campaign.push(Scenario::new(
+        "starved-fixture/agreement",
+        universe(),
+        conforming(),
+        agreement_workload(),
+        40,
+        cfg.seed,
+    ));
+    campaign
+}
+
+/// The catalog, in `--list-scenarios` order.
+pub const CATALOG: &[CatalogEntry] = &[
+    CatalogEntry {
+        name: "baseline",
+        fault: "none — conforming set-timely schedule",
+        invariants: "guarantee, termination, k-agreement, validity, ballots",
+        expect_violation: false,
+        build: baseline,
+    },
+    CatalogEntry {
+        name: "flapping",
+        fault: "timeliness flaps timely<->untimely with seeded dwell times",
+        invariants: "k-agreement, validity, ballots, accusation sanity",
+        expect_violation: false,
+        build: flapping,
+    },
+    CatalogEntry {
+        name: "gray",
+        fault: "gray failure — p4 slow (8x stretched) but live",
+        invariants: "k-agreement, validity, ballots, accusation sanity",
+        expect_violation: false,
+        build: gray,
+    },
+    CatalogEntry {
+        name: "clog",
+        fault: "burst clogging — p4 monopolizes the schedule in seeded windows",
+        invariants: "k-agreement, validity, ballots, accusation sanity",
+        expect_violation: false,
+        build: clog,
+    },
+    CatalogEntry {
+        name: "crash-recovery",
+        fault: "p4 crashes at step 2000, rejoins at 6000",
+        invariants: "crash-window absence, k-agreement, validity, ballots",
+        expect_violation: false,
+        build: crash_recovery,
+    },
+    CatalogEntry {
+        name: "adversarial",
+        fault: "adaptive adversary schedule (Theorem 27 unsolvable side)",
+        invariants: "none armed — the outcome's safe/blocked verdicts judge",
+        expect_violation: false,
+        build: adversarial,
+    },
+    CatalogEntry {
+        name: "starved-fixture",
+        fault: "intentional: termination owed, budget of 40 steps forbids it",
+        invariants: "termination (fires by design; exit is non-zero)",
+        expect_violation: true,
+        build: starved_fixture,
+    },
+];
+
+/// Looks an entry up by name.
+pub fn find(name: &str) -> Option<&'static CatalogEntry> {
+    CATALOG.iter().find(|e| e.name == name)
+}
+
+/// The result of running one catalog entry.
+pub struct ScenarioReport {
+    /// The entry's name.
+    pub name: &'static str,
+    /// Whether a violation is the intended outcome.
+    pub expect_violation: bool,
+    /// The campaign's outcomes, in rank order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+/// Runs a catalog entry as a campaign (checker on — `Scenario::run` is the
+/// only path) under the lab configuration, recording under the campaign
+/// key `scenario:<name>` when a session is attached.
+pub fn run_entry(entry: &'static CatalogEntry, cfg: &LabConfig) -> ScenarioReport {
+    let campaign = (entry.build)(cfg);
+    let outcomes = cfg.run_campaign(&format!("scenario:{}", entry.name), &campaign);
+    ScenarioReport {
+        name: entry.name,
+        expect_violation: entry.expect_violation,
+        outcomes,
+    }
+}
+
+impl ScenarioReport {
+    /// Total violations across the campaign.
+    pub fn violation_count(&self) -> usize {
+        self.outcomes.iter().map(|o| o.violations.len()).sum()
+    }
+
+    /// Renders the report: one line per scenario cell, then every violation
+    /// with its replayable counterexample schedule.
+    pub fn render(&self) -> String {
+        let mut out = format!("== scenario {} ==\n", self.name);
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "  {:<32} {:<12} violations: {}\n",
+                o.label,
+                summarize(&o.data),
+                o.violations.len()
+            ));
+        }
+        for o in &self.outcomes {
+            for v in &o.violations {
+                out.push_str(&format!("  VIOLATION [{}]: {v}\n", o.label));
+            }
+            if let Some(s) = &o.counterexample {
+                let preview: Vec<String> = s
+                    .iter()
+                    .take(16)
+                    .map(|p| format!("p{}", p.index()))
+                    .collect();
+                let ellipsis = if s.len() > 16 { " ..." } else { "" };
+                out.push_str(&format!(
+                    "  counterexample schedule ({} steps, replayable): {}{ellipsis}\n",
+                    s.len(),
+                    preview.join(" ")
+                ));
+            }
+        }
+        let verdict = match (self.violation_count(), self.expect_violation) {
+            (0, false) => "CLEAN (no invariant violated)",
+            (_, false) => "VIOLATED",
+            (0, true) => "BROKEN FIXTURE (expected a violation, none recorded)",
+            (_, true) => "VIOLATED (as intended by this fixture)",
+        };
+        out.push_str(&format!("verdict: {verdict}\n"));
+        out
+    }
+}
+
+fn summarize(data: &OutcomeData) -> String {
+    match data {
+        OutcomeData::Fd(f) => format!("{:?}", f.status),
+        OutcomeData::Agreement(a) => match a.decided_at {
+            Some(step) => format!("decided@{step}"),
+            None => format!("{:?}", a.status),
+        },
+        OutcomeData::Adversarial(a) => {
+            if a.blocked {
+                "blocked".to_string()
+            } else {
+                format!("decided {}", a.decided)
+            }
+        }
+        OutcomeData::Bg(b) => format!("{:?}", b.status),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_campaign::InvariantViolation;
+
+    #[test]
+    fn catalog_names_are_unique_and_findable() {
+        for (i, e) in CATALOG.iter().enumerate() {
+            assert!(find(e.name).is_some());
+            assert!(
+                !CATALOG[..i].iter().any(|o| o.name == e.name),
+                "duplicate catalog name {}",
+                e.name
+            );
+        }
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn baseline_is_clean_in_fast_mode() {
+        let report = run_entry(find("baseline").unwrap(), &LabConfig::fast());
+        assert_eq!(report.violation_count(), 0, "{}", report.render());
+        assert!(report.render().contains("CLEAN"));
+    }
+
+    #[test]
+    fn starved_fixture_records_violation_and_counterexample() {
+        let report = run_entry(find("starved-fixture").unwrap(), &LabConfig::fast());
+        assert!(report.violation_count() > 0);
+        assert!(report.outcomes.iter().any(|o| {
+            o.violations
+                .iter()
+                .any(|v| matches!(v, InvariantViolation::Termination { .. }))
+                && o.counterexample.is_some()
+        }));
+        let rendered = report.render();
+        assert!(rendered.contains("counterexample schedule"));
+        assert!(rendered.contains("as intended"));
+    }
+}

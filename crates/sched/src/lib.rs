@@ -15,6 +15,10 @@
 //!   (Theorem 27 case 2b: in `S^i_{j,n}` yet outside `S^k_{t+1,n}`).
 //! - **Crash plans** — [`CrashPlan`] / [`CrashAfter`] model faulty processes
 //!   as processes with finitely many steps.
+//! - **Fault injection** — [`FlappingTimely`], [`GrayFailure`],
+//!   [`BurstClog`], and [`CrashRecovery`] model dynamic synchrony: flapping
+//!   timeliness, slow-but-live processes, schedule monopolization, and
+//!   crash-with-rejoin, all deterministic per seed.
 //! - **Declarative specs** — [`GeneratorSpec`] describes any of the above as
 //!   plain data and builds it on demand (`Box<dyn StepSource>`); scenario
 //!   campaigns (`st-campaign`) grid over specs, not generators.
@@ -28,6 +32,7 @@ mod alternating;
 mod basic;
 mod crashes;
 mod cycle;
+mod faults;
 mod fictitious;
 mod figure1;
 pub mod policy;
@@ -40,6 +45,7 @@ pub use alternating::AlternatingRotation;
 pub use basic::{RoundRobin, SeededRandom};
 pub use crashes::{CrashAfter, CrashPlan};
 pub use cycle::Cycle;
+pub use faults::{BurstClog, CrashRecovery, FlappingTimely, GrayFailure, PhaseSegment};
 pub use fictitious::FictitiousCrash;
 pub use figure1::{Figure1, GeneralizedFigure1};
 pub use policy::TimeoutPolicySpec;

@@ -29,6 +29,7 @@ use crate::alternating::AlternatingRotation;
 use crate::basic::{RoundRobin, SeededRandom};
 use crate::crashes::{CrashAfter, CrashPlan};
 use crate::cycle::Cycle;
+use crate::faults::{BurstClog, CrashRecovery, FlappingTimely, GrayFailure};
 use crate::fictitious::FictitiousCrash;
 use crate::figure1::{Figure1, GeneralizedFigure1};
 use crate::set_timely::{Eventually, SetTimely};
@@ -130,6 +131,62 @@ pub enum GeneratorSpec {
         /// When each faulty process takes its last step.
         plan: CrashPlan,
     },
+    /// [`FlappingTimely`]: `p` timely wrt `q` only during seeded timely
+    /// dwells, alternating with unchecked untimely dwells.
+    Flapping {
+        /// The intermittently enforced timely set.
+        p: ProcSet,
+        /// The observed set.
+        q: ProcSet,
+        /// The bound enforced during timely dwells.
+        bound: usize,
+        /// Adversarial filler, itself a spec.
+        filler: Box<GeneratorSpec>,
+        /// Inclusive range of timely-phase lengths (emitted steps).
+        timely_dwell: (u64, u64),
+        /// Inclusive range of untimely-phase lengths (emitted steps).
+        untimely_dwell: (u64, u64),
+        /// Added (wrapping) to the scenario seed for the dwell RNG.
+        seed_offset: u64,
+    },
+    /// [`GrayFailure`]: the gray processes' steps thinned to one in
+    /// `stretch`, with seeded phases — slow but live.
+    GrayFailure {
+        /// The wrapped spec.
+        inner: Box<GeneratorSpec>,
+        /// The slow-but-live processes.
+        gray: ProcSet,
+        /// Dilation factor (1 = identity).
+        stretch: u64,
+        /// Added (wrapping) to the scenario seed for the phase RNG.
+        seed_offset: u64,
+    },
+    /// [`BurstClog`]: one process monopolizes the schedule for fixed
+    /// windows separated by seeded gaps.
+    BurstClog {
+        /// The wrapped spec.
+        inner: Box<GeneratorSpec>,
+        /// The monopolizing process.
+        clogger: ProcessId,
+        /// Burst length in emitted steps.
+        window: u64,
+        /// Inclusive range of gap lengths between bursts.
+        gap: (u64, u64),
+        /// Added (wrapping) to the scenario seed for the gap RNG.
+        seed_offset: u64,
+    },
+    /// [`CrashRecovery`]: the victim silent at emitted positions
+    /// `[crash, rejoin)`, then back — and therefore *not* faulty.
+    CrashRecovery {
+        /// The wrapped spec.
+        inner: Box<GeneratorSpec>,
+        /// The process that crashes and rejoins.
+        victim: ProcessId,
+        /// First silent position.
+        crash: u64,
+        /// First position the victim may step at again.
+        rejoin: u64,
+    },
 }
 
 impl GeneratorSpec {
@@ -156,6 +213,68 @@ impl GeneratorSpec {
             bound,
             filler: Box::new(filler),
             crashes: CrashPlan::new(),
+        }
+    }
+
+    /// `FlappingTimely` with the given intermittent guarantee over a filler
+    /// spec (dwell RNG at offset 0 from the scenario seed).
+    pub fn flapping(
+        p: ProcSet,
+        q: ProcSet,
+        bound: usize,
+        filler: GeneratorSpec,
+        timely_dwell: (u64, u64),
+        untimely_dwell: (u64, u64),
+    ) -> Self {
+        GeneratorSpec::Flapping {
+            p,
+            q,
+            bound,
+            filler: Box::new(filler),
+            timely_dwell,
+            untimely_dwell,
+            seed_offset: 0,
+        }
+    }
+
+    /// `GrayFailure` over an inner spec (phase RNG at offset 0).
+    pub fn gray_failure(inner: GeneratorSpec, gray: ProcSet, stretch: u64) -> Self {
+        GeneratorSpec::GrayFailure {
+            inner: Box::new(inner),
+            gray,
+            stretch,
+            seed_offset: 0,
+        }
+    }
+
+    /// `BurstClog` over an inner spec (gap RNG at offset 0).
+    pub fn burst_clog(
+        inner: GeneratorSpec,
+        clogger: ProcessId,
+        window: u64,
+        gap: (u64, u64),
+    ) -> Self {
+        GeneratorSpec::BurstClog {
+            inner: Box::new(inner),
+            clogger,
+            window,
+            gap,
+            seed_offset: 0,
+        }
+    }
+
+    /// `CrashRecovery` over an inner spec.
+    pub fn crash_recovery(
+        inner: GeneratorSpec,
+        victim: ProcessId,
+        crash: u64,
+        rejoin: u64,
+    ) -> Self {
+        GeneratorSpec::CrashRecovery {
+            inner: Box::new(inner),
+            victim,
+            crash,
+            rejoin,
         }
     }
 
@@ -223,6 +342,13 @@ impl GeneratorSpec {
             GeneratorSpec::CrashAfter { inner, plan } => {
                 plan.faulty().union(inner.faulty(universe))
             }
+            // Fault decorators silence nobody forever: flapping only relaxes
+            // enforcement, gray processes stay live, the clogger adds steps,
+            // and a crash-recovery victim rejoins.
+            GeneratorSpec::Flapping { filler, .. } => filler.faulty(universe),
+            GeneratorSpec::GrayFailure { inner, .. }
+            | GeneratorSpec::BurstClog { inner, .. }
+            | GeneratorSpec::CrashRecovery { inner, .. } => inner.faulty(universe),
         }
     }
 
@@ -240,6 +366,10 @@ impl GeneratorSpec {
             GeneratorSpec::Cycle { .. } => "Cycle",
             GeneratorSpec::AlternatingRotation { .. } => "AlternatingRotation",
             GeneratorSpec::CrashAfter { .. } => "CrashAfter",
+            GeneratorSpec::Flapping { .. } => "Flapping",
+            GeneratorSpec::GrayFailure { .. } => "GrayFailure",
+            GeneratorSpec::BurstClog { .. } => "BurstClog",
+            GeneratorSpec::CrashRecovery { .. } => "CrashRecovery",
         }
     }
 
@@ -310,6 +440,58 @@ impl GeneratorSpec {
             GeneratorSpec::CrashAfter { inner, plan } => {
                 Box::new(CrashAfter::new(inner.build(universe, seed), plan.clone()))
             }
+            GeneratorSpec::Flapping {
+                p,
+                q,
+                bound,
+                filler,
+                timely_dwell,
+                untimely_dwell,
+                seed_offset,
+            } => Box::new(FlappingTimely::new(
+                *p,
+                *q,
+                *bound,
+                filler.build(universe, seed),
+                *timely_dwell,
+                *untimely_dwell,
+                seed.wrapping_add(*seed_offset),
+            )),
+            GeneratorSpec::GrayFailure {
+                inner,
+                gray,
+                stretch,
+                seed_offset,
+            } => Box::new(GrayFailure::new(
+                inner.build(universe, seed),
+                *gray,
+                *stretch,
+                seed.wrapping_add(*seed_offset),
+            )),
+            GeneratorSpec::BurstClog {
+                inner,
+                clogger,
+                window,
+                gap,
+                seed_offset,
+            } => Box::new(BurstClog::new(
+                inner.build(universe, seed),
+                *clogger,
+                *window,
+                *gap,
+                seed.wrapping_add(*seed_offset),
+            )),
+            GeneratorSpec::CrashRecovery {
+                inner,
+                victim,
+                crash,
+                rejoin,
+            } => Box::new(CrashRecovery::new(
+                inner.build(universe, seed),
+                *victim,
+                *crash,
+                *rejoin,
+            )),
         }
     }
 }
@@ -422,6 +604,57 @@ mod tests {
                 },
                 AlternatingRotation::with_base(&[set(&[0, 1]), set(&[2, 3])], 8).take_schedule(len),
             ),
+            (
+                GeneratorSpec::Flapping {
+                    p: set(&[0, 1]),
+                    q: set(&[2, 3, 4]),
+                    bound: 3,
+                    filler: Box::new(GeneratorSpec::seeded_random(2)),
+                    timely_dwell: (100, 300),
+                    untimely_dwell: (50, 150),
+                    seed_offset: 5,
+                },
+                FlappingTimely::new(
+                    set(&[0, 1]),
+                    set(&[2, 3, 4]),
+                    3,
+                    SeededRandom::new(u(n), 42 + 2),
+                    (100, 300),
+                    (50, 150),
+                    42 + 5,
+                )
+                .take_schedule(len),
+            ),
+            (
+                GeneratorSpec::GrayFailure {
+                    inner: Box::new(GeneratorSpec::seeded_random(0)),
+                    gray: set(&[1, 4]),
+                    stretch: 4,
+                    seed_offset: 9,
+                },
+                GrayFailure::new(SeededRandom::new(u(n), 42), set(&[1, 4]), 4, 42 + 9)
+                    .take_schedule(len),
+            ),
+            (
+                GeneratorSpec::burst_clog(
+                    GeneratorSpec::round_robin(),
+                    ProcessId::new(2),
+                    16,
+                    (30, 90),
+                ),
+                BurstClog::new(RoundRobin::new(u(n)), ProcessId::new(2), 16, (30, 90), 42)
+                    .take_schedule(len),
+            ),
+            (
+                GeneratorSpec::crash_recovery(
+                    GeneratorSpec::seeded_random(1),
+                    ProcessId::new(3),
+                    200,
+                    900,
+                ),
+                CrashRecovery::new(SeededRandom::new(u(n), 42 + 1), ProcessId::new(3), 200, 900)
+                    .take_schedule(len),
+            ),
         ];
         for (spec, expected) in cases {
             let got = spec.build(u(n), 42).take_schedule(len);
@@ -468,6 +701,45 @@ mod tests {
         assert_eq!(spec.faulty(u(3)), set(&[2]));
         let s = spec.build(u(3), 0).take_schedule(1_000);
         assert_eq!(s.suffix(10).occurrences(ProcessId::new(2)), 0);
+    }
+
+    /// The fault decorators silence nobody by themselves: their faulty set
+    /// is exactly their inner spec's, and `crashed` composes around them as
+    /// a plain CrashAfter wrapper.
+    #[test]
+    fn fault_decorators_compose_with_faulty_and_crashed() {
+        let n = 5;
+        let inner_crashed =
+            GeneratorSpec::seeded_random(0).crashed(CrashPlan::new().crash(ProcessId::new(4), 100));
+        // Gray over a crash-wrapped inner: faulty passes through.
+        let gray = GeneratorSpec::gray_failure(inner_crashed.clone(), set(&[1]), 3);
+        assert_eq!(gray.faulty(u(n)), set(&[4]));
+        // Crash-recovery victims are NOT faulty (they rejoin).
+        let recov =
+            GeneratorSpec::crash_recovery(GeneratorSpec::round_robin(), ProcessId::new(2), 10, 50);
+        assert_eq!(recov.faulty(u(n)), ProcSet::EMPTY);
+        // Flapping reports its filler's faulty set.
+        let flap = GeneratorSpec::flapping(
+            set(&[0]),
+            set(&[1, 2]),
+            2,
+            inner_crashed,
+            (10, 20),
+            (10, 20),
+        );
+        assert_eq!(flap.faulty(u(n)), set(&[4]));
+        // Clog adds steps and silences nobody.
+        let clog =
+            GeneratorSpec::burst_clog(GeneratorSpec::round_robin(), ProcessId::new(0), 8, (5, 9));
+        assert_eq!(clog.faulty(u(n)), ProcSet::EMPTY);
+        // `crashed` on a decorator wraps it (default arm) and the plan's
+        // victims join the faulty set.
+        let plan = CrashPlan::new().crash(ProcessId::new(3), 40);
+        let crashed_clog = clog.crashed(plan);
+        assert_eq!(crashed_clog.family(), "CrashAfter");
+        assert_eq!(crashed_clog.faulty(u(n)), set(&[3]));
+        let s = crashed_clog.build(u(n), 0).take_schedule(2_000);
+        assert_eq!(s.suffix(40).occurrences(ProcessId::new(3)), 0);
     }
 
     /// FictitiousCrash reports its fictitious set as faulty.

@@ -8,7 +8,9 @@
 
 use st_core::subsets::KSubsets;
 use st_core::timeliness::{empirical_bound, max_q_steps_in_p_free_interval};
-use st_core::{ProcSet, Schedule, StepSource, Universe};
+use st_core::{ProcSet, ProcessId, Schedule, StepSource, Universe};
+
+use crate::faults::PhaseSegment;
 
 /// Generates a prefix and verifies a claimed timely pair against it.
 /// Returns the prefix (for further analysis) on success.
@@ -71,10 +73,76 @@ pub fn starvation_growth<S: StepSource>(
     )
 }
 
+/// Certifies that `p` takes no step at schedule positions in `[from, to)` —
+/// the claim a crash window ([`CrashAfter`](crate::CrashAfter)) or outage
+/// window ([`CrashRecovery`](crate::CrashRecovery)) makes about the emitted
+/// schedule. An open-ended window is expressed with `to = u64::MAX`.
+///
+/// # Errors
+///
+/// Returns the first offending position.
+pub fn certify_absence_window(s: &Schedule, p: ProcessId, from: u64, to: u64) -> Result<(), u64> {
+    for (pos, step) in s.iter().enumerate() {
+        let pos = pos as u64;
+        if pos >= to {
+            break;
+        }
+        if pos >= from && step == p {
+            return Err(pos);
+        }
+    }
+    Ok(())
+}
+
+/// Certifies that every member of `set` appears in the schedule — the
+/// liveness claim of [`GrayFailure`](crate::GrayFailure): slow, but not
+/// silent.
+///
+/// # Errors
+///
+/// Returns the first member with no step.
+pub fn certify_all_live(s: &Schedule, set: ProcSet) -> Result<(), ProcessId> {
+    let seen = s.participants();
+    match set.difference(seen).min() {
+        Some(missing) => Err(missing),
+        None => Ok(()),
+    }
+}
+
+/// Certifies a [`FlappingTimely`](crate::FlappingTimely) phase log against
+/// the schedule it was recorded for: every *enforcing* segment's slice must
+/// satisfy the bound.
+///
+/// # Errors
+///
+/// Returns `(segment index, offending empirical bound)` for the first
+/// enforcing segment that fails.
+pub fn certify_flapping_segments(
+    s: &Schedule,
+    segments: &[PhaseSegment],
+    p: ProcSet,
+    q: ProcSet,
+    bound: usize,
+) -> Result<(), (usize, usize)> {
+    for (ix, seg) in segments.iter().enumerate() {
+        if !seg.enforcing {
+            continue;
+        }
+        let slice = s.prefix(seg.end as usize).suffix(seg.start as usize);
+        let eb = empirical_bound(&slice, p, q);
+        if eb > bound {
+            return Err((ix, eb));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{RotatingStarvation, SeededRandom, SetTimely};
+    use crate::{
+        CrashRecovery, FlappingTimely, GrayFailure, RotatingStarvation, SeededRandom, SetTimely,
+    };
 
     fn u(n: usize) -> Universe {
         Universe::new(n).unwrap()
@@ -115,5 +183,45 @@ mod tests {
         let mut gen = crate::RoundRobin::new(u(4));
         let s = gen.take_schedule(20_000);
         assert!(min_starvation_evidence(&s, u(4), 1, 2) < 4);
+    }
+
+    #[test]
+    fn absence_window_certifies_crash_recovery() {
+        let victim = ProcessId::new(1);
+        let mut gen = CrashRecovery::new(SeededRandom::new(u(3), 5), victim, 100, 400);
+        let s = gen.take_schedule(2_000);
+        assert_eq!(certify_absence_window(&s, victim, 100, 400), Ok(()));
+        // The victim rejoins, so widening the window finds a step.
+        let err = certify_absence_window(&s, victim, 100, u64::MAX);
+        assert!(err.is_err_and(|pos| pos >= 400));
+    }
+
+    #[test]
+    fn all_live_certifies_gray_failure() {
+        let gray = ProcSet::from_indices([0, 2]);
+        let mut gen = GrayFailure::new(SeededRandom::new(u(4), 1), gray, 6, 3);
+        let s = gen.take_schedule(5_000);
+        assert_eq!(certify_all_live(&s, ProcSet::full(u(4))), Ok(()));
+        // A process with no steps is reported.
+        let silent = Schedule::from_indices([0, 1, 0, 1]);
+        assert_eq!(
+            certify_all_live(&silent, ProcSet::from_indices([1, 3])),
+            Err(ProcessId::new(3))
+        );
+    }
+
+    #[test]
+    fn flapping_segments_certify_against_recorded_log() {
+        let p = ProcSet::from_indices([0]);
+        let q = ProcSet::from_indices([1, 2]);
+        let mut gen =
+            FlappingTimely::new(p, q, 3, SeededRandom::new(u(3), 7), (50, 150), (30, 80), 13);
+        let s = gen.take_schedule(4_000);
+        assert_eq!(
+            certify_flapping_segments(&s, gen.segments(), p, q, 3),
+            Ok(())
+        );
+        // A deliberately wrong (tighter) claim fails with a witness.
+        assert!(certify_flapping_segments(&s, gen.segments(), p, q, 0).is_err());
     }
 }

@@ -7,7 +7,7 @@ use st_core::timeliness::{empirical_bound, max_q_steps_in_p_free_interval};
 use st_core::{ProcSet, StepSource, SystemSpec, Universe};
 use st_sched::{
     AlternatingRotation, CrashAfter, CrashPlan, Cycle, Eventually, FictitiousCrash,
-    GeneralizedFigure1, RotatingStarvation, RoundRobin, SeededRandom, SetTimely,
+    GeneralizedFigure1, GeneratorSpec, RotatingStarvation, RoundRobin, SeededRandom, SetTimely,
 };
 
 fn u(n: usize) -> Universe {
@@ -226,4 +226,124 @@ proptest! {
         let after = s.suffix(crash_step as usize);
         prop_assert_eq!(after.occurrences(victim), 0);
     }
+
+    /// Flapping: deterministic per (spec, seed), and every recorded timely
+    /// segment certifies at the bound.
+    #[test]
+    fn flapping_contract(n in 3usize..=6, pbits in 1u64..31, bound in 2usize..5,
+                         lo in 20u64..100, span in 1u64..100, seed in 0u64..500) {
+        let p = subset(n, pbits);
+        let q = ProcSet::full(u(n)).difference(p);
+        prop_assume!(!q.is_empty());
+        let spec = GeneratorSpec::Flapping {
+            p, q, bound,
+            filler: Box::new(GeneratorSpec::seeded_random(1)),
+            timely_dwell: (lo, lo + span),
+            untimely_dwell: (lo, lo + span),
+            seed_offset: 7,
+        };
+        let a = spec.build(u(n), seed).take_schedule(6_000);
+        let b = spec.build(u(n), seed).take_schedule(6_000);
+        prop_assert_eq!(&a, &b, "flapping must be deterministic per (spec, seed)");
+        prop_assert!(s_differs_across_seeds(&spec, u(n), seed, 6_000, &a));
+        // Hand-build to reach the segment log, and certify it.
+        let mut hand = st_sched::FlappingTimely::new(
+            p, q, bound, SeededRandom::new(u(n), seed.wrapping_add(1)),
+            (lo, lo + span), (lo, lo + span), seed.wrapping_add(7),
+        );
+        let s = hand.take_schedule(6_000);
+        prop_assert_eq!(&s, &a, "spec and hand construction must agree");
+        prop_assert!(st_sched::validate::certify_flapping_segments(
+            &s, hand.segments(), p, q, bound
+        ).is_ok());
+    }
+
+    /// GrayFailure: deterministic per (spec, seed); gray processes thinned
+    /// yet live on long prefixes.
+    #[test]
+    fn gray_failure_contract(n in 3usize..=6, gbits in 1u64..15, stretch in 2u64..8,
+                             seed in 0u64..500) {
+        let gray = subset(n, gbits);
+        // A non-gray yardstick is needed for the thinning comparison.
+        prop_assume!(gray != ProcSet::full(u(n)));
+        let spec = GeneratorSpec::GrayFailure {
+            inner: Box::new(GeneratorSpec::seeded_random(0)),
+            gray, stretch, seed_offset: 3,
+        };
+        let a = spec.build(u(n), seed).take_schedule(8_000);
+        let b = spec.build(u(n), seed).take_schedule(8_000);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(s_differs_across_seeds(&spec, u(n), seed, 8_000, &a));
+        prop_assert!(st_sched::validate::certify_all_live(&a, ProcSet::full(u(n))).is_ok(),
+            "gray processes must stay live");
+        // Thinning: with a uniform inner source and stretch ≥ 2, every gray
+        // process steps less often than every non-gray process.
+        let slowest_clear = ProcSet::full(u(n)).difference(gray).iter()
+            .map(|p| a.occurrences(p)).min().unwrap();
+        for g in gray.iter() {
+            prop_assert!(a.occurrences(g) < slowest_clear,
+                "gray {g} not thinned: {} vs clear minimum {}", a.occurrences(g), slowest_clear);
+        }
+    }
+
+    /// BurstClog: deterministic per (spec, seed); burst runs of exactly the
+    /// window length appear and the inner stream is preserved.
+    #[test]
+    fn burst_clog_contract(n in 2usize..=6, window in 4u64..32, lo in 10u64..50,
+                           span in 1u64..80, seed in 0u64..500) {
+        let clogger = st_core::ProcessId::new(0);
+        let spec = GeneratorSpec::BurstClog {
+            inner: Box::new(GeneratorSpec::seeded_random(2)),
+            clogger, window, gap: (lo, lo + span), seed_offset: 11,
+        };
+        let a = spec.build(u(n), seed).take_schedule(5_000);
+        let b = spec.build(u(n), seed).take_schedule(5_000);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(s_differs_across_seeds(&spec, u(n), seed, 5_000, &a));
+        // Some maximal clogger run reaches the window length.
+        let mut best = 0u64;
+        let mut run = 0u64;
+        for p in a.iter() {
+            if p == clogger { run += 1; best = best.max(run); } else { run = 0; }
+        }
+        prop_assert!(best >= window, "no full burst: max run {} < window {}", best, window);
+    }
+
+    /// CrashRecovery: the victim never resurrects inside its crash window,
+    /// and rejoins after it (the schedule-membership certification the
+    /// campaign checker replays).
+    #[test]
+    fn crash_recovery_contract(n in 2usize..=6, seed in 0u64..500,
+                               crash in 0u64..1000, outage in 0u64..1500) {
+        let victim = st_core::ProcessId::new(0);
+        let rejoin = crash + outage;
+        let spec = GeneratorSpec::crash_recovery(
+            GeneratorSpec::seeded_random(0), victim, crash, rejoin,
+        );
+        let a = spec.build(u(n), seed).take_schedule(6_000);
+        let b = spec.build(u(n), seed).take_schedule(6_000);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(
+            st_sched::validate::certify_absence_window(&a, victim, crash, rejoin).is_ok(),
+            "victim resurrected inside its crash window"
+        );
+        prop_assert!(a.suffix(rejoin as usize).occurrences(victim) > 0,
+            "victim must rejoin after the window");
+        prop_assert_eq!(spec.faulty(u(n)), ProcSet::EMPTY);
+    }
+}
+
+/// Distinct seeds produce distinct schedules (sanity for the seeded fault
+/// decorators; trivially true for any seeded randomness over n ≥ 2).
+fn s_differs_across_seeds(
+    spec: &GeneratorSpec,
+    universe: st_core::Universe,
+    seed: u64,
+    len: usize,
+    baseline: &st_core::Schedule,
+) -> bool {
+    let other = spec
+        .build(universe, seed.wrapping_add(1))
+        .take_schedule(len);
+    &other != baseline
 }
