@@ -340,6 +340,131 @@ fn campaign_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+// The fuzz-throughput workload: the scenario catalog's shape (n = 5,
+// Π = ({0,1}, {0,1,2}), bound 6) fuzzed from two clean conforming seeds —
+// exactly `stlab fuzz` at a small fixed budget — against a static
+// conforming grid of the same size and step budget. The delta between the
+// two scenarios/sec figures is the price of coverage guidance (feature
+// extraction, corpus bookkeeping, batch derivation); the shrink figure
+// tracks the delta-debugger's oracle-run rate on the starved fixture.
+const FUZZ_N: usize = 5;
+const FUZZ_BUDGET: usize = 24;
+const FUZZ_STEP_BUDGET: u64 = 4_000;
+
+fn fuzz_agreement_workload() -> st_campaign::Workload {
+    use st_fd::TimeoutPolicy;
+    st_campaign::Workload::Agreement {
+        t: 2,
+        k: 2,
+        inputs: (0..FUZZ_N as u64).map(|v| 1000 + 7 * v).collect(),
+        policy: TimeoutPolicy::Increment,
+        certify: None,
+    }
+}
+
+fn fuzz_conforming_spec() -> st_sched::GeneratorSpec {
+    use st_sched::GeneratorSpec;
+    let p: ProcSet = (0..2).map(ProcessId::new).collect();
+    let q: ProcSet = (0..3).map(ProcessId::new).collect();
+    GeneratorSpec::set_timely(p, q, 6, GeneratorSpec::seeded_random(0))
+}
+
+fn fuzz_session_config() -> st_campaign::FuzzConfig {
+    use st_campaign::{FuzzConfig, FuzzInput, Workload};
+    use st_fd::TimeoutPolicy;
+    let fd = Workload::FdConvergence {
+        k: 2,
+        t: 2,
+        policy: TimeoutPolicy::Increment,
+        abi: st_campaign::FdAbi::MachineSlot,
+        detector: st_campaign::FdDetector::SetBased,
+        certify_membership: false,
+    };
+    FuzzConfig {
+        key: "bench-fuzz".into(),
+        universe: Universe::new(FUZZ_N).unwrap(),
+        workloads: vec![fuzz_agreement_workload(), fd],
+        seeds: vec![
+            FuzzInput {
+                spec: fuzz_conforming_spec(),
+                workload: 0,
+                seed: 0xE1AC_5EED,
+            },
+            FuzzInput {
+                spec: fuzz_conforming_spec(),
+                workload: 1,
+                seed: 0xE1AC_5EED,
+            },
+        ],
+        master_seed: 3,
+        budget: FUZZ_BUDGET,
+        batch: 8,
+        step_budget: FUZZ_STEP_BUDGET,
+        threads: 1,
+        stop_on_finding: false,
+    }
+}
+
+/// The static comparison grid: the same scenario count, spec shape, and
+/// step budget as the fuzz session, but a plain seed sweep with no
+/// guidance overhead.
+fn fuzz_static_grid() -> st_campaign::Campaign {
+    use st_campaign::{Campaign, Scenario};
+    let mut campaign = Campaign::new();
+    for seed in 0..FUZZ_BUDGET as u64 {
+        campaign.push(Scenario::new(
+            format!("static/seed{seed}"),
+            Universe::new(FUZZ_N).unwrap(),
+            fuzz_conforming_spec(),
+            fuzz_agreement_workload(),
+            FUZZ_STEP_BUDGET,
+            seed,
+        ));
+    }
+    campaign
+}
+
+/// The starved fixture (termination owed, 40-step budget forbids it) — the
+/// shrink-throughput workload.
+fn starved_scenario() -> st_campaign::Scenario {
+    st_campaign::Scenario::new(
+        "bench/starved",
+        Universe::new(FUZZ_N).unwrap(),
+        fuzz_conforming_spec(),
+        fuzz_agreement_workload(),
+        40,
+        0xE1AC_5EED,
+    )
+}
+
+/// Coverage-guided fuzzing vs an equal-size static grid, plus the
+/// shrinker's oracle-run rate.
+fn fuzz_throughput(c: &mut Criterion) {
+    use st_campaign::{FuzzSession, Shrinker};
+    let grid = fuzz_static_grid();
+    let starved = starved_scenario();
+    let starved_outcome = starved.run();
+    let mut group = c.benchmark_group("campaign/fuzz_throughput");
+    group.sample_size(10);
+    group.bench_function("fuzz_guided_24", |b| {
+        b.iter(|| {
+            FuzzSession::new(fuzz_session_config())
+                .run(None, None)
+                .executed
+        })
+    });
+    group.bench_function("static_grid_24", |b| b.iter(|| grid.run_parallel(1).len()));
+    group.bench_function("shrink_starved", |b| {
+        b.iter(|| {
+            Shrinker::new()
+                .shrink(&starved, &starved_outcome)
+                .expect("fixture violates")
+                .runs
+        })
+    });
+    group.finish();
+}
+
 /// One E3-shaped agreement scenario for the invariant-overhead
 /// measurement: the checker-on default path (`Scenario::run` — schedule
 /// recording plus claim replay) against the pre-checker fast path
@@ -556,8 +681,34 @@ fn emit_baseline(_c: &mut Criterion) {
     let inv_checked_ns = inv_checked * 1e6 / inv_steps as f64;
     let inv_unchecked_ns = inv_unchecked * 1e6 / inv_steps as f64;
 
+    // Coverage-guided fuzzing against an equal-size static grid (the
+    // guidance overhead), and the shrinker's oracle-run rate on the
+    // starved fixture.
+    let fuzz_grid = fuzz_static_grid();
+    let fuzz_ms = time_best(3, || {
+        st_campaign::FuzzSession::new(fuzz_session_config())
+            .run(None, None)
+            .executed
+    });
+    let fuzz_static_ms = time_best(3, || fuzz_grid.run_parallel(1).len());
+    let fuzz_sps = FUZZ_BUDGET as f64 * 1e3 / fuzz_ms;
+    let fuzz_static_sps = FUZZ_BUDGET as f64 * 1e3 / fuzz_static_ms;
+    let starved = starved_scenario();
+    let starved_outcome = starved.run();
+    let shrink_report = st_campaign::Shrinker::new()
+        .shrink(&starved, &starved_outcome)
+        .expect("fixture violates");
+    let shrink_runs = shrink_report.runs;
+    let shrink_ms = time_best(3, || {
+        st_campaign::Shrinker::new()
+            .shrink(&starved, &starved_outcome)
+            .expect("fixture violates")
+            .runs
+    });
+    let shrink_rps = shrink_runs as f64 * 1e3 / shrink_ms;
+
     let json = format!(
-        "{{\n  \"schema\": \"st-bench/timeliness-v5\",\n  \
+        "{{\n  \"schema\": \"st-bench/timeliness-v6\",\n  \
          \"workload\": {{\"n\": {N}, \"schedule_len\": {LEN}, \"bound_cap\": {CAP}, \"i\": {I}, \"j\": {J}}},\n  \
          \"all_timely_pairs_ms\": {{\n    \
            \"round_robin\": {{\"naive\": {naive_rr:.2}, \"engine\": {engine_rr:.2}, \"speedup\": {:.1}}},\n    \
@@ -597,7 +748,15 @@ fn emit_baseline(_c: &mut Criterion) {
            \"workload\": {{\"n\": {AG_N}, \"k\": {AG_K}, \"t\": {AG_T}, \"decided_at_step\": {inv_steps}, \"schedule\": \"SetTimely\", \"experiment\": \"E3\"}},\n    \
            \"unchecked_ns_per_step\": {inv_unchecked_ns:.2},\n    \
            \"checked_ns_per_step\": {inv_checked_ns:.2},\n    \
-           \"overhead_ratio\": {:.3}\n  }}\n}}\n",
+           \"overhead_ratio\": {:.3}\n  }},\n  \
+         \"campaign_fuzz\": {{\n    \
+           \"workload\": {{\"shape\": \"catalog n=5 conforming seeds\", \"budget\": {FUZZ_BUDGET}, \"step_budget\": {FUZZ_STEP_BUDGET}, \"master_seed\": 3}},\n    \
+           \"fuzz_guided_ms\": {fuzz_ms:.2},\n    \
+           \"static_grid_ms\": {fuzz_static_ms:.2},\n    \
+           \"scenarios_per_sec_guided\": {fuzz_sps:.1},\n    \
+           \"scenarios_per_sec_static\": {fuzz_static_sps:.1},\n    \
+           \"guidance_overhead_ratio\": {:.3},\n    \
+           \"shrink\": {{\"oracle_runs\": {shrink_runs}, \"ms\": {shrink_ms:.2}, \"runs_per_sec\": {shrink_rps:.1}}}\n  }}\n}}\n",
         naive_rr / engine_rr,
         naive_rnd / engine_rnd,
         matrix_static / matrix_steal,
@@ -609,6 +768,7 @@ fn emit_baseline(_c: &mut Criterion) {
         campaign_w1 / campaign_w4,
         resume_skip_all * 1e3 / campaign_scenarios as f64,
         inv_checked_ns / inv_unchecked_ns,
+        fuzz_ms / fuzz_static_ms,
     );
     let path = criterion::workspace_root().join("BENCH_timeliness.json");
     std::fs::write(&path, &json).expect("write BENCH_timeliness.json");
@@ -669,6 +829,7 @@ criterion_group!(
     campaign_throughput,
     invariant_overhead,
     campaign_resume_overhead,
+    fuzz_throughput,
     emit_baseline
 );
 criterion_main!(benches);

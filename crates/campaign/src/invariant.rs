@@ -102,6 +102,23 @@ pub enum InvariantViolation {
     },
 }
 
+impl InvariantViolation {
+    /// The variant name — the shrinker's preservation key (a candidate is
+    /// accepted only if the *same kind* of violation still fires) and the
+    /// coverage map's violation feature.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InvariantViolation::KAgreement { .. } => "KAgreement",
+            InvariantViolation::Validity { .. } => "Validity",
+            InvariantViolation::Termination { .. } => "Termination",
+            InvariantViolation::BallotOwnership { .. } => "BallotOwnership",
+            InvariantViolation::AccusedTimelyWinnerset { .. } => "AccusedTimelyWinnerset",
+            InvariantViolation::GuaranteeBroken { .. } => "GuaranteeBroken",
+            InvariantViolation::CrashWindowResurrection { .. } => "CrashWindowResurrection",
+        }
+    }
+}
+
 impl fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -200,6 +217,17 @@ impl InvariantChecker {
     /// correct process left undecided is a protocol bug, not an artifact.
     pub fn termination_owed(&self) -> bool {
         self.guarantee.is_some()
+    }
+
+    /// The armed root guarantee, if any (coverage feature: which Π sets a
+    /// fuzz scenario exercises with claims attached).
+    pub fn guarantee(&self) -> Option<TimelyPair> {
+        self.guarantee
+    }
+
+    /// How many absence windows are armed.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
     }
 
     /// Replays every armed claim against the outcome and evidence.
@@ -313,6 +341,10 @@ fn spec_guarantee(spec: &GeneratorSpec, faulty: ProcSet) -> Option<TimelyPair> {
             q: *q,
             bound: *bound,
         }),
+        // A replay stands in for the run that produced its schedule: it
+        // inherits the carried spec's claims, which is what keeps the
+        // shrinker's oracle armed on truncated schedules.
+        GeneratorSpec::Replay { of, .. } => spec_guarantee(of, faulty),
         _ => None,
     }
 }
@@ -335,6 +367,7 @@ fn spec_windows(spec: &GeneratorSpec) -> Vec<(ProcessId, u64, u64)> {
             rejoin,
             ..
         } => vec![(*victim, *crash, *rejoin)],
+        GeneratorSpec::Replay { of, .. } => spec_windows(of),
         _ => Vec::new(),
     }
 }

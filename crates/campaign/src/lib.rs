@@ -67,16 +67,24 @@
 #![warn(missing_docs)]
 
 mod campaign;
+pub mod counterexample;
+pub mod fuzz;
 pub mod invariant;
 mod scenario;
+pub mod shrink;
 pub mod store;
 
 pub use campaign::{merge_outcomes, Campaign, GridBuilder};
+pub use counterexample::{Counterexample, CE_SCHEMA};
+pub use fuzz::{
+    features, CorpusEntry, CoverageMap, Finding, FuzzConfig, FuzzInput, FuzzReport, FuzzSession,
+};
 pub use invariant::{InvariantChecker, InvariantViolation};
 pub use scenario::{
     policy_from_spec, AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, CertifyTimely,
     FdAbi, FdDetector, FdOutcome, OutcomeData, Scenario, ScenarioOutcome, StopRule, Workload,
 };
+pub use shrink::{ShrinkReport, Shrinker};
 pub use store::{OutcomeStore, StoreEntry, StoreError};
 
 // Re-exported so campaign definitions need only this crate.

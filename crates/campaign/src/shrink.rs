@@ -1,0 +1,547 @@
+//! Counterexample shrinking: delta-debugging a violating scenario down to
+//! a minimal still-violating one.
+//!
+//! The oracle is exact re-execution: every candidate is re-run through
+//! [`Scenario::run`] (checker always on) and accepted **iff the same
+//! [`InvariantViolation`](crate::InvariantViolation) kind still fires** —
+//! never merely "some violation", so a shrink can't walk from a
+//! termination bug to an unrelated guarantee artifact. Two phases:
+//!
+//! 1. **Spec-level** (to fixpoint): drop decorator layers anywhere in the
+//!    tree, halve the step budget, halve dwell/gap/window/stretch spans,
+//!    and bisect the scenario seed toward 0.
+//! 2. **Schedule-level**: the recorded counterexample [`Schedule`] is
+//!    re-executed through a [`GeneratorSpec::Replay`] wrapper (which
+//!    inherits the original spec's armed claims), then ddmin-style chunk
+//!    removal and per-process subsequence removal grind it down,
+//!    re-running the checker after every candidate.
+//!
+//! Everything is deterministic — candidate order is fixed and the oracle
+//! is a deterministic re-run — so a shrink is reproducible from the
+//! original finding alone. The `accepted` trail in the report exists for
+//! the property test that every accepted candidate still violates the
+//! original kind.
+
+use st_core::Schedule;
+use st_sched::mutate::unstack;
+use st_sched::GeneratorSpec;
+
+use crate::scenario::{Scenario, ScenarioOutcome};
+
+/// What a shrink produced.
+#[derive(Clone, Debug)]
+pub struct ShrinkReport {
+    /// The minimal still-violating scenario (a `Replay` when the schedule
+    /// phase ran).
+    pub scenario: Scenario,
+    /// Its outcome (the violation still present).
+    pub outcome: ScenarioOutcome,
+    /// The preserved violation kind.
+    pub kind: &'static str,
+    /// Counterexample length before shrinking.
+    pub original_len: usize,
+    /// Counterexample length after (0 when even the empty schedule
+    /// violates).
+    pub shrunk_len: usize,
+    /// Accepted spec-level shrink steps.
+    pub spec_steps: usize,
+    /// Accepted schedule-level shrink steps.
+    pub schedule_steps: usize,
+    /// Total oracle re-runs spent.
+    pub runs: usize,
+    /// Every accepted candidate, in acceptance order (each still violates
+    /// `kind`; property-tested).
+    pub accepted: Vec<Scenario>,
+}
+
+/// The deterministic delta-debugger. See the module docs.
+pub struct Shrinker {
+    max_runs: usize,
+}
+
+impl Default for Shrinker {
+    fn default() -> Self {
+        Shrinker::new()
+    }
+}
+
+/// Rebuilds `s` with a new generator, recomputing the faulty set (layer
+/// drops change it) while keeping label, workload, stop rule, budget, and
+/// seed.
+fn with_generator(s: &Scenario, generator: GeneratorSpec) -> Scenario {
+    let mut c = Scenario::new(
+        s.label.clone(),
+        s.universe,
+        generator,
+        s.workload.clone(),
+        s.budget,
+        s.seed,
+    );
+    c.stop = s.stop;
+    c
+}
+
+/// Rebuilds an outer fault layer around a reduced inner spec.
+type Rewrap = Box<dyn Fn(GeneratorSpec) -> GeneratorSpec>;
+
+/// Every single-layer-drop variant of `spec`, outermost first.
+fn layer_drops(spec: &GeneratorSpec) -> Vec<GeneratorSpec> {
+    let mut out = Vec::new();
+    if let Some(inner) = unstack(spec) {
+        out.push(inner);
+    }
+    // Recurse: dropping an inner layer keeps the outer wrapper.
+    let rewrap: Option<(Vec<GeneratorSpec>, Rewrap)> = match spec {
+        GeneratorSpec::SetTimely {
+            p,
+            q,
+            bound,
+            filler,
+            crashes,
+        } => {
+            let (p, q, bound, crashes) = (*p, *q, *bound, crashes.clone());
+            Some((
+                layer_drops(filler),
+                Box::new(move |f| GeneratorSpec::SetTimely {
+                    p,
+                    q,
+                    bound,
+                    filler: Box::new(f),
+                    crashes: crashes.clone(),
+                }),
+            ))
+        }
+        GeneratorSpec::Flapping {
+            p,
+            q,
+            bound,
+            filler,
+            timely_dwell,
+            untimely_dwell,
+            seed_offset,
+        } => {
+            let (p, q, bound) = (*p, *q, *bound);
+            let (td, ud, so) = (*timely_dwell, *untimely_dwell, *seed_offset);
+            Some((
+                layer_drops(filler),
+                Box::new(move |f| GeneratorSpec::Flapping {
+                    p,
+                    q,
+                    bound,
+                    filler: Box::new(f),
+                    timely_dwell: td,
+                    untimely_dwell: ud,
+                    seed_offset: so,
+                }),
+            ))
+        }
+        GeneratorSpec::GrayFailure {
+            inner,
+            gray,
+            stretch,
+            seed_offset,
+        } => {
+            let (gray, stretch, so) = (*gray, *stretch, *seed_offset);
+            Some((
+                layer_drops(inner),
+                Box::new(move |i| GeneratorSpec::GrayFailure {
+                    inner: Box::new(i),
+                    gray,
+                    stretch,
+                    seed_offset: so,
+                }),
+            ))
+        }
+        GeneratorSpec::BurstClog {
+            inner,
+            clogger,
+            window,
+            gap,
+            seed_offset,
+        } => {
+            let (clogger, window, gap, so) = (*clogger, *window, *gap, *seed_offset);
+            Some((
+                layer_drops(inner),
+                Box::new(move |i| GeneratorSpec::BurstClog {
+                    inner: Box::new(i),
+                    clogger,
+                    window,
+                    gap,
+                    seed_offset: so,
+                }),
+            ))
+        }
+        GeneratorSpec::CrashRecovery {
+            inner,
+            victim,
+            crash,
+            rejoin,
+        } => {
+            let (victim, crash, rejoin) = (*victim, *crash, *rejoin);
+            Some((
+                layer_drops(inner),
+                Box::new(move |i| GeneratorSpec::CrashRecovery {
+                    inner: Box::new(i),
+                    victim,
+                    crash,
+                    rejoin,
+                }),
+            ))
+        }
+        GeneratorSpec::CrashAfter { inner, plan } => {
+            let plan = plan.clone();
+            Some((
+                layer_drops(inner),
+                Box::new(move |i| GeneratorSpec::CrashAfter {
+                    inner: Box::new(i),
+                    plan: plan.clone(),
+                }),
+            ))
+        }
+        GeneratorSpec::Eventually {
+            prefix,
+            prefix_len,
+            body,
+        } => {
+            let (prefix, prefix_len) = (prefix.clone(), *prefix_len);
+            Some((
+                layer_drops(body),
+                Box::new(move |b| GeneratorSpec::Eventually {
+                    prefix: prefix.clone(),
+                    prefix_len,
+                    body: Box::new(b),
+                }),
+            ))
+        }
+        _ => None,
+    };
+    if let Some((inner_drops, rewrap)) = rewrap {
+        out.extend(inner_drops.into_iter().map(rewrap.as_ref()));
+    }
+    out
+}
+
+/// Halved numeric spans (dwell/gap/window/stretch/prefix) anywhere in the
+/// tree, one change per candidate.
+fn span_halvings(spec: &GeneratorSpec) -> Vec<GeneratorSpec> {
+    fn halve_range((lo, hi): (u64, u64)) -> Option<(u64, u64)> {
+        let mid = lo + (hi - lo) / 2;
+        (mid < hi).then_some((lo, mid))
+    }
+    let mut out = Vec::new();
+    match spec {
+        GeneratorSpec::Flapping {
+            p,
+            q,
+            bound,
+            filler,
+            timely_dwell,
+            untimely_dwell,
+            seed_offset,
+        } => {
+            let mk = |td, ud, f: &GeneratorSpec| GeneratorSpec::Flapping {
+                p: *p,
+                q: *q,
+                bound: *bound,
+                filler: Box::new(f.clone()),
+                timely_dwell: td,
+                untimely_dwell: ud,
+                seed_offset: *seed_offset,
+            };
+            if let Some(td) = halve_range(*timely_dwell) {
+                out.push(mk(td, *untimely_dwell, filler));
+            }
+            if let Some(ud) = halve_range(*untimely_dwell) {
+                out.push(mk(*timely_dwell, ud, filler));
+            }
+            for f in span_halvings(filler) {
+                out.push(mk(*timely_dwell, *untimely_dwell, &f));
+            }
+        }
+        GeneratorSpec::GrayFailure {
+            inner,
+            gray,
+            stretch,
+            seed_offset,
+        } => {
+            if *stretch > 1 {
+                out.push(GeneratorSpec::GrayFailure {
+                    inner: inner.clone(),
+                    gray: *gray,
+                    stretch: stretch / 2,
+                    seed_offset: *seed_offset,
+                });
+            }
+            for i in span_halvings(inner) {
+                out.push(GeneratorSpec::GrayFailure {
+                    inner: Box::new(i),
+                    gray: *gray,
+                    stretch: *stretch,
+                    seed_offset: *seed_offset,
+                });
+            }
+        }
+        GeneratorSpec::BurstClog {
+            inner,
+            clogger,
+            window,
+            gap,
+            seed_offset,
+        } => {
+            let mk = |window, gap, i: &GeneratorSpec| GeneratorSpec::BurstClog {
+                inner: Box::new(i.clone()),
+                clogger: *clogger,
+                window,
+                gap,
+                seed_offset: *seed_offset,
+            };
+            if *window > 1 {
+                out.push(mk(window / 2, *gap, inner));
+            }
+            if let Some(g) = halve_range(*gap) {
+                out.push(mk(*window, g, inner));
+            }
+            for i in span_halvings(inner) {
+                out.push(mk(*window, *gap, &i));
+            }
+        }
+        GeneratorSpec::CrashRecovery {
+            inner,
+            victim,
+            crash,
+            rejoin,
+        } => {
+            if rejoin > crash {
+                out.push(GeneratorSpec::CrashRecovery {
+                    inner: inner.clone(),
+                    victim: *victim,
+                    crash: *crash,
+                    rejoin: crash + (rejoin - crash) / 2,
+                });
+            }
+            for i in span_halvings(inner) {
+                out.push(GeneratorSpec::CrashRecovery {
+                    inner: Box::new(i),
+                    victim: *victim,
+                    crash: *crash,
+                    rejoin: *rejoin,
+                });
+            }
+        }
+        GeneratorSpec::Eventually {
+            prefix,
+            prefix_len,
+            body,
+        } => {
+            if *prefix_len > 1 {
+                out.push(GeneratorSpec::Eventually {
+                    prefix: prefix.clone(),
+                    prefix_len: prefix_len / 2,
+                    body: body.clone(),
+                });
+            }
+            for b in span_halvings(body) {
+                out.push(GeneratorSpec::Eventually {
+                    prefix: prefix.clone(),
+                    prefix_len: *prefix_len,
+                    body: Box::new(b),
+                });
+            }
+        }
+        GeneratorSpec::SetTimely {
+            p,
+            q,
+            bound,
+            filler,
+            crashes,
+        } => {
+            for f in span_halvings(filler) {
+                out.push(GeneratorSpec::SetTimely {
+                    p: *p,
+                    q: *q,
+                    bound: *bound,
+                    filler: Box::new(f),
+                    crashes: crashes.clone(),
+                });
+            }
+        }
+        GeneratorSpec::CrashAfter { inner, plan } => {
+            for i in span_halvings(inner) {
+                out.push(GeneratorSpec::CrashAfter {
+                    inner: Box::new(i),
+                    plan: plan.clone(),
+                });
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// `schedule` without positions `start..end`.
+fn remove_range(schedule: &Schedule, start: usize, end: usize) -> Schedule {
+    schedule
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i < start || *i >= end)
+        .map(|(_, p)| p)
+        .collect()
+}
+
+impl Shrinker {
+    /// A shrinker with the default oracle-run budget.
+    pub fn new() -> Self {
+        Shrinker { max_runs: 1024 }
+    }
+
+    /// Overrides the oracle-run budget.
+    pub fn with_max_runs(max_runs: usize) -> Self {
+        Shrinker { max_runs }
+    }
+
+    /// Shrinks `(scenario, outcome)` to a minimal scenario still violating
+    /// the outcome's first violation kind. Returns `None` when the outcome
+    /// has no violation.
+    pub fn shrink(&self, scenario: &Scenario, outcome: &ScenarioOutcome) -> Option<ShrinkReport> {
+        let kind = outcome.violations.first()?.kind();
+        let original_len = outcome.counterexample.as_ref().map_or(0, Schedule::len);
+        let mut cur = scenario.clone();
+        let mut cur_out = outcome.clone();
+        let mut runs = 0usize;
+        let mut spec_steps = 0usize;
+        let mut schedule_steps = 0usize;
+        let mut accepted: Vec<Scenario> = Vec::new();
+        let try_accept = |cand: Scenario,
+                          runs: &mut usize,
+                          cur: &mut Scenario,
+                          cur_out: &mut ScenarioOutcome,
+                          accepted: &mut Vec<Scenario>|
+         -> bool {
+            *runs += 1;
+            let out = cand.run();
+            if out.violations.iter().any(|v| v.kind() == kind) {
+                accepted.push(cand.clone());
+                *cur = cand;
+                *cur_out = out;
+                true
+            } else {
+                false
+            }
+        };
+
+        // Phase 1: spec-level, to fixpoint.
+        loop {
+            if runs >= self.max_runs {
+                break;
+            }
+            let mut candidates: Vec<Scenario> = Vec::new();
+            for g in layer_drops(&cur.generator) {
+                candidates.push(with_generator(&cur, g));
+            }
+            if cur.budget > 0 {
+                let mut halved = cur.clone();
+                halved.budget /= 2;
+                candidates.push(with_generator(&halved, cur.generator.clone()));
+            }
+            for g in span_halvings(&cur.generator) {
+                candidates.push(with_generator(&cur, g));
+            }
+            if cur.seed > 0 {
+                for seed in [0, cur.seed / 2] {
+                    let mut reseeded = cur.clone();
+                    reseeded.seed = seed;
+                    candidates.push(with_generator(&reseeded, cur.generator.clone()));
+                }
+            }
+            let mut advanced = false;
+            for cand in candidates {
+                if runs >= self.max_runs {
+                    break;
+                }
+                if try_accept(cand, &mut runs, &mut cur, &mut cur_out, &mut accepted) {
+                    spec_steps += 1;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+
+        // Phase 2: schedule-level ddmin over the counterexample, replayed
+        // with the current spec's claims still armed.
+        if let Some(mut sched) = cur_out.counterexample.clone() {
+            let of = match &cur.generator {
+                GeneratorSpec::Replay { of, .. } => (**of).clone(),
+                g => g.clone(),
+            };
+            let replay = |s: &Schedule, base: &Scenario| {
+                let mut c = with_generator(base, GeneratorSpec::replay(of.clone(), s.clone()));
+                c.budget = s.len() as u64;
+                c
+            };
+            loop {
+                let before = sched.len();
+                // Chunk removal, coarse to fine.
+                let mut granularity = 2usize;
+                while !sched.is_empty() && runs < self.max_runs {
+                    let chunk = sched.len().div_ceil(granularity);
+                    let mut reduced = false;
+                    let mut start = 0usize;
+                    while start < sched.len() && runs < self.max_runs {
+                        let end = (start + chunk).min(sched.len());
+                        let cand_sched = remove_range(&sched, start, end);
+                        let cand = replay(&cand_sched, &cur);
+                        if try_accept(cand, &mut runs, &mut cur, &mut cur_out, &mut accepted) {
+                            schedule_steps += 1;
+                            sched = cand_sched;
+                            reduced = true;
+                            // Re-scan from the same offset at the same
+                            // granularity: content shifted left.
+                        } else {
+                            start = end;
+                        }
+                    }
+                    if !reduced {
+                        if chunk <= 1 {
+                            break;
+                        }
+                        granularity = (granularity * 2).min(sched.len().max(2));
+                    }
+                }
+                // Per-process subsequence removal.
+                for p in sched.participants().iter() {
+                    if runs >= self.max_runs {
+                        break;
+                    }
+                    let cand_sched: Schedule = sched.iter().filter(|&q| q != p).collect();
+                    if cand_sched.len() == sched.len() {
+                        continue;
+                    }
+                    let cand = replay(&cand_sched, &cur);
+                    if try_accept(cand, &mut runs, &mut cur, &mut cur_out, &mut accepted) {
+                        schedule_steps += 1;
+                        sched = cand_sched;
+                    }
+                }
+                if sched.len() == before || runs >= self.max_runs {
+                    break;
+                }
+            }
+        }
+
+        let shrunk_len = cur_out.counterexample.as_ref().map_or(0, Schedule::len);
+        Some(ShrinkReport {
+            scenario: cur,
+            outcome: cur_out,
+            kind,
+            original_len,
+            shrunk_len,
+            spec_steps,
+            schedule_steps,
+            runs,
+            accepted,
+        })
+    }
+}

@@ -43,8 +43,8 @@ use st_sim::RunStatus;
 
 use crate::invariant::InvariantViolation;
 use crate::scenario::{
-    AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, FdAbi, FdDetector, FdOutcome,
-    OutcomeData, Scenario, ScenarioOutcome, StopRule, Workload,
+    AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, CertifyTimely, FdAbi, FdDetector,
+    FdOutcome, OutcomeData, Scenario, ScenarioOutcome, StopRule, Workload,
 };
 
 /// The on-disk schema this build writes and accepts. v2 added the
@@ -465,6 +465,14 @@ fn encode_generator(spec: &GeneratorSpec) -> Json {
             ("victim", pid(*victim)),
             ("crash", Json::U64(*crash)),
             ("rejoin", Json::U64(*rejoin)),
+        ]),
+        GeneratorSpec::Replay { of, schedule } => Json::obj([
+            ("kind", Json::str("Replay")),
+            ("of", encode_generator(of)),
+            (
+                "schedule",
+                Json::arr(schedule.iter().map(|p| Json::U64(p.index() as u64))),
+            ),
         ]),
     }
 }
@@ -1077,6 +1085,275 @@ fn decode_violation(j: &Json) -> DecodeResult<st_core::AgreementViolation> {
         }),
         other => Err(format!("unknown violation kind {other:?}")),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario / spec decoding (inverse of `encode_scenario`; what lets saved
+// counterexamples and fuzz corpus entries be re-executed).
+// ---------------------------------------------------------------------------
+
+fn opt_set_field(j: &Json, name: &str) -> DecodeResult<Option<ProcSet>> {
+    match field(j, name)? {
+        Json::Null => Ok(None),
+        v => v
+            .as_u64()
+            .map(|b| Some(ProcSet::from_bits(b)))
+            .ok_or_else(|| format!("field {name:?} is not null or an integer")),
+    }
+}
+
+fn schedule_field(j: &Json, name: &str) -> DecodeResult<st_core::Schedule> {
+    let arr = field(j, name)?
+        .as_arr()
+        .ok_or_else(|| format!("field {name:?} is not an array"))?;
+    Ok(st_core::Schedule::from_indices(
+        arr.iter()
+            .map(|p| {
+                p.as_u64()
+                    .map(|u| u as usize)
+                    .ok_or_else(|| format!("field {name:?} holds a non-integer"))
+            })
+            .collect::<DecodeResult<Vec<usize>>>()?,
+    ))
+}
+
+fn range_field(j: &Json, name: &str) -> DecodeResult<(u64, u64)> {
+    let arr = field(j, name)?
+        .as_arr()
+        .ok_or_else(|| format!("field {name:?} is not an array"))?;
+    match arr {
+        [lo, hi] => Ok((
+            lo.as_u64()
+                .ok_or_else(|| format!("field {name:?} lo is not an integer"))?,
+            hi.as_u64()
+                .ok_or_else(|| format!("field {name:?} hi is not an integer"))?,
+        )),
+        _ => Err(format!("field {name:?} is not a 2-element array")),
+    }
+}
+
+fn plan_field(j: &Json, name: &str) -> DecodeResult<CrashPlan> {
+    let arr = field(j, name)?
+        .as_arr()
+        .ok_or_else(|| format!("field {name:?} is not an array"))?;
+    let mut plan = CrashPlan::new();
+    for e in arr {
+        match e.as_arr() {
+            Some([p, step]) => {
+                let p = p
+                    .as_u64()
+                    .ok_or_else(|| format!("field {name:?} entry process is not an integer"))?;
+                let step = step
+                    .as_u64()
+                    .ok_or_else(|| format!("field {name:?} entry step is not an integer"))?;
+                plan = plan.crash(ProcessId::new(p as usize), step);
+            }
+            _ => {
+                return Err(format!(
+                    "field {name:?} entry is not a [process, step] pair"
+                ))
+            }
+        }
+    }
+    Ok(plan)
+}
+
+fn decode_policy(j: &Json, name: &str) -> DecodeResult<TimeoutPolicy> {
+    match str_field(j, name)? {
+        "Increment" => Ok(TimeoutPolicy::Increment),
+        "Double" => Ok(TimeoutPolicy::Double),
+        other => Err(format!("unknown timeout policy {other:?}")),
+    }
+}
+
+/// Decodes a generator spec written by the canonical encoder (exact
+/// inverse over every [`GeneratorSpec`] variant).
+pub fn decode_generator(j: &Json) -> DecodeResult<GeneratorSpec> {
+    match str_field(j, "kind")? {
+        "RoundRobin" => Ok(GeneratorSpec::RoundRobin {
+            over: opt_set_field(j, "over")?,
+        }),
+        "SeededRandom" => Ok(GeneratorSpec::SeededRandom {
+            over: opt_set_field(j, "over")?,
+            seed_offset: u64_field(j, "seed_offset")?,
+            weights: match field(j, "weights")? {
+                Json::Null => None,
+                v => Some(
+                    v.as_arr()
+                        .ok_or_else(|| "weights is not null or an array".to_string())?
+                        .iter()
+                        .map(|w| {
+                            w.as_u64()
+                                .map(|x| x as u32)
+                                .ok_or_else(|| "weights holds a non-integer".to_string())
+                        })
+                        .collect::<DecodeResult<_>>()?,
+                ),
+            },
+        }),
+        "SetTimely" => Ok(GeneratorSpec::SetTimely {
+            p: set_field(j, "p")?,
+            q: set_field(j, "q")?,
+            bound: usize_field(j, "bound")?,
+            filler: Box::new(decode_generator(field(j, "filler")?)?),
+            crashes: plan_field(j, "crashes")?,
+        }),
+        "Eventually" => Ok(GeneratorSpec::Eventually {
+            prefix: Box::new(decode_generator(field(j, "prefix")?)?),
+            prefix_len: u64_field(j, "prefix_len")?,
+            body: Box::new(decode_generator(field(j, "body")?)?),
+        }),
+        "Figure1" => Ok(GeneratorSpec::Figure1 {
+            p1: pid_field(j, "p1")?,
+            p2: pid_field(j, "p2")?,
+            q: pid_field(j, "q")?,
+        }),
+        "GeneralizedFigure1" => Ok(GeneratorSpec::GeneralizedFigure1 {
+            p: set_field(j, "p")?,
+            q: set_field(j, "q")?,
+        }),
+        "RotatingStarvation" => Ok(GeneratorSpec::RotatingStarvation {
+            k: usize_field(j, "k")?,
+            base: u64_field(j, "base")?,
+        }),
+        "FictitiousCrash" => Ok(GeneratorSpec::FictitiousCrash {
+            i: usize_field(j, "i")?,
+            j: usize_field(j, "j")?,
+            t: usize_field(j, "t")?,
+            k: usize_field(j, "k")?,
+            base: u64_field(j, "base")?,
+        }),
+        "Cycle" => Ok(GeneratorSpec::Cycle {
+            period: schedule_field(j, "period")?,
+        }),
+        "AlternatingRotation" => Ok(GeneratorSpec::AlternatingRotation {
+            groups: field(j, "groups")?
+                .as_arr()
+                .ok_or_else(|| "groups is not an array".to_string())?
+                .iter()
+                .map(|g| {
+                    g.as_u64()
+                        .map(ProcSet::from_bits)
+                        .ok_or_else(|| "groups holds a non-integer".to_string())
+                })
+                .collect::<DecodeResult<_>>()?,
+            base: u64_field(j, "base")?,
+        }),
+        "CrashAfter" => Ok(GeneratorSpec::CrashAfter {
+            inner: Box::new(decode_generator(field(j, "inner")?)?),
+            plan: plan_field(j, "plan")?,
+        }),
+        "Flapping" => Ok(GeneratorSpec::Flapping {
+            p: set_field(j, "p")?,
+            q: set_field(j, "q")?,
+            bound: usize_field(j, "bound")?,
+            filler: Box::new(decode_generator(field(j, "filler")?)?),
+            timely_dwell: range_field(j, "timely_dwell")?,
+            untimely_dwell: range_field(j, "untimely_dwell")?,
+            seed_offset: u64_field(j, "seed_offset")?,
+        }),
+        "GrayFailure" => Ok(GeneratorSpec::GrayFailure {
+            inner: Box::new(decode_generator(field(j, "inner")?)?),
+            gray: set_field(j, "gray")?,
+            stretch: u64_field(j, "stretch")?,
+            seed_offset: u64_field(j, "seed_offset")?,
+        }),
+        "BurstClog" => Ok(GeneratorSpec::BurstClog {
+            inner: Box::new(decode_generator(field(j, "inner")?)?),
+            clogger: pid_field(j, "clogger")?,
+            window: u64_field(j, "window")?,
+            gap: range_field(j, "gap")?,
+            seed_offset: u64_field(j, "seed_offset")?,
+        }),
+        "CrashRecovery" => Ok(GeneratorSpec::CrashRecovery {
+            inner: Box::new(decode_generator(field(j, "inner")?)?),
+            victim: pid_field(j, "victim")?,
+            crash: u64_field(j, "crash")?,
+            rejoin: u64_field(j, "rejoin")?,
+        }),
+        "Replay" => Ok(GeneratorSpec::Replay {
+            of: Box::new(decode_generator(field(j, "of")?)?),
+            schedule: schedule_field(j, "schedule")?,
+        }),
+        other => Err(format!("unknown generator kind {other:?}")),
+    }
+}
+
+fn decode_workload(j: &Json) -> DecodeResult<Workload> {
+    match str_field(j, "kind")? {
+        "FdConvergence" => Ok(Workload::FdConvergence {
+            k: usize_field(j, "k")?,
+            t: usize_field(j, "t")?,
+            policy: decode_policy(j, "policy")?,
+            abi: match str_field(j, "abi")? {
+                "Async" => FdAbi::Async,
+                "MachineSlot" => FdAbi::MachineSlot,
+                "MachineFleet" => FdAbi::MachineFleet,
+                other => return Err(format!("unknown FD ABI {other:?}")),
+            },
+            detector: match str_field(j, "detector")? {
+                "SetBased" => FdDetector::SetBased,
+                "ProcessBased" => FdDetector::ProcessBased,
+                other => return Err(format!("unknown FD detector {other:?}")),
+            },
+            certify_membership: bool_field(j, "certify_membership")?,
+        }),
+        "Agreement" => Ok(Workload::Agreement {
+            t: usize_field(j, "t")?,
+            k: usize_field(j, "k")?,
+            inputs: values_field(j, "inputs")?,
+            policy: decode_policy(j, "policy")?,
+            certify: match field(j, "certify")? {
+                Json::Null => None,
+                v => Some(CertifyTimely {
+                    i: usize_field(v, "i")?,
+                    j: usize_field(v, "j")?,
+                    cap: usize_field(v, "cap")?,
+                    prefix_len: u64_field(v, "prefix_len")?,
+                }),
+            },
+        }),
+        "AdversarialAgreement" => Ok(Workload::AdversarialAgreement {
+            t: usize_field(j, "t")?,
+            k: usize_field(j, "k")?,
+            inputs: values_field(j, "inputs")?,
+            policy: decode_policy(j, "policy")?,
+            precrashed: set_field(j, "precrashed")?,
+            witness: match field(j, "witness")? {
+                Json::Null => None,
+                v => Some((set_field(v, "p")?, set_field(v, "q")?)),
+            },
+        }),
+        "BgReduction" => Ok(Workload::BgReduction {
+            n_sim: usize_field(j, "n_sim")?,
+            k: usize_field(j, "k")?,
+            max_reads: usize_field(j, "max_reads")?,
+        }),
+        other => Err(format!("unknown workload kind {other:?}")),
+    }
+}
+
+/// Decodes a scenario written by [`encode_scenario`] (exact inverse:
+/// `encode_scenario(&decode_scenario(j)?) == *j` for writer-produced
+/// documents — property-tested over arbitrary spec trees).
+pub fn decode_scenario(j: &Json) -> DecodeResult<Scenario> {
+    let label = str_field(j, "label")?.to_string();
+    let n = usize_field(j, "n")?;
+    let universe = st_core::Universe::new(n).map_err(|_| format!("invalid universe size {n}"))?;
+    let generator = decode_generator(field(j, "generator")?)?;
+    let workload = decode_workload(field(j, "workload")?)?;
+    let stop = match str_field(j, "stop")? {
+        "BudgetOnly" => StopRule::BudgetOnly,
+        "AllCorrectDecided" => StopRule::AllCorrectDecided,
+        other => return Err(format!("unknown stop rule {other:?}")),
+    };
+    let budget = u64_field(j, "budget")?;
+    let seed = u64_field(j, "seed")?;
+    let faulty = set_field(j, "faulty")?;
+    let mut scenario =
+        Scenario::new(label, universe, generator, workload, budget, seed).with_faulty(faulty);
+    scenario.stop = stop;
+    Ok(scenario)
 }
 
 #[cfg(test)]

@@ -1,14 +1,6 @@
 //! `stlab` — runs the paper's experiments and prints their tables.
 //!
-//! Usage:
-//! ```text
-//! stlab [--fast] [--tsv] [--threads N]
-//!       [--outcomes PATH] [--resume PATH]
-//!       [e1 e2 … | all]
-//! stlab --scenario NAME [--scenario NAME …] [--fast] [--threads N]
-//! stlab --list-scenarios
-//! stlab --drop-half-store PATH
-//! ```
+//! See [`HELP`] (`stlab --help`) for usage and the exit-code contract.
 //!
 //! `--fast` shrinks budgets and grids (smoke runs); `--tsv` additionally
 //! emits each table as tab-separated values for downstream plotting;
@@ -30,8 +22,21 @@
 //! Scenarios: `--scenario NAME` (repeatable) runs entries of the named
 //! fault-injection catalog (`SCENARIOS.md`) as campaigns with the
 //! always-on invariant checker; any recorded violation prints a replayable
-//! counterexample schedule and exits non-zero. `--list-scenarios` prints
-//! the catalog; an unknown name exits 2 with the catalog on stderr.
+//! counterexample schedule and exits 1. `--list-scenarios` prints the
+//! catalog; an unknown name exits 2 with the catalog on stderr.
+//!
+//! Fuzzing: `stlab fuzz` runs a deterministic coverage-guided fuzz session
+//! over generator-spec space (see `SCENARIOS.md`, "Fuzzing & corpus"):
+//! `--budget N` scenarios total, `--master-seed N` for derivation,
+//! `--corpus PATH` to persist (and resume) the session's outcome store,
+//! `--shrink` to delta-debug the first finding to a minimal
+//! still-violating scenario. Sessions are byte-identical for every
+//! `--threads` value and across interrupt→resume splits of the corpus.
+//!
+//! Counterexamples: `--save-counterexample PATH` (in `fuzz` or
+//! `--scenario` mode) writes the first finding as canonical JSON;
+//! `--replay PATH` loads one and re-executes its recorded schedule under
+//! the invariant checker, reporting whether the violation reproduced.
 //!
 //! `--drop-half-store PATH` is the maintenance verb CI's resume-smoke
 //! uses: it loads a store, keeps every other entry, and writes it back —
@@ -40,8 +45,43 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use st_campaign::OutcomeStore;
-use st_lab::{run_experiment, scenarios, LabConfig, LabSession, ALL_EXPERIMENTS};
+use st_campaign::{Counterexample, OutcomeStore};
+use st_lab::{fuzz, run_experiment, scenarios, LabConfig, LabSession, ALL_EXPERIMENTS};
+
+/// The `--help` text, including the exit-code contract asserted by the CLI
+/// tests.
+const HELP: &str = "\
+stlab — experiments, fault scenarios, and the invariant fuzzer
+
+USAGE:
+  stlab [OPTIONS] [e1 e2 ... | all]        run experiments (default: all)
+  stlab --scenario NAME [--scenario ...]   run fault-injection scenarios
+  stlab fuzz [--budget N] [--master-seed N] [--corpus PATH] [--shrink]
+  stlab --replay PATH                      re-execute a saved counterexample
+  stlab --list-scenarios                   print the scenario catalog
+  stlab --drop-half-store PATH             store maintenance (CI resume smoke)
+
+OPTIONS:
+  --fast                     smaller grids and budgets (smoke runs)
+  --tsv                      also emit tables as TSV
+  --threads N                campaign workers (results identical for every N)
+  --outcomes PATH            record campaign outcomes to a versioned store
+  --resume PATH              resume from a recorded store
+  --budget N                 fuzz: total scenario budget (default 64)
+  --master-seed N            fuzz: derivation seed (default 3)
+  --corpus PATH              fuzz: load (if present) and save the corpus store
+  --shrink                   fuzz: delta-debug the first finding
+  --save-counterexample PATH write the first finding as canonical JSON
+  --replay PATH              re-execute a saved counterexample
+  --help                     this text
+
+EXIT CODES:
+  0  clean: no invariant violation, every experiment expectation met
+  1  an invariant violation was recorded (or an experiment failed, or a
+     violation fixture failed to fire)
+  2  usage errors: unknown flag/experiment/scenario, unreadable or
+     schema-mismatched store/counterexample files
+";
 
 struct Args {
     fast: bool,
@@ -52,6 +92,14 @@ struct Args {
     drop_half: Option<String>,
     scenarios: Vec<String>,
     list_scenarios: bool,
+    fuzz: bool,
+    budget: Option<usize>,
+    master_seed: Option<u64>,
+    corpus: Option<String>,
+    shrink: bool,
+    save_counterexample: Option<String>,
+    replay: Option<String>,
+    help: bool,
     ids: Vec<String>,
 }
 
@@ -66,6 +114,14 @@ fn parse_args() -> Args {
         drop_half: None,
         scenarios: Vec::new(),
         list_scenarios: false,
+        fuzz: false,
+        budget: None,
+        master_seed: None,
+        corpus: None,
+        shrink: false,
+        save_counterexample: None,
+        replay: None,
+        help: false,
         ids: Vec::new(),
     };
     let mut i = 0usize;
@@ -73,6 +129,12 @@ fn parse_args() -> Args {
         *i += 1;
         argv.get(*i).cloned().unwrap_or_else(|| {
             eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    let parsed = |flag: &str, value: String| -> u64 {
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} expects a non-negative integer, got {value:?}");
             std::process::exit(2);
         })
     };
@@ -94,6 +156,23 @@ fn parse_args() -> Args {
             }
             "--scenario" => args.scenarios.push(value_of(&mut i, "--scenario", &argv)),
             "--list-scenarios" => args.list_scenarios = true,
+            "fuzz" => args.fuzz = true,
+            "--budget" => {
+                args.budget = Some(parsed("--budget", value_of(&mut i, "--budget", &argv)) as usize)
+            }
+            "--master-seed" => {
+                args.master_seed = Some(parsed(
+                    "--master-seed",
+                    value_of(&mut i, "--master-seed", &argv),
+                ))
+            }
+            "--corpus" => args.corpus = Some(value_of(&mut i, "--corpus", &argv)),
+            "--shrink" => args.shrink = true,
+            "--save-counterexample" => {
+                args.save_counterexample = Some(value_of(&mut i, "--save-counterexample", &argv))
+            }
+            "--replay" => args.replay = Some(value_of(&mut i, "--replay", &argv)),
+            "--help" | "-h" => args.help = true,
             other => args.ids.push(other.to_lowercase()),
         }
         i += 1;
@@ -113,12 +192,119 @@ fn print_catalog(to_stderr: bool) {
     }
 }
 
+/// Writes `ce` to `path`; exit-2 on failure, logged either way.
+fn save_counterexample(ce: &Counterexample, path: &str) -> Result<(), ExitCode> {
+    if let Err(e) = ce.save(path) {
+        eprintln!("cannot write counterexample {path}: {e}");
+        return Err(ExitCode::from(2));
+    }
+    eprintln!("wrote counterexample to {path}: {ce}");
+    Ok(())
+}
+
+/// The `--replay PATH` verb: re-execute a saved counterexample under the
+/// checker. Exit 1 when the violation reproduces (it is, after all, a
+/// violation), 0 when the replay comes back clean.
+fn replay_verb(path: &str) -> ExitCode {
+    let ce = match Counterexample::load(path) {
+        Ok(ce) => ce,
+        Err(e) => {
+            eprintln!("cannot load counterexample {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("replaying {ce}");
+    let (outcome, reproduced) = ce.replay();
+    for v in &outcome.violations {
+        println!("  VIOLATION [{}]: {v}", outcome.label);
+    }
+    println!(
+        "replay verdict: {}",
+        if reproduced {
+            "reproduced (all original violation kinds fired again)"
+        } else {
+            "NOT reproduced"
+        }
+    );
+    if outcome.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The `fuzz` verb. Violations found exit 1; corpus/counterexample I/O
+/// errors exit 2.
+fn fuzz_verb(args: &Args, cfg: &LabConfig) -> ExitCode {
+    let opts = fuzz::FuzzOptions {
+        budget: args.budget.unwrap_or(fuzz::DEFAULT_BUDGET),
+        master_seed: args.master_seed.unwrap_or(fuzz::DEFAULT_MASTER_SEED),
+        shrink: args.shrink,
+    };
+    // The corpus store doubles as resume input (when the file exists) and
+    // session output.
+    let resume = match &args.corpus {
+        Some(path) if std::path::Path::new(path).exists() => match OutcomeStore::load(path) {
+            Ok(store) => {
+                eprintln!(
+                    "resuming corpus from {path}: {} stored outcomes",
+                    store.len()
+                );
+                Some(store)
+            }
+            Err(e) => {
+                eprintln!("cannot resume corpus from {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => None,
+    };
+    let mut record = OutcomeStore::new();
+    let run = fuzz::run_fuzz(cfg, &opts, resume.as_ref(), Some(&mut record));
+    print!("{}", run.rendered);
+    if let Some(path) = &args.corpus {
+        if let Err(e) = record.save(path) {
+            eprintln!("cannot write corpus store {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote corpus store to {path}: {} outcomes", record.len());
+    }
+    if let Some(path) = &args.save_counterexample {
+        match &run.counterexample {
+            Some(ce) => {
+                if let Err(code) = save_counterexample(ce, path) {
+                    return code;
+                }
+            }
+            None => eprintln!("no finding — nothing to save to {path}"),
+        }
+    }
+    if run.report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} invariant finding(s) recorded",
+            run.report.findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+
+    if args.help {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
 
     if args.list_scenarios {
         print_catalog(false);
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.replay {
+        return replay_verb(path);
     }
 
     // Maintenance verb: truncate a store to every other entry and exit.
@@ -177,6 +363,10 @@ fn main() -> ExitCode {
         cfg = cfg.with_session(Arc::clone(session));
     }
 
+    if args.fuzz {
+        return fuzz_verb(&args, &cfg);
+    }
+
     // Scenario-catalog mode: run the named fault-injection scenarios with
     // the always-on invariant checker and exit. Names are validated up
     // front — an unknown one is a typed refusal, not a partial run.
@@ -194,12 +384,26 @@ fn main() -> ExitCode {
         }
         let mut violations = 0usize;
         let mut broken_fixtures = 0usize;
+        let mut first_ce: Option<Counterexample> = None;
         for entry in entries {
             let report = scenarios::run_entry(entry, &cfg);
             println!("{}", report.render());
             violations += report.violation_count();
             if entry.expect_violation && report.violation_count() == 0 {
                 broken_fixtures += 1;
+            }
+            if first_ce.is_none() {
+                first_ce = report.first_counterexample();
+            }
+        }
+        if let Some(path) = &args.save_counterexample {
+            match &first_ce {
+                Some(ce) => {
+                    if let Err(code) = save_counterexample(ce, path) {
+                        return code;
+                    }
+                }
+                None => eprintln!("no violation — nothing to save to {path}"),
             }
         }
         if let (Some(path), Some(session)) = (&args.outcomes, &session) {
@@ -225,6 +429,14 @@ fn main() -> ExitCode {
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
+    // Unknown experiment ids are usage errors (exit 2), validated up front
+    // so a typo never half-runs a sweep.
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(&id.as_str()) {
+            eprintln!("unknown experiment: {id} (known: e1..e8, all)");
+            return ExitCode::from(2);
+        }
+    }
 
     let mut failures = 0;
     for id in &ids {
@@ -241,10 +453,7 @@ fn main() -> ExitCode {
                     failures += 1;
                 }
             }
-            None => {
-                eprintln!("unknown experiment: {id} (known: e1..e8, all)");
-                failures += 1;
-            }
+            None => unreachable!("ids validated against ALL_EXPERIMENTS"),
         }
     }
 

@@ -1,0 +1,211 @@
+//! `stlab fuzz`: the lab front-end of the coverage-guided fuzzer in
+//! [`st_campaign::fuzz`].
+//!
+//! The session fuzzes the scenario catalog's task shape (`n = 5`,
+//! `Π = ({0,1}, {0,1,2})`, bound 6) starting from two *clean* conforming
+//! seeds — the baseline set-timely spec under the agreement and FD
+//! workloads — and lets mutation find trouble. The per-scenario step
+//! budget is fixed (not `--fast`-scaled) so a fuzz session's bytes depend
+//! only on `(--budget, --master-seed, corpus store)`: CI diffs the corpus
+//! store across repeat runs and worker counts.
+//!
+//! With `--shrink`, the first finding is delta-debugged down to a minimal
+//! still-violating scenario before reporting (and before
+//! `--save-counterexample` persists it).
+
+use st_campaign::{
+    Counterexample, FuzzConfig, FuzzInput, FuzzReport, FuzzSession, OutcomeStore, Shrinker,
+};
+
+use crate::config::LabConfig;
+use crate::scenarios;
+
+/// Default total scenario budget of a session.
+pub const DEFAULT_BUDGET: usize = 64;
+
+/// Default master seed. Pinned so the default session rediscovers the
+/// starved-fixture class of Termination violation within
+/// [`DEFAULT_BUDGET`] — CI's fuzz smoke asserts this.
+pub const DEFAULT_MASTER_SEED: u64 = 3;
+
+/// Per-scenario step budget. Fixed — see the module docs.
+const STEP_BUDGET: u64 = 8_000;
+
+/// Scenarios per round (the unit of corpus feedback).
+const BATCH: usize = 8;
+
+/// `stlab fuzz` options.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Total scenario budget.
+    pub budget: usize,
+    /// Master seed for batch derivation.
+    pub master_seed: u64,
+    /// Delta-debug the first finding before reporting.
+    pub shrink: bool,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            budget: DEFAULT_BUDGET,
+            master_seed: DEFAULT_MASTER_SEED,
+            shrink: false,
+        }
+    }
+}
+
+/// What `stlab fuzz` produced: the raw report, the rendered text, and the
+/// (possibly shrunk) first finding as a saveable counterexample.
+pub struct FuzzRun {
+    /// The session report.
+    pub report: FuzzReport,
+    /// Rendered human-readable block.
+    pub rendered: String,
+    /// The first finding, shrunk when requested — `None` on a clean run.
+    pub counterexample: Option<Counterexample>,
+}
+
+/// The session configuration `stlab fuzz` runs: catalog shape, clean
+/// conforming seeds under both workloads.
+pub fn fuzz_config(cfg: &LabConfig, opts: &FuzzOptions) -> FuzzConfig {
+    FuzzConfig {
+        key: "fuzz".into(),
+        universe: scenarios::universe(),
+        workloads: vec![scenarios::agreement_workload(), scenarios::fd_workload()],
+        seeds: vec![
+            FuzzInput {
+                spec: scenarios::conforming(),
+                workload: 0,
+                seed: cfg.seed,
+            },
+            FuzzInput {
+                spec: scenarios::conforming(),
+                workload: 1,
+                seed: cfg.seed,
+            },
+        ],
+        master_seed: opts.master_seed,
+        budget: opts.budget,
+        batch: BATCH,
+        step_budget: STEP_BUDGET,
+        threads: cfg.threads,
+        stop_on_finding: false,
+    }
+}
+
+/// Runs a fuzz session. `resume` carries a previous session's corpus store
+/// forward (outcomes are reused, the corpus is recomputed from them);
+/// `record` receives the final store for persisting.
+pub fn run_fuzz(
+    cfg: &LabConfig,
+    opts: &FuzzOptions,
+    resume: Option<&OutcomeStore>,
+    record: Option<&mut OutcomeStore>,
+) -> FuzzRun {
+    let fuzz_cfg = fuzz_config(cfg, opts);
+    let report = FuzzSession::new(fuzz_cfg.clone()).run(resume, record);
+
+    let mut out = String::from("== fuzz: coverage-guided invariant fuzzing ==\n");
+    out.push_str(&format!(
+        "  shape: n = {}, conforming set-timely seeds under agreement + fd workloads\n",
+        fuzz_cfg.universe.n()
+    ));
+    out.push_str(&format!(
+        "  budget {} scenarios, batch {BATCH}, master seed {}, step budget {STEP_BUDGET}\n",
+        opts.budget, opts.master_seed
+    ));
+    out.push_str(&format!(
+        "  executed {} scenarios in {} rounds; coverage {} features; corpus {} entries\n",
+        report.executed,
+        report.rounds,
+        report.coverage,
+        report.corpus.len()
+    ));
+    for f in &report.findings {
+        for v in &f.outcome.violations {
+            out.push_str(&format!(
+                "  FINDING [{}] rank {}: {v}\n",
+                f.scenario.label, f.rank
+            ));
+        }
+    }
+
+    let counterexample = report.findings.first().and_then(|f| {
+        let (scenario, outcome) = if opts.shrink {
+            let shrunk = Shrinker::new().shrink(&f.scenario, &f.outcome)?;
+            out.push_str(&format!(
+                "  shrunk counterexample: {} -> {} steps (kind {}, {} oracle runs, {} spec + {} schedule steps)\n",
+                shrunk.original_len,
+                shrunk.shrunk_len,
+                shrunk.kind,
+                shrunk.runs,
+                shrunk.spec_steps,
+                shrunk.schedule_steps
+            ));
+            (shrunk.scenario, shrunk.outcome)
+        } else {
+            (f.scenario.clone(), f.outcome.clone())
+        };
+        Counterexample::new(scenario, outcome)
+    });
+
+    out.push_str(&format!(
+        "verdict: {}\n",
+        if report.findings.is_empty() {
+            "CLEAN (no invariant violated)".to_string()
+        } else {
+            format!("{} finding(s)", report.findings.len())
+        }
+    ));
+    FuzzRun {
+        report,
+        rendered: out,
+        counterexample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The default session finds the starved-fixture class of violation
+    /// from clean seeds, and `--shrink` collapses its counterexample.
+    #[test]
+    fn default_session_finds_and_shrinks() {
+        let cfg = LabConfig::fast().with_threads(2);
+        let opts = FuzzOptions {
+            shrink: true,
+            ..FuzzOptions::default()
+        };
+        let run = run_fuzz(&cfg, &opts, None, None);
+        assert!(
+            !run.report.findings.is_empty(),
+            "the pinned default master seed must find a violation"
+        );
+        assert!(run.rendered.contains("FINDING ["));
+        assert!(run.rendered.contains("shrunk counterexample: "));
+        let ce = run
+            .counterexample
+            .expect("a finding yields a counterexample");
+        assert!(!ce.outcome.violations.is_empty());
+    }
+
+    /// A fuzz session resumed from its own corpus store is byte-identical
+    /// — the CLI-level version of the engine's resume guarantee.
+    #[test]
+    fn corpus_store_resume_is_byte_identical() {
+        let cfg = LabConfig::fast().with_threads(2);
+        let opts = FuzzOptions {
+            budget: 24,
+            ..FuzzOptions::default()
+        };
+        let mut full = OutcomeStore::new();
+        run_fuzz(&cfg, &opts, None, Some(&mut full));
+        let mut truncated = full.clone();
+        truncated.retain(|i, _| i < 10);
+        let mut resumed = OutcomeStore::new();
+        run_fuzz(&cfg, &opts, Some(&truncated), Some(&mut resumed));
+        assert_eq!(resumed.to_json_string(), full.to_json_string());
+    }
+}

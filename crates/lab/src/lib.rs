@@ -23,6 +23,12 @@
 //! `InvariantViolation` makes the run exit non-zero and prints a
 //! replayable counterexample schedule.
 //!
+//! `stlab fuzz` ([`fuzz`]) goes further: a deterministic coverage-guided
+//! fuzz session over generator-spec space (clean conforming seeds, the
+//! spec mutator, the always-on checker as oracle), with `--shrink`
+//! delta-debugging any finding to a minimal still-violating scenario and
+//! `--save-counterexample` / `--replay` persisting and re-executing it.
+//!
 //! # The campaign layer
 //!
 //! E2–E8 no longer hand-roll their grid loops: each builds a
@@ -61,6 +67,7 @@ pub mod e5_matrix;
 pub mod e6_bg;
 pub mod e7_ablation;
 pub mod e8_motivation;
+pub mod fuzz;
 pub mod scenarios;
 pub mod table;
 

@@ -44,11 +44,11 @@ const T: usize = 2;
 const K: usize = 2;
 const BOUND: usize = 2 * (T + 1);
 
-fn p() -> ProcSet {
+pub(crate) fn p() -> ProcSet {
     ProcSet::from_indices([0, 1])
 }
 
-fn q() -> ProcSet {
+pub(crate) fn q() -> ProcSet {
     ProcSet::from_indices([0, 1, 2])
 }
 
@@ -56,11 +56,11 @@ fn inputs() -> Vec<Value> {
     (0..N as Value).map(|v| 1000 + 7 * v).collect()
 }
 
-fn universe() -> st_core::Universe {
+pub(crate) fn universe() -> st_core::Universe {
     st_core::Universe::new(N).unwrap()
 }
 
-fn fd_workload() -> Workload {
+pub(crate) fn fd_workload() -> Workload {
     Workload::FdConvergence {
         k: K,
         t: T,
@@ -71,7 +71,7 @@ fn fd_workload() -> Workload {
     }
 }
 
-fn agreement_workload() -> Workload {
+pub(crate) fn agreement_workload() -> Workload {
     Workload::Agreement {
         t: T,
         k: K,
@@ -81,7 +81,7 @@ fn agreement_workload() -> Workload {
     }
 }
 
-fn conforming() -> GeneratorSpec {
+pub(crate) fn conforming() -> GeneratorSpec {
     GeneratorSpec::set_timely(p(), q(), BOUND, GeneratorSpec::seeded_random(0))
 }
 
@@ -254,6 +254,9 @@ pub struct ScenarioReport {
     pub name: &'static str,
     /// Whether a violation is the intended outcome.
     pub expect_violation: bool,
+    /// The campaign's scenarios, in rank order (kept so violating cells can
+    /// be packaged as saveable counterexamples).
+    pub scenarios: Vec<Scenario>,
     /// The campaign's outcomes, in rank order.
     pub outcomes: Vec<ScenarioOutcome>,
 }
@@ -267,6 +270,7 @@ pub fn run_entry(entry: &'static CatalogEntry, cfg: &LabConfig) -> ScenarioRepor
     ScenarioReport {
         name: entry.name,
         expect_violation: entry.expect_violation,
+        scenarios: campaign.scenarios().to_vec(),
         outcomes,
     }
 }
@@ -275,6 +279,16 @@ impl ScenarioReport {
     /// Total violations across the campaign.
     pub fn violation_count(&self) -> usize {
         self.outcomes.iter().map(|o| o.violations.len()).sum()
+    }
+
+    /// The first violating cell as a saveable
+    /// [`Counterexample`](st_campaign::Counterexample), if any violated.
+    pub fn first_counterexample(&self) -> Option<st_campaign::Counterexample> {
+        self.outcomes
+            .iter()
+            .zip(&self.scenarios)
+            .find(|(o, _)| !o.violations.is_empty())
+            .and_then(|(o, s)| st_campaign::Counterexample::new(s.clone(), o.clone()))
     }
 
     /// Renders the report: one line per scenario cell, then every violation

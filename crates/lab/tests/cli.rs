@@ -1,0 +1,125 @@
+//! CLI contract tests for `stlab`: the exit-code convention (0 clean, 1
+//! invariant violation / failed expectation, 2 usage or schema errors),
+//! the counterexample save/replay loop, and the fuzz verb's determinism.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn stlab(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_stlab"))
+        .args(args)
+        .output()
+        .expect("stlab runs")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stlab-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_documents_the_exit_codes() {
+    let out = stlab(&["--help"]);
+    assert_eq!(exit_code(&out), 0);
+    let text = stdout(&out);
+    assert!(text.contains("EXIT CODES"));
+    assert!(text.contains("0  clean"));
+    assert!(text.contains("1  an invariant violation"));
+    assert!(text.contains("2  usage errors"));
+    assert!(text.contains("--save-counterexample"));
+    assert!(text.contains("--replay"));
+}
+
+#[test]
+fn unknown_scenario_is_a_usage_error() {
+    let out = stlab(&["--scenario", "no-such-scenario"]);
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn unknown_experiment_is_a_usage_error() {
+    let out = stlab(&["e99", "--fast"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn replay_of_a_missing_file_is_a_usage_error() {
+    let out = stlab(&["--replay", "/nonexistent/ce.json"]);
+    assert_eq!(exit_code(&out), 2);
+}
+
+/// The full counterexample loop: the starved fixture violates (exit 1),
+/// `--save-counterexample` persists it, `--replay` re-executes it under
+/// the checker and reproduces the violation (exit 1 again).
+#[test]
+fn starved_fixture_saves_and_replays_a_counterexample() {
+    let ce = tmp("starved-ce.json");
+    let out = stlab(&[
+        "--scenario",
+        "starved-fixture",
+        "--fast",
+        "--save-counterexample",
+        ce.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 1, "the fixture violates by design");
+    assert!(ce.exists(), "counterexample file written");
+
+    let replay = stlab(&["--replay", ce.to_str().unwrap()]);
+    assert_eq!(exit_code(&replay), 1, "a reproduced violation exits 1");
+    let text = stdout(&replay);
+    assert!(
+        text.contains("reproduced"),
+        "replay verdict missing: {text}"
+    );
+    assert!(!text.contains("NOT reproduced"), "must actually reproduce");
+}
+
+/// The fuzz verb: finds a violation from clean seeds at the default master
+/// seed (exit 1), shrinks it, and writes byte-identical corpus stores on a
+/// repeat run at a different thread count.
+#[test]
+fn fuzz_smoke_finds_shrinks_and_is_deterministic() {
+    let c1 = tmp("fuzz-corpus-1.json");
+    let c2 = tmp("fuzz-corpus-2.json");
+    let run1 = stlab(&[
+        "fuzz",
+        "--budget",
+        "24",
+        "--threads",
+        "1",
+        "--shrink",
+        "--corpus",
+        c1.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&run1), 1, "the default session must find");
+    let text = stdout(&run1);
+    assert!(text.contains("FINDING ["));
+    assert!(
+        text.contains("shrunk counterexample: "),
+        "shrink line: {text}"
+    );
+
+    let run2 = stlab(&[
+        "fuzz",
+        "--budget",
+        "24",
+        "--threads",
+        "4",
+        "--corpus",
+        c2.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&run2), 1);
+    let bytes1 = std::fs::read(&c1).unwrap();
+    let bytes2 = std::fs::read(&c2).unwrap();
+    assert_eq!(bytes1, bytes2, "corpus stores differ across thread counts");
+}

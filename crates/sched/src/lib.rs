@@ -22,6 +22,9 @@
 //! - **Declarative specs** — [`GeneratorSpec`] describes any of the above as
 //!   plain data and builds it on demand (`Box<dyn StepSource>`); scenario
 //!   campaigns (`st-campaign`) grid over specs, not generators.
+//! - **Spec mutation** — [`SpecMutator`] generates arbitrary valid spec
+//!   trees and perturbs them as plain data (the genetic half of
+//!   `st-campaign::fuzz`), driven by the dependency-free [`SpecRng`].
 //! - **Certification** — [`validate`] cross-checks every generator claim
 //!   against the `st-core` analyzer.
 
@@ -35,6 +38,7 @@ mod cycle;
 mod faults;
 mod fictitious;
 mod figure1;
+pub mod mutate;
 pub mod policy;
 mod set_timely;
 pub mod spec;
@@ -48,6 +52,7 @@ pub use cycle::Cycle;
 pub use faults::{BurstClog, CrashRecovery, FlappingTimely, GrayFailure, PhaseSegment};
 pub use fictitious::FictitiousCrash;
 pub use figure1::{Figure1, GeneralizedFigure1};
+pub use mutate::{SpecMutator, SpecRng};
 pub use policy::TimeoutPolicySpec;
 pub use set_timely::{Eventually, SetTimely};
 pub use spec::GeneratorSpec;

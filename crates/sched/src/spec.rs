@@ -23,7 +23,7 @@
 //! reports every process the spec silences, so outcome checking can derive
 //! the correct set without re-deriving the plan.
 
-use st_core::{ProcSet, ProcessId, Schedule, StepSource, SystemSpec, Universe};
+use st_core::{ProcSet, ProcessId, Schedule, ScheduleCursor, StepSource, SystemSpec, Universe};
 
 use crate::alternating::AlternatingRotation;
 use crate::basic::{RoundRobin, SeededRandom};
@@ -187,6 +187,18 @@ pub enum GeneratorSpec {
         /// First position the victim may step at again.
         rejoin: u64,
     },
+    /// A [`ScheduleCursor`] replay of a fixed finite schedule, carrying the
+    /// spec whose run produced it. The carried spec is never built — it
+    /// exists so the replay inherits the original's constructive claims
+    /// (root guarantee, crash windows, faulty set), which is what lets the
+    /// shrinker and `stlab --replay` re-arm the same invariants on a
+    /// truncated schedule. The source ends after the last step.
+    Replay {
+        /// The spec whose constructive claims this replay inherits.
+        of: Box<GeneratorSpec>,
+        /// The replayed schedule.
+        schedule: Schedule,
+    },
 }
 
 impl GeneratorSpec {
@@ -278,6 +290,17 @@ impl GeneratorSpec {
         }
     }
 
+    /// A replay of `schedule` inheriting the constructive claims of `of`
+    /// (the spec whose run produced the schedule). Replaying a replay
+    /// reuses the original carried spec instead of nesting.
+    pub fn replay(of: GeneratorSpec, schedule: Schedule) -> Self {
+        let of = match of {
+            GeneratorSpec::Replay { of, .. } => of,
+            other => Box::new(other),
+        };
+        GeneratorSpec::Replay { of, schedule }
+    }
+
     /// Applies a crash plan the way the experiments do by hand: a
     /// [`SetTimely`] spec keeps injecting only live `P`-members **and** has
     /// its filler crash-filtered; every other spec is wrapped in
@@ -349,6 +372,8 @@ impl GeneratorSpec {
             GeneratorSpec::GrayFailure { inner, .. }
             | GeneratorSpec::BurstClog { inner, .. }
             | GeneratorSpec::CrashRecovery { inner, .. } => inner.faulty(universe),
+            // A replay silences exactly what the replayed spec silenced.
+            GeneratorSpec::Replay { of, .. } => of.faulty(universe),
         }
     }
 
@@ -370,6 +395,7 @@ impl GeneratorSpec {
             GeneratorSpec::GrayFailure { .. } => "GrayFailure",
             GeneratorSpec::BurstClog { .. } => "BurstClog",
             GeneratorSpec::CrashRecovery { .. } => "CrashRecovery",
+            GeneratorSpec::Replay { .. } => "Replay",
         }
     }
 
@@ -492,6 +518,9 @@ impl GeneratorSpec {
                 *crash,
                 *rejoin,
             )),
+            GeneratorSpec::Replay { schedule, .. } => {
+                Box::new(ScheduleCursor::new(schedule.clone()))
+            }
         }
     }
 }
@@ -753,6 +782,25 @@ mod tests {
             base: 8,
         };
         assert_eq!(spec.faulty(u(6)), set(&[4, 5]));
+    }
+
+    /// Replay builds a cursor over the carried schedule, inherits the
+    /// carried spec's faulty set, and never nests.
+    #[test]
+    fn replay_replays_and_inherits() {
+        let of =
+            GeneratorSpec::round_robin().crashed(CrashPlan::new().crash(ProcessId::new(2), 10));
+        let sched = Schedule::from_indices([0, 1, 0, 1]);
+        let spec = GeneratorSpec::replay(of.clone(), sched.clone());
+        assert_eq!(spec.family(), "Replay");
+        assert_eq!(spec.faulty(u(3)), set(&[2]));
+        // The cursor ends after the last step: the take is exactly `sched`.
+        assert_eq!(spec.build(u(3), 9).take_schedule(100), sched);
+        // Replaying a replay reuses the original carried spec.
+        match GeneratorSpec::replay(spec, Schedule::from_indices([1])) {
+            GeneratorSpec::Replay { of: inner, .. } => assert_eq!(*inner, of),
+            other => panic!("expected Replay, got {other:?}"),
+        }
     }
 
     /// Specs are Send + Sync: a grid can be shipped to worker threads.
