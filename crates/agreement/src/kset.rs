@@ -22,7 +22,7 @@
 
 use st_core::Value;
 use st_fd::{KAntiOmega, KAntiOmegaLocal, KAntiOmegaMachine};
-use st_sim::{Automaton, ProcessCtx, Sim, Status, StepAccess};
+use st_sim::{Automaton, BatchAccess, PhaseBatch, ProcessCtx, Sim, Status, StepAccess};
 
 use crate::paxos::{AttemptOutcome, CoreStep, Paxos, PaxosProposerCore, ProposerState};
 
@@ -248,6 +248,89 @@ impl Automaton for KSetAgreementMachine {
                     CoreStep::Preempted => {
                         // The async round returns to the FD after a
                         // preempted attempt (no further instance matches).
+                        self.phase = KsetPhase::Fd;
+                        Status::Running
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl PhaseBatch for KSetAgreementMachine {
+    #[inline]
+    fn phase_class(&self) -> u8 {
+        // Offsets keep the three protocol parts (and the embedded machines'
+        // own phases) in distinct groups: FD phases 0–3, the decision scan
+        // 4, proposer phases 5–10.
+        match self.phase {
+            KsetPhase::Fd => self.fd.phase_class(),
+            KsetPhase::Scan(_) => 4,
+            KsetPhase::Lead(r) => 5 + self.proposers[r as usize].phase_class(),
+        }
+    }
+
+    #[inline]
+    fn read_run(&self) -> usize {
+        match self.phase {
+            // Every step of the Fd phase is a step of the embedded FD
+            // machine; the hand-off to the decision scan happens at an
+            // iteration boundary, which the FD's own run never crosses.
+            KsetPhase::Fd => self.fd.read_run(),
+            // The scan reads one decision register per remaining instance
+            // (or goes no-op early by deciding — allowed by the contract).
+            KsetPhase::Scan(r) => self.kset.k() - r as usize,
+            KsetPhase::Lead(r) => self.proposers[r as usize].read_run(),
+        }
+    }
+
+    fn step_reads(&mut self, mem: &mut BatchAccess<'_>) -> Status {
+        match self.phase {
+            KsetPhase::Fd => {
+                self.fd.step_reads(mem);
+                if self.fd.iterations() > self.fd_iterations_seen {
+                    self.fd_iterations_seen = self.fd.iterations();
+                    self.phase = KsetPhase::Scan(0);
+                }
+                Status::Running
+            }
+            KsetPhase::Scan(r) => {
+                let mut ri = r as usize;
+                while mem.remaining() > 0 {
+                    if let Some(v) = mem.read(self.kset.instances[ri].decision) {
+                        mem.probe(DECIDED_INSTANCE_PROBE, ri as u64);
+                        mem.decide(v);
+                        return Status::Done;
+                    }
+                    if ri + 1 < self.kset.k() {
+                        ri += 1;
+                        self.phase = KsetPhase::Scan(ri as u32);
+                        continue;
+                    }
+                    // Scan complete (the allotment cannot extend past it):
+                    // same hand-off as the scalar drive.
+                    let winnerset = self.fd.winnerset();
+                    self.phase = KsetPhase::Fd;
+                    for lead in 0..self.kset.k() {
+                        if winnerset.nth(lead) == Some(mem.pid()) {
+                            self.phase = KsetPhase::Lead(lead as u32);
+                            break;
+                        }
+                    }
+                    break;
+                }
+                Status::Running
+            }
+            KsetPhase::Lead(r) => {
+                let ri = r as usize;
+                match self.proposers[ri].step_reads(mem, self.proposal) {
+                    CoreStep::Busy => Status::Running,
+                    CoreStep::Decided(v) => {
+                        mem.probe(DECIDED_INSTANCE_PROBE, r as u64);
+                        mem.decide(v);
+                        Status::Done
+                    }
+                    CoreStep::Preempted => {
                         self.phase = KsetPhase::Fd;
                         Status::Running
                     }

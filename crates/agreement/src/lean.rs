@@ -1,0 +1,257 @@
+//! Lean consensus for large universes: [`LeanOmega`] + single-decree
+//! Paxos, with `O(n)` local state and no set representation.
+//!
+//! [`KSetAgreement`](crate::KSetAgreement) composes the combinatorial
+//! Figure 2 detector with `k` Paxos instances — the paper's construction,
+//! capped at `n ≤ 64` by the [`ProcSet`](st_core::ProcSet) winnerset. This
+//! module is its `k = 1` (consensus) counterpart for the
+//! `n ∈ {256, 1024}` scaling experiments: the lean leader oracle elects an
+//! *index*, the appointed leader drives the one Paxos instance (whose
+//! proposer core is already set-free), and every process adopts the first
+//! decision it sees. The protocol-round shape is the same as the k-set
+//! machine's — FD iteration, decision scan, lead-if-appointed — so the two
+//! stacks exercise the fleet drives identically at every `n`.
+//!
+//! Safety is Paxos safety, unconditional. Termination needs leader
+//! stabilization, which [`LeanOmega`] provides on schedules where some
+//! process is set-timely — at `k = 1` set timeliness degenerates to
+//! process timeliness of a single process, exactly footnote 2's Ω regime.
+
+use st_core::Value;
+use st_fd::{LeanOmega, LeanOmegaMachine};
+use st_sim::{Automaton, BatchAccess, PhaseBatch, Sim, Status, StepAccess};
+
+use crate::paxos::{CoreStep, Paxos, PaxosProposerCore};
+
+/// A lean consensus object: one Paxos instance to be driven by a
+/// [`LeanOmega`] leader. Clone into each machine via
+/// [`machine`](Self::machine).
+#[derive(Clone, Debug)]
+pub struct LeanConsensus {
+    instance: Paxos,
+}
+
+impl LeanConsensus {
+    /// Allocates the Paxos instance in `sim`.
+    pub fn alloc(sim: &mut Sim) -> Self {
+        LeanConsensus {
+            instance: Paxos::alloc(sim, "lean"),
+        }
+    }
+
+    /// The underlying instance (instrumentation).
+    pub fn instance(&self) -> &Paxos {
+        &self.instance
+    }
+
+    /// One process's machine, composed with its own copy of the lean FD.
+    pub fn machine(&self, fd: &LeanOmega, proposal: Value) -> LeanConsensusMachine {
+        LeanConsensusMachine {
+            fd: fd.machine(),
+            fd_iterations_seen: 0,
+            proposer: PaxosProposerCore::new(self.instance.clone()),
+            instance: self.instance.clone(),
+            proposal,
+            phase: LeanConsensusPhase::Fd,
+        }
+    }
+}
+
+/// Control state of [`LeanConsensusMachine`]: which part of the protocol
+/// round the next scheduled step executes.
+#[derive(Clone, Copy, Debug)]
+enum LeanConsensusPhase {
+    /// Stepping the embedded lean FD until it closes an iteration.
+    Fd,
+    /// Read the decision register (adopting is always cheapest).
+    Scan,
+    /// Leading the instance: stepping its Paxos proposer core.
+    Lead,
+}
+
+/// The lean consensus protocol on the state-machine ABI. Construct via
+/// [`LeanConsensus::machine`].
+pub struct LeanConsensusMachine {
+    fd: LeanOmegaMachine,
+    /// FD iterations completed at the last phase hand-off.
+    fd_iterations_seen: u64,
+    proposer: PaxosProposerCore,
+    instance: Paxos,
+    proposal: Value,
+    phase: LeanConsensusPhase,
+}
+
+impl LeanConsensusMachine {
+    /// Ballot attempts made so far (metrics).
+    pub fn attempts(&self) -> u64 {
+        self.proposer.attempts()
+    }
+
+    /// The embedded FD's current leader index.
+    pub fn leader(&self) -> usize {
+        self.fd.leader()
+    }
+}
+
+impl Automaton for LeanConsensusMachine {
+    fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+        match self.phase {
+            LeanConsensusPhase::Fd => {
+                self.fd.step(mem);
+                if self.fd.iterations() > self.fd_iterations_seen {
+                    self.fd_iterations_seen = self.fd.iterations();
+                    self.phase = LeanConsensusPhase::Scan;
+                }
+                Status::Running
+            }
+            LeanConsensusPhase::Scan => {
+                if let Some(v) = mem.read(self.instance.decision) {
+                    mem.decide(v);
+                    return Status::Done;
+                }
+                self.phase = if self.fd.leader() == mem.pid().index() {
+                    LeanConsensusPhase::Lead
+                } else {
+                    LeanConsensusPhase::Fd
+                };
+                Status::Running
+            }
+            LeanConsensusPhase::Lead => match self.proposer.step(mem, self.proposal) {
+                CoreStep::Busy => Status::Running,
+                CoreStep::Decided(v) => {
+                    mem.decide(v);
+                    Status::Done
+                }
+                CoreStep::Preempted => {
+                    self.phase = LeanConsensusPhase::Fd;
+                    Status::Running
+                }
+            },
+        }
+    }
+}
+
+impl PhaseBatch for LeanConsensusMachine {
+    #[inline]
+    fn phase_class(&self) -> u8 {
+        // FD phases 0–3, the decision scan 4, proposer phases 5–10.
+        match self.phase {
+            LeanConsensusPhase::Fd => self.fd.phase_class(),
+            LeanConsensusPhase::Scan => 4,
+            LeanConsensusPhase::Lead => 5 + self.proposer.phase_class(),
+        }
+    }
+
+    #[inline]
+    fn read_run(&self) -> usize {
+        match self.phase {
+            // Every Fd-phase step is a step of the embedded FD machine;
+            // the hand-off to the scan happens at an iteration boundary,
+            // which the FD's own run never crosses.
+            LeanConsensusPhase::Fd => self.fd.read_run(),
+            LeanConsensusPhase::Scan => 1,
+            LeanConsensusPhase::Lead => self.proposer.read_run(),
+        }
+    }
+
+    fn step_reads(&mut self, mem: &mut BatchAccess<'_>) -> Status {
+        match self.phase {
+            LeanConsensusPhase::Fd => {
+                self.fd.step_reads(mem);
+                if self.fd.iterations() > self.fd_iterations_seen {
+                    self.fd_iterations_seen = self.fd.iterations();
+                    self.phase = LeanConsensusPhase::Scan;
+                }
+                Status::Running
+            }
+            LeanConsensusPhase::Scan => {
+                if let Some(v) = mem.read(self.instance.decision) {
+                    mem.decide(v);
+                    return Status::Done;
+                }
+                self.phase = if self.fd.leader() == mem.pid().index() {
+                    LeanConsensusPhase::Lead
+                } else {
+                    LeanConsensusPhase::Fd
+                };
+                Status::Running
+            }
+            LeanConsensusPhase::Lead => match self.proposer.step_reads(mem, self.proposal) {
+                CoreStep::Busy => Status::Running,
+                CoreStep::Decided(v) => {
+                    mem.decide(v);
+                    Status::Done
+                }
+                CoreStep::Preempted => {
+                    self.phase = LeanConsensusPhase::Fd;
+                    Status::Running
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::{Schedule, Universe};
+    use st_fd::TimeoutPolicy;
+    use st_sim::RunConfig;
+
+    fn build(n: usize) -> (Sim, LeanOmega, LeanConsensus) {
+        let u = Universe::new(n).unwrap();
+        let mut sim = Sim::new(u);
+        let fd = LeanOmega::alloc(&mut sim, 1, TimeoutPolicy::Increment);
+        let cons = LeanConsensus::alloc(&mut sim);
+        (sim, fd, cons)
+    }
+
+    #[test]
+    fn round_robin_reaches_consensus() {
+        let n = 5;
+        let (mut sim, fd, cons) = build(n);
+        let mut fleet: Vec<LeanConsensusMachine> = (0..n)
+            .map(|i| cons.machine(&fd, 100 + i as Value))
+            .collect();
+        let steps: Vec<usize> = (0..600_000).map(|s| s % n).collect();
+        let schedule = Schedule::from_indices(steps);
+        sim.run_automata_replay(&mut fleet, &schedule, RunConfig::steps(600_000))
+            .unwrap();
+        let decided: std::collections::BTreeSet<Value> =
+            sim.decisions().iter().flatten().map(|d| d.value).collect();
+        assert_eq!(
+            decided.len(),
+            1,
+            "consensus: exactly one value, {decided:?}"
+        );
+        let v = *decided.first().unwrap();
+        assert!((100..100 + n as Value).contains(&v), "validity: {v}");
+        assert!(
+            sim.decisions().iter().all(|d| d.is_some()),
+            "all must decide under round-robin"
+        );
+    }
+
+    #[test]
+    fn safety_under_skewed_schedules() {
+        // A schedule heavily favoring one process, then another: whatever
+        // decides, decides one proposed value.
+        let n = 4;
+        let (mut sim, fd, cons) = build(n);
+        let mut fleet: Vec<LeanConsensusMachine> = (0..n)
+            .map(|i| cons.machine(&fd, 100 + i as Value))
+            .collect();
+        let steps: Vec<usize> = (0..200_000)
+            .map(|s| if s % 7 < 5 { s % 2 } else { 2 + (s % 2) })
+            .collect();
+        let schedule = Schedule::from_indices(steps);
+        sim.run_automata_replay(&mut fleet, &schedule, RunConfig::steps(200_000))
+            .unwrap();
+        let decided: std::collections::BTreeSet<Value> =
+            sim.decisions().iter().flatten().map(|d| d.value).collect();
+        assert!(decided.len() <= 1, "agreement violated: {decided:?}");
+        for v in &decided {
+            assert!((100..100 + n as Value).contains(v), "validity: {v}");
+        }
+    }
+}

@@ -38,11 +38,13 @@
 mod adversary;
 mod harness;
 mod kset;
+mod lean;
 mod paxos;
 mod trivial;
 
 pub use adversary::{drive_adversarially, AdversarialRun};
 pub use harness::{AgreementStack, StackAbi, StackKind, StackRun};
 pub use kset::{KSetAgreement, KSetAgreementMachine, DECIDED_INSTANCE_PROBE};
+pub use lean::{LeanConsensus, LeanConsensusMachine};
 pub use paxos::{AttemptOutcome, Paxos, PaxosMachine, PaxosRecord, ProposerState};
 pub use trivial::TrivialAgreement;

@@ -31,7 +31,7 @@
 //! Figure 1, and crash schedules.
 
 use st_core::Value;
-use st_sim::{Automaton, ProcessCtx, Reg, Sim, Status, StepAccess};
+use st_sim::{Automaton, BatchAccess, PhaseBatch, ProcessCtx, Reg, Sim, Status, StepAccess};
 
 /// One process's Paxos record (a "disk block").
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -415,6 +415,114 @@ impl PaxosProposerCore {
         }
     }
 
+    /// Grouping label of the current phase for the SoA drive (see
+    /// [`PhaseBatch::phase_class`]).
+    pub(crate) fn phase_class(&self) -> u8 {
+        match self.phase {
+            ProposerPhase::CheckDecision => 0,
+            ProposerPhase::Phase1Write => 1,
+            ProposerPhase::Phase1Read { .. } => 2,
+            ProposerPhase::Phase2Write { .. } => 3,
+            ProposerPhase::Phase2Read { .. } => 4,
+            ProposerPhase::Publish { .. } => 5,
+        }
+    }
+
+    /// Guaranteed value-independent read steps ahead (see
+    /// [`PhaseBatch::read_run`]): the decision check is one read; a record
+    /// scan is reads to its end (the bound `n − q − 1` under-counts by one
+    /// when the proposer's own skipped record lies before `q` — a safe
+    /// under-estimate, since the core does not know its process index until
+    /// it is stepped). The scan-end branch (preempt or advance) may lead to
+    /// a write, so the run stops there.
+    pub(crate) fn read_run(&self) -> usize {
+        let n = self.paxos.records.len();
+        match self.phase {
+            ProposerPhase::CheckDecision => 1,
+            ProposerPhase::Phase1Read { q, .. } | ProposerPhase::Phase2Read { q, .. } => {
+                (n - q as usize).saturating_sub(1).max(1)
+            }
+            ProposerPhase::Phase1Write
+            | ProposerPhase::Phase2Write { .. }
+            | ProposerPhase::Publish { .. } => 0,
+        }
+    }
+
+    /// Executes a whole batch of read steps (see
+    /// [`PhaseBatch::step_reads`]): the read arms of [`step`](Self::step),
+    /// looped over the allotment. The batch never crosses into a write
+    /// phase — [`read_run`](Self::read_run) caps the allotment at the
+    /// current scan's end.
+    pub(crate) fn step_reads(&mut self, mem: &mut BatchAccess<'_>, proposal: Value) -> CoreStep {
+        let me = mem.pid().index();
+        let n = self.paxos.records.len();
+        let mut outcome = CoreStep::Busy;
+        while mem.remaining() > 0 && outcome == CoreStep::Busy {
+            match self.phase {
+                ProposerPhase::CheckDecision => {
+                    self.state.attempts += 1;
+                    if let Some(v) = mem.read(self.paxos.decision) {
+                        outcome = CoreStep::Decided(v);
+                        break;
+                    }
+                    self.b = self.paxos.ballot(self.state.round, me);
+                    self.state.round += 1;
+                    self.state.own.mbal = self.b;
+                    self.phase = ProposerPhase::Phase1Write;
+                }
+                ProposerPhase::Phase1Read {
+                    q,
+                    mut max_seen,
+                    mut best,
+                } => {
+                    let rec = mem.read(self.paxos.records[q as usize]);
+                    max_seen = max_seen.max(rec.mbal);
+                    if let Some(v) = rec.val {
+                        if best.is_none_or(|(bb, _)| rec.bal > bb) {
+                            best = Some((rec.bal, v));
+                        }
+                    }
+                    if let Some(next) = next_other(q as usize, me, n) {
+                        self.phase = ProposerPhase::Phase1Read {
+                            q: next,
+                            max_seen,
+                            best,
+                        };
+                    } else if max_seen > self.b {
+                        outcome = self.preempt(max_seen);
+                    } else {
+                        self.enter_phase2(best, proposal);
+                    }
+                }
+                ProposerPhase::Phase2Read {
+                    q,
+                    mut max_seen,
+                    value,
+                } => {
+                    let rec = mem.read(self.paxos.records[q as usize]);
+                    max_seen = max_seen.max(rec.mbal);
+                    if let Some(next) = next_other(q as usize, me, n) {
+                        self.phase = ProposerPhase::Phase2Read {
+                            q: next,
+                            max_seen,
+                            value,
+                        };
+                    } else if max_seen > self.b {
+                        outcome = self.preempt(max_seen);
+                    } else {
+                        self.phase = ProposerPhase::Publish { value };
+                    }
+                }
+                ProposerPhase::Phase1Write
+                | ProposerPhase::Phase2Write { .. }
+                | ProposerPhase::Publish { .. } => {
+                    unreachable!("batched step in a write phase: read_run() is 0 here")
+                }
+            }
+        }
+        outcome
+    }
+
     /// Phase-boundary bookkeeping between the phase 1 scan and the phase 2
     /// write: adopt the safest value and stage the accept record.
     fn enter_phase2(&mut self, best: Option<(u64, Value)>, proposal: Value) {
@@ -453,6 +561,28 @@ impl PaxosMachine {
 impl Automaton for PaxosMachine {
     fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
         match self.core.step(mem, self.proposal) {
+            CoreStep::Busy | CoreStep::Preempted => Status::Running,
+            CoreStep::Decided(v) => {
+                mem.decide(v);
+                Status::Done
+            }
+        }
+    }
+}
+
+impl PhaseBatch for PaxosMachine {
+    #[inline]
+    fn phase_class(&self) -> u8 {
+        self.core.phase_class()
+    }
+
+    #[inline]
+    fn read_run(&self) -> usize {
+        self.core.read_run()
+    }
+
+    fn step_reads(&mut self, mem: &mut BatchAccess<'_>) -> Status {
+        match self.core.step_reads(mem, self.proposal) {
             CoreStep::Busy | CoreStep::Preempted => Status::Running,
             CoreStep::Decided(v) => {
                 mem.decide(v);

@@ -1,0 +1,544 @@
+//! Differential tests: the struct-of-arrays replay drive
+//! ([`Sim::run_automata_replay_soa`]) against the plain fleet replay
+//! ([`Sim::run_automata_replay`]), on identical schedules.
+//!
+//! The SoA drive is only admissible if it is **observationally identical**
+//! to the plain replay: the same probe sequences at the same step indices,
+//! the same decisions at the same steps, the same per-process op counts,
+//! the same per-register access statistics, and the same final register
+//! contents. This suite enforces that for every [`PhaseBatch`] machine in
+//! the workspace — `KAntiOmegaMachine`, `KSetAgreementMachine`,
+//! `PaxosMachine`, `LeanOmegaMachine`, `LeanConsensusMachine` — across:
+//!
+//! - every schedule family the experiments use (round-robin, bursty,
+//!   seeded-random, Figure 1, crash prefixes, `SetTimely`) **and all four
+//!   fault decorators** (`Flapping`, `GrayFailure`, `BurstClog`,
+//!   `CrashRecovery`), via [`GeneratorSpec::build`];
+//! - proptest-driven *arbitrary* `GeneratorSpec` trees
+//!   ([`SpecMutator::arbitrary`]), so no hand-picked family shields a
+//!   divergence;
+//! - slice lengths {1, 7, 64, 1024}: degenerate scalar fallback, mixed
+//!   pure/impure slices, and slices spanning many whole phases;
+//! - large universes (lean stack at n = 256), where the batch paths
+//!   actually win and the purity checks see long allotments.
+//!
+//! The sims here are built **without recording** and run with
+//! [`StopWhen::Never`]: both replay drives delegate to the cursor-based
+//! `run_automata` when recording is on or a stop condition is set, so a
+//! recorded comparison would exercise neither fused loop. Consequently the
+//! `executed` report field (recording-only) is not compared.
+
+use proptest::prelude::*;
+use st_agreement::{KSetAgreement, KSetAgreementMachine, LeanConsensus, Paxos, PaxosMachine};
+use st_core::{ProcSet, ProcessId, Schedule, StepSource, Universe, Value};
+use st_fd::{KAntiOmega, KAntiOmegaConfig, KAntiOmegaMachine, LeanOmega, TimeoutPolicy};
+use st_sched::{Figure1, GeneratorSpec, SpecMutator, SpecRng};
+use st_sim::{RunConfig, RunReport, Sim};
+
+/// Which fleet replay drive executes the schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Drive {
+    Plain,
+    Soa(usize),
+}
+
+/// Slice lengths every identity check sweeps: scalar degenerate, short
+/// mixed, a typical batch, and slices longer than most schedules.
+const SLICE_LENS: [usize; 4] = [1, 7, 64, 1024];
+
+fn inputs(n: usize) -> Vec<Value> {
+    (0..n as Value).map(|v| 100 + 3 * v).collect()
+}
+
+fn round_robin(n: usize, len: usize) -> Schedule {
+    Schedule::from_indices((0..len).map(|s| s % n))
+}
+
+fn from_spec(spec: &GeneratorSpec, n: usize, seed: u64, len: usize) -> Schedule {
+    let u = Universe::new(n).unwrap();
+    spec.build(u, seed).take_schedule(len)
+}
+
+/// Compares two (report, registers) observations, field by field, with the
+/// recording-only `executed` field deliberately excluded (see module docs).
+fn assert_observations_eq(
+    plain: &(RunReport, Vec<String>),
+    soa: &(RunReport, Vec<String>),
+    label: &str,
+    drive: Drive,
+) {
+    assert_eq!(
+        plain.0.steps, soa.0.steps,
+        "{label}/{drive:?}: step counts diverged"
+    );
+    assert_eq!(
+        plain.0.probes.events(),
+        soa.0.probes.events(),
+        "{label}/{drive:?}: probe sequences diverged"
+    );
+    assert_eq!(
+        plain.0.decisions, soa.0.decisions,
+        "{label}/{drive:?}: decisions diverged"
+    );
+    assert_eq!(
+        plain.0.finished, soa.0.finished,
+        "{label}/{drive:?}: completion flags diverged"
+    );
+    assert_eq!(
+        plain.0.op_counts, soa.0.op_counts,
+        "{label}/{drive:?}: per-process op counts diverged"
+    );
+    assert_eq!(
+        plain.0.register_stats, soa.0.register_stats,
+        "{label}/{drive:?}: register access statistics diverged"
+    );
+    assert_eq!(
+        plain.1, soa.1,
+        "{label}/{drive:?}: final register contents diverged"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Per-stack runners: build a fresh sim + fleet, run one drive, observe.
+// ---------------------------------------------------------------------------
+
+fn run_kanti(
+    n: usize,
+    k: usize,
+    t: usize,
+    schedule: &Schedule,
+    drive: Drive,
+) -> (RunReport, Vec<String>) {
+    let u = Universe::new(n).unwrap();
+    let mut sim = Sim::new(u);
+    let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t));
+    let mut fleet: Vec<KAntiOmegaMachine> = u.processes().map(|_| fd.machine()).collect();
+    let cfg = RunConfig::steps(schedule.len() as u64);
+    match drive {
+        Drive::Plain => sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap(),
+        Drive::Soa(sl) => sim
+            .run_automata_replay_soa(&mut fleet, schedule, sl, cfg)
+            .unwrap(),
+    };
+    let mut regs = Vec::new();
+    for p in u.processes() {
+        regs.push(fd.peek_heartbeat(&sim, p).to_string());
+    }
+    for rank in 0..fd.set_count() {
+        for q in u.processes() {
+            regs.push(fd.peek_counter(&sim, rank, q).to_string());
+        }
+    }
+    (sim.report(), regs)
+}
+
+fn run_paxos_fleet(n: usize, schedule: &Schedule, drive: Drive) -> (RunReport, Vec<String>) {
+    let u = Universe::new(n).unwrap();
+    let mut sim = Sim::new(u);
+    let paxos = Paxos::alloc(&mut sim, "px");
+    let proposals = inputs(n);
+    let mut fleet: Vec<PaxosMachine> = u
+        .processes()
+        .map(|p| paxos.machine(proposals[p.index()]))
+        .collect();
+    let cfg = RunConfig::steps(schedule.len() as u64);
+    match drive {
+        Drive::Plain => sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap(),
+        Drive::Soa(sl) => sim
+            .run_automata_replay_soa(&mut fleet, schedule, sl, cfg)
+            .unwrap(),
+    };
+    let mut regs: Vec<String> = paxos
+        .peek_records(&sim)
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    regs.push(format!("{:?}", paxos.peek_decision(&sim)));
+    (sim.report(), regs)
+}
+
+fn run_kset_fleet(
+    n: usize,
+    k: usize,
+    t: usize,
+    schedule: &Schedule,
+    drive: Drive,
+) -> (RunReport, Vec<String>) {
+    let u = Universe::new(n).unwrap();
+    let mut sim = Sim::new(u);
+    let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(k, t));
+    let kset = KSetAgreement::alloc(&mut sim, k);
+    let proposals = inputs(n);
+    let mut fleet: Vec<KSetAgreementMachine> = u
+        .processes()
+        .map(|p| kset.machine(&fd, proposals[p.index()]))
+        .collect();
+    let cfg = RunConfig::steps(schedule.len() as u64);
+    match drive {
+        Drive::Plain => sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap(),
+        Drive::Soa(sl) => sim
+            .run_automata_replay_soa(&mut fleet, schedule, sl, cfg)
+            .unwrap(),
+    };
+    let mut regs = Vec::new();
+    for p in u.processes() {
+        regs.push(fd.peek_heartbeat(&sim, p).to_string());
+    }
+    for rank in 0..fd.set_count() {
+        for q in u.processes() {
+            regs.push(fd.peek_counter(&sim, rank, q).to_string());
+        }
+    }
+    for instance in kset.instances() {
+        for rec in instance.peek_records(&sim) {
+            regs.push(format!("{rec:?}"));
+        }
+        regs.push(format!("{:?}", instance.peek_decision(&sim)));
+    }
+    (sim.report(), regs)
+}
+
+fn run_lean_fd(n: usize, t: usize, schedule: &Schedule, drive: Drive) -> (RunReport, Vec<String>) {
+    let u = Universe::new(n).unwrap();
+    let mut sim = Sim::new(u);
+    let fd = LeanOmega::alloc(&mut sim, t, TimeoutPolicy::Increment);
+    let mut fleet: Vec<_> = u.processes().map(|_| fd.machine()).collect();
+    let cfg = RunConfig::steps(schedule.len() as u64);
+    match drive {
+        Drive::Plain => sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap(),
+        Drive::Soa(sl) => sim
+            .run_automata_replay_soa(&mut fleet, schedule, sl, cfg)
+            .unwrap(),
+    };
+    let mut regs = Vec::new();
+    for q in 0..n {
+        regs.push(fd.peek_heartbeat(&sim, q).to_string());
+    }
+    // The n×n counter matrix in full at small n; a diagonal + edge sample
+    // at large n (the full matrix comparison would dominate the test).
+    if n <= 16 {
+        for a in 0..n {
+            for q in 0..n {
+                regs.push(fd.peek_counter(&sim, a, q).to_string());
+            }
+        }
+    } else {
+        for i in 0..n {
+            regs.push(fd.peek_counter(&sim, i, i).to_string());
+            regs.push(fd.peek_counter(&sim, i, 0).to_string());
+            regs.push(fd.peek_counter(&sim, 0, i).to_string());
+        }
+    }
+    (sim.report(), regs)
+}
+
+fn run_lean_consensus(
+    n: usize,
+    t: usize,
+    schedule: &Schedule,
+    drive: Drive,
+) -> (RunReport, Vec<String>) {
+    let u = Universe::new(n).unwrap();
+    let mut sim = Sim::new(u);
+    let fd = LeanOmega::alloc(&mut sim, t, TimeoutPolicy::Increment);
+    let cons = LeanConsensus::alloc(&mut sim);
+    let proposals = inputs(n);
+    let mut fleet: Vec<_> = u
+        .processes()
+        .map(|p| cons.machine(&fd, proposals[p.index()]))
+        .collect();
+    let cfg = RunConfig::steps(schedule.len() as u64);
+    match drive {
+        Drive::Plain => sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap(),
+        Drive::Soa(sl) => sim
+            .run_automata_replay_soa(&mut fleet, schedule, sl, cfg)
+            .unwrap(),
+    };
+    let mut regs = Vec::new();
+    for q in 0..n {
+        regs.push(fd.peek_heartbeat(&sim, q).to_string());
+    }
+    for rec in cons.instance().peek_records(&sim) {
+        regs.push(format!("{rec:?}"));
+    }
+    regs.push(format!("{:?}", cons.instance().peek_decision(&sim)));
+    (sim.report(), regs)
+}
+
+/// Runs `runner` under the plain drive and under the SoA drive at every
+/// slice length, asserting observational identity each time.
+fn assert_soa_identical<F>(label: &str, runner: F)
+where
+    F: Fn(Drive) -> (RunReport, Vec<String>),
+{
+    let plain = runner(Drive::Plain);
+    for sl in SLICE_LENS {
+        let soa = runner(Drive::Soa(sl));
+        assert_observations_eq(&plain, &soa, label, Drive::Soa(sl));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Named schedule families, including all four fault decorators.
+// ---------------------------------------------------------------------------
+
+/// The schedule families every stack is checked on: the base families of
+/// `tests/differential.rs` plus a `SetTimely` guarantee and one of each
+/// fault decorator wrapped around it.
+fn family_schedules(n: usize, len: usize) -> Vec<(String, Schedule)> {
+    let mut out = Vec::new();
+    out.push(("round-robin".into(), round_robin(n, len)));
+    let burst = 2 * n + 2;
+    out.push((
+        "bursty".into(),
+        Schedule::from_indices((0..len).map(|s| (s / burst) % n)),
+    ));
+    out.push((
+        "seeded-random".into(),
+        from_spec(&GeneratorSpec::seeded_random(0), n, 0xDEAD, len),
+    ));
+    if n >= 3 {
+        out.push((
+            "figure1".into(),
+            Figure1::new(ProcessId::new(0), ProcessId::new(1), ProcessId::new(2))
+                .take_schedule(len),
+        ));
+    }
+    // Crash: p0 stops being scheduled a third of the way in.
+    let mut crash: Vec<usize> = (0..len / 3).map(|s| s % n).collect();
+    crash.extend((0..2 * len / 3).map(|s| 1 + s % (n - 1)));
+    out.push(("crash".into(), Schedule::from_indices(crash)));
+
+    let p = ProcSet::from_iter([ProcessId::new(0)]);
+    let q = ProcSet::from_iter((0..n).map(ProcessId::new));
+    let timely = GeneratorSpec::set_timely(p, q, 3 * n, GeneratorSpec::seeded_random(7));
+    out.push(("set-timely".into(), from_spec(&timely, n, 11, len)));
+    out.push((
+        "flapping".into(),
+        from_spec(
+            &GeneratorSpec::flapping(
+                p,
+                q,
+                3 * n,
+                GeneratorSpec::seeded_random(3),
+                (200, 600),
+                (100, 300),
+            ),
+            n,
+            12,
+            len,
+        ),
+    ));
+    out.push((
+        "gray-failure".into(),
+        from_spec(
+            &GeneratorSpec::gray_failure(timely.clone(), p, 4),
+            n,
+            13,
+            len,
+        ),
+    ));
+    out.push((
+        "burst-clog".into(),
+        from_spec(
+            &GeneratorSpec::burst_clog(timely.clone(), ProcessId::new(n - 1), 64, (100, 400)),
+            n,
+            14,
+            len,
+        ),
+    ));
+    out.push((
+        "crash-recovery".into(),
+        from_spec(
+            &GeneratorSpec::crash_recovery(
+                timely,
+                ProcessId::new(0),
+                len as u64 / 4,
+                len as u64 / 2,
+            ),
+            n,
+            15,
+            len,
+        ),
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Identity on every family, for every PhaseBatch machine type.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kanti_fleet_soa_identical_on_all_families() {
+    for (name, sched) in family_schedules(4, 20_000) {
+        assert_soa_identical(&format!("kanti n=4 {name}"), |d| {
+            run_kanti(4, 2, 2, &sched, d)
+        });
+    }
+}
+
+#[test]
+fn paxos_fleet_soa_identical_on_all_families() {
+    for (name, sched) in family_schedules(5, 4_000) {
+        assert_soa_identical(&format!("paxos n=5 {name}"), |d| {
+            run_paxos_fleet(5, &sched, d)
+        });
+    }
+}
+
+#[test]
+fn kset_fleet_soa_identical_on_all_families() {
+    for (name, sched) in family_schedules(4, 30_000) {
+        assert_soa_identical(&format!("kset n=4 {name}"), |d| {
+            run_kset_fleet(4, 1, 2, &sched, d)
+        });
+    }
+    // A second task shape: k = 2 on round-robin and seeded-random.
+    for (name, sched) in family_schedules(4, 30_000).into_iter().take(3) {
+        assert_soa_identical(&format!("kset k=2 n=4 {name}"), |d| {
+            run_kset_fleet(4, 2, 3, &sched, d)
+        });
+    }
+}
+
+#[test]
+fn lean_fd_soa_identical_on_all_families() {
+    for (name, sched) in family_schedules(6, 20_000) {
+        assert_soa_identical(&format!("lean-fd n=6 {name}"), |d| {
+            run_lean_fd(6, 1, &sched, d)
+        });
+    }
+}
+
+#[test]
+fn lean_consensus_soa_identical_on_all_families() {
+    for (name, sched) in family_schedules(5, 20_000) {
+        assert_soa_identical(&format!("lean-cons n=5 {name}"), |d| {
+            run_lean_consensus(5, 1, &sched, d)
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Large n: the regime where the SoA batch paths actually engage.
+// ---------------------------------------------------------------------------
+
+/// Lean FD identity at n = 256: allotments regularly sit inside the n²-step
+/// counter scan, so the span-read batch path (not the scalar fallback) is
+/// what executes most slices.
+#[test]
+fn lean_fd_soa_identical_at_n256() {
+    let n = 256;
+    for (name, sched) in [
+        ("round-robin".to_string(), round_robin(n, 400_000)),
+        (
+            "seeded-random".into(),
+            from_spec(&GeneratorSpec::seeded_random(0), n, 99, 400_000),
+        ),
+        (
+            "bursty".into(),
+            Schedule::from_indices((0..400_000).map(|s| (s / 512) % n)),
+        ),
+    ] {
+        assert_soa_identical(&format!("lean-fd n=256 {name}"), |d| {
+            run_lean_fd(n, 8, &sched, d)
+        });
+    }
+}
+
+/// Lean consensus identity at n = 256 (FD + decision scan + proposer core
+/// hand-offs all crossing batch boundaries).
+#[test]
+fn lean_consensus_soa_identical_at_n256() {
+    let n = 256;
+    let sched = Schedule::from_indices((0..400_000).map(|s| (s / 512) % n));
+    assert_soa_identical("lean-cons n=256 bursty", |d| {
+        run_lean_consensus(n, 8, &sched, d)
+    });
+}
+
+/// The k-anti-Ω fleet at its ProcSet capacity boundary, n = 64.
+#[test]
+fn kanti_fleet_soa_identical_at_n64() {
+    let n = 64;
+    let sched = round_robin(n, 200_000);
+    assert_soa_identical("kanti n=64 rr", |d| run_kanti(n, 1, 1, &sched, d));
+}
+
+// ---------------------------------------------------------------------------
+// Property test: arbitrary GeneratorSpec trees.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SoA identity holds on schedules drawn from *arbitrary* spec trees —
+    /// random nestings of fillers, guarantees, and all four fault
+    /// decorators — not just the named families above.
+    #[test]
+    fn soa_identical_on_arbitrary_spec_trees(seed in 0u64..1_000_000) {
+        let n = 4;
+        let u = Universe::new(n).unwrap();
+        let mut rng = SpecRng::new(seed);
+        let spec = SpecMutator::new(u).arbitrary(&mut rng, 3);
+        let sched = spec.build(u, seed ^ 0xA5A5).take_schedule(12_000);
+        // Kset exercises every phase kind (FD scans, decision scans,
+        // proposer cores); slice lengths cover fallback and batch paths.
+        let plain = run_kset_fleet(n, 1, 2, &sched, Drive::Plain);
+        for sl in [1usize, 7, 64] {
+            let soa = run_kset_fleet(n, 1, 2, &sched, Drive::Soa(sl));
+            assert_observations_eq(&plain, &soa, &format!("arb-spec seed={seed}"), Drive::Soa(sl));
+        }
+    }
+
+    /// Same property for the lean consensus stack (index-based FD), whose
+    /// batch path takes span reads through the n² counter matrix.
+    #[test]
+    fn lean_soa_identical_on_arbitrary_spec_trees(seed in 0u64..1_000_000) {
+        let n = 8;
+        let u = Universe::new(n).unwrap();
+        let mut rng = SpecRng::new(seed);
+        let spec = SpecMutator::new(u).arbitrary(&mut rng, 3);
+        let sched = spec.build(u, seed ^ 0x5A5A).take_schedule(12_000);
+        let plain = run_lean_consensus(n, 2, &sched, Drive::Plain);
+        for sl in [1usize, 7, 64] {
+            let soa = run_lean_consensus(n, 2, &sched, Drive::Soa(sl));
+            assert_observations_eq(&plain, &soa, &format!("lean arb-spec seed={seed}"), Drive::Soa(sl));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-vacuity: the SoA runs above actually decide / elect.
+// ---------------------------------------------------------------------------
+
+/// The large-n lean consensus run is not vacuous: under a bursty schedule
+/// long enough for the FD to stabilize, processes decide — on the SoA
+/// drive, with agreement and validity intact.
+#[test]
+fn lean_consensus_soa_decides_at_n64() {
+    let n = 64;
+    let u = Universe::new(n).unwrap();
+    let mut sim = Sim::new(u);
+    let fd = LeanOmega::alloc(&mut sim, 4, TimeoutPolicy::Increment);
+    let cons = LeanConsensus::alloc(&mut sim);
+    let proposals = inputs(n);
+    let mut fleet: Vec<_> = u
+        .processes()
+        .map(|p| cons.machine(&fd, proposals[p.index()]))
+        .collect();
+    // Bursts of n² + n + 2 steps: a whole FD iteration plus the decision
+    // scan per turn, so the appointed leader gets uncontended ballots.
+    let burst = n * n + n + 2;
+    let len = 40 * n * burst / 8;
+    let sched = Schedule::from_indices((0..len).map(|s| (s / burst) % n));
+    sim.run_automata_replay_soa(&mut fleet, &sched, 64, RunConfig::steps(len as u64))
+        .unwrap();
+    let decided: std::collections::BTreeSet<Value> =
+        sim.decisions().iter().flatten().map(|d| d.value).collect();
+    assert_eq!(decided.len(), 1, "consensus: one value, got {decided:?}");
+    assert!(
+        sim.decisions().iter().filter(|d| d.is_some()).count() > n / 2,
+        "most processes decide under bursty scheduling"
+    );
+}

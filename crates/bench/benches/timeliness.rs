@@ -197,6 +197,8 @@ enum AgreementMode {
     FleetReplay,
     /// Typed fleet on the sharded batched replay drive.
     FleetReplaySharded,
+    /// Typed fleet on the struct-of-arrays phase-batched replay drive.
+    FleetReplaySoa,
 }
 
 /// Runs the (t,k,n) = (4,3,8) stack over `schedule` in the chosen mode;
@@ -237,7 +239,9 @@ fn run_agreement_workload(schedule: &Schedule, mode: AgreementMode) -> (u64, f64
                 .unwrap();
             (stack.sim().steps_executed(), start.elapsed().as_secs_f64())
         }
-        AgreementMode::FleetReplay | AgreementMode::FleetReplaySharded => {
+        AgreementMode::FleetReplay
+        | AgreementMode::FleetReplaySharded
+        | AgreementMode::FleetReplaySoa => {
             let u = task.universe();
             let mut sim = Sim::new(u);
             let fd = KAntiOmega::alloc(&mut sim, KAntiOmegaConfig::new(AG_K, AG_T));
@@ -248,11 +252,18 @@ fn run_agreement_workload(schedule: &Schedule, mode: AgreementMode) -> (u64, f64
                 .collect();
             let cfg = RunConfig::steps(schedule.len() as u64);
             let start = Instant::now();
-            if mode == AgreementMode::FleetReplay {
-                sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap();
-            } else {
-                sim.run_automata_replay_sharded(&mut fleet, schedule, 2, 4096, cfg)
-                    .unwrap();
+            match mode {
+                AgreementMode::FleetReplay => {
+                    sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap();
+                }
+                AgreementMode::FleetReplaySharded => {
+                    sim.run_automata_replay_sharded(&mut fleet, schedule, 2, 4096, cfg)
+                        .unwrap();
+                }
+                _ => {
+                    sim.run_automata_replay_soa(&mut fleet, schedule, 64, cfg)
+                        .unwrap();
+                }
             }
             (sim.steps_executed(), start.elapsed().as_secs_f64())
         }
@@ -281,6 +292,92 @@ fn agreement_step_throughput(c: &mut Criterion) {
     });
     group.bench_function("e3_machine_t4k3n8", |b| {
         b.iter(|| run_agreement_workload(&schedule, AgreementMode::MachineSlot))
+    });
+    group.finish();
+}
+
+// The large-n lean stack (`LeanOmega` + `LeanConsensus`, O(n) per-process
+// state) on the three fleet replay drives: the n-scaling curve of the
+// committed baseline. The schedule is the E9 shape — a bursty rotation with
+// a dwell of one full lean FD iteration (n² + n + 2 steps), so each turn
+// completes a whole heartbeat scan — which makes every slice of the SoA
+// drive a pure read run and shows the batched span-read path at its
+// design point. A fixed step budget keeps the n = 1024 cell affordable
+// (a full rotation there is ~10⁹ steps); all drives execute the identical
+// schedule prefix, so the per-step ratios stay apples-to-apples.
+const LEAN_SIZES: [usize; 4] = [12, 64, 256, 1024];
+const LEAN_STEPS: usize = 4_000_000;
+
+fn lean_burst(n: usize) -> u64 {
+    (n * n + n + 2) as u64
+}
+
+fn lean_bursty_schedule(n: usize, steps: usize) -> Schedule {
+    let u = Universe::new(n).unwrap();
+    st_sched::BurstyRotation::new(u, lean_burst(n)).take_schedule(steps)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LeanDrive {
+    Plain,
+    Sharded,
+    Soa,
+}
+
+/// Drive-only wall clock (seconds) of a `LeanConsensus` fleet (t = n/16,
+/// proposals 100 + pid) replaying `schedule` — construction excluded, as
+/// for the agreement workload. Sharded runs shard_size = 32 / slice 4096;
+/// SoA runs slice 1024 (within one FD scan's read run for n ≥ 64).
+fn run_lean_fleet(n: usize, schedule: &Schedule, drive: LeanDrive) -> f64 {
+    use st_fd::{LeanOmega, TimeoutPolicy};
+    use st_sim::{RunConfig, Sim};
+
+    let u = Universe::new(n).unwrap();
+    let mut sim = Sim::new(u);
+    let fd = LeanOmega::alloc(&mut sim, (n / 16).max(1), TimeoutPolicy::Increment);
+    let cons = st_agreement::LeanConsensus::alloc(&mut sim);
+    let mut fleet: Vec<_> = u
+        .processes()
+        .map(|p| cons.machine(&fd, 100 + p.index() as u64))
+        .collect();
+    let cfg = RunConfig::steps(schedule.len() as u64);
+    let start = Instant::now();
+    match drive {
+        LeanDrive::Plain => sim.run_automata_replay(&mut fleet, schedule, cfg),
+        LeanDrive::Sharded => sim.run_automata_replay_sharded(&mut fleet, schedule, 32, 4096, cfg),
+        LeanDrive::Soa => sim.run_automata_replay_soa(&mut fleet, schedule, 1024, cfg),
+    }
+    .unwrap();
+    start.elapsed().as_secs_f64()
+}
+
+/// Best-of-`reps` ns/step of the lean fleet drive.
+fn lean_ns_per_step(reps: usize, n: usize, schedule: &Schedule, drive: LeanDrive) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(std::hint::black_box(run_lean_fleet(n, schedule, drive)));
+    }
+    best * 1e9 / schedule.len() as f64
+}
+
+/// The three fleet replay drives on the lean stack at n = 64 — the live
+/// (criterion) counterpart of the baseline's n-scaling curve, kept at one
+/// size and a smoke-size step count so the CI `sim` filter exercises the
+/// SoA fast path end to end.
+fn lean_fleet_throughput(c: &mut Criterion) {
+    const SMOKE_N: usize = 64;
+    const SMOKE_STEPS: usize = 1_000_000;
+    let schedule = lean_bursty_schedule(SMOKE_N, SMOKE_STEPS);
+    let mut group = c.benchmark_group("sim/lean_fleet_replay");
+    group.sample_size(10);
+    group.bench_function("plain_bursty_n64", |b| {
+        b.iter(|| run_lean_fleet(SMOKE_N, &schedule, LeanDrive::Plain))
+    });
+    group.bench_function("sharded_bursty_n64", |b| {
+        b.iter(|| run_lean_fleet(SMOKE_N, &schedule, LeanDrive::Sharded))
+    });
+    group.bench_function("soa_bursty_n64", |b| {
+        b.iter(|| run_lean_fleet(SMOKE_N, &schedule, LeanDrive::Soa))
     });
     group.finish();
 }
@@ -622,10 +719,42 @@ fn emit_baseline(_c: &mut Criterion) {
     let ag_machine = agreement_time_best(5, &ag_sched, AgreementMode::MachineSlot);
     let ag_fleet = agreement_time_best(5, &ag_prefix, AgreementMode::FleetReplay);
     let ag_sharded = agreement_time_best(5, &ag_prefix, AgreementMode::FleetReplaySharded);
+    let ag_soa = agreement_time_best(5, &ag_prefix, AgreementMode::FleetReplaySoa);
     let ag_async_ns = ag_async * 1e6 / decided_at as f64;
     let ag_machine_ns = ag_machine * 1e6 / decided_at as f64;
     let ag_fleet_ns = ag_fleet * 1e6 / decided_at as f64;
     let ag_sharded_ns = ag_sharded * 1e6 / decided_at as f64;
+    let ag_soa_ns = ag_soa * 1e6 / decided_at as f64;
+
+    // The n-scaling curve: the lean stack on all three fleet replay drives
+    // over the E9 bursty shape, a fixed 4M-step prefix per size (see
+    // `run_lean_fleet`). The SoA row is the acceptance lever: ≥ 2× over
+    // the plain replay at n ≥ 256, where a slice is one pure read run.
+    let lean_rows = LEAN_SIZES
+        .iter()
+        .map(|&n| {
+            let sched = lean_bursty_schedule(n, LEAN_STEPS);
+            let plain = lean_ns_per_step(2, n, &sched, LeanDrive::Plain);
+            let sharded = lean_ns_per_step(2, n, &sched, LeanDrive::Sharded);
+            let soa = lean_ns_per_step(2, n, &sched, LeanDrive::Soa);
+            format!(
+                "      {{\"n\": {n}, \"plain_ns_per_step\": {plain:.2}, \
+                 \"sharded_ns_per_step\": {sharded:.2}, \"soa_ns_per_step\": {soa:.2}, \
+                 \"soa_speedup\": {:.2}}}",
+                plain / soa
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    // The sharded caveat, re-measured at n = 256 on the interleaved
+    // (round-robin) schedule the drive was built for — the bursty curve
+    // above is already shard-grouped, so it cannot show sharding's effect
+    // either way. runner.rs quotes this row.
+    let rr256 = RoundRobin::new(Universe::new(256).unwrap()).take_schedule(LEAN_STEPS);
+    let inter_plain = lean_ns_per_step(2, 256, &rr256, LeanDrive::Plain);
+    let inter_sharded = lean_ns_per_step(2, 256, &rr256, LeanDrive::Sharded);
+    let inter_soa = lean_ns_per_step(2, 256, &rr256, LeanDrive::Soa);
 
     // The scenario-campaign engine on the E3-shaped reference grid:
     // scenarios/sec sequential vs a 4-worker stealing pool. Outcomes are
@@ -708,7 +837,7 @@ fn emit_baseline(_c: &mut Criterion) {
     let shrink_rps = shrink_runs as f64 * 1e3 / shrink_ms;
 
     let json = format!(
-        "{{\n  \"schema\": \"st-bench/timeliness-v6\",\n  \
+        "{{\n  \"schema\": \"st-bench/timeliness-v7\",\n  \
          \"workload\": {{\"n\": {N}, \"schedule_len\": {LEN}, \"bound_cap\": {CAP}, \"i\": {I}, \"j\": {J}}},\n  \
          \"all_timely_pairs_ms\": {{\n    \
            \"round_robin\": {{\"naive\": {naive_rr:.2}, \"engine\": {engine_rr:.2}, \"speedup\": {:.1}}},\n    \
@@ -726,8 +855,21 @@ fn emit_baseline(_c: &mut Criterion) {
            \"machine_slot_ns_per_step\": {ag_machine_ns:.2},\n    \
            \"fleet_replay_ns_per_step\": {ag_fleet_ns:.2},\n    \
            \"fleet_replay_sharded_ns_per_step\": {ag_sharded_ns:.2},\n    \
+           \"fleet_replay_soa_ns_per_step\": {ag_soa_ns:.2},\n    \
            \"machine_slot_speedup\": {:.2},\n    \
            \"speedup\": {:.2}\n  }},\n  \
+         \"lean_n_scaling\": {{\n    \
+           \"workload\": {{\"fleet\": \"LeanConsensus over LeanOmega\", \"t\": \"n/16\", \
+             \"schedule\": \"Bursty(n^2+n+2)\", \"steps\": {LEAN_STEPS}, \
+             \"sharded\": \"shard 32 / slice 4096\", \"soa_slice_len\": 1024}},\n    \
+           \"curve\": [\n{lean_rows}\n    ]\n  }},\n  \
+         \"lean_interleaved_n256\": {{\n    \
+           \"workload\": {{\"n\": 256, \"schedule\": \"RoundRobin\", \"steps\": {LEAN_STEPS}}},\n    \
+           \"plain_ns_per_step\": {inter_plain:.2},\n    \
+           \"sharded_ns_per_step\": {inter_sharded:.2},\n    \
+           \"soa_ns_per_step\": {inter_soa:.2},\n    \
+           \"sharded_speedup\": {:.2},\n    \
+           \"soa_speedup\": {:.2}\n  }},\n  \
          \"campaign_throughput\": {{\n    \
            \"workload\": {{\"grid\": \"E3-shaped agreement campaign\", \"tasks\": {}, \"seeds\": {CAMPAIGN_SEEDS}, \"scenarios\": {campaign_scenarios}}},\n    \
            \"hardware_threads\": {hardware_threads},\n    \
@@ -764,6 +906,8 @@ fn emit_baseline(_c: &mut Criterion) {
         async_ns / machine_ns,
         ag_async_ns / ag_machine_ns,
         ag_async_ns / ag_fleet_ns,
+        inter_plain / inter_sharded,
+        inter_plain / inter_soa,
         CAMPAIGN_GRID.len(),
         campaign_w1 / campaign_w4,
         resume_skip_all * 1e3 / campaign_scenarios as f64,
@@ -826,6 +970,7 @@ criterion_group!(
     matrix_sweeps,
     sim_step_throughput,
     agreement_step_throughput,
+    lean_fleet_throughput,
     campaign_throughput,
     invariant_overhead,
     campaign_resume_overhead,

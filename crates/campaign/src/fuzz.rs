@@ -143,6 +143,8 @@ pub fn features(scenario: &Scenario, outcome: &ScenarioOutcome) -> Vec<u64> {
         Workload::Agreement { .. } => 1,
         Workload::AdversarialAgreement { .. } => 2,
         Workload::BgReduction { .. } => 3,
+        Workload::LeanConvergence { .. } => 4,
+        Workload::LeanAgreement { .. } => 5,
     };
     match &outcome.data {
         OutcomeData::Fd(fd) => {
@@ -196,6 +198,26 @@ pub fn features(scenario: &Scenario, outcome: &ScenarioOutcome) -> Vec<u64> {
             feats.push(feature(
                 CLASS_BG,
                 (b.stalled.bits() << 16) | bucket(b.max_live_bound as u64),
+            ));
+        }
+        OutcomeData::Lean(l) => {
+            feats.push(feature(
+                CLASS_STATUS,
+                (workload_tag << 8) | status_tag(l.status),
+            ));
+            match &l.stabilization {
+                Some(st) => {
+                    feats.push(feature(
+                        CLASS_STABILIZATION,
+                        1 << 8 | (st.leader as u64) << 16 | bucket(st.step),
+                    ));
+                }
+                None => feats.push(feature(CLASS_STABILIZATION, 0)),
+            }
+            feats.push(feature(CLASS_FLAPS, bucket(l.late_flaps as u64)));
+            feats.push(feature(
+                CLASS_DECISIONS,
+                (l.distinct_values.len() as u64) << 8 | l.decided as u64,
             ));
         }
     }

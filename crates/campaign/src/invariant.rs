@@ -100,6 +100,13 @@ pub enum InvariantViolation {
         /// The offending schedule position.
         position: u64,
     },
+    /// The lean FD stabilized on a leader the generator silenced — every
+    /// correct process trusts a faulty one forever (the large-n analogue of
+    /// [`AccusedTimelyWinnerset`](Self::AccusedTimelyWinnerset)).
+    FaultyLeaderElected {
+        /// The stabilized faulty leader index.
+        leader: usize,
+    },
 }
 
 impl InvariantViolation {
@@ -115,6 +122,7 @@ impl InvariantViolation {
             InvariantViolation::AccusedTimelyWinnerset { .. } => "AccusedTimelyWinnerset",
             InvariantViolation::GuaranteeBroken { .. } => "GuaranteeBroken",
             InvariantViolation::CrashWindowResurrection { .. } => "CrashWindowResurrection",
+            InvariantViolation::FaultyLeaderElected { .. } => "FaultyLeaderElected",
         }
     }
 }
@@ -161,6 +169,10 @@ impl fmt::Display for InvariantViolation {
                 f,
                 "crash window violated: p{process} stepped at position {position}"
             ),
+            InvariantViolation::FaultyLeaderElected { leader } => write!(
+                f,
+                "leader sanity violated: lean FD stabilized on faulty leader p{leader}"
+            ),
         }
     }
 }
@@ -184,18 +196,24 @@ pub struct InvariantChecker {
     /// `(process, from, to)` absence windows (`to = u64::MAX` for plain
     /// crashes).
     windows: Vec<(ProcessId, u64, u64)>,
-    /// The scenario's correct set (accusation-sanity yardstick).
-    correct: ProcSet,
+    /// The scenario's faulty set (accusation- and leader-sanity yardstick;
+    /// the *faulty* side is held because its complement is not
+    /// representable as a `ProcSet` in large-n universes).
+    faulty: ProcSet,
 }
 
 impl InvariantChecker {
     /// Derives the checkable claims from the scenario's spec.
     pub fn for_scenario(scenario: &Scenario) -> Self {
         // Only generator-driven workloads execute the spec's schedule; the
-        // adversary ignores the generator and BG re-linearizes it.
+        // adversary ignores the generator and BG re-linearizes it. The lean
+        // replay drives execute the generated schedule verbatim.
         let generator_drives = matches!(
             scenario.workload,
-            Workload::FdConvergence { .. } | Workload::Agreement { .. }
+            Workload::FdConvergence { .. }
+                | Workload::Agreement { .. }
+                | Workload::LeanConvergence { .. }
+                | Workload::LeanAgreement { .. }
         );
         let (guarantee, windows) = if generator_drives {
             (
@@ -208,7 +226,7 @@ impl InvariantChecker {
         InvariantChecker {
             guarantee,
             windows,
-            correct: scenario.correct(),
+            faulty: scenario.faulty,
         }
     }
 
@@ -267,16 +285,37 @@ impl InvariantChecker {
                 }
             }
             OutcomeData::Fd(f) => {
-                // Accusation sanity: a stabilized winnerset disjoint from
-                // the correct set means every process that was timely
-                // throughout ended up accused forever — the opposite of
-                // what Lemma 22 promises.
+                // Accusation sanity: a stabilized winnerset entirely inside
+                // the faulty set (i.e. disjoint from the correct set) means
+                // every process that was timely throughout ended up accused
+                // forever — the opposite of what Lemma 22 promises.
                 if let Some(st) = &f.stabilization {
-                    if st.winnerset.is_disjoint(self.correct) {
+                    if st.winnerset.is_subset(self.faulty) {
                         violations.push(InvariantViolation::AccusedTimelyWinnerset {
                             winnerset: st.winnerset,
                         });
                     }
+                }
+            }
+            OutcomeData::Lean(l) => {
+                // Leader sanity: a stabilized leader the generator silenced
+                // means every correct process trusts a faulty one forever.
+                // Faulty sets only name indices below the ProcSet capacity,
+                // so a larger leader index is trivially correct.
+                if let Some(st) = &l.stabilization {
+                    if st.leader < st_core::PROCSET_CAPACITY
+                        && self.faulty.contains(ProcessId::new(st.leader))
+                    {
+                        violations
+                            .push(InvariantViolation::FaultyLeaderElected { leader: st.leader });
+                    }
+                }
+                // Consensus (k = 1) agreement: ≤ 1 distinct decided value.
+                if l.distinct_values.len() > 1 {
+                    violations.push(InvariantViolation::KAgreement {
+                        values: l.distinct_values.clone(),
+                        k: 1,
+                    });
                 }
             }
             OutcomeData::Adversarial(_) | OutcomeData::Bg(_) => {}

@@ -82,7 +82,8 @@ pub use fuzz::{
 pub use invariant::{InvariantChecker, InvariantViolation};
 pub use scenario::{
     policy_from_spec, AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, CertifyTimely,
-    FdAbi, FdDetector, FdOutcome, OutcomeData, Scenario, ScenarioOutcome, StopRule, Workload,
+    FdAbi, FdDetector, FdOutcome, FleetReplayDrive, LeanOutcome, LeanStabilization, OutcomeData,
+    Scenario, ScenarioOutcome, StopRule, Workload,
 };
 pub use shrink::{ShrinkReport, Shrinker};
 pub use store::{OutcomeStore, StoreEntry, StoreError};

@@ -20,8 +20,8 @@ use st_fd::convergence::{
     Stabilization,
 };
 use st_fd::{
-    KAntiOmega, KAntiOmegaConfig, ProcessTimelyDetector, TimeoutPolicy, BASELINE_WINNERSET_PROBE,
-    WINNERSET_PROBE,
+    KAntiOmega, KAntiOmegaConfig, LeanOmega, LeanOmegaMachine, ProcessTimelyDetector,
+    TimeoutPolicy, BASELINE_WINNERSET_PROBE, LEADER_PROBE, WINNERSET_PROBE,
 };
 use st_sched::{GeneratorSpec, TimeoutPolicySpec};
 use st_sim::{RunConfig, RunStatus, Sim, StopWhen};
@@ -131,6 +131,45 @@ pub enum Workload {
         /// Safe-agreement read quota per simulated read.
         max_reads: usize,
     },
+    /// Large-n lean leader-election convergence ([`st_fd::LeanOmega`],
+    /// `k = 1`, `O(n)` local state) — the `n > 64` scaling regime the
+    /// set-based Figure 2 machinery cannot reach. Always driven on a fleet
+    /// replay drive over the generated schedule; see [`FleetReplayDrive`].
+    LeanConvergence {
+        /// Resilience `t` (`1 ≤ t ≤ n − 1`).
+        t: usize,
+        /// Line-17 timeout policy.
+        policy: TimeoutPolicy,
+        /// Which replay drive steps the fleet.
+        drive: FleetReplayDrive,
+    },
+    /// Large-n lean consensus ([`st_agreement::LeanConsensus`]: lean Ω +
+    /// single-decree Paxos, proposals fixed at `100 + pid`) — the
+    /// agreement-shaped workload of the scaling regime.
+    LeanAgreement {
+        /// Resilience `t` of the underlying lean FD.
+        t: usize,
+        /// Line-17 timeout policy.
+        policy: TimeoutPolicy,
+        /// Which replay drive steps the fleet.
+        drive: FleetReplayDrive,
+    },
+}
+
+/// Which fleet replay drive a lean scenario uses. Observationally
+/// identical (the SoA differential suite); scenarios pin one so stored
+/// outcomes are comparable across drives and PRs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FleetReplayDrive {
+    /// Plain fleet replay ([`Sim::run_automata_replay`]).
+    #[default]
+    Plain,
+    /// Phase-batched struct-of-arrays replay
+    /// ([`Sim::run_automata_replay_soa`]) with the given slice length.
+    Soa {
+        /// Schedule slice length per batching round.
+        slice_len: usize,
+    },
 }
 
 /// Pre-run certification of a conforming cell: before the protocol runs,
@@ -158,10 +197,13 @@ impl Workload {
             Workload::FdConvergence { .. } => StopRule::BudgetOnly,
             Workload::Agreement { .. } => StopRule::AllCorrectDecided,
             // The adversary runs its own drive loop; BG stops when every
-            // simulator finished. Both are budget-bounded.
-            Workload::AdversarialAgreement { .. } | Workload::BgReduction { .. } => {
-                StopRule::BudgetOnly
-            }
+            // simulator finished. Both are budget-bounded. The lean replay
+            // drives execute their whole schedule (decided machines become
+            // no-ops), so the post-decision trace is always observed.
+            Workload::AdversarialAgreement { .. }
+            | Workload::BgReduction { .. }
+            | Workload::LeanConvergence { .. }
+            | Workload::LeanAgreement { .. } => StopRule::BudgetOnly,
         }
     }
 
@@ -172,7 +214,9 @@ impl Workload {
         match &mut self {
             Workload::FdConvergence { policy, .. }
             | Workload::Agreement { policy, .. }
-            | Workload::AdversarialAgreement { policy, .. } => *policy = new,
+            | Workload::AdversarialAgreement { policy, .. }
+            | Workload::LeanConvergence { policy, .. }
+            | Workload::LeanAgreement { policy, .. } => *policy = new,
             Workload::BgReduction { .. } => {}
         }
         self
@@ -328,6 +372,14 @@ impl Scenario {
                 OutcomeData::Bg(self.run_bg(*n_sim, *k, *max_reads)),
                 Evidence::default(),
             ),
+            Workload::LeanConvergence { t, policy, drive } => {
+                let (o, ev) = self.run_lean(*t, *policy, *drive, false, check);
+                (OutcomeData::Lean(o), ev)
+            }
+            Workload::LeanAgreement { t, policy, drive } => {
+                let (o, ev) = self.run_lean(*t, *policy, *drive, true, check);
+                (OutcomeData::Lean(o), ev)
+            }
         };
         let (violations, counterexample) = if check {
             let violations = InvariantChecker::for_scenario(self).check(&data, &evidence);
@@ -559,6 +611,114 @@ impl Scenario {
         }
     }
 
+    /// The lean (large-n) workloads: build the whole schedule up front from
+    /// the generator — the replay drives want a materialized prefix, and
+    /// that prefix doubles as the checker's executed-schedule evidence
+    /// without paying for trace recording (a replay executes its schedule
+    /// verbatim, finished machines included) — then drive a
+    /// [`LeanOmegaMachine`] fleet (`consensus: false`) or a
+    /// [`LeanConsensusMachine`] fleet (`consensus: true`, proposals
+    /// `100 + pid`) on the configured replay drive.
+    fn run_lean(
+        &self,
+        t: usize,
+        policy: TimeoutPolicy,
+        drive: FleetReplayDrive,
+        consensus: bool,
+        check: bool,
+    ) -> (LeanOutcome, Evidence) {
+        let universe = self.universe;
+        let n = universe.n();
+        let schedule = self
+            .generator
+            .build(universe, self.seed)
+            .take_schedule(self.budget as usize);
+        let mut sim = Sim::new(universe);
+        let fd = LeanOmega::alloc(&mut sim, t, policy);
+        let cfg = RunConfig::steps(self.budget);
+        let status = if consensus {
+            let cons = st_agreement::LeanConsensus::alloc(&mut sim);
+            let mut fleet: Vec<st_agreement::LeanConsensusMachine> = universe
+                .processes()
+                .map(|p| cons.machine(&fd, 100 + p.index() as Value))
+                .collect();
+            match drive {
+                FleetReplayDrive::Plain => sim.run_automata_replay(&mut fleet, &schedule, cfg),
+                FleetReplayDrive::Soa { slice_len } => {
+                    sim.run_automata_replay_soa(&mut fleet, &schedule, slice_len, cfg)
+                }
+            }
+        } else {
+            let mut fleet: Vec<LeanOmegaMachine> =
+                universe.processes().map(|_| fd.machine()).collect();
+            match drive {
+                FleetReplayDrive::Plain => sim.run_automata_replay(&mut fleet, &schedule, cfg),
+                FleetReplayDrive::Soa { slice_len } => {
+                    sim.run_automata_replay_soa(&mut fleet, &schedule, slice_len, cfg)
+                }
+            }
+        }
+        .expect("generator schedules stay within the universe");
+        let report = sim.report();
+        // Leader stabilization: every correct process's *last* published
+        // leader agrees (publications happen only on change, so the last
+        // timeline entry is the last change). Processes the generator
+        // silenced are exempt — they may be stuck on a stale leader.
+        let faulty = self.faulty;
+        let mut last: Option<(u64, u64)> = None; // (leader, max last-change step)
+        let mut stabilized = true;
+        let mut publications = 0u64;
+        let after = self.budget * 3 / 4;
+        let mut late_flaps = 0usize;
+        for i in 0..n {
+            let p = ProcessId::new(i);
+            let timeline = report.probes.timeline(p, LEADER_PROBE);
+            publications += timeline.len() as u64;
+            late_flaps += timeline.iter().filter(|&&(s, _)| s > after).count();
+            if i < st_core::PROCSET_CAPACITY && faulty.contains(p) {
+                continue;
+            }
+            match (timeline.last(), &mut last) {
+                (None, _) => stabilized = false,
+                (Some(&(step, leader)), Some((l, max_step))) => {
+                    if leader != *l {
+                        stabilized = false;
+                    }
+                    *max_step = (*max_step).max(step);
+                }
+                (Some(&(step, leader)), slot @ None) => *slot = Some((leader, step)),
+            }
+        }
+        let stabilization = match (stabilized, last) {
+            (true, Some((leader, step))) => Some(LeanStabilization {
+                leader: leader as usize,
+                step,
+            }),
+            _ => None,
+        };
+        let decisions = sim.decisions();
+        let decided = decisions.iter().filter(|d| d.is_some()).count();
+        let mut distinct_values: Vec<Value> = decisions.iter().flatten().map(|d| d.value).collect();
+        distinct_values.sort_unstable();
+        distinct_values.dedup();
+        let evidence = Evidence {
+            executed: if check { Some(schedule) } else { None },
+            ballots: None,
+        };
+        (
+            LeanOutcome {
+                status,
+                steps: report.steps,
+                stabilization,
+                publications,
+                late_flaps,
+                decided,
+                distinct_values,
+            },
+            evidence,
+        )
+    }
+
     fn run_bg(&self, n_sim: usize, k: usize, max_reads: usize) -> BgOutcome {
         let machines: Vec<TrivialKDecide> = (0..n_sim)
             .map(|u| TrivialKDecide::new(u, k, 300 + u as Value))
@@ -635,6 +795,8 @@ pub enum OutcomeData {
     Adversarial(AdversarialOutcome),
     /// BG-reduction payload.
     Bg(BgOutcome),
+    /// Lean large-n payload (convergence or consensus).
+    Lean(LeanOutcome),
 }
 
 impl OutcomeData {
@@ -669,6 +831,44 @@ impl OutcomeData {
             _ => None,
         }
     }
+
+    /// The lean large-n payload, when this is one.
+    pub fn as_lean(&self) -> Option<&LeanOutcome> {
+        match self {
+            OutcomeData::Lean(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// Lean leader stabilization: the index every correct process's final
+/// leader publication named, and the step of the last change.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LeanStabilization {
+    /// The commonly elected leader index (no `ProcSet`: valid at any `n`).
+    pub leader: usize,
+    /// Last leader-change step over the correct processes.
+    pub step: u64,
+}
+
+/// What a lean large-n scenario observed ([`Workload::LeanConvergence`] /
+/// [`Workload::LeanAgreement`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LeanOutcome {
+    /// Why the drive ended.
+    pub status: RunStatus,
+    /// Steps executed.
+    pub steps: u64,
+    /// Leader stabilization over correct processes, if reached.
+    pub stabilization: Option<LeanStabilization>,
+    /// Total leader publications (changes) across the fleet.
+    pub publications: u64,
+    /// Leader publications in the last quarter of the budget (flapping).
+    pub late_flaps: usize,
+    /// Processes that decided (always 0 for convergence workloads).
+    pub decided: usize,
+    /// Distinct decided values, sorted (consensus demands ≤ 1).
+    pub distinct_values: Vec<Value>,
 }
 
 /// What an FD-convergence scenario observed.

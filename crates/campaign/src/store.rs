@@ -44,7 +44,8 @@ use st_sim::RunStatus;
 use crate::invariant::InvariantViolation;
 use crate::scenario::{
     AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, CertifyTimely, FdAbi, FdDetector,
-    FdOutcome, OutcomeData, Scenario, ScenarioOutcome, StopRule, Workload,
+    FdOutcome, FleetReplayDrive, LeanOutcome, LeanStabilization, OutcomeData, Scenario,
+    ScenarioOutcome, StopRule, Workload,
 };
 
 /// The on-disk schema this build writes and accepts. v2 added the
@@ -329,6 +330,9 @@ fn encode_generator(spec: &GeneratorSpec) -> Json {
         GeneratorSpec::RoundRobin { over } => {
             Json::obj([("kind", Json::str("RoundRobin")), ("over", opt_bits(over))])
         }
+        GeneratorSpec::Bursty { burst } => {
+            Json::obj([("kind", Json::str("Bursty")), ("burst", Json::U64(*burst))])
+        }
         GeneratorSpec::SeededRandom {
             over,
             seed_offset,
@@ -584,6 +588,40 @@ fn encode_workload(w: &Workload) -> Json {
             ("k", Json::U64(*k as u64)),
             ("max_reads", Json::U64(*max_reads as u64)),
         ]),
+        Workload::LeanConvergence { t, policy, drive } => Json::obj([
+            ("kind", Json::str("LeanConvergence")),
+            ("t", Json::U64(*t as u64)),
+            ("policy", policy_name(*policy)),
+            ("drive", encode_drive(*drive)),
+        ]),
+        Workload::LeanAgreement { t, policy, drive } => Json::obj([
+            ("kind", Json::str("LeanAgreement")),
+            ("t", Json::U64(*t as u64)),
+            ("policy", policy_name(*policy)),
+            ("drive", encode_drive(*drive)),
+        ]),
+    }
+}
+
+fn encode_drive(drive: FleetReplayDrive) -> Json {
+    match drive {
+        FleetReplayDrive::Plain => Json::str("Plain"),
+        FleetReplayDrive::Soa { slice_len } => Json::obj([
+            ("kind", Json::str("Soa")),
+            ("slice_len", Json::U64(slice_len as u64)),
+        ]),
+    }
+}
+
+fn decode_drive(j: &Json, name: &str) -> DecodeResult<FleetReplayDrive> {
+    match field(j, name)? {
+        Json::Str(s) if s == "Plain" => Ok(FleetReplayDrive::Plain),
+        v @ Json::Obj(_) if v.get("kind").and_then(Json::as_str) == Some("Soa") => {
+            Ok(FleetReplayDrive::Soa {
+                slice_len: usize_field(v, "slice_len")?,
+            })
+        }
+        _ => Err(format!("field {name:?} is not a fleet replay drive")),
     }
 }
 
@@ -723,6 +761,25 @@ pub fn encode_outcome(out: &ScenarioOutcome) -> Json {
             ("live_sched_len", Json::U64(b.live_sched_len as u64)),
             ("max_live_bound", Json::U64(b.max_live_bound as u64)),
         ]),
+        OutcomeData::Lean(l) => Json::obj([
+            ("kind", Json::str("Lean")),
+            ("status", encode_status(l.status)),
+            ("steps", Json::U64(l.steps)),
+            (
+                "stabilization",
+                match &l.stabilization {
+                    Some(s) => Json::obj([
+                        ("leader", Json::U64(s.leader as u64)),
+                        ("step", Json::U64(s.step)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            ("publications", Json::U64(l.publications)),
+            ("late_flaps", Json::U64(l.late_flaps as u64)),
+            ("decided", Json::U64(l.decided as u64)),
+            ("distinct_values", values(&l.distinct_values)),
+        ]),
     };
     Json::obj([
         ("rank", Json::U64(out.rank as u64)),
@@ -793,6 +850,10 @@ fn encode_invariant_violation(v: &InvariantViolation) -> Json {
             ("kind", Json::str("CrashWindowResurrection")),
             ("process", Json::U64(*process as u64)),
             ("position", Json::U64(*position)),
+        ]),
+        InvariantViolation::FaultyLeaderElected { leader } => Json::obj([
+            ("kind", Json::str("FaultyLeaderElected")),
+            ("leader", Json::U64(*leader as u64)),
         ]),
     }
 }
@@ -997,6 +1058,21 @@ pub fn decode_outcome(j: &Json) -> DecodeResult<ScenarioOutcome> {
             live_sched_len: usize_field(data, "live_sched_len")?,
             max_live_bound: usize_field(data, "max_live_bound")?,
         }),
+        "Lean" => OutcomeData::Lean(LeanOutcome {
+            status: decode_status(field(data, "status")?)?,
+            steps: u64_field(data, "steps")?,
+            stabilization: match field(data, "stabilization")? {
+                Json::Null => None,
+                v => Some(LeanStabilization {
+                    leader: usize_field(v, "leader")?,
+                    step: u64_field(v, "step")?,
+                }),
+            },
+            publications: u64_field(data, "publications")?,
+            late_flaps: usize_field(data, "late_flaps")?,
+            decided: usize_field(data, "decided")?,
+            distinct_values: values_field(data, "distinct_values")?,
+        }),
         other => return Err(format!("unknown outcome kind {other:?}")),
     };
     let violations = field(j, "violations")?
@@ -1062,6 +1138,9 @@ fn decode_invariant_violation(j: &Json) -> DecodeResult<InvariantViolation> {
         "CrashWindowResurrection" => Ok(InvariantViolation::CrashWindowResurrection {
             process: usize_field(j, "process")?,
             position: u64_field(j, "position")?,
+        }),
+        "FaultyLeaderElected" => Ok(InvariantViolation::FaultyLeaderElected {
+            leader: usize_field(j, "leader")?,
         }),
         other => Err(format!("unknown invariant violation kind {other:?}")),
     }
@@ -1172,6 +1251,9 @@ pub fn decode_generator(j: &Json) -> DecodeResult<GeneratorSpec> {
     match str_field(j, "kind")? {
         "RoundRobin" => Ok(GeneratorSpec::RoundRobin {
             over: opt_set_field(j, "over")?,
+        }),
+        "Bursty" => Ok(GeneratorSpec::Bursty {
+            burst: u64_field(j, "burst")?,
         }),
         "SeededRandom" => Ok(GeneratorSpec::SeededRandom {
             over: opt_set_field(j, "over")?,
@@ -1328,6 +1410,16 @@ fn decode_workload(j: &Json) -> DecodeResult<Workload> {
             n_sim: usize_field(j, "n_sim")?,
             k: usize_field(j, "k")?,
             max_reads: usize_field(j, "max_reads")?,
+        }),
+        "LeanConvergence" => Ok(Workload::LeanConvergence {
+            t: usize_field(j, "t")?,
+            policy: decode_policy(j, "policy")?,
+            drive: decode_drive(j, "drive")?,
+        }),
+        "LeanAgreement" => Ok(Workload::LeanAgreement {
+            t: usize_field(j, "t")?,
+            policy: decode_policy(j, "policy")?,
+            drive: decode_drive(j, "drive")?,
         }),
         other => Err(format!("unknown workload kind {other:?}")),
     }

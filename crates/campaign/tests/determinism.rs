@@ -159,3 +159,73 @@ fn fault_decorators_are_worker_count_independent() {
         assert!(out.counterexample.is_none());
     }
 }
+
+/// Large-n grids ride the same guarantee: lean workloads at n = 256 —
+/// beyond `PROCSET_CAPACITY`, so the O(n)-state detector/consensus stack —
+/// across both fleet-replay drives must be byte-identical at 1, 4, and an
+/// oversubscribed worker count. Budgets are far below stabilization scale
+/// (determinism needs no convergence), so this stays test-suite cheap.
+fn large_n_campaign() -> Campaign {
+    use st_campaign::FleetReplayDrive;
+    let n = 256;
+    let universe = Universe::new(n).unwrap();
+    let burst = (n * n + n + 2) as u64;
+    let mut campaign = Campaign::new();
+    for seed in [31, 32] {
+        for drive in [
+            FleetReplayDrive::Plain,
+            FleetReplayDrive::Soa { slice_len: 64 },
+        ] {
+            for (tag, workload) in [
+                (
+                    "convergence",
+                    Workload::LeanConvergence {
+                        t: 8,
+                        policy: TimeoutPolicy::Increment,
+                        drive,
+                    },
+                ),
+                (
+                    "agreement",
+                    Workload::LeanAgreement {
+                        t: 8,
+                        policy: TimeoutPolicy::Increment,
+                        drive,
+                    },
+                ),
+            ] {
+                campaign.push(st_campaign::Scenario::new(
+                    format!("n256/{tag}/{drive:?}/seed{seed}"),
+                    universe,
+                    GeneratorSpec::Bursty { burst },
+                    workload,
+                    400_000,
+                    seed,
+                ));
+            }
+        }
+    }
+    campaign
+}
+
+#[test]
+fn large_n_lean_grid_is_worker_count_independent() {
+    let campaign = large_n_campaign();
+    assert_eq!(campaign.len(), 2 * 2 * 2, "the large-n grid shape");
+
+    let sequential = campaign.run_parallel(1);
+    let four = campaign.run_parallel(4);
+    let oversubscribed = campaign.run_parallel(33);
+
+    assert_eq!(as_bytes(&sequential), as_bytes(&four));
+    assert_eq!(as_bytes(&sequential), as_bytes(&oversubscribed));
+
+    for out in &sequential {
+        assert!(
+            out.violations.is_empty(),
+            "unexpected violation in {}: {:?}",
+            out.label,
+            out.violations
+        );
+    }
+}

@@ -64,7 +64,7 @@ pub use agreementspec::{
 };
 pub use error::ModelError;
 pub use json::{Json, JsonError};
-pub use process::{ProcessId, Universe, MAX_PROCESSES};
+pub use process::{ProcessId, Universe, MAX_PROCESSES, PROCSET_CAPACITY};
 pub use procset::ProcSet;
 pub use profile::SynchronyProfile;
 pub use schedule::Schedule;

@@ -8,9 +8,19 @@ use std::fmt;
 
 use crate::error::ModelError;
 
-/// Maximum number of processes supported by the bitset representation of
-/// [`ProcSet`](crate::ProcSet).
-pub const MAX_PROCESSES: usize = 64;
+/// Maximum number of processes in a simulated universe.
+///
+/// Raised from 64 to 1024 for the large-n workload regime (phase-batched
+/// SoA execution). Note that [`ProcSet`](crate::ProcSet) — the *set
+/// analysis* type — stays a 64-bit bitset and can only hold members with
+/// index below [`PROCSET_CAPACITY`]: universes larger than 64 are for the
+/// lean, index-based protocol family, whose combinatorial analyses
+/// (`Π^k_n` enumeration, timeliness sweeps) remain gated to `n ≤ 64`.
+pub const MAX_PROCESSES: usize = 1024;
+
+/// Maximum process index representable in a [`ProcSet`](crate::ProcSet)
+/// bitset (bit positions `0..64`).
+pub const PROCSET_CAPACITY: usize = 64;
 
 /// The identity of a process in `Π_n`.
 ///
@@ -34,8 +44,9 @@ impl ProcessId {
     ///
     /// # Panics
     ///
-    /// Panics if `index >= MAX_PROCESSES` (the bitset representation of
-    /// process sets covers at most 64 processes).
+    /// Panics if `index >= MAX_PROCESSES`. Indices at or above
+    /// [`PROCSET_CAPACITY`] are valid process ids but cannot be members of
+    /// a [`ProcSet`](crate::ProcSet).
     pub fn new(index: usize) -> Self {
         assert!(
             index < MAX_PROCESSES,

@@ -9,11 +9,16 @@
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitXor, Sub};
 
-use crate::process::{ProcessId, Universe, MAX_PROCESSES};
+use crate::process::{ProcessId, Universe, PROCSET_CAPACITY};
 
 /// A set of processes drawn from `Π_n` (`n ≤ 64`), stored as a bitmask.
 ///
-/// Bit `i` set means process `p_i` is a member.
+/// Bit `i` set means process `p_i` is a member. With universes now allowed
+/// to exceed 64 processes (see [`MAX_PROCESSES`](crate::MAX_PROCESSES)),
+/// `ProcSet` remains the *set analysis* type of the small-universe regime:
+/// every membership operation asserts its index is below
+/// [`PROCSET_CAPACITY`], and large-n protocol code tracks processes by
+/// plain index instead.
 ///
 /// # Examples
 ///
@@ -44,8 +49,27 @@ impl ProcSet {
     }
 
     /// Creates a singleton set `{p}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.index() >= 64`.
     pub fn singleton(p: ProcessId) -> Self {
-        ProcSet(1u64 << p.index())
+        ProcSet(1u64 << Self::bit(p))
+    }
+
+    /// Bounds-checks a process index against the bitset capacity. Every
+    /// membership operation funnels through this: an out-of-capacity index
+    /// would otherwise be a masked shift (silently wrong membership) in
+    /// release builds.
+    #[inline]
+    fn bit(p: ProcessId) -> u32 {
+        let i = p.index();
+        assert!(
+            i < PROCSET_CAPACITY,
+            "process index {i} exceeds the ProcSet capacity ({PROCSET_CAPACITY}); \
+             universes beyond 64 processes use index-based tracking"
+        );
+        i as u32
     }
 
     /// Creates a set from an iterator of process indices.
@@ -56,16 +80,25 @@ impl ProcSet {
     pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
         let mut bits = 0u64;
         for i in indices {
-            assert!(i < MAX_PROCESSES, "process index {i} out of range");
+            assert!(i < PROCSET_CAPACITY, "process index {i} out of range");
             bits |= 1u64 << i;
         }
         ProcSet(bits)
     }
 
     /// The full set `Π_n` for a universe of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` (the bitset capacity; large universes have no
+    /// `ProcSet` of all processes).
     pub fn full(universe: Universe) -> Self {
         let n = universe.n();
-        if n == MAX_PROCESSES {
+        assert!(
+            n <= PROCSET_CAPACITY,
+            "Π_{n} exceeds the ProcSet capacity ({PROCSET_CAPACITY})"
+        );
+        if n == PROCSET_CAPACITY {
             ProcSet(u64::MAX)
         } else {
             ProcSet((1u64 << n) - 1)
@@ -83,31 +116,35 @@ impl ProcSet {
     }
 
     /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.index() >= 64` (as for every membership operation).
     pub fn contains(self, p: ProcessId) -> bool {
-        self.0 & (1u64 << p.index()) != 0
+        self.0 & (1u64 << Self::bit(p)) != 0
     }
 
     /// Returns a copy with `p` inserted.
     pub fn with(self, p: ProcessId) -> Self {
-        ProcSet(self.0 | (1u64 << p.index()))
+        ProcSet(self.0 | (1u64 << Self::bit(p)))
     }
 
     /// Returns a copy with `p` removed.
     pub fn without(self, p: ProcessId) -> Self {
-        ProcSet(self.0 & !(1u64 << p.index()))
+        ProcSet(self.0 & !(1u64 << Self::bit(p)))
     }
 
     /// Inserts `p` in place; returns whether the set changed.
     pub fn insert(&mut self, p: ProcessId) -> bool {
         let before = self.0;
-        self.0 |= 1u64 << p.index();
+        self.0 |= 1u64 << Self::bit(p);
         self.0 != before
     }
 
     /// Removes `p` in place; returns whether the set changed.
     pub fn remove(&mut self, p: ProcessId) -> bool {
         let before = self.0;
-        self.0 &= !(1u64 << p.index());
+        self.0 &= !(1u64 << Self::bit(p));
         self.0 != before
     }
 

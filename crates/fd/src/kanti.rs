@@ -30,7 +30,7 @@
 
 use st_core::subsets::k_subsets;
 use st_core::{ProcSet, ProcessId, Universe};
-use st_sim::{Automaton, ProcessCtx, Reg, Sim, Status, StepAccess};
+use st_sim::{Automaton, BatchAccess, PhaseBatch, ProcessCtx, Reg, Sim, Status, StepAccess};
 
 use crate::timeout::TimeoutPolicy;
 
@@ -117,7 +117,11 @@ impl KAntiOmega {
     ///
     /// # Panics
     ///
-    /// Panics unless `1 ≤ k ≤ t ≤ n − 1` (the range of Theorem 23).
+    /// Panics unless `1 ≤ k ≤ t ≤ n − 1` (the range of Theorem 23), or if
+    /// `n` exceeds the [`ProcSet`](st_core::ProcSet) capacity — the
+    /// combinatorial `Π^k_n` machinery is built on the 64-bit set
+    /// representation; universes beyond that use the lean `k = 1`
+    /// specialization ([`LeanOmega`](crate::LeanOmega)).
     pub fn alloc(sim: &mut Sim, config: KAntiOmegaConfig) -> Self {
         let universe = sim.universe();
         let n = universe.n();
@@ -125,6 +129,12 @@ impl KAntiOmega {
         assert!(
             k >= 1 && k <= t && t < n,
             "Figure 2 requires 1 <= k <= t <= n-1 (got k={k}, t={t}, n={n})"
+        );
+        assert!(
+            n <= st_core::PROCSET_CAPACITY,
+            "Figure 2's Π^k_n machinery needs n <= {} (got n={n}); \
+             use LeanOmega for larger universes",
+            st_core::PROCSET_CAPACITY
         );
         let heartbeat = sim.alloc_per_process("Heartbeat", 0u64);
         let subsets = k_subsets(universe, k);
@@ -401,6 +411,10 @@ pub struct KAntiOmegaMachine {
     /// [`StepAccess::read_word_array`] — no handle table to load on the
     /// hot phase (contiguity is asserted at construction).
     counter_base: Reg<u64>,
+    /// The handle of `Heartbeat[p0]`; the per-process array is allocated
+    /// contiguously (asserted at construction) so the lines 8–13 scan can
+    /// run as one span read on the batched drive.
+    heartbeat_base: Reg<u64>,
     /// The line 2 snapshot, flattened to `[a·n + q]`.
     cnt: Vec<u64>,
     /// Memoized line 3: `accusation[a]` is a pure function of the row
@@ -420,6 +434,9 @@ pub struct KAntiOmegaMachine {
     /// Ranks whose timers expired this iteration, in ascending order —
     /// the pending line 18 writes.
     expired: Vec<u32>,
+    /// Landing buffer for span reads on the batched drive
+    /// ([`PhaseBatch::step_reads`]); sized to the batch on use.
+    batch_buf: Vec<u64>,
 }
 
 impl KAntiOmegaMachine {
@@ -436,6 +453,14 @@ impl KAntiOmegaMachine {
                 );
             }
         }
+        let heartbeat_base = fd.heartbeat[0];
+        for (q, reg) in fd.heartbeat.iter().enumerate() {
+            assert_eq!(
+                reg.index(),
+                heartbeat_base.index() + q,
+                "heartbeat array must be allocated contiguously"
+            );
+        }
         KAntiOmegaMachine {
             fd,
             phase: Phase::ReadCounters(0),
@@ -444,6 +469,7 @@ impl KAntiOmegaMachine {
             timeout: vec![1; m],
             timer: vec![1; m],
             counter_base,
+            heartbeat_base,
             cnt: vec![0; m * n],
             accusation: vec![0; m],
             row_dirty: vec![true; m],
@@ -453,6 +479,7 @@ impl KAntiOmegaMachine {
             published: None,
             iterations: 0,
             expired: Vec::with_capacity(m),
+            batch_buf: Vec::new(),
         }
     }
 
@@ -473,7 +500,10 @@ impl KAntiOmegaMachine {
 
     /// Lines 3–5 plus the line 6 increment: runs at the end of the last
     /// line 2 read, inside that read's step (where the async port runs it).
-    fn select_winner(&mut self, mem: &StepAccess<'_>) {
+    /// Returns the new winnerset when it changed — the caller publishes it
+    /// as the [`WINNERSET_PROBE`] through whichever access type (scalar
+    /// [`StepAccess`] or batched [`st_sim::BatchAccess`]) drove the step.
+    fn select_winner(&mut self) -> Option<ProcSet> {
         let n = self.fd.universe.n();
         let m = self.fd.subsets.len();
         let t = self.fd.config.t;
@@ -502,13 +532,16 @@ impl KAntiOmegaMachine {
         self.winnerset = self.fd.subsets[winner];
         // Line 5: fdOutput = Π_n − winnerset.
         self.fd_output = self.winnerset.complement(self.fd.universe);
-        if self.published != Some(self.winnerset) {
-            mem.probe_set(WINNERSET_PROBE, self.winnerset);
+        let publish = if self.published != Some(self.winnerset) {
             self.published = Some(self.winnerset);
-        }
+            Some(self.winnerset)
+        } else {
+            None
+        };
 
         // Line 6: bump the local heartbeat; the write is the next step.
         self.my_hb += 1;
+        publish
     }
 
     /// Lines 14–15 + 17 bookkeeping for every set at once: decrement all
@@ -554,7 +587,9 @@ impl Automaton for KAntiOmegaMachine {
                     self.row_dirty[i / self.fd.universe.n()] = true;
                 }
                 if i + 1 == self.cnt.len() {
-                    self.select_winner(mem);
+                    if let Some(ws) = self.select_winner() {
+                        mem.probe_set(WINNERSET_PROBE, ws);
+                    }
                     self.phase = Phase::WriteHeartbeat;
                 } else {
                     self.phase = Phase::ReadCounters(idx + 1);
@@ -598,6 +633,98 @@ impl Automaton for KAntiOmegaMachine {
                 } else {
                     self.phase = Phase::Accuse(idx + 1);
                 }
+            }
+        }
+        Status::Running
+    }
+}
+
+impl PhaseBatch for KAntiOmegaMachine {
+    #[inline]
+    fn phase_class(&self) -> u8 {
+        match self.phase {
+            Phase::ReadCounters(_) => 0,
+            Phase::WriteHeartbeat => 1,
+            Phase::ReadHeartbeats(_) => 2,
+            Phase::Accuse(_) => 3,
+        }
+    }
+
+    #[inline]
+    fn read_run(&self) -> usize {
+        // Both read phases scan a fixed register range: which registers get
+        // read never depends on the values read (values only feed the local
+        // timer bookkeeping at the phase boundary), so the full remainder of
+        // the phase is a sound run. The write phases pin the run at 0.
+        match self.phase {
+            Phase::ReadCounters(idx) => self.cnt.len() - idx as usize,
+            Phase::ReadHeartbeats(q) => self.fd.universe.n() - q as usize,
+            Phase::WriteHeartbeat | Phase::Accuse(_) => 0,
+        }
+    }
+
+    fn step_reads(&mut self, mem: &mut BatchAccess<'_>) -> Status {
+        let l = mem.remaining();
+        if l == 0 {
+            return Status::Running;
+        }
+        match self.phase {
+            Phase::ReadCounters(idx) => {
+                // Line 2, batched: one span read over the counter matrix,
+                // then the compare-before-store memo pass of the scalar
+                // drive over the landed values.
+                let i = idx as usize;
+                let n = self.fd.universe.n();
+                self.batch_buf.resize(l, 0);
+                mem.read_word_span(self.counter_base, i, &mut self.batch_buf);
+                for (j, &value) in self.batch_buf.iter().enumerate() {
+                    let gi = i + j;
+                    if self.cnt[gi] != value {
+                        self.cnt[gi] = value;
+                        self.row_dirty[gi / n] = true;
+                    }
+                }
+                if i + l == self.cnt.len() {
+                    if let Some(ws) = self.select_winner() {
+                        // Attaches to the last consumed step — exactly the
+                        // step the scalar drive publishes on.
+                        mem.probe_set(WINNERSET_PROBE, ws);
+                    }
+                    self.phase = Phase::WriteHeartbeat;
+                } else {
+                    self.phase = Phase::ReadCounters((i + l) as u32);
+                }
+            }
+            Phase::ReadHeartbeats(q) => {
+                // Lines 8–13, batched: span-read the heartbeat array, then
+                // run the timer resets over the landed values.
+                let q0 = q as usize;
+                let n = self.fd.universe.n();
+                self.batch_buf.resize(l, 0);
+                mem.read_word_span(self.heartbeat_base, q0, &mut self.batch_buf);
+                for j in 0..l {
+                    let qi = q0 + j;
+                    let hbq = self.batch_buf[j];
+                    if hbq > self.prev_heartbeat[qi] {
+                        for &rank in &self.fd.containing[qi] {
+                            self.timer[rank as usize] = self.timeout[rank as usize];
+                        }
+                        self.prev_heartbeat[qi] = hbq;
+                    }
+                }
+                if q0 + l == n {
+                    self.expire_timers();
+                    if self.expired.is_empty() {
+                        self.next_iteration();
+                    } else {
+                        self.phase = Phase::Accuse(0);
+                    }
+                } else {
+                    self.phase = Phase::ReadHeartbeats((q0 + l) as u32);
+                }
+            }
+            Phase::WriteHeartbeat | Phase::Accuse(_) => {
+                unreachable!("step_reads in a write phase: read_run() is 0 here")
             }
         }
         Status::Running

@@ -14,6 +14,10 @@
 //! - [`ProcessTimelyDetector`] — the *process*-timeliness baseline the
 //!   paper improves on (accuses individuals instead of sets); it flaps
 //!   forever on schedules where only sets are timely (experiment E8).
+//! - [`LeanOmega`] / [`LeanOmegaMachine`] — the `k = 1` specialization
+//!   with `O(n)` local state and no set representation, for the large-`n`
+//!   (`n > 64`) scaling experiments where `Π^k_n` and
+//!   [`ProcSet`](st_core::ProcSet) are out of reach.
 //! - [`TimeoutPolicy`] — the paper's increment-by-one rule plus a doubling
 //!   ablation.
 //! - [`convergence`] — trace analyses: the k-anti-Ω specification
@@ -28,6 +32,7 @@
 mod baseline;
 pub mod convergence;
 mod kanti;
+mod lean;
 mod omega;
 mod timeout;
 
@@ -35,5 +40,6 @@ pub use baseline::{ProcessTimelyDetector, ProcessTimelyLocal, BASELINE_WINNERSET
 pub use kanti::{
     KAntiOmega, KAntiOmegaConfig, KAntiOmegaLocal, KAntiOmegaMachine, WINNERSET_PROBE,
 };
+pub use lean::{LeanOmega, LeanOmegaMachine, LEADER_PROBE};
 pub use omega::{Omega, OmegaLocal};
 pub use timeout::TimeoutPolicy;

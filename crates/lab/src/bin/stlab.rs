@@ -65,6 +65,8 @@ OPTIONS:
   --fast                     smaller grids and budgets (smoke runs)
   --tsv                      also emit tables as TSV
   --threads N                campaign workers (results identical for every N)
+  --sizes N,N,...            E9 universe-size axis (default: 64 fast,
+                             64,256,1024 full)
   --outcomes PATH            record campaign outcomes to a versioned store
   --resume PATH              resume from a recorded store
   --budget N                 fuzz: total scenario budget (default 64)
@@ -87,6 +89,7 @@ struct Args {
     fast: bool,
     tsv: bool,
     threads: usize,
+    sizes: Option<Vec<usize>>,
     outcomes: Option<String>,
     resume: Option<String>,
     drop_half: Option<String>,
@@ -109,6 +112,7 @@ fn parse_args() -> Args {
         fast: false,
         tsv: false,
         threads: usize::MAX,
+        sizes: None,
         outcomes: None,
         resume: None,
         drop_half: None,
@@ -148,6 +152,23 @@ fn parse_args() -> Args {
                     eprintln!("--threads expects a positive integer, got {value:?}");
                     std::process::exit(2);
                 });
+            }
+            "--sizes" => {
+                let value = value_of(&mut i, "--sizes", &argv);
+                let sizes: Vec<usize> = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("--sizes expects comma-separated sizes, got {value:?}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if sizes.is_empty() {
+                    eprintln!("--sizes needs at least one size");
+                    std::process::exit(2);
+                }
+                args.sizes = Some(sizes);
             }
             "--outcomes" => args.outcomes = Some(value_of(&mut i, "--outcomes", &argv)),
             "--resume" => args.resume = Some(value_of(&mut i, "--resume", &argv)),
@@ -359,6 +380,9 @@ fn main() -> ExitCode {
         LabConfig::full()
     }
     .with_threads(args.threads);
+    if let Some(sizes) = &args.sizes {
+        cfg = cfg.with_sizes(sizes.clone());
+    }
     if let Some(session) = &session {
         cfg = cfg.with_session(Arc::clone(session));
     }
@@ -433,7 +457,7 @@ fn main() -> ExitCode {
     // so a typo never half-runs a sweep.
     for id in &ids {
         if !ALL_EXPERIMENTS.contains(&id.as_str()) {
-            eprintln!("unknown experiment: {id} (known: e1..e8, all)");
+            eprintln!("unknown experiment: {id} (known: e1..e9, all)");
             return ExitCode::from(2);
         }
     }

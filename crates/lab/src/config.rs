@@ -78,6 +78,10 @@ pub struct LabConfig {
     /// Outcome persistence (`stlab --outcomes` / `--resume`); `None` runs
     /// every scenario and keeps nothing.
     pub session: Option<Arc<LabSession>>,
+    /// Universe sizes for the n-scaling experiment (E9). `None` uses the
+    /// mode default — `{64}` in fast, `{64, 256, 1024}` in full; override
+    /// with `stlab --sizes`.
+    pub sizes: Option<Vec<usize>>,
 }
 
 impl LabConfig {
@@ -88,6 +92,7 @@ impl LabConfig {
             seed: 0xE1AC_5EED,
             threads: usize::MAX,
             session: None,
+            sizes: None,
         }
     }
 
@@ -98,6 +103,7 @@ impl LabConfig {
             seed: 0xE1AC_5EED,
             threads: usize::MAX,
             session: None,
+            sizes: None,
         }
     }
 
@@ -111,6 +117,27 @@ impl LabConfig {
     pub fn with_session(mut self, session: Arc<LabSession>) -> Self {
         self.session = Some(session);
         self
+    }
+
+    /// Overrides the E9 universe-size axis.
+    pub fn with_sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.sizes = Some(sizes);
+        self
+    }
+
+    /// The effective universe-size axis for the n-scaling experiment:
+    /// the explicit override if set, otherwise `{64}` in fast mode and
+    /// `{64, 256, 1024}` in full mode. Sizes above 64 exceed
+    /// `st_core::PROCSET_CAPACITY`, so only the lean (O(n)-state)
+    /// workloads can run there; n = 1024 is budget-bounded (lean
+    /// stabilization costs ~n³ fleet steps) and reported as an
+    /// informational, violation-checked row.
+    pub fn sizes(&self) -> Vec<usize> {
+        match &self.sizes {
+            Some(s) => s.clone(),
+            None if self.fast => vec![64],
+            None => vec![64, 256, 1024],
+        }
     }
 
     /// Scales a step budget.

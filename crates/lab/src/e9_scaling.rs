@@ -1,0 +1,256 @@
+//! E9 — n-scaling: the lean O(n)-state stack at n ∈ {64, 256, 1024}.
+//!
+//! Every other experiment lives at paper scale (n ≤ 6) where the
+//! `ProcSet`-based detectors apply. This experiment scales the *lean*
+//! stack — `LeanOmega` (k = 1 anti-Ω with O(n) per-process state) and
+//! `LeanConsensus` on top of it — to universe sizes beyond
+//! `st_core::PROCSET_CAPACITY`, and runs every cell **twice**: once on the
+//! plain fleet-replay drive and once on the struct-of-arrays drive
+//! (`run_automata_replay_soa`). The two rows of a pair must be
+//! *observationally identical* — same status, stabilization, publication
+//! counts, decisions — which makes the experiment a standing large-n
+//! differential test of the SoA drive on top of its unit/property suites.
+//!
+//! Schedule shape: [`GeneratorSpec::bursty`] with a dwell of one full lean
+//! FD iteration (n² + n + 2 steps), so each turn completes a whole
+//! heartbeat scan uncontended. One rotation is then ~n³ fleet steps, which
+//! is why n = 1024 rows are **budget-bounded informational**: a rotation
+//! would be ~10⁹ steps, so those rows run a fixed budget, are checked for
+//! invariant violations, and are exempt from the stabilization/decision
+//! expectations (rendered as `cap` in the expectation column).
+//!
+//! The size axis is `LabConfig::sizes()`: `{64}` in fast mode,
+//! `{64, 256, 1024}` in full mode, `stlab --sizes` to override.
+
+use st_campaign::{Campaign, FleetReplayDrive, LeanOutcome, Scenario, Workload};
+use st_core::Universe;
+use st_fd::TimeoutPolicy;
+use st_sched::GeneratorSpec;
+
+use crate::config::{ExperimentResult, LabConfig};
+use crate::table::Table;
+
+/// Budget ceiling per row: large enough for every expected-to-converge
+/// cell at n ≤ 256, small enough that a materialized replay schedule
+/// (4 bytes/step) stays in the hundreds of megabytes.
+const BUDGET_CAP: u64 = 128_000_000;
+
+/// Budget for rows whose universe is so large a single rotation exceeds
+/// the cap — informational cells, run for violation-checking only.
+const INFORMATIONAL_BUDGET: u64 = 16_000_000;
+
+struct Row {
+    n: usize,
+    workload: &'static str,
+    drive: &'static str,
+    /// Whether the budget covers the rotations stabilization needs.
+    expect: bool,
+}
+
+/// The dwell of one full lean FD iteration: the n-heartbeat scan (n² reads
+/// at one read per step amortized), the leader computation, and the
+/// decision-scan slack the consensus machine adds.
+fn burst(n: usize) -> u64 {
+    (n * n + n + 2) as u64
+}
+
+fn budgets(n: usize) -> (u64, u64, bool) {
+    let rotation = burst(n) * n as u64;
+    // The lean FD's counter matrix equalizes over a ~3-iteration transient
+    // (initial timeouts are 1, so iteration one accuses everyone; the
+    // staircase of mid-rotation counter states flaps the argmin once
+    // before it settles) — four rotations are one of margin. Consensus
+    // additionally needs the leader's decision to spread: six.
+    let conv = 4 * rotation;
+    let agree = 6 * rotation;
+    if rotation > BUDGET_CAP {
+        (INFORMATIONAL_BUDGET, INFORMATIONAL_BUDGET, false)
+    } else {
+        (
+            conv.min(BUDGET_CAP),
+            agree.min(BUDGET_CAP),
+            agree <= BUDGET_CAP,
+        )
+    }
+}
+
+/// Runs E9.
+pub fn run(cfg: &LabConfig) -> ExperimentResult {
+    let mut table = Table::new([
+        "n",
+        "workload",
+        "drive",
+        "budget",
+        "status",
+        "stabilized@step",
+        "leader",
+        "pubs",
+        "late_flaps",
+        "decided",
+        "distinct",
+        "expectation",
+    ]);
+    let mut pass = true;
+
+    let t_of = |n: usize| (n / 16).max(1); // same resilience fraction at every size
+    let drives = [
+        ("plain", FleetReplayDrive::Plain),
+        ("soa", FleetReplayDrive::Soa { slice_len: 64 }),
+    ];
+
+    let mut campaign = Campaign::new();
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in &cfg.sizes() {
+        let universe = Universe::new(n).expect("size axis within MAX_PROCESSES");
+        let (conv_budget, agree_budget, expect) = budgets(n);
+        let spec = GeneratorSpec::bursty(burst(n));
+        for (drive_name, drive) in drives {
+            campaign.push(Scenario::new(
+                format!("n{n}/convergence/{drive_name}"),
+                universe,
+                spec.clone(),
+                Workload::LeanConvergence {
+                    t: t_of(n),
+                    policy: TimeoutPolicy::Increment,
+                    drive,
+                },
+                conv_budget,
+                cfg.seed,
+            ));
+            rows.push(Row {
+                n,
+                workload: "convergence",
+                drive: drive_name,
+                expect,
+            });
+        }
+        for (drive_name, drive) in drives {
+            campaign.push(Scenario::new(
+                format!("n{n}/agreement/{drive_name}"),
+                universe,
+                spec.clone(),
+                Workload::LeanAgreement {
+                    t: t_of(n),
+                    policy: TimeoutPolicy::Increment,
+                    drive,
+                },
+                agree_budget,
+                cfg.seed,
+            ));
+            rows.push(Row {
+                n,
+                workload: "agreement",
+                drive: drive_name,
+                expect,
+            });
+        }
+    }
+
+    let outcomes = cfg.run_campaign("e9", &campaign);
+    pass &= crate::config::violation_free(&outcomes);
+
+    let mut notes = Vec::new();
+    for (pair, outcome_pair) in rows.chunks(2).zip(outcomes.chunks(2)) {
+        // Rows come in (plain, soa) pairs per (n, workload) cell; the SoA
+        // drive must be observationally identical to the plain drive.
+        let (row, lean) = (&pair[0], lean_of(&outcome_pair[0].data));
+        let soa_lean = lean_of(&outcome_pair[1].data);
+        let identical = lean == soa_lean;
+        pass &= identical;
+        if !identical {
+            notes.push(format!(
+                "DRIVE DIVERGENCE at n={} {}: plain {:?} vs soa {:?}",
+                row.n, row.workload, lean, soa_lean
+            ));
+        }
+        for (r, o) in pair.iter().zip(outcome_pair) {
+            let l = lean_of(&o.data);
+            pass &= record(&mut table, r, l, o.label.contains("convergence"));
+        }
+    }
+    notes.push(format!(
+        "size axis {:?}; every (n, workload) cell runs plain and SoA fleet drives — rows must match",
+        cfg.sizes()
+    ));
+    notes.push(
+        "n = 1024 rows (full mode) are budget-bounded informational: a single bursty rotation \
+         exceeds the budget cap, so they are violation-checked but exempt from stabilization"
+            .into(),
+    );
+
+    ExperimentResult {
+        id: "E9",
+        title: "n-scaling — the lean O(n)-state stack beyond PROCSET_CAPACITY",
+        tables: vec![("n-scaling grid".into(), table)],
+        notes,
+        pass,
+    }
+}
+
+fn lean_of(data: &st_campaign::OutcomeData) -> &LeanOutcome {
+    data.as_lean().expect("E9 is a lean campaign")
+}
+
+fn record(table: &mut Table, row: &Row, l: &LeanOutcome, convergence: bool) -> bool {
+    let (stab_str, leader_str) = match &l.stabilization {
+        Some(s) => (s.step.to_string(), format!("p{}", s.leader)),
+        None => ("-".into(), "-".into()),
+    };
+    table.row([
+        row.n.to_string(),
+        row.workload.to_string(),
+        row.drive.to_string(),
+        budget_str(row),
+        format!("{:?}", l.status),
+        stab_str,
+        leader_str,
+        l.publications.to_string(),
+        l.late_flaps.to_string(),
+        l.decided.to_string(),
+        l.distinct_values.len().to_string(),
+        if row.expect { "converge" } else { "cap" }.to_string(),
+    ]);
+    if !row.expect {
+        return true; // informational row: violation-checking only
+    }
+    if convergence {
+        l.stabilization.is_some()
+    } else {
+        // Agreement: one decided value, spread to a majority. Leader
+        // stabilization is not expected here — machines halt on decision,
+        // freezing their leader publications wherever the transient stood.
+        l.distinct_values.len() == 1 && l.decided > row.n / 2
+    }
+}
+
+fn budget_str(row: &Row) -> String {
+    let (conv, agree, _) = budgets(row.n);
+    let b = if row.workload == "convergence" {
+        conv
+    } else {
+        agree
+    };
+    format!("{}k", b / 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_fast_converges_and_drives_agree() {
+        let result = run(&LabConfig::fast());
+        assert!(result.pass, "{}", result.render());
+    }
+
+    #[test]
+    fn budget_tiers() {
+        let (c64, a64, e64) = budgets(64);
+        assert!(e64 && c64 < a64 && a64 <= BUDGET_CAP);
+        let (_, a256, e256) = budgets(256);
+        assert!(e256 && a256 <= BUDGET_CAP);
+        let (c1024, a1024, e1024) = budgets(1024);
+        assert!(!e1024);
+        assert_eq!((c1024, a1024), (INFORMATIONAL_BUDGET, INFORMATIONAL_BUDGET));
+    }
+}

@@ -11,6 +11,7 @@
 //! | E6 | Theorem 26 proof (the BG reduction, executed)    | [`e6_bg`] |
 //! | E7 | Ablations (timeout policy, synchrony quality)    | [`e7_ablation`] |
 //! | E8 | Motivation: set vs process timeliness            | [`e8_motivation`] |
+//! | E9 | n-scaling: the lean stack at n = 64…1024         | [`e9_scaling`] |
 //!
 //! Run them all with the `stlab` binary: `cargo run -p st-lab --release --bin stlab -- all`.
 //!
@@ -67,6 +68,7 @@ pub mod e5_matrix;
 pub mod e6_bg;
 pub mod e7_ablation;
 pub mod e8_motivation;
+pub mod e9_scaling;
 pub mod fuzz;
 pub mod scenarios;
 pub mod table;
@@ -85,9 +87,10 @@ pub fn run_experiment(id: &str, cfg: &LabConfig) -> Option<ExperimentResult> {
         "e6" => Some(e6_bg::run(cfg)),
         "e7" => Some(e7_ablation::run(cfg)),
         "e8" => Some(e8_motivation::run(cfg)),
+        "e9" => Some(e9_scaling::run(cfg)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+pub const ALL_EXPERIMENTS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];

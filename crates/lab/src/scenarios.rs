@@ -347,6 +347,10 @@ fn summarize(data: &OutcomeData) -> String {
             }
         }
         OutcomeData::Bg(b) => format!("{:?}", b.status),
+        OutcomeData::Lean(l) => match &l.stabilization {
+            Some(s) => format!("leader p{}@{}", s.leader, s.step),
+            None => format!("{:?}", l.status),
+        },
     }
 }
 

@@ -55,6 +55,64 @@ impl StepSource for RoundRobin {
     }
 }
 
+/// Round-robin with a dwell: each process takes `burst` consecutive steps
+/// per rotation turn.
+///
+/// Every singleton is timely with respect to everything with bound
+/// `n · burst`, like [`RoundRobin`] — but a process that needs an O(burst)
+/// scan to make a protocol-level move (the lean large-n detectors scan all
+/// `n` heartbeats, so one iteration is ~n² steps) completes it uncontended
+/// within one turn instead of restarting its timeout reasoning on every
+/// interleaved step. This is the n-scaling experiment's conforming
+/// schedule; as a spec it serializes in O(1) where a materialized
+/// [`Cycle`](crate::Cycle) of the same shape is n · burst entries.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{Universe, StepSource, Schedule};
+/// use st_sched::BurstyRotation;
+///
+/// let mut b = BurstyRotation::new(Universe::new(3).unwrap(), 2);
+/// assert_eq!(b.take_schedule(7), Schedule::from_indices([0, 0, 1, 1, 2, 2, 0]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BurstyRotation {
+    members: Vec<ProcessId>,
+    pos: usize,
+    burst: u64,
+    left: u64,
+}
+
+impl BurstyRotation {
+    /// Bursty rotation over the full universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst == 0`.
+    pub fn new(universe: Universe, burst: u64) -> Self {
+        assert!(burst >= 1, "burst length must be positive");
+        BurstyRotation {
+            members: universe.processes().collect(),
+            pos: 0,
+            burst,
+            left: burst,
+        }
+    }
+}
+
+impl StepSource for BurstyRotation {
+    fn next_step(&mut self) -> Option<ProcessId> {
+        let p = self.members[self.pos];
+        self.left -= 1;
+        if self.left == 0 {
+            self.pos = (self.pos + 1) % self.members.len();
+            self.left = self.burst;
+        }
+        Some(p)
+    }
+}
+
 /// Uniform (or weighted) random scheduling with a deterministic seed.
 ///
 /// Random schedules are "average-case asynchronous": with probability one

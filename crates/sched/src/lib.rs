@@ -46,7 +46,7 @@ mod starvation;
 pub mod validate;
 
 pub use alternating::AlternatingRotation;
-pub use basic::{RoundRobin, SeededRandom};
+pub use basic::{BurstyRotation, RoundRobin, SeededRandom};
 pub use crashes::{CrashAfter, CrashPlan};
 pub use cycle::Cycle;
 pub use faults::{BurstClog, CrashRecovery, FlappingTimely, GrayFailure, PhaseSegment};

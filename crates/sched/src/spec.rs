@@ -26,7 +26,7 @@
 use st_core::{ProcSet, ProcessId, Schedule, ScheduleCursor, StepSource, SystemSpec, Universe};
 
 use crate::alternating::AlternatingRotation;
-use crate::basic::{RoundRobin, SeededRandom};
+use crate::basic::{BurstyRotation, RoundRobin, SeededRandom};
 use crate::crashes::{CrashAfter, CrashPlan};
 use crate::cycle::Cycle;
 use crate::faults::{BurstClog, CrashRecovery, FlappingTimely, GrayFailure};
@@ -43,6 +43,16 @@ pub enum GeneratorSpec {
     RoundRobin {
         /// Explicit member set; `None` means the whole universe.
         over: Option<ProcSet>,
+    },
+    /// [`BurstyRotation`]: round-robin over the whole universe where each
+    /// process takes `burst` consecutive steps per turn. The schedule shape
+    /// large-n lean workloads need — a dwell of a full O(n²) detector
+    /// iteration per turn keeps the fleet's convergence cost linear in the
+    /// rotation instead of interleaving scans step by step — and, unlike a
+    /// materialized [`Cycle`], it serializes in O(1).
+    Bursty {
+        /// Consecutive steps each process takes per rotation turn.
+        burst: u64,
     },
     /// [`SeededRandom`] with seed `scenario_seed + seed_offset`.
     SeededRandom {
@@ -207,6 +217,12 @@ impl GeneratorSpec {
         GeneratorSpec::RoundRobin { over: None }
     }
 
+    /// Bursty rotation over the full universe: `burst` consecutive steps
+    /// per process per turn.
+    pub fn bursty(burst: u64) -> Self {
+        GeneratorSpec::Bursty { burst }
+    }
+
     /// Uniform seeded-random over the full universe, at the given offset
     /// from the scenario seed.
     pub fn seeded_random(seed_offset: u64) -> Self {
@@ -342,6 +358,7 @@ impl GeneratorSpec {
     pub fn faulty(&self, universe: Universe) -> ProcSet {
         match self {
             GeneratorSpec::RoundRobin { .. }
+            | GeneratorSpec::Bursty { .. }
             | GeneratorSpec::SeededRandom { .. }
             | GeneratorSpec::Figure1 { .. }
             | GeneratorSpec::GeneralizedFigure1 { .. }
@@ -381,6 +398,7 @@ impl GeneratorSpec {
     pub fn family(&self) -> &'static str {
         match self {
             GeneratorSpec::RoundRobin { .. } => "RoundRobin",
+            GeneratorSpec::Bursty { .. } => "Bursty",
             GeneratorSpec::SeededRandom { .. } => "SeededRandom",
             GeneratorSpec::SetTimely { .. } => "SetTimely",
             GeneratorSpec::Eventually { .. } => "Eventually",
@@ -415,6 +433,7 @@ impl GeneratorSpec {
                 Some(set) => Box::new(RoundRobin::over(*set)),
                 None => Box::new(RoundRobin::new(universe)),
             },
+            GeneratorSpec::Bursty { burst } => Box::new(BurstyRotation::new(universe, *burst)),
             GeneratorSpec::SeededRandom {
                 over,
                 seed_offset,

@@ -30,7 +30,7 @@ use st_core::{ProcSet, ProcessId, Value};
 use crate::ctx::SimShared;
 use crate::memory::Memory;
 use crate::register::{Reg, RegValue};
-use crate::trace::{Decision, ProbeEvent};
+use crate::trace::ProbeEvent;
 
 /// What an automaton reports after a step.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -225,6 +225,27 @@ impl<'a> StepAccess<'a> {
         }
     }
 
+    /// [`write_word`](Self::write_word) of the register allocated `offset`
+    /// slots after `base` — the write twin of
+    /// [`read_word_array`](Self::read_word_array), for automata that index
+    /// large contiguous register arrays by offset instead of carrying a
+    /// handle table. All access-time checks (bounds, storage class, write
+    /// discipline) still apply to the derived slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol bugs: a second operation this step, an offset
+    /// falling outside the arena, a non-`u64` register at the slot, or
+    /// violating a single-writer discipline.
+    #[inline]
+    pub fn write_word_array(&mut self, base: Reg<u64>, offset: usize, value: u64) {
+        self.consume_op();
+        let reg: Reg<u64> = Reg::new((base.index() + offset) as u32);
+        if let Err(e) = self.memory.write_word(self.pid, reg, value) {
+            panic!("simulated {} array write failed: {e}", self.pid);
+        }
+    }
+
     /// Atomically reads a register of any type. **Costs the step's one
     /// operation.**
     ///
@@ -288,20 +309,7 @@ impl<'a> StepAccess<'a> {
     ///
     /// Panics if the process already decided (decisions are irrevocable).
     pub fn decide(&self, value: Value) {
-        let step = self.step;
-        let mut trace = self.shared.trace.borrow_mut();
-        let slot = &mut trace.decisions[self.pid.index()];
-        assert!(
-            slot.is_none(),
-            "process {} decided twice (had {:?}, now {})",
-            self.pid,
-            slot,
-            value
-        );
-        *slot = Some(Decision { value, step });
-        self.shared
-            .decided
-            .set(self.shared.decided.get() | ProcSet::singleton(self.pid).bits());
+        self.shared.record_decision(self.pid, value, self.step);
     }
 
     /// Returns `true` if this process has decided.

@@ -12,7 +12,7 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
-use st_core::{ProcSet, ProcessId, Value};
+use st_core::{ProcSet, ProcessId, Value, PROCSET_CAPACITY};
 
 use crate::memory::Memory;
 use crate::register::{Reg, RegValue};
@@ -27,11 +27,16 @@ pub(crate) struct SimShared {
     /// Global step index (the index of the step currently executing).
     pub step: Cell<u64>,
     pub trace: RefCell<TraceInner>,
-    /// Bitmask mirror of `trace.decisions` (`ProcSet::bits` encoding),
-    /// maintained by [`ProcessCtx::decide`]: lets the executor evaluate
-    /// `StopWhen::AllDecided` / `AnyDecided` in O(1) per step without
-    /// borrowing the trace.
+    /// Bitmask mirror of `trace.decisions` (`ProcSet::bits` encoding) for
+    /// processes with index below [`PROCSET_CAPACITY`], maintained by
+    /// [`SimShared::note_decided`]: lets the executor evaluate
+    /// `StopWhen::AllDecided` in O(1) per step without borrowing the trace
+    /// (the stop set is a `ProcSet`, so it can only name processes the mask
+    /// covers).
     pub decided: Cell<u64>,
+    /// Total decisions so far, over *all* processes — `AnyDecided` in large
+    /// universes (n > 64) where the bitmask cannot see every decider.
+    pub decided_count: Cell<u32>,
     /// Per-process completed register operations; `Cell`s so the per-op
     /// accounting path skips the trace `RefCell`.
     pub op_counts: Vec<Cell<u64>>,
@@ -39,6 +44,30 @@ pub(crate) struct SimShared {
     /// borrowing the trace on every step.
     pub recording: bool,
     pub n: usize,
+}
+
+impl SimShared {
+    /// Records `pid`'s decision of `value` at `step` in the trace and the
+    /// executor's cached decision state. Shared by every decide path (async
+    /// context, step access, batch access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process already decided (decisions are irrevocable).
+    pub(crate) fn record_decision(&self, pid: ProcessId, value: Value, step: u64) {
+        let mut trace = self.trace.borrow_mut();
+        let slot = &mut trace.decisions[pid.index()];
+        assert!(
+            slot.is_none(),
+            "process {pid} decided twice (had {slot:?}, now {value})"
+        );
+        *slot = Some(Decision { value, step });
+        let idx = pid.index();
+        if idx < PROCSET_CAPACITY {
+            self.decided.set(self.decided.get() | (1u64 << idx));
+        }
+        self.decided_count.set(self.decided_count.get() + 1);
+    }
 }
 
 /// Handle through which a simulated process interacts with the system.
@@ -174,19 +203,7 @@ impl ProcessCtx {
     /// Panics if the process already decided (decisions are irrevocable).
     pub fn decide(&self, value: Value) {
         let step = self.shared.step.get();
-        let mut trace = self.shared.trace.borrow_mut();
-        let slot = &mut trace.decisions[self.pid.index()];
-        assert!(
-            slot.is_none(),
-            "process {} decided twice (had {:?}, now {})",
-            self.pid,
-            slot,
-            value
-        );
-        *slot = Some(Decision { value, step });
-        self.shared
-            .decided
-            .set(self.shared.decided.get() | ProcSet::singleton(self.pid).bits());
+        self.shared.record_decision(self.pid, value, step);
     }
 
     /// Returns `true` if this process has decided.

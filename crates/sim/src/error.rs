@@ -57,6 +57,17 @@ pub enum SimError {
         /// Size of the simulated universe (valid indices are `0..n`).
         n: usize,
     },
+    /// A fleet drive (`run_automata` and its replay variants) was called on
+    /// a `Sim` that has spawned slots. The fleet drives execute a
+    /// caller-owned homogeneous fleet; the two ownership modes do not mix
+    /// within one simulation — returned (not panicked) because the caller
+    /// can recover by using the slot-based `run` instead.
+    FleetDriveOnSpawnedSim {
+        /// The drive entry point that was called.
+        drive: &'static str,
+        /// A process that was spawned into a slot.
+        process: ProcessId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -87,6 +98,13 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "schedule names {process} outside the simulated universe (n = {n})"
+                )
+            }
+            SimError::FleetDriveOnSpawnedSim { drive, process } => {
+                write!(
+                    f,
+                    "{drive} drives a caller-owned fleet, but this Sim has spawned \
+                     slots (e.g. {process}); the ownership modes do not mix"
                 )
             }
         }

@@ -51,8 +51,21 @@
 //!   contiguous slices, each slice executed shard by shard (the
 //!   deterministic *shard-stable reordering* of the schedule — see
 //!   [`sharded_replay_order`] for the exact executed order and the
-//!   equivalence contract). Use it when per-automaton working sets are
-//!   large enough that the raw interleaving thrashes the cache.
+//!   equivalence contract);
+//! - [`Sim::run_automata_replay_soa`] batches the replay per **phase over
+//!   struct-of-arrays fleet state**: for [`PhaseBatch`] automata, slices
+//!   whose allotments are pure read runs execute as single
+//!   [`PhaseBatch::step_reads`] span reads, machines grouped by phase
+//!   class — observationally identical to the plain replay, enforced by
+//!   differential tests on every schedule family.
+//!
+//! ## Choosing a fleet replay drive
+//!
+//! | Drive | Executed order | When it wins | When to avoid |
+//! |-------|----------------|--------------|---------------|
+//! | [`run_automata_replay`](Sim::run_automata_replay) | the schedule, verbatim | always correct; fastest at small n (≤ 64-ish), and the only drive with per-step stop conditions | nothing — it is the reference |
+//! | [`run_automata_replay_sharded`](Sim::run_automata_replay_sharded) | shard-stable **reordering** | per-automaton state ≫ cache and the schedule interleaves across the whole fleet | it executes a *different* (equivalent-model) schedule, so protocol behavior can shift; measured on the lean n = 256 interleaved workload it is ~neutral (`lean_interleaved_n256` in `BENCH_timeliness.json`) |
+//! | [`run_automata_replay_soa`](Sim::run_automata_replay_soa) | the schedule, verbatim (batched) | scan-heavy [`PhaseBatch`] fleets at n ≥ 64 whose slices are pure read runs — the lean stack's n-scaling curve records ≥ 2× over plain at n ≥ 256 (`lean_n_scaling`) | small n or write-dense phases: slices go impure, the drive degenerates to the scalar fallback and only pays bucketing overhead |
 //!
 //! The Figure 2 k-anti-Ω detector in `st-fd` and the agreement stack in
 //! `st-agreement` (Paxos proposer, k-set agreement) ship on both ABIs,
@@ -82,6 +95,7 @@ pub mod error;
 pub mod memory;
 pub mod register;
 mod runner;
+pub mod soa;
 pub mod trace;
 
 pub use automaton::{Automaton, Status, StepAccess};
@@ -92,4 +106,5 @@ pub use register::{Reg, RegValue, WriteDiscipline};
 pub use runner::{
     sharded_replay_order, RunConfig, RunReport, RunStatus, Sim, StepOutcome, StopWhen,
 };
+pub use soa::{BatchAccess, PhaseBatch};
 pub use trace::{Decision, ProbeEvent, ProbeLog};

@@ -13,15 +13,14 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-use st_core::{
-    AgreementOutcome, ProcSet, ProcessId, Schedule, StepSource, Universe, Value, MAX_PROCESSES,
-};
+use st_core::{AgreementOutcome, ProcSet, ProcessId, Schedule, StepSource, Universe, Value};
 
 use crate::automaton::{Automaton, Status, StepAccess};
 use crate::ctx::{ProcessCtx, SimShared};
 use crate::error::SimError;
 use crate::memory::{Memory, RegisterStats};
 use crate::register::{Reg, RegValue, WriteDiscipline};
+use crate::soa::{BatchAccess, PhaseBatch};
 use crate::trace::{executed_schedule, Decision, ProbeLog, TraceInner};
 
 /// Result of executing a single step.
@@ -224,6 +223,7 @@ impl Sim {
                 step: std::cell::Cell::new(0),
                 trace: std::cell::RefCell::new(TraceInner::new(n, record_schedule)),
                 decided: std::cell::Cell::new(0),
+                decided_count: std::cell::Cell::new(0),
                 op_counts: (0..n).map(|_| std::cell::Cell::new(0)).collect(),
                 recording: record_schedule,
                 n,
@@ -467,9 +467,9 @@ impl Sim {
         let n = self.universe.n();
         let shared = Rc::clone(&self.shared);
         let mut memory = shared.memory.borrow_mut();
-        // Per-process op counts accumulate on the stack and flush once at
-        // the end of the call: the step path touches no shared counter.
-        let mut ops_local = [0u64; MAX_PROCESSES];
+        // Per-process op counts accumulate locally and flush once at the
+        // end of the call: the step path touches no shared counter.
+        let mut ops_local = vec![0u64; n];
         let status = 'run: {
             if matches!(cfg.stop, StopWhen::Never) && !shared.recording {
                 for _ in 0..cfg.max_steps {
@@ -556,15 +556,16 @@ impl Sim {
     /// # Errors
     ///
     /// Returns [`SimError::ScheduleOutOfUniverse`] if `src` names a process
-    /// outside the simulated universe; steps before the offending one have
-    /// executed normally.
+    /// outside the simulated universe (steps before the offending one have
+    /// executed normally), and [`SimError::FleetDriveOnSpawnedSim`] —
+    /// before executing anything — if any process was spawned into a slot
+    /// (the two ownership modes do not mix within one `Sim`; mixing ABIs is
+    /// what [`spawn`](Self::spawn) +
+    /// [`spawn_automaton`](Self::spawn_automaton) are for).
     ///
     /// # Panics
     ///
-    /// Panics if `automata.len() != n` or if any process was spawned into a
-    /// slot (the two modes do not mix within one `Sim`; mixing ABIs is what
-    /// [`spawn`](Self::spawn) + [`spawn_automaton`](Self::spawn_automaton)
-    /// are for).
+    /// Panics if `automata.len() != n`.
     pub fn run_automata<A: Automaton, S: StepSource>(
         &mut self,
         automata: &mut [A],
@@ -576,49 +577,36 @@ impl Sim {
             self.universe.n(),
             "one automaton per process"
         );
-        assert!(
-            self.slots.iter().all(|s| !s.spawned),
-            "run_automata drives a caller-owned fleet; this Sim has spawned slots"
-        );
+        self.check_fleet_drive("run_automata")?;
         let n = self.universe.n();
         let shared = Rc::clone(&self.shared);
         let mut memory = shared.memory.borrow_mut();
-        let mut ops_local = [0u64; MAX_PROCESSES];
+        let mut ops_local = vec![0u64; n];
         let status = 'run: {
             if matches!(cfg.stop, StopWhen::Never) && !shared.recording {
-                // Completion flags live in a register-resident bitmask for
-                // the duration of the loop (n ≤ 64 by the ProcSet
-                // representation).
-                let mut done_mask: u64 = ProcSet::EMPTY.bits();
-                for (i, &f) in self.finished.iter().enumerate() {
-                    done_mask |= (f as u64) << i;
-                }
                 let mut steps = self.steps;
                 for _ in 0..cfg.max_steps {
                     let Some(p) = src.next_step() else {
                         self.steps = steps;
-                        self.sync_finished(done_mask);
                         break 'run Ok(RunStatus::SourceEnded);
                     };
                     let idx = p.index();
                     let Some(machine) = automata.get_mut(idx) else {
                         self.steps = steps;
-                        self.sync_finished(done_mask);
                         break 'run Err(SimError::ScheduleOutOfUniverse { process: p, n });
                     };
                     let step = steps;
                     steps += 1;
-                    if done_mask & (1 << idx) == 0 {
+                    if !self.finished[idx] {
                         let mut access = StepAccess::new(p, step, &mut memory, &shared);
                         let status = machine.step(&mut access);
                         ops_local[idx] += access.op_performed() as u64;
                         if status == Status::Done {
-                            done_mask |= 1 << idx;
+                            self.finished[idx] = true;
                         }
                     }
                 }
                 self.steps = steps;
-                self.sync_finished(done_mask);
                 break 'run Ok(RunStatus::MaxSteps);
             }
             for _ in 0..cfg.max_steps {
@@ -680,6 +668,8 @@ impl Sim {
     /// names a process outside the universe. The schedule is validated
     /// **before** any step executes (it is finite and materialized), so an
     /// `Err` leaves the simulation untouched.
+    /// [`SimError::FleetDriveOnSpawnedSim`] as for
+    /// [`run_automata`](Self::run_automata).
     ///
     /// # Panics
     ///
@@ -695,10 +685,7 @@ impl Sim {
             self.universe.n(),
             "one automaton per process"
         );
-        assert!(
-            self.slots.iter().all(|s| !s.spawned),
-            "run_automata_replay drives a caller-owned fleet; this Sim has spawned slots"
-        );
+        self.check_fleet_drive("run_automata_replay")?;
         let take = schedule
             .len()
             .min(cfg.max_steps.min(usize::MAX as u64) as usize);
@@ -709,27 +696,22 @@ impl Sim {
         }
         let shared = Rc::clone(&self.shared);
         let mut memory = shared.memory.borrow_mut();
-        let mut ops_local = [0u64; MAX_PROCESSES];
-        let mut done_mask: u64 = 0;
-        for (i, &f) in self.finished.iter().enumerate() {
-            done_mask |= (f as u64) << i;
-        }
+        let mut ops_local = vec![0u64; self.universe.n()];
         let mut steps = self.steps;
         for &p in &schedule.as_slice()[..take] {
             let idx = p.index();
             let step = steps;
             steps += 1;
-            if done_mask & (1 << idx) == 0 {
+            if !self.finished[idx] {
                 let mut access = StepAccess::new(p, step, &mut memory, &shared);
                 let status = automata[idx].step(&mut access);
                 ops_local[idx] += access.op_performed() as u64;
                 if status == Status::Done {
-                    done_mask |= 1 << idx;
+                    self.finished[idx] = true;
                 }
             }
         }
         self.steps = steps;
-        self.sync_finished(done_mask);
         for (cell, &ops) in shared.op_counts.iter().zip(&ops_local) {
             if ops != 0 {
                 cell.set(cell.get() + ops);
@@ -786,13 +768,22 @@ impl Sim {
     /// (within-slice bursts starve the other shards; timeout-based
     /// protocols then accuse more), so measure end to end before adopting
     /// it: `BENCH_timeliness.json` records the trade on the agreement
-    /// workload, where the plain replay wins at small n.
+    /// workload, where the plain replay wins at small n — and the
+    /// re-measurement at n = 256 (`lean_interleaved_n256`: the lean stack
+    /// on a round-robin schedule, the thrash-shaped workload this drive
+    /// was built for) shows it stays slightly *behind* plain there too.
+    /// The lean machines keep O(n) state (a row scratch, not a matrix
+    /// snapshot), so shard residency buys nothing they miss; prefer
+    /// [`run_automata_replay_soa`](Self::run_automata_replay_soa) for
+    /// large-n scan-heavy fleets and keep this drive for fleets whose
+    /// per-automaton working set genuinely exceeds the cache.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::ScheduleOutOfUniverse`] (before executing
     /// anything) if the replayed prefix names a process outside the
-    /// universe.
+    /// universe; [`SimError::FleetDriveOnSpawnedSim`] as for
+    /// [`run_automata`](Self::run_automata).
     ///
     /// # Panics
     ///
@@ -813,10 +804,7 @@ impl Sim {
             self.universe.n(),
             "one automaton per process"
         );
-        assert!(
-            self.slots.iter().all(|s| !s.spawned),
-            "run_automata_replay_sharded drives a caller-owned fleet; this Sim has spawned slots"
-        );
+        self.check_fleet_drive("run_automata_replay_sharded")?;
         assert!(shard_size > 0, "shard_size must be positive");
         assert!(slice_len > 0, "slice_len must be positive");
         assert!(
@@ -832,11 +820,7 @@ impl Sim {
         let shards = n.div_ceil(shard_size);
         let shared = Rc::clone(&self.shared);
         let mut memory = shared.memory.borrow_mut();
-        let mut ops_local = [0u64; MAX_PROCESSES];
-        let mut done_mask: u64 = 0;
-        for (i, &f) in self.finished.iter().enumerate() {
-            done_mask |= (f as u64) << i;
-        }
+        let mut ops_local = vec![0u64; n];
         let mut steps = self.steps;
         // One bucketing pass per slice (reused buffers) instead of
         // rescanning the slice once per shard: the drive's cost stays
@@ -859,19 +843,18 @@ impl Sim {
                             executed.push(p);
                         }
                     }
-                    if done_mask & (1 << idx) == 0 {
+                    if !self.finished[idx] {
                         let mut access = StepAccess::new(p, step, &mut memory, &shared);
                         let status = automata[idx].step(&mut access);
                         ops_local[idx] += access.op_performed() as u64;
                         if status == Status::Done {
-                            done_mask |= 1 << idx;
+                            self.finished[idx] = true;
                         }
                     }
                 }
             }
         }
         self.steps = steps;
-        self.sync_finished(done_mask);
         for (cell, &ops) in shared.op_counts.iter().zip(&ops_local) {
             if ops != 0 {
                 cell.set(cell.get() + ops);
@@ -886,21 +869,219 @@ impl Sim {
         })
     }
 
-    fn sync_finished(&mut self, done_mask: u64) {
-        for (i, f) in self.finished.iter_mut().enumerate() {
-            *f = done_mask & (1 << i) != 0;
+    /// [`run_automata_replay`](Self::run_automata_replay) batched **per
+    /// phase** over struct-of-arrays fleet state: the third replay drive,
+    /// for [`PhaseBatch`] automata.
+    ///
+    /// The schedule is processed in contiguous slices of `slice_len` steps.
+    /// A slice that schedules a single process (the common case under
+    /// dwell-shaped generators like `Bursty`) takes a fast path: its
+    /// allotment is one contiguous step run, so no per-step bucketing, no
+    /// materialized step-index list, and no probe re-sort are needed.
+    /// Otherwise the drive buckets the steps per process. Either way it
+    /// checks *purity*: every scheduled machine must report (via
+    /// [`PhaseBatch::read_run`]) that its whole allotment consists of
+    /// value-independent register reads. A pure slice touches no register,
+    /// so its reads commute — the drive executes each machine's allotment
+    /// in a single [`PhaseBatch::step_reads`] call, machines grouped by
+    /// [`PhaseBatch::phase_class`] so each phase's tight scan loop runs
+    /// back to back across the fleet, and then re-sorts the slice's probe
+    /// events into global step order. A slice that is not pure (it contains
+    /// a write, a phase turnover the machine cannot bound, or a completed
+    /// machine's no-op allotment mixed with too-short runs) is executed
+    /// scalar, in original order — exactly the plain replay.
+    ///
+    /// Observational identity to
+    /// [`run_automata_replay`](Self::run_automata_replay) on the same
+    /// schedule — probes (keys, values, step indices), decisions, op
+    /// counts, per-register access statistics, final register contents — is
+    /// a contract, enforced by differential tests on every schedule family.
+    ///
+    /// When the drive wins: large fleets (n ≥ 64) of scan-heavy machines,
+    /// where per-slice allotments are long read runs and the batch loop
+    /// amortizes the per-step dispatch into a
+    /// [`read_word_span`](crate::Memory::read_word_span). At small n a
+    /// slice rarely stays inside one phase's read run, so the drive
+    /// degenerates to the scalar fallback and merely pays the bucketing
+    /// overhead — see the three-drive decision table in the crate docs.
+    ///
+    /// Like the other replay drives this supports [`StopWhen::Never`]
+    /// without recording on its fast path; any other stop condition, or an
+    /// enabled schedule recording, delegates to the plain replay (whose
+    /// semantics are identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduleOutOfUniverse`] (before executing
+    /// anything) if the replayed prefix names a process outside the
+    /// universe; [`SimError::FleetDriveOnSpawnedSim`] as for
+    /// [`run_automata`](Self::run_automata).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `automata.len() != n` or `slice_len == 0`.
+    pub fn run_automata_replay_soa<A: PhaseBatch>(
+        &mut self,
+        automata: &mut [A],
+        schedule: &Schedule,
+        slice_len: usize,
+        cfg: RunConfig,
+    ) -> Result<RunStatus, SimError> {
+        assert_eq!(
+            automata.len(),
+            self.universe.n(),
+            "one automaton per process"
+        );
+        self.check_fleet_drive("run_automata_replay_soa")?;
+        assert!(slice_len > 0, "slice_len must be positive");
+        let n = self.universe.n();
+        let take = schedule
+            .len()
+            .min(cfg.max_steps.min(usize::MAX as u64) as usize);
+        let prefix = &schedule.as_slice()[..take];
+        self.validate_slice(prefix)?;
+        if !matches!(cfg.stop, StopWhen::Never) || self.shared.recording {
+            return self.run_automata_replay(automata, schedule, cfg);
+        }
+        let shared = Rc::clone(&self.shared);
+        let mut memory = shared.memory.borrow_mut();
+        let mut ops_local = vec![0u64; n];
+        let mut steps = self.steps;
+        // Reused per-slice buffers: per-process step-index allotments and
+        // the list of processes the slice touches (first-appearance order).
+        let mut allotments: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut touched: Vec<usize> = Vec::with_capacity(slice_len.min(n));
+        for slice in prefix.chunks(slice_len) {
+            // Uniform-slice fast path: a slice that schedules one process
+            // only (every dwell-shaped schedule — `Bursty`, long crash
+            // shadows — produces almost nothing else) is one contiguous
+            // allotment. No per-step bucketing, no materialized step list,
+            // and the single machine's probes are already in step order.
+            let first = slice[0];
+            if slice.iter().all(|&p| p == first) {
+                let idx = first.index();
+                if self.finished[idx] {
+                    steps += slice.len() as u64;
+                    continue;
+                }
+                if slice.len() <= automata[idx].read_run() {
+                    let mut access =
+                        BatchAccess::new_run(first, steps, slice.len(), &mut memory, &shared);
+                    let status = automata[idx].step_reads(&mut access);
+                    ops_local[idx] += access.ops();
+                    if status == Status::Done {
+                        self.finished[idx] = true;
+                    }
+                } else {
+                    for off in 0..slice.len() {
+                        if self.finished[idx] {
+                            break;
+                        }
+                        let mut access =
+                            StepAccess::new(first, steps + off as u64, &mut memory, &shared);
+                        let status = automata[idx].step(&mut access);
+                        ops_local[idx] += access.op_performed() as u64;
+                        if status == Status::Done {
+                            self.finished[idx] = true;
+                        }
+                    }
+                }
+                steps += slice.len() as u64;
+                continue;
+            }
+            for (off, &p) in slice.iter().enumerate() {
+                let idx = p.index();
+                if allotments[idx].is_empty() {
+                    touched.push(idx);
+                }
+                allotments[idx].push(steps + off as u64);
+            }
+            let pure = touched.iter().all(|&idx| {
+                self.finished[idx] || allotments[idx].len() <= automata[idx].read_run()
+            });
+            if pure {
+                // Group the batch calls by phase: machines in the same
+                // control phase run the same scan loop back to back.
+                touched.sort_unstable_by_key(|&idx| (automata[idx].phase_class(), idx));
+                let probe_mark = shared.trace.borrow().probes.len();
+                for &idx in &touched {
+                    if self.finished[idx] {
+                        continue;
+                    }
+                    let pid = ProcessId::new(idx);
+                    let mut access = BatchAccess::new(pid, &allotments[idx], &mut memory, &shared);
+                    let status = automata[idx].step_reads(&mut access);
+                    ops_local[idx] += access.ops();
+                    if status == Status::Done {
+                        self.finished[idx] = true;
+                    }
+                }
+                // Batching grouped each machine's probes together; restore
+                // the publication order of the plain drive. Stable by step:
+                // probes of one step (one machine) keep their order.
+                let mut trace = shared.trace.borrow_mut();
+                let tail = &mut trace.probes[probe_mark..];
+                if !tail.is_empty() {
+                    tail.sort_by_key(|e| e.step);
+                }
+            } else {
+                for (off, &p) in slice.iter().enumerate() {
+                    let idx = p.index();
+                    if !self.finished[idx] {
+                        let mut access =
+                            StepAccess::new(p, steps + off as u64, &mut memory, &shared);
+                        let status = automata[idx].step(&mut access);
+                        ops_local[idx] += access.op_performed() as u64;
+                        if status == Status::Done {
+                            self.finished[idx] = true;
+                        }
+                    }
+                }
+            }
+            steps += slice.len() as u64;
+            for &idx in &touched {
+                allotments[idx].clear();
+            }
+            touched.clear();
+        }
+        self.steps = steps;
+        for (cell, &ops) in shared.op_counts.iter().zip(&ops_local) {
+            if ops != 0 {
+                cell.set(cell.get() + ops);
+            }
+        }
+        Ok(if take < schedule.len() {
+            RunStatus::MaxSteps
+        } else if (take as u64) < cfg.max_steps {
+            RunStatus::SourceEnded
+        } else {
+            RunStatus::MaxSteps
+        })
+    }
+
+    /// Typed precondition of every fleet drive: the `Sim` must have no
+    /// spawned slots (the fleet is caller-owned).
+    fn check_fleet_drive(&self, drive: &'static str) -> Result<(), SimError> {
+        match self.slots.iter().position(|s| s.spawned) {
+            None => Ok(()),
+            Some(i) => Err(SimError::FleetDriveOnSpawnedSim {
+                drive,
+                process: ProcessId::new(i),
+            }),
         }
     }
 
     fn stop_met(&self, stop: &StopWhen) -> bool {
-        // Decision conditions read the cached `decided` bitmask (maintained
-        // by `ProcessCtx::decide`) — O(1) per executed step, no trace
-        // borrow.
+        // Decision conditions read the cached decision state (maintained by
+        // the decide paths) — O(1) per executed step, no trace borrow. The
+        // bitmask covers processes below the ProcSet capacity, which is all
+        // an `AllDecided` set can name; `AnyDecided` uses the count so it
+        // sees deciders beyond index 63 in large universes.
         match stop {
             StopWhen::Never => false,
             StopWhen::AllDecided(set) => set.bits() & !self.shared.decided.get() == 0,
             StopWhen::AllFinished(set) => set.iter().all(|p| self.finished[p.index()]),
-            StopWhen::AnyDecided => self.shared.decided.get() != 0,
+            StopWhen::AnyDecided => self.shared.decided_count.get() != 0,
         }
     }
 
@@ -959,6 +1140,20 @@ impl Sim {
     /// allocated type.
     pub fn try_peek<T: RegValue>(&self, reg: Reg<T>) -> Result<T, SimError> {
         self.shared.memory.borrow().peek(reg)
+    }
+
+    /// [`peek`](Self::peek) of the word register allocated `offset` slots
+    /// after `base` — the instrumentation twin of
+    /// [`StepAccess::read_word_array`](crate::StepAccess::read_word_array)
+    /// for protocols that index contiguous register arrays by offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot falls outside the arena or is not a `u64`
+    /// register.
+    pub fn peek_word_array(&self, base: Reg<u64>, offset: usize) -> u64 {
+        let reg: Reg<u64> = Reg::new((base.index() + offset) as u32);
+        self.peek(reg)
     }
 
     /// Crashes `p`: its automaton is dropped and all its future steps become

@@ -285,26 +285,34 @@ fn fleet_runner_stop_condition() {
     assert_eq!(sim.peek(r), 3);
 }
 
-/// A fleet cannot be driven over a Sim with spawned slots.
+/// A fleet cannot be driven over a Sim with spawned slots: the drive
+/// returns the typed [`st_sim::SimError::FleetDriveOnSpawnedSim`] (all
+/// four drives are covered in `tests/soa_drive.rs`).
 #[test]
 fn fleet_runner_rejects_spawned_slots() {
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut sim = Sim::new(universe(1));
-        let r = sim.alloc("x", 0u64);
-        sim.spawn(pid(0), |ctx| async move {
-            ctx.pause().await;
-        })
-        .unwrap();
-        let mut fleet = vec![CountUp {
-            reg: r,
-            next: 1,
-            limit: 1,
-        }];
-        let mut src = ScheduleCursor::new(Schedule::from_indices([0]));
-        sim.run_automata(&mut fleet, &mut src, RunConfig::steps(1))
-            .unwrap();
-    }));
-    assert!(result.is_err(), "mixed fleet + slots must panic");
+    let mut sim = Sim::new(universe(1));
+    let r = sim.alloc("x", 0u64);
+    sim.spawn(pid(0), |ctx| async move {
+        ctx.pause().await;
+    })
+    .unwrap();
+    let mut fleet = vec![CountUp {
+        reg: r,
+        next: 1,
+        limit: 1,
+    }];
+    let mut src = ScheduleCursor::new(Schedule::from_indices([0]));
+    let err = sim
+        .run_automata(&mut fleet, &mut src, RunConfig::steps(1))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            st_sim::SimError::FleetDriveOnSpawnedSim { drive: "run_automata", process } if process == pid(0)
+        ),
+        "expected typed fleet-drive error, got {err:?}"
+    );
+    assert_eq!(sim.steps_executed(), 0, "nothing may execute");
 }
 
 /// Double spawn across ABIs is rejected in both directions.

@@ -1,0 +1,392 @@
+//! Unit tests for the struct-of-arrays replay drive
+//! ([`Sim::run_automata_replay_soa`]): identity to the plain replay on a
+//! purpose-built two-phase machine, the scalar fallback on impure slices,
+//! delegation under recording and stop conditions, and the typed
+//! [`SimError::FleetDriveOnSpawnedSim`] precondition shared by every fleet
+//! drive.
+//!
+//! (The workspace-wide differential suites live with the protocols, in
+//! `st-agreement/tests/soa_differential.rs`; this file covers drive
+//! mechanics with a minimal machine.)
+
+use st_core::{ProcSet, ProcessId, Schedule, ScheduleCursor, Universe};
+use st_sim::{
+    Automaton, BatchAccess, PhaseBatch, Reg, RunConfig, RunStatus, Sim, SimError, Status,
+    StepAccess, StopWhen,
+};
+
+fn universe(n: usize) -> Universe {
+    Universe::new(n).unwrap()
+}
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Two-phase scan machine: reads `m` words of a shared array one per step
+/// (pure), probes the running sum at the scan boundary, then writes it to
+/// its own output register (impure) — repeating until `limit` rounds, then
+/// deciding. The smallest shape that exercises batched span reads, probe
+/// ordering, phase turnover inside a slice, and the scalar write fallback.
+struct SumScan {
+    base: Reg<u64>,
+    out: Reg<u64>,
+    m: usize,
+    idx: usize,
+    acc: u64,
+    rounds: u64,
+    limit: u64,
+}
+
+impl SumScan {
+    fn new(base: Reg<u64>, out: Reg<u64>, m: usize, limit: u64) -> Self {
+        SumScan {
+            base,
+            out,
+            m,
+            idx: 0,
+            acc: 0,
+            rounds: 0,
+            limit,
+        }
+    }
+}
+
+impl Automaton for SumScan {
+    fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+        if self.idx < self.m {
+            self.acc = self
+                .acc
+                .wrapping_add(mem.read_word_array(self.base, self.idx));
+            self.idx += 1;
+            if self.idx == self.m {
+                mem.probe("sum", self.acc);
+            }
+            Status::Running
+        } else {
+            mem.write_word(self.out, self.acc);
+            self.rounds += 1;
+            if self.rounds == self.limit {
+                mem.decide(self.acc as st_core::Value);
+                return Status::Done;
+            }
+            self.idx = 0;
+            self.acc = 0;
+            Status::Running
+        }
+    }
+}
+
+impl PhaseBatch for SumScan {
+    fn phase_class(&self) -> u8 {
+        (self.idx >= self.m) as u8
+    }
+
+    fn read_run(&self) -> usize {
+        // The whole remaining scan is guaranteed value-independent reads;
+        // the write phase pins the run to zero (impure slice → fallback).
+        self.m - self.idx.min(self.m)
+    }
+
+    fn step_reads(&mut self, mem: &mut BatchAccess<'_>) -> Status {
+        let take = mem.remaining().min(self.m - self.idx);
+        let mut buf = vec![0u64; take];
+        mem.read_word_span(self.base, self.idx, &mut buf);
+        for w in buf {
+            self.acc = self.acc.wrapping_add(w);
+        }
+        self.idx += take;
+        if self.idx == self.m {
+            mem.probe("sum", self.acc);
+        }
+        Status::Running
+    }
+}
+
+/// Builds a Sim with a shared `m`-word array (seeded with distinct values)
+/// and one `SumScan` per process.
+fn build(n: usize, m: usize, limit: u64, recording: bool) -> (Sim, Vec<Reg<u64>>, Vec<SumScan>) {
+    let u = universe(n);
+    let mut sim = if recording {
+        Sim::with_recording(u, true)
+    } else {
+        Sim::new(u)
+    };
+    // Sequential allocations are contiguous (arena property): the first
+    // register is a valid base for offset reads, with distinct seeds.
+    let shared: Vec<Reg<u64>> = (0..m)
+        .map(|i| sim.alloc(format!("shared{i}"), 10 + i as u64))
+        .collect();
+    let outs = sim.alloc_array("out", n, 0u64);
+    let fleet = (0..n)
+        .map(|i| SumScan::new(shared[0], outs[i], m, limit))
+        .collect();
+    (sim, outs, fleet)
+}
+
+/// Full observation of a run: step count, probes, decisions, op counts,
+/// register stats, and the output registers.
+fn observe(sim: &Sim, outs: &[Reg<u64>]) -> (u64, Vec<String>, String, Vec<u64>, String, Vec<u64>) {
+    let rep = sim.report();
+    (
+        rep.steps,
+        rep.probes
+            .events()
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect(),
+        format!("{:?}", rep.decisions),
+        rep.op_counts.clone(),
+        format!("{:?}", rep.register_stats),
+        outs.iter().map(|&r| sim.peek(r)).collect(),
+    )
+}
+
+/// The SoA drive is observationally identical to the plain replay across
+/// slice lengths, on schedules that make slices pure, impure, and mixed.
+#[test]
+fn soa_drive_equals_plain_replay() {
+    let (n, m, limit) = (4usize, 6usize, 5u64);
+    let schedules: Vec<(&str, Schedule)> = vec![
+        ("rr", Schedule::from_indices((0..500).map(|s| s % n))),
+        (
+            "bursty",
+            Schedule::from_indices((0..500).map(|s| (s / 13) % n)),
+        ),
+        (
+            "skewed",
+            Schedule::from_indices((0..500).map(|s| if s % 5 < 4 { 0 } else { 1 + s % (n - 1) })),
+        ),
+    ];
+    for (name, sched) in &schedules {
+        let plain = {
+            let (mut sim, outs, mut fleet) = build(n, m, limit, false);
+            sim.run_automata_replay(&mut fleet, sched, RunConfig::steps(1_000))
+                .unwrap();
+            observe(&sim, &outs)
+        };
+        for slice_len in [1usize, 2, 7, 64, 2_000] {
+            let (mut sim, outs, mut fleet) = build(n, m, limit, false);
+            sim.run_automata_replay_soa(&mut fleet, sched, slice_len, RunConfig::steps(1_000))
+                .unwrap();
+            assert_eq!(
+                plain,
+                observe(&sim, &outs),
+                "{name}/slice={slice_len}: SoA diverged from plain replay"
+            );
+        }
+    }
+}
+
+/// Dwell-shaped schedules make every slice single-process, which routes
+/// through the uniform-slice fast path (contiguous-run allotments, no
+/// per-step bucketing). The path must stay observationally identical to
+/// plain replay across all its branches: whole-slice batched runs, the
+/// scalar fallback when the slice outruns the read run (covering the
+/// write phase mid-dwell), and the finished-machine skip once a dwelling
+/// machine decides.
+#[test]
+fn soa_uniform_slice_fast_path_equals_plain_replay() {
+    let (n, m, limit) = (3usize, 6usize, 3u64);
+    // Dwell blocks of uneven lengths: process 0 dwells past its decision
+    // (round = m reads + 1 write = 7 steps; limit 3 => done at step 21,
+    // the rest of its 40-step block exercises the finished skip), the
+    // others dwell in lengths misaligned with every slice length below.
+    let blocks: [(usize, usize); 6] = [(0, 40), (1, 13), (2, 9), (1, 20), (2, 30), (1, 11)];
+    let sched =
+        Schedule::from_indices(blocks.iter().flat_map(|&(p, len)| (0..len).map(move |_| p)));
+    let plain = {
+        let (mut sim, outs, mut fleet) = build(n, m, limit, false);
+        sim.run_automata_replay(&mut fleet, &sched, RunConfig::steps(200))
+            .unwrap();
+        observe(&sim, &outs)
+    };
+    for slice_len in [1usize, 4, 8, 64, 512] {
+        let (mut sim, outs, mut fleet) = build(n, m, limit, false);
+        sim.run_automata_replay_soa(&mut fleet, &sched, slice_len, RunConfig::steps(200))
+            .unwrap();
+        assert_eq!(
+            plain,
+            observe(&sim, &outs),
+            "slice={slice_len}: uniform-slice fast path diverged from plain replay"
+        );
+    }
+}
+
+/// Probes attach to the correct global step index even when a batch call
+/// consumes several steps at once: the probe lands on the step of the last
+/// read of the scan, exactly as in the scalar drive.
+#[test]
+fn soa_probe_steps_match_plain() {
+    let (n, m) = (2usize, 4usize);
+    let sched = Schedule::from_indices((0..40).map(|s| s % n));
+    let probes = |soa: bool| {
+        let (mut sim, _outs, mut fleet) = build(n, m, 3, false);
+        if soa {
+            sim.run_automata_replay_soa(&mut fleet, &sched, 8, RunConfig::steps(40))
+                .unwrap();
+        } else {
+            sim.run_automata_replay(&mut fleet, &sched, RunConfig::steps(40))
+                .unwrap();
+        }
+        sim.report().probes.events().to_vec()
+    };
+    let plain = probes(false);
+    assert!(!plain.is_empty(), "scan boundaries must probe");
+    assert_eq!(plain, probes(true));
+}
+
+/// With recording enabled the SoA drive delegates to the plain replay:
+/// the `executed` schedule is recorded and everything stays identical.
+#[test]
+fn soa_drive_records_when_recording() {
+    let n = 3;
+    let sched = Schedule::from_indices((0..90).map(|s| s % n));
+    let (mut sim, outs, mut fleet) = build(n, 5, 2, true);
+    sim.run_automata_replay_soa(&mut fleet, &sched, 16, RunConfig::steps(90))
+        .unwrap();
+    let rep = sim.report();
+    assert_eq!(rep.executed.as_ref().map(|e| e.len()), Some(90));
+    let (mut psim, pouts, mut pfleet) = build(n, 5, 2, true);
+    psim.run_automata_replay(&mut pfleet, &sched, RunConfig::steps(90))
+        .unwrap();
+    assert_eq!(observe(&psim, &pouts), observe(&sim, &outs));
+}
+
+/// A stop condition also routes through the delegating path and is honored.
+#[test]
+fn soa_drive_honors_stop_conditions() {
+    let n = 2;
+    let sched = Schedule::from_indices(vec![0usize; 200]);
+    let (mut sim, _outs, mut fleet) = build(n, 3, 2, false);
+    let status = sim
+        .run_automata_replay_soa(
+            &mut fleet,
+            &sched,
+            16,
+            RunConfig::steps(200).stop_when(StopWhen::AnyDecided),
+        )
+        .unwrap();
+    assert_eq!(status, RunStatus::Stopped);
+    assert_eq!(sim.decisions().iter().flatten().count(), 1);
+    assert!(sim.steps_executed() < 200, "must stop at the decision");
+}
+
+/// Completed machines' remaining allotments are no-ops in both drives.
+#[test]
+fn soa_drive_finished_machines_idle() {
+    let n = 2;
+    // p0 finishes early (limit 1), then keeps being scheduled.
+    let sched = Schedule::from_indices((0..120).map(|s| s % n));
+    let run = |soa: bool| {
+        let u = universe(n);
+        let mut sim = Sim::new(u);
+        let shared = sim.alloc_array("shared", 3, 7u64);
+        let outs = sim.alloc_array("out", n, 0u64);
+        let mut fleet = vec![
+            SumScan::new(shared[0], outs[0], 3, 1),
+            SumScan::new(shared[0], outs[1], 3, 20),
+        ];
+        if soa {
+            sim.run_automata_replay_soa(&mut fleet, &sched, 10, RunConfig::steps(120))
+                .unwrap();
+        } else {
+            sim.run_automata_replay(&mut fleet, &sched, RunConfig::steps(120))
+                .unwrap();
+        }
+        (
+            sim.is_finished(pid(0)),
+            sim.op_count(pid(0)),
+            sim.op_count(pid(1)),
+            observe(&sim, &outs),
+        )
+    };
+    let plain = run(false);
+    assert!(plain.0, "p0 must finish");
+    assert_eq!(plain, run(true));
+}
+
+/// Every fleet drive returns the typed
+/// [`SimError::FleetDriveOnSpawnedSim`] — naming the drive and the spawned
+/// process — instead of executing over a Sim that owns spawned slots.
+#[test]
+fn fleet_drives_return_typed_error_on_spawned_sim() {
+    let check = |err: SimError, want_drive: &str| match err {
+        SimError::FleetDriveOnSpawnedSim { drive, process } => {
+            assert_eq!(drive, want_drive);
+            assert_eq!(process, pid(1));
+            let msg = err.to_string();
+            assert!(
+                msg.contains(want_drive),
+                "display must name the drive: {msg}"
+            );
+        }
+        other => panic!("expected FleetDriveOnSpawnedSim, got {other:?}"),
+    };
+    let spawned_sim = || {
+        let mut sim = Sim::new(universe(2));
+        sim.spawn(pid(1), |ctx| async move {
+            ctx.pause().await;
+        })
+        .unwrap();
+        let shared = sim.alloc_array("shared", 2, 0u64);
+        let outs = sim.alloc_array("out", 2, 0u64);
+        let fleet: Vec<SumScan> = (0..2)
+            .map(|i| SumScan::new(shared[0], outs[i], 2, 1))
+            .collect();
+        (sim, fleet)
+    };
+    let sched = Schedule::from_indices([0usize, 1]);
+
+    let (mut sim, mut fleet) = spawned_sim();
+    let mut src = ScheduleCursor::new(sched.clone());
+    check(
+        sim.run_automata(&mut fleet, &mut src, RunConfig::steps(2))
+            .unwrap_err(),
+        "run_automata",
+    );
+
+    let (mut sim, mut fleet) = spawned_sim();
+    check(
+        sim.run_automata_replay(&mut fleet, &sched, RunConfig::steps(2))
+            .unwrap_err(),
+        "run_automata_replay",
+    );
+
+    let (mut sim, mut fleet) = spawned_sim();
+    check(
+        sim.run_automata_replay_sharded(&mut fleet, &sched, 2, 2, RunConfig::steps(2))
+            .unwrap_err(),
+        "run_automata_replay_sharded",
+    );
+
+    let (mut sim, mut fleet) = spawned_sim();
+    check(
+        sim.run_automata_replay_soa(&mut fleet, &sched, 4, RunConfig::steps(2))
+            .unwrap_err(),
+        "run_automata_replay_soa",
+    );
+
+    // The error is recoverable: none of the calls executed a step or
+    // touched a register.
+    let (sim, _fleet) = spawned_sim();
+    assert_eq!(sim.steps_executed(), 0);
+}
+
+/// A fresh (never-spawned) Sim accepts every fleet drive; the typed error
+/// appears only when slots exist — i.e. `ProcSet::full` of drives is
+/// usable after plain construction.
+#[test]
+fn fleet_drives_accept_unspawned_sim() {
+    let sched = Schedule::from_indices([0usize, 1, 0, 1]);
+    let mut sim = Sim::new(universe(2));
+    let shared = sim.alloc_array("shared", 2, 1u64);
+    let outs = sim.alloc_array("out", 2, 0u64);
+    let mut fleet: Vec<SumScan> = (0..2)
+        .map(|i| SumScan::new(shared[0], outs[i], 2, 1))
+        .collect();
+    sim.run_automata_replay_soa(&mut fleet, &sched, 2, RunConfig::steps(4))
+        .unwrap();
+    assert_eq!(sim.steps_executed(), 4);
+    let _ = ProcSet::full(universe(2));
+}
