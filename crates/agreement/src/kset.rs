@@ -71,7 +71,7 @@ impl KSetAgreement {
     ///
     /// `fd` must be a k-anti-Ω instance with the same `k` allocated in the
     /// same simulator.
-    pub async fn run(self, ctx: ProcessCtx, fd: KAntiOmega, proposal: Value) {
+    pub async fn run<const W: usize>(self, ctx: ProcessCtx, fd: KAntiOmega<W>, proposal: Value) {
         assert_eq!(fd.config().k, self.k(), "FD degree must match");
         let mut fd_local = fd.local_state();
         let mut states: Vec<ProposerState> =
@@ -92,11 +92,11 @@ impl KSetAgreement {
     /// attempt per instance this process currently leads. Returns the
     /// decision when one is reached. Exposed separately so the BG simulation
     /// can drive the protocol step-by-step.
-    pub async fn round(
+    pub async fn round<const W: usize>(
         &self,
         ctx: &ProcessCtx,
-        fd: &KAntiOmega,
-        fd_local: &mut KAntiOmegaLocal,
+        fd: &KAntiOmega<W>,
+        fd_local: &mut KAntiOmegaLocal<W>,
         states: &mut [ProposerState],
         proposal: Value,
     ) -> Option<(Value, usize)> {
@@ -143,7 +143,11 @@ impl KSetAgreement {
     /// at construction instead of at the first step. The `k`-bounds
     /// conditions of [`alloc`](Self::alloc) hold by construction (both ABIs
     /// share the allocated object).
-    pub fn machine(&self, fd: &KAntiOmega, proposal: Value) -> KSetAgreementMachine {
+    pub fn machine<const W: usize>(
+        &self,
+        fd: &KAntiOmega<W>,
+        proposal: Value,
+    ) -> KSetAgreementMachine<W> {
         assert_eq!(fd.config().k, self.k(), "FD degree must match");
         KSetAgreementMachine {
             kset: self.clone(),
@@ -174,9 +178,9 @@ enum KsetPhase {
 
 /// The k-set agreement protocol on the state-machine ABI. Construct via
 /// [`KSetAgreement::machine`].
-pub struct KSetAgreementMachine {
+pub struct KSetAgreementMachine<const W: usize = 1> {
     kset: KSetAgreement,
-    fd: KAntiOmegaMachine,
+    fd: KAntiOmegaMachine<W>,
     /// FD iterations completed at the last phase hand-off: the Fd phase
     /// ends exactly when the embedded machine's iteration counter moves.
     fd_iterations_seen: u64,
@@ -185,7 +189,7 @@ pub struct KSetAgreementMachine {
     phase: KsetPhase,
 }
 
-impl KSetAgreementMachine {
+impl<const W: usize> KSetAgreementMachine<W> {
     /// The agreement degree `k`.
     pub fn k(&self) -> usize {
         self.kset.k()
@@ -197,7 +201,7 @@ impl KSetAgreementMachine {
     }
 }
 
-impl Automaton for KSetAgreementMachine {
+impl<const W: usize> Automaton for KSetAgreementMachine<W> {
     fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
         match self.phase {
             KsetPhase::Fd => {
@@ -257,7 +261,7 @@ impl Automaton for KSetAgreementMachine {
     }
 }
 
-impl PhaseBatch for KSetAgreementMachine {
+impl<const W: usize> PhaseBatch for KSetAgreementMachine<W> {
     #[inline]
     fn phase_class(&self) -> u8 {
         // Offsets keep the three protocol parts (and the embedded machines'

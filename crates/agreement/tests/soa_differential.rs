@@ -117,7 +117,7 @@ fn run_kanti(
     match drive {
         Drive::Plain => sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap(),
         Drive::Soa(sl) => sim
-            .run_automata_replay_soa(&mut fleet, schedule, sl, cfg)
+            .run_automata_replay_soa_batched(&mut fleet, schedule, sl, cfg)
             .unwrap(),
     };
     let mut regs = Vec::new();
@@ -145,7 +145,7 @@ fn run_paxos_fleet(n: usize, schedule: &Schedule, drive: Drive) -> (RunReport, V
     match drive {
         Drive::Plain => sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap(),
         Drive::Soa(sl) => sim
-            .run_automata_replay_soa(&mut fleet, schedule, sl, cfg)
+            .run_automata_replay_soa_batched(&mut fleet, schedule, sl, cfg)
             .unwrap(),
     };
     let mut regs: Vec<String> = paxos
@@ -177,7 +177,7 @@ fn run_kset_fleet(
     match drive {
         Drive::Plain => sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap(),
         Drive::Soa(sl) => sim
-            .run_automata_replay_soa(&mut fleet, schedule, sl, cfg)
+            .run_automata_replay_soa_batched(&mut fleet, schedule, sl, cfg)
             .unwrap(),
     };
     let mut regs = Vec::new();
@@ -207,7 +207,7 @@ fn run_lean_fd(n: usize, t: usize, schedule: &Schedule, drive: Drive) -> (RunRep
     match drive {
         Drive::Plain => sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap(),
         Drive::Soa(sl) => sim
-            .run_automata_replay_soa(&mut fleet, schedule, sl, cfg)
+            .run_automata_replay_soa_batched(&mut fleet, schedule, sl, cfg)
             .unwrap(),
     };
     let mut regs = Vec::new();
@@ -251,7 +251,7 @@ fn run_lean_consensus(
     match drive {
         Drive::Plain => sim.run_automata_replay(&mut fleet, schedule, cfg).unwrap(),
         Drive::Soa(sl) => sim
-            .run_automata_replay_soa(&mut fleet, schedule, sl, cfg)
+            .run_automata_replay_soa_batched(&mut fleet, schedule, sl, cfg)
             .unwrap(),
     };
     let mut regs = Vec::new();
@@ -532,7 +532,7 @@ fn lean_consensus_soa_decides_at_n64() {
     let burst = n * n + n + 2;
     let len = 40 * n * burst / 8;
     let sched = Schedule::from_indices((0..len).map(|s| (s / burst) % n));
-    sim.run_automata_replay_soa(&mut fleet, &sched, 64, RunConfig::steps(len as u64))
+    sim.run_automata_replay_soa_batched(&mut fleet, &sched, 64, RunConfig::steps(len as u64))
         .unwrap();
     let decided: std::collections::BTreeSet<Value> =
         sim.decisions().iter().flatten().map(|d| d.value).collect();

@@ -360,6 +360,67 @@ fn lean_ns_per_step(reps: usize, n: usize, schedule: &Schedule, drive: LeanDrive
     best * 1e9 / schedule.len() as f64
 }
 
+// The *paper's* stack beyond the wall: `KAntiOmega<W>` (Figure 2, full
+// `Π^1_n` counter matrix) feeding `KSetAgreementMachine<W>` fleets on
+// `WideProcSet` universes — the first throughput numbers for the verbatim
+// paper protocols at n > PROCSET_CAPACITY. Same bursty shape as the lean
+// curve with the wide detector's own iteration dwell (n² + n + 1 steps:
+// `steps_per_iteration(0)` at k = 1), plain vs SoA, fixed step budget.
+const WIDE_SIZES: [usize; 3] = [64, 128, 256];
+const WIDE_STEPS: usize = 2_000_000;
+
+fn wide_iteration(n: usize) -> u64 {
+    (n * n + n + 1) as u64
+}
+
+fn wide_bursty_schedule(n: usize, steps: usize) -> Schedule {
+    let u = Universe::new(n).unwrap();
+    st_sched::BurstyRotation::new(u, wide_iteration(n)).take_schedule(steps)
+}
+
+/// Drive-only wall clock (seconds) of the paper stack at width `W`:
+/// k = 1 anti-Ω (t = n/16) under a k-set agreement fleet (proposals
+/// 100 + pid). SoA runs slice 1024, as for the lean fleet.
+fn run_wide_fleet_width<const W: usize>(n: usize, schedule: &Schedule, soa: bool) -> f64 {
+    use st_sim::{RunConfig, Sim};
+
+    let u = Universe::new(n).unwrap();
+    let mut sim = Sim::new(u);
+    let fd = KAntiOmega::<W>::alloc_wide(&mut sim, KAntiOmegaConfig::new(1, (n / 16).max(1)));
+    let kset = st_agreement::KSetAgreement::alloc(&mut sim, 1);
+    let mut fleet: Vec<_> = u
+        .processes()
+        .map(|p| kset.machine(&fd, 100 + p.index() as u64))
+        .collect();
+    let cfg = RunConfig::steps(schedule.len() as u64);
+    let start = Instant::now();
+    if soa {
+        sim.run_automata_replay_soa(&mut fleet, schedule, 1024, cfg)
+    } else {
+        sim.run_automata_replay(&mut fleet, schedule, cfg)
+    }
+    .unwrap();
+    start.elapsed().as_secs_f64()
+}
+
+fn run_wide_fleet(n: usize, schedule: &Schedule, soa: bool) -> f64 {
+    match st_core::words_for(n) {
+        1 => run_wide_fleet_width::<1>(n, schedule, soa),
+        2 => run_wide_fleet_width::<2>(n, schedule, soa),
+        3..=4 => run_wide_fleet_width::<4>(n, schedule, soa),
+        w => unreachable!("no bench size needs {w} words"),
+    }
+}
+
+/// Best-of-`reps` ns/step of the wide paper-stack fleet drive.
+fn wide_ns_per_step(reps: usize, n: usize, schedule: &Schedule, soa: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(std::hint::black_box(run_wide_fleet(n, schedule, soa)));
+    }
+    best * 1e9 / schedule.len() as f64
+}
+
 /// The three fleet replay drives on the lean stack at n = 64 — the live
 /// (criterion) counterpart of the baseline's n-scaling curve, kept at one
 /// size and a smoke-size step count so the CI `sim` filter exercises the
@@ -747,6 +808,24 @@ fn emit_baseline(_c: &mut Criterion) {
         .collect::<Vec<_>>()
         .join(",\n");
 
+    // The paper-detector curve: the verbatim Figure 2 stack on wide sets,
+    // plain vs SoA, at the sizes the wide port unlocked.
+    let wide_rows = WIDE_SIZES
+        .iter()
+        .map(|&n| {
+            let sched = wide_bursty_schedule(n, WIDE_STEPS);
+            let plain = wide_ns_per_step(2, n, &sched, false);
+            let soa = wide_ns_per_step(2, n, &sched, true);
+            format!(
+                "      {{\"n\": {n}, \"words\": {}, \"plain_ns_per_step\": {plain:.2}, \
+                 \"soa_ns_per_step\": {soa:.2}, \"soa_speedup\": {:.2}}}",
+                st_core::words_for(n),
+                plain / soa
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     // The sharded caveat, re-measured at n = 256 on the interleaved
     // (round-robin) schedule the drive was built for — the bursty curve
     // above is already shard-grouped, so it cannot show sharding's effect
@@ -837,7 +916,7 @@ fn emit_baseline(_c: &mut Criterion) {
     let shrink_rps = shrink_runs as f64 * 1e3 / shrink_ms;
 
     let json = format!(
-        "{{\n  \"schema\": \"st-bench/timeliness-v7\",\n  \
+        "{{\n  \"schema\": \"st-bench/timeliness-v8\",\n  \
          \"workload\": {{\"n\": {N}, \"schedule_len\": {LEN}, \"bound_cap\": {CAP}, \"i\": {I}, \"j\": {J}}},\n  \
          \"all_timely_pairs_ms\": {{\n    \
            \"round_robin\": {{\"naive\": {naive_rr:.2}, \"engine\": {engine_rr:.2}, \"speedup\": {:.1}}},\n    \
@@ -863,6 +942,11 @@ fn emit_baseline(_c: &mut Criterion) {
              \"schedule\": \"Bursty(n^2+n+2)\", \"steps\": {LEAN_STEPS}, \
              \"sharded\": \"shard 32 / slice 4096\", \"soa_slice_len\": 1024}},\n    \
            \"curve\": [\n{lean_rows}\n    ]\n  }},\n  \
+         \"wide_fd_n_scaling\": {{\n    \
+           \"workload\": {{\"fleet\": \"KSetAgreement over KAntiOmega (Figure 2, wide sets)\", \
+             \"k\": 1, \"t\": \"n/16\", \"schedule\": \"Bursty(n^2+n+1)\", \"steps\": {WIDE_STEPS}, \
+             \"soa_slice_len\": 1024}},\n    \
+           \"curve\": [\n{wide_rows}\n    ]\n  }},\n  \
          \"lean_interleaved_n256\": {{\n    \
            \"workload\": {{\"n\": 256, \"schedule\": \"RoundRobin\", \"steps\": {LEAN_STEPS}}},\n    \
            \"plain_ns_per_step\": {inter_plain:.2},\n    \

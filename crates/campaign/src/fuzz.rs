@@ -145,6 +145,7 @@ pub fn features(scenario: &Scenario, outcome: &ScenarioOutcome) -> Vec<u64> {
         Workload::BgReduction { .. } => 3,
         Workload::LeanConvergence { .. } => 4,
         Workload::LeanAgreement { .. } => 5,
+        Workload::WideFdConvergence { .. } => 6,
     };
     match &outcome.data {
         OutcomeData::Fd(fd) => {
@@ -219,6 +220,21 @@ pub fn features(scenario: &Scenario, outcome: &ScenarioOutcome) -> Vec<u64> {
                 CLASS_DECISIONS,
                 (l.distinct_values.len() as u64) << 8 | l.decided as u64,
             ));
+        }
+        OutcomeData::WideFd(w) => {
+            feats.push(feature(
+                CLASS_STATUS,
+                (workload_tag << 8) | status_tag(w.status),
+            ));
+            feats.push(feature(CLASS_STEPS, (workload_tag << 8) | bucket(w.steps)));
+            match &w.stabilization {
+                Some(st) => {
+                    feats.push(feature(CLASS_STABILIZATION, 1 << 8 | bucket(st.step)));
+                    feats.push(feature(CLASS_WINNERSET, st.winnerset_code));
+                }
+                None => feats.push(feature(CLASS_STABILIZATION, 0)),
+            }
+            feats.push(feature(CLASS_FLAPS, bucket(w.late_flaps as u64)));
         }
     }
     for v in &outcome.violations {

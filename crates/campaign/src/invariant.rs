@@ -214,6 +214,7 @@ impl InvariantChecker {
                 | Workload::Agreement { .. }
                 | Workload::LeanConvergence { .. }
                 | Workload::LeanAgreement { .. }
+                | Workload::WideFdConvergence { .. }
         );
         let (guarantee, windows) = if generator_drives {
             (
@@ -316,6 +317,24 @@ impl InvariantChecker {
                         values: l.distinct_values.clone(),
                         k: 1,
                     });
+                }
+            }
+            OutcomeData::WideFd(w) => {
+                // Accusation sanity at any width: members at or above the
+                // ProcSet capacity are trivially correct (faulty sets cannot
+                // name them), so the violation fires only when every member
+                // is both nameable and faulty — in which case the winnerset
+                // fits in a ProcSet and reuses the narrow violation.
+                if let Some(st) = &w.stabilization {
+                    let all_faulty = !st.members.is_empty()
+                        && st.members.iter().all(|&m| {
+                            m < st_core::PROCSET_CAPACITY && self.faulty.contains(ProcessId::new(m))
+                        });
+                    if all_faulty {
+                        violations.push(InvariantViolation::AccusedTimelyWinnerset {
+                            winnerset: ProcSet::from_indices(st.members.iter().copied()),
+                        });
+                    }
                 }
             }
             OutcomeData::Adversarial(_) | OutcomeData::Bg(_) => {}

@@ -83,7 +83,7 @@ pub use invariant::{InvariantChecker, InvariantViolation};
 pub use scenario::{
     policy_from_spec, AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, CertifyTimely,
     FdAbi, FdDetector, FdOutcome, FleetReplayDrive, LeanOutcome, LeanStabilization, OutcomeData,
-    Scenario, ScenarioOutcome, StopRule, Workload,
+    Scenario, ScenarioOutcome, StopRule, WideFdOutcome, WideFdStabilization, Workload,
 };
 pub use shrink::{ShrinkReport, Shrinker};
 pub use store::{OutcomeStore, StoreEntry, StoreError};

@@ -16,8 +16,8 @@ use st_core::{
     AgreementTask, AgreementViolation, ProcSet, ProcessId, StepSource, TimelyPair, Universe, Value,
 };
 use st_fd::convergence::{
-    certify_system_membership, kanti_omega_witness, winnerset_stabilization, KAntiOmegaWitness,
-    Stabilization,
+    certify_system_membership, kanti_omega_witness, wide_winnerset_stabilization,
+    winnerset_stabilization, KAntiOmegaWitness, Stabilization,
 };
 use st_fd::{
     KAntiOmega, KAntiOmegaConfig, LeanOmega, LeanOmegaMachine, ProcessTimelyDetector,
@@ -154,6 +154,25 @@ pub enum Workload {
         /// Which replay drive steps the fleet.
         drive: FleetReplayDrive,
     },
+    /// The paper's **full Figure 2 k-anti-Ω** past the single-word wall:
+    /// a width-generic [`KAntiOmega`] machine fleet on a replay drive, at
+    /// any `n ≤ MAX_PROCESSES`. The bitset width is dispatched at runtime
+    /// from the universe size ([`st_core::words_for`]), so one workload
+    /// value covers n = 8 and n = 256 alike. Outcomes are index- and
+    /// rank-based (no `ProcSet`), mirroring the lean workloads; the
+    /// stabilized winnerset is carried both as the raw probe payload
+    /// (bits at `W = 1`, colex rank at `W > 1` — see
+    /// [`st_fd::WINNERSET_PROBE`]) and as decoded member indices.
+    WideFdConvergence {
+        /// Detector parameter `k`.
+        k: usize,
+        /// Resilience `t`.
+        t: usize,
+        /// Figure 2 line 17 timeout policy.
+        policy: TimeoutPolicy,
+        /// Which replay drive steps the fleet.
+        drive: FleetReplayDrive,
+    },
 }
 
 /// Which fleet replay drive a lean scenario uses. Observationally
@@ -203,7 +222,8 @@ impl Workload {
             Workload::AdversarialAgreement { .. }
             | Workload::BgReduction { .. }
             | Workload::LeanConvergence { .. }
-            | Workload::LeanAgreement { .. } => StopRule::BudgetOnly,
+            | Workload::LeanAgreement { .. }
+            | Workload::WideFdConvergence { .. } => StopRule::BudgetOnly,
         }
     }
 
@@ -216,7 +236,8 @@ impl Workload {
             | Workload::Agreement { policy, .. }
             | Workload::AdversarialAgreement { policy, .. }
             | Workload::LeanConvergence { policy, .. }
-            | Workload::LeanAgreement { policy, .. } => *policy = new,
+            | Workload::LeanAgreement { policy, .. }
+            | Workload::WideFdConvergence { policy, .. } => *policy = new,
             Workload::BgReduction { .. } => {}
         }
         self
@@ -379,6 +400,15 @@ impl Scenario {
             Workload::LeanAgreement { t, policy, drive } => {
                 let (o, ev) = self.run_lean(*t, *policy, *drive, true, check);
                 (OutcomeData::Lean(o), ev)
+            }
+            Workload::WideFdConvergence {
+                k,
+                t,
+                policy,
+                drive,
+            } => {
+                let (o, ev) = self.run_wide_fd(*k, *t, *policy, *drive, check);
+                (OutcomeData::WideFd(o), ev)
             }
         };
         let (violations, counterexample) = if check {
@@ -719,6 +749,107 @@ impl Scenario {
         )
     }
 
+    /// The width-generic Figure 2 workload: pick the narrowest supported
+    /// bitset width that holds the universe, then run the paper's full
+    /// detector fleet on the configured replay drive. The generic body is
+    /// monomorphized per width; widths between the supported powers of two
+    /// round up (a wider set than necessary is correct, just larger).
+    fn run_wide_fd(
+        &self,
+        k: usize,
+        t: usize,
+        policy: TimeoutPolicy,
+        drive: FleetReplayDrive,
+        check: bool,
+    ) -> (WideFdOutcome, Evidence) {
+        match st_core::words_for(self.universe.n()) {
+            1 => self.run_wide_fd_width::<1>(k, t, policy, drive, check),
+            2 => self.run_wide_fd_width::<2>(k, t, policy, drive, check),
+            3..=4 => self.run_wide_fd_width::<4>(k, t, policy, drive, check),
+            5..=8 => self.run_wide_fd_width::<8>(k, t, policy, drive, check),
+            9..=16 => self.run_wide_fd_width::<16>(k, t, policy, drive, check),
+            w => unreachable!("words_for caps at MAX_PROCESSES/64 = 16, got {w}"),
+        }
+    }
+
+    fn run_wide_fd_width<const W: usize>(
+        &self,
+        k: usize,
+        t: usize,
+        policy: TimeoutPolicy,
+        drive: FleetReplayDrive,
+        check: bool,
+    ) -> (WideFdOutcome, Evidence) {
+        let universe = self.universe;
+        let n = universe.n();
+        // As for the lean workloads: materialize the schedule up front — the
+        // replay drives execute it verbatim, and it doubles as the checker's
+        // executed-schedule evidence without trace recording.
+        let schedule = self
+            .generator
+            .build(universe, self.seed)
+            .take_schedule(self.budget as usize);
+        let mut sim = Sim::new(universe);
+        let fd =
+            KAntiOmega::<W>::alloc_wide(&mut sim, KAntiOmegaConfig::new(k, t).with_policy(policy));
+        let cfg = RunConfig::steps(self.budget);
+        let mut fleet: Vec<_> = universe.processes().map(|_| fd.machine()).collect();
+        let status = match drive {
+            FleetReplayDrive::Plain => sim.run_automata_replay(&mut fleet, &schedule, cfg),
+            FleetReplayDrive::Soa { slice_len } => {
+                sim.run_automata_replay_soa(&mut fleet, &schedule, slice_len, cfg)
+            }
+        }
+        .expect("generator schedules stay within the universe");
+        let report = sim.report();
+        // Faulty sets only name indices below the ProcSet capacity; any
+        // higher index is correct by construction (as in the lean judge).
+        let faulty = self.faulty;
+        let correct = universe
+            .processes()
+            .filter(|p| p.index() >= st_core::PROCSET_CAPACITY || !faulty.contains(*p));
+        let stabilization = wide_winnerset_stabilization(&report, correct).map(|st| {
+            let members: Vec<usize> = if W == 1 {
+                ProcSet::from_bits(st.winnerset_rank)
+                    .iter()
+                    .map(|p| p.index())
+                    .collect()
+            } else {
+                st_core::subsets::wide_unrank::<W>(universe, k, st.winnerset_rank)
+                    .iter()
+                    .map(|p| p.index())
+                    .collect()
+            };
+            WideFdStabilization {
+                winnerset_code: st.winnerset_rank,
+                members,
+                step: st.step,
+            }
+        });
+        let after = self.budget * 3 / 4;
+        let mut publications = 0u64;
+        let mut late_flaps = 0usize;
+        for i in 0..n {
+            let timeline = report.probes.timeline(ProcessId::new(i), WINNERSET_PROBE);
+            publications += timeline.len() as u64;
+            late_flaps += timeline.iter().filter(|&&(s, _)| s > after).count();
+        }
+        let evidence = Evidence {
+            executed: if check { Some(schedule) } else { None },
+            ballots: None,
+        };
+        (
+            WideFdOutcome {
+                status,
+                steps: report.steps,
+                stabilization,
+                publications,
+                late_flaps,
+            },
+            evidence,
+        )
+    }
+
     fn run_bg(&self, n_sim: usize, k: usize, max_reads: usize) -> BgOutcome {
         let machines: Vec<TrivialKDecide> = (0..n_sim)
             .map(|u| TrivialKDecide::new(u, k, 300 + u as Value))
@@ -797,6 +928,8 @@ pub enum OutcomeData {
     Bg(BgOutcome),
     /// Lean large-n payload (convergence or consensus).
     Lean(LeanOutcome),
+    /// Width-generic Figure 2 payload.
+    WideFd(WideFdOutcome),
 }
 
 impl OutcomeData {
@@ -839,6 +972,14 @@ impl OutcomeData {
             _ => None,
         }
     }
+
+    /// The width-generic Figure 2 payload, when this is one.
+    pub fn as_wide_fd(&self) -> Option<&WideFdOutcome> {
+        match self {
+            OutcomeData::WideFd(o) => Some(o),
+            _ => None,
+        }
+    }
 }
 
 /// Lean leader stabilization: the index every correct process's final
@@ -869,6 +1010,37 @@ pub struct LeanOutcome {
     pub decided: usize,
     /// Distinct decided values, sorted (consensus demands ≤ 1).
     pub distinct_values: Vec<Value>,
+}
+
+/// Wide winnerset stabilization: the common final winnerset of the
+/// width-generic detector, at any universe size.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WideFdStabilization {
+    /// The raw stabilized probe payload: the winnerset's bits at `W = 1`,
+    /// its colex rank in `Π^k_n` at `W > 1` (the dual encoding of
+    /// [`st_fd::WINNERSET_PROBE`]).
+    pub winnerset_code: u64,
+    /// The winnerset's member indices, sorted ascending (no `ProcSet`:
+    /// valid at any `n`).
+    pub members: Vec<usize>,
+    /// Step by which every correct process had converged to it.
+    pub step: u64,
+}
+
+/// What a width-generic Figure 2 scenario observed
+/// ([`Workload::WideFdConvergence`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WideFdOutcome {
+    /// Why the drive ended.
+    pub status: RunStatus,
+    /// Steps executed.
+    pub steps: u64,
+    /// Lemma 22 stabilization over correct processes, if reached.
+    pub stabilization: Option<WideFdStabilization>,
+    /// Total winnerset publications across the fleet.
+    pub publications: u64,
+    /// Winnerset publications in the last quarter of the budget (flapping).
+    pub late_flaps: usize,
 }
 
 /// What an FD-convergence scenario observed.

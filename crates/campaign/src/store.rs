@@ -45,7 +45,7 @@ use crate::invariant::InvariantViolation;
 use crate::scenario::{
     AdversarialOutcome, AgreementScenarioOutcome, BgOutcome, CertifyTimely, FdAbi, FdDetector,
     FdOutcome, FleetReplayDrive, LeanOutcome, LeanStabilization, OutcomeData, Scenario,
-    ScenarioOutcome, StopRule, Workload,
+    ScenarioOutcome, StopRule, WideFdOutcome, WideFdStabilization, Workload,
 };
 
 /// The on-disk schema this build writes and accepts. v2 added the
@@ -600,6 +600,18 @@ fn encode_workload(w: &Workload) -> Json {
             ("policy", policy_name(*policy)),
             ("drive", encode_drive(*drive)),
         ]),
+        Workload::WideFdConvergence {
+            k,
+            t,
+            policy,
+            drive,
+        } => Json::obj([
+            ("kind", Json::str("WideFdConvergence")),
+            ("k", Json::U64(*k as u64)),
+            ("t", Json::U64(*t as u64)),
+            ("policy", policy_name(*policy)),
+            ("drive", encode_drive(*drive)),
+        ]),
     }
 }
 
@@ -779,6 +791,27 @@ pub fn encode_outcome(out: &ScenarioOutcome) -> Json {
             ("late_flaps", Json::U64(l.late_flaps as u64)),
             ("decided", Json::U64(l.decided as u64)),
             ("distinct_values", values(&l.distinct_values)),
+        ]),
+        OutcomeData::WideFd(w) => Json::obj([
+            ("kind", Json::str("WideFd")),
+            ("status", encode_status(w.status)),
+            ("steps", Json::U64(w.steps)),
+            (
+                "stabilization",
+                match &w.stabilization {
+                    Some(s) => Json::obj([
+                        ("winnerset_code", Json::U64(s.winnerset_code)),
+                        (
+                            "members",
+                            Json::arr(s.members.iter().map(|&m| Json::U64(m as u64))),
+                        ),
+                        ("step", Json::U64(s.step)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            ("publications", Json::U64(w.publications)),
+            ("late_flaps", Json::U64(w.late_flaps as u64)),
         ]),
     };
     Json::obj([
@@ -1072,6 +1105,23 @@ pub fn decode_outcome(j: &Json) -> DecodeResult<ScenarioOutcome> {
             late_flaps: usize_field(data, "late_flaps")?,
             decided: usize_field(data, "decided")?,
             distinct_values: values_field(data, "distinct_values")?,
+        }),
+        "WideFd" => OutcomeData::WideFd(WideFdOutcome {
+            status: decode_status(field(data, "status")?)?,
+            steps: u64_field(data, "steps")?,
+            stabilization: match field(data, "stabilization")? {
+                Json::Null => None,
+                v => Some(WideFdStabilization {
+                    winnerset_code: u64_field(v, "winnerset_code")?,
+                    members: values_field(v, "members")?
+                        .into_iter()
+                        .map(|m| m as usize)
+                        .collect(),
+                    step: u64_field(v, "step")?,
+                }),
+            },
+            publications: u64_field(data, "publications")?,
+            late_flaps: usize_field(data, "late_flaps")?,
         }),
         other => return Err(format!("unknown outcome kind {other:?}")),
     };
@@ -1417,6 +1467,12 @@ fn decode_workload(j: &Json) -> DecodeResult<Workload> {
             drive: decode_drive(j, "drive")?,
         }),
         "LeanAgreement" => Ok(Workload::LeanAgreement {
+            t: usize_field(j, "t")?,
+            policy: decode_policy(j, "policy")?,
+            drive: decode_drive(j, "drive")?,
+        }),
+        "WideFdConvergence" => Ok(Workload::WideFdConvergence {
+            k: usize_field(j, "k")?,
             t: usize_field(j, "t")?,
             policy: decode_policy(j, "policy")?,
             drive: decode_drive(j, "drive")?,

@@ -208,6 +208,83 @@ fn large_n_campaign() -> Campaign {
     campaign
 }
 
+/// The *paper's* detector at large n rides the same guarantee: wide-FD
+/// workloads at n = 128 (two-word `WideProcSet` universes) across both
+/// fleet-replay drives must be byte-identical at 1, 4, and an
+/// oversubscribed worker count, and must round-trip through the outcome
+/// store byte-identically. Budgets stay below stabilization scale.
+fn wide_fd_campaign() -> Campaign {
+    use st_campaign::FleetReplayDrive;
+    let n = 128;
+    let universe = Universe::new(n).unwrap();
+    let burst = (n * n + n + 2) as u64;
+    let mut campaign = Campaign::new();
+    for seed in [41, 42] {
+        for drive in [
+            FleetReplayDrive::Plain,
+            FleetReplayDrive::Soa { slice_len: 64 },
+        ] {
+            campaign.push(st_campaign::Scenario::new(
+                format!("n128/wide-fd/{drive:?}/seed{seed}"),
+                universe,
+                GeneratorSpec::Bursty { burst },
+                Workload::WideFdConvergence {
+                    k: 1,
+                    t: 8,
+                    policy: TimeoutPolicy::Increment,
+                    drive,
+                },
+                60_000,
+                seed,
+            ));
+        }
+    }
+    campaign
+}
+
+#[test]
+fn wide_fd_grid_is_worker_count_independent() {
+    let campaign = wide_fd_campaign();
+    assert_eq!(campaign.len(), 2 * 2, "the wide-fd grid shape");
+
+    let sequential = campaign.run_parallel(1);
+    let four = campaign.run_parallel(4);
+    let oversubscribed = campaign.run_parallel(33);
+
+    assert_eq!(as_bytes(&sequential), as_bytes(&four));
+    assert_eq!(as_bytes(&sequential), as_bytes(&oversubscribed));
+
+    for out in &sequential {
+        assert!(
+            out.violations.is_empty(),
+            "unexpected violation in {}: {:?}",
+            out.label,
+            out.violations
+        );
+    }
+
+    // Store round-trip: the WideFd codec arms reproduce the outcomes
+    // byte-for-byte.
+    let dir = std::env::temp_dir().join("st-campaign-wide-fd-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("outcomes.json");
+    let key = "wide-fd-determinism";
+    let mut store = st_campaign::OutcomeStore::new();
+    for (scenario, out) in campaign.scenarios().iter().zip(&sequential) {
+        store.record(key, scenario, out);
+    }
+    store.save(&path).unwrap();
+    let loaded = st_campaign::OutcomeStore::load(&path).unwrap();
+    let reloaded: Vec<ScenarioOutcome> = campaign
+        .scenarios()
+        .iter()
+        .zip(&sequential)
+        .map(|(scenario, out)| loaded.lookup(key, out.rank, scenario).unwrap())
+        .collect();
+    assert_eq!(as_bytes(&sequential), as_bytes(&reloaded));
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn large_n_lean_grid_is_worker_count_independent() {
     let campaign = large_n_campaign();

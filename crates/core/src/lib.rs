@@ -65,7 +65,7 @@ pub use agreementspec::{
 pub use error::ModelError;
 pub use json::{Json, JsonError};
 pub use process::{ProcessId, Universe, MAX_PROCESSES, PROCSET_CAPACITY};
-pub use procset::ProcSet;
+pub use procset::{words_for, ProcSet, WideProcSet};
 pub use profile::SynchronyProfile;
 pub use schedule::Schedule;
 pub use solvability::{matching_system, solvability, Solvability, UnsolvableReason};

@@ -1,24 +1,75 @@
-//! Sets of processes, represented as 64-bit bitsets.
+//! Sets of processes, represented as multi-word bitsets.
 //!
 //! Set timeliness (Definition 1 of the paper) compares *sets* of processes,
 //! and the Figure 2 algorithm enumerates `Π^k_n` — all subsets of size `k` —
-//! so set operations must be cheap. A `ProcSet` packs membership into a `u64`,
-//! which also gives us the "arbitrary total order on `Π^k_n`" the paper uses
-//! for tie-breaking (we order by the bitset value; see [`ProcSet::cmp`]).
+//! so set operations must be cheap. A [`WideProcSet<W>`] packs membership
+//! into `W` machine words, which also gives us the "arbitrary total order on
+//! `Π^k_n`" the paper uses for tie-breaking (we order by the bitset value,
+//! most significant word first; see [`WideProcSet::cmp`]).
+//!
+//! [`ProcSet`] is the single-word (`W = 1`, `n ≤ 64`) specialization that
+//! the small-universe protocol and analysis code uses; it keeps the raw
+//! `u64` accessors ([`ProcSet::bits`] / [`ProcSet::from_bits`]) and the
+//! codegen of a plain `u64` bitmask. Universes beyond 64 processes pick a
+//! wider `W` via [`words_for`] and run the same API.
 
+use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitXor, Sub};
 
-use crate::process::{ProcessId, Universe, PROCSET_CAPACITY};
+use crate::process::{ProcessId, Universe};
 
-/// A set of processes drawn from `Π_n` (`n ≤ 64`), stored as a bitmask.
+/// Number of 64-bit words a bitset needs to cover a universe of `n`
+/// processes. This is the value dispatch code matches on when choosing a
+/// concrete `W` for [`WideProcSet`].
 ///
-/// Bit `i` set means process `p_i` is a member. With universes now allowed
-/// to exceed 64 processes (see [`MAX_PROCESSES`](crate::MAX_PROCESSES)),
-/// `ProcSet` remains the *set analysis* type of the small-universe regime:
-/// every membership operation asserts its index is below
-/// [`PROCSET_CAPACITY`], and large-n protocol code tracks processes by
-/// plain index instead.
+/// # Examples
+///
+/// ```
+/// use st_core::procset::words_for;
+///
+/// assert_eq!(words_for(1), 1);
+/// assert_eq!(words_for(64), 1);
+/// assert_eq!(words_for(65), 2);
+/// assert_eq!(words_for(256), 4);
+/// ```
+pub fn words_for(n: usize) -> usize {
+    n.div_ceil(64).max(1)
+}
+
+/// A set of processes drawn from `Π_n` (`n ≤ 64·W`), stored as a `W`-word
+/// bitmask.
+///
+/// Bit `i % 64` of word `i / 64` set means process `p_i` is a member. The
+/// type carries the full set API at every width — membership, algebra,
+/// popcount, a total order for `Π^k_n` tie-breaking, iteration — and
+/// [`ProcSet`] (`W = 1`) is the specialization the `n ≤ 64` regime uses,
+/// keeping its current single-`u64` codegen. Every membership operation
+/// asserts its index is below [`Self::CAPACITY`].
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{ProcessId, WideProcSet};
+///
+/// let p = WideProcSet::<2>::from_indices([0, 100]);
+/// assert!(p.contains(ProcessId::new(100)));
+/// assert!(!p.contains(ProcessId::new(1)));
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.to_string(), "{p0,p100}");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WideProcSet<const W: usize>([u64; W]);
+
+/// A set of processes drawn from `Π_n` (`n ≤ 64`), stored as a single
+/// `u64` bitmask — the `W = 1` specialization of [`WideProcSet`].
+///
+/// With universes allowed to exceed 64 processes (see
+/// [`MAX_PROCESSES`](crate::MAX_PROCESSES)), `ProcSet` remains the *set
+/// analysis* type of the small-universe regime: every membership operation
+/// asserts its index is below [`PROCSET_CAPACITY`](crate::PROCSET_CAPACITY),
+/// and large-n protocol code either tracks processes by plain index or uses
+/// a wider [`WideProcSet`].
 ///
 /// # Examples
 ///
@@ -31,20 +82,36 @@ use crate::process::{ProcessId, Universe, PROCSET_CAPACITY};
 /// assert_eq!(p.len(), 2);
 /// assert_eq!(p.to_string(), "{p0,p2}");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct ProcSet(u64);
+pub type ProcSet = WideProcSet<1>;
 
 impl ProcSet {
-    /// The empty set.
-    pub const EMPTY: ProcSet = ProcSet(0);
-
     /// Creates a set from a raw bitmask (bit `i` ⇒ process `i`).
     pub fn from_bits(bits: u64) -> Self {
-        ProcSet(bits)
+        WideProcSet([bits])
     }
 
     /// Returns the raw bitmask.
     pub fn bits(self) -> u64 {
+        self.0[0]
+    }
+}
+
+impl<const W: usize> WideProcSet<W> {
+    /// The empty set.
+    pub const EMPTY: Self = WideProcSet([0; W]);
+
+    /// Largest process index this width can represent, plus one. Equals
+    /// [`PROCSET_CAPACITY`](crate::PROCSET_CAPACITY) for `W = 1`.
+    pub const CAPACITY: usize = 64 * W;
+
+    /// Creates a set from its raw words (bit `i % 64` of word `i / 64` ⇒
+    /// process `i`).
+    pub fn from_words(words: [u64; W]) -> Self {
+        WideProcSet(words)
+    }
+
+    /// Returns the raw words.
+    pub fn words(self) -> [u64; W] {
         self.0
     }
 
@@ -52,148 +119,187 @@ impl ProcSet {
     ///
     /// # Panics
     ///
-    /// Panics if `p.index() >= 64`.
+    /// Panics if `p.index() >= Self::CAPACITY`.
     pub fn singleton(p: ProcessId) -> Self {
-        ProcSet(1u64 << Self::bit(p))
+        let (w, b) = Self::bit(p);
+        let mut words = [0u64; W];
+        words[w] = 1u64 << b;
+        WideProcSet(words)
     }
 
-    /// Bounds-checks a process index against the bitset capacity. Every
-    /// membership operation funnels through this: an out-of-capacity index
-    /// would otherwise be a masked shift (silently wrong membership) in
-    /// release builds.
+    /// Bounds-checks a process index against the bitset capacity and splits
+    /// it into a (word, bit) address. Every membership operation funnels
+    /// through this: an out-of-capacity index would otherwise be an
+    /// out-of-bounds word access or a masked shift (silently wrong
+    /// membership).
     #[inline]
-    fn bit(p: ProcessId) -> u32 {
+    fn bit(p: ProcessId) -> (usize, u32) {
         let i = p.index();
         assert!(
-            i < PROCSET_CAPACITY,
-            "process index {i} exceeds the ProcSet capacity ({PROCSET_CAPACITY}); \
-             universes beyond 64 processes use index-based tracking"
+            i < Self::CAPACITY,
+            "process index {i} exceeds the bitset capacity ({cap}); \
+             universes beyond {cap} processes need a wider WideProcSet",
+            cap = Self::CAPACITY,
         );
-        i as u32
+        (i / 64, (i % 64) as u32)
     }
 
     /// Creates a set from an iterator of process indices.
     ///
     /// # Panics
     ///
-    /// Panics if any index is `>= 64`.
+    /// Panics if any index is `>= Self::CAPACITY`.
     pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
-        let mut bits = 0u64;
+        let mut words = [0u64; W];
         for i in indices {
-            assert!(i < PROCSET_CAPACITY, "process index {i} out of range");
-            bits |= 1u64 << i;
+            assert!(i < Self::CAPACITY, "process index {i} out of range");
+            words[i / 64] |= 1u64 << (i % 64);
         }
-        ProcSet(bits)
+        WideProcSet(words)
     }
 
     /// The full set `Π_n` for a universe of `n` processes.
     ///
     /// # Panics
     ///
-    /// Panics if `n > 64` (the bitset capacity; large universes have no
-    /// `ProcSet` of all processes).
+    /// Panics if `n > Self::CAPACITY` (the bitset capacity at this width;
+    /// larger universes need a wider `W`).
     pub fn full(universe: Universe) -> Self {
         let n = universe.n();
         assert!(
-            n <= PROCSET_CAPACITY,
-            "Π_{n} exceeds the ProcSet capacity ({PROCSET_CAPACITY})"
+            n <= Self::CAPACITY,
+            "Π_{n} exceeds the bitset capacity ({cap})",
+            cap = Self::CAPACITY,
         );
-        if n == PROCSET_CAPACITY {
-            ProcSet(u64::MAX)
-        } else {
-            ProcSet((1u64 << n) - 1)
+        let mut words = [0u64; W];
+        for (w, word) in words.iter_mut().enumerate() {
+            let filled = n.saturating_sub(w * 64).min(64);
+            *word = match filled {
+                0 => 0,
+                64 => u64::MAX,
+                f => (1u64 << f) - 1,
+            };
         }
+        WideProcSet(words)
     }
 
     /// Number of members.
     pub fn len(self) -> usize {
-        self.0.count_ones() as usize
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Returns `true` if the set has no members.
     pub fn is_empty(self) -> bool {
-        self.0 == 0
+        self.0.iter().all(|&w| w == 0)
     }
 
     /// Membership test.
     ///
     /// # Panics
     ///
-    /// Panics if `p.index() >= 64` (as for every membership operation).
+    /// Panics if `p.index() >= Self::CAPACITY` (as for every membership
+    /// operation).
     pub fn contains(self, p: ProcessId) -> bool {
-        self.0 & (1u64 << Self::bit(p)) != 0
+        let (w, b) = Self::bit(p);
+        self.0[w] & (1u64 << b) != 0
     }
 
     /// Returns a copy with `p` inserted.
     pub fn with(self, p: ProcessId) -> Self {
-        ProcSet(self.0 | (1u64 << Self::bit(p)))
+        let (w, b) = Self::bit(p);
+        let mut words = self.0;
+        words[w] |= 1u64 << b;
+        WideProcSet(words)
     }
 
     /// Returns a copy with `p` removed.
     pub fn without(self, p: ProcessId) -> Self {
-        ProcSet(self.0 & !(1u64 << Self::bit(p)))
+        let (w, b) = Self::bit(p);
+        let mut words = self.0;
+        words[w] &= !(1u64 << b);
+        WideProcSet(words)
     }
 
     /// Inserts `p` in place; returns whether the set changed.
     pub fn insert(&mut self, p: ProcessId) -> bool {
-        let before = self.0;
-        self.0 |= 1u64 << Self::bit(p);
-        self.0 != before
+        let (w, b) = Self::bit(p);
+        let before = self.0[w];
+        self.0[w] |= 1u64 << b;
+        self.0[w] != before
     }
 
     /// Removes `p` in place; returns whether the set changed.
     pub fn remove(&mut self, p: ProcessId) -> bool {
-        let before = self.0;
-        self.0 &= !(1u64 << Self::bit(p));
-        self.0 != before
+        let (w, b) = Self::bit(p);
+        let before = self.0[w];
+        self.0[w] &= !(1u64 << b);
+        self.0[w] != before
     }
 
     /// Set union.
-    pub fn union(self, other: ProcSet) -> Self {
-        ProcSet(self.0 | other.0)
+    pub fn union(self, other: Self) -> Self {
+        let mut words = self.0;
+        for (w, o) in words.iter_mut().zip(other.0) {
+            *w |= o;
+        }
+        WideProcSet(words)
     }
 
     /// Set intersection.
-    pub fn intersection(self, other: ProcSet) -> Self {
-        ProcSet(self.0 & other.0)
+    pub fn intersection(self, other: Self) -> Self {
+        let mut words = self.0;
+        for (w, o) in words.iter_mut().zip(other.0) {
+            *w &= o;
+        }
+        WideProcSet(words)
     }
 
     /// Set difference `self \ other`.
-    pub fn difference(self, other: ProcSet) -> Self {
-        ProcSet(self.0 & !other.0)
+    pub fn difference(self, other: Self) -> Self {
+        let mut words = self.0;
+        for (w, o) in words.iter_mut().zip(other.0) {
+            *w &= !o;
+        }
+        WideProcSet(words)
     }
 
     /// Complement within the universe `Π_n`.
     pub fn complement(self, universe: Universe) -> Self {
-        ProcSet(!self.0).intersection(ProcSet::full(universe))
+        let mut words = self.0;
+        for w in words.iter_mut() {
+            *w = !*w;
+        }
+        WideProcSet(words).intersection(Self::full(universe))
     }
 
     /// Subset test: `self ⊆ other`.
-    pub fn is_subset(self, other: ProcSet) -> bool {
-        self.0 & !other.0 == 0
+    pub fn is_subset(self, other: Self) -> bool {
+        self.0.iter().zip(other.0).all(|(&w, o)| w & !o == 0)
     }
 
     /// Disjointness test.
-    pub fn is_disjoint(self, other: ProcSet) -> bool {
-        self.0 & other.0 == 0
+    pub fn is_disjoint(self, other: Self) -> bool {
+        self.0.iter().zip(other.0).all(|(&w, o)| w & o == 0)
     }
 
     /// Smallest member, if any.
     pub fn min(self) -> Option<ProcessId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(ProcessId::new(self.0.trailing_zeros() as usize))
+        for (w, &word) in self.0.iter().enumerate() {
+            if word != 0 {
+                return Some(ProcessId::new(w * 64 + word.trailing_zeros() as usize));
+            }
         }
+        None
     }
 
     /// Largest member, if any.
     pub fn max(self) -> Option<ProcessId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(ProcessId::new(63 - self.0.leading_zeros() as usize))
+        for (w, &word) in self.0.iter().enumerate().rev() {
+            if word != 0 {
+                return Some(ProcessId::new(w * 64 + 63 - word.leading_zeros() as usize));
+            }
         }
+        None
     }
 
     /// The `r`-th smallest member (zero-based rank), if it exists.
@@ -205,8 +311,11 @@ impl ProcSet {
     }
 
     /// Iterates over members in increasing index order.
-    pub fn iter(self) -> Iter {
-        Iter { bits: self.0 }
+    pub fn iter(self) -> Iter<W> {
+        Iter {
+            words: self.0,
+            word: 0,
+        }
     }
 
     /// Collects members into a vector, in increasing index order.
@@ -215,44 +324,82 @@ impl ProcSet {
     }
 }
 
-/// Iterator over the members of a [`ProcSet`], in increasing index order.
-#[derive(Clone, Debug)]
-pub struct Iter {
-    bits: u64,
+impl<const W: usize> Default for WideProcSet<W> {
+    fn default() -> Self {
+        Self::EMPTY
+    }
 }
 
-impl Iterator for Iter {
+impl<const W: usize> Ord for WideProcSet<W> {
+    /// Total order by bitset value, most significant word first. For
+    /// `W = 1` this is the plain `u64` order the Figure 2 tie-breaking has
+    /// always used; wider widths extend it consistently (within a fixed
+    /// popcount it is colexicographic order on member lists at every `W`).
+    fn cmp(&self, other: &Self) -> Ordering {
+        for w in (0..W).rev() {
+            match self.0[w].cmp(&other.0[w]) {
+                Ordering::Equal => continue,
+                unequal => return unequal,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const W: usize> PartialOrd for WideProcSet<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Iterator over the members of a [`WideProcSet`], in increasing index
+/// order.
+#[derive(Clone, Debug)]
+pub struct Iter<const W: usize> {
+    words: [u64; W],
+    word: usize,
+}
+
+impl<const W: usize> Iterator for Iter<W> {
     type Item = ProcessId;
 
     fn next(&mut self) -> Option<ProcessId> {
-        if self.bits == 0 {
-            return None;
+        while self.word < W {
+            let bits = self.words[self.word];
+            if bits == 0 {
+                self.word += 1;
+                continue;
+            }
+            let idx = bits.trailing_zeros() as usize;
+            self.words[self.word] &= bits - 1;
+            return Some(ProcessId::new(self.word * 64 + idx));
         }
-        let idx = self.bits.trailing_zeros() as usize;
-        self.bits &= self.bits - 1;
-        Some(ProcessId::new(idx))
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let c = self.bits.count_ones() as usize;
+        let c = self.words[self.word..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         (c, Some(c))
     }
 }
 
-impl ExactSizeIterator for Iter {}
+impl<const W: usize> ExactSizeIterator for Iter<W> {}
 
-impl IntoIterator for ProcSet {
+impl<const W: usize> IntoIterator for WideProcSet<W> {
     type Item = ProcessId;
-    type IntoIter = Iter;
+    type IntoIter = Iter<W>;
 
-    fn into_iter(self) -> Iter {
+    fn into_iter(self) -> Iter<W> {
         self.iter()
     }
 }
 
-impl FromIterator<ProcessId> for ProcSet {
+impl<const W: usize> FromIterator<ProcessId> for WideProcSet<W> {
     fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
-        let mut s = ProcSet::EMPTY;
+        let mut s = Self::EMPTY;
         for p in iter {
             s.insert(p);
         }
@@ -260,7 +407,7 @@ impl FromIterator<ProcessId> for ProcSet {
     }
 }
 
-impl Extend<ProcessId> for ProcSet {
+impl<const W: usize> Extend<ProcessId> for WideProcSet<W> {
     fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
         for p in iter {
             self.insert(p);
@@ -268,42 +415,50 @@ impl Extend<ProcessId> for ProcSet {
     }
 }
 
-impl BitOr for ProcSet {
-    type Output = ProcSet;
-    fn bitor(self, rhs: ProcSet) -> ProcSet {
+impl<const W: usize> BitOr for WideProcSet<W> {
+    type Output = Self;
+    fn bitor(self, rhs: Self) -> Self {
         self.union(rhs)
     }
 }
 
-impl BitAnd for ProcSet {
-    type Output = ProcSet;
-    fn bitand(self, rhs: ProcSet) -> ProcSet {
+impl<const W: usize> BitAnd for WideProcSet<W> {
+    type Output = Self;
+    fn bitand(self, rhs: Self) -> Self {
         self.intersection(rhs)
     }
 }
 
-impl BitXor for ProcSet {
-    type Output = ProcSet;
-    fn bitxor(self, rhs: ProcSet) -> ProcSet {
-        ProcSet(self.0 ^ rhs.0)
+impl<const W: usize> BitXor for WideProcSet<W> {
+    type Output = Self;
+    fn bitxor(self, rhs: Self) -> Self {
+        let mut words = self.0;
+        for (w, o) in words.iter_mut().zip(rhs.0) {
+            *w ^= o;
+        }
+        WideProcSet(words)
     }
 }
 
-impl Sub for ProcSet {
-    type Output = ProcSet;
-    fn sub(self, rhs: ProcSet) -> ProcSet {
+impl<const W: usize> Sub for WideProcSet<W> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
         self.difference(rhs)
     }
 }
 
-impl fmt::Debug for ProcSet {
+impl<const W: usize> fmt::Debug for WideProcSet<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ProcSet")?;
+        if W == 1 {
+            write!(f, "ProcSet")?;
+        } else {
+            write!(f, "WideProcSet<{W}>")?;
+        }
         fmt::Display::fmt(self, f)
     }
 }
 
-impl fmt::Display for ProcSet {
+impl<const W: usize> fmt::Display for WideProcSet<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
         for (i, p) in self.iter().enumerate() {
@@ -428,5 +583,79 @@ mod tests {
         let b = ProcSet::from_indices([1]);
         let c = ProcSet::from_indices([0, 1]);
         assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 1);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(63), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
+        assert_eq!(words_for(1024), 16);
+    }
+
+    #[test]
+    fn wide_membership_across_words() {
+        let s = WideProcSet::<2>::from_indices([0, 63, 64, 100, 127]);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(ProcessId::new(64)));
+        assert!(s.contains(ProcessId::new(127)));
+        assert!(!s.contains(ProcessId::new(65)));
+        assert_eq!(s.min(), Some(ProcessId::new(0)));
+        assert_eq!(s.max(), Some(ProcessId::new(127)));
+        assert_eq!(s.nth(2), Some(ProcessId::new(64)));
+        let v: Vec<usize> = s.iter().map(|p| p.index()).collect();
+        assert_eq!(v, vec![0, 63, 64, 100, 127]);
+    }
+
+    #[test]
+    fn wide_full_and_complement() {
+        let universe = u(100);
+        let full = WideProcSet::<2>::full(universe);
+        assert_eq!(full.len(), 100);
+        assert_eq!(full.max(), Some(ProcessId::new(99)));
+        let a = WideProcSet::<2>::from_indices([0, 99]);
+        let c = a.complement(universe);
+        assert_eq!(c.len(), 98);
+        assert!(c.is_disjoint(a));
+        assert_eq!(c.union(a), full);
+        // Word-aligned universes fill whole words exactly.
+        assert_eq!(WideProcSet::<2>::full(u(128)).len(), 128);
+        assert_eq!(WideProcSet::<4>::full(u(256)).len(), 256);
+    }
+
+    #[test]
+    fn wide_order_is_most_significant_word_first() {
+        // {p64} > {p0..p63}: the higher word dominates, exactly as a wide
+        // integer compare would — consistent with the W = 1 u64 order.
+        let low = WideProcSet::<2>::full(u(64));
+        let high = WideProcSet::<2>::from_indices([64]);
+        assert!(low < high);
+        let a = WideProcSet::<2>::from_indices([64, 0]);
+        let b = WideProcSet::<2>::from_indices([64, 1]);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn wide_debug_display() {
+        let s = WideProcSet::<2>::from_indices([1, 64]);
+        assert_eq!(s.to_string(), "{p1,p64}");
+        assert_eq!(format!("{s:?}"), "WideProcSet<2>{p1,p64}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn wide_capacity_is_enforced() {
+        let _ = WideProcSet::<2>::from_indices([128]);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let s = WideProcSet::<3>::from_indices([5, 70, 130]);
+        assert_eq!(WideProcSet::from_words(s.words()), s);
+        assert_eq!(ProcSet::from_bits(0b101).words(), [0b101]);
     }
 }

@@ -7,7 +7,7 @@
 //! Gosper's hack; ranking uses the combinatorial number system.
 
 use crate::process::Universe;
-use crate::procset::ProcSet;
+use crate::procset::{ProcSet, WideProcSet};
 
 /// Binomial coefficient `C(n, k)` computed without overflow for the sizes used
 /// here (`n ≤ 64`); saturates at `u64::MAX` if the true value would overflow.
@@ -189,6 +189,150 @@ pub fn unrank(universe: Universe, k: usize, rank: u64) -> ProcSet {
     set
 }
 
+/// Iterator over all size-`k` subsets of `Π_n` at bitset width `W`, in the
+/// same colexicographic (ascending-bitmask) order as [`KSubsets`].
+///
+/// [`KSubsets`] stays the single-`u64` Gosper's-hack enumerator of the
+/// `n ≤ 64` regime; this iterator walks the member-index list directly
+/// (colex successor), which works at any width and any `n ≤ 64·W`. For
+/// `W = 1` the two enumerations are element-for-element identical (a
+/// standing differential test in `crates/core/tests`).
+#[derive(Clone, Debug)]
+pub struct WideKSubsets<const W: usize> {
+    n: usize,
+    /// Member indices of the current subset, strictly ascending; `None`
+    /// once the enumeration is exhausted.
+    current: Option<Vec<usize>>,
+}
+
+impl<const W: usize> WideKSubsets<W> {
+    /// Creates the iterator over `Π^k_n`.
+    ///
+    /// For `k == 0` the iterator yields exactly the empty set; for `k > n`
+    /// it is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64·W` (the bitset capacity at this width).
+    pub fn new(universe: Universe, k: usize) -> Self {
+        let n = universe.n();
+        assert!(
+            n <= WideProcSet::<W>::CAPACITY,
+            "Π^k_{n} exceeds the bitset capacity ({})",
+            WideProcSet::<W>::CAPACITY,
+        );
+        let current = if k > n { None } else { Some((0..k).collect()) };
+        WideKSubsets { n, current }
+    }
+
+    /// Creates the iterator over `Π^k_n` starting at the subset of the
+    /// given rank, like [`KSubsets::starting_at_rank`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= C(n, k)` (via [`wide_unrank`]) — except
+    /// `rank == 0`, which is always valid and yields the empty iterator
+    /// when `k > n`.
+    pub fn starting_at_rank(universe: Universe, k: usize, rank: u64) -> Self {
+        if rank == 0 {
+            return WideKSubsets::new(universe, k);
+        }
+        let start: WideProcSet<W> = wide_unrank(universe, k, rank);
+        WideKSubsets {
+            n: universe.n(),
+            current: Some(start.iter().map(|p| p.index()).collect()),
+        }
+    }
+}
+
+impl<const W: usize> Iterator for WideKSubsets<W> {
+    type Item = WideProcSet<W>;
+
+    fn next(&mut self) -> Option<WideProcSet<W>> {
+        let idx = self.current.as_mut()?;
+        let set = WideProcSet::from_indices(idx.iter().copied());
+        // Colex successor: bump the first member with headroom below its
+        // successor (or below n for the last member) and reset everything
+        // beneath it to the lowest positions. This visits subsets in
+        // ascending-bitmask order, matching Gosper's hack for W = 1.
+        let k = idx.len();
+        let mut advanced = false;
+        for i in 0..k {
+            let ceiling = if i + 1 < k { idx[i + 1] } else { self.n };
+            if idx[i] + 1 < ceiling {
+                idx[i] += 1;
+                for (j, slot) in idx.iter_mut().enumerate().take(i) {
+                    *slot = j;
+                }
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            self.current = None;
+        }
+        Some(set)
+    }
+}
+
+/// Enumerates `Π^k_n` at width `W` into a vector, in ascending bitmask
+/// order — the wide analogue of [`k_subsets`]. The vector index of each
+/// subset equals its [`wide_rank`].
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{subsets::wide_k_subsets, Universe, WideProcSet};
+///
+/// let u = Universe::new(100).unwrap();
+/// let all: Vec<WideProcSet<2>> = wide_k_subsets(u, 1);
+/// assert_eq!(all.len(), 100);
+/// assert_eq!(all[99], WideProcSet::from_indices([99]));
+/// ```
+pub fn wide_k_subsets<const W: usize>(universe: Universe, k: usize) -> Vec<WideProcSet<W>> {
+    WideKSubsets::new(universe, k).collect()
+}
+
+/// Returns the rank of `set` within the ascending-bitmask enumeration of
+/// `Π^k_n` at width `W`, where `k = set.len()` — the wide analogue of
+/// [`rank`], and equal to it for `W = 1`.
+pub fn wide_rank<const W: usize>(set: WideProcSet<W>) -> u64 {
+    let mut r = 0u64;
+    for (i, p) in set.iter().enumerate() {
+        r = r.saturating_add(binomial(p.index(), i + 1));
+    }
+    r
+}
+
+/// Inverse of [`wide_rank`]: returns the `rank`-th size-`k` subset of
+/// `Π_n` at width `W`.
+///
+/// # Panics
+///
+/// Panics if `rank >= C(n, k)`.
+pub fn wide_unrank<const W: usize>(universe: Universe, k: usize, rank: u64) -> WideProcSet<W> {
+    let n = universe.n();
+    assert!(
+        rank < binomial(n, k),
+        "rank {rank} out of range for C({n},{k})"
+    );
+    let mut remaining = rank;
+    let mut set = WideProcSet::EMPTY;
+    let mut kk = k;
+    // Choose members from the largest down: the largest member m is the
+    // greatest value with C(m, k) <= remaining.
+    while kk > 0 {
+        let mut m = kk - 1;
+        while binomial(m + 1, kk) <= remaining {
+            m += 1;
+        }
+        remaining -= binomial(m, kk);
+        set.insert(crate::process::ProcessId::new(m));
+        kk -= 1;
+    }
+    set
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,5 +443,60 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn unrank_out_of_range_panics() {
         let _ = unrank(u(4), 2, 6);
+    }
+
+    #[test]
+    fn wide_matches_gosper_at_w1() {
+        // The wide colex-successor enumeration must be element-for-element
+        // identical to the Gosper's-hack enumeration on shared ground.
+        for n in 1..=8 {
+            for k in 0..=n + 1 {
+                let narrow = k_subsets(u(n), k);
+                let wide: Vec<WideProcSet<1>> = wide_k_subsets(u(n), k);
+                assert_eq!(narrow, wide, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_enumeration_beyond_64() {
+        let universe = u(100);
+        let singles: Vec<WideProcSet<2>> = wide_k_subsets(universe, 1);
+        assert_eq!(singles.len(), 100);
+        assert_eq!(singles[0], WideProcSet::from_indices([0]));
+        assert_eq!(singles[99], WideProcSet::from_indices([99]));
+
+        let pairs: Vec<WideProcSet<2>> = wide_k_subsets(u(66), 2);
+        assert_eq!(pairs.len() as u64, binomial(66, 2));
+        for w in pairs.windows(2) {
+            assert!(w[0] < w[1], "colex order must be ascending-bitmask order");
+        }
+    }
+
+    #[test]
+    fn wide_rank_unrank_roundtrip() {
+        for (i, s) in WideKSubsets::<2>::new(u(66), 2).enumerate() {
+            assert_eq!(wide_rank(s), i as u64);
+            assert_eq!(wide_unrank::<2>(u(66), 2, i as u64), s);
+        }
+    }
+
+    #[test]
+    fn wide_starting_at_rank_resumes() {
+        let all: Vec<WideProcSet<2>> = wide_k_subsets(u(70), 2);
+        for start in [0u64, 1, all.len() as u64 / 2, all.len() as u64 - 1] {
+            let tail: Vec<WideProcSet<2>> =
+                WideKSubsets::starting_at_rank(u(70), 2, start).collect();
+            assert_eq!(tail, all[start as usize..], "start={start}");
+        }
+        assert_eq!(WideKSubsets::<1>::starting_at_rank(u(3), 4, 0).count(), 0);
+    }
+
+    #[test]
+    fn wide_k_zero_and_k_equals_n() {
+        assert_eq!(wide_k_subsets::<2>(u(80), 0), vec![WideProcSet::<2>::EMPTY]);
+        let full: Vec<WideProcSet<2>> = wide_k_subsets(u(80), 80);
+        assert_eq!(full, vec![WideProcSet::<2>::full(u(80))]);
+        assert!(wide_k_subsets::<1>(u(3), 4).is_empty());
     }
 }

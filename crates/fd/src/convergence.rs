@@ -121,6 +121,50 @@ pub fn winnerset_stabilization(report: &RunReport, correct: ProcSet) -> Option<S
     })
 }
 
+/// Evidence of Lemma 22 stabilization at bitset widths beyond one word: a
+/// common final winnerset, identified by its **colex rank** in `Π^k_n` —
+/// the encoding wide detectors publish under [`WINNERSET_PROBE`] (see the
+/// probe's docs). Decode the members with
+/// [`wide_unrank`](st_core::subsets::wide_unrank) at the detector's width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WideStabilization {
+    /// Colex rank of the common final winnerset `A0` within `Π^k_n`.
+    pub winnerset_rank: u64,
+    /// Step by which every correct process had converged to it (and stayed).
+    pub step: u64,
+}
+
+/// Detects whether all correct processes converged to one common winnerset
+/// by the end of the trace (Lemma 22), for detectors publishing the
+/// **rank-encoded** probe of the `W > 1` regime. Rank equality is set
+/// equality, so no decode is needed to judge convergence; pass the correct
+/// processes by id (index-based, valid at any `n`).
+pub fn wide_winnerset_stabilization(
+    report: &RunReport,
+    correct: impl IntoIterator<Item = ProcessId>,
+) -> Option<WideStabilization> {
+    let mut common: Option<u64> = None;
+    let mut step = 0u64;
+    let mut saw_any = false;
+    for p in correct {
+        saw_any = true;
+        let last = report.probes.last_value(p, WINNERSET_PROBE)?;
+        match common {
+            None => common = Some(last),
+            Some(c) if c != last => return None,
+            _ => {}
+        }
+        step = step.max(report.probes.stabilization_step(p, WINNERSET_PROBE)?);
+    }
+    if !saw_any {
+        return None;
+    }
+    Some(WideStabilization {
+        winnerset_rank: common?,
+        step,
+    })
+}
+
 /// Certifies that the run really took place in the system `S^i_{j,n}` it
 /// claims, by sweeping the **executed schedule** recorded in the report
 /// with the [`TimelinessAnalyzer`]: returns the first `(P, Q)` pair with

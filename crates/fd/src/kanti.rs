@@ -28,14 +28,22 @@
 //! register writes in the same order); `tests/differential.rs` enforces it
 //! on round-robin, seeded-random, and Figure 1 schedules.
 
-use st_core::subsets::k_subsets;
-use st_core::{ProcSet, ProcessId, Universe};
+use st_core::subsets::wide_k_subsets;
+use st_core::{ProcessId, Universe, WideProcSet};
 use st_sim::{Automaton, BatchAccess, PhaseBatch, ProcessCtx, Reg, Sim, Status, StepAccess};
 
 use crate::timeout::TimeoutPolicy;
 
 /// Probe key under which every process publishes its current `winnerset`
-/// (as `ProcSet::bits`) whenever it changes.
+/// whenever it changes.
+///
+/// The encoding depends on the bitset width: at `W = 1` (the classic
+/// `n ≤ 64` regime) the value is `ProcSet::bits()` — unchanged from every
+/// prior release, so existing analyses and goldens keep decoding it. At
+/// `W > 1` a set no longer fits in the probe's `u64` payload, so the value
+/// is the winner's **colexicographic rank** within `Π^k_n` (its index in
+/// [`KAntiOmega::subsets`]); decode with
+/// [`wide_unrank`](st_core::subsets::wide_unrank).
 pub const WINNERSET_PROBE: &str = "winnerset";
 
 /// Parameters of the t-resilient k-anti-Ω instance.
@@ -99,7 +107,7 @@ impl KAntiOmegaConfig {
 /// assert_eq!(stab.unwrap().winnerset.len(), 1);
 /// ```
 #[derive(Clone, Debug)]
-pub struct KAntiOmega {
+pub struct KAntiOmega<const W: usize = 1> {
     config: KAntiOmegaConfig,
     universe: Universe,
     /// `Heartbeat[p]`, single-writer.
@@ -107,22 +115,37 @@ pub struct KAntiOmega {
     /// `Counter[A, q]` indexed `[rank(A)][q]`, single-writer per column.
     counter: Vec<Vec<Reg<u64>>>,
     /// `Π^k_n` in ascending order (rank = index).
-    subsets: Vec<ProcSet>,
+    subsets: Vec<WideProcSet<W>>,
     /// For each process q, the ranks of the sets containing q (line 11–12).
     containing: Vec<Vec<u32>>,
 }
 
 impl KAntiOmega {
-    /// Allocates all shared registers of Figure 2 in `sim`.
+    /// Allocates all shared registers of Figure 2 in `sim`, at the classic
+    /// single-word set width (`n ≤ 64`). This pins `W = 1` so existing
+    /// call sites keep their codegen and probe encoding; larger universes
+    /// go through [`KAntiOmega::alloc_wide`] with an explicit width.
+    ///
+    /// # Panics
+    ///
+    /// As for [`alloc_wide`](KAntiOmega::alloc_wide), with the capacity
+    /// bound fixed at the [`ProcSet`](st_core::ProcSet) capacity of 64.
+    pub fn alloc(sim: &mut Sim, config: KAntiOmegaConfig) -> Self {
+        Self::alloc_wide(sim, config)
+    }
+}
+
+impl<const W: usize> KAntiOmega<W> {
+    /// Allocates all shared registers of Figure 2 in `sim`, with process
+    /// sets `W` words wide (capacity `64·W` processes).
     ///
     /// # Panics
     ///
     /// Panics unless `1 ≤ k ≤ t ≤ n − 1` (the range of Theorem 23), or if
-    /// `n` exceeds the [`ProcSet`](st_core::ProcSet) capacity — the
-    /// combinatorial `Π^k_n` machinery is built on the 64-bit set
-    /// representation; universes beyond that use the lean `k = 1`
-    /// specialization ([`LeanOmega`](crate::LeanOmega)).
-    pub fn alloc(sim: &mut Sim, config: KAntiOmegaConfig) -> Self {
+    /// `n` exceeds the bitset capacity at this width — pick `W` via
+    /// [`st_core::words_for`], or use the lean `k = 1` specialization
+    /// ([`LeanOmega`](crate::LeanOmega)) when O(n)-state suffices.
+    pub fn alloc_wide(sim: &mut Sim, config: KAntiOmegaConfig) -> Self {
         let universe = sim.universe();
         let n = universe.n();
         let (k, t) = (config.k, config.t);
@@ -131,13 +154,13 @@ impl KAntiOmega {
             "Figure 2 requires 1 <= k <= t <= n-1 (got k={k}, t={t}, n={n})"
         );
         assert!(
-            n <= st_core::PROCSET_CAPACITY,
-            "Figure 2's Π^k_n machinery needs n <= {} (got n={n}); \
-             use LeanOmega for larger universes",
-            st_core::PROCSET_CAPACITY
+            n <= WideProcSet::<W>::CAPACITY,
+            "Figure 2's Π^k_n machinery at width W={W} needs n <= {} (got n={n}); \
+             pick W with st_core::words_for, or use LeanOmega",
+            WideProcSet::<W>::CAPACITY
         );
         let heartbeat = sim.alloc_per_process("Heartbeat", 0u64);
-        let subsets = k_subsets(universe, k);
+        let subsets = wide_k_subsets(universe, k);
         let counter: Vec<Vec<Reg<u64>>> = subsets
             .iter()
             .enumerate()
@@ -190,7 +213,7 @@ impl KAntiOmega {
 
     /// Creates the local state of one process (the local variables block of
     /// Figure 2).
-    pub fn local_state(&self) -> KAntiOmegaLocal {
+    pub fn local_state(&self) -> KAntiOmegaLocal<W> {
         let n = self.universe.n();
         let m = self.subsets.len();
         KAntiOmegaLocal {
@@ -200,17 +223,29 @@ impl KAntiOmega {
             timer: vec![1; m],
             cnt: vec![vec![0; n]; m],
             accusation: vec![0; m],
-            winnerset: ProcSet::EMPTY,
-            fd_output: ProcSet::EMPTY,
+            winnerset: WideProcSet::EMPTY,
+            fd_output: WideProcSet::EMPTY,
             published: None,
             iterations: 0,
+        }
+    }
+
+    /// The [`WINNERSET_PROBE`] payload for the winner of the given rank:
+    /// the raw bitmask at `W = 1` (the historical encoding), the colex
+    /// rank at wider widths (see the probe's docs).
+    #[inline]
+    fn encode_winnerset(&self, rank: usize) -> u64 {
+        if W == 1 {
+            self.subsets[rank].words()[0]
+        } else {
+            rank as u64
         }
     }
 
     /// Executes one iteration of the Figure 2 loop (lines 2–19) for the
     /// calling process, updating `local` and publishing the winnerset probe
     /// on change.
-    pub async fn iterate(&self, ctx: &ProcessCtx, local: &mut KAntiOmegaLocal) {
+    pub async fn iterate(&self, ctx: &ProcessCtx, local: &mut KAntiOmegaLocal<W>) {
         let me = ctx.pid().index();
         let n = self.universe.n();
         let m = self.subsets.len();
@@ -245,7 +280,7 @@ impl KAntiOmega {
         // Line 5: fdOutput = Π_n − winnerset.
         local.fd_output = local.winnerset.complement(self.universe);
         if local.published != Some(local.winnerset) {
-            ctx.probe_set(WINNERSET_PROBE, local.winnerset);
+            ctx.probe(WINNERSET_PROBE, self.encode_winnerset(winner));
             local.published = Some(local.winnerset);
         }
 
@@ -295,12 +330,12 @@ impl KAntiOmega {
     /// `sim.spawn_automaton(p, fd.machine())`. Observationally identical to
     /// [`run`](Self::run), step for step, at a fraction of the per-step
     /// cost.
-    pub fn machine(&self) -> KAntiOmegaMachine {
+    pub fn machine(&self) -> KAntiOmegaMachine<W> {
         KAntiOmegaMachine::new(self.clone())
     }
 
     /// The subsets table (rank order), for analyses.
-    pub fn subsets(&self) -> &[ProcSet] {
+    pub fn subsets(&self) -> &[WideProcSet<W>] {
         &self.subsets
     }
 
@@ -317,7 +352,7 @@ impl KAntiOmega {
 
 /// The per-process local variables of Figure 2.
 #[derive(Clone, Debug)]
-pub struct KAntiOmegaLocal {
+pub struct KAntiOmegaLocal<const W: usize = 1> {
     my_hb: u64,
     prev_heartbeat: Vec<u64>,
     timeout: Vec<u64>,
@@ -325,15 +360,15 @@ pub struct KAntiOmegaLocal {
     cnt: Vec<Vec<u64>>,
     accusation: Vec<u64>,
     /// Current winner set (line 4).
-    pub winnerset: ProcSet,
+    pub winnerset: WideProcSet<W>,
     /// Current FD output `Π_n − winnerset` (line 5).
-    pub fd_output: ProcSet,
-    published: Option<ProcSet>,
+    pub fd_output: WideProcSet<W>,
+    published: Option<WideProcSet<W>>,
     /// Completed loop iterations.
     pub iterations: u64,
 }
 
-impl KAntiOmegaLocal {
+impl<const W: usize> KAntiOmegaLocal<W> {
     /// Current timeout for the set of the given rank (ablation metrics).
     pub fn timeout_of(&self, rank: usize) -> u64 {
         self.timeout[rank]
@@ -397,8 +432,8 @@ enum Phase {
 /// );
 /// assert_eq!(stab.unwrap().winnerset.len(), 1);
 /// ```
-pub struct KAntiOmegaMachine {
-    fd: KAntiOmega,
+pub struct KAntiOmegaMachine<const W: usize = 1> {
+    fd: KAntiOmega<W>,
     phase: Phase,
     // The local variables block of Figure 2, flat where the async port nests.
     my_hb: u64,
@@ -427,9 +462,9 @@ pub struct KAntiOmegaMachine {
     /// Rows whose snapshot changed since `accusation[a]` was computed.
     row_dirty: Vec<bool>,
     scratch: Vec<u64>,
-    winnerset: ProcSet,
-    fd_output: ProcSet,
-    published: Option<ProcSet>,
+    winnerset: WideProcSet<W>,
+    fd_output: WideProcSet<W>,
+    published: Option<WideProcSet<W>>,
     iterations: u64,
     /// Ranks whose timers expired this iteration, in ascending order —
     /// the pending line 18 writes.
@@ -439,8 +474,8 @@ pub struct KAntiOmegaMachine {
     batch_buf: Vec<u64>,
 }
 
-impl KAntiOmegaMachine {
-    fn new(fd: KAntiOmega) -> Self {
+impl<const W: usize> KAntiOmegaMachine<W> {
+    fn new(fd: KAntiOmega<W>) -> Self {
         let n = fd.universe.n();
         let m = fd.subsets.len();
         let counter_base = fd.counter[0][0];
@@ -474,8 +509,8 @@ impl KAntiOmegaMachine {
             accusation: vec![0; m],
             row_dirty: vec![true; m],
             scratch: vec![0; n],
-            winnerset: ProcSet::EMPTY,
-            fd_output: ProcSet::EMPTY,
+            winnerset: WideProcSet::EMPTY,
+            fd_output: WideProcSet::EMPTY,
             published: None,
             iterations: 0,
             expired: Vec::with_capacity(m),
@@ -484,12 +519,12 @@ impl KAntiOmegaMachine {
     }
 
     /// Current winner set (line 4).
-    pub fn winnerset(&self) -> ProcSet {
+    pub fn winnerset(&self) -> WideProcSet<W> {
         self.winnerset
     }
 
     /// Current FD output `Π_n − winnerset` (line 5).
-    pub fn fd_output(&self) -> ProcSet {
+    pub fn fd_output(&self) -> WideProcSet<W> {
         self.fd_output
     }
 
@@ -500,10 +535,11 @@ impl KAntiOmegaMachine {
 
     /// Lines 3–5 plus the line 6 increment: runs at the end of the last
     /// line 2 read, inside that read's step (where the async port runs it).
-    /// Returns the new winnerset when it changed — the caller publishes it
-    /// as the [`WINNERSET_PROBE`] through whichever access type (scalar
-    /// [`StepAccess`] or batched [`st_sim::BatchAccess`]) drove the step.
-    fn select_winner(&mut self) -> Option<ProcSet> {
+    /// Returns the encoded probe payload when the winnerset changed — the
+    /// caller publishes it as the [`WINNERSET_PROBE`] through whichever
+    /// access type (scalar [`StepAccess`] or batched
+    /// [`st_sim::BatchAccess`]) drove the step.
+    fn select_winner(&mut self) -> Option<u64> {
         let n = self.fd.universe.n();
         let m = self.fd.subsets.len();
         let t = self.fd.config.t;
@@ -534,7 +570,7 @@ impl KAntiOmegaMachine {
         self.fd_output = self.winnerset.complement(self.fd.universe);
         let publish = if self.published != Some(self.winnerset) {
             self.published = Some(self.winnerset);
-            Some(self.winnerset)
+            Some(self.fd.encode_winnerset(winner))
         } else {
             None
         };
@@ -569,7 +605,7 @@ impl KAntiOmegaMachine {
     }
 }
 
-impl Automaton for KAntiOmegaMachine {
+impl<const W: usize> Automaton for KAntiOmegaMachine<W> {
     // Inline hint: the k-set agreement machine (st-agreement) embeds this
     // machine and calls `step` once per scheduled step on its hottest path;
     // without the hint the cross-crate call stays opaque.
@@ -588,7 +624,7 @@ impl Automaton for KAntiOmegaMachine {
                 }
                 if i + 1 == self.cnt.len() {
                     if let Some(ws) = self.select_winner() {
-                        mem.probe_set(WINNERSET_PROBE, ws);
+                        mem.probe(WINNERSET_PROBE, ws);
                     }
                     self.phase = Phase::WriteHeartbeat;
                 } else {
@@ -639,7 +675,7 @@ impl Automaton for KAntiOmegaMachine {
     }
 }
 
-impl PhaseBatch for KAntiOmegaMachine {
+impl<const W: usize> PhaseBatch for KAntiOmegaMachine<W> {
     #[inline]
     fn phase_class(&self) -> u8 {
         match self.phase {
@@ -688,7 +724,7 @@ impl PhaseBatch for KAntiOmegaMachine {
                     if let Some(ws) = self.select_winner() {
                         // Attaches to the last consumed step — exactly the
                         // step the scalar drive publishes on.
-                        mem.probe_set(WINNERSET_PROBE, ws);
+                        mem.probe(WINNERSET_PROBE, ws);
                     }
                     self.phase = Phase::WriteHeartbeat;
                 } else {
@@ -734,7 +770,7 @@ impl PhaseBatch for KAntiOmegaMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use st_core::{Schedule, ScheduleCursor};
+    use st_core::{ProcSet, Schedule, ScheduleCursor};
     use st_sim::RunConfig;
 
     fn universe(n: usize) -> Universe {

@@ -168,6 +168,19 @@ fn parse_args() -> Args {
                     eprintln!("--sizes needs at least one size");
                     std::process::exit(2);
                 }
+                for &n in &sizes {
+                    if n == 0 {
+                        eprintln!("--sizes: a universe needs at least one process, got 0");
+                        std::process::exit(2);
+                    }
+                    if n > st_core::MAX_PROCESSES {
+                        eprintln!(
+                            "--sizes: {n} exceeds MAX_PROCESSES ({})",
+                            st_core::MAX_PROCESSES
+                        );
+                        std::process::exit(2);
+                    }
+                }
                 args.sizes = Some(sizes);
             }
             "--outcomes" => args.outcomes = Some(value_of(&mut i, "--outcomes", &argv)),

@@ -21,6 +21,19 @@
 //!
 //! The size axis is `LabConfig::sizes()`: `{64}` in fast mode,
 //! `{64, 256, 1024}` in full mode, `stlab --sizes` to override.
+//!
+//! # The paper's detector beyond the wall
+//!
+//! A second grid runs the *paper's* `KAntiOmega` (Figure 2, full `Π^k_n`
+//! counter matrix) — not the lean O(n) variant — at every size on the axis
+//! up to n = 256, on `WideProcSet` universes wider than one word. These
+//! are the first runs of the verbatim paper protocol past
+//! `PROCSET_CAPACITY`; the same (plain, SoA) pairing applies. k = 1 rows
+//! are expected to stabilize within four bursty rotations; k = 2 rows
+//! (full mode only — `|Π²_n|·n` steps per iteration is test-suite hostile)
+//! follow the same budget-cap rule as the lean grid. Sizes above 256 are
+//! skipped: one k = 1 rotation is `(n² + n + 1)·n ≈ 10⁹` steps at
+//! n = 1024, past the budget cap before the detector finishes a transient.
 
 use st_campaign::{Campaign, FleetReplayDrive, LeanOutcome, Scenario, Workload};
 use st_core::Universe;
@@ -178,13 +191,175 @@ pub fn run(cfg: &LabConfig) -> ExperimentResult {
             .into(),
     );
 
+    let (wide_table, wide_pass) = run_wide_grid(cfg, &mut notes);
+    pass &= wide_pass;
+
     ExperimentResult {
         id: "E9",
         title: "n-scaling — the lean O(n)-state stack beyond PROCSET_CAPACITY",
-        tables: vec![("n-scaling grid".into(), table)],
+        tables: vec![
+            ("n-scaling grid".into(), table),
+            (
+                "paper-detector n-scaling (KAntiOmega, wide sets)".into(),
+                wide_table,
+            ),
+        ],
         notes,
         pass,
     }
+}
+
+/// Largest universe the wide paper-detector grid runs at: one k = 1
+/// rotation at n = 1024 exceeds [`BUDGET_CAP`] before the transient ends.
+const WIDE_MAX_N: usize = 256;
+
+struct WideRow {
+    n: usize,
+    k: usize,
+    drive: &'static str,
+    budget: u64,
+    expect: bool,
+}
+
+/// One full Figure 2 loop iteration for the width-generic detector:
+/// `|Π^k_n|·n` counter reads + 1 heartbeat write + `n` heartbeat reads
+/// (`KAntiOmega::steps_per_iteration(0)`).
+fn wide_iteration(n: usize, k: usize) -> u64 {
+    st_core::subsets::binomial(n, k) * n as u64 + 1 + n as u64
+}
+
+fn wide_budget(n: usize, k: usize) -> (u64, bool) {
+    let rotation = wide_iteration(n, k) * n as u64;
+    let conv = 4 * rotation;
+    if rotation > BUDGET_CAP {
+        (INFORMATIONAL_BUDGET, false)
+    } else {
+        (conv.min(BUDGET_CAP), conv <= BUDGET_CAP)
+    }
+}
+
+/// The paper-detector half of E9: `Workload::WideFdConvergence` cells in
+/// (plain, soa) pairs over the size axis clamped to [`WIDE_MAX_N`].
+fn run_wide_grid(cfg: &LabConfig, notes: &mut Vec<String>) -> (Table, bool) {
+    let mut table = Table::new([
+        "n",
+        "k",
+        "drive",
+        "budget",
+        "status",
+        "stabilized@step",
+        "winnerset",
+        "pubs",
+        "late_flaps",
+        "expectation",
+    ]);
+    let mut pass = true;
+
+    let t_of = |n: usize| (n / 16).max(1);
+    let drives = [
+        ("plain", FleetReplayDrive::Plain),
+        ("soa", FleetReplayDrive::Soa { slice_len: 64 }),
+    ];
+    // k = 2 squares the per-iteration cost (`|Π²_n|·n`): paper-grade runs
+    // only.
+    let ks: &[usize] = if cfg.fast { &[1] } else { &[1, 2] };
+
+    let mut campaign = Campaign::new();
+    let mut rows: Vec<WideRow> = Vec::new();
+    for &n in &cfg.sizes() {
+        if n > WIDE_MAX_N {
+            continue;
+        }
+        let universe = Universe::new(n).expect("size axis within MAX_PROCESSES");
+        for &k in ks {
+            if k == 2 && n > 128 {
+                continue; // one k = 2 rotation at n = 256 dwarfs the cap
+            }
+            let (budget, expect) = wide_budget(n, k);
+            let spec = GeneratorSpec::bursty(wide_iteration(n, k));
+            for (drive_name, drive) in drives {
+                campaign.push(Scenario::new(
+                    format!("n{n}/wide-k{k}/{drive_name}"),
+                    universe,
+                    spec.clone(),
+                    Workload::WideFdConvergence {
+                        k,
+                        t: t_of(n).max(k),
+                        policy: TimeoutPolicy::Increment,
+                        drive,
+                    },
+                    budget,
+                    cfg.seed,
+                ));
+                rows.push(WideRow {
+                    n,
+                    k,
+                    drive: drive_name,
+                    budget,
+                    expect,
+                });
+            }
+        }
+    }
+
+    let outcomes = cfg.run_campaign("e9-wide", &campaign);
+    pass &= crate::config::violation_free(&outcomes);
+
+    for (pair, outcome_pair) in rows.chunks(2).zip(outcomes.chunks(2)) {
+        let row = &pair[0];
+        let wide = wide_of(&outcome_pair[0].data);
+        let soa_wide = wide_of(&outcome_pair[1].data);
+        let identical = wide == soa_wide;
+        pass &= identical;
+        if !identical {
+            notes.push(format!(
+                "DRIVE DIVERGENCE at n={} k={} (paper detector): plain {:?} vs soa {:?}",
+                row.n, row.k, wide, soa_wide
+            ));
+        }
+        for (r, o) in pair.iter().zip(outcome_pair) {
+            let w = wide_of(&o.data);
+            let (stab_str, ws_str) = match &w.stabilization {
+                Some(s) => (s.step.to_string(), format!("|{}|", s.members.len())),
+                None => ("-".into(), "-".into()),
+            };
+            table.row([
+                r.n.to_string(),
+                r.k.to_string(),
+                r.drive.to_string(),
+                format!("{}k", r.budget / 1_000),
+                format!("{:?}", w.status),
+                stab_str,
+                ws_str,
+                w.publications.to_string(),
+                w.late_flaps.to_string(),
+                if r.expect { "converge" } else { "cap" }.to_string(),
+            ]);
+            if r.expect {
+                let ok = w
+                    .stabilization
+                    .as_ref()
+                    .is_some_and(|s| s.members.len() == r.k);
+                pass &= ok;
+                if !ok {
+                    notes.push(format!(
+                        "paper detector failed to stabilize to a k-set at n={} k={} ({})",
+                        r.n, r.k, r.drive
+                    ));
+                }
+            }
+        }
+    }
+    notes.push(format!(
+        "paper-detector grid: KAntiOmega on WideProcSet universes, k ∈ {ks:?}, sizes clamped \
+         to n ≤ {WIDE_MAX_N}; same plain/SoA pairing discipline as the lean grid"
+    ));
+
+    (table, pass)
+}
+
+fn wide_of(data: &st_campaign::OutcomeData) -> &st_campaign::WideFdOutcome {
+    data.as_wide_fd().expect("e9-wide is a wide-fd campaign")
 }
 
 fn lean_of(data: &st_campaign::OutcomeData) -> &LeanOutcome {

@@ -351,6 +351,10 @@ fn summarize(data: &OutcomeData) -> String {
             Some(s) => format!("leader p{}@{}", s.leader, s.step),
             None => format!("{:?}", l.status),
         },
+        OutcomeData::WideFd(w) => match &w.stabilization {
+            Some(s) => format!("winnerset |{}|@{}", s.members.len(), s.step),
+            None => format!("{:?}", w.status),
+        },
     }
 }
 

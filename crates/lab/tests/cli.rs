@@ -53,6 +53,23 @@ fn unknown_experiment_is_a_usage_error() {
 }
 
 #[test]
+fn out_of_range_sizes_are_usage_errors() {
+    let zero = stlab(&["--fast", "--sizes", "64,0", "e9"]);
+    assert_eq!(exit_code(&zero), 2);
+    assert!(
+        String::from_utf8_lossy(&zero.stderr).contains("at least one process"),
+        "zero-size message"
+    );
+
+    let huge = stlab(&["--fast", "--sizes", "2048", "e9"]);
+    assert_eq!(exit_code(&huge), 2);
+    assert!(
+        String::from_utf8_lossy(&huge.stderr).contains("exceeds MAX_PROCESSES (1024)"),
+        "oversized message"
+    );
+}
+
+#[test]
 fn replay_of_a_missing_file_is_a_usage_error() {
     let out = stlab(&["--replay", "/nonexistent/ce.json"]);
     assert_eq!(exit_code(&out), 2);

@@ -1,0 +1,163 @@
+//! The register objects past the 64-process wall.
+//!
+//! `Collect` and `AdoptCommit` are index-based — no `ProcSet` anywhere in
+//! their signatures — so they already work at any `n ≤ MAX_PROCESSES`.
+//! These tests pin that down at `n = 128`, on both the async ABI and the
+//! machine ABI, so the width-generic detector stack has working shared
+//! objects to build on at large `n`.
+
+use st_core::{Schedule, ScheduleCursor, Universe};
+use st_registers::{AcOutcome, AcPropose, AdoptCommit, Collect};
+use st_sim::{Automaton, RunConfig, Sim, Status, StepAccess};
+
+const N: usize = 128;
+
+fn round_robin(n: usize, rotations: usize) -> Schedule {
+    Schedule::from_indices((0..n * rotations).map(|s| s % n))
+}
+
+#[test]
+fn collect_async_at_n_128() {
+    let u = Universe::new(N).unwrap();
+    let mut sim = Sim::new(u);
+    let obj: Collect<u64> = Collect::alloc(&mut sim, "C");
+    assert_eq!(obj.width(), N);
+    let results = sim.alloc_array("result", N, None::<u64>);
+    for p in u.processes() {
+        let obj = obj.clone();
+        let my_result = results[p.index()];
+        sim.spawn(p, move |ctx| async move {
+            obj.store(&ctx, 1000 + ctx.pid().index() as u64).await;
+            let seen = obj.collect(&ctx).await;
+            let sum: u64 = seen.iter().flatten().sum();
+            ctx.write(my_result, Some(sum)).await;
+        })
+        .unwrap();
+    }
+    // Store + n-read collect + result write = n + 2 steps per process;
+    // finished processes absorb the rotation slack as no-ops.
+    let mut src = ScheduleCursor::new(round_robin(N, N + 2));
+    sim.run(&mut src, RunConfig::steps((N * (N + 2)) as u64))
+        .unwrap();
+
+    // Round-robin means every store lands before any collect finishes, so
+    // every process sums the full universe of values.
+    let expected: u64 = (0..N as u64).map(|i| 1000 + i).sum();
+    for (i, &r) in results.iter().enumerate() {
+        assert_eq!(sim.peek(r), Some(expected), "p{i} missed a component");
+    }
+}
+
+#[test]
+fn collect_machine_at_n_128() {
+    struct Scanner {
+        obj: Collect<u64>,
+        scan: st_registers::CollectScan<u64>,
+        stored: bool,
+        seen: Option<u64>,
+    }
+    impl Automaton for Scanner {
+        fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+            if !self.stored {
+                self.obj.store_machine(mem, 2000 + mem.pid().index() as u64);
+                self.stored = true;
+                return Status::Running;
+            }
+            if let Some(view) = self.scan.step(mem) {
+                self.seen = Some(view.iter().flatten().sum());
+                return Status::Done;
+            }
+            Status::Running
+        }
+    }
+
+    let u = Universe::new(N).unwrap();
+    let mut sim = Sim::new(u);
+    let obj: Collect<u64> = Collect::alloc(&mut sim, "C");
+    let mut fleet: Vec<Scanner> = u
+        .processes()
+        .map(|_| Scanner {
+            obj: obj.clone(),
+            scan: obj.scan(),
+            stored: false,
+            seen: None,
+        })
+        .collect();
+    let schedule = round_robin(N, N + 1);
+    sim.run_automata_replay(
+        &mut fleet,
+        &schedule,
+        RunConfig::steps(schedule.len() as u64),
+    )
+    .unwrap();
+
+    let expected: u64 = (0..N as u64).map(|i| 2000 + i).sum();
+    for (i, s) in fleet.iter().enumerate() {
+        assert_eq!(s.seen, Some(expected), "p{i}'s scan missed a component");
+    }
+}
+
+#[test]
+fn adopt_commit_at_n_128() {
+    // Unanimity at n = 128 must commit everywhere (machine ABI).
+    struct Proposer {
+        propose: AcPropose<u64>,
+        outcome: Option<AcOutcome<u64>>,
+    }
+    impl Automaton for Proposer {
+        fn step(&mut self, mem: &mut StepAccess<'_>) -> Status {
+            if self.outcome.is_some() {
+                return Status::Done;
+            }
+            self.outcome = self.propose.step(mem);
+            Status::Running
+        }
+    }
+
+    let run = |proposals: &dyn Fn(usize) -> u64| {
+        let u = Universe::new(N).unwrap();
+        let mut sim = Sim::new(u);
+        let ac: AdoptCommit<u64> = AdoptCommit::alloc(&mut sim, "AC");
+        let mut fleet: Vec<Proposer> = u
+            .processes()
+            .map(|p| Proposer {
+                propose: ac.propose_machine(proposals(p.index())),
+                outcome: None,
+            })
+            .collect();
+        // 2n + 2 propose steps plus the Done step, round-robin.
+        let schedule = round_robin(N, 2 * N + 3);
+        sim.run_automata_replay(
+            &mut fleet,
+            &schedule,
+            RunConfig::steps(schedule.len() as u64),
+        )
+        .unwrap();
+        fleet
+            .into_iter()
+            .map(|m| m.outcome.expect("every process finishes its propose"))
+            .collect::<Vec<_>>()
+    };
+
+    let unanimous = run(&|_| 42);
+    for (i, out) in unanimous.iter().enumerate() {
+        assert!(out.is_commit(), "p{i} must commit on unanimity");
+        assert_eq!(*out.value(), 42);
+    }
+
+    // Conflicting proposals: coherence + validity still hold at n = 128.
+    let contested = run(&|i| if i < 64 { 5 } else { 9 });
+    let committed: Vec<u64> = contested
+        .iter()
+        .filter(|o| o.is_commit())
+        .map(|o| *o.value())
+        .collect();
+    if let Some(&w) = committed.first() {
+        for out in &contested {
+            assert_eq!(*out.value(), w, "coherence: committed {w}");
+        }
+    }
+    for out in &contested {
+        assert!([5, 9].contains(out.value()), "validity");
+    }
+}

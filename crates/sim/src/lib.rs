@@ -65,7 +65,7 @@
 //! |-------|----------------|--------------|---------------|
 //! | [`run_automata_replay`](Sim::run_automata_replay) | the schedule, verbatim | always correct; fastest at small n (≤ 64-ish), and the only drive with per-step stop conditions | nothing — it is the reference |
 //! | [`run_automata_replay_sharded`](Sim::run_automata_replay_sharded) | shard-stable **reordering** | per-automaton state ≫ cache and the schedule interleaves across the whole fleet | it executes a *different* (equivalent-model) schedule, so protocol behavior can shift; measured on the lean n = 256 interleaved workload it is ~neutral (`lean_interleaved_n256` in `BENCH_timeliness.json`) |
-//! | [`run_automata_replay_soa`](Sim::run_automata_replay_soa) | the schedule, verbatim (batched) | scan-heavy [`PhaseBatch`] fleets at n ≥ 64 whose slices are pure read runs — the lean stack's n-scaling curve records ≥ 2× over plain at n ≥ 256 (`lean_n_scaling`) | small n or write-dense phases: slices go impure, the drive degenerates to the scalar fallback and only pays bucketing overhead |
+//! | [`run_automata_replay_soa`](Sim::run_automata_replay_soa) | the schedule, verbatim (batched) | scan-heavy [`PhaseBatch`] fleets at n ≥ 64 whose slices are pure read runs — the lean stack's n-scaling curve records ≥ 2× over plain at n ≥ 256 (`lean_n_scaling`); round-robin-shaped slices take a strided cursor fast path with no per-step bucketing at all | write-dense phases: slices go impure and the drive runs the scalar fallback plus bucketing overhead. At n < [`SOA_DELEGATE_BELOW_N`] the entry point delegates to the plain replay by itself (the old n = 12 0.50× degenerate is gone); [`run_automata_replay_soa_batched`](Sim::run_automata_replay_soa_batched) bypasses the heuristic |
 //!
 //! The Figure 2 k-anti-Ω detector in `st-fd` and the agreement stack in
 //! `st-agreement` (Paxos proposer, k-set agreement) ship on both ABIs,
@@ -105,6 +105,7 @@ pub use memory::{Memory, RegisterStats};
 pub use register::{Reg, RegValue, WriteDiscipline};
 pub use runner::{
     sharded_replay_order, RunConfig, RunReport, RunStatus, Sim, StepOutcome, StopWhen,
+    SOA_DELEGATE_BELOW_N,
 };
 pub use soa::{BatchAccess, PhaseBatch};
 pub use trace::{Decision, ProbeEvent, ProbeLog};

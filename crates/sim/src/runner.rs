@@ -68,6 +68,21 @@ pub enum StopWhen {
     AnyDecided,
 }
 
+/// Universe-size threshold below which
+/// [`run_automata_replay_soa`](Sim::run_automata_replay_soa) delegates to
+/// the plain replay instead of batching.
+///
+/// Below this n, per-slice allotments are too short to stay inside one
+/// phase's read run on realistic schedules: batching degenerates to the
+/// scalar fallback and only pays the bucketing overhead (measured at
+/// ~0.50× plain on the lean n = 12 workload before delegation —
+/// `lean_n_scaling` in `BENCH_timeliness.json`). The crossover sits well
+/// below 64; 32 keeps a safety margin on schedules with long dwells, which
+/// batch profitably at any n via the uniform-slice fast path — a dwell of
+/// length ≥ n/2 still clears the threshold's break-even on the workloads
+/// measured.
+pub const SOA_DELEGATE_BELOW_N: usize = 32;
+
 /// Configuration of one `run` call.
 #[derive(Clone, Copy, Debug)]
 pub struct RunConfig {
@@ -901,9 +916,14 @@ impl Sim {
     /// where per-slice allotments are long read runs and the batch loop
     /// amortizes the per-step dispatch into a
     /// [`read_word_span`](crate::Memory::read_word_span). At small n a
-    /// slice rarely stays inside one phase's read run, so the drive
-    /// degenerates to the scalar fallback and merely pays the bucketing
-    /// overhead — see the three-drive decision table in the crate docs.
+    /// slice rarely stays inside one phase's read run, so batching would
+    /// degenerate to the scalar fallback and merely pay the bucketing
+    /// overhead — this entry therefore **delegates** universes below
+    /// [`SOA_DELEGATE_BELOW_N`] to the plain replay outright (identical
+    /// semantics, no batching tax); see the three-drive decision table in
+    /// the crate docs. Use
+    /// [`run_automata_replay_soa_batched`](Self::run_automata_replay_soa_batched)
+    /// to force batching at any n (differential tests do).
     ///
     /// Like the other replay drives this supports [`StopWhen::Never`]
     /// without recording on its fast path; any other stop condition, or an
@@ -934,6 +954,35 @@ impl Sim {
         );
         self.check_fleet_drive("run_automata_replay_soa")?;
         assert!(slice_len > 0, "slice_len must be positive");
+        if self.universe.n() < SOA_DELEGATE_BELOW_N {
+            return self.run_automata_replay(automata, schedule, cfg);
+        }
+        self.run_automata_replay_soa_batched(automata, schedule, slice_len, cfg)
+    }
+
+    /// [`run_automata_replay_soa`](Self::run_automata_replay_soa) without
+    /// the small-n delegation: always buckets and batches, whatever the
+    /// universe size. Same contract, same errors, same panics.
+    ///
+    /// This is the raw batching engine. Prefer the delegating entry for
+    /// real workloads; this one exists so differential suites can pin the
+    /// batching machinery itself (purity detection, probe re-sorting,
+    /// uniform/interleaved fast paths) on small universes where failures
+    /// are easy to shrink.
+    pub fn run_automata_replay_soa_batched<A: PhaseBatch>(
+        &mut self,
+        automata: &mut [A],
+        schedule: &Schedule,
+        slice_len: usize,
+        cfg: RunConfig,
+    ) -> Result<RunStatus, SimError> {
+        assert_eq!(
+            automata.len(),
+            self.universe.n(),
+            "one automaton per process"
+        );
+        self.check_fleet_drive("run_automata_replay_soa_batched")?;
+        assert!(slice_len > 0, "slice_len must be positive");
         let n = self.universe.n();
         let take = schedule
             .len()
@@ -947,10 +996,14 @@ impl Sim {
         let mut memory = shared.memory.borrow_mut();
         let mut ops_local = vec![0u64; n];
         let mut steps = self.steps;
-        // Reused per-slice buffers: per-process step-index allotments and
-        // the list of processes the slice touches (first-appearance order).
+        // Reused per-slice buffers: per-process step-index allotments, the
+        // list of processes the slice touches (first-appearance order), a
+        // membership scratchpad for the interleaved permutation check, and
+        // the phase-sorted execution order of an interleaved slice.
         let mut allotments: Vec<Vec<u64>> = vec![Vec::new(); n];
         let mut touched: Vec<usize> = Vec::with_capacity(slice_len.min(n));
+        let mut seen: Vec<bool> = vec![false; n];
+        let mut order: Vec<(u8, usize, usize)> = Vec::with_capacity(n);
         for slice in prefix.chunks(slice_len) {
             // Uniform-slice fast path: a slice that schedules one process
             // only (every dwell-shaped schedule — `Bursty`, long crash
@@ -988,6 +1041,77 @@ impl Sim {
                 }
                 steps += slice.len() as u64;
                 continue;
+            }
+            // Interleaved-slice fast path: a slice that repeats one fixed
+            // permutation of the whole fleet with period n (round-robin and
+            // every rotation of it — the dominant shape of convergence
+            // workloads) gives each process an arithmetic progression of
+            // steps: offset-in-permutation, stride n. No per-step
+            // bucketing, no materialized step lists — one strided cursor
+            // per machine.
+            if slice.len() >= n && slice.len() % n == 0 {
+                let periodic = (n..slice.len()).all(|i| slice[i] == slice[i - n]);
+                let permutation = periodic && {
+                    let mut distinct = true;
+                    for &p in &slice[..n] {
+                        let idx = p.index();
+                        if seen[idx] {
+                            distinct = false;
+                            break;
+                        }
+                        seen[idx] = true;
+                    }
+                    for &p in &slice[..n] {
+                        seen[p.index()] = false;
+                    }
+                    distinct
+                };
+                if permutation {
+                    let runs = slice.len() / n;
+                    let pure = slice[..n].iter().all(|&p| {
+                        let idx = p.index();
+                        self.finished[idx] || runs <= automata[idx].read_run()
+                    });
+                    if pure {
+                        order.clear();
+                        for (off, &p) in slice[..n].iter().enumerate() {
+                            let idx = p.index();
+                            if !self.finished[idx] {
+                                order.push((automata[idx].phase_class(), idx, off));
+                            }
+                        }
+                        order.sort_unstable();
+                        let probe_mark = shared.trace.borrow().probes.len();
+                        for &(_, idx, off) in &order {
+                            let mut access = BatchAccess::new_strided(
+                                ProcessId::new(idx),
+                                steps + off as u64,
+                                n as u64,
+                                runs,
+                                &mut memory,
+                                &shared,
+                            );
+                            let status = automata[idx].step_reads(&mut access);
+                            ops_local[idx] += access.ops();
+                            if status == Status::Done {
+                                self.finished[idx] = true;
+                            }
+                        }
+                        // As on the bucketed pure path: restore the plain
+                        // drive's publication order (stable by step; one
+                        // step is one machine).
+                        let mut trace = shared.trace.borrow_mut();
+                        let tail = &mut trace.probes[probe_mark..];
+                        if !tail.is_empty() {
+                            tail.sort_by_key(|e| e.step);
+                        }
+                        steps += slice.len() as u64;
+                        continue;
+                    }
+                }
+                // Periodic but impure (a phase turnover inside the slice):
+                // fall through to the generic bucketing, which re-checks
+                // purity per allotment and otherwise runs scalar.
             }
             for (off, &p) in slice.iter().enumerate() {
                 let idx = p.index();

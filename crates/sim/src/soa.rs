@@ -24,6 +24,20 @@
 //! runs back to back across the fleet. A slice that is not pure falls back
 //! to scalar in-order stepping, which is byte-for-byte the plain replay.
 //!
+//! Two slice shapes skip the bucketing entirely: a **uniform** slice (one
+//! process throughout — dwell-shaped schedules) becomes a single
+//! contiguous-run allotment, and an **interleaved** slice (a fixed
+//! permutation of the whole fleet repeated with period `n` — round-robin
+//! and every rotation of it) gives each machine an arithmetic-progression
+//! allotment (start = its offset in the permutation, stride = `n`) driven
+//! by a strided cursor. Neither materializes a step-index list. And below
+//! [`SOA_DELEGATE_BELOW_N`](crate::SOA_DELEGATE_BELOW_N) processes the
+//! delegating entry point does not batch at all: allotments that short
+//! lose to the plain replay on every schedule family measured, so small
+//! universes route straight to it
+//! ([`Sim::run_automata_replay_soa_batched`](crate::Sim::run_automata_replay_soa_batched)
+//! bypasses the heuristic for differential testing).
+//!
 //! Observational identity to plain replay is a hard contract, enforced by
 //! differential tests over every schedule family: same probes at the same
 //! step indices (each batched operation carries its original global step
@@ -72,13 +86,17 @@ pub trait PhaseBatch: Automaton {
 }
 
 /// The global step indices allotted to one machine in the current slice:
-/// either an explicit list (interleaved slices) or a contiguous run
-/// (uniform slices — the drive's fast path never materializes these).
+/// an explicit list (irregular interleaved slices), a contiguous run
+/// (uniform slices), or an arithmetic progression (periodic round-robin
+/// slices) — the drive's fast paths never materialize the latter two.
 enum Allotment<'a> {
     /// Explicit step indices, in schedule order.
     List(&'a [u64]),
     /// `len` consecutive steps starting at global step `start`.
     Run { start: u64, len: usize },
+    /// `len` steps at `start, start + stride, start + 2·stride, …` — one
+    /// process's allotment under a period-`stride` interleaved slice.
+    Strided { start: u64, stride: u64, len: usize },
 }
 
 impl Allotment<'_> {
@@ -86,7 +104,7 @@ impl Allotment<'_> {
     fn len(&self) -> usize {
         match self {
             Allotment::List(steps) => steps.len(),
-            Allotment::Run { len, .. } => *len,
+            Allotment::Run { len, .. } | Allotment::Strided { len, .. } => *len,
         }
     }
 
@@ -95,6 +113,7 @@ impl Allotment<'_> {
         match self {
             Allotment::List(steps) => steps[i],
             Allotment::Run { start, .. } => start + i as u64,
+            Allotment::Strided { start, stride, .. } => start + stride * i as u64,
         }
     }
 }
@@ -127,6 +146,27 @@ impl<'a> BatchAccess<'a> {
         BatchAccess {
             pid,
             steps: Allotment::List(steps),
+            cursor: 0,
+            memory,
+            shared,
+        }
+    }
+
+    /// An arithmetic-progression allotment: `len` steps at
+    /// `start, start + stride, …` — one process's cursor under the
+    /// interleaved-slice fast path (a slice that repeats a fixed
+    /// permutation of the fleet, period `stride = n`).
+    pub(crate) fn new_strided(
+        pid: ProcessId,
+        start: u64,
+        stride: u64,
+        len: usize,
+        memory: &'a mut Memory,
+        shared: &'a SimShared,
+    ) -> Self {
+        BatchAccess {
+            pid,
+            steps: Allotment::Strided { start, stride, len },
             cursor: 0,
             memory,
             shared,

@@ -167,8 +167,13 @@ fn soa_drive_equals_plain_replay() {
         };
         for slice_len in [1usize, 2, 7, 64, 2_000] {
             let (mut sim, outs, mut fleet) = build(n, m, limit, false);
-            sim.run_automata_replay_soa(&mut fleet, sched, slice_len, RunConfig::steps(1_000))
-                .unwrap();
+            sim.run_automata_replay_soa_batched(
+                &mut fleet,
+                sched,
+                slice_len,
+                RunConfig::steps(1_000),
+            )
+            .unwrap();
             assert_eq!(
                 plain,
                 observe(&sim, &outs),
@@ -203,7 +208,7 @@ fn soa_uniform_slice_fast_path_equals_plain_replay() {
     };
     for slice_len in [1usize, 4, 8, 64, 512] {
         let (mut sim, outs, mut fleet) = build(n, m, limit, false);
-        sim.run_automata_replay_soa(&mut fleet, &sched, slice_len, RunConfig::steps(200))
+        sim.run_automata_replay_soa_batched(&mut fleet, &sched, slice_len, RunConfig::steps(200))
             .unwrap();
         assert_eq!(
             plain,
@@ -223,7 +228,7 @@ fn soa_probe_steps_match_plain() {
     let probes = |soa: bool| {
         let (mut sim, _outs, mut fleet) = build(n, m, 3, false);
         if soa {
-            sim.run_automata_replay_soa(&mut fleet, &sched, 8, RunConfig::steps(40))
+            sim.run_automata_replay_soa_batched(&mut fleet, &sched, 8, RunConfig::steps(40))
                 .unwrap();
         } else {
             sim.run_automata_replay(&mut fleet, &sched, RunConfig::steps(40))
@@ -243,7 +248,7 @@ fn soa_drive_records_when_recording() {
     let n = 3;
     let sched = Schedule::from_indices((0..90).map(|s| s % n));
     let (mut sim, outs, mut fleet) = build(n, 5, 2, true);
-    sim.run_automata_replay_soa(&mut fleet, &sched, 16, RunConfig::steps(90))
+    sim.run_automata_replay_soa_batched(&mut fleet, &sched, 16, RunConfig::steps(90))
         .unwrap();
     let rep = sim.report();
     assert_eq!(rep.executed.as_ref().map(|e| e.len()), Some(90));
@@ -260,7 +265,7 @@ fn soa_drive_honors_stop_conditions() {
     let sched = Schedule::from_indices(vec![0usize; 200]);
     let (mut sim, _outs, mut fleet) = build(n, 3, 2, false);
     let status = sim
-        .run_automata_replay_soa(
+        .run_automata_replay_soa_batched(
             &mut fleet,
             &sched,
             16,
@@ -288,7 +293,7 @@ fn soa_drive_finished_machines_idle() {
             SumScan::new(shared[0], outs[1], 3, 20),
         ];
         if soa {
-            sim.run_automata_replay_soa(&mut fleet, &sched, 10, RunConfig::steps(120))
+            sim.run_automata_replay_soa_batched(&mut fleet, &sched, 10, RunConfig::steps(120))
                 .unwrap();
         } else {
             sim.run_automata_replay(&mut fleet, &sched, RunConfig::steps(120))
@@ -367,10 +372,139 @@ fn fleet_drives_return_typed_error_on_spawned_sim() {
         "run_automata_replay_soa",
     );
 
+    let (mut sim, mut fleet) = spawned_sim();
+    check(
+        sim.run_automata_replay_soa_batched(&mut fleet, &sched, 4, RunConfig::steps(2))
+            .unwrap_err(),
+        "run_automata_replay_soa_batched",
+    );
+
     // The error is recoverable: none of the calls executed a step or
     // touched a register.
     let (sim, _fleet) = spawned_sim();
     assert_eq!(sim.steps_executed(), 0);
+}
+
+/// The interleaved-slice fast path: schedules that repeat a fixed
+/// permutation of the whole fleet with period n route through strided
+/// allotments (no bucketing, no step-index lists) and must stay
+/// observationally identical to plain replay — across rotations of the
+/// permutation, a shuffled permutation, slice lengths aligned and
+/// misaligned with the period, and ragged tails.
+#[test]
+fn soa_interleaved_fast_path_equals_plain_replay() {
+    let (n, m, limit) = (5usize, 6usize, 4u64);
+    let shuffled = [3usize, 0, 4, 1, 2];
+    let schedules: Vec<(&str, Schedule)> = vec![
+        ("rr", Schedule::from_indices((0..400).map(|s| s % n))),
+        (
+            "rotated",
+            Schedule::from_indices((0..400).map(|s| (s + 2) % n)),
+        ),
+        (
+            "shuffled-perm",
+            Schedule::from_indices((0..400).map(|s| shuffled[s % n])),
+        ),
+        (
+            // Ragged: 370 = 74 permutation periods, but chunked at 64 the
+            // final slice is 50 steps (period check passes, length is not
+            // a multiple of n) — must fall back and stay identical.
+            "ragged-tail",
+            Schedule::from_indices((0..370).map(|s| s % n)),
+        ),
+    ];
+    for (name, sched) in &schedules {
+        let plain = {
+            let (mut sim, outs, mut fleet) = build(n, m, limit, false);
+            sim.run_automata_replay(&mut fleet, sched, RunConfig::steps(1_000))
+                .unwrap();
+            observe(&sim, &outs)
+        };
+        // 5·n and 64: slice aligned and misaligned with the period; n
+        // itself: one period per slice (strided runs of length 1).
+        for slice_len in [n, 5 * n, 64, 1_000] {
+            let (mut sim, outs, mut fleet) = build(n, m, limit, false);
+            sim.run_automata_replay_soa_batched(
+                &mut fleet,
+                sched,
+                slice_len,
+                RunConfig::steps(1_000),
+            )
+            .unwrap();
+            assert_eq!(
+                plain,
+                observe(&sim, &outs),
+                "{name}/slice={slice_len}: interleaved fast path diverged"
+            );
+        }
+    }
+}
+
+/// Finished machines inside an interleaved slice: the permutation still
+/// matches (the schedule keeps naming the finished process), its allotment
+/// is a no-op, and everything stays identical to plain replay.
+#[test]
+fn soa_interleaved_with_finished_machines_equals_plain() {
+    let n = 4;
+    let sched = Schedule::from_indices((0..480).map(|s| s % n));
+    let run = |batched: bool| {
+        let u = universe(n);
+        let mut sim = Sim::new(u);
+        let shared = sim.alloc_array("shared", 5, 3u64);
+        let outs = sim.alloc_array("out", n, 0u64);
+        // p0 decides after one round; the others keep scanning.
+        let mut fleet: Vec<SumScan> = (0..n)
+            .map(|i| SumScan::new(shared[0], outs[i], 5, if i == 0 { 1 } else { 15 }))
+            .collect();
+        if batched {
+            sim.run_automata_replay_soa_batched(&mut fleet, &sched, 6 * n, RunConfig::steps(480))
+                .unwrap();
+        } else {
+            sim.run_automata_replay(&mut fleet, &sched, RunConfig::steps(480))
+                .unwrap();
+        }
+        observe(&sim, &outs)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// The delegating entry is observationally identical to the raw batched
+/// engine on both sides of [`SOA_DELEGATE_BELOW_N`] — delegation is a pure
+/// performance heuristic.
+#[test]
+fn soa_delegation_threshold_preserves_identity() {
+    use st_sim::SOA_DELEGATE_BELOW_N;
+    let (m, limit) = (6usize, 3u64);
+    for n in [SOA_DELEGATE_BELOW_N - 1, SOA_DELEGATE_BELOW_N] {
+        let sched = Schedule::from_indices((0..n * 40).map(|s| s % n));
+        let steps = (n * 40) as u64;
+        let plain = {
+            let (mut sim, outs, mut fleet) = build(n, m, limit, false);
+            sim.run_automata_replay(&mut fleet, &sched, RunConfig::steps(steps))
+                .unwrap();
+            observe(&sim, &outs)
+        };
+        for batched in [false, true] {
+            let (mut sim, outs, mut fleet) = build(n, m, limit, false);
+            if batched {
+                sim.run_automata_replay_soa_batched(
+                    &mut fleet,
+                    &sched,
+                    64,
+                    RunConfig::steps(steps),
+                )
+                .unwrap();
+            } else {
+                sim.run_automata_replay_soa(&mut fleet, &sched, 64, RunConfig::steps(steps))
+                    .unwrap();
+            }
+            assert_eq!(
+                plain,
+                observe(&sim, &outs),
+                "n={n} batched={batched}: delegation changed observations"
+            );
+        }
+    }
 }
 
 /// A fresh (never-spawned) Sim accepts every fleet drive; the typed error
