@@ -220,6 +220,131 @@ impl Campaign {
     }
 }
 
+/// What a [`Campaign::run_chunked`] observer tells the drive after each
+/// checkpointed chunk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChunkControl {
+    /// Keep executing the remaining scenarios.
+    Continue,
+    /// Stop after this chunk (cancellation, shutdown). Everything recorded
+    /// so far stays recorded; a later run resumes from the store.
+    Stop,
+}
+
+impl Campaign {
+    /// Rebuilds a campaign from explicit `(rank, scenario)` pairs — the
+    /// inverse of reading [`ranks`](Self::ranks) ×
+    /// [`scenarios`](Self::scenarios), used by `st-serve` to reconstruct a
+    /// submitted campaign from its wire/persisted spec. Ranks must be
+    /// strictly increasing (the invariant every campaign maintains); a
+    /// violation is a typed error, never a silently reordered campaign.
+    pub fn from_ranked(
+        entries: impl IntoIterator<Item = (usize, Scenario)>,
+    ) -> Result<Campaign, String> {
+        let mut campaign = Campaign::new();
+        for (rank, scenario) in entries {
+            if let Some(&prev) = campaign.ranks.last() {
+                if prev >= rank {
+                    return Err(format!(
+                        "campaign ranks must be strictly increasing, got {prev} then {rank}"
+                    ));
+                }
+            }
+            campaign.scenarios.push(scenario);
+            campaign.ranks.push(rank);
+            campaign.next_rank = rank + 1;
+        }
+        Ok(campaign)
+    }
+
+    /// The incremental drive behind `st-serve`: like
+    /// [`run_resumed`](Self::run_resumed), but executes the pending
+    /// scenarios in rank-order chunks of `chunk`, recording into `record`
+    /// as it goes and calling `observer(record, completed, total)` after
+    /// every chunk — the daemon's checkpoint-and-cancellation hook.
+    ///
+    /// Returns the rank-ordered outcomes produced so far and whether the
+    /// campaign *finished* (`false` iff the observer returned
+    /// [`ChunkControl::Stop`] with scenarios still pending).
+    ///
+    /// Three properties make this the same sweep as the batch drives:
+    ///
+    /// - outcomes reused from `resume` are recorded **before** the first
+    ///   chunk, so after every observer call `record` holds exactly the
+    ///   outcomes completed so far (a store checkpoint is always a valid
+    ///   resume point);
+    /// - the store inserts in canonical `(campaign, rank)` order, so the
+    ///   bytes of `record` after the final chunk are **identical** to what
+    ///   [`run_resumed`](Self::run_resumed) records — chunk size, thread
+    ///   count, and interrupt history never show in the artifact
+    ///   (differential-tested in `tests/chunked.rs`);
+    /// - a stopped run resumed from its own checkpoint completes to the
+    ///   same bytes as an uninterrupted one.
+    ///
+    /// When every scenario is already in `resume`, the observer is still
+    /// called once (with `completed == total`) so a caller that persists
+    /// checkpoints from the observer always writes the final store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn run_chunked(
+        &self,
+        threads: usize,
+        key: &str,
+        resume: Option<&OutcomeStore>,
+        record: &mut OutcomeStore,
+        chunk: usize,
+        mut observer: impl FnMut(&OutcomeStore, usize, usize) -> ChunkControl,
+    ) -> (Vec<ScenarioOutcome>, bool) {
+        assert!(chunk > 0, "chunk size must be ≥ 1");
+        let total = self.len();
+        let mut pending = self.clone();
+        let reused = match resume {
+            Some(store) => pending.skip_completed(store, key),
+            None => Vec::new(),
+        };
+        let record_one = |record: &mut OutcomeStore, out: &ScenarioOutcome| {
+            let idx = self
+                .ranks
+                .binary_search(&out.rank)
+                .expect("chunked ranks come from this campaign");
+            record.record(key, &self.scenarios[idx], out);
+        };
+        for out in &reused {
+            record_one(record, out);
+        }
+        let mut outcomes = reused;
+        if pending.is_empty() {
+            let _ = observer(record, total, total);
+            return (outcomes, true);
+        }
+        let mut start = 0usize;
+        let mut finished = true;
+        while start < pending.len() {
+            let end = (start + chunk).min(pending.len());
+            let part = Campaign {
+                scenarios: pending.scenarios[start..end].to_vec(),
+                ranks: pending.ranks[start..end].to_vec(),
+                next_rank: pending.next_rank,
+            };
+            let fresh = part.run_parallel(threads);
+            for out in &fresh {
+                record_one(record, out);
+            }
+            outcomes.extend(fresh);
+            start = end;
+            let completed = total - (pending.len() - start);
+            if observer(record, completed, total) == ChunkControl::Stop {
+                finished = start >= pending.len();
+                break;
+            }
+        }
+        outcomes.sort_by_key(|o| o.rank);
+        (outcomes, finished)
+    }
+}
+
 /// Merges two rank-sorted outcome lists into one rank-sorted list (the
 /// reassembly step of a resumed or partitioned sweep). Ranks are expected
 /// to be disjoint — a campaign never yields the same rank twice.

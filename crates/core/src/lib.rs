@@ -47,6 +47,7 @@
 
 pub mod agreementspec;
 pub mod error;
+pub mod frame;
 pub mod json;
 pub mod parallel;
 pub mod process;
@@ -63,6 +64,7 @@ pub use agreementspec::{
     check_outcome, AgreementOutcome, AgreementTask, AgreementViolation, Value,
 };
 pub use error::ModelError;
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
 pub use json::{Json, JsonError};
 pub use process::{ProcessId, Universe, MAX_PROCESSES, PROCSET_CAPACITY};
 pub use procset::{words_for, ProcSet, WideProcSet};

@@ -19,6 +19,14 @@
 //! is refused with a typed error (exit code 2), never silently partially
 //! resumed.
 //!
+//! Serving: `--serve ADDR` routes every experiment campaign through the
+//! `st-serve` daemon at `ADDR` (see `PROTOCOL.md`) instead of executing
+//! in-process. Tables, verdicts, and recorded stores are identical either
+//! way — the daemon runs the same engine and the store's canonical form is
+//! drive-independent. An unreachable daemon or a typed refusal (protocol
+//! or store schema mismatch, daemon at capacity) prints its message and
+//! exits 2.
+//!
 //! Scenarios: `--scenario NAME` (repeatable) runs entries of the named
 //! fault-injection catalog (`SCENARIOS.md`) as campaigns with the
 //! always-on invariant checker; any recorded violation prints a replayable
@@ -65,6 +73,9 @@ OPTIONS:
   --fast                     smaller grids and budgets (smoke runs)
   --tsv                      also emit tables as TSV
   --threads N                campaign workers (results identical for every N)
+  --serve ADDR               route campaigns through the st-serve daemon at
+                             ADDR (tables and stores identical to local runs;
+                             unreachable daemon or typed refusal exits 2)
   --sizes N,N,...            E9 universe-size axis (default: 64 fast,
                              64,256,1024 full)
   --outcomes PATH            record campaign outcomes to a versioned store
@@ -90,6 +101,7 @@ struct Args {
     tsv: bool,
     threads: usize,
     sizes: Option<Vec<usize>>,
+    serve: Option<String>,
     outcomes: Option<String>,
     resume: Option<String>,
     drop_half: Option<String>,
@@ -113,6 +125,7 @@ fn parse_args() -> Args {
         tsv: false,
         threads: usize::MAX,
         sizes: None,
+        serve: None,
         outcomes: None,
         resume: None,
         drop_half: None,
@@ -183,6 +196,7 @@ fn parse_args() -> Args {
                 }
                 args.sizes = Some(sizes);
             }
+            "--serve" => args.serve = Some(value_of(&mut i, "--serve", &argv)),
             "--outcomes" => args.outcomes = Some(value_of(&mut i, "--outcomes", &argv)),
             "--resume" => args.resume = Some(value_of(&mut i, "--resume", &argv)),
             "--drop-half-store" => {
@@ -398,6 +412,20 @@ fn main() -> ExitCode {
     }
     if let Some(session) = &session {
         cfg = cfg.with_session(Arc::clone(session));
+    }
+
+    if let Some(addr) = &args.serve {
+        if args.fuzz {
+            eprintln!("stlab fuzz does not support --serve (fuzz sessions are local)");
+            return ExitCode::from(2);
+        }
+        // Ping before any work: an unreachable daemon is a typed exit-2
+        // up front, not a mid-sweep surprise.
+        if let Err(e) = st_serve::ServeClient::new(addr).hello() {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+        cfg = cfg.with_serve(addr.clone());
     }
 
     if args.fuzz {

@@ -82,6 +82,12 @@ pub struct LabConfig {
     /// mode default — `{64}` in fast, `{64, 256, 1024}` in full; override
     /// with `stlab --sizes`.
     pub sizes: Option<Vec<usize>>,
+    /// Route campaigns through an `st-serve` daemon at this address
+    /// (`stlab --serve ADDR`) instead of executing in-process. Outcomes —
+    /// and therefore tables, verdicts, and recorded stores — are identical
+    /// either way; a client error prints its typed message and exits 2
+    /// (the CLI's usage/connection error code).
+    pub serve: Option<String>,
 }
 
 impl LabConfig {
@@ -93,6 +99,7 @@ impl LabConfig {
             threads: usize::MAX,
             session: None,
             sizes: None,
+            serve: None,
         }
     }
 
@@ -104,6 +111,7 @@ impl LabConfig {
             threads: usize::MAX,
             session: None,
             sizes: None,
+            serve: None,
         }
     }
 
@@ -122,6 +130,12 @@ impl LabConfig {
     /// Overrides the E9 universe-size axis.
     pub fn with_sizes(mut self, sizes: Vec<usize>) -> Self {
         self.sizes = Some(sizes);
+        self
+    }
+
+    /// Routes campaigns through the `st-serve` daemon at `addr`.
+    pub fn with_serve(mut self, addr: impl Into<String>) -> Self {
+        self.serve = Some(addr.into());
         self
     }
 
@@ -152,8 +166,13 @@ impl LabConfig {
     /// Executes a campaign under this configuration: plain
     /// [`Campaign::run_parallel`] without a session, resumable
     /// [`Campaign::run_resumed`] (reuse stored outcomes, record everything
-    /// under `key`) with one. Outcome lists are identical either way.
+    /// under `key`) with one, or a round trip through an `st-serve` daemon
+    /// when [`serve`](Self::serve) is set. Outcome lists are identical all
+    /// three ways.
     pub fn run_campaign(&self, key: &str, campaign: &Campaign) -> Vec<ScenarioOutcome> {
+        if let Some(addr) = &self.serve {
+            return self.run_served(addr, key, campaign);
+        }
         match &self.session {
             None => campaign.run_parallel(self.threads),
             Some(session) => {
@@ -179,6 +198,43 @@ impl LabConfig {
                 outcomes
             }
         }
+    }
+
+    /// The `--serve` drive: submit→poll→fetch through
+    /// [`st_serve::ServeClient`],
+    /// then record the fetched outcomes into the local session exactly as
+    /// the in-process drives would (the daemon's store and the session's
+    /// store end up with identical entries for `key`). Local `--resume`
+    /// skipping does not apply here — the daemon resumes from its own
+    /// authoritative state directory instead. Client errors (unreachable
+    /// daemon, typed refusals, broken stores) print their message and exit
+    /// 2, the CLI's usage/connection error code.
+    fn run_served(&self, addr: &str, key: &str, campaign: &Campaign) -> Vec<ScenarioOutcome> {
+        let client = st_serve::ServeClient::new(addr);
+        let outcomes = match client.run_campaign(key, campaign, st_serve::DEFAULT_POLL) {
+            Ok(outcomes) => outcomes,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        if let Some(session) = &self.session {
+            let mut record = session.record.lock().expect("no panics while recording");
+            // run_campaign verified ranks match the campaign, so scenarios
+            // and outcomes zip positionally.
+            for (scenario, outcome) in campaign.scenarios().iter().zip(&outcomes) {
+                record.record(key, scenario, outcome);
+            }
+            if let Some(path) = &session.autosave {
+                if let Err(e) = record.save(path) {
+                    eprintln!(
+                        "warning: cannot checkpoint outcome store {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        outcomes
     }
 }
 

@@ -140,3 +140,115 @@ fn fuzz_smoke_finds_shrinks_and_is_deterministic() {
     let bytes2 = std::fs::read(&c2).unwrap();
     assert_eq!(bytes1, bytes2, "corpus stores differ across thread counts");
 }
+
+// ---------------------------------------------------------------------------
+// `--serve`: the daemon-backed drive.
+// ---------------------------------------------------------------------------
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn serve_against_nothing_is_a_typed_usage_error() {
+    // Discard port: nothing listens, the up-front hello ping fails.
+    let out = stlab(&["--fast", "e3", "--serve", "127.0.0.1:9"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        stderr(&out).contains("cannot reach st-serve at 127.0.0.1:9"),
+        "typed connect message: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn serve_with_fuzz_is_a_usage_error() {
+    let out = stlab(&["fuzz", "--serve", "127.0.0.1:9"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr(&out).contains("does not support --serve"));
+}
+
+/// A daemon whose store is from another schema version refuses the submit
+/// with the store's own error text, and `stlab` surfaces it verbatim. The
+/// daemon here is faked at the frame level: hello succeeds, everything
+/// else gets the typed `schema-mismatch` a real daemon with a broken store
+/// sends.
+#[test]
+fn serve_schema_mismatch_surfaces_the_stores_text() {
+    use st_core::frame::{read_frame, write_frame};
+    use st_core::Json;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut sock) = stream else { continue };
+            let Ok(doc) = read_frame(&mut sock) else {
+                continue;
+            };
+            let verb = doc.get("verb").and_then(Json::as_str).unwrap_or("");
+            let resp = if verb == "hello" {
+                st_serve::protocol::ok_response([("server", Json::str("fake"))])
+            } else {
+                let text = st_campaign::StoreError::SchemaMismatch {
+                    found: "st-campaign/outcome-store-v1".into(),
+                    expected: st_campaign::store::SCHEMA,
+                }
+                .to_string();
+                st_serve::protocol::error_response(st_serve::ErrorKind::SchemaMismatch, text)
+            };
+            let _ = write_frame(&mut sock, &resp);
+        }
+    });
+
+    let out = stlab(&["--fast", "e3", "--serve", &addr]);
+    assert_eq!(exit_code(&out), 2);
+    let text = stderr(&out);
+    assert!(
+        text.contains("st-serve refused [schema-mismatch]"),
+        "typed refusal: {text}"
+    );
+    assert!(
+        text.contains("outcome store schema mismatch"),
+        "store's own text: {text}"
+    );
+}
+
+/// The house invariant at the CLI level: `--fast e3` through a real daemon
+/// renders byte-identical tables and records a byte-identical outcome
+/// store — and the daemon's own state-dir store matches both.
+#[test]
+fn serve_mode_reproduces_batch_tables_and_store_bytes() {
+    let state = std::env::temp_dir().join(format!("stlab-serve-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    let server = st_serve::Server::bind("127.0.0.1:0", st_serve::ServeConfig::new(&state)).unwrap();
+    let addr = server.local_addr().to_string();
+    std::thread::spawn(move || server.run());
+
+    let batch_store = tmp("serve-batch.json");
+    let served_store = tmp("serve-served.json");
+    let batch = stlab(&["--fast", "e3", "--outcomes", batch_store.to_str().unwrap()]);
+    assert_eq!(exit_code(&batch), 0, "{}", stderr(&batch));
+    let served = stlab(&[
+        "--fast",
+        "e3",
+        "--serve",
+        &addr,
+        "--outcomes",
+        served_store.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&served), 0, "{}", stderr(&served));
+
+    assert_eq!(stdout(&batch), stdout(&served), "rendered tables");
+    let batch_bytes = std::fs::read(&batch_store).unwrap();
+    assert_eq!(
+        batch_bytes,
+        std::fs::read(&served_store).unwrap(),
+        "recorded store bytes"
+    );
+    assert_eq!(
+        batch_bytes,
+        std::fs::read(state.join("job-e3.store.json")).unwrap(),
+        "daemon state-dir store bytes"
+    );
+}

@@ -1,0 +1,257 @@
+//! The client half: one TCP connection per request, typed errors, and the
+//! submit→poll→fetch loop `stlab --serve` runs a campaign through.
+
+use std::fmt;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use st_campaign::{Campaign, OutcomeStore, ScenarioOutcome};
+use st_core::frame::{read_frame, write_frame, FrameError};
+use st_core::Json;
+
+use crate::protocol::{self, campaign_entries, JobState, Verb};
+
+/// Default delay between `status` polls in
+/// [`run_campaign`](ServeClient::run_campaign).
+pub const DEFAULT_POLL: Duration = Duration::from_millis(20);
+
+/// A typed client failure. Every variant's `Display` text is what `stlab`
+/// prints before exiting 2 — the messages are part of the CLI contract.
+#[derive(Debug)]
+pub enum ClientError {
+    /// TCP connect failed (daemon down, wrong address).
+    Connect {
+        /// The address dialed.
+        addr: String,
+        /// The connect error.
+        source: std::io::Error,
+    },
+    /// The connection broke mid-request, or the peer sent garbage framing.
+    Frame(FrameError),
+    /// The response parsed but is not a protocol envelope.
+    Malformed(String),
+    /// The daemon answered with a typed error response.
+    Server {
+        /// The error kind's wire name (e.g. `busy`, `schema-mismatch`).
+        kind: String,
+        /// The daemon's message.
+        message: String,
+    },
+    /// The request-response exchange worked, but the job cannot produce
+    /// outcomes (cancelled, broken, incomplete fetch).
+    Failed(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect { addr, source } => {
+                write!(f, "cannot reach st-serve at {addr}: {source}")
+            }
+            ClientError::Frame(e) => write!(f, "st-serve connection failed: {e}"),
+            ClientError::Malformed(msg) => write!(f, "malformed st-serve response: {msg}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "st-serve refused [{kind}]: {message}")
+            }
+            ClientError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A job's status as reported by the daemon.
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    /// The campaign key.
+    pub key: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Scenario count.
+    pub total: u64,
+    /// Outcomes recorded so far.
+    pub completed: u64,
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}/{}",
+            self.key,
+            self.state.wire(),
+            self.completed,
+            self.total
+        )
+    }
+}
+
+/// A client for one daemon address. Connections are per-request (the
+/// protocol is one frame in, one frame out), so a `ServeClient` is just
+/// the address plus the request plumbing.
+#[derive(Clone, Debug)]
+pub struct ServeClient {
+    addr: String,
+}
+
+impl ServeClient {
+    /// A client for the daemon at `addr` (e.g. `127.0.0.1:7777`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        ServeClient { addr: addr.into() }
+    }
+
+    fn request(&self, verb: Verb, fields: Vec<(&'static str, Json)>) -> Result<Json, ClientError> {
+        let mut sock = TcpStream::connect(&self.addr).map_err(|e| ClientError::Connect {
+            addr: self.addr.clone(),
+            source: e,
+        })?;
+        write_frame(&mut sock, &protocol::request(verb, fields)).map_err(ClientError::Frame)?;
+        let resp = read_frame(&mut sock).map_err(ClientError::Frame)?;
+        match resp.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(resp),
+            Some(false) => {
+                let field = |name: &str| {
+                    resp.get("error")
+                        .and_then(|e| e.get(name))
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string()
+                };
+                Err(ClientError::Server {
+                    kind: field("kind"),
+                    message: field("message"),
+                })
+            }
+            None => Err(ClientError::Malformed(
+                "response has no \"ok\" field".to_string(),
+            )),
+        }
+    }
+
+    fn job_from(&self, resp: &Json) -> Result<JobStatus, ClientError> {
+        let job = resp
+            .get("job")
+            .ok_or_else(|| ClientError::Malformed("response has no \"job\" field".into()))?;
+        let state = job.get("state").and_then(Json::as_str).unwrap_or("");
+        Ok(JobStatus {
+            key: job
+                .get("key")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            state: JobState::parse(state)
+                .ok_or_else(|| ClientError::Malformed(format!("unknown job state {state:?}")))?,
+            total: job.get("total").and_then(Json::as_u64).unwrap_or(0),
+            completed: job.get("completed").and_then(Json::as_u64).unwrap_or(0),
+        })
+    }
+
+    /// Liveness/version probe. `Ok` means the daemon is up and speaks this
+    /// client's protocol version.
+    pub fn hello(&self) -> Result<(), ClientError> {
+        self.request(Verb::Hello, Vec::new()).map(|_| ())
+    }
+
+    /// Submits `campaign` under `key`. Idempotent: an identical re-submit
+    /// reports the existing job (requeueing it if it was interrupted or
+    /// cancelled); a different campaign under the same key is a typed
+    /// `spec-mismatch` refusal.
+    pub fn submit(&self, key: &str, campaign: &Campaign) -> Result<JobStatus, ClientError> {
+        let resp = self.request(
+            Verb::Submit,
+            vec![
+                ("key", Json::str(key)),
+                ("entries", campaign_entries(campaign)),
+            ],
+        )?;
+        self.job_from(&resp)
+    }
+
+    /// One job's status.
+    pub fn status(&self, key: &str) -> Result<JobStatus, ClientError> {
+        let resp = self.request(Verb::Status, vec![("key", Json::str(key))])?;
+        self.job_from(&resp)
+    }
+
+    /// Every job's status, sorted by key.
+    pub fn jobs(&self) -> Result<Vec<JobStatus>, ClientError> {
+        let resp = self.request(Verb::Status, Vec::new())?;
+        let jobs = resp
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Malformed("response has no \"jobs\" array".into()))?;
+        jobs.iter()
+            .map(|j| self.job_from(&Json::obj([("job", j.clone())])))
+            .collect()
+    }
+
+    /// Requests cancellation (honored at the job's next chunk boundary).
+    pub fn cancel(&self, key: &str) -> Result<JobStatus, ClientError> {
+        let resp = self.request(Verb::Cancel, vec![("key", Json::str(key))])?;
+        self.job_from(&resp)
+    }
+
+    /// Requeues an interrupted or cancelled job.
+    pub fn resume(&self, key: &str) -> Result<JobStatus, ClientError> {
+        let resp = self.request(Verb::Resume, vec![("key", Json::str(key))])?;
+        self.job_from(&resp)
+    }
+
+    /// Fetches the job's outcome store. The returned store's
+    /// [`to_json_string`](OutcomeStore::to_json_string) reproduces the
+    /// daemon's file bytes exactly (the store's parse→serialize round trip
+    /// is byte-stable).
+    pub fn fetch_store(&self, key: &str) -> Result<(JobStatus, OutcomeStore), ClientError> {
+        let resp = self.request(Verb::FetchOutcomes, vec![("key", Json::str(key))])?;
+        let job = self.job_from(&resp)?;
+        let doc = resp
+            .get("store")
+            .ok_or_else(|| ClientError::Malformed("response has no \"store\" field".into()))?;
+        let store = OutcomeStore::from_json_str(&doc.to_string())
+            .map_err(|e| ClientError::Failed(format!("fetched store for {key:?}: {e}")))?;
+        Ok((job, store))
+    }
+
+    /// The full client-side campaign run: submit, poll `status` every
+    /// `poll`, fetch the finished store, and return the rank-ordered
+    /// outcomes — the drop-in remote counterpart of
+    /// [`Campaign::run_resumed`]. A job that ends cancelled or broken, or
+    /// a fetched store that does not cover the campaign, is a typed error.
+    pub fn run_campaign(
+        &self,
+        key: &str,
+        campaign: &Campaign,
+        poll: Duration,
+    ) -> Result<Vec<ScenarioOutcome>, ClientError> {
+        self.submit(key, campaign)?;
+        loop {
+            let job = self.status(key)?;
+            match job.state {
+                JobState::Done => break,
+                JobState::Queued | JobState::Running => std::thread::sleep(poll),
+                other => {
+                    return Err(ClientError::Failed(format!(
+                        "st-serve job {key:?} ended {}",
+                        other.wire()
+                    )))
+                }
+            }
+        }
+        let (_, store) = self.fetch_store(key)?;
+        let outcomes: Vec<ScenarioOutcome> = store
+            .entries()
+            .iter()
+            .filter(|e| e.campaign == key)
+            .map(|e| e.outcome.clone())
+            .collect();
+        let ranks: Vec<usize> = outcomes.iter().map(|o| o.rank).collect();
+        if ranks != campaign.ranks() {
+            return Err(ClientError::Failed(format!(
+                "st-serve returned {} outcome(s) for {key:?}, campaign expects {}",
+                outcomes.len(),
+                campaign.len()
+            )));
+        }
+        Ok(outcomes)
+    }
+}

@@ -1,0 +1,838 @@
+//! The daemon: a TCP accept loop, a persistent job table, and one campaign
+//! worker draining the queue through [`Campaign::run_chunked`].
+//!
+//! # State directory
+//!
+//! Every accepted `submit` is persisted *before* it is acknowledged:
+//! `job-<key>.spec.json` (schema [`JOB_SCHEMA`])
+//! holds the campaign's canonical `(rank, scenario)` list, and
+//! `job-<key>.store.json` is an ordinary [`OutcomeStore`] file the worker
+//! rewrites atomically (write-temp-then-rename) after every chunk. A
+//! restarted daemon rescans the directory, re-derives each job's progress
+//! by matching the store against the spec (the same staleness-guarded
+//! comparison `--resume` uses), and continues — killing the process at any
+//! point loses at most the chunk in flight, never the store's integrity.
+//!
+//! # Determinism
+//!
+//! The worker executes jobs through the same engine as `stlab` batch mode,
+//! so a job's finished store is **byte-identical** whether it ran in one
+//! daemon process, across a kill/restart, or via `stlab` without a daemon
+//! at all (`tests/serve.rs` and CI's serve-smoke job assert the bytes).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use st_campaign::{Campaign, ChunkControl, OutcomeStore};
+use st_core::frame::{read_frame, write_frame};
+use st_core::Json;
+
+use crate::protocol::{
+    decode_entries, error_response, job_spec, ok_response, validate_key, ErrorKind, JobState, Verb,
+    JOB_SCHEMA, PROTO,
+};
+
+/// Daemon configuration (see `st-serve --help` for the CLI mapping).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Directory for persisted job specs and outcome stores (created if
+    /// missing).
+    pub state_dir: PathBuf,
+    /// Worker threads per campaign chunk (`usize::MAX` = one per hardware
+    /// thread). Results are thread-count independent.
+    pub threads: usize,
+    /// Scenarios per checkpoint: the store is rewritten and cancellation
+    /// honored at every multiple of this.
+    pub chunk: usize,
+    /// Backpressure bound: a `submit` whose scenarios would push the total
+    /// queued+running count past this is refused with a typed `busy` error.
+    pub max_pending: usize,
+    /// Test/CI crash hook: after this many chunk checkpoints the daemon
+    /// stops as if killed (no cleanup beyond what every chunk does). A
+    /// fully-reused job costs one checkpoint too.
+    pub exit_after_chunks: Option<u64>,
+}
+
+impl ServeConfig {
+    /// Defaults: hardware-width workers, chunks of 8, 1M scenarios of
+    /// backpressure headroom, no crash hook.
+    pub fn new(state_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            state_dir: state_dir.into(),
+            threads: usize::MAX,
+            chunk: 8,
+            max_pending: 1_000_000,
+            exit_after_chunks: None,
+        }
+    }
+}
+
+/// One submitted campaign.
+struct Job {
+    key: String,
+    /// The canonical job-spec document — the identity a re-`submit` is
+    /// compared against.
+    spec: Json,
+    campaign: Campaign,
+    state: JobState,
+    /// Set by `cancel` while running; honored at the next chunk boundary.
+    cancel: bool,
+    completed: usize,
+    total: usize,
+    /// The store's load-error text when [`JobState::Broken`].
+    store_error: Option<String>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    jobs: Mutex<Vec<Job>>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    chunks_left: Mutex<Option<u64>>,
+}
+
+/// A bound daemon; [`run`](Server::run) blocks until the crash hook fires
+/// (or forever without one — kill the process to stop it, that's the
+/// supported and tested shutdown path).
+pub struct Server {
+    listener: TcpListener,
+    shared: Shared,
+}
+
+impl Server {
+    /// Creates the state directory, loads persisted jobs, and binds
+    /// `addr` (use port 0 to let the OS pick; see
+    /// [`local_addr`](Server::local_addr)).
+    pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&cfg.state_dir)?;
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let jobs = load_jobs(&cfg.state_dir);
+        let chunks_left = Mutex::new(cfg.exit_after_chunks);
+        Ok(Server {
+            listener,
+            shared: Shared {
+                addr: local,
+                jobs: Mutex::new(jobs),
+                work: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                chunks_left,
+                cfg,
+            },
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves requests and executes jobs until shut down by the crash
+    /// hook. One frame per connection; requests are handled serially, the
+    /// campaign worker runs concurrently.
+    pub fn run(self) {
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            scope.spawn(|| worker(shared));
+            for stream in self.listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(mut sock) => handle_conn(shared, &mut sock),
+                    Err(e) => eprintln!("st-serve: accept error: {e}"),
+                }
+            }
+            // Unblock the worker if the accept loop exits first.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.work.notify_all();
+        });
+    }
+}
+
+fn spec_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("job-{key}.spec.json"))
+}
+
+fn store_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("job-{key}.store.json"))
+}
+
+/// Atomic store checkpoint: write to a temp file, then rename over the
+/// real one — a kill mid-write can never truncate the previous checkpoint.
+fn checkpoint(store: &OutcomeStore, path: &Path) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, store.to_json_string())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Rebuilds the job table from the state directory (sorted by file name
+/// for a deterministic table order). Unreadable specs are skipped loudly;
+/// unreadable *stores* produce [`JobState::Broken`] jobs that surface the
+/// store's own error text on every request against them.
+fn load_jobs(dir: &Path) -> Vec<Job> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("job-") && n.ends_with(".spec.json"))
+        .collect();
+    names.sort();
+    let mut jobs = Vec::new();
+    for name in names {
+        match load_job(dir, &name) {
+            Ok(job) => jobs.push(job),
+            Err(e) => eprintln!("st-serve: skipping {name}: {e}"),
+        }
+    }
+    jobs
+}
+
+fn load_job(dir: &Path, name: &str) -> Result<Job, String> {
+    let text = std::fs::read_to_string(dir.join(name)).map_err(|e| e.to_string())?;
+    let doc = Json::parse(&text).map_err(|e| e.to_string())?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != JOB_SCHEMA {
+        return Err(format!(
+            "job spec schema mismatch: file has {schema:?}, this build reads {JOB_SCHEMA:?}"
+        ));
+    }
+    let key = doc
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or("job spec has no \"key\"")?
+        .to_string();
+    validate_key(&key)?;
+    let entries = doc.get("entries").ok_or("job spec has no \"entries\"")?;
+    let campaign = Campaign::from_ranked(decode_entries(entries)?)?;
+    let spec = job_spec(&key, &campaign);
+    let total = campaign.len();
+
+    let store_file = store_path(dir, &key);
+    let (completed, state, store_error) = if store_file.exists() {
+        match OutcomeStore::load(&store_file) {
+            Ok(store) => {
+                let mut pending = campaign.clone();
+                let completed = pending.skip_completed(&store, &key).len();
+                let state = if completed == total {
+                    JobState::Done
+                } else {
+                    JobState::Interrupted
+                };
+                (completed, state, None)
+            }
+            Err(e) => (0, JobState::Broken, Some(e.to_string())),
+        }
+    } else {
+        (0, JobState::Interrupted, None)
+    };
+    Ok(Job {
+        key,
+        spec,
+        campaign,
+        state,
+        cancel: false,
+        completed,
+        total,
+        store_error,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The campaign worker.
+// ---------------------------------------------------------------------------
+
+fn worker(shared: &Shared) {
+    loop {
+        let (key, campaign) = {
+            let mut jobs = shared.jobs.lock().expect("job table lock");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = jobs.iter_mut().find(|j| j.state == JobState::Queued) {
+                    job.state = JobState::Running;
+                    break (job.key.clone(), job.campaign.clone());
+                }
+                jobs = shared.work.wait(jobs).expect("job table lock");
+            }
+        };
+        run_job(shared, &key, &campaign);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Wake the accept loop so the whole daemon exits (the crash
+            // hook simulates a kill; a poke connection is how the blocking
+            // `incoming()` notices).
+            let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(200));
+            return;
+        }
+    }
+}
+
+fn run_job(shared: &Shared, key: &str, campaign: &Campaign) {
+    let path = store_path(&shared.cfg.state_dir, key);
+    // A missing or unreadable store just means "run from scratch" here:
+    // Broken jobs never reach Queued, so an Err is a fresh job whose store
+    // file does not exist yet.
+    let resume = OutcomeStore::load(&path).ok();
+    let mut record = OutcomeStore::new();
+    let (_, finished) = campaign.run_chunked(
+        shared.cfg.threads,
+        key,
+        resume.as_ref(),
+        &mut record,
+        shared.cfg.chunk,
+        |store, completed, _total| {
+            if let Err(e) = checkpoint(store, &path) {
+                eprintln!("st-serve: cannot checkpoint {}: {e}", path.display());
+            }
+            let mut jobs = shared.jobs.lock().expect("job table lock");
+            let cancelled = match jobs.iter_mut().find(|j| j.key == key) {
+                Some(job) => {
+                    job.completed = completed;
+                    job.cancel
+                }
+                None => false,
+            };
+            drop(jobs);
+            if crash_hook_fired(shared) {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                ChunkControl::Stop
+            } else if cancelled {
+                ChunkControl::Stop
+            } else {
+                ChunkControl::Continue
+            }
+        },
+    );
+    let mut jobs = shared.jobs.lock().expect("job table lock");
+    if let Some(job) = jobs.iter_mut().find(|j| j.key == key) {
+        job.state = if finished {
+            job.completed = job.total;
+            JobState::Done
+        } else if shared.shutdown.load(Ordering::SeqCst) {
+            JobState::Interrupted
+        } else {
+            JobState::Cancelled
+        };
+        job.cancel = false;
+    }
+}
+
+/// Decrements the crash-hook counter; `true` when it just hit zero.
+fn crash_hook_fired(shared: &Shared) -> bool {
+    let mut left = shared.chunks_left.lock().expect("crash hook lock");
+    match left.as_mut() {
+        None => false,
+        Some(n) => {
+            *n = n.saturating_sub(1);
+            *n == 0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling.
+// ---------------------------------------------------------------------------
+
+fn handle_conn(shared: &Shared, sock: &mut TcpStream) {
+    let _ = sock.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = sock.set_write_timeout(Some(Duration::from_secs(10)));
+    let Ok(doc) = read_frame(sock) else {
+        return; // poke connections and dropped peers land here
+    };
+    let resp = dispatch(shared, &doc);
+    let _ = write_frame(sock, &resp);
+}
+
+fn dispatch(shared: &Shared, doc: &Json) -> Json {
+    let Some(proto) = doc.get("proto").and_then(Json::as_str) else {
+        return error_response(ErrorKind::Malformed, "request has no \"proto\" field");
+    };
+    if proto != PROTO {
+        return error_response(
+            ErrorKind::SchemaMismatch,
+            format!("protocol mismatch: peer speaks {proto:?}, this daemon speaks {PROTO:?}"),
+        );
+    }
+    let Some(verb) = doc.get("verb").and_then(Json::as_str) else {
+        return error_response(ErrorKind::Malformed, "request has no \"verb\" field");
+    };
+    match Verb::parse(verb) {
+        None => {
+            let known: Vec<&str> = Verb::ALL.into_iter().map(Verb::wire).collect();
+            error_response(
+                ErrorKind::UnknownVerb,
+                format!("unknown verb {verb:?} (known: {})", known.join(", ")),
+            )
+        }
+        Some(Verb::Hello) => ok_response([
+            ("server", Json::str("st-serve")),
+            ("store_schema", Json::str(st_campaign::store::SCHEMA)),
+        ]),
+        Some(Verb::Submit) => submit(shared, doc),
+        Some(Verb::Status) => status(shared, doc),
+        Some(Verb::Cancel) => cancel(shared, doc),
+        Some(Verb::Resume) => resume(shared, doc),
+        Some(Verb::FetchOutcomes) => fetch_outcomes(shared, doc),
+    }
+}
+
+fn job_fields(job: &Job) -> Json {
+    Json::obj([
+        ("key", Json::str(job.key.as_str())),
+        ("state", Json::str(job.state.wire())),
+        ("total", Json::U64(job.total as u64)),
+        ("completed", Json::U64(job.completed as u64)),
+    ])
+}
+
+/// Extracts and validates the request's `key` field; `Err` is the ready
+/// error response.
+fn required_key(doc: &Json) -> Result<String, Json> {
+    let Some(key) = doc.get("key").and_then(Json::as_str) else {
+        return Err(error_response(
+            ErrorKind::Malformed,
+            "request has no \"key\" field",
+        ));
+    };
+    match validate_key(key) {
+        Ok(()) => Ok(key.to_string()),
+        Err(msg) => Err(error_response(ErrorKind::Malformed, msg)),
+    }
+}
+
+fn submit(shared: &Shared, doc: &Json) -> Json {
+    let key = match required_key(doc) {
+        Ok(key) => key,
+        Err(resp) => return resp,
+    };
+    let Some(entries) = doc.get("entries") else {
+        return error_response(ErrorKind::Malformed, "submit has no \"entries\" field");
+    };
+    let entries = match decode_entries(entries) {
+        Ok(entries) => entries,
+        Err(msg) => return error_response(ErrorKind::Malformed, msg),
+    };
+    if entries.is_empty() {
+        return error_response(
+            ErrorKind::Malformed,
+            "a campaign needs at least one scenario",
+        );
+    }
+    let campaign = match Campaign::from_ranked(entries) {
+        Ok(campaign) => campaign,
+        Err(msg) => return error_response(ErrorKind::Malformed, msg),
+    };
+    let spec = job_spec(&key, &campaign);
+    let total = campaign.len();
+
+    let mut jobs = shared.jobs.lock().expect("job table lock");
+    if let Some(job) = jobs.iter_mut().find(|j| j.key == key) {
+        if job.spec != spec {
+            return error_response(
+                ErrorKind::SpecMismatch,
+                format!(
+                    "job {key:?} already exists with a different campaign spec — \
+                     submit under a new key instead of mutating a sweep's identity"
+                ),
+            );
+        }
+        if let Some(msg) = &job.store_error {
+            return error_response(ErrorKind::SchemaMismatch, msg.clone());
+        }
+        // Idempotent re-submit: parked jobs requeue (the resume-after-
+        // restart path), live and finished jobs just report.
+        if matches!(job.state, JobState::Interrupted | JobState::Cancelled) {
+            job.state = JobState::Queued;
+            job.cancel = false;
+            shared.work.notify_all();
+        }
+        return ok_response([("job", job_fields(job))]);
+    }
+
+    let in_flight: usize = jobs
+        .iter()
+        .filter(|j| matches!(j.state, JobState::Queued | JobState::Running))
+        .map(|j| j.total - j.completed)
+        .sum();
+    if in_flight + total > shared.cfg.max_pending {
+        return error_response(
+            ErrorKind::Busy,
+            format!(
+                "daemon is at capacity: {in_flight} scenario(s) in flight, {total} more \
+                 would exceed --max-pending {} — retry later",
+                shared.cfg.max_pending
+            ),
+        );
+    }
+
+    // Persist before acknowledging: a confirmed submit survives a kill.
+    let path = spec_path(&shared.cfg.state_dir, &key);
+    let tmp = path.with_extension("json.tmp");
+    let written =
+        std::fs::write(&tmp, spec.to_string() + "\n").and_then(|()| std::fs::rename(&tmp, &path));
+    if let Err(e) = written {
+        return error_response(ErrorKind::Internal, format!("cannot persist job spec: {e}"));
+    }
+    jobs.push(Job {
+        key,
+        spec,
+        campaign,
+        state: JobState::Queued,
+        cancel: false,
+        completed: 0,
+        total,
+        store_error: None,
+    });
+    shared.work.notify_all();
+    ok_response([("job", job_fields(jobs.last().expect("just pushed")))])
+}
+
+fn status(shared: &Shared, doc: &Json) -> Json {
+    let jobs = shared.jobs.lock().expect("job table lock");
+    match doc.get("key").and_then(Json::as_str) {
+        Some(key) => match jobs.iter().find(|j| j.key == key) {
+            Some(job) => ok_response([("job", job_fields(job))]),
+            None => error_response(ErrorKind::UnknownJob, format!("no job under key {key:?}")),
+        },
+        None => {
+            let mut sorted: Vec<&Job> = jobs.iter().collect();
+            sorted.sort_by(|a, b| a.key.cmp(&b.key));
+            ok_response([(
+                "jobs",
+                Json::Arr(sorted.into_iter().map(job_fields).collect()),
+            )])
+        }
+    }
+}
+
+fn cancel(shared: &Shared, doc: &Json) -> Json {
+    let key = match required_key(doc) {
+        Ok(key) => key,
+        Err(resp) => return resp,
+    };
+    let mut jobs = shared.jobs.lock().expect("job table lock");
+    match jobs.iter_mut().find(|j| j.key == key) {
+        None => error_response(ErrorKind::UnknownJob, format!("no job under key {key:?}")),
+        Some(job) => {
+            match job.state {
+                JobState::Queued => job.state = JobState::Cancelled,
+                JobState::Running => job.cancel = true,
+                _ => {}
+            }
+            ok_response([
+                ("job", job_fields(job)),
+                ("cancel_requested", Json::Bool(job.cancel)),
+            ])
+        }
+    }
+}
+
+fn resume(shared: &Shared, doc: &Json) -> Json {
+    let key = match required_key(doc) {
+        Ok(key) => key,
+        Err(resp) => return resp,
+    };
+    let mut jobs = shared.jobs.lock().expect("job table lock");
+    match jobs.iter_mut().find(|j| j.key == key) {
+        None => error_response(ErrorKind::UnknownJob, format!("no job under key {key:?}")),
+        Some(job) => {
+            if let Some(msg) = &job.store_error {
+                return error_response(ErrorKind::SchemaMismatch, msg.clone());
+            }
+            if matches!(job.state, JobState::Interrupted | JobState::Cancelled) {
+                job.state = JobState::Queued;
+                job.cancel = false;
+                shared.work.notify_all();
+            }
+            ok_response([("job", job_fields(job))])
+        }
+    }
+}
+
+fn fetch_outcomes(shared: &Shared, doc: &Json) -> Json {
+    let key = match required_key(doc) {
+        Ok(key) => key,
+        Err(resp) => return resp,
+    };
+    let jobs = shared.jobs.lock().expect("job table lock");
+    let Some(job) = jobs.iter().find(|j| j.key == key) else {
+        return error_response(ErrorKind::UnknownJob, format!("no job under key {key:?}"));
+    };
+    if let Some(msg) = &job.store_error {
+        return error_response(ErrorKind::SchemaMismatch, msg.clone());
+    }
+    let fields = job_fields(job);
+    let path = store_path(&shared.cfg.state_dir, &key);
+    // Renames are atomic, so reading outside the checkpoint path sees a
+    // complete store — the previous one at worst.
+    let store_doc = if path.exists() {
+        let loaded = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()));
+        match loaded {
+            Ok(doc) => doc,
+            Err(e) => {
+                return error_response(
+                    ErrorKind::Internal,
+                    format!("cannot read outcome store for {key:?}: {e}"),
+                )
+            }
+        }
+    } else {
+        Json::parse(&OutcomeStore::new().to_json_string()).expect("empty store is valid JSON")
+    };
+    ok_response([("job", fields), ("store", store_doc)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol;
+    use st_campaign::{
+        policy_from_spec, FdAbi, FdDetector, GeneratorSpec, Scenario, TimeoutPolicySpec, Workload,
+    };
+    use st_core::Universe;
+
+    /// A fresh `Shared` over a clean state directory — the daemon minus
+    /// its accept loop and worker, so the request handlers can be driven
+    /// deterministically (no job ever leaves `Queued`).
+    fn shared_with(dir_name: &str, max_pending: usize) -> Shared {
+        let state = std::env::temp_dir().join(dir_name);
+        let _ = std::fs::remove_dir_all(&state);
+        std::fs::create_dir_all(&state).unwrap();
+        let mut cfg = ServeConfig::new(&state);
+        cfg.max_pending = max_pending;
+        Shared {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            jobs: Mutex::new(load_jobs(&state)),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            chunks_left: Mutex::new(None),
+            cfg,
+        }
+    }
+
+    fn tiny_campaign(seeds: std::ops::Range<u64>) -> Campaign {
+        let mut campaign = Campaign::new();
+        for seed in seeds {
+            campaign.push(Scenario::new(
+                format!("tiny/seed{seed}"),
+                Universe::new(3).unwrap(),
+                GeneratorSpec::round_robin(),
+                Workload::FdConvergence {
+                    k: 1,
+                    t: 1,
+                    policy: policy_from_spec(TimeoutPolicySpec::Increment),
+                    abi: FdAbi::MachineSlot,
+                    detector: FdDetector::SetBased,
+                    certify_membership: false,
+                },
+                1_000,
+                seed,
+            ));
+        }
+        campaign
+    }
+
+    fn submit_doc(key: &str, campaign: &Campaign) -> Json {
+        protocol::request(
+            Verb::Submit,
+            [
+                ("key", Json::str(key)),
+                ("entries", protocol::campaign_entries(campaign)),
+            ],
+        )
+    }
+
+    fn error_kind(resp: &Json) -> Option<&str> {
+        resp.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+    }
+
+    fn job_state(resp: &Json) -> Option<&str> {
+        resp.get("job")
+            .and_then(|j| j.get("state"))
+            .and_then(Json::as_str)
+    }
+
+    #[test]
+    fn submit_cancel_resume_lifecycle_without_a_worker() {
+        let shared = shared_with("st-serve-lifecycle-test", 10);
+        let campaign = tiny_campaign(0..4);
+
+        // Fresh submit: queued, spec persisted before the ack.
+        let resp = dispatch(&shared, &submit_doc("job", &campaign));
+        assert_eq!(job_state(&resp), Some("queued"), "{resp:?}");
+        assert!(spec_path(&shared.cfg.state_dir, "job").exists());
+
+        // Identical re-submit is idempotent.
+        let resp = dispatch(&shared, &submit_doc("job", &campaign));
+        assert_eq!(job_state(&resp), Some("queued"));
+        assert_eq!(shared.jobs.lock().unwrap().len(), 1);
+
+        // Same key, different campaign: the staleness guard refuses.
+        let resp = dispatch(&shared, &submit_doc("job", &tiny_campaign(0..3)));
+        assert_eq!(error_kind(&resp), Some("spec-mismatch"));
+
+        // Backpressure: 4 in flight + 7 more > 10.
+        let resp = dispatch(&shared, &submit_doc("big", &tiny_campaign(10..17)));
+        assert_eq!(error_kind(&resp), Some("busy"));
+
+        // Cancel a queued job, resume it back into the queue.
+        let cancel = protocol::request(Verb::Cancel, [("key", Json::str("job"))]);
+        assert_eq!(job_state(&dispatch(&shared, &cancel)), Some("cancelled"));
+        let resume = protocol::request(Verb::Resume, [("key", Json::str("job"))]);
+        assert_eq!(job_state(&dispatch(&shared, &resume)), Some("queued"));
+
+        // Fetching before anything ran returns an empty store.
+        let fetch = protocol::request(Verb::FetchOutcomes, [("key", Json::str("job"))]);
+        let resp = dispatch(&shared, &fetch);
+        let store = resp.get("store").expect("store field");
+        assert_eq!(
+            store
+                .get("entries")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+
+        // Unknown keys are typed refusals.
+        let status = protocol::request(Verb::Status, [("key", Json::str("nope"))]);
+        assert_eq!(error_kind(&dispatch(&shared, &status)), Some("unknown-job"));
+        let bad_key = protocol::request(Verb::Status, [("key", Json::str("a/b"))]);
+        assert_eq!(
+            error_kind(&dispatch(&shared, &bad_key)),
+            Some("unknown-job")
+        );
+    }
+
+    #[test]
+    fn restart_scan_derives_done_interrupted_and_broken_states() {
+        let state = std::env::temp_dir().join("st-serve-rescan-test");
+        let _ = std::fs::remove_dir_all(&state);
+        std::fs::create_dir_all(&state).unwrap();
+
+        // "done": spec + complete store.
+        let finished = tiny_campaign(0..2);
+        std::fs::write(
+            spec_path(&state, "done-job"),
+            protocol::job_spec("done-job", &finished).to_string(),
+        )
+        .unwrap();
+        let mut store = OutcomeStore::new();
+        finished.run_resumed(1, "done-job", None, Some(&mut store));
+        store.save(store_path(&state, "done-job")).unwrap();
+
+        // "interrupted": spec + half the store.
+        let half_done = tiny_campaign(0..4);
+        std::fs::write(
+            spec_path(&state, "half-job"),
+            protocol::job_spec("half-job", &half_done).to_string(),
+        )
+        .unwrap();
+        let mut partial = OutcomeStore::new();
+        half_done.run_resumed(1, "half-job", None, Some(&mut partial));
+        partial.retain(|idx, _| idx < 2);
+        partial.save(store_path(&state, "half-job")).unwrap();
+
+        // "broken": spec + a store from another schema version.
+        std::fs::write(
+            spec_path(&state, "broken-job"),
+            protocol::job_spec("broken-job", &finished).to_string(),
+        )
+        .unwrap();
+        let stale = store
+            .to_json_string()
+            .replace("outcome-store-v2", "outcome-store-v1");
+        std::fs::write(store_path(&state, "broken-job"), stale).unwrap();
+
+        let jobs = load_jobs(&state);
+        let by_key = |key: &str| jobs.iter().find(|j| j.key == key).expect(key);
+        assert_eq!(by_key("done-job").state, JobState::Done);
+        assert_eq!(by_key("done-job").completed, 2);
+        assert_eq!(by_key("half-job").state, JobState::Interrupted);
+        assert_eq!(by_key("half-job").completed, 2);
+        let broken = by_key("broken-job");
+        assert_eq!(broken.state, JobState::Broken);
+        let text = broken.store_error.as_deref().unwrap();
+        assert!(text.contains("outcome store schema mismatch"), "{text}");
+
+        // Every request against the broken job surfaces the store's text.
+        let shared = Shared {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            jobs: Mutex::new(jobs),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            chunks_left: Mutex::new(None),
+            cfg: ServeConfig::new(&state),
+        };
+        let resubmit = dispatch(&shared, &submit_doc("broken-job", &finished));
+        assert_eq!(error_kind(&resubmit), Some("schema-mismatch"));
+        let msg = resubmit
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(msg.contains("outcome store schema mismatch"), "{msg}");
+        let resume = protocol::request(Verb::Resume, [("key", Json::str("broken-job"))]);
+        assert_eq!(
+            error_kind(&dispatch(&shared, &resume)),
+            Some("schema-mismatch")
+        );
+        let fetch = protocol::request(Verb::FetchOutcomes, [("key", Json::str("broken-job"))]);
+        assert_eq!(
+            error_kind(&dispatch(&shared, &fetch)),
+            Some("schema-mismatch")
+        );
+    }
+
+    #[test]
+    fn dispatch_rejects_missing_proto_and_unknown_verbs() {
+        let cfg = ServeConfig::new(std::env::temp_dir().join("st-serve-dispatch-test"));
+        let shared = Shared {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            jobs: Mutex::new(Vec::new()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            chunks_left: Mutex::new(None),
+            cfg,
+        };
+        let err = |doc: &Json| {
+            let resp = dispatch(&shared, doc);
+            resp.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        };
+        assert_eq!(
+            err(&Json::obj([("verb", Json::str("hello"))])),
+            Some("malformed".into())
+        );
+        assert_eq!(
+            err(&Json::obj([
+                ("proto", Json::str("st-serve/v0")),
+                ("verb", Json::str("hello")),
+            ])),
+            Some("schema-mismatch".into())
+        );
+        let mut bad_verb = protocol::request(Verb::Hello, []);
+        if let Json::Obj(members) = &mut bad_verb {
+            members[1].1 = Json::str("fetch");
+        }
+        assert_eq!(err(&bad_verb), Some("unknown-verb".into()));
+        let hello = dispatch(&shared, &protocol::request(Verb::Hello, []));
+        assert_eq!(hello.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            hello.get("store_schema").and_then(Json::as_str),
+            Some(st_campaign::store::SCHEMA)
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end daemon tests over real TCP sockets.
+//!
+//! The headline test is the PR's acceptance criterion: a campaign submitted
+//! to `st-serve`, with the daemon killed (via the `exit_after_chunks` crash
+//! hook) and restarted mid-run, produces an `OutcomeStore` byte-identical
+//! to the same campaign run via the batch drive — different chunk sizes and
+//! worker counts across the two daemon incarnations included.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use st_campaign::{
+    policy_from_spec, Campaign, FdAbi, FdDetector, GeneratorSpec, OutcomeStore, Scenario,
+    TimeoutPolicySpec, Workload,
+};
+use st_core::frame::{read_frame, write_frame};
+use st_core::{Json, Universe};
+use st_serve::{ClientError, JobState, ServeClient, ServeConfig, Server, PROTO};
+
+/// A clean per-process state directory under the system temp dir.
+fn state_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("st-serve-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// An 8-scenario FD-convergence campaign, small enough that a full run is
+/// fast but large enough that chunks of 2 leave a real checkpoint trail.
+fn fd_campaign() -> Campaign {
+    let mut campaign = Campaign::new();
+    for seed in 0..8u64 {
+        campaign.push(Scenario::new(
+            format!("served/seed{seed}"),
+            Universe::new(3).unwrap(),
+            GeneratorSpec::round_robin(),
+            Workload::FdConvergence {
+                k: 1,
+                t: 1,
+                policy: policy_from_spec(TimeoutPolicySpec::Increment),
+                abi: FdAbi::MachineSlot,
+                detector: FdDetector::SetBased,
+                certify_membership: false,
+            },
+            2_000,
+            seed,
+        ));
+    }
+    campaign
+}
+
+/// Binds a daemon on an OS-assigned port and runs it on a background
+/// thread; returns the client address. Daemons without a crash hook run
+/// until the test process exits.
+fn spawn_daemon(cfg: ServeConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+#[test]
+fn killed_and_restarted_daemon_reproduces_batch_store_bytes() {
+    let campaign = fd_campaign();
+
+    // The batch reference: `stlab`'s drive, no daemon involved.
+    let mut batch = OutcomeStore::new();
+    let batch_outcomes = campaign.run_resumed(2, "job", None, Some(&mut batch));
+
+    let state = state_dir("restart");
+    let store_file = state.join("job-job.store.json");
+
+    // Incarnation 1: chunks of 2, one worker, killed by the crash hook
+    // after the second checkpoint — mid-campaign, 4 of 8 scenarios done.
+    let mut cfg = ServeConfig::new(&state);
+    cfg.chunk = 2;
+    cfg.threads = 1;
+    cfg.exit_after_chunks = Some(2);
+    let (addr, handle) = spawn_daemon(cfg);
+    let client = ServeClient::new(&addr);
+    let died = client.run_campaign("job", &campaign, Duration::from_millis(5));
+    assert!(died.is_err(), "the daemon died mid-run: {died:?}");
+    handle.join().expect("incarnation 1 exits");
+
+    // The surviving checkpoint is a complete, loadable store of exactly
+    // the chunks that finished.
+    let checkpoint = OutcomeStore::load(&store_file).expect("checkpoint survives the kill");
+    assert_eq!(checkpoint.len(), 4, "two chunks of two checkpointed");
+
+    // Incarnation 2: same state directory, different chunk size and worker
+    // count. Re-submitting the identical spec requeues the interrupted job
+    // and it runs to completion.
+    let mut cfg = ServeConfig::new(&state);
+    cfg.chunk = 3;
+    cfg.threads = 2;
+    let (addr, _handle) = spawn_daemon(cfg);
+    let client = ServeClient::new(&addr);
+    let outcomes = client
+        .run_campaign("job", &campaign, Duration::from_millis(5))
+        .expect("restarted daemon finishes the job");
+
+    // Byte-identity, three ways: the outcomes, the daemon's store file,
+    // and the store fetched over the wire.
+    assert_eq!(format!("{outcomes:#?}"), format!("{batch_outcomes:#?}"));
+    let file = std::fs::read_to_string(&store_file).unwrap();
+    assert_eq!(file, batch.to_json_string(), "state-dir store bytes");
+    let (job, fetched) = client.fetch_store("job").unwrap();
+    assert_eq!(job.state, JobState::Done);
+    assert_eq!(job.completed, 8);
+    assert_eq!(
+        fetched.to_json_string(),
+        batch.to_json_string(),
+        "fetched store bytes"
+    );
+}
+
+#[test]
+fn unreachable_daemon_is_a_typed_connect_error() {
+    // Nothing listens on the discard port; stlab prints this exact text
+    // before exiting 2.
+    let client = ServeClient::new("127.0.0.1:9");
+    let err = client.hello().unwrap_err();
+    assert!(matches!(err, ClientError::Connect { .. }), "{err:?}");
+    assert!(
+        err.to_string()
+            .starts_with("cannot reach st-serve at 127.0.0.1:9: "),
+        "{err}"
+    );
+}
+
+#[test]
+fn raw_frames_get_typed_protocol_errors() {
+    let (addr, _handle) = spawn_daemon(ServeConfig::new(state_dir("raw")));
+
+    // A peer speaking a future protocol version gets a typed refusal that
+    // names both versions, not a closed socket.
+    let mut sock = TcpStream::connect(&addr).unwrap();
+    let req = Json::obj([
+        ("proto", Json::str("st-serve/v2")),
+        ("verb", Json::str("hello")),
+    ]);
+    write_frame(&mut sock, &req).unwrap();
+    let resp = read_frame(&mut sock).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    let error = resp.get("error").expect("typed error");
+    assert_eq!(
+        error.get("kind").and_then(Json::as_str),
+        Some("schema-mismatch")
+    );
+    let message = error.get("message").and_then(Json::as_str).unwrap();
+    assert!(
+        message.contains("st-serve/v2") && message.contains(PROTO),
+        "{message}"
+    );
+
+    // And a well-formed hello on a fresh connection succeeds.
+    let mut sock = TcpStream::connect(&addr).unwrap();
+    let req = Json::obj([("proto", Json::str(PROTO)), ("verb", Json::str("hello"))]);
+    write_frame(&mut sock, &req).unwrap();
+    let resp = read_frame(&mut sock).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Doc-freshness check: PROTOCOL.md's verb table must list exactly the
+# verbs the serve crate implements, in the same order.
+#
+# The code half is the `PROTOCOL-VERBS:` marker comment in
+# crates/serve/src/protocol.rs, which a unit test pins to the `Verb`
+# enum itself (`the_marker_comment_matches_the_enum`). So:
+#
+#   Verb enum  ==  marker comment  ==  PROTOCOL.md verb table
+#   (unit test)    (this script)
+#
+# and neither the doc nor the code can silently drift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+code_verbs=$(sed -n 's|^// PROTOCOL-VERBS: ||p' crates/serve/src/protocol.rs)
+if [ -z "$code_verbs" ]; then
+  echo "error: PROTOCOL-VERBS marker missing from crates/serve/src/protocol.rs" >&2
+  exit 1
+fi
+
+# The verb table is the backtick-led rows of PROTOCOL.md's "## Verbs"
+# section (stop at the first subsection so the error-kinds table, whose
+# rows have the same shape, is never scanned).
+doc_verbs=$(sed -n '/^## Verbs/,/^### /s/^| `\([a-z-]*\)` |.*/\1/p' PROTOCOL.md \
+  | tr '\n' ' ' | sed 's/ $//')
+
+if [ "$code_verbs" != "$doc_verbs" ]; then
+  echo "error: PROTOCOL.md's verb table is stale" >&2
+  echo "  code (crates/serve/src/protocol.rs): $code_verbs" >&2
+  echo "  doc  (PROTOCOL.md):                  $doc_verbs" >&2
+  echo "update the table under '## Verbs' in PROTOCOL.md" >&2
+  exit 1
+fi
+
+echo "ok: PROTOCOL.md verb table matches the serve crate ($code_verbs)"

@@ -63,5 +63,9 @@ pub use st_bgsim as bgsim;
 /// parallel with a deterministic merge (re-export of `st-campaign`).
 pub use st_campaign as campaign;
 
+/// The campaign daemon, wire protocol, and client (re-export of
+/// `st-serve`).
+pub use st_serve as serve;
+
 /// The experiment harness (re-export of `st-lab`).
 pub use st_lab as lab;
